@@ -1,0 +1,39 @@
+//! Functional All-to-All benches (behind Figures 15/20): linear vs 2DH
+//! vs naïve local aggregation, moving real bytes between simulated
+//! ranks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tutel_comm::{linear_all_to_all, naive_local_agg_all_to_all, two_dh_all_to_all, RankBuffers};
+use tutel_simgpu::Topology;
+
+fn buffers(n: usize, chunk: usize) -> RankBuffers {
+    (0..n)
+        .map(|s| (0..n * chunk).map(|i| (s * n * chunk + i) as f32).collect())
+        .collect()
+}
+
+fn bench_all_to_all(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_to_all_functional");
+    for &(nnodes, gpn) in &[(2usize, 4usize), (4, 8)] {
+        let topo = Topology::new(nnodes, gpn);
+        let n = topo.world_size();
+        let bufs = buffers(n, 256);
+        group.bench_with_input(BenchmarkId::new("linear", n), &n, |b, _| {
+            b.iter(|| linear_all_to_all(&bufs))
+        });
+        group.bench_with_input(BenchmarkId::new("two_dh", n), &n, |b, _| {
+            b.iter(|| two_dh_all_to_all(&bufs, &topo))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_local_agg", n), &n, |b, _| {
+            b.iter(|| naive_local_agg_all_to_all(&bufs, &topo))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_all_to_all
+}
+criterion_main!(benches);

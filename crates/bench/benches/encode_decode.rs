@@ -1,0 +1,43 @@
+//! Criterion bench behind Figure 24: dense (Fairseq einsum) vs sparse
+//! (Tutel fast) encode/decode on the functional CPU kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tutel_gate::{route, RouteConfig};
+use tutel_kernels::{fast_decode, fast_encode, DenseCombine};
+use tutel_tensor::Rng;
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig24_encode_decode");
+    for &tokens in &[128usize, 512] {
+        let (experts, m) = (16usize, 64usize);
+        let mut rng = Rng::seed(tokens as u64);
+        let probs = rng.uniform_tensor(&[tokens, experts], 0.0, 1.0).softmax_last();
+        let routing = route(&probs, &RouteConfig::top2()).unwrap();
+        let x = rng.normal_tensor(&[tokens, m], 0.0, 1.0);
+        let y = rng.normal_tensor(&[experts, routing.capacity, m], 0.0, 1.0);
+
+        group.bench_with_input(BenchmarkId::new("dense", tokens), &tokens, |b, _| {
+            b.iter(|| {
+                let combine = DenseCombine::new(&routing);
+                let d = combine.encode(&x).unwrap();
+                let o = combine.decode(&y).unwrap();
+                (d, o)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sparse", tokens), &tokens, |b, _| {
+            b.iter(|| {
+                let d = fast_encode(&x, &routing).unwrap();
+                let o = fast_decode(&y, &routing, tokens).unwrap();
+                (d, o)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_encode_decode
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Expert fflayer bench (behind Figures 7/10): batched GEMM shapes
+//! under the rigid vs flexible layouts — on CPU the row-efficiency gap
+//! shows up as loop/blocking overhead on skinny matrices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tutel_tensor::Rng;
+
+fn bench_layout_shapes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expert_gemm_layout");
+    // Fixed total work: 512 rows × (32 → 64); rigid splits rows across
+    // a growing batch dimension (as a growing world would).
+    for &batch in &[1usize, 8, 64] {
+        let rows = 512 / batch;
+        let mut rng = Rng::seed(batch as u64);
+        let a = rng.normal_tensor(&[batch, rows, 32], 0.0, 1.0);
+        let w = rng.normal_tensor(&[batch, 32, 64], 0.0, 1.0);
+        group.bench_with_input(
+            BenchmarkId::new("bmm_fixed_flops", batch),
+            &batch,
+            |b, _| b.iter(|| a.bmm(&w).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_layout_shapes
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Gating benches: routing cost scaling in tokens/experts/k, and BPR's
+//! sorting overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tutel_gate::{route, RouteConfig};
+use tutel_tensor::Rng;
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing");
+    for &tokens in &[256usize, 1024] {
+        let experts = 32;
+        let mut rng = Rng::seed(tokens as u64);
+        let probs = rng.uniform_tensor(&[tokens, experts], 0.0, 1.0).softmax_last();
+        for k in [1usize, 2, 4] {
+            let cfg = RouteConfig { k, ..RouteConfig::top1() };
+            group.bench_with_input(
+                BenchmarkId::new(format!("top{k}"), tokens),
+                &tokens,
+                |b, _| b.iter(|| route(&probs, &cfg).unwrap()),
+            );
+        }
+        let bpr = RouteConfig::top1().with_bpr(true);
+        group.bench_with_input(BenchmarkId::new("top1_bpr", tokens), &tokens, |b, _| {
+            b.iter(|| route(&probs, &bpr).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_routing
+}
+criterion_main!(benches);

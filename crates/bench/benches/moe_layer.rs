@@ -1,0 +1,41 @@
+//! MoE layer benches: Tutel layer forward/backward vs the Fairseq
+//! dense-path baseline (the end-to-end kernel story of Figure 23's
+//! small-scale regime, measured on CPU).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tutel::{FairseqMoeLayer, MoeConfig, MoeLayer};
+use tutel_tensor::Rng;
+
+fn bench_layers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("moe_layer");
+    for &tokens in &[64usize, 256] {
+        let cfg = MoeConfig::new(32, 64, 8).with_top_k(2);
+        let mut rng = Rng::seed(1);
+        let mut tutel_layer = MoeLayer::new(&cfg, &mut rng).unwrap();
+        let fairseq = FairseqMoeLayer::new_seeded(&cfg, 1).unwrap();
+        let x = rng.normal_tensor(&[tokens, 32], 0.0, 1.0);
+
+        group.bench_with_input(BenchmarkId::new("tutel_infer", tokens), &tokens, |b, _| {
+            b.iter(|| tutel_layer.infer(&x).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("fairseq_infer", tokens), &tokens, |b, _| {
+            b.iter(|| fairseq.infer(&x).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("tutel_train_step", tokens), &tokens, |b, _| {
+            b.iter(|| {
+                let out = tutel_layer.forward(&x).unwrap();
+                let dx = tutel_layer.backward(&out.output).unwrap();
+                tutel_layer.step(0.0);
+                dx
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_layers
+}
+criterion_main!(benches);

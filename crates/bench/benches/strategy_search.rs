@@ -1,0 +1,48 @@
+//! Algorithm 2 overhead bench: the strategy decision must be O(1) per
+//! iteration once factors are known (Section 3.3's complexity claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tutel::pipeline::OnlineStrategySearch;
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm2_search");
+    // Pre-warm searches with many known capacity factors.
+    for &known in &[10usize, 100, 1000] {
+        let mut search = OnlineStrategySearch::new(0.5);
+        for i in 0..known {
+            let f = 1.0 + i as f64 * 0.01;
+            let s = search.next_strategy(f);
+            search.record(f, s, 1.0 + (i % 7) as f64 * 0.1);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("known_f_lookup", known),
+            &known,
+            |b, _| {
+                b.iter(|| search.next_strategy(1.0 + (known / 2) as f64 * 0.01))
+            },
+        );
+    }
+    // New-factor path (bucket recomputation).
+    group.bench_function("new_f_rebucket_100_known", |b| {
+        let mut base = OnlineStrategySearch::new(0.5);
+        for i in 0..100 {
+            let f = 1.0 + i as f64 * 0.01;
+            let s = base.next_strategy(f);
+            base.record(f, s, 1.0);
+        }
+        let mut next = 100usize;
+        b.iter(|| {
+            let mut s = base.clone();
+            next += 1;
+            s.next_strategy(1.0 + next as f64 * 0.013)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_search
+}
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Regenerates the ablation studies (DESIGN.md §6).
+
+fn main() {
+    tutel_bench::experiments::ablations::ablation_interference().print();
+    tutel_bench::experiments::ablations::ablation_msccl_fusion().print();
+    tutel_bench::experiments::ablations::ablation_three_dh().print();
+    tutel_bench::experiments::ablations::ablation_bucket_length().print();
+}

@@ -1,0 +1,61 @@
+//! Regenerates every table and figure of the paper in one run.
+//!
+//! Usage: `cargo run -p tutel-bench --release --bin repro_all [steps]`
+//! where `steps` is the training budget for the accuracy experiments
+//! (default 300).
+
+use tutel_bench::experiments::{
+    ablations, accuracy, kernels, layer_scaling, micro, parallelism, pipelining,
+};
+
+fn main() {
+    let steps: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(300);
+    println!("# Tutel reproduction sweep (training budget: {steps} steps)\n");
+
+    println!("## Micro-benchmarks\n");
+    micro::table1().print();
+    micro::fig6a().print();
+    micro::fig6b().print();
+    micro::fig7().print();
+    micro::fig10().print();
+    micro::fig20().print();
+    micro::fig21().print();
+    micro::table4().print();
+
+    println!("## Adaptive parallelism\n");
+    parallelism::fig3().print();
+    parallelism::table5a().print();
+    parallelism::table5b().print();
+
+    println!("## Adaptive pipelining\n");
+    pipelining::fig5().print();
+    pipelining::table7(false).print();
+    pipelining::table7(true).print();
+    pipelining::fig22().print();
+
+    println!("## Single-layer scaling & end-to-end speed\n");
+    layer_scaling::fig23().print();
+    layer_scaling::fig23_replicated().print();
+    layer_scaling::table8().print();
+
+    println!("## Kernels\n");
+    kernels::fig24_cpu().print();
+    kernels::fig24_gpu_model().print();
+
+    println!("## Ablations (DESIGN.md \u{a7}6)\n");
+    ablations::ablation_interference().print();
+    ablations::ablation_msccl_fusion().print();
+    ablations::ablation_three_dh().print();
+    ablations::ablation_bucket_length().print();
+
+    println!("## Accuracy experiments (synthetic substitute for ImageNet/COCO)\n");
+    for t in accuracy::fig1(steps) {
+        t.print();
+    }
+    accuracy::table9(steps).print();
+    accuracy::table10(steps).print();
+    accuracy::table11(steps).print();
+    accuracy::table12(steps).print();
+    accuracy::table13(steps).print();
+    accuracy::fig25(steps).print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates fig21 of the paper. See `repro_all` for the full sweep.
+
+fn main() {
+    tutel_bench::experiments::micro::fig21().print();
+}

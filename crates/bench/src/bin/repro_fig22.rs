@@ -1,0 +1,5 @@
+//! Regenerates fig22 of the paper. See `repro_all` for the full sweep.
+
+fn main() {
+    tutel_bench::experiments::pipelining::fig22().print();
+}

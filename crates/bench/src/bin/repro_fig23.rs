@@ -1,0 +1,6 @@
+//! Regenerates fig23 of the paper. See `repro_all` for the full sweep.
+
+fn main() {
+    tutel_bench::experiments::layer_scaling::fig23().print();
+    tutel_bench::experiments::layer_scaling::fig23_replicated().print();
+}

@@ -1,0 +1,6 @@
+//! Regenerates fig24 of the paper. See `repro_all` for the full sweep.
+
+fn main() {
+    tutel_bench::experiments::kernels::fig24_cpu().print();
+    tutel_bench::experiments::kernels::fig24_gpu_model().print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates fig3 of the paper. See `repro_all` for the full sweep.
+
+fn main() {
+    tutel_bench::experiments::parallelism::fig3().print();
+}

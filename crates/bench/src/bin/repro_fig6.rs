@@ -1,0 +1,6 @@
+//! Regenerates fig6 of the paper. See `repro_all` for the full sweep.
+
+fn main() {
+    tutel_bench::experiments::micro::fig6a().print();
+    tutel_bench::experiments::micro::fig6b().print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates table4 of the paper. See `repro_all` for the full sweep.
+
+fn main() {
+    tutel_bench::experiments::micro::table4().print();
+}

@@ -1,0 +1,6 @@
+//! Regenerates table5 of the paper. See `repro_all` for the full sweep.
+
+fn main() {
+    tutel_bench::experiments::parallelism::table5a().print();
+    tutel_bench::experiments::parallelism::table5b().print();
+}

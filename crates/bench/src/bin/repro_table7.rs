@@ -1,0 +1,6 @@
+//! Regenerates table7 of the paper. See `repro_all` for the full sweep.
+
+fn main() {
+    tutel_bench::experiments::pipelining::table7(false).print();
+    tutel_bench::experiments::pipelining::table7(true).print();
+}

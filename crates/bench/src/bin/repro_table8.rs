@@ -1,0 +1,5 @@
+//! Regenerates table8 of the paper. See `repro_all` for the full sweep.
+
+fn main() {
+    tutel_bench::experiments::layer_scaling::table8().print();
+}

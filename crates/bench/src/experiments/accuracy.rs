@@ -1,0 +1,437 @@
+//! End-to-end accuracy experiments on SwinLite-MoE over the synthetic
+//! clustered-token task: Figure 1 (dynamic capacity telemetry),
+//! Tables 9–13, Figure 25 (BPR at reduced inference capacity).
+//!
+//! Every function takes a step budget so the `repro_*` binaries can run
+//! full-fidelity sweeps while unit tests use quick budgets.
+
+use tutel::data::SyntheticVision;
+use tutel::model::{SwinLiteConfig, SwinLiteMoe};
+use tutel::trainer::{evaluate, few_shot_linear_eval, train, TrainConfig, TrainStats};
+use tutel::{MoeConfig, RouterKind};
+use tutel_tensor::Rng;
+
+use crate::report::fmt_pct;
+use crate::Table;
+
+/// Model size analogues of SwinV2-S / SwinV2-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelSize {
+    /// Small.
+    S,
+    /// Base.
+    B,
+}
+
+/// The shared experimental setup.
+#[derive(Debug, Clone, Copy)]
+pub struct Setup {
+    /// Input channels of the synthetic task.
+    pub in_channels: usize,
+    /// Tokens per sample.
+    pub tokens_per_sample: usize,
+    /// Classes.
+    pub classes: usize,
+    /// Latent clusters (the "ideal" expert count).
+    pub clusters: usize,
+    /// Dataset seed.
+    pub data_seed: u64,
+    /// Model-init seed.
+    pub model_seed: u64,
+}
+
+impl Default for Setup {
+    fn default() -> Self {
+        Setup {
+            in_channels: 32,
+            tokens_per_sample: 32,
+            classes: 16,
+            clusters: 16,
+            data_seed: 2023,
+            model_seed: 7,
+        }
+    }
+}
+
+impl Setup {
+    /// The pre-training ("ImageNet-22K analogue") dataset.
+    pub fn dataset(&self) -> SyntheticVision {
+        SyntheticVision::new(
+            self.in_channels,
+            self.tokens_per_sample,
+            self.classes,
+            self.clusters,
+            self.data_seed,
+        )
+    }
+
+    /// A SwinLite config for the given size and optional MoE settings.
+    pub fn model_cfg(&self, size: ModelSize, moe: Option<MoeConfig>) -> SwinLiteConfig {
+        let mut cfg = SwinLiteConfig::new(self.in_channels, self.tokens_per_sample, self.classes);
+        // Hidden widths are deliberately narrow: the dense FFN must
+        // squeeze all 16 cluster transforms into V units while each
+        // expert only handles its routed share — the capacity asymmetry
+        // behind the paper's sparse-vs-dense gap.
+        match size {
+            ModelSize::S => {
+                cfg.channels = 20;
+                cfg.hidden = 8;
+                cfg.blocks = 4;
+            }
+            ModelSize::B => {
+                cfg.channels = 32;
+                cfg.hidden = 8;
+                cfg.blocks = 4;
+            }
+        }
+        if let Some(m) = moe {
+            cfg = cfg.with_moe(m);
+        }
+        cfg
+    }
+
+    /// Builds and pre-trains a model; returns it with its stats.
+    pub fn pretrain(
+        &self,
+        size: ModelSize,
+        moe: Option<MoeConfig>,
+        steps: usize,
+    ) -> (SwinLiteMoe, TrainStats) {
+        let cfg = self.model_cfg(size, moe);
+        let mut rng = Rng::seed(self.model_seed);
+        let mut model = SwinLiteMoe::new(&cfg, &mut rng).expect("config is valid");
+        let tc = TrainConfig { steps, batch: 32, lr: 0.05, seed: self.data_seed ^ 1, ..TrainConfig::default() };
+        let stats = train(&mut model, &self.dataset(), &tc);
+        (model, stats)
+    }
+}
+
+/// Figure 1: needed expert capacity over training, per MoE layer, for a
+/// thin-tiny and a base model analogue.
+pub fn fig1(steps: usize) -> Vec<Table> {
+    let setup = Setup::default();
+    let mut out = Vec::new();
+    for (name, size) in [("thin-tiny", ModelSize::S), ("base", ModelSize::B)] {
+        let moe = MoeConfig::new(0, 0, 8).with_capacity_factor(0.0);
+        let (_, stats) = setup.pretrain(size, Some(moe), steps);
+        let layers = stats.needed_factor_trace.first().map(|v| v.len()).unwrap_or(0);
+        let mut t = Table::new(
+            &format!("Figure 1 ({name}): needed capacity factor per MoE layer over training"),
+            &["step", "layer 1", "last layer", "max/min (dyn range)"],
+        );
+        let sample_every = (steps / 10).max(1);
+        for (i, factors) in stats.needed_factor_trace.iter().enumerate() {
+            if i % sample_every != 0 {
+                continue;
+            }
+            let first = factors.first().copied().unwrap_or(0.0);
+            let last = factors.last().copied().unwrap_or(0.0);
+            t.row(&[
+                i.to_string(),
+                format!("{first:.2}"),
+                format!("{last:.2}"),
+                String::new(),
+            ]);
+        }
+        // Dynamic range across the whole run, per layer.
+        for layer in 0..layers {
+            let series: Vec<f64> =
+                stats.needed_factor_trace.iter().map(|v| v[layer]).collect();
+            let max = series.iter().copied().fold(f64::MIN, f64::max);
+            let min = series.iter().copied().fold(f64::MAX, f64::min).max(1e-9);
+            t.row(&[
+                format!("layer{layer}"),
+                String::new(),
+                String::new(),
+                format!("{:.2}x", max / min),
+            ]);
+        }
+        out.push(t);
+    }
+    out
+}
+
+/// Table 9: sparse SwinLite-MoE vs its dense counterpart on
+/// pre-training, transfer fine-tuning (frozen MoE), and 5-shot linear
+/// evaluation.
+pub fn table9(steps: usize) -> Table {
+    let setup = Setup::default();
+    let ds = setup.dataset();
+    let shifted = ds.shifted(555);
+    let mut t = Table::new(
+        "Table 9: dense vs sparse accuracy (pretrain / transfer-ft / 5-shot)",
+        &["Model", "Pretrain acc@1", "Transfer acc", "5-shot acc@1"],
+    );
+    for (name, moe) in [
+        ("SwinLite-B (dense)", None),
+        ("SwinLite-MoE-B (E=8)", Some(MoeConfig::new(0, 0, 8).with_capacity_factor(0.0))),
+    ] {
+        let (mut model, _) = setup.pretrain(ModelSize::B, moe, steps);
+        let pre = evaluate(&model, &ds, 8, 99);
+        let shot = few_shot_linear_eval(&model, &ds, 5, 100);
+        // Transfer: fine-tune on the shifted task with MoE layers fixed
+        // (the Table 10-validated strategy).
+        model.set_moe_frozen(true);
+        let tc = TrainConfig { steps: steps / 2, batch: 16, lr: 0.05, seed: 3, ..TrainConfig::default() };
+        train(&mut model, &shifted, &tc);
+        let transfer = evaluate(&model, &shifted, 8, 101);
+        t.row(&[
+            name.to_string(),
+            fmt_pct(pre),
+            fmt_pct(transfer),
+            fmt_pct(shot),
+        ]);
+    }
+    t
+}
+
+/// Table 10: transfer fine-tuning with MoE layers tuned vs fixed,
+/// under two scarcity protocols. The paper's full finding (tuned below
+/// dense, fixed above) does **not** reproduce on this substitute — see
+/// EXPERIMENTS.md: our 16-class pre-training yields class-entangled
+/// experts whose frozen features cannot be re-decoded from 8
+/// samples/class. The harsh protocol still demonstrates the mechanism
+/// the paper warns about: tuning sparse experts on scarce data
+/// degrades below the dense baseline.
+pub fn table10(steps: usize) -> Table {
+    let setup = Setup::default();
+    let shifted = setup.dataset().shifted(555);
+    let mut t = Table::new(
+        "Table 10: transfer fine-tuning, tuned vs fixed MoE layers",
+        &["Protocol", "Model", "MoE layers", "Transfer acc"],
+    );
+    // (pool batches of 16, finetune lr, finetune steps)
+    let protocols: [(&str, usize, f32, usize); 2] = [
+        ("gentle (128 samples)", 8, 0.03, (steps / 2).clamp(100, 400)),
+        ("harsh (64 samples)", 4, 0.08, steps.clamp(200, 800)),
+    ];
+    for (label, pool_batches, lr, ft_steps) in protocols {
+        let finetune_scarce = |model: &mut SwinLiteMoe, freeze: bool| {
+            model.set_moe_frozen(freeze);
+            let mut rng = Rng::seed(42);
+            let pool: Vec<_> = (0..pool_batches).map(|_| shifted.batch(16, &mut rng)).collect();
+            for i in 0..ft_steps {
+                let (x, y) = &pool[i % pool.len()];
+                let (logits, _, _) = model.forward(x, 16).expect("forward");
+                let (_, dl) = tutel::model::cross_entropy(&logits, y);
+                model.backward(&dl).expect("backward");
+                model.step(lr);
+            }
+        };
+        let (mut dense, _) = setup.pretrain(ModelSize::B, None, steps);
+        finetune_scarce(&mut dense, false);
+        t.row(&[
+            label.to_string(),
+            "SwinLite-B (dense)".into(),
+            "-".into(),
+            fmt_pct(evaluate(&dense, &shifted, 8, 7)),
+        ]);
+        for (mode, freeze) in [("tuned", false), ("fixed", true)] {
+            let moe = MoeConfig::new(0, 0, 8).with_capacity_factor(1.25);
+            let (mut model, _) = setup.pretrain(ModelSize::B, Some(moe), steps);
+            finetune_scarce(&mut model, freeze);
+            t.row(&[
+                label.to_string(),
+                "SwinLite-MoE-B (E=8)".into(),
+                mode.into(),
+                fmt_pct(evaluate(&model, &shifted, 8, 7)),
+            ]);
+        }
+    }
+    t
+}
+
+/// Table 11: ablation on the number of experts, for both model sizes.
+pub fn table11(steps: usize) -> Table {
+    let setup = Setup::default();
+    let ds = setup.dataset();
+    let mut t = Table::new(
+        "Table 11: expert-count ablation",
+        &["Model", "E", "#param", "#param_act", "Final loss", "Pretrain acc@1", "5-shot acc@1"],
+    );
+    for size in [ModelSize::S, ModelSize::B] {
+        let name = match size {
+            ModelSize::S => "SwinLite-S",
+            ModelSize::B => "SwinLite-B",
+        };
+        // Dense baseline row.
+        let (model, stats) = setup.pretrain(size, None, steps);
+        t.row(&[
+            format!("{name} (dense)"),
+            "-".into(),
+            model.num_params().to_string(),
+            model.active_params().to_string(),
+            format!("{:.3}", stats.final_loss),
+            fmt_pct(evaluate(&model, &ds, 8, 99)),
+            fmt_pct(few_shot_linear_eval(&model, &ds, 5, 100)),
+        ]);
+        for e in [2usize, 4, 8, 16, 32] {
+            let moe = MoeConfig::new(0, 0, e).with_capacity_factor(0.0);
+            let (model, stats) = setup.pretrain(size, Some(moe), steps);
+            t.row(&[
+                format!("{name}-MoE"),
+                e.to_string(),
+                model.num_params().to_string(),
+                model.active_params().to_string(),
+                format!("{:.3}", stats.final_loss),
+                fmt_pct(evaluate(&model, &ds, 8, 99)),
+                fmt_pct(few_shot_linear_eval(&model, &ds, 5, 100)),
+            ]);
+        }
+    }
+    t
+}
+
+/// Table 12: top-k × capacity-factor ablation (train-f 1.0, varying
+/// infer-f), with a relative compute proxy.
+pub fn table12(steps: usize) -> Table {
+    let setup = Setup::default();
+    let ds = setup.dataset();
+    let mut t = Table::new(
+        "Table 12: top-k and capacity-factor ablation",
+        &["k", "train-f", "infer-f", "rel. FLOPs", "acc@1"],
+    );
+    for k in [1usize, 2] {
+        let moe = MoeConfig::new(0, 0, 8).with_top_k(k).with_capacity_factor(1.0);
+        let (mut model, _) = setup.pretrain(ModelSize::B, Some(moe), steps);
+        for infer_f in [0.5, 0.625, 1.0, 1.25] {
+            model.set_capacity_factor(infer_f);
+            let acc = evaluate(&model, &ds, 8, 99);
+            // Relative expert compute: proportional to k·min(f, 1)
+            // (capacity caps the processed rows).
+            let rel = k as f64 * infer_f.min(1.5);
+            t.row(&[
+                k.to_string(),
+                "1.0".into(),
+                format!("{infer_f}"),
+                format!("{rel:.2}"),
+                fmt_pct(acc),
+            ]);
+        }
+        model.set_capacity_factor(1.0);
+    }
+    t
+}
+
+/// Table 13: linear vs cosine router, both model sizes.
+pub fn table13(steps: usize) -> Table {
+    let setup = Setup::default();
+    let ds = setup.dataset();
+    let mut t = Table::new(
+        "Table 13: linear vs cosine router (E = 8, k = 1, f = 1.25)",
+        &["Model", "Router", "Pretrain acc@1", "5-shot acc@1"],
+    );
+    for size in [ModelSize::S, ModelSize::B] {
+        let name = match size {
+            ModelSize::S => "SwinLite-MoE-S",
+            ModelSize::B => "SwinLite-MoE-B",
+        };
+        for router in [RouterKind::Linear, RouterKind::Cosine] {
+            let moe = MoeConfig::new(0, 0, 8).with_capacity_factor(1.25).with_router(router);
+            let (model, _) = setup.pretrain(size, Some(moe), steps);
+            t.row(&[
+                name.to_string(),
+                format!("{router:?}"),
+                fmt_pct(evaluate(&model, &ds, 8, 99)),
+                fmt_pct(few_shot_linear_eval(&model, &ds, 5, 100)),
+            ]);
+        }
+    }
+    t
+}
+
+/// Figure 25: accuracy vs inference capacity factor, with and without
+/// batch prioritized routing (trained at f = 1.25).
+pub fn fig25(steps: usize) -> Table {
+    let setup = Setup::default();
+    let ds = setup.dataset();
+    let mut t = Table::new(
+        "Figure 25: accuracy vs inference capacity factor, BPR on/off",
+        &["infer-f", "w/ BPR", "w/o BPR"],
+    );
+    let train_one = |bpr: bool| {
+        let moe = MoeConfig::new(0, 0, 8).with_capacity_factor(1.25).with_bpr(bpr);
+        setup.pretrain(ModelSize::B, Some(moe), steps).0
+    };
+    let mut with_bpr = train_one(true);
+    let mut without = train_one(false);
+    for infer_f in [0.1, 0.25, 0.5, 0.75, 1.0, 1.25] {
+        with_bpr.set_capacity_factor(infer_f);
+        without.set_capacity_factor(infer_f);
+        t.row(&[
+            format!("{infer_f}"),
+            fmt_pct(evaluate(&with_bpr, &ds, 6, 99)),
+            fmt_pct(evaluate(&without, &ds, 6, 99)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const QUICK: usize = 60;
+
+    #[test]
+    fn fig1_produces_traces_with_dynamic_range() {
+        let tables = fig1(QUICK);
+        assert_eq!(tables.len(), 2);
+        let text = tables[0].render();
+        assert!(text.contains('x'), "dynamic range rows missing:\n{text}");
+    }
+
+    #[test]
+    fn table9_moe_is_at_least_competitive() {
+        let t = table9(200);
+        let text = t.render();
+        let accs: Vec<f64> = text
+            .split_whitespace()
+            .filter(|w| w.ends_with('%'))
+            .map(|w| w.trim_end_matches('%').parse().unwrap())
+            .collect();
+        assert_eq!(accs.len(), 6);
+        // MoE pretrain accuracy (row 2, col 1) ≥ dense − small noise.
+        assert!(accs[3] >= accs[0] - 8.0, "MoE pretrain {} vs dense {}", accs[3], accs[0]);
+    }
+
+    #[test]
+    fn table12_accuracy_degrades_gracefully_with_infer_f() {
+        let t = table12(150);
+        let text = t.render();
+        let accs: Vec<f64> = text
+            .lines()
+            .filter(|l| l.trim_start().starts_with('1') || l.trim_start().starts_with('2'))
+            .filter_map(|l| {
+                l.split_whitespace().last().map(|w| w.trim_end_matches('%').parse().unwrap())
+            })
+            .collect();
+        // f=1.25 accuracy ≥ f=0.5 accuracy for k=1 (dropping tokens
+        // can't help).
+        if accs.len() >= 4 {
+            assert!(accs[3] + 10.0 >= accs[0], "acc at f=1.25 {} vs f=0.5 {}", accs[3], accs[0]);
+        }
+    }
+
+    #[test]
+    fn fig25_bpr_wins_at_reduced_capacity() {
+        // Quick budget: just assert the table renders with the right
+        // shape hooks; the full-budget run (repro_fig25) shows BPR
+        // dominating for f in [0.25, 1.0].
+        let t = fig25(150);
+        assert_eq!(t.len(), 6);
+        let text = t.render();
+        let accs: Vec<f64> = text
+            .split_whitespace()
+            .filter(|w| w.ends_with('%'))
+            .map(|w| w.trim_end_matches('%').parse().unwrap())
+            .collect();
+        assert_eq!(accs.len(), 12);
+        // Accuracy at full capacity must beat accuracy at f = 0.1 for
+        // both variants (the MoE layers are load-bearing).
+        let (bpr_low, bpr_full) = (accs[0], accs[8]);
+        let (plain_low, plain_full) = (accs[1], accs[9]);
+        assert!(bpr_full > bpr_low, "w/ BPR: {bpr_low} !< {bpr_full}");
+        assert!(plain_full > plain_low, "w/o BPR: {plain_low} !< {plain_full}");
+    }
+}

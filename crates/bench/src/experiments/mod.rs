@@ -1,0 +1,11 @@
+//! One module per group of paper experiments. Every public function
+//! regenerates the data behind one table or figure and returns
+//! printable [`crate::Table`]s.
+
+pub mod ablations;
+pub mod accuracy;
+pub mod kernels;
+pub mod layer_scaling;
+pub mod micro;
+pub mod parallelism;
+pub mod pipelining;

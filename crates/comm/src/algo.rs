@@ -1,0 +1,71 @@
+use std::fmt;
+
+use tutel_simgpu::Topology;
+
+use crate::{linear_all_to_all, two_dh_all_to_all, RankBuffers};
+
+/// All-to-All algorithm choice.
+///
+/// Figure 5 of the paper shows neither algorithm dominates: linear wins
+/// at large message sizes / small scale, 2DH at small sizes / large
+/// scale — so adaptive pipelining searches over this enum jointly with
+/// the pipelining degree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AllToAllAlgo {
+    /// Point-to-point loop (Algorithm 1) — NCCL's default.
+    #[default]
+    Linear,
+    /// Two-Dimensional Hierarchical (Algorithm 3).
+    TwoDh,
+}
+
+impl AllToAllAlgo {
+    /// All algorithms, in search order.
+    pub const ALL: [AllToAllAlgo; 2] = [AllToAllAlgo::Linear, AllToAllAlgo::TwoDh];
+
+    /// Runs the functional exchange with this algorithm.
+    ///
+    /// Both algorithms produce identical outputs; the choice matters
+    /// only for (simulated) performance.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the preconditions of the chosen algorithm (see
+    /// [`linear_all_to_all`] / [`two_dh_all_to_all`]).
+    pub fn run(&self, bufs: &RankBuffers, topology: &Topology) -> RankBuffers {
+        match self {
+            AllToAllAlgo::Linear => linear_all_to_all(bufs),
+            AllToAllAlgo::TwoDh => two_dh_all_to_all(bufs, topology),
+        }
+    }
+}
+
+impl fmt::Display for AllToAllAlgo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllToAllAlgo::Linear => write!(f, "Linear"),
+            AllToAllAlgo::TwoDh => write!(f, "2DH"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_algorithms_agree() {
+        let topo = Topology::new(2, 2);
+        let bufs: RankBuffers =
+            (0..4).map(|r| (0..8).map(|i| (r * 100 + i) as f32).collect()).collect();
+        let a = AllToAllAlgo::Linear.run(&bufs, &topo);
+        let b = AllToAllAlgo::TwoDh.run(&bufs, &topo);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AllToAllAlgo::Linear.to_string(), "Linear");
+        assert_eq!(AllToAllAlgo::TwoDh.to_string(), "2DH");
+    }
+}

@@ -1,0 +1,208 @@
+//! Flexible All-to-All (Section 3.1 of the paper).
+//!
+//! A plain All-to-All used for MoE dispatch transforms the layout
+//! `(E, ΔC, M) → (W, ΔE, ΔC, M)`: the leading dimensions depend on the
+//! world size `W`, and at large `W` the per-batch row count of the
+//! following expert GEMM collapses (Figure 7). Flexible All-to-All
+//! takes two extra arguments — the dimension to *concatenate* received
+//! chunks along and the dimension to *split* the input along — so that
+//! dispatch can produce `(ΔE, C, M)` whose shape is independent of `W`.
+
+use tutel_simgpu::Topology;
+use tutel_tensor::{Tensor, TensorError};
+
+use crate::{AllToAllAlgo, RankBuffers};
+
+/// Functional Flexible All-to-All over per-rank tensors.
+///
+/// Splits each rank's tensor into `W` equal parts along `split_dim`,
+/// exchanges part `d` of rank `s` to rank `d` (via `algo`), and
+/// concatenates the parts received by each rank along `concat_dim` in
+/// source-rank order.
+///
+/// For MoE dispatch call with `(concat_dim, split_dim) = (1, 0)`:
+/// `(E, ΔC, M) → (ΔE, C, M)`. For combine use `(0, 1)`:
+/// `(ΔE, C, M) → (E, ΔC, M)` (Table 3 of the paper).
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] if shapes are ragged across ranks, the
+/// split dimension is not divisible by `W`, or the dimension indices
+/// are out of range.
+///
+/// # Example
+///
+/// ```
+/// use tutel_comm::{flex::flex_all_to_all, AllToAllAlgo};
+/// use tutel_simgpu::Topology;
+/// use tutel_tensor::Tensor;
+///
+/// // W = 2, E = 2 experts, ΔC = 2, M = 1.
+/// let topo = Topology::single_node(2);
+/// let r0 = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2, 1])?;
+/// let r1 = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2, 1])?;
+/// let out = flex_all_to_all(&[r0, r1], 1, 0, AllToAllAlgo::Linear, &topo)?;
+/// // Rank 0 now owns expert 0 with capacity gathered from both ranks.
+/// assert_eq!(out[0].dims(), &[1, 4, 1]);
+/// assert_eq!(out[0].as_slice(), &[1.0, 2.0, 5.0, 6.0]);
+/// # Ok::<(), tutel_tensor::TensorError>(())
+/// ```
+pub fn flex_all_to_all(
+    inputs: &[Tensor],
+    concat_dim: usize,
+    split_dim: usize,
+    algo: AllToAllAlgo,
+    topology: &Topology,
+) -> Result<Vec<Tensor>, TensorError> {
+    let w = topology.world_size();
+    if inputs.len() != w {
+        return Err(TensorError::InvalidArgument(format!(
+            "{} input tensors for world size {w}",
+            inputs.len()
+        )));
+    }
+    let first_dims = inputs[0].dims().to_vec();
+    for t in inputs {
+        if t.dims() != first_dims.as_slice() {
+            return Err(TensorError::ShapeMismatch {
+                left: first_dims.clone(),
+                right: t.dims().to_vec(),
+                op: "flex_all_to_all",
+            });
+        }
+    }
+
+    // Split each rank's tensor and flatten the parts into one wire
+    // buffer per rank (part d occupies chunk d).
+    let mut part_dims: Vec<usize> = Vec::new();
+    let mut wire: RankBuffers = Vec::with_capacity(w);
+    for t in inputs {
+        let parts = t.split_axis(split_dim, w)?;
+        part_dims = parts[0].dims().to_vec();
+        let mut buf = Vec::with_capacity(t.len());
+        for p in parts {
+            buf.extend_from_slice(p.as_slice());
+        }
+        wire.push(buf);
+    }
+
+    // The exchange itself (both algorithms are exchange-equivalent).
+    let exchanged = algo.run(&wire, topology);
+
+    // Unflatten each received chunk and concatenate along concat_dim.
+    let chunk_len: usize = part_dims.iter().product();
+    let mut out = Vec::with_capacity(w);
+    for buf in exchanged {
+        let parts: Vec<Tensor> = buf
+            .chunks(chunk_len)
+            .map(|c| Tensor::from_vec(c.to_vec(), &part_dims))
+            .collect::<Result<_, _>>()?;
+        out.push(Tensor::concat_axis(&parts, concat_dim)?);
+    }
+    Ok(out)
+}
+
+/// The rigid layout a plain All-to-All produces for dispatch:
+/// `(E, ΔC, M) → (W·ΔE, ΔC, M)` (i.e. `(W, ΔE, ΔC, M)` flattened).
+///
+/// This is what Fairseq/DeepSpeed feed their expert GEMM; provided so
+/// benchmarks can compare expert-compute efficiency under both layouts.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] under the same conditions as
+/// [`flex_all_to_all`].
+pub fn rigid_all_to_all(
+    inputs: &[Tensor],
+    algo: AllToAllAlgo,
+    topology: &Topology,
+) -> Result<Vec<Tensor>, TensorError> {
+    flex_all_to_all(inputs, 0, 0, algo, topology)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds rank tensors (E, dc, m) where element value encodes
+    /// (rank, expert, cap, m) uniquely.
+    fn inputs(w: usize, e: usize, dc: usize, m: usize) -> Vec<Tensor> {
+        (0..w)
+            .map(|r| {
+                let data: Vec<f32> =
+                    (0..e * dc * m).map(|i| (r * e * dc * m + i) as f32).collect();
+                Tensor::from_vec(data, &[e, dc, m]).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dispatch_layout_is_scale_independent() {
+        let topo = Topology::new(2, 2);
+        let (e, dc, m) = (4, 3, 2);
+        let out = flex_all_to_all(&inputs(4, e, dc, m), 1, 0, AllToAllAlgo::Linear, &topo).unwrap();
+        // ΔE = E/W = 1, C = W·ΔC = 12.
+        assert_eq!(out[0].dims(), &[1, 12, 2]);
+    }
+
+    #[test]
+    fn dispatch_routes_expert_slabs_to_owners() {
+        let topo = Topology::single_node(2);
+        let (e, dc, m) = (2, 2, 1);
+        let ins = inputs(2, e, dc, m);
+        let out = flex_all_to_all(&ins, 1, 0, AllToAllAlgo::Linear, &topo).unwrap();
+        // Rank 1 owns expert 1; capacity slots from rank 0 then rank 1.
+        let expect: Vec<f32> = vec![
+            ins[0].at(&[1, 0, 0]),
+            ins[0].at(&[1, 1, 0]),
+            ins[1].at(&[1, 0, 0]),
+            ins[1].at(&[1, 1, 0]),
+        ];
+        assert_eq!(out[1].as_slice(), expect.as_slice());
+    }
+
+    #[test]
+    fn combine_inverts_dispatch() {
+        let topo = Topology::new(2, 2);
+        let ins = inputs(4, 4, 2, 3);
+        let dispatched =
+            flex_all_to_all(&ins, 1, 0, AllToAllAlgo::TwoDh, &topo).unwrap();
+        let combined =
+            flex_all_to_all(&dispatched, 0, 1, AllToAllAlgo::TwoDh, &topo).unwrap();
+        for (orig, back) in ins.iter().zip(&combined) {
+            assert_eq!(orig, back);
+        }
+    }
+
+    #[test]
+    fn linear_and_two_dh_produce_identical_flex_output() {
+        let topo = Topology::new(2, 4);
+        let ins = inputs(8, 8, 2, 2);
+        let a = flex_all_to_all(&ins, 1, 0, AllToAllAlgo::Linear, &topo).unwrap();
+        let b = flex_all_to_all(&ins, 1, 0, AllToAllAlgo::TwoDh, &topo).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rigid_layout_keeps_world_dim() {
+        let topo = Topology::single_node(4);
+        let out = rigid_all_to_all(&inputs(4, 4, 3, 2), AllToAllAlgo::Linear, &topo).unwrap();
+        // (W·ΔE, ΔC, M) = (4·1, 3, 2).
+        assert_eq!(out[0].dims(), &[4, 3, 2]);
+    }
+
+    #[test]
+    fn rejects_wrong_rank_count() {
+        let topo = Topology::single_node(4);
+        let err = flex_all_to_all(&inputs(2, 4, 1, 1), 1, 0, AllToAllAlgo::Linear, &topo);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn rejects_indivisible_split_dim() {
+        let topo = Topology::single_node(4);
+        // E = 3 not divisible by W = 4.
+        let err = flex_all_to_all(&inputs(4, 3, 1, 1), 1, 0, AllToAllAlgo::Linear, &topo);
+        assert!(err.is_err());
+    }
+}

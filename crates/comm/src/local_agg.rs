@@ -1,0 +1,110 @@
+//! The naïve local-aggregation All-to-All strawman (Figure 15, top).
+//!
+//! Like 2DH it aggregates intra-node before crossing the fabric, but it
+//! skips the stride-alignment phases: the intra-node exchange therefore
+//! moves `n/m` *non-contiguous* chunk pairs per peer, which is exactly
+//! the `O(n/m)` scattered-memory-access pattern whose cost Section 3.4
+//! measures growing from ~600 µs (n = 8) to ~5 ms (n = 2048).
+
+use tutel_simgpu::Topology;
+
+use crate::RankBuffers;
+
+/// Functional naïve local-aggregation All-to-All.
+///
+/// Semantically identical to [`crate::linear_all_to_all`] — the difference is
+/// purely in the (simulated) cost of its access pattern, priced by
+/// [`crate::CollectiveTiming::naive_local_agg_time`].
+///
+/// Phase 1: within each node, GPUs exchange chunks so that each GPU
+/// holds, for every one of the `n` global destinations it is responsible
+/// for relaying, the chunks from all `m` local peers (performed here as
+/// `n/m` successive intra-node exchanges of non-contiguous chunks).
+/// Phase 2: inter-node exchange of the aggregated blocks.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`crate::two_dh_all_to_all`].
+pub fn naive_local_agg_all_to_all(bufs: &RankBuffers, topology: &Topology) -> RankBuffers {
+    let n = topology.world_size();
+    let m = topology.gpus_per_node();
+    let nnodes = topology.nnodes();
+    assert_eq!(bufs.len(), n, "buffer count must equal world size");
+    let len = bufs[0].len();
+    assert!(bufs.iter().all(|b| b.len() == len), "all ranks must hold equally sized buffers");
+    assert!(len.is_multiple_of(n), "buffer of {len} elements not divisible into {n} chunks");
+    let chunk = len / n;
+
+    // Phase 1: rank (node, l) aggregates, for each round r in 0..n/m,
+    // the chunks destined for global GPU g = r*m + l from all m local
+    // peers. Each round exchanges non-contiguous chunks (positions
+    // g, g+m, g+2m, ... in the original layout) — the scattered access.
+    let rounds = n / m;
+    let mut agg: RankBuffers = vec![vec![0.0; len]; n];
+    for node in 0..nnodes {
+        for l in 0..m {
+            let me = node * m + l;
+            for r in 0..rounds {
+                let dst_global = r * m + l;
+                for (src_local, peer) in topology.ranks_on_node(node).enumerate() {
+                    // Chunk for dst_global from peer lands in round r's
+                    // slot for source src_local.
+                    let slot = r * m + src_local;
+                    agg[me][slot * chunk..(slot + 1) * chunk]
+                        .copy_from_slice(&bufs[peer][dst_global * chunk..(dst_global + 1) * chunk]);
+                }
+            }
+        }
+    }
+
+    // Phase 2: inter-node exchange among same-local-rank peers. After
+    // phase 1, rank (node, l) holds one aggregated block per round r;
+    // that block's destination GPU is r·m + l, which lives on node r —
+    // so round r's block ships to node r, local rank l.
+    let mut out: RankBuffers = vec![vec![0.0; len]; n];
+    let block = m * chunk;
+    for src_node in 0..nnodes {
+        for l in 0..m {
+            let src = src_node * m + l;
+            for r in 0..rounds {
+                let dst = r * m + l;
+                out[dst][src_node * block..(src_node + 1) * block]
+                    .copy_from_slice(&agg[src][r * block..(r + 1) * block]);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear_all_to_all as reference;
+
+    fn labeled(n: usize, chunk: usize) -> RankBuffers {
+        (0..n)
+            .map(|s| (0..n * chunk).map(|i| (s * n * chunk + i) as f32).collect())
+            .collect()
+    }
+
+    #[test]
+    fn matches_linear_two_nodes_of_four() {
+        let topo = Topology::new(2, 4);
+        let bufs = labeled(8, 3);
+        assert_eq!(naive_local_agg_all_to_all(&bufs, &topo), reference(&bufs));
+    }
+
+    #[test]
+    fn matches_linear_four_nodes_of_two() {
+        let topo = Topology::new(4, 2);
+        let bufs = labeled(8, 2);
+        assert_eq!(naive_local_agg_all_to_all(&bufs, &topo), reference(&bufs));
+    }
+
+    #[test]
+    fn matches_linear_single_node() {
+        let topo = Topology::single_node(4);
+        let bufs = labeled(4, 2);
+        assert_eq!(naive_local_agg_all_to_all(&bufs, &topo), reference(&bufs));
+    }
+}

@@ -1,0 +1,128 @@
+//! Functional ring-style collectives beyond All-to-All.
+//!
+//! P1 (Expert + Data parallelism) needs all-gather to materialize its
+//! ZeRO-sharded expert parameters and reduce-scatter/all-reduce for
+//! gradient synchronization; these are their functional equivalents.
+
+use crate::RankBuffers;
+
+/// All-gather: every rank receives the concatenation of all ranks'
+/// buffers in rank order.
+///
+/// # Panics
+///
+/// Panics if `bufs` is empty or ragged.
+pub fn all_gather(bufs: &RankBuffers) -> RankBuffers {
+    let n = bufs.len();
+    assert!(n > 0, "all-gather over zero ranks");
+    let len = bufs[0].len();
+    assert!(bufs.iter().all(|b| b.len() == len), "all ranks must hold equally sized buffers");
+    let mut gathered = Vec::with_capacity(n * len);
+    for b in bufs {
+        gathered.extend_from_slice(b);
+    }
+    vec![gathered; n]
+}
+
+/// All-reduce (sum): every rank receives the elementwise sum of all
+/// ranks' buffers.
+///
+/// # Panics
+///
+/// Panics if `bufs` is empty or ragged.
+pub fn all_reduce_sum(bufs: &RankBuffers) -> RankBuffers {
+    let n = bufs.len();
+    assert!(n > 0, "all-reduce over zero ranks");
+    let len = bufs[0].len();
+    assert!(bufs.iter().all(|b| b.len() == len), "all ranks must hold equally sized buffers");
+    let mut sum = vec![0.0f32; len];
+    for b in bufs {
+        for (s, v) in sum.iter_mut().zip(b) {
+            *s += v;
+        }
+    }
+    vec![sum; n]
+}
+
+/// Reduce-scatter (sum): rank `r` receives the `r`-th shard of the
+/// elementwise sum.
+///
+/// # Panics
+///
+/// Panics if buffers are ragged or not divisible into `n` shards.
+pub fn reduce_scatter_sum(bufs: &RankBuffers) -> RankBuffers {
+    let n = bufs.len();
+    assert!(n > 0, "reduce-scatter over zero ranks");
+    let len = bufs[0].len();
+    assert!(bufs.iter().all(|b| b.len() == len), "all ranks must hold equally sized buffers");
+    assert!(len.is_multiple_of(n), "buffer of {len} elements not divisible into {n} shards");
+    let shard = len / n;
+    let reduced = &all_reduce_sum(bufs)[0];
+    (0..n).map(|r| reduced[r * shard..(r + 1) * shard].to_vec()).collect()
+}
+
+/// Broadcast from `root`: every rank receives `bufs[root]`.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range.
+pub fn broadcast(bufs: &RankBuffers, root: usize) -> RankBuffers {
+    assert!(root < bufs.len(), "broadcast root {root} out of range");
+    vec![bufs[root].clone(); bufs.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bufs() -> RankBuffers {
+        vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]
+    }
+
+    #[test]
+    fn all_gather_concatenates_in_rank_order() {
+        let out = all_gather(&bufs());
+        for r in out {
+            assert_eq!(r, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        }
+    }
+
+    #[test]
+    fn all_reduce_sums() {
+        let out = all_reduce_sum(&bufs());
+        for r in out {
+            assert_eq!(r, vec![9.0, 12.0]);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_splits_the_sum() {
+        let bufs = vec![vec![1.0, 2.0, 3.0], vec![10.0, 20.0, 30.0], vec![100.0, 200.0, 300.0]];
+        let out = reduce_scatter_sum(&bufs);
+        assert_eq!(out[0], vec![111.0]);
+        assert_eq!(out[1], vec![222.0]);
+        assert_eq!(out[2], vec![333.0]);
+    }
+
+    #[test]
+    fn reduce_scatter_then_all_gather_equals_all_reduce() {
+        let bufs = vec![vec![1.0, 2.0, 3.0], vec![10.0, 20.0, 30.0], vec![100.0, 200.0, 300.0]];
+        let via_rs = all_gather(&reduce_scatter_sum(&bufs));
+        let via_ar = all_reduce_sum(&bufs);
+        assert_eq!(via_rs, via_ar);
+    }
+
+    #[test]
+    fn broadcast_replicates_root() {
+        let out = broadcast(&bufs(), 1);
+        for r in out {
+            assert_eq!(r, vec![3.0, 4.0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn broadcast_checks_root() {
+        broadcast(&bufs(), 3);
+    }
+}

@@ -1,0 +1,96 @@
+//! The `strideMemcpy` primitive of Algorithm 3.
+//!
+//! 2DH All-to-All avoids the naïve algorithm's non-contiguous memory
+//! access by *aligning* chunks that share a destination before each
+//! exchange phase. `strideMemcpy` is that alignment: viewing the buffer
+//! as `row × col` chunks, chunk `i` moves to position
+//! `(i % row) · col + i / row` — a chunk-granular matrix transpose.
+
+/// Chunk-granular transpose: reorders `input` (consisting of
+/// `row × col` chunks of `chunk` elements) so that chunk `i` lands at
+/// position `(i % row) * col + i / row`.
+///
+/// With `row = ngpus_per_node`, `col = nnodes` this groups the chunks
+/// destined for the same *local* GPU together (phase 1 of Figure 15);
+/// with the arguments swapped it groups chunks for the same *remote
+/// node* together (phase 3).
+///
+/// # Panics
+///
+/// Panics if `input.len() != row * col * chunk`.
+///
+/// # Example
+///
+/// ```
+/// use tutel_comm::stride_memcpy;
+///
+/// // 8 chunks of 1 element on GPU0 of a 2-node × 4-GPU cluster:
+/// let input: Vec<f32> = (0..8).map(|x| x as f32).collect();
+/// let out = stride_memcpy(&input, 1, 4, 2);
+/// // Figure 15 phase 1: 00 04 01 05 02 06 03 07.
+/// assert_eq!(out, vec![0.0, 4.0, 1.0, 5.0, 2.0, 6.0, 3.0, 7.0]);
+/// ```
+pub fn stride_memcpy(input: &[f32], chunk: usize, row: usize, col: usize) -> Vec<f32> {
+    assert_eq!(
+        input.len(),
+        row * col * chunk,
+        "stride_memcpy: buffer of {} elements is not {row} x {col} chunks of {chunk}",
+        input.len()
+    );
+    let mut output = vec![0.0f32; input.len()];
+    for i in 0..row * col {
+        let j = (i % row) * col + i / row;
+        output[j * chunk..(j + 1) * chunk].copy_from_slice(&input[i * chunk..(i + 1) * chunk]);
+    }
+    output
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Labels chunks like Figure 15: value = src_gpu * 10 + dst_gpu.
+    fn gpu_row(src: usize, n: usize) -> Vec<f32> {
+        (0..n).map(|d| (src * 10 + d) as f32).collect()
+    }
+
+    #[test]
+    fn figure15_phase1_layout() {
+        // 2 nodes × 4 GPUs; GPU2's initial row is 20..27.
+        let out = stride_memcpy(&gpu_row(2, 8), 1, 4, 2);
+        let expect: Vec<f32> = [20, 24, 21, 25, 22, 26, 23, 27].iter().map(|&x| x as f32).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn figure15_phase3_layout() {
+        // After phase 2, GPU0 holds 00 04 10 14 20 24 30 34; phase 3
+        // swaps row/col and yields 00 10 20 30 04 14 24 34.
+        let phase2: Vec<f32> = [0, 4, 10, 14, 20, 24, 30, 34].iter().map(|&x| x as f32).collect();
+        let out = stride_memcpy(&phase2, 1, 2, 4);
+        let expect: Vec<f32> = [0, 10, 20, 30, 4, 14, 24, 34].iter().map(|&x| x as f32).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let input: Vec<f32> = (0..24).map(|x| x as f32).collect();
+        let once = stride_memcpy(&input, 2, 3, 4);
+        let twice = stride_memcpy(&once, 2, 4, 3);
+        assert_eq!(twice, input);
+    }
+
+    #[test]
+    fn chunk_contents_move_atomically() {
+        let input: Vec<f32> = (0..12).map(|x| x as f32).collect();
+        let out = stride_memcpy(&input, 3, 2, 2);
+        // Chunk 1 (values 3,4,5) moves to position (1%2)*2 + 0 = 2.
+        assert_eq!(&out[6..9], &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride_memcpy")]
+    fn rejects_mismatched_buffer() {
+        stride_memcpy(&[0.0; 7], 1, 4, 2);
+    }
+}

@@ -1,0 +1,142 @@
+//! Two-Dimensional Hierarchical (2DH) All-to-All — Algorithm 3 and
+//! Figure 15 of the paper.
+//!
+//! The linear algorithm sends `n − m` tiny `S/n` messages per GPU over
+//! InfiniBand; 2DH first aggregates, inside each node, all chunks that
+//! share a remote destination, so only `nnodes − 1` messages of size
+//! `S·m/n` cross the fabric. The aggregation is kept cheap by aligning
+//! chunks with contiguous stride copies before each exchange.
+
+use tutel_simgpu::Topology;
+
+use crate::{stride_memcpy, RankBuffers};
+
+/// Functional 2DH All-to-All over `topology`.
+///
+/// Produces exactly the same exchange as [`crate::linear_all_to_all`] (a unit
+/// test and a property test assert this), via the four phases of
+/// Figure 15:
+///
+/// 1. stride-align chunks sharing a local destination GPU,
+/// 2. intra-node All-to-All of `nnodes·chunk` blocks,
+/// 3. stride-align chunks sharing a remote destination node,
+/// 4. inter-node All-to-All of `m·chunk` blocks.
+///
+/// # Panics
+///
+/// Panics if the number of buffers differs from the topology's world
+/// size, buffers are ragged, or not divisible into `n` chunks.
+///
+/// # Example
+///
+/// ```
+/// use tutel_comm::{linear_all_to_all, two_dh_all_to_all};
+/// use tutel_simgpu::Topology;
+///
+/// let topo = Topology::new(2, 2);
+/// let bufs: Vec<Vec<f32>> = (0..4).map(|r| (0..8).map(|i| (r * 8 + i) as f32).collect()).collect();
+/// assert_eq!(two_dh_all_to_all(&bufs, &topo), linear_all_to_all(&bufs));
+/// ```
+#[allow(clippy::needless_range_loop)]
+pub fn two_dh_all_to_all(bufs: &RankBuffers, topology: &Topology) -> RankBuffers {
+    let n = topology.world_size();
+    let m = topology.gpus_per_node();
+    let nnodes = topology.nnodes();
+    assert_eq!(bufs.len(), n, "buffer count must equal world size");
+    let len = bufs[0].len();
+    assert!(bufs.iter().all(|b| b.len() == len), "all ranks must hold equally sized buffers");
+    assert!(len.is_multiple_of(n), "buffer of {len} elements not divisible into {n} chunks");
+    let chunk = len / n;
+
+    // Phase 1: align chunks sharing the same local destination GPU.
+    let phase1: RankBuffers = bufs.iter().map(|b| stride_memcpy(b, chunk, m, nnodes)).collect();
+
+    // Phase 2: intra-node All-to-All of blocks of nnodes·chunk elements.
+    let mut phase2: RankBuffers = vec![vec![0.0; len]; n];
+    let block = nnodes * chunk;
+    for node in 0..nnodes {
+        for src_local in 0..m {
+            let src = node * m + src_local;
+            for dst_local in 0..m {
+                let dst = node * m + dst_local;
+                // Block dst_local of src goes to block src_local of dst.
+                phase2[dst][src_local * block..(src_local + 1) * block]
+                    .copy_from_slice(&phase1[src][dst_local * block..(dst_local + 1) * block]);
+            }
+        }
+    }
+
+    // Phase 3: align chunks sharing the same remote destination node.
+    let phase3: RankBuffers = phase2.iter().map(|b| stride_memcpy(b, chunk, nnodes, m)).collect();
+
+    // Phase 4: inter-node All-to-All of blocks of m·chunk elements among
+    // same-local-rank peers.
+    let mut out: RankBuffers = vec![vec![0.0; len]; n];
+    let nblock = m * chunk;
+    for local in 0..m {
+        for src_node in 0..nnodes {
+            let src = src_node * m + local;
+            for dst_node in 0..nnodes {
+                let dst = dst_node * m + local;
+                out[dst][src_node * nblock..(src_node + 1) * nblock]
+                    .copy_from_slice(&phase3[src][dst_node * nblock..(dst_node + 1) * nblock]);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear_all_to_all;
+
+    fn labeled(n: usize, chunk: usize) -> RankBuffers {
+        (0..n)
+            .map(|s| (0..n * chunk).map(|i| (s * n * chunk + i) as f32).collect())
+            .collect()
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn figure15_example_two_nodes_of_four() {
+        let topo = Topology::new(2, 4);
+        // Chunk value = src*10 + dst, one element per chunk.
+        let bufs: RankBuffers =
+            (0..8).map(|s| (0..8).map(|d| (s * 10 + d) as f32).collect()).collect();
+        let out = two_dh_all_to_all(&bufs, &topo);
+        // Final row of GPU d must be [0d, 1d, ..., 7d] (Figure 15).
+        for d in 0..8 {
+            let expect: Vec<f32> = (0..8).map(|s| (s * 10 + d) as f32).collect();
+            assert_eq!(out[d], expect, "GPU {d}");
+        }
+    }
+
+    #[test]
+    fn equivalent_to_linear_multi_chunk() {
+        let topo = Topology::new(2, 4);
+        let bufs = labeled(8, 5);
+        assert_eq!(two_dh_all_to_all(&bufs, &topo), linear_all_to_all(&bufs));
+    }
+
+    #[test]
+    fn equivalent_to_linear_single_node() {
+        let topo = Topology::single_node(4);
+        let bufs = labeled(4, 3);
+        assert_eq!(two_dh_all_to_all(&bufs, &topo), linear_all_to_all(&bufs));
+    }
+
+    #[test]
+    fn equivalent_to_linear_single_gpu_nodes() {
+        // Degenerate: 4 nodes of 1 GPU — everything is inter-node.
+        let topo = Topology::new(4, 1);
+        let bufs = labeled(4, 2);
+        assert_eq!(two_dh_all_to_all(&bufs, &topo), linear_all_to_all(&bufs));
+    }
+
+    #[test]
+    #[should_panic(expected = "world size")]
+    fn rejects_wrong_world_size() {
+        two_dh_all_to_all(&labeled(4, 1), &Topology::new(2, 4));
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests: every All-to-All variant must implement the
+//! same exchange, and Flexible All-to-All must be self-inverse.
+
+use proptest::prelude::*;
+use tutel_comm::{
+    flex::flex_all_to_all, linear_all_to_all, naive_local_agg_all_to_all, two_dh_all_to_all,
+    AllToAllAlgo, RankBuffers,
+};
+use tutel_simgpu::Topology;
+use tutel_tensor::Tensor;
+
+/// Random per-rank buffers for an (nnodes × gpn) topology with `chunk`
+/// elements per destination.
+fn rank_buffers(nnodes: usize, gpn: usize, chunk: usize, seed: u64) -> RankBuffers {
+    let n = nnodes * gpn;
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 1000) as f32 / 10.0
+    };
+    (0..n).map(|_| (0..n * chunk).map(|_| next()).collect()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn two_dh_equals_linear(
+        nnodes in 1usize..5,
+        gpn in 1usize..5,
+        chunk in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let topo = Topology::new(nnodes, gpn);
+        let bufs = rank_buffers(nnodes, gpn, chunk, seed);
+        prop_assert_eq!(two_dh_all_to_all(&bufs, &topo), linear_all_to_all(&bufs));
+    }
+
+    #[test]
+    fn naive_agg_equals_linear(
+        nnodes in 1usize..5,
+        gpn in 1usize..5,
+        chunk in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let topo = Topology::new(nnodes, gpn);
+        let bufs = rank_buffers(nnodes, gpn, chunk, seed);
+        prop_assert_eq!(naive_local_agg_all_to_all(&bufs, &topo), linear_all_to_all(&bufs));
+    }
+
+    #[test]
+    fn linear_all_to_all_is_involutive(
+        n in 1usize..9,
+        chunk in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let bufs = rank_buffers(1, n, chunk, seed);
+        let back = linear_all_to_all(&linear_all_to_all(&bufs));
+        prop_assert_eq!(back, bufs);
+    }
+
+    #[test]
+    fn flex_dispatch_then_combine_roundtrips(
+        nnodes in 1usize..4,
+        gpn in 1usize..4,
+        experts_per_rank in 1usize..3,
+        dc in 1usize..4,
+        m in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let topo = Topology::new(nnodes, gpn);
+        let w = topo.world_size();
+        let e = experts_per_rank * w;
+        let mut sd = seed;
+        let ins: Vec<Tensor> = (0..w).map(|_| {
+            sd = sd.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let data: Vec<f32> = (0..e * dc * m)
+                .map(|i| ((sd.wrapping_add(i as u64) % 997) as f32) / 31.0)
+                .collect();
+            Tensor::from_vec(data, &[e, dc, m]).unwrap()
+        }).collect();
+        let dispatched = flex_all_to_all(&ins, 1, 0, AllToAllAlgo::TwoDh, &topo).unwrap();
+        // Dispatch output shape is W-independent: (ΔE, C, M).
+        prop_assert_eq!(dispatched[0].dims(), &[experts_per_rank, w * dc, m]);
+        let combined = flex_all_to_all(&dispatched, 0, 1, AllToAllAlgo::Linear, &topo).unwrap();
+        prop_assert_eq!(&combined, &ins);
+    }
+
+    #[test]
+    fn exchange_conserves_multiset_of_values(
+        nnodes in 1usize..4,
+        gpn in 1usize..4,
+        chunk in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let topo = Topology::new(nnodes, gpn);
+        let bufs = rank_buffers(nnodes, gpn, chunk, seed);
+        let out = two_dh_all_to_all(&bufs, &topo);
+        let mut before: Vec<u32> = bufs.iter().flatten().map(|v| v.to_bits()).collect();
+        let mut after: Vec<u32> = out.iter().flatten().map(|v| v.to_bits()).collect();
+        before.sort_unstable();
+        after.sort_unstable();
+        prop_assert_eq!(before, after);
+    }
+}

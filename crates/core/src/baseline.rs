@@ -1,0 +1,126 @@
+//! The Fairseq/GShard-style baseline MoE layer: identical computation
+//! logic (Tutel keeps GShard's algorithm, Section 6), implemented with
+//! the *dense* einsum encode/decode of Figure 18a.
+//!
+//! Used for (a) numerical-parity tests against [`crate::MoeLayer`] and
+//! (b) the baseline rows of every speed benchmark.
+
+use tutel_experts::ExpertsBlock;
+use tutel_gate::{aux_loss, route, LinearRouter, Router};
+use tutel_kernels::DenseCombine;
+use tutel_tensor::{Rng, Tensor, TensorError};
+
+use crate::{MoeConfig, MoeOutput};
+
+/// The dense-path baseline layer (inference only — it exists to compare
+/// outputs and costs, not to be trained).
+pub struct FairseqMoeLayer {
+    cfg: MoeConfig,
+    router: LinearRouter,
+    experts: ExpertsBlock,
+}
+
+impl FairseqMoeLayer {
+    /// Creates a baseline layer with its own random initialization.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] for inconsistent configs.
+    pub fn new(cfg: &MoeConfig, rng: &mut Rng) -> Result<Self, TensorError> {
+        if cfg.top_k == 0 || cfg.top_k > cfg.experts {
+            return Err(TensorError::InvalidArgument(format!(
+                "top_k {} out of range for {} experts",
+                cfg.top_k, cfg.experts
+            )));
+        }
+        Ok(FairseqMoeLayer {
+            cfg: *cfg,
+            router: LinearRouter::new(cfg.model_dim, cfg.experts, rng),
+            experts: ExpertsBlock::new(cfg.experts, cfg.model_dim, cfg.hidden_dim, rng),
+        })
+    }
+
+    /// Builds a baseline that shares parameters with a Tutel layer
+    /// created from the *same seed* — both constructors draw the router
+    /// first, then the experts, so seeding an `Rng` identically yields
+    /// bit-identical parameters. (Used by parity tests.)
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] for inconsistent configs.
+    pub fn new_seeded(cfg: &MoeConfig, seed: u64) -> Result<Self, TensorError> {
+        let mut rng = Rng::seed(seed);
+        FairseqMoeLayer::new(cfg, &mut rng)
+    }
+
+    /// Inference forward pass via the dense einsum path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] on shape mismatch.
+    pub fn infer(&self, x: &Tensor) -> Result<MoeOutput, TensorError> {
+        let logits = self.router.logits(x)?;
+        let probs = logits.softmax_last();
+        let routing = route(&probs, &self.cfg.route_config())?;
+        let combine = DenseCombine::new(&routing);
+        let dispatched = combine.encode(x)?;
+        let expert_out = self.experts.infer(&dispatched)?;
+        let output = combine.decode(&expert_out)?;
+        let aux = aux_loss(&probs, &routing)?;
+        Ok(MoeOutput {
+            output,
+            aux_loss: aux,
+            capacity_factor: routing.capacity_factor,
+            needed_factor: routing.needed_factor,
+            survival_rate: routing.survival_rate(),
+        })
+    }
+}
+
+impl std::fmt::Debug for FairseqMoeLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FairseqMoeLayer")
+            .field("experts", &self.cfg.experts)
+            .field("top_k", &self.cfg.top_k)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MoeLayer;
+
+    #[test]
+    fn fairseq_and_tutel_layers_are_numerically_equivalent() {
+        // Same seed → same parameters → outputs must match to fp noise:
+        // Tutel keeps GShard's computation logic exactly (Section 6).
+        for (k, seed) in [(1usize, 11u64), (2, 12), (3, 13)] {
+            let cfg = MoeConfig::new(8, 16, 4).with_top_k(k);
+            let baseline = FairseqMoeLayer::new_seeded(&cfg, seed).unwrap();
+            let mut rng = Rng::seed(seed);
+            let tutel = MoeLayer::new(&cfg, &mut rng).unwrap();
+            let x = rng.normal_tensor(&[32, 8], 0.0, 1.0);
+            let a = baseline.infer(&x).unwrap();
+            let b = tutel.infer(&x).unwrap();
+            let diff = a.output.sub(&b.output).unwrap().max_abs();
+            assert!(diff < 1e-4, "k={k}: max diff {diff}");
+            assert!((a.aux_loss - b.aux_loss).abs() < 1e-4);
+            assert_eq!(a.needed_factor, b.needed_factor);
+        }
+    }
+
+    #[test]
+    fn equivalence_holds_under_capacity_pressure() {
+        let cfg = MoeConfig::new(8, 16, 4).with_capacity_factor(0.5);
+        let baseline = FairseqMoeLayer::new_seeded(&cfg, 21).unwrap();
+        let mut rng = Rng::seed(21);
+        let tutel = MoeLayer::new(&cfg, &mut rng).unwrap();
+        let x = rng.normal_tensor(&[64, 8], 0.0, 1.0);
+        let a = baseline.infer(&x).unwrap();
+        let b = tutel.infer(&x).unwrap();
+        assert!(a.survival_rate < 1.0, "fixture must actually drop tokens");
+        let diff = a.output.sub(&b.output).unwrap().max_abs();
+        assert!(diff < 1e-4, "max diff {diff}");
+    }
+}

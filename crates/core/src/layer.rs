@@ -1,0 +1,517 @@
+//! The Tutel MoE layer: gating → fast encode → experts → fast decode,
+//! fully differentiable.
+//!
+//! This is the *functional* layer used for end-to-end training and for
+//! parity tests against the Fairseq baseline. Distribution across
+//! simulated GPUs changes only the layer's (simulated) execution time —
+//! priced by [`crate::adaptive`] — never its math, which is the whole
+//! point of Tutel's "optimizations are transparent to model
+//! developers".
+
+use tutel_experts::ExpertsBlock;
+use tutel_gate::{aux_loss, aux_loss_grad, route, CosineRouter, HashRouter, LinearRouter, Router, Routing};
+use tutel_kernels::{fast_decode, fast_decode_backward, fast_encode, fast_encode_backward};
+use tutel_tensor::{Rng, Tensor, TensorError};
+
+use crate::checkpoint::{RestoreError, StateDict};
+use crate::{MoeConfig, RouterKind};
+
+/// Output of one MoE layer forward pass.
+#[derive(Debug, Clone)]
+pub struct MoeOutput {
+    /// Layer output `(T, M)`.
+    pub output: Tensor,
+    /// Auxiliary load-balancing loss (scalar).
+    pub aux_loss: f32,
+    /// The capacity factor the layer actually used this iteration.
+    pub capacity_factor: f64,
+    /// The minimum factor that would have dropped no token — the
+    /// Figure 1 telemetry.
+    pub needed_factor: f64,
+    /// Fraction of (token, expert) assignments that survived the
+    /// capacity clamp.
+    pub survival_rate: f64,
+}
+
+enum AnyRouter {
+    Linear(LinearRouter),
+    Cosine(CosineRouter),
+    Hash(HashRouter),
+}
+
+impl AnyRouter {
+    fn as_dyn(&self) -> &dyn Router {
+        match self {
+            AnyRouter::Linear(r) => r,
+            AnyRouter::Cosine(r) => r,
+            AnyRouter::Hash(r) => r,
+        }
+    }
+
+    fn as_dyn_mut(&mut self) -> &mut dyn Router {
+        match self {
+            AnyRouter::Linear(r) => r,
+            AnyRouter::Cosine(r) => r,
+            AnyRouter::Hash(r) => r,
+        }
+    }
+}
+
+struct SavedForward {
+    x: Tensor,
+    probs: Tensor,
+    routing: Routing,
+    expert_out: Tensor,
+}
+
+/// The Tutel MoE layer.
+///
+/// See the [crate-level docs](crate) for a quickstart. Supports
+/// per-iteration `top_k` and capacity-factor overrides (top-ANY /
+/// dynamic capacity), freezing (for the Table 10 fine-tuning strategy),
+/// and both training (`forward`/`backward`/`step`) and inference
+/// (`infer`) paths.
+pub struct MoeLayer {
+    cfg: MoeConfig,
+    router: AnyRouter,
+    experts: ExpertsBlock,
+    saved: Option<SavedForward>,
+    frozen: bool,
+}
+
+impl MoeLayer {
+    /// Creates a layer with randomly initialized router and experts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if the config is internally
+    /// inconsistent (e.g. `top_k > experts`).
+    pub fn new(cfg: &MoeConfig, rng: &mut Rng) -> Result<Self, TensorError> {
+        if cfg.top_k == 0 || cfg.top_k > cfg.experts {
+            return Err(TensorError::InvalidArgument(format!(
+                "top_k {} out of range for {} experts",
+                cfg.top_k, cfg.experts
+            )));
+        }
+        let router = match cfg.router {
+            RouterKind::Linear => AnyRouter::Linear(LinearRouter::new(cfg.model_dim, cfg.experts, rng)),
+            RouterKind::Cosine => AnyRouter::Cosine(CosineRouter::new(
+                cfg.model_dim,
+                cfg.cosine_proj_dim.min(cfg.model_dim),
+                cfg.experts,
+                rng,
+            )),
+            RouterKind::Hash => AnyRouter::Hash(HashRouter::new(cfg.experts)),
+        };
+        let experts = ExpertsBlock::new(cfg.experts, cfg.model_dim, cfg.hidden_dim, rng);
+        Ok(MoeLayer { cfg: *cfg, router, experts, saved: None, frozen: false })
+    }
+
+    /// The layer's configuration.
+    pub fn config(&self) -> &MoeConfig {
+        &self.cfg
+    }
+
+    /// Changes `top_k` for subsequent iterations (dynamic top-ANY).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if `k` is out of range.
+    pub fn set_top_k(&mut self, k: usize) -> Result<(), TensorError> {
+        if k == 0 || k > self.cfg.experts {
+            return Err(TensorError::InvalidArgument(format!(
+                "top_k {k} out of range for {} experts",
+                self.cfg.experts
+            )));
+        }
+        self.cfg.top_k = k;
+        Ok(())
+    }
+
+    /// Changes the capacity-factor argument (Figure 16 convention) for
+    /// subsequent iterations.
+    pub fn set_capacity_factor(&mut self, x: f64) {
+        self.cfg.capacity_factor = x;
+    }
+
+    /// Freezes or unfreezes the layer's parameters (Table 10's "fixed"
+    /// MoE fine-tuning: gradients still flow *through* the layer, but
+    /// its own parameters stop updating).
+    pub fn set_frozen(&mut self, frozen: bool) {
+        self.frozen = frozen;
+    }
+
+    /// Whether the layer is frozen.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Number of parameters (router excluded for hash).
+    pub fn num_params(&self) -> usize {
+        let router = match &self.router {
+            AnyRouter::Linear(_) => self.cfg.model_dim * self.cfg.experts,
+            AnyRouter::Cosine(_) => {
+                self.cfg.model_dim * self.cfg.cosine_proj_dim.min(self.cfg.model_dim)
+                    + self.cfg.experts * self.cfg.cosine_proj_dim.min(self.cfg.model_dim)
+                    + 1
+            }
+            AnyRouter::Hash(_) => 0,
+        };
+        router + self.experts.num_params()
+    }
+
+    /// Training forward pass over `x (T, M)`, caching for backward.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] on shape mismatch.
+    pub fn forward(&mut self, x: &Tensor) -> Result<MoeOutput, TensorError> {
+        let (out, saved) = self.forward_inner(x)?;
+        self.saved = Some(saved);
+        Ok(out)
+    }
+
+    /// Inference forward pass (no caching), with optional capacity
+    /// override (the Table 12 "infer-f" knob).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] on shape mismatch.
+    pub fn infer(&self, x: &Tensor) -> Result<MoeOutput, TensorError> {
+        self.infer_with(x, self.cfg.capacity_factor)
+    }
+
+    /// Inference with an explicit capacity-factor argument.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] on shape mismatch.
+    pub fn infer_with(&self, x: &Tensor, capacity_factor: f64) -> Result<MoeOutput, TensorError> {
+        let mut cfg = self.cfg;
+        cfg.capacity_factor = capacity_factor;
+        let logits = self.router.as_dyn().logits(x)?;
+        let probs = logits.softmax_last();
+        let routing = route(&probs, &cfg.route_config())?;
+        let dispatched = fast_encode(x, &routing)?;
+        let expert_out = self.experts.infer(&dispatched)?;
+        let output = fast_decode(&expert_out, &routing, x.dims()[0])?;
+        let aux = aux_loss(&probs, &routing)?;
+        Ok(MoeOutput {
+            output,
+            aux_loss: aux,
+            capacity_factor: routing.capacity_factor,
+            needed_factor: routing.needed_factor,
+            survival_rate: routing.survival_rate(),
+        })
+    }
+
+    fn forward_inner(&mut self, x: &Tensor) -> Result<(MoeOutput, SavedForward), TensorError> {
+        let logits = self.router.as_dyn().logits(x)?;
+        let probs = logits.softmax_last();
+        let routing = route(&probs, &self.cfg.route_config())?;
+        let dispatched = fast_encode(x, &routing)?;
+        let expert_out = self.experts.forward(&dispatched)?;
+        let output = fast_decode(&expert_out, &routing, x.dims()[0])?;
+        let aux = aux_loss(&probs, &routing)?;
+        let out = MoeOutput {
+            output,
+            aux_loss: aux,
+            capacity_factor: routing.capacity_factor,
+            needed_factor: routing.needed_factor,
+            survival_rate: routing.survival_rate(),
+        };
+        let saved = SavedForward { x: x.clone(), probs, routing, expert_out };
+        Ok((out, saved))
+    }
+
+    /// Backward pass: consumes the cached forward, accumulates router
+    /// and expert gradients (including the auxiliary-loss term), and
+    /// returns `d_x (T, M)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if no forward is cached or shapes
+    /// mismatch.
+    pub fn backward(&mut self, d_out: &Tensor) -> Result<Tensor, TensorError> {
+        let SavedForward { x, probs, routing, expert_out } = self
+            .saved
+            .take()
+            .ok_or_else(|| TensorError::InvalidArgument("backward without forward".into()))?;
+        let tokens = x.dims()[0];
+
+        // Through decode: gradients for expert outputs and gate values.
+        let (d_expert_out, d_gates) = fast_decode_backward(d_out, &expert_out, &routing)?;
+
+        // Through the experts.
+        let d_dispatched = self.experts.backward(&d_expert_out)?;
+
+        // Through encode back to the layer input.
+        let mut d_x = fast_encode_backward(&d_dispatched, &routing, tokens)?;
+
+        // Gate-value gradients → probability gradients. For k > 1 the
+        // selected gates were normalized (g_i = v_i / Σv); chain
+        // through that. For k = 1 the raw probability was the gate.
+        let mut d_probs = Tensor::zeros(probs.dims());
+        for (t, (experts, dg)) in routing.expert_of.iter().zip(&d_gates).enumerate() {
+            if self.cfg.top_k > 1 {
+                let vals: Vec<f32> = experts.iter().map(|&e| probs.at(&[t, e])).collect();
+                let s: f32 = vals.iter().sum::<f32>().max(1e-9);
+                let gates: Vec<f32> = vals.iter().map(|v| v / s).collect();
+                let dot: f32 = dg.iter().zip(&gates).map(|(d, g)| d * g).sum();
+                for (i, &e) in experts.iter().enumerate() {
+                    d_probs.set(&[t, e], (dg[i] - dot) / s);
+                }
+            } else if let (Some(&e), Some(&d)) = (experts.first(), dg.first()) {
+                d_probs.set(&[t, e], d);
+            }
+        }
+
+        // Auxiliary loss gradient (straight-through on the fractions).
+        let d_aux = aux_loss_grad(&probs, &routing)?;
+        d_probs.axpy(self.cfg.aux_weight, &d_aux)?;
+
+        // Through softmax and the router.
+        let d_logits = probs.softmax_last_backward(&d_probs)?;
+        let d_x_router = self.router.as_dyn_mut().backward(&x, &d_logits)?;
+        d_x.axpy(1.0, &d_x_router)?;
+        Ok(d_x)
+    }
+
+    /// Exports the layer's parameters under `prefix` into `sd`.
+    pub fn export_state(&self, prefix: &str, sd: &mut StateDict) {
+        match &self.router {
+            AnyRouter::Linear(r) => sd.insert(&format!("{prefix}.router.weight"), r.weights().clone()),
+            AnyRouter::Cosine(r) => {
+                let (w, m) = r.weights();
+                sd.insert(&format!("{prefix}.router.proj"), w.clone());
+                sd.insert(&format!("{prefix}.router.embed"), m.clone());
+                sd.insert(
+                    &format!("{prefix}.router.tau"),
+                    Tensor::from_vec(vec![r.tau()], &[1]).expect("scalar tensor"),
+                );
+            }
+            AnyRouter::Hash(_) => {}
+        }
+        let (w1, b1, w2, b2) = self.experts.weights();
+        sd.insert(&format!("{prefix}.experts.w1"), w1.clone());
+        sd.insert(&format!("{prefix}.experts.b1"), b1.clone());
+        sd.insert(&format!("{prefix}.experts.w2"), w2.clone());
+        sd.insert(&format!("{prefix}.experts.b2"), b2.clone());
+    }
+
+    /// Restores parameters exported by [`MoeLayer::export_state`] into
+    /// a layer of the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RestoreError`] for missing or misshapen tensors.
+    pub fn import_state(&mut self, prefix: &str, sd: &StateDict) -> Result<(), RestoreError> {
+        let need = |name: String| {
+            sd.get(&name).cloned().ok_or(RestoreError::Missing(name))
+        };
+        match &mut self.router {
+            AnyRouter::Linear(r) => {
+                let name = format!("{prefix}.router.weight");
+                r.set_weights(need(name.clone())?)
+                    .map_err(|_| RestoreError::ShapeMismatch(name))?;
+            }
+            AnyRouter::Cosine(r) => {
+                let wn = format!("{prefix}.router.proj");
+                let mn = format!("{prefix}.router.embed");
+                let tn = format!("{prefix}.router.tau");
+                let tau = need(tn.clone())?.as_slice().first().copied().unwrap_or(0.07);
+                r.set_weights(need(wn.clone())?, need(mn)?, tau)
+                    .map_err(|_| RestoreError::ShapeMismatch(wn))?;
+            }
+            AnyRouter::Hash(_) => {}
+        }
+        let w1 = need(format!("{prefix}.experts.w1"))?;
+        let b1 = need(format!("{prefix}.experts.b1"))?;
+        let w2 = need(format!("{prefix}.experts.w2"))?;
+        let b2 = need(format!("{prefix}.experts.b2"))?;
+        self.experts
+            .set_weights(w1, b1, w2, b2)
+            .map_err(|_| RestoreError::ShapeMismatch(format!("{prefix}.experts")))?;
+        Ok(())
+    }
+
+    /// Applies accumulated gradients (no-op while frozen) and clears
+    /// them.
+    pub fn step(&mut self, lr: f32) {
+        if self.frozen {
+            self.experts.zero_grad();
+            self.router.as_dyn_mut().step(0.0);
+        } else {
+            self.experts.step(lr);
+            self.router.as_dyn_mut().step(lr);
+        }
+    }
+}
+
+impl std::fmt::Debug for MoeLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MoeLayer")
+            .field("experts", &self.cfg.experts)
+            .field("top_k", &self.cfg.top_k)
+            .field("model_dim", &self.cfg.model_dim)
+            .field("hidden_dim", &self.cfg.hidden_dim)
+            .field("frozen", &self.frozen)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(cfg: &MoeConfig, seed: u64) -> (MoeLayer, Rng) {
+        let mut rng = Rng::seed(seed);
+        let l = MoeLayer::new(cfg, &mut rng).unwrap();
+        (l, rng)
+    }
+
+    #[test]
+    fn forward_shapes_and_telemetry() {
+        let cfg = MoeConfig::new(8, 16, 4).with_top_k(2);
+        let (mut l, mut rng) = layer(&cfg, 1);
+        let x = rng.normal_tensor(&[32, 8], 0.0, 1.0);
+        let out = l.forward(&x).unwrap();
+        assert_eq!(out.output.dims(), &[32, 8]);
+        assert!(out.aux_loss > 0.0);
+        assert!(out.needed_factor >= 0.9);
+        assert!(out.survival_rate > 0.0 && out.survival_rate <= 1.0);
+    }
+
+    #[test]
+    fn train_and_infer_agree_at_same_capacity() {
+        let cfg = MoeConfig::new(8, 16, 4);
+        let (mut l, mut rng) = layer(&cfg, 2);
+        let x = rng.normal_tensor(&[16, 8], 0.0, 1.0);
+        let a = l.forward(&x).unwrap();
+        let b = l.infer(&x).unwrap();
+        assert_eq!(a.output, b.output);
+    }
+
+    #[test]
+    fn infer_capacity_override_changes_drops() {
+        let cfg = MoeConfig::new(8, 16, 4);
+        let (mut l, mut rng) = layer(&cfg, 3);
+        let x = rng.normal_tensor(&[64, 8], 0.0, 1.0);
+        let tight = l.infer_with(&x, 0.5).unwrap();
+        let loose = l.infer_with(&x, 4.0).unwrap();
+        assert!(tight.survival_rate <= loose.survival_rate);
+        let _ = l.forward(&x).unwrap();
+    }
+
+    #[test]
+    fn backward_gradcheck_through_everything() {
+        // End-to-end finite difference through router + softmax +
+        // encode + experts + decode (top-2 to exercise normalization).
+        let cfg = MoeConfig::new(4, 6, 3).with_top_k(2).with_aux_weight(0.0).with_capacity_factor(8.0);
+        let (mut l, mut rng) = layer(&cfg, 4);
+        let x = rng.normal_tensor(&[5, 4], 0.0, 1.0);
+        let up = rng.normal_tensor(&[5, 4], 0.0, 1.0);
+        l.forward(&x).unwrap();
+        let dx = l.backward(&up).unwrap();
+        let eps = 1e-2;
+        let mut max_err = 0.0f32;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let lp = l.infer(&xp).unwrap().output.mul(&up).unwrap().sum();
+            let lm = l.infer(&xm).unwrap().output.mul(&up).unwrap().sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            max_err = max_err.max((fd - dx.as_slice()[i]).abs());
+        }
+        // Routing is discontinuous at decision boundaries; with a large
+        // capacity factor and smooth weights, most coordinates match.
+        assert!(max_err < 0.15, "max grad error {max_err}");
+    }
+
+    #[test]
+    fn dynamic_top_any_switches_per_iteration() {
+        let cfg = MoeConfig::new(8, 16, 8).with_capacity_factor(0.0);
+        let (mut l, mut rng) = layer(&cfg, 5);
+        let x = rng.normal_tensor(&[32, 8], 0.0, 1.0);
+        for k in [1, 3, 8, 2] {
+            l.set_top_k(k).unwrap();
+            let out = l.forward(&x).unwrap();
+            assert_eq!(out.output.dims(), &[32, 8], "k = {k}");
+        }
+        assert!(l.set_top_k(9).is_err());
+        assert!(l.set_top_k(0).is_err());
+    }
+
+    #[test]
+    fn frozen_layer_does_not_update() {
+        let cfg = MoeConfig::new(8, 16, 4);
+        let (mut l, mut rng) = layer(&cfg, 6);
+        let x = rng.normal_tensor(&[16, 8], 0.0, 1.0);
+        let before = l.infer(&x).unwrap().output;
+        l.set_frozen(true);
+        for _ in 0..3 {
+            l.forward(&x).unwrap();
+            let g = Tensor::ones(&[16, 8]);
+            l.backward(&g).unwrap();
+            l.step(0.1);
+        }
+        let after = l.infer(&x).unwrap().output;
+        assert_eq!(before, after, "frozen layer changed");
+        l.set_frozen(false);
+        l.forward(&x).unwrap();
+        l.backward(&Tensor::ones(&[16, 8])).unwrap();
+        l.step(0.1);
+        let trained = l.infer(&x).unwrap().output;
+        assert_ne!(after, trained, "unfrozen layer must change");
+    }
+
+    #[test]
+    fn training_reduces_regression_loss() {
+        let cfg = MoeConfig::new(6, 12, 4).with_top_k(2).with_capacity_factor(0.0);
+        let (mut l, mut rng) = layer(&cfg, 7);
+        let x = rng.normal_tensor(&[24, 6], 0.0, 1.0);
+        let target = rng.normal_tensor(&[24, 6], 0.0, 1.0);
+        let loss_at = |l: &MoeLayer| {
+            let y = l.infer(&x).unwrap().output;
+            0.5 * y.sub(&target).unwrap().sq_norm()
+        };
+        let initial = loss_at(&l);
+        for _ in 0..60 {
+            let out = l.forward(&x).unwrap();
+            let diff = out.output.sub(&target).unwrap();
+            l.backward(&diff).unwrap();
+            l.step(0.02);
+        }
+        let fin = loss_at(&l);
+        assert!(fin < 0.7 * initial, "loss {initial} → {fin}");
+    }
+
+    #[test]
+    fn cosine_and_hash_router_layers_run() {
+        for kind in [RouterKind::Cosine, RouterKind::Hash] {
+            let cfg = MoeConfig::new(8, 16, 4).with_router(kind);
+            let (mut l, mut rng) = layer(&cfg, 8);
+            let x = rng.normal_tensor(&[16, 8], 0.0, 1.0);
+            let out = l.forward(&x).unwrap();
+            assert_eq!(out.output.dims(), &[16, 8]);
+            l.backward(&Tensor::ones(&[16, 8])).unwrap();
+            l.step(0.01);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let mut rng = Rng::seed(9);
+        assert!(MoeLayer::new(&MoeConfig::new(8, 16, 4).with_top_k(5), &mut rng).is_err());
+        assert!(MoeLayer::new(&MoeConfig::new(8, 16, 4).with_top_k(0), &mut rng).is_err());
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let cfg = MoeConfig::new(8, 16, 4);
+        let (mut l, _) = layer(&cfg, 10);
+        assert!(l.backward(&Tensor::zeros(&[4, 8])).is_err());
+    }
+}

@@ -1,0 +1,597 @@
+//! Adaptive pipelining (Section 3.3): token partitioning for
+//! multi-stream comm/compute overlap, a timing model for any
+//! (All-to-All algorithm × pipelining degree) strategy, and the online
+//! strategy search of Algorithm 2.
+
+use std::collections::HashMap;
+
+use tutel_comm::{A2aImpl, AllToAllAlgo, CollectiveTiming};
+use tutel_simgpu::{calib, Protocol, Seconds, StreamId, Timeline};
+
+/// One pipelining strategy: which All-to-All algorithm to run and how
+/// many capacity-dimension partitions to overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PipelineStrategy {
+    /// All-to-All algorithm for dispatch and combine.
+    pub algo: AllToAllAlgo,
+    /// Pipelining degree `d ∈ {1, 2, 4, 8}` (1 = no overlap).
+    pub degree: usize,
+}
+
+impl PipelineStrategy {
+    /// The paper's strategy space: {Linear, 2DH} × {1, 2, 4, 8}.
+    pub fn all() -> Vec<PipelineStrategy> {
+        let mut v = Vec::with_capacity(8);
+        for algo in AllToAllAlgo::ALL {
+            for degree in [1usize, 2, 4, 8] {
+                v.push(PipelineStrategy { algo, degree });
+            }
+        }
+        v
+    }
+
+    /// The static baseline every comparison in Table 7 is against:
+    /// linear All-to-All, degree 1.
+    pub fn baseline() -> PipelineStrategy {
+        PipelineStrategy { algo: AllToAllAlgo::Linear, degree: 1 }
+    }
+}
+
+impl std::fmt::Display for PipelineStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}×d{}", self.algo, self.degree)
+    }
+}
+
+/// Per-iteration dimensions of a single MoE layer on one GPU, in the
+/// paper's Table 2 notation (`tokens` is tokens/step *per GPU*).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerDims {
+    /// Tokens per step per GPU (`T`).
+    pub tokens: usize,
+    /// Model dimension (`M`).
+    pub model_dim: usize,
+    /// Expert hidden dimension (`V`).
+    pub hidden_dim: usize,
+    /// Local experts per GPU (`ΔE`); fractional values < 1 (expert
+    /// sharded over GPUs) are expressed as 1 with a wider world.
+    pub local_experts: usize,
+    /// Top-k.
+    pub k: usize,
+    /// Capacity factor `f`.
+    pub capacity_factor: f64,
+}
+
+impl LayerDims {
+    /// The Figure 23 setting: tokens/step = 16,384, `f = 1`,
+    /// `M = V = 2,048`, `ΔE = 2`, top-2.
+    pub fn figure23() -> Self {
+        LayerDims {
+            tokens: 16384,
+            model_dim: 2048,
+            hidden_dim: 2048,
+            local_experts: 2,
+            k: 2,
+            capacity_factor: 1.0,
+        }
+    }
+
+    /// Per-GPU All-to-All payload bytes: `E·ΔC·M·4 = k·f·T·M·4`,
+    /// independent of world size.
+    pub fn a2a_bytes(&self) -> f64 {
+        self.k as f64 * self.capacity_factor * self.tokens as f64 * self.model_dim as f64 * 4.0
+    }
+
+    /// Rows of expert work per GPU: `ΔE · C = k·f·T`.
+    pub fn expert_rows(&self) -> usize {
+        (self.k as f64 * self.capacity_factor * self.tokens as f64).ceil() as usize
+    }
+}
+
+/// Prices one MoE layer iteration (forward) under a pipelining strategy.
+///
+/// Schedules, on a two-stream [`Timeline`], the dispatch All-to-All
+/// chunks (communication stream), the expert GEMM chunks (computation
+/// stream), and the combine All-to-All chunks, with the dependency
+/// structure of Figure 14. Encode/decode and gating are not partitioned
+/// (the paper partitions only the two All-to-Alls and the expert).
+///
+/// When `degree > 1`, overlapped kernels interfere: compute inflates by
+/// [`calib::OVERLAP_COMPUTE_INFLATION`] and communication by a
+/// per-algorithm factor — the asymmetry that makes the joint search
+/// necessary (Section 2.3).
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineTimeModel {
+    timing: CollectiveTiming,
+    /// Use Tutel's sparse encode/decode (vs the dense Fairseq einsum).
+    pub sparse_kernels: bool,
+    /// Use Flexible All-to-All output layout (vs the rigid
+    /// `(W, ΔE, ΔC, M)` layout whose tiny GEMM rows kill throughput).
+    pub flexible_layout: bool,
+    /// Model comm/compute interference when streams overlap (Section
+    /// 2.3). Disable for the ablation that shows how an
+    /// interference-blind search over-pipelines.
+    pub interference: bool,
+}
+
+impl PipelineTimeModel {
+    /// Creates a model with Tutel kernels and flexible layout enabled.
+    pub fn new(timing: CollectiveTiming) -> Self {
+        PipelineTimeModel { timing, sparse_kernels: true, flexible_layout: true, interference: true }
+    }
+
+    /// The collective pricer in use.
+    pub fn timing(&self) -> &CollectiveTiming {
+        &self.timing
+    }
+
+    /// Per-iteration time of the full MoE layer under `strategy`.
+    pub fn step_time(&self, dims: &LayerDims, strategy: PipelineStrategy) -> Seconds {
+        let d = strategy.degree.max(1);
+        let world = self.timing.world();
+        let w = world.size();
+        let gpu = world.gpu();
+        let e_global = w * dims.local_experts;
+
+        // Unpartitioned portions.
+        let gate = gpu.gate_time(dims.tokens, e_global);
+        let encode_decode = if self.sparse_kernels {
+            2.0 * gpu.sparse_encode_time(dims.tokens, dims.k, dims.model_dim)
+        } else {
+            let dc = (dims.expert_rows() / e_global.max(1)).max(1);
+            2.0 * gpu.dense_encode_time(dims.tokens, e_global, dc, dims.model_dim)
+        };
+
+        // Chunked portions.
+        let chunk_bytes = dims.a2a_bytes() / d as f64;
+        let a2a_once = self.timing.all_to_all_time(strategy.algo, chunk_bytes, Protocol::Simple);
+        let rows = dims.expert_rows();
+        let chunk_rows = (rows / d).max(1);
+        let expert_once = self.expert_time(dims, w, chunk_rows);
+
+        // Interference inflation only applies when streams overlap.
+        let (comm_inflation, comp_inflation) = if d > 1 && self.interference {
+            let comm = match strategy.algo {
+                AllToAllAlgo::Linear => calib::OVERLAP_COMM_INFLATION_LINEAR,
+                AllToAllAlgo::TwoDh => calib::OVERLAP_COMM_INFLATION_2DH,
+            };
+            (comm, calib::OVERLAP_COMPUTE_INFLATION)
+        } else {
+            (1.0, 1.0)
+        };
+
+        let comm = StreamId(0);
+        let comp = StreamId(1);
+        let mut tl = Timeline::new();
+        let mut dispatch_events = Vec::with_capacity(d);
+        for _ in 0..d {
+            dispatch_events.push(tl.push(comm, a2a_once * comm_inflation, &[]));
+        }
+        let mut expert_events = Vec::with_capacity(d);
+        for &dep in &dispatch_events {
+            expert_events.push(tl.push(comp, expert_once * comp_inflation, &[dep]));
+        }
+        for &dep in &expert_events {
+            tl.push(comm, a2a_once * comm_inflation, &[dep]);
+        }
+        let pipeline = tl.makespan() + if d > 1 { calib::BARRIER_OVERHEAD } else { 0.0 };
+
+        gate + encode_decode + pipeline
+    }
+
+    /// Expert GEMM time for `chunk_rows` rows per GPU, honoring the
+    /// layout. The rigid layout batches per *source GPU*, collapsing the
+    /// per-matrix row count by a factor of `W` (Figure 7); the flexible
+    /// layout keeps `ΔE` big matrices regardless of scale.
+    fn expert_time(&self, dims: &LayerDims, world: usize, chunk_rows: usize) -> Seconds {
+        let (m, v) = (dims.model_dim, dims.hidden_dim);
+        let de = dims.local_experts;
+        let (batch, rows) = if self.flexible_layout {
+            (de, (chunk_rows / de).max(1))
+        } else {
+            (world * de, (chunk_rows / (world * de)).max(1))
+        };
+        let gpu = self.timing.world().gpu();
+        gpu.gemm_time(batch, rows, m, v) + gpu.gemm_time(batch, rows, v, m)
+    }
+
+    /// The strategy with the lowest modeled time — the "oracle" the
+    /// online search converges to.
+    pub fn best_strategy(&self, dims: &LayerDims) -> (PipelineStrategy, Seconds) {
+        PipelineStrategy::all()
+            .into_iter()
+            .map(|s| (s, self.step_time(dims, s)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("strategy space is non-empty")
+    }
+
+    /// Time of a 2DH step under the MSCCL fused implementation with the
+    /// best protocol — used by the Figure 21 comparison.
+    pub fn two_dh_msccl_time(&self, dims: &LayerDims, degree: usize, protocol: Protocol) -> Seconds {
+        // Same schedule as step_time but with the MSCCL pricer.
+        let d = degree.max(1);
+        let chunk_bytes = dims.a2a_bytes() / d as f64;
+        let a2a_once = self.timing.two_dh_time_impl(chunk_bytes, protocol, A2aImpl::Msccl);
+        let rows = dims.expert_rows();
+        let expert_once = self.expert_time(dims, self.timing.world().size(), (rows / d).max(1));
+        let gpu = self.timing.world().gpu();
+        let fixed = gpu.gate_time(dims.tokens, self.timing.world().size() * dims.local_experts)
+            + 2.0 * gpu.sparse_encode_time(dims.tokens, dims.k, dims.model_dim);
+        let comm = StreamId(0);
+        let comp = StreamId(1);
+        let mut tl = Timeline::new();
+        let infl = if d > 1 { calib::OVERLAP_COMM_INFLATION_2DH } else { 1.0 };
+        let cinfl = if d > 1 { calib::OVERLAP_COMPUTE_INFLATION } else { 1.0 };
+        let mut deps = Vec::new();
+        for _ in 0..d {
+            deps.push(tl.push(comm, a2a_once * infl, &[]));
+        }
+        let mut edeps = Vec::new();
+        for &dep in &deps {
+            edeps.push(tl.push(comp, expert_once * cinfl, &[dep]));
+        }
+        for &dep in &edeps {
+            tl.push(comm, a2a_once * infl, &[dep]);
+        }
+        fixed + tl.makespan()
+    }
+}
+
+/// Key for memoizing capacity factors (f64 quantized to 1e-6).
+fn fkey(f: f64) -> u64 {
+    (f * 1e6).round() as u64
+}
+
+#[derive(Debug, Clone, Default)]
+struct Memo {
+    /// Measured (or normalized) time per tried strategy.
+    tried: HashMap<PipelineStrategy, Seconds>,
+}
+
+impl Memo {
+    fn best(&self) -> Option<PipelineStrategy> {
+        self.tried.iter().min_by(|a, b| a.1.total_cmp(b.1)).map(|(s, _)| *s)
+    }
+
+    fn untried(&self) -> Option<PipelineStrategy> {
+        PipelineStrategy::all().into_iter().find(|s| !self.tried.contains_key(s))
+    }
+
+    fn all_tried(&self) -> bool {
+        self.tried.len() >= PipelineStrategy::all().len()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Bucket {
+    /// Lowest f in the bucket (bucket spans `[lo, lo + len]`).
+    lo: f64,
+    memo: Memo,
+}
+
+/// Algorithm 2: the online pipelining strategy search.
+///
+/// Capacity factors observed at runtime are grouped into buckets of
+/// length `L`; factors in the same bucket share strategy measurements
+/// (normalized by the bucket's lowest factor), so each bucket explores
+/// every strategy at most once and the whole search amortizes to O(1)
+/// per iteration.
+///
+/// # Example
+///
+/// ```
+/// use tutel::pipeline::{OnlineStrategySearch, PipelineStrategy};
+///
+/// let mut search = OnlineStrategySearch::new(1.0);
+/// // Feed it a synthetic workload where the oracle is (2DH, d=4).
+/// let oracle = |s: PipelineStrategy| if s.degree == 4 { 1.0 } else { 2.0 };
+/// for _ in 0..20 {
+///     let s = search.next_strategy(1.3);
+///     search.record(1.3, s, oracle(s));
+/// }
+/// assert_eq!(search.next_strategy(1.3).degree, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineStrategySearch {
+    bucket_len: f64,
+    known_fs: Vec<f64>,
+    per_f: HashMap<u64, Memo>,
+    buckets: Vec<Bucket>,
+}
+
+impl OnlineStrategySearch {
+    /// Creates a search with bucket length `L`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_len` is not positive.
+    pub fn new(bucket_len: f64) -> Self {
+        assert!(bucket_len > 0.0, "bucket length must be positive");
+        OnlineStrategySearch {
+            bucket_len,
+            known_fs: Vec::new(),
+            per_f: HashMap::new(),
+            buckets: Vec::new(),
+        }
+    }
+
+    /// GETSTRATEGY: the strategy to run for capacity factor `f` this
+    /// iteration.
+    pub fn next_strategy(&mut self, f: f64) -> PipelineStrategy {
+        if !self.known_fs.iter().any(|&k| fkey(k) == fkey(f)) {
+            self.recompute_buckets(f);
+        }
+        let fm = self.per_f.entry(fkey(f)).or_default();
+        if fm.all_tried() {
+            return fm.best().expect("all strategies tried implies non-empty");
+        }
+        let bucket = self.bucket_index(f).expect("f was just bucketed");
+        let bm = &self.buckets[bucket].memo;
+        if bm.all_tried() {
+            bm.best().expect("non-empty")
+        } else {
+            bm.untried().expect("not all tried")
+        }
+    }
+
+    /// OPTIMIZESTRATEGY: records a measured iteration time for
+    /// (`f`, `strategy`).
+    pub fn record(&mut self, f: f64, strategy: PipelineStrategy, time: Seconds) {
+        self.per_f.entry(fkey(f)).or_default().tried.insert(strategy, time);
+        if let Some(b) = self.bucket_index(f) {
+            let lo = self.buckets[b].lo.max(f64::EPSILON);
+            // Normalize by the bucket's lowest f so measurements from
+            // different factors are comparable.
+            let normalized = time * lo / f.max(f64::EPSILON);
+            let entry = self.buckets[b].memo.tried.entry(strategy).or_insert(normalized);
+            *entry = entry.min(normalized);
+        }
+    }
+
+    /// Number of distinct capacity factors observed.
+    pub fn known_factors(&self) -> usize {
+        self.known_fs.len()
+    }
+
+    /// Number of buckets currently maintained.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// RECOMPUTEBUCKETS: adds `f` to the known list and greedily
+    /// re-partitions all known factors into buckets of span ≤ L,
+    /// rebuilding each new bucket's memo from its members' per-f memos
+    /// (times normalized by the new bucket's lowest factor).
+    fn recompute_buckets(&mut self, f: f64) {
+        self.known_fs.push(f);
+        self.known_fs.sort_by(|a, b| a.total_cmp(b));
+        self.known_fs.dedup_by(|a, b| fkey(*a) == fkey(*b));
+        self.buckets.clear();
+        let mut current: Option<Bucket> = None;
+        let fs = self.known_fs.clone();
+        for &kf in &fs {
+            let start_new = match &current {
+                None => true,
+                Some(b) => kf - b.lo > self.bucket_len,
+            };
+            if start_new {
+                if let Some(b) = current.take() {
+                    self.buckets.push(b);
+                }
+                current = Some(Bucket { lo: kf, memo: Memo::default() });
+            }
+            let b = current.as_mut().expect("bucket exists after start check");
+            if let Some(fm) = self.per_f.get(&fkey(kf)) {
+                let lo = b.lo.max(f64::EPSILON);
+                for (&s, &t) in &fm.tried {
+                    let normalized = t * lo / kf.max(f64::EPSILON);
+                    let entry = b.memo.tried.entry(s).or_insert(normalized);
+                    *entry = entry.min(normalized);
+                }
+            }
+        }
+        if let Some(b) = current {
+            self.buckets.push(b);
+        }
+    }
+
+    fn bucket_index(&self, f: f64) -> Option<usize> {
+        self.buckets
+            .iter()
+            .position(|b| f >= b.lo - 1e-12 && f - b.lo <= self.bucket_len + 1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tutel_comm::World;
+
+    fn model(world_size: usize) -> PipelineTimeModel {
+        PipelineTimeModel::new(CollectiveTiming::new(World::azure(world_size)))
+    }
+
+    #[test]
+    fn strategy_space_is_eight() {
+        assert_eq!(PipelineStrategy::all().len(), 8);
+    }
+
+    /// The Figure 22 setting, where expert compute and All-to-All cost
+    /// are comparable (V = 4,096 doubles compute per byte moved vs the
+    /// Figure 23 dims) — the regime where overlap pays.
+    fn figure22_dims() -> LayerDims {
+        LayerDims {
+            tokens: 4096,
+            model_dim: 4096,
+            hidden_dim: 4096,
+            local_experts: 2,
+            k: 2,
+            capacity_factor: 1.0,
+        }
+    }
+
+    #[test]
+    fn pipelining_helps_when_comm_and_compute_are_comparable() {
+        let m = model(64);
+        let dims = figure22_dims();
+        let d1 = m.step_time(&dims, PipelineStrategy { algo: AllToAllAlgo::Linear, degree: 1 });
+        let best = PipelineStrategy::all()
+            .into_iter()
+            .map(|s| m.step_time(&dims, s))
+            .fold(f64::INFINITY, f64::min);
+        assert!(best < d1, "some overlap strategy must beat no-overlap: {best} vs {d1}");
+        // And a genuinely overlapped (degree > 1) strategy must beat
+        // its own degree-1 variant for at least one algorithm.
+        let overlapped_wins = AllToAllAlgo::ALL.iter().any(|&algo| {
+            let base = m.step_time(&dims, PipelineStrategy { algo, degree: 1 });
+            [2usize, 4, 8]
+                .iter()
+                .any(|&d| m.step_time(&dims, PipelineStrategy { algo, degree: d }) < base)
+        });
+        assert!(overlapped_wins, "overlap must pay somewhere in the Figure 22 regime");
+    }
+
+    #[test]
+    fn optimal_strategy_depends_on_scale() {
+        // Figure 5: the optimum shifts across scales. At small scale
+        // with large messages, linear is competitive; at 2,048 GPUs the
+        // payload chunks are tiny and 2DH must win.
+        let dims = LayerDims::figure23();
+        let (best_big, _) = model(2048).best_strategy(&dims);
+        assert_eq!(best_big.algo, AllToAllAlgo::TwoDh, "2DH must win at 2,048 GPUs");
+        let mut small = dims;
+        small.tokens = 65536; // huge per-GPU payload at 16 GPUs
+        let (best_small, _) = model(16).best_strategy(&small);
+        assert_eq!(best_small.algo, AllToAllAlgo::Linear, "linear must win for fat messages at 16 GPUs");
+    }
+
+    #[test]
+    fn degree_is_a_real_tradeoff() {
+        // Very small payloads: chunking costs α per chunk and message
+        // efficiency; degree 1 or 2 should beat degree 8.
+        let m = model(64);
+        let mut dims = LayerDims::figure23();
+        dims.tokens = 256;
+        let t1 = m.step_time(&dims, PipelineStrategy { algo: AllToAllAlgo::Linear, degree: 1 });
+        let t8 = m.step_time(&dims, PipelineStrategy { algo: AllToAllAlgo::Linear, degree: 8 });
+        assert!(t1 < t8, "tiny payload: d1 {t1} must beat d8 {t8}");
+    }
+
+    #[test]
+    fn flexible_layout_pays_off_at_scale() {
+        let dims = LayerDims::figure23();
+        let mut flex = model(2048);
+        flex.flexible_layout = true;
+        let mut rigid = model(2048);
+        rigid.flexible_layout = false;
+        let s = PipelineStrategy::baseline();
+        let tf = flex.step_time(&dims, s);
+        let tr = rigid.step_time(&dims, s);
+        assert!(tr > tf, "rigid {tr} must be slower than flexible {tf} at 2,048 GPUs");
+        // And the gap shrinks at small scale.
+        let mut flex16 = model(16);
+        flex16.flexible_layout = true;
+        let mut rigid16 = model(16);
+        rigid16.flexible_layout = false;
+        let gap_small = rigid16.step_time(&dims, s) / flex16.step_time(&dims, s);
+        let gap_big = tr / tf;
+        assert!(gap_big > gap_small, "layout gap must grow with scale");
+    }
+
+    #[test]
+    fn msccl_with_protocol_choice_beats_ncclapi_2dh() {
+        let m = model(256);
+        let dims = LayerDims::figure23();
+        let nccl = m.step_time(&dims, PipelineStrategy { algo: AllToAllAlgo::TwoDh, degree: 2 });
+        let msccl = m
+            .two_dh_msccl_time(&dims, 2, Protocol::Simple)
+            .min(m.two_dh_msccl_time(&dims, 2, Protocol::Ll128));
+        assert!(msccl < nccl);
+    }
+
+    // --- Algorithm 2 ---
+
+    #[test]
+    fn search_explores_each_strategy_once_per_bucket() {
+        let mut search = OnlineStrategySearch::new(1.0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..PipelineStrategy::all().len() {
+            let s = search.next_strategy(2.0);
+            assert!(seen.insert(s), "strategy {s} repeated during exploration");
+            search.record(2.0, s, 1.0);
+        }
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn search_converges_to_oracle_within_a_bucket() {
+        let mut search = OnlineStrategySearch::new(1.0);
+        let oracle = |s: PipelineStrategy| {
+            if s.algo == AllToAllAlgo::TwoDh && s.degree == 2 {
+                1.0
+            } else {
+                2.0 + s.degree as f64
+            }
+        };
+        for _ in 0..16 {
+            let s = search.next_strategy(3.1);
+            search.record(3.1, s, oracle(s));
+        }
+        let s = search.next_strategy(3.1);
+        assert_eq!(s, PipelineStrategy { algo: AllToAllAlgo::TwoDh, degree: 2 });
+    }
+
+    #[test]
+    fn close_factors_share_a_bucket_far_ones_do_not() {
+        let mut search = OnlineStrategySearch::new(1.0);
+        let s = search.next_strategy(1.0);
+        search.record(1.0, s, 1.0);
+        search.next_strategy(1.5);
+        assert_eq!(search.num_buckets(), 1, "1.0 and 1.5 share a bucket of length 1");
+        search.next_strategy(4.0);
+        assert_eq!(search.num_buckets(), 2, "4.0 starts a new bucket");
+        assert_eq!(search.known_factors(), 3);
+    }
+
+    #[test]
+    fn bucket_sharing_transfers_measurements() {
+        // Measure all strategies at f = 1.0; then f = 1.4 (same bucket)
+        // should immediately return the bucket best instead of
+        // exploring from scratch.
+        let mut search = OnlineStrategySearch::new(1.0);
+        let oracle = |s: PipelineStrategy| if s.degree == 4 { 0.5 } else { 1.5 };
+        for _ in 0..8 {
+            let s = search.next_strategy(1.0);
+            search.record(1.0, s, oracle(s));
+        }
+        let s = search.next_strategy(1.4);
+        assert_eq!(s.degree, 4, "bucket must transfer the f=1.0 optimum to f=1.4");
+    }
+
+    #[test]
+    fn distant_buckets_explore_independently() {
+        let mut search = OnlineStrategySearch::new(2.0);
+        // Bucket [1.0, 3.0] converges on degree 8...
+        for _ in 0..8 {
+            let s = search.next_strategy(1.0);
+            search.record(1.0, s, if s.degree == 8 { 0.1 } else { 1.0 });
+        }
+        assert_eq!(search.next_strategy(1.0).degree, 8);
+        // ...while f = 5.0 opens a fresh bucket, explores on its own,
+        // and converges to its own optimum.
+        for _ in 0..8 {
+            let s = search.next_strategy(5.0);
+            search.record(5.0, s, if s.degree == 1 { 0.05 } else { 0.9 });
+        }
+        assert_eq!(search.num_buckets(), 2);
+        assert_eq!(search.next_strategy(5.0).degree, 1);
+        // The first bucket's knowledge is unaffected.
+        assert_eq!(search.next_strategy(1.0).degree, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_bucket_length() {
+        OnlineStrategySearch::new(0.0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Training loops and evaluation protocols for the accuracy
+//! experiments (Tables 9–13, Figures 1 and 25).
+
+use tutel_tensor::{Rng, Tensor};
+
+use crate::data::SyntheticVision;
+use crate::model::{accuracy, cross_entropy, SwinLiteMoe};
+
+/// Learning-rate schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Linear warmup for `warmup` steps, then cosine decay to
+    /// `floor_fraction · lr` at the final step (the schedule SwinV2-MoE
+    /// trains with).
+    CosineWithWarmup {
+        /// Warmup steps.
+        warmup: usize,
+        /// Final LR as a fraction of the base LR.
+        floor_fraction: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate at `step` out of `total` steps, given base
+    /// rate `base`.
+    pub fn lr_at(&self, base: f32, step: usize, total: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => base,
+            LrSchedule::CosineWithWarmup { warmup, floor_fraction } => {
+                if step < warmup && warmup > 0 {
+                    base * (step + 1) as f32 / warmup as f32
+                } else {
+                    let span = total.saturating_sub(warmup).max(1) as f32;
+                    let progress = (step.saturating_sub(warmup)) as f32 / span;
+                    let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress.min(1.0)).cos());
+                    let floor = base * floor_fraction;
+                    floor + (base - floor) * cos
+                }
+            }
+        }
+    }
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// SGD steps.
+    pub steps: usize,
+    /// Samples per step.
+    pub batch: usize,
+    /// Base learning rate.
+    pub lr: f32,
+    /// Data-sampling seed.
+    pub seed: u64,
+    /// Learning-rate schedule.
+    pub schedule: LrSchedule,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            steps: 300,
+            batch: 16,
+            lr: 0.05,
+            seed: 1234,
+            schedule: LrSchedule::Constant,
+        }
+    }
+}
+
+/// Everything a training run records.
+#[derive(Debug, Clone)]
+pub struct TrainStats {
+    /// Cross-entropy loss per step.
+    pub loss_curve: Vec<f32>,
+    /// Final-window (last 10 %) mean training loss.
+    pub final_loss: f32,
+    /// Per-step, per-MoE-layer minimum no-drop capacity factor — the
+    /// Figure 1 trace. Outer index: step; inner: MoE layer order.
+    pub needed_factor_trace: Vec<Vec<f64>>,
+}
+
+/// Trains `model` on `dataset` in place and returns the run's stats.
+///
+/// # Panics
+///
+/// Panics if a forward/backward pass fails on internally generated
+/// shapes (a bug, not a user error).
+pub fn train(model: &mut SwinLiteMoe, dataset: &SyntheticVision, cfg: &TrainConfig) -> TrainStats {
+    let mut rng = Rng::seed(cfg.seed);
+    let mut loss_curve = Vec::with_capacity(cfg.steps);
+    let mut trace = Vec::with_capacity(cfg.steps);
+    for _ in 0..cfg.steps {
+        let (x, y) = dataset.batch(cfg.batch, &mut rng);
+        let (logits, _aux, tel) = model.forward(&x, cfg.batch).expect("forward");
+        let (loss, d_logits) = cross_entropy(&logits, &y);
+        loss_curve.push(loss);
+        trace.push(tel.iter().map(|t| t.needed_factor).collect());
+        model.backward(&d_logits).expect("backward");
+        model.step(cfg.schedule.lr_at(cfg.lr, loss_curve.len() - 1, cfg.steps));
+    }
+    let window = (cfg.steps / 10).max(1);
+    let final_loss =
+        loss_curve.iter().rev().take(window).sum::<f32>() / window as f32;
+    TrainStats { loss_curve, final_loss, needed_factor_trace: trace }
+}
+
+/// Evaluates top-1 accuracy over `batches` held-out batches.
+///
+/// # Panics
+///
+/// Panics if inference fails on internally generated shapes.
+pub fn evaluate(model: &SwinLiteMoe, dataset: &SyntheticVision, batches: usize, seed: u64) -> f64 {
+    let mut rng = Rng::seed(seed);
+    let mut total = 0.0;
+    let batch = 32;
+    for _ in 0..batches {
+        let (x, y) = dataset.batch(batch, &mut rng);
+        let logits = model.infer(&x, batch).expect("infer");
+        total += accuracy(&logits, &y);
+    }
+    total / batches as f64
+}
+
+/// The paper's 5-shot linear evaluation: freeze the backbone, extract
+/// pooled features for `shots` samples per class, fit a linear
+/// classifier by a few steps of softmax regression, report held-out
+/// accuracy.
+///
+/// # Panics
+///
+/// Panics if feature extraction fails on internally generated shapes.
+pub fn few_shot_linear_eval(
+    model: &SwinLiteMoe,
+    dataset: &SyntheticVision,
+    shots: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = Rng::seed(seed);
+    let (x_train, y_train) = dataset.few_shot(shots, &mut rng);
+    let n_train = y_train.len();
+    let feats = model.features(&x_train, n_train).expect("features");
+    let classes = dataset.classes();
+    let dim = feats.dims()[1];
+
+    // Softmax regression on frozen features.
+    let mut w = Tensor::zeros(&[dim, classes]);
+    let mut b = Tensor::zeros(&[classes]);
+    for _ in 0..200 {
+        let mut logits = feats.matmul(&w).expect("shapes");
+        for row in logits.as_mut_slice().chunks_mut(classes) {
+            for (v, bias) in row.iter_mut().zip(b.as_slice()) {
+                *v += bias;
+            }
+        }
+        let (_, grad) = cross_entropy(&logits, &y_train);
+        let dw = feats.matmul_tn(&grad).expect("shapes");
+        w.axpy(-0.5, &dw).expect("shapes");
+        for (i, row) in grad.as_slice().chunks(classes).enumerate() {
+            let _ = i;
+            for (bg, g) in b.as_mut_slice().iter_mut().zip(row) {
+                *bg -= 0.5 * g;
+            }
+        }
+    }
+
+    // Held-out evaluation.
+    let batch = 32;
+    let mut total = 0.0;
+    let evals = 8;
+    for _ in 0..evals {
+        let (x, y) = dataset.batch(batch, &mut rng);
+        let f = model.features(&x, batch).expect("features");
+        let mut logits = f.matmul(&w).expect("shapes");
+        for row in logits.as_mut_slice().chunks_mut(classes) {
+            for (v, bias) in row.iter_mut().zip(b.as_slice()) {
+                *v += bias;
+            }
+        }
+        total += accuracy(&logits, &y);
+    }
+    total / evals as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SwinLiteConfig;
+    use crate::MoeConfig;
+
+    fn quick_setup(moe: bool) -> (SwinLiteMoe, SyntheticVision) {
+        let mut cfg = SwinLiteConfig::new(8, 4, 3);
+        cfg.channels = 12;
+        cfg.hidden = 16;
+        cfg.blocks = 2;
+        if moe {
+            cfg = cfg.with_moe(MoeConfig::new(0, 0, 4).with_capacity_factor(0.0));
+        }
+        let mut rng = Rng::seed(10);
+        let model = SwinLiteMoe::new(&cfg, &mut rng).unwrap();
+        let ds = SyntheticVision::new(8, 4, 3, 4, 11);
+        (model, ds)
+    }
+
+    #[test]
+    fn cosine_schedule_warms_up_then_decays() {
+        let s = LrSchedule::CosineWithWarmup { warmup: 10, floor_fraction: 0.1 };
+        let base = 1.0;
+        // Warmup is increasing.
+        assert!(s.lr_at(base, 0, 100) < s.lr_at(base, 5, 100));
+        assert!(s.lr_at(base, 9, 100) <= base);
+        // Peak right after warmup, then monotone decay to the floor.
+        let peak = s.lr_at(base, 10, 100);
+        assert!((peak - base).abs() < 1e-6);
+        let mut last = peak;
+        for step in 11..100 {
+            let lr = s.lr_at(base, step, 100);
+            assert!(lr <= last + 1e-6, "decay must be monotone at {step}");
+            last = lr;
+        }
+        assert!((s.lr_at(base, 99, 100) - 0.1).abs() < 0.05);
+        // Constant is constant.
+        assert_eq!(LrSchedule::Constant.lr_at(0.3, 7, 100), 0.3);
+    }
+
+    #[test]
+    fn cosine_schedule_trains() {
+        let (mut model, ds) = quick_setup(true);
+        let cfg = TrainConfig {
+            steps: 60,
+            batch: 8,
+            lr: 0.08,
+            seed: 9,
+            schedule: LrSchedule::CosineWithWarmup { warmup: 5, floor_fraction: 0.05 },
+        };
+        let stats = train(&mut model, &ds, &cfg);
+        assert!(stats.final_loss.is_finite());
+        assert!(stats.final_loss < stats.loss_curve[0] * 1.2);
+    }
+
+    #[test]
+    fn train_records_loss_and_telemetry() {
+        let (mut model, ds) = quick_setup(true);
+        let cfg = TrainConfig { steps: 30, batch: 8, lr: 0.05, seed: 1, ..TrainConfig::default() };
+        let stats = train(&mut model, &ds, &cfg);
+        assert_eq!(stats.loss_curve.len(), 30);
+        assert_eq!(stats.needed_factor_trace.len(), 30);
+        assert_eq!(stats.needed_factor_trace[0].len(), 1);
+        assert!(stats.final_loss < stats.loss_curve[0] * 1.2);
+    }
+
+    #[test]
+    fn training_is_seed_reproducible() {
+        let (mut m1, ds) = quick_setup(true);
+        let (mut m2, _) = quick_setup(true);
+        let cfg = TrainConfig { steps: 10, batch: 8, lr: 0.05, seed: 2, ..TrainConfig::default() };
+        let s1 = train(&mut m1, &ds, &cfg);
+        let s2 = train(&mut m2, &ds, &cfg);
+        assert_eq!(s1.loss_curve, s2.loss_curve);
+    }
+
+    #[test]
+    fn evaluation_runs_and_bounds() {
+        let (model, ds) = quick_setup(false);
+        let acc = evaluate(&model, &ds, 2, 3);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn few_shot_eval_beats_chance_after_training() {
+        let (mut model, ds) = quick_setup(true);
+        let cfg = TrainConfig { steps: 120, batch: 16, lr: 0.05, seed: 4, ..TrainConfig::default() };
+        train(&mut model, &ds, &cfg);
+        let acc = few_shot_linear_eval(&model, &ds, 5, 5);
+        assert!(acc > 0.45, "few-shot accuracy {acc} (chance 0.33)");
+    }
+}

@@ -1,0 +1,416 @@
+//! The expert feed-forward network (`fflayer`).
+
+use tutel_tensor::{Rng, Tensor, TensorError};
+
+/// A batch of `ΔE` expert FFNs: for each local expert `e`,
+/// `y = gelu(x · W1_e + b1_e) · W2_e + b2_e` with `x (C, M)`,
+/// `W1 (M, V)`, `W2 (V, M)`.
+///
+/// Forward caches the activations needed by [`ExpertsBlock::backward`];
+/// gradients accumulate across calls until [`ExpertsBlock::step`].
+///
+/// # Example
+///
+/// ```
+/// use tutel_experts::ExpertsBlock;
+/// use tutel_tensor::{Rng, Tensor};
+///
+/// let mut rng = Rng::seed(0);
+/// let mut experts = ExpertsBlock::new(2, 8, 16, &mut rng);
+/// let x = rng.normal_tensor(&[2, 4, 8], 0.0, 1.0); // (ΔE, C, M)
+/// let y = experts.forward(&x)?;
+/// assert_eq!(y.dims(), &[2, 4, 8]);
+/// # Ok::<(), tutel_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExpertsBlock {
+    local_experts: usize,
+    model_dim: usize,
+    hidden_dim: usize,
+    /// `(ΔE, M, V)`.
+    w1: Tensor,
+    /// `(ΔE, V)`.
+    b1: Tensor,
+    /// `(ΔE, V, M)`.
+    w2: Tensor,
+    /// `(ΔE, M)`.
+    b2: Tensor,
+    dw1: Tensor,
+    db1: Tensor,
+    dw2: Tensor,
+    db2: Tensor,
+    /// Saved input and pre-activation from the last forward.
+    saved: Option<(Tensor, Tensor)>,
+}
+
+impl ExpertsBlock {
+    /// Creates `local_experts` experts of dims `model_dim → hidden_dim →
+    /// model_dim` with Kaiming initialization.
+    pub fn new(local_experts: usize, model_dim: usize, hidden_dim: usize, rng: &mut Rng) -> Self {
+        let std1 = (2.0 / model_dim as f32).sqrt();
+        let std2 = (2.0 / hidden_dim as f32).sqrt();
+        ExpertsBlock {
+            local_experts,
+            model_dim,
+            hidden_dim,
+            w1: rng.normal_tensor(&[local_experts, model_dim, hidden_dim], 0.0, std1),
+            b1: Tensor::zeros(&[local_experts, hidden_dim]),
+            w2: rng.normal_tensor(&[local_experts, hidden_dim, model_dim], 0.0, std2),
+            b2: Tensor::zeros(&[local_experts, model_dim]),
+            dw1: Tensor::zeros(&[local_experts, model_dim, hidden_dim]),
+            db1: Tensor::zeros(&[local_experts, hidden_dim]),
+            dw2: Tensor::zeros(&[local_experts, hidden_dim, model_dim]),
+            db2: Tensor::zeros(&[local_experts, model_dim]),
+            saved: None,
+        }
+    }
+
+    /// Builds a block from explicit weights (used by the sharded
+    /// parameter store).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if any weight has inconsistent shape.
+    pub fn from_weights(w1: Tensor, b1: Tensor, w2: Tensor, b2: Tensor) -> Result<Self, TensorError> {
+        if w1.rank() != 3 || w2.rank() != 3 {
+            return Err(TensorError::RankMismatch {
+                expected: 3,
+                actual: w1.rank().min(w2.rank()),
+                op: "experts_from_weights",
+            });
+        }
+        let (de, m, v) = (w1.dims()[0], w1.dims()[1], w1.dims()[2]);
+        if w2.dims() != [de, v, m] || b1.dims() != [de, v] || b2.dims() != [de, m] {
+            return Err(TensorError::ShapeMismatch {
+                left: w1.dims().to_vec(),
+                right: w2.dims().to_vec(),
+                op: "experts_from_weights",
+            });
+        }
+        Ok(ExpertsBlock {
+            local_experts: de,
+            model_dim: m,
+            hidden_dim: v,
+            dw1: Tensor::zeros(w1.dims()),
+            db1: Tensor::zeros(b1.dims()),
+            dw2: Tensor::zeros(w2.dims()),
+            db2: Tensor::zeros(b2.dims()),
+            w1,
+            b1,
+            w2,
+            b2,
+            saved: None,
+        })
+    }
+
+    /// Number of local experts (`ΔE`).
+    pub fn local_experts(&self) -> usize {
+        self.local_experts
+    }
+
+    /// Model (channel) dimension `M`.
+    pub fn model_dim(&self) -> usize {
+        self.model_dim
+    }
+
+    /// Hidden dimension `V`.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Read access to `(W1, b1, W2, b2)`.
+    pub fn weights(&self) -> (&Tensor, &Tensor, &Tensor, &Tensor) {
+        (&self.w1, &self.b1, &self.w2, &self.b2)
+    }
+
+    /// Total parameter count.
+    pub fn num_params(&self) -> usize {
+        self.w1.len() + self.b1.len() + self.w2.len() + self.b2.len()
+    }
+
+    /// Replaces all weights (checkpoint restore).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if any shape differs.
+    pub fn set_weights(
+        &mut self,
+        w1: Tensor,
+        b1: Tensor,
+        w2: Tensor,
+        b2: Tensor,
+    ) -> Result<(), TensorError> {
+        if w1.dims() != self.w1.dims()
+            || b1.dims() != self.b1.dims()
+            || w2.dims() != self.w2.dims()
+            || b2.dims() != self.b2.dims()
+        {
+            return Err(TensorError::ShapeMismatch {
+                left: w1.dims().to_vec(),
+                right: self.w1.dims().to_vec(),
+                op: "set_weights",
+            });
+        }
+        self.w1 = w1;
+        self.b1 = b1;
+        self.w2 = w2;
+        self.b2 = b2;
+        self.saved = None;
+        Ok(())
+    }
+
+    /// Forward pass over `x (ΔE, C, M)`, producing `(ΔE, C, M)` and
+    /// caching activations for backward.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if `x` has the wrong shape.
+    pub fn forward(&mut self, x: &Tensor) -> Result<Tensor, TensorError> {
+        let (h_pre, y) = self.forward_only(x)?;
+        self.saved = Some((x.clone(), h_pre));
+        Ok(y)
+    }
+
+    /// Forward without caching (inference).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if `x` has the wrong shape.
+    pub fn infer(&self, x: &Tensor) -> Result<Tensor, TensorError> {
+        Ok(self.forward_only(x)?.1)
+    }
+
+    fn forward_only(&self, x: &Tensor) -> Result<(Tensor, Tensor), TensorError> {
+        self.check_input(x)?;
+        let c = x.dims()[1];
+        // h_pre = x · W1 + b1 (per expert).
+        let mut h_pre = x.bmm(&self.w1)?;
+        add_bias(&mut h_pre, &self.b1, c);
+        let h = h_pre.gelu();
+        let mut y = h.bmm(&self.w2)?;
+        add_bias(&mut y, &self.b2, c);
+        Ok((h_pre, y))
+    }
+
+    /// Backward pass: consumes the cached activations, accumulates
+    /// parameter gradients, returns `d_x (ΔE, C, M)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if no forward is cached or shapes
+    /// mismatch.
+    pub fn backward(&mut self, d_y: &Tensor) -> Result<Tensor, TensorError> {
+        let (x, h_pre) = self
+            .saved
+            .take()
+            .ok_or_else(|| TensorError::InvalidArgument("backward without forward".into()))?;
+        self.check_input(d_y)?;
+        let (de, c) = (x.dims()[0], x.dims()[1]);
+        let (m, v) = (self.model_dim, self.hidden_dim);
+        let h = h_pre.gelu();
+        let mut dx = Tensor::zeros(x.dims());
+        for e in 0..de {
+            let xe = slab(&x, e, c, m);
+            let he = slab(&h, e, c, v);
+            let hpre_e = slab(&h_pre, e, c, v);
+            let dye = slab(d_y, e, c, m);
+            let w1e = mat(&self.w1, e, m, v);
+            let w2e = mat(&self.w2, e, v, m);
+            // dW2 = hᵀ · dY; db2 = Σ rows dY; dh = dY · W2ᵀ.
+            let dw2 = he.matmul_tn(&dye)?;
+            self.dw2.as_mut_slice()[e * v * m..(e + 1) * v * m]
+                .iter_mut()
+                .zip(dw2.as_slice())
+                .for_each(|(a, b)| *a += b);
+            accumulate_bias(&mut self.db2, e, &dye, c, m);
+            let dh = dye.matmul_nt(&w2e)?;
+            // Through GELU.
+            let dh_pre = hpre_e.gelu_backward(&dh)?;
+            // dW1 = xᵀ · dh_pre; db1 = Σ rows dh_pre; dx = dh_pre · W1ᵀ.
+            let dw1 = xe.matmul_tn(&dh_pre)?;
+            self.dw1.as_mut_slice()[e * m * v..(e + 1) * m * v]
+                .iter_mut()
+                .zip(dw1.as_slice())
+                .for_each(|(a, b)| *a += b);
+            accumulate_bias(&mut self.db1, e, &dh_pre, c, v);
+            let dxe = dh_pre.matmul_nt(&w1e)?;
+            dx.as_mut_slice()[e * c * m..(e + 1) * c * m].copy_from_slice(dxe.as_slice());
+        }
+        Ok(dx)
+    }
+
+    /// Maximum per-tensor gradient norm applied by [`ExpertsBlock::step`].
+    pub const GRAD_CLIP: f32 = 1.0;
+
+    /// Applies accumulated gradients (SGD with per-tensor norm
+    /// clipping) and clears them.
+    pub fn step(&mut self, lr: f32) {
+        self.dw1.clip_norm(Self::GRAD_CLIP);
+        self.db1.clip_norm(Self::GRAD_CLIP);
+        self.dw2.clip_norm(Self::GRAD_CLIP);
+        self.db2.clip_norm(Self::GRAD_CLIP);
+        self.w1.axpy(-lr, &self.dw1).expect("shape");
+        self.b1.axpy(-lr, &self.db1).expect("shape");
+        self.w2.axpy(-lr, &self.dw2).expect("shape");
+        self.b2.axpy(-lr, &self.db2).expect("shape");
+        self.zero_grad();
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.dw1 = Tensor::zeros(self.dw1.dims());
+        self.db1 = Tensor::zeros(self.db1.dims());
+        self.dw2 = Tensor::zeros(self.dw2.dims());
+        self.db2 = Tensor::zeros(self.db2.dims());
+    }
+
+    fn check_input(&self, x: &Tensor) -> Result<(), TensorError> {
+        if x.rank() != 3 || x.dims()[0] != self.local_experts || x.dims()[2] != self.model_dim {
+            return Err(TensorError::ShapeMismatch {
+                left: x.dims().to_vec(),
+                right: vec![self.local_experts, 0, self.model_dim],
+                op: "experts_forward",
+            });
+        }
+        Ok(())
+    }
+}
+
+fn add_bias(t: &mut Tensor, bias: &Tensor, rows: usize) {
+    let de = bias.dims()[0];
+    let cols = bias.dims()[1];
+    for e in 0..de {
+        let b = &bias.as_slice()[e * cols..(e + 1) * cols];
+        for r in 0..rows {
+            let off = (e * rows + r) * cols;
+            for (o, bv) in t.as_mut_slice()[off..off + cols].iter_mut().zip(b) {
+                *o += bv;
+            }
+        }
+    }
+}
+
+fn accumulate_bias(db: &mut Tensor, e: usize, d: &Tensor, rows: usize, cols: usize) {
+    let base = e * cols;
+    for r in 0..rows {
+        let row = &d.as_slice()[r * cols..(r + 1) * cols];
+        for (o, v) in db.as_mut_slice()[base..base + cols].iter_mut().zip(row) {
+            *o += v;
+        }
+    }
+}
+
+/// Copies expert `e`'s `(rows, cols)` slab out of a rank-3 tensor.
+fn slab(t: &Tensor, e: usize, rows: usize, cols: usize) -> Tensor {
+    Tensor::from_vec(t.as_slice()[e * rows * cols..(e + 1) * rows * cols].to_vec(), &[rows, cols])
+        .expect("slab dims")
+}
+
+fn mat(t: &Tensor, e: usize, rows: usize, cols: usize) -> Tensor {
+    slab(t, e, rows, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape_and_determinism() {
+        let mut rng = Rng::seed(1);
+        let mut ex = ExpertsBlock::new(3, 4, 8, &mut rng);
+        let x = rng.normal_tensor(&[3, 5, 4], 0.0, 1.0);
+        let y1 = ex.forward(&x).unwrap();
+        let y2 = ex.infer(&x).unwrap();
+        assert_eq!(y1, y2);
+        assert_eq!(y1.dims(), &[3, 5, 4]);
+    }
+
+    #[test]
+    fn experts_are_independent() {
+        // Zeroing expert 1's input must not change expert 0's output.
+        let mut rng = Rng::seed(2);
+        let ex = ExpertsBlock::new(2, 4, 6, &mut rng);
+        let x = rng.normal_tensor(&[2, 3, 4], 0.0, 1.0);
+        let y = ex.infer(&x).unwrap();
+        let mut x2 = x.clone();
+        for v in &mut x2.as_mut_slice()[12..] {
+            *v = 0.0;
+        }
+        let y2 = ex.infer(&x2).unwrap();
+        assert_eq!(&y.as_slice()[..12], &y2.as_slice()[..12]);
+        assert_ne!(&y.as_slice()[12..], &y2.as_slice()[12..]);
+    }
+
+    #[test]
+    fn backward_input_grad_matches_finite_difference() {
+        let mut rng = Rng::seed(3);
+        let mut ex = ExpertsBlock::new(2, 3, 4, &mut rng);
+        let x = rng.normal_tensor(&[2, 2, 3], 0.0, 1.0);
+        let up = rng.normal_tensor(&[2, 2, 3], 0.0, 1.0);
+        ex.forward(&x).unwrap();
+        let dx = ex.backward(&up).unwrap();
+        let eps = 1e-2;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let lp = ex.infer(&xp).unwrap().mul(&up).unwrap().sum();
+            let lm = ex.infer(&xm).unwrap().mul(&up).unwrap().sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - dx.as_slice()[i]).abs() < 3e-2,
+                "i={i} fd={fd} got={}",
+                dx.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn weight_gradients_descend_a_loss() {
+        let mut rng = Rng::seed(4);
+        let mut ex = ExpertsBlock::new(2, 4, 8, &mut rng);
+        let x = rng.normal_tensor(&[2, 6, 4], 0.0, 1.0);
+        let target = rng.normal_tensor(&[2, 6, 4], 0.0, 1.0);
+        let mut initial = None;
+        for _ in 0..50 {
+            let y = ex.forward(&x).unwrap();
+            let diff = y.sub(&target).unwrap();
+            let loss = 0.5 * diff.sq_norm();
+            assert!(loss.is_finite());
+            initial.get_or_insert(loss);
+            ex.backward(&diff).unwrap();
+            ex.step(0.01);
+        }
+        let y = ex.infer(&x).unwrap();
+        let final_loss = 0.5 * y.sub(&target).unwrap().sq_norm();
+        let initial = initial.unwrap();
+        assert!(final_loss < 0.6 * initial, "loss {initial} → {final_loss} did not descend");
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut rng = Rng::seed(5);
+        let mut ex = ExpertsBlock::new(1, 2, 2, &mut rng);
+        assert!(ex.backward(&Tensor::zeros(&[1, 1, 2])).is_err());
+    }
+
+    #[test]
+    fn from_weights_validates() {
+        let mut rng = Rng::seed(6);
+        let w1 = rng.normal_tensor(&[2, 3, 4], 0.0, 1.0);
+        let b1 = Tensor::zeros(&[2, 4]);
+        let w2 = rng.normal_tensor(&[2, 4, 3], 0.0, 1.0);
+        let b2 = Tensor::zeros(&[2, 3]);
+        assert!(ExpertsBlock::from_weights(w1.clone(), b1.clone(), w2.clone(), b2.clone()).is_ok());
+        let bad_b1 = Tensor::zeros(&[2, 5]);
+        assert!(ExpertsBlock::from_weights(w1, bad_b1, w2, b2).is_err());
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = Rng::seed(7);
+        let ex = ExpertsBlock::new(2, 3, 5, &mut rng);
+        assert_eq!(ex.num_params(), 2 * (3 * 5 + 5 + 5 * 3 + 3));
+    }
+}

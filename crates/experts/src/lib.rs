@@ -1,0 +1,28 @@
+//! Expert FFNs and switchable parallelism for the tutel-rs MoE stack
+//! (Section 3.2 of the Tutel paper).
+//!
+//! Provides:
+//!
+//! * [`ExpertsBlock`] — the batched two-layer feed-forward network
+//!   (`fflayer`) computed per local expert, forward and backward;
+//! * [`ExpertPlacement`] — the `count_per_node` distribution control of
+//!   Figure 17 (positive: experts per GPU; negative: GPUs per expert);
+//! * [`ShardedExpertParams`] — the ZeRO-style parameter placement that
+//!   both parallelism strategies share, making them switchable at zero
+//!   migration cost;
+//! * [`p1_forward`] / [`p2_forward`] — functional implementations of
+//!   Switchable Expert + Data Parallelism (P1: all-gather parameters,
+//!   keep tokens put) and Switchable Expert + Model Parallelism (P2:
+//!   replicate tokens, keep parameter slices put);
+//! * [`InlineParallelismRouter`] — the O(1) cost-function router that
+//!   picks P1 or P2 each iteration from communication volume alone.
+
+mod ffn;
+mod placement;
+mod router;
+mod sharded;
+
+pub use ffn::ExpertsBlock;
+pub use placement::ExpertPlacement;
+pub use router::{InlineParallelismRouter, MoeDims, Parallelism};
+pub use sharded::{p1_forward, p2_forward, ShardedExpertParams};

@@ -1,0 +1,298 @@
+//! ZeRO-style sharded expert parameters and the two switchable
+//! parallelism executions (Section 3.2, Figures 11–12).
+//!
+//! The crucial design point making P1 and P2 *switchable at zero cost*
+//! is that they share one parameter placement: every rank of a replica
+//! group permanently owns a `1/R` hidden-dimension slice of its
+//! experts' weights. P1 temporarily materializes the full weights via
+//! all-gather (Expert + Data parallelism); P2 uses the slice directly
+//! in tensor-parallel style against replicated tokens (Expert + Model
+//! parallelism). Switching between them changes only the communication
+//! plan — no parameter migration ever happens.
+
+use tutel_tensor::{Rng, Tensor, TensorError};
+
+use crate::ExpertsBlock;
+
+/// Expert parameters sharded across the `R` ranks of one replica group.
+///
+/// Sharding is along the hidden dimension `V`: rank `r` owns columns
+/// `[r·V/R, (r+1)·V/R)` of `W1`/`b1` and the matching rows of `W2`
+/// (the classic Megatron column/row-parallel split). `b2` belongs to
+/// shard 0 so the cross-shard sum adds it exactly once.
+///
+/// # Example
+///
+/// ```
+/// use tutel_experts::{p1_forward, p2_forward, ShardedExpertParams};
+/// use tutel_tensor::Rng;
+///
+/// let mut rng = Rng::seed(0);
+/// let params = ShardedExpertParams::new(1, 8, 16, 4, &mut rng)?;
+/// let x = rng.normal_tensor(&[1, 6, 8], 0.0, 1.0);
+/// let y1 = p1_forward(&params, &x)?;
+/// let y2 = p2_forward(&params, &x)?;
+/// assert!(y1.sub(&y2)?.max_abs() < 1e-4); // identical math, either path
+/// # Ok::<(), tutel_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedExpertParams {
+    local_experts: usize,
+    model_dim: usize,
+    hidden_dim: usize,
+    shards: usize,
+    /// Per-shard parameter slices, index = rank within the group.
+    slices: Vec<ShardSlice>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct ShardSlice {
+    /// `(ΔE, M, V/R)`.
+    w1: Tensor,
+    /// `(ΔE, V/R)`.
+    b1: Tensor,
+    /// `(ΔE, V/R, M)`.
+    w2: Tensor,
+    /// `(ΔE, M)` — real values on shard 0, zeros elsewhere.
+    b2: Tensor,
+}
+
+impl ShardedExpertParams {
+    /// Creates randomly initialized sharded parameters for
+    /// `local_experts` experts of dims `model_dim → hidden_dim`,
+    /// sharded `shards` ways.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if `hidden_dim` is not divisible by
+    /// `shards`.
+    pub fn new(
+        local_experts: usize,
+        model_dim: usize,
+        hidden_dim: usize,
+        shards: usize,
+        rng: &mut Rng,
+    ) -> Result<Self, TensorError> {
+        if shards == 0 || !hidden_dim.is_multiple_of(shards) {
+            return Err(TensorError::InvalidArgument(format!(
+                "hidden dim {hidden_dim} not divisible into {shards} shards"
+            )));
+        }
+        let full = ExpertsBlock::new(local_experts, model_dim, hidden_dim, rng);
+        Self::from_block(&full, shards)
+    }
+
+    /// Shards an existing full-parameter block.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if the hidden dim is not divisible by
+    /// `shards`.
+    pub fn from_block(full: &ExpertsBlock, shards: usize) -> Result<Self, TensorError> {
+        let (w1, b1, w2, b2) = full.weights();
+        let v = full.hidden_dim();
+        if shards == 0 || !v.is_multiple_of(shards) {
+            return Err(TensorError::InvalidArgument(format!(
+                "hidden dim {v} not divisible into {shards} shards"
+            )));
+        }
+        // Column-split W1/b1 along V (axis 2 / axis 1), row-split W2
+        // along V (axis 1).
+        let w1s = w1.split_axis(2, shards)?;
+        let b1s = b1.split_axis(1, shards)?;
+        let w2s = w2.split_axis(1, shards)?;
+        let slices = (0..shards)
+            .map(|r| ShardSlice {
+                w1: w1s[r].clone(),
+                b1: b1s[r].clone(),
+                w2: w2s[r].clone(),
+                b2: if r == 0 { b2.clone() } else { Tensor::zeros(b2.dims()) },
+            })
+            .collect();
+        Ok(ShardedExpertParams {
+            local_experts: full.local_experts(),
+            model_dim: full.model_dim(),
+            hidden_dim: v,
+            shards,
+            slices,
+        })
+    }
+
+    /// Number of shards (`R`, the "n-sharded" of the paper).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Local experts per group (`ΔE`).
+    pub fn local_experts(&self) -> usize {
+        self.local_experts
+    }
+
+    /// Model dimension `M`.
+    pub fn model_dim(&self) -> usize {
+        self.model_dim
+    }
+
+    /// Hidden dimension `V` (full, before sharding).
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Parameter bytes held by one shard.
+    pub fn shard_bytes(&self) -> u64 {
+        let s = &self.slices[0];
+        ((s.w1.len() + s.b1.len() + s.w2.len() + s.b2.len()) * std::mem::size_of::<f32>()) as u64
+    }
+
+    /// The tensor-parallel slice owned by rank `r` of the group, as a
+    /// runnable block (what P2 executes directly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= shards()`.
+    pub fn shard_block(&self, r: usize) -> ExpertsBlock {
+        let s = &self.slices[r];
+        ExpertsBlock::from_weights(s.w1.clone(), s.b1.clone(), s.w2.clone(), s.b2.clone())
+            .expect("shard slices are internally consistent")
+    }
+
+    /// Materializes the full parameters via (functional) all-gather —
+    /// what P1 executes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if concatenation fails (cannot happen
+    /// for internally consistent shards).
+    pub fn gather(&self) -> Result<ExpertsBlock, TensorError> {
+        let w1: Vec<Tensor> = self.slices.iter().map(|s| s.w1.clone()).collect();
+        let b1: Vec<Tensor> = self.slices.iter().map(|s| s.b1.clone()).collect();
+        let w2: Vec<Tensor> = self.slices.iter().map(|s| s.w2.clone()).collect();
+        let full_w1 = Tensor::concat_axis(&w1, 2)?;
+        let full_b1 = Tensor::concat_axis(&b1, 1)?;
+        let full_w2 = Tensor::concat_axis(&w2, 1)?;
+        ExpertsBlock::from_weights(full_w1, full_b1, full_w2, self.slices[0].b2.clone())
+    }
+
+    /// A fingerprint of the per-shard parameter bytes, used to assert
+    /// that switching parallelism never migrates parameters.
+    pub fn placement_fingerprint(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        let mut mix = |t: &Tensor| {
+            for v in t.as_slice() {
+                h ^= v.to_bits() as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        for s in &self.slices {
+            mix(&s.w1);
+            mix(&s.b1);
+            mix(&s.w2);
+            mix(&s.b2);
+        }
+        h
+    }
+}
+
+/// P1 — Switchable Expert + Data Parallelism (Figure 11): all-gather
+/// the sharded parameters into full experts, then compute locally.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] if `x` is not `(ΔE, C, M)`.
+pub fn p1_forward(params: &ShardedExpertParams, x: &Tensor) -> Result<Tensor, TensorError> {
+    params.gather()?.infer(x)
+}
+
+/// P2 — Switchable Expert + Model Parallelism (Figure 12): every shard
+/// computes on the (replicated) tokens with its local slice; partial
+/// outputs are sum-reduced.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] if `x` is not `(ΔE, C, M)`.
+pub fn p2_forward(params: &ShardedExpertParams, x: &Tensor) -> Result<Tensor, TensorError> {
+    let mut acc: Option<Tensor> = None;
+    for r in 0..params.shards() {
+        let partial = params.shard_block(r).infer(x)?;
+        acc = Some(match acc {
+            None => partial,
+            Some(a) => a.add(&partial)?,
+        });
+    }
+    Ok(acc.expect("at least one shard"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p1_and_p2_compute_identical_outputs() {
+        let mut rng = Rng::seed(1);
+        for shards in [1, 2, 4] {
+            let params = ShardedExpertParams::new(2, 6, 8, shards, &mut rng).unwrap();
+            let x = rng.normal_tensor(&[2, 5, 6], 0.0, 1.0);
+            let y1 = p1_forward(&params, &x).unwrap();
+            let y2 = p2_forward(&params, &x).unwrap();
+            assert!(y1.sub(&y2).unwrap().max_abs() < 1e-4, "shards {shards}");
+        }
+    }
+
+    #[test]
+    fn gather_reconstructs_the_original_block() {
+        let mut rng = Rng::seed(2);
+        let full = ExpertsBlock::new(3, 4, 8, &mut rng);
+        let sharded = ShardedExpertParams::from_block(&full, 4).unwrap();
+        let regathered = sharded.gather().unwrap();
+        let (w1a, b1a, w2a, b2a) = full.weights();
+        let (w1b, b1b, w2b, b2b) = regathered.weights();
+        assert_eq!(w1a, w1b);
+        assert_eq!(b1a, b1b);
+        assert_eq!(w2a, w2b);
+        assert_eq!(b2a, b2b);
+    }
+
+    #[test]
+    fn switching_does_not_migrate_parameters() {
+        let mut rng = Rng::seed(3);
+        let params = ShardedExpertParams::new(1, 4, 8, 2, &mut rng).unwrap();
+        let x = rng.normal_tensor(&[1, 3, 4], 0.0, 1.0);
+        let fp0 = params.placement_fingerprint();
+        let _ = p1_forward(&params, &x).unwrap();
+        let fp1 = params.placement_fingerprint();
+        let _ = p2_forward(&params, &x).unwrap();
+        let fp2 = params.placement_fingerprint();
+        let _ = p1_forward(&params, &x).unwrap();
+        let fp3 = params.placement_fingerprint();
+        assert!(fp0 == fp1 && fp1 == fp2 && fp2 == fp3, "parameters moved");
+    }
+
+    #[test]
+    fn shard_bytes_divide_evenly() {
+        let mut rng = Rng::seed(4);
+        let full = ExpertsBlock::new(1, 4, 8, &mut rng);
+        let total = (full.num_params() * 4) as u64;
+        let sharded = ShardedExpertParams::from_block(&full, 2).unwrap();
+        // Shards split W1/b1/W2; b2 rides on shard 0 (zeros elsewhere),
+        // so each shard stores slightly more than total/R.
+        assert!(sharded.shard_bytes() >= total / 2 - 64);
+        assert!(sharded.shard_bytes() <= total / 2 + 64);
+    }
+
+    #[test]
+    fn rejects_indivisible_hidden_dim() {
+        let mut rng = Rng::seed(5);
+        assert!(ShardedExpertParams::new(1, 4, 6, 4, &mut rng).is_err());
+        assert!(ShardedExpertParams::new(1, 4, 6, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn single_shard_is_the_trivial_case() {
+        let mut rng = Rng::seed(6);
+        let params = ShardedExpertParams::new(2, 4, 8, 1, &mut rng).unwrap();
+        let x = rng.normal_tensor(&[2, 3, 4], 0.0, 1.0);
+        let y1 = p1_forward(&params, &x).unwrap();
+        let y2 = p2_forward(&params, &x).unwrap();
+        assert_eq!(y1, y2);
+    }
+}

@@ -1,0 +1,172 @@
+//! The dynamic capacity-factor controller.
+//!
+//! Section 2.1 of the paper: "f is dynamically adjusted during
+//! training ... it is increased/decreased when the token distribution
+//! is uneven/even". This module provides that control loop: it watches
+//! the per-iteration *needed* capacity factor (the Figure 1 telemetry)
+//! and emits a smoothed, hysteresis-damped capacity factor to use next
+//! iteration — large enough to drop few tokens, small enough not to
+//! waste compute on padding.
+
+use serde::{Deserialize, Serialize};
+
+/// Exponential-moving-average capacity controller with hysteresis.
+///
+/// Each iteration, feed it the routing's `needed_factor`; it tracks an
+/// EMA with headroom and only moves the emitted factor when the target
+/// drifts outside a dead band — avoiding the per-iteration capacity
+/// churn that would defeat Algorithm 2's bucketing (every new `f`
+/// triggers a bucket lookup; a noisy `f` stream would thrash).
+///
+/// # Example
+///
+/// ```
+/// use tutel_gate::CapacityController;
+///
+/// let mut ctl = CapacityController::new(1.0);
+/// // A burst of imbalance pushes the factor up...
+/// for _ in 0..50 {
+///     ctl.observe(3.0);
+/// }
+/// assert!(ctl.factor() > 2.0);
+/// // ...and sustained balance brings it back down.
+/// for _ in 0..200 {
+///     ctl.observe(1.0);
+/// }
+/// assert!(ctl.factor() < 1.5);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CapacityController {
+    ema: f64,
+    emitted: f64,
+    /// EMA smoothing coefficient (weight of the new observation).
+    pub alpha: f64,
+    /// Multiplicative headroom over the EMA of needed factors.
+    pub headroom: f64,
+    /// Relative dead band: the emitted factor only moves when the
+    /// target leaves `emitted · (1 ± deadband)`.
+    pub deadband: f64,
+    /// Hard bounds on the emitted factor.
+    pub min_factor: f64,
+    /// Upper bound on the emitted factor.
+    pub max_factor: f64,
+}
+
+impl CapacityController {
+    /// Creates a controller starting at `initial` (also the minimum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is not positive.
+    pub fn new(initial: f64) -> Self {
+        assert!(initial > 0.0, "initial capacity factor must be positive");
+        CapacityController {
+            ema: initial,
+            emitted: initial,
+            alpha: 0.1,
+            headroom: 1.1,
+            deadband: 0.15,
+            min_factor: initial.min(1.0),
+            max_factor: 16.0,
+        }
+    }
+
+    /// The capacity factor to use next iteration.
+    pub fn factor(&self) -> f64 {
+        self.emitted
+    }
+
+    /// The smoothed estimate of the needed factor.
+    pub fn ema(&self) -> f64 {
+        self.ema
+    }
+
+    /// Feeds one iteration's needed factor; returns the (possibly
+    /// updated) factor to use next.
+    pub fn observe(&mut self, needed_factor: f64) -> f64 {
+        let needed = needed_factor.max(0.0);
+        self.ema += self.alpha * (needed - self.ema);
+        let target = (self.ema * self.headroom).clamp(self.min_factor, self.max_factor);
+        let lo = self.emitted * (1.0 - self.deadband);
+        let hi = self.emitted * (1.0 + self.deadband);
+        if target < lo || target > hi {
+            self.emitted = target;
+        }
+        self.emitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_sustained_imbalance_up_and_down() {
+        let mut ctl = CapacityController::new(1.0);
+        for _ in 0..100 {
+            ctl.observe(4.0);
+        }
+        assert!(ctl.factor() > 3.5, "must rise toward 4·headroom, got {}", ctl.factor());
+        for _ in 0..300 {
+            ctl.observe(1.0);
+        }
+        assert!(ctl.factor() < 1.3, "must fall back, got {}", ctl.factor());
+        assert!(ctl.factor() >= ctl.min_factor);
+    }
+
+    #[test]
+    fn deadband_suppresses_jitter() {
+        let mut ctl = CapacityController::new(2.0);
+        // Warm the EMA to the operating point.
+        for _ in 0..200 {
+            ctl.observe(2.0);
+        }
+        let settled = ctl.factor();
+        let mut changes = 0;
+        // ±5 % noise stays inside the 15 % dead band.
+        for i in 0..100 {
+            let noisy = 2.0 * (1.0 + if i % 2 == 0 { 0.05 } else { -0.05 });
+            let before = ctl.factor();
+            ctl.observe(noisy);
+            if (ctl.factor() - before).abs() > 1e-12 {
+                changes += 1;
+            }
+        }
+        assert_eq!(changes, 0, "noise within the dead band must not move the factor");
+        assert!((ctl.factor() - settled).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let mut ctl = CapacityController::new(1.0);
+        for _ in 0..500 {
+            ctl.observe(1000.0);
+        }
+        assert!(ctl.factor() <= ctl.max_factor);
+        for _ in 0..500 {
+            ctl.observe(0.0);
+        }
+        assert!(ctl.factor() >= ctl.min_factor);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_initial() {
+        CapacityController::new(0.0);
+    }
+
+    #[test]
+    fn emitted_factor_changes_are_infrequent_under_figure1_like_trace() {
+        // A wandering needed-factor trace: the controller must emit far
+        // fewer distinct factors than it observes (good for Algorithm
+        // 2's bucket reuse).
+        let mut ctl = CapacityController::new(1.0);
+        let mut distinct = std::collections::BTreeSet::new();
+        for i in 0..1000usize {
+            let needed = 1.5 + (i as f64 / 80.0).sin() * 0.8 + ((i * 7919) % 13) as f64 * 0.02;
+            ctl.observe(needed);
+            distinct.insert((ctl.factor() * 1e6) as u64);
+        }
+        assert!(distinct.len() < 40, "{} distinct emitted factors", distinct.len());
+    }
+}

@@ -1,0 +1,327 @@
+//! Top-k / top-ANY routing with expert capacity and batch prioritized
+//! routing (BPR).
+
+use serde::{Deserialize, Serialize};
+use tutel_tensor::{Tensor, TensorError};
+
+use crate::{expert_capacity, needed_capacity_factor, CapacityPolicy};
+
+/// Configuration of one routing invocation.
+///
+/// Every field may change between iterations — this is the paper's
+/// "Dynamic Top-ANY MoE Gating" (`k` is arbitrary and per-iteration)
+/// and "Dynamic Capacity Factor" (Figure 16).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RouteConfig {
+    /// Experts per token (`1 ≤ k ≤ E`), changeable at every iteration.
+    pub k: usize,
+    /// Capacity factor policy (Equation 1 / Figure 16).
+    pub capacity: CapacityPolicy,
+    /// Batch prioritized routing: assign capacity slots in order of
+    /// gate confidence rather than token order (Figure 25).
+    pub bpr: bool,
+    /// Normalize the selected top-k gate values to sum to 1 (GShard
+    /// convention for k > 1).
+    pub normalize_gates: bool,
+}
+
+impl RouteConfig {
+    /// The paper's SwinV2-MoE default: top-1, `f = 1.0`, no BPR.
+    pub fn top1() -> Self {
+        RouteConfig {
+            k: 1,
+            capacity: CapacityPolicy::Fixed(1.0),
+            bpr: false,
+            normalize_gates: true,
+        }
+    }
+
+    /// GShard-style top-2 with `f = 1.0`.
+    pub fn top2() -> Self {
+        RouteConfig { k: 2, ..RouteConfig::top1() }
+    }
+
+    /// Replaces the capacity factor.
+    pub fn with_capacity_factor(mut self, x: f64) -> Self {
+        self.capacity = CapacityPolicy::from_arg(x);
+        self
+    }
+
+    /// Enables or disables BPR.
+    pub fn with_bpr(mut self, bpr: bool) -> Self {
+        self.bpr = bpr;
+        self
+    }
+}
+
+/// The outcome of routing `T` tokens to `E` experts: everything encode,
+/// combine, and the framework's telemetry need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Routing {
+    /// Number of global experts.
+    pub experts: usize,
+    /// Capacity per expert (`ΔC` before world-splitting).
+    pub capacity: usize,
+    /// The capacity factor actually used this iteration.
+    pub capacity_factor: f64,
+    /// The minimum factor that would have dropped no token — the
+    /// Figure 1 telemetry signal.
+    pub needed_factor: f64,
+    /// For each token, its selected experts (up to `k`).
+    pub expert_of: Vec<Vec<usize>>,
+    /// For each token, the gate weight per selected expert (post
+    /// normalization); dropped assignments keep their weight but have
+    /// no location.
+    pub gate_of: Vec<Vec<f32>>,
+    /// For each token, the capacity slot per selected expert, `None` if
+    /// the token overflowed the expert's capacity and was dropped.
+    pub location_of: Vec<Vec<Option<usize>>>,
+    /// Tokens routed to each expert after capacity clamping.
+    pub counts: Vec<usize>,
+    /// Tokens routed to each expert before capacity clamping.
+    pub raw_counts: Vec<usize>,
+}
+
+impl Routing {
+    /// Number of tokens routed.
+    pub fn num_tokens(&self) -> usize {
+        self.expert_of.len()
+    }
+
+    /// Total (token, expert) assignments that were dropped by the
+    /// capacity clamp.
+    pub fn dropped(&self) -> usize {
+        self.location_of.iter().flatten().filter(|l| l.is_none()).count()
+    }
+
+    /// Fraction of assignments that survived the capacity clamp.
+    pub fn survival_rate(&self) -> f64 {
+        let total: usize = self.location_of.iter().map(|l| l.len()).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        1.0 - self.dropped() as f64 / total as f64
+    }
+}
+
+/// Routes tokens given gating probabilities `probs` of shape `(T, E)`.
+///
+/// Implements GShard-compatible top-k routing: per-token top-k expert
+/// selection, optional gate normalization, capacity-slot assignment in
+/// token order (or confidence order under BPR), and the dynamic
+/// capacity policy of Figure 16.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] if `probs` is not a rank-2 tensor or `k`
+/// exceeds the number of experts.
+///
+/// # Example
+///
+/// ```
+/// use tutel_gate::{route, RouteConfig};
+/// use tutel_tensor::Tensor;
+///
+/// // 4 tokens, 2 experts; all tokens prefer expert 0.
+/// let probs = Tensor::from_vec(vec![0.9, 0.1, 0.8, 0.2, 0.7, 0.3, 0.6, 0.4], &[4, 2])?;
+/// let routing = route(&probs, &RouteConfig::top1())?;
+/// // f = 1, k = 1 → capacity 2: two tokens overflow expert 0.
+/// assert_eq!(routing.capacity, 2);
+/// assert_eq!(routing.dropped(), 2);
+/// # Ok::<(), tutel_tensor::TensorError>(())
+/// ```
+pub fn route(probs: &Tensor, cfg: &RouteConfig) -> Result<Routing, TensorError> {
+    if probs.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: probs.rank(), op: "route" });
+    }
+    let (tokens, experts) = (probs.dims()[0], probs.dims()[1]);
+    if cfg.k == 0 || cfg.k > experts {
+        return Err(TensorError::InvalidArgument(format!(
+            "top-k with k={} over {experts} experts",
+            cfg.k
+        )));
+    }
+
+    let (idxs, vals) = probs.topk_last(cfg.k)?;
+
+    // Gate weights, optionally normalized over the selected k.
+    let gate_of: Vec<Vec<f32>> = vals
+        .iter()
+        .map(|v| {
+            if cfg.normalize_gates && cfg.k > 1 {
+                let s: f32 = v.iter().sum::<f32>().max(1e-9);
+                v.iter().map(|g| g / s).collect()
+            } else {
+                v.clone()
+            }
+        })
+        .collect();
+
+    // Raw (unclamped) per-expert demand, for the dynamic policy and the
+    // Figure 1 telemetry.
+    let mut raw_counts = vec![0usize; experts];
+    for tk in &idxs {
+        for &e in tk {
+            raw_counts[e] += 1;
+        }
+    }
+    let needed = needed_capacity_factor(&raw_counts, cfg.k, tokens);
+    let factor = cfg.capacity.resolve(&raw_counts, cfg.k, tokens);
+    let capacity = expert_capacity(cfg.k, factor, tokens, experts);
+
+    // Capacity-slot assignment order: token order, or confidence order
+    // under BPR (descending top-1 gate probability).
+    let mut order: Vec<usize> = (0..tokens).collect();
+    if cfg.bpr {
+        order.sort_by(|&a, &b| {
+            let ga = vals[a].first().copied().unwrap_or(0.0);
+            let gb = vals[b].first().copied().unwrap_or(0.0);
+            gb.partial_cmp(&ga).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        });
+    }
+
+    let mut counts = vec![0usize; experts];
+    let mut location_of = vec![Vec::new(); tokens];
+    for &t in &order {
+        let mut locs = Vec::with_capacity(cfg.k);
+        for &e in &idxs[t] {
+            if counts[e] < capacity {
+                locs.push(Some(counts[e]));
+                counts[e] += 1;
+            } else {
+                locs.push(None);
+            }
+        }
+        location_of[t] = locs;
+    }
+
+    Ok(Routing {
+        experts,
+        capacity,
+        capacity_factor: factor,
+        needed_factor: needed,
+        expert_of: idxs,
+        gate_of,
+        location_of,
+        counts,
+        raw_counts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tutel_tensor::Rng;
+
+    fn probs_preferring_expert0(tokens: usize, experts: usize) -> Tensor {
+        let mut t = Tensor::zeros(&[tokens, experts]);
+        for ti in 0..tokens {
+            for e in 0..experts {
+                let v = if e == 0 { 0.5 + 0.4 / (ti + 1) as f32 } else { 0.5 / experts as f32 };
+                t.set(&[ti, e], v);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn capacity_clamp_drops_overflow_in_token_order() {
+        let probs = probs_preferring_expert0(8, 4);
+        let r = route(&probs, &RouteConfig::top1()).unwrap();
+        // k=1, f=1, T=8, E=4 → capacity 2; expert 0 keeps tokens 0, 1.
+        assert_eq!(r.capacity, 2);
+        assert_eq!(r.location_of[0][0], Some(0));
+        assert_eq!(r.location_of[1][0], Some(1));
+        assert_eq!(r.location_of[2][0], None);
+        assert_eq!(r.counts[0], 2);
+        assert_eq!(r.raw_counts[0], 8);
+    }
+
+    #[test]
+    fn bpr_prioritizes_confident_tokens() {
+        // Token 7 has the *lowest* confidence for expert 0 under the
+        // fixture (0.5 + 0.4/8); token 0 the highest. Flip the fixture
+        // so late tokens are more confident, then BPR must keep them.
+        let mut probs = Tensor::zeros(&[8, 4]);
+        for ti in 0..8 {
+            probs.set(&[ti, 0], 0.5 + 0.05 * ti as f32);
+            for e in 1..4 {
+                probs.set(&[ti, e], 0.01);
+            }
+        }
+        let no_bpr = route(&probs, &RouteConfig::top1()).unwrap();
+        // Token order: tokens 0 and 1 survive.
+        assert_eq!(no_bpr.location_of[0][0], Some(0));
+        assert!(no_bpr.location_of[7][0].is_none());
+        let bpr = route(&probs, &RouteConfig::top1().with_bpr(true)).unwrap();
+        // Confidence order: tokens 7 and 6 survive.
+        assert!(bpr.location_of[7][0].is_some());
+        assert!(bpr.location_of[6][0].is_some());
+        assert!(bpr.location_of[0][0].is_none());
+    }
+
+    #[test]
+    fn top2_gates_normalize() {
+        let mut rng = Rng::seed(1);
+        let probs = rng.uniform_tensor(&[16, 8], 0.0, 1.0).softmax_last();
+        let r = route(&probs, &RouteConfig::top2()).unwrap();
+        for g in &r.gate_of {
+            assert_eq!(g.len(), 2);
+            assert!((g.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn top_any_supports_large_k() {
+        let mut rng = Rng::seed(2);
+        let probs = rng.uniform_tensor(&[8, 8], 0.0, 1.0).softmax_last();
+        for k in [1, 3, 5, 8] {
+            let cfg = RouteConfig { k, ..RouteConfig::top1() };
+            let r = route(&probs, &cfg).unwrap();
+            assert!(r.expert_of.iter().all(|e| e.len() == k));
+        }
+        let cfg = RouteConfig { k: 9, ..RouteConfig::top1() };
+        assert!(route(&probs, &cfg).is_err());
+    }
+
+    #[test]
+    fn auto_min_capacity_drops_nothing() {
+        let probs = probs_preferring_expert0(8, 4);
+        let cfg = RouteConfig::top1().with_capacity_factor(0.0);
+        let r = route(&probs, &cfg).unwrap();
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.capacity, 8); // all 8 tokens fit in expert 0
+        assert!((r.capacity_factor - 4.0).abs() < 1e-9); // 8·4/(1·8)
+    }
+
+    #[test]
+    fn auto_capped_capacity_respects_bound() {
+        let probs = probs_preferring_expert0(8, 4);
+        let cfg = RouteConfig::top1().with_capacity_factor(-2.0);
+        let r = route(&probs, &cfg).unwrap();
+        assert!((r.capacity_factor - 2.0).abs() < 1e-9);
+        assert_eq!(r.capacity, 4);
+        assert_eq!(r.dropped(), 4);
+    }
+
+    #[test]
+    fn needed_factor_reported_for_telemetry() {
+        let probs = probs_preferring_expert0(8, 4);
+        let r = route(&probs, &RouteConfig::top1()).unwrap();
+        assert!((r.needed_factor - 4.0).abs() < 1e-9);
+        assert!((r.survival_rate() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn balanced_routing_has_no_drops_at_f1() {
+        // Diagonal-preference probabilities: token t prefers expert t%E.
+        let (tokens, experts) = (16, 4);
+        let mut probs = Tensor::zeros(&[tokens, experts]);
+        for t in 0..tokens {
+            probs.set(&[t, t % experts], 1.0);
+        }
+        let r = route(&probs, &RouteConfig::top1()).unwrap();
+        assert_eq!(r.dropped(), 0);
+        assert!((r.needed_factor - 1.0).abs() < 1e-9);
+    }
+}

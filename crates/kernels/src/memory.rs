@@ -1,0 +1,161 @@
+//! Memory accounting for encode/decode, reproducing Table 4 of the
+//! paper (GPU memory cost of a single MoE layer: Fairseq vs Tutel).
+//!
+//! The dense path materializes per-token one-hot tensors whose size
+//! scales with `T · E · ΔC` — with `ΔC = k·f·T/E` that is `O(k·f·T²)`,
+//! which is why Fairseq's footprint explodes super-linearly in
+//! tokens/step (3.7 GiB at 4 Ki tokens → 57.9 GiB at 32 Ki) while
+//! Tutel's stays `O(T·k·M)`.
+
+use tutel_simgpu::MemoryMeter;
+
+/// Static model settings for the memory accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemorySettings {
+    /// Tokens per step (`T`).
+    pub tokens: usize,
+    /// Global experts (`E`).
+    pub experts: usize,
+    /// Model dimension (`M`).
+    pub model_dim: usize,
+    /// Hidden dimension of the expert FFN (`V`).
+    pub hidden_dim: usize,
+    /// Top-k.
+    pub k: usize,
+    /// Capacity factor.
+    pub capacity_factor: f64,
+    /// Local experts per GPU (`ΔE`).
+    pub local_experts: usize,
+}
+
+impl MemorySettings {
+    /// The Table 4 static setting: `M = V = 4096`, top-2, `ΔE = 2`,
+    /// `E = 64` global experts (32 GPUs × 2 local experts).
+    pub fn table4(tokens: usize) -> Self {
+        MemorySettings {
+            tokens,
+            experts: 64,
+            model_dim: 4096,
+            hidden_dim: 4096,
+            k: 2,
+            capacity_factor: 1.0,
+            local_experts: 2,
+        }
+    }
+
+    /// Expert capacity `ΔC` per Equation 1.
+    pub fn capacity(&self) -> usize {
+        tutel_gate::expert_capacity(self.k, self.capacity_factor, self.tokens, self.experts)
+    }
+}
+
+const F32: u64 = 4;
+
+/// Accounts the activation memory of one forward pass of a Fairseq-style
+/// MoE layer (dense einsum encode/decode of Figure 18a).
+pub fn fairseq_layer_memory(s: &MemorySettings) -> MemoryMeter {
+    let mut mem = MemoryMeter::new();
+    let (t, e, cap, m, v) = dims(s);
+    common_activations(&mut mem, s);
+    // Dense one-hot locations (T, ΔC) and combine weights (T, E, ΔC),
+    // kept for the backward pass, plus the boolean dispatch mask of the
+    // same shape (Figure 18a lines 8–12).
+    mem.alloc("dense_locations_onehot", t * cap * F32);
+    mem.alloc("dense_combine_weights", t * e * cap * F32);
+    mem.alloc("dense_dispatch_mask", t * e * cap * F32);
+    // The einsum's materialized intermediate for backward.
+    mem.alloc("dense_einsum_saved", t * e * cap * F32);
+    // Dispatched input and expert activations.
+    mem.alloc("dispatch_input", e * cap * m * F32);
+    mem.alloc("expert_hidden", e * cap * v * F32);
+    mem.alloc("expert_output", e * cap * m * F32);
+    mem
+}
+
+/// Accounts the activation memory of one forward pass of a Tutel MoE
+/// layer (sparse fast encode/decode of Figure 18b).
+pub fn tutel_layer_memory(s: &MemorySettings) -> MemoryMeter {
+    let mut mem = MemoryMeter::new();
+    let (_t, e, cap, m, v) = dims(s);
+    let t = s.tokens as u64;
+    common_activations(&mut mem, s);
+    // Sparse bookkeeping: indices, locations, gates — O(T·k) scalars.
+    mem.alloc("sparse_idxs", t * s.k as u64 * F32);
+    mem.alloc("sparse_locations", t * s.k as u64 * F32);
+    mem.alloc("sparse_gates", t * s.k as u64 * F32);
+    // Dispatched input and expert activations (same as dense).
+    mem.alloc("dispatch_input", e * cap * m * F32);
+    mem.alloc("expert_hidden", e * cap * v * F32);
+    mem.alloc("expert_output", e * cap * m * F32);
+    mem
+}
+
+fn dims(s: &MemorySettings) -> (u64, u64, u64, u64, u64) {
+    (
+        s.tokens as u64,
+        s.experts as u64,
+        s.capacity() as u64,
+        s.model_dim as u64,
+        s.hidden_dim as u64,
+    )
+}
+
+/// Allocations both implementations share: layer input/output, gate
+/// logits/probabilities, local expert weights.
+fn common_activations(mem: &mut MemoryMeter, s: &MemorySettings) {
+    let (t, e, _cap, m, v) = dims(s);
+    mem.alloc("layer_input", t * m * F32);
+    mem.alloc("gate_logits", t * e * F32);
+    mem.alloc("gate_probs", t * e * F32);
+    mem.alloc("layer_output", t * m * F32);
+    mem.alloc("expert_weights", s.local_experts as u64 * 2 * m * v * F32);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tutel_uses_less_memory_everywhere() {
+        for tokens in [4096, 8192, 16384, 32768] {
+            let s = MemorySettings::table4(tokens);
+            let fair = fairseq_layer_memory(&s).peak_bytes();
+            let tut = tutel_layer_memory(&s).peak_bytes();
+            assert!(tut < fair, "tokens {tokens}: tutel {tut} vs fairseq {fair}");
+        }
+    }
+
+    #[test]
+    fn saving_grows_with_tokens_per_step() {
+        // Table 4: −21.6 % at 4 Ki tokens growing to −90.2 % at 32 Ki.
+        let save = |tokens: usize| {
+            let s = MemorySettings::table4(tokens);
+            let fair = fairseq_layer_memory(&s).peak_bytes() as f64;
+            let tut = tutel_layer_memory(&s).peak_bytes() as f64;
+            1.0 - tut / fair
+        };
+        let s4k = save(4096);
+        let s32k = save(32768);
+        assert!(s4k > 0.05 && s4k < 0.6, "4k saving {s4k}");
+        assert!(s32k > 0.6, "32k saving {s32k}");
+        assert!(s32k > s4k);
+    }
+
+    #[test]
+    fn dense_overhead_is_superlinear_in_tokens() {
+        let extra = |tokens: usize| {
+            let s = MemorySettings::table4(tokens);
+            fairseq_layer_memory(&s).total_for("dense") as f64
+        };
+        // Doubling T should more than double the dense bookkeeping
+        // (ΔC also grows with T at fixed E-scaling).
+        assert!(extra(16384) > 2.5 * extra(8192));
+    }
+
+    #[test]
+    fn capacity_matches_equation1() {
+        let s = MemorySettings::table4(16384);
+        // E = 64, k = 2, f = 1: ΔC = 2·16384/64 = 512.
+        assert_eq!(s.capacity(), 512);
+    }
+}

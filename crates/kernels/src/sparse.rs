@@ -1,0 +1,331 @@
+//! Tutel's sparse fast encode/decode (Figure 18b / Figure 19).
+//!
+//! Complexity is `O(T·k·M)` — a factor `T` below the dense einsum —
+//! because each (token, selection) pair touches exactly one `M`-length
+//! row. The GPU kernels assign one warp per token row; this CPU
+//! equivalent keeps the same row-at-a-time structure (and therefore the
+//! same operation count the cost model prices).
+
+use tutel_gate::Routing;
+use tutel_tensor::{Tensor, TensorError};
+
+/// Sparse encode (`moe.fast_encode`): scatters the MoE layer input
+/// `x (T, M)` into the All-to-All dispatch buffer `(E, ΔC, M)`.
+///
+/// Dispatch is *unweighted* (GShard semantics: `bool(scores)` — gate
+/// values are applied at decode), so a token routed to an expert
+/// contributes its raw feature row; dropped (capacity-overflow)
+/// assignments contribute nothing and the corresponding capacity slot
+/// stays zero.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] if `x` is not rank-2 or its token count
+/// disagrees with the routing.
+///
+/// # Example
+///
+/// ```
+/// use tutel_gate::{route, RouteConfig};
+/// use tutel_kernels::fast_encode;
+/// use tutel_tensor::Tensor;
+///
+/// let probs = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8], &[2, 2])?;
+/// let routing = route(&probs, &RouteConfig::top1())?;
+/// let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let dispatched = fast_encode(&x, &routing)?;
+/// assert_eq!(dispatched.dims(), &[2, 1, 2]); // (E, ΔC, M)
+/// assert_eq!(dispatched.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+/// # Ok::<(), tutel_tensor::TensorError>(())
+/// ```
+pub fn fast_encode(x: &Tensor, routing: &Routing) -> Result<Tensor, TensorError> {
+    let m = check_tokens(x, routing)?;
+    let mut out = Tensor::zeros(&[routing.experts, routing.capacity, m]);
+    let cap = routing.capacity;
+    for (t, (experts, locs)) in routing.expert_of.iter().zip(&routing.location_of).enumerate() {
+        let row = &x.as_slice()[t * m..(t + 1) * m];
+        for (&e, loc) in experts.iter().zip(locs) {
+            if let Some(l) = *loc {
+                let off = (e * cap + l) * m;
+                // One warp per row on GPU; one memcpy-add per row here.
+                for (o, v) in out.as_mut_slice()[off..off + m].iter_mut().zip(row) {
+                    *o += v;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Backward of [`fast_encode`]: gathers `d_dispatched (E, ΔC, M)` back
+/// into `d_x (T, M)`.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] if `d_dispatched` has the wrong shape.
+pub fn fast_encode_backward(
+    d_dispatched: &Tensor,
+    routing: &Routing,
+    tokens: usize,
+) -> Result<Tensor, TensorError> {
+    let m = check_dispatch(d_dispatched, routing)?;
+    let cap = routing.capacity;
+    let mut dx = Tensor::zeros(&[tokens, m]);
+    for (t, (experts, locs)) in routing.expert_of.iter().zip(&routing.location_of).enumerate() {
+        for (&e, loc) in experts.iter().zip(locs) {
+            if let Some(l) = *loc {
+                let off = (e * cap + l) * m;
+                let src = &d_dispatched.as_slice()[off..off + m];
+                for (o, v) in dx.as_mut_slice()[t * m..(t + 1) * m].iter_mut().zip(src) {
+                    *o += v;
+                }
+            }
+        }
+    }
+    Ok(dx)
+}
+
+/// Sparse decode (`moe.fast_decode`): combines expert outputs
+/// `y (E, ΔC, M)` into the MoE layer output `(T, M)`, weighting each
+/// retrieved row by its gate value. Dropped tokens receive zeros for
+/// the dropped assignment (GShard semantics).
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] if `y` has the wrong shape.
+pub fn fast_decode(y: &Tensor, routing: &Routing, tokens: usize) -> Result<Tensor, TensorError> {
+    let m = check_dispatch(y, routing)?;
+    let cap = routing.capacity;
+    let mut out = Tensor::zeros(&[tokens, m]);
+    for (t, ((experts, locs), gates)) in routing
+        .expert_of
+        .iter()
+        .zip(&routing.location_of)
+        .zip(&routing.gate_of)
+        .enumerate()
+    {
+        for ((&e, loc), &g) in experts.iter().zip(locs).zip(gates) {
+            if let Some(l) = *loc {
+                let off = (e * cap + l) * m;
+                let src = &y.as_slice()[off..off + m];
+                for (o, v) in out.as_mut_slice()[t * m..(t + 1) * m].iter_mut().zip(src) {
+                    *o += g * v;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Backward of [`fast_decode`]: returns `(d_y, d_gates)` where `d_y`
+/// has shape `(E, ΔC, M)` and `d_gates[t][i]` is the gradient of the
+/// `i`-th gate value of token `t` (`⟨y_row, d_out_row⟩`, Figure 19).
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] on any shape mismatch.
+#[allow(clippy::needless_range_loop)]
+pub fn fast_decode_backward(
+    d_out: &Tensor,
+    y: &Tensor,
+    routing: &Routing,
+) -> Result<(Tensor, Vec<Vec<f32>>), TensorError> {
+    let m = check_tokens(d_out, routing)?;
+    let m2 = check_dispatch(y, routing)?;
+    if m != m2 {
+        return Err(TensorError::ShapeMismatch {
+            left: d_out.dims().to_vec(),
+            right: y.dims().to_vec(),
+            op: "fast_decode_backward",
+        });
+    }
+    let cap = routing.capacity;
+    let mut dy = Tensor::zeros(y.dims());
+    let mut dgates: Vec<Vec<f32>> =
+        routing.gate_of.iter().map(|g| vec![0.0; g.len()]).collect();
+    for (t, ((experts, locs), gates)) in routing
+        .expert_of
+        .iter()
+        .zip(&routing.location_of)
+        .zip(&routing.gate_of)
+        .enumerate()
+    {
+        let drow = &d_out.as_slice()[t * m..(t + 1) * m];
+        for (i, ((&e, loc), &g)) in experts.iter().zip(locs).zip(gates).enumerate() {
+            if let Some(l) = *loc {
+                let off = (e * cap + l) * m;
+                let yrow = &y.as_slice()[off..off + m];
+                let mut dot = 0.0f32;
+                for ((o, dv), yv) in
+                    dy.as_mut_slice()[off..off + m].iter_mut().zip(drow).zip(yrow)
+                {
+                    *o += g * dv;
+                    dot += yv * dv;
+                }
+                dgates[t][i] = dot;
+            }
+        }
+    }
+    Ok((dy, dgates))
+}
+
+fn check_tokens(x: &Tensor, routing: &Routing) -> Result<usize, TensorError> {
+    if x.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: x.rank(), op: "fast_encode" });
+    }
+    if x.dims()[0] != routing.num_tokens() {
+        return Err(TensorError::ShapeMismatch {
+            left: x.dims().to_vec(),
+            right: vec![routing.num_tokens(), x.dims()[1]],
+            op: "fast_encode",
+        });
+    }
+    Ok(x.dims()[1])
+}
+
+fn check_dispatch(y: &Tensor, routing: &Routing) -> Result<usize, TensorError> {
+    if y.rank() != 3 || y.dims()[0] != routing.experts || y.dims()[1] != routing.capacity {
+        return Err(TensorError::ShapeMismatch {
+            left: y.dims().to_vec(),
+            right: vec![routing.experts, routing.capacity, 0],
+            op: "fast_decode",
+        });
+    }
+    Ok(y.dims()[2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tutel_gate::{route, RouteConfig};
+    use tutel_tensor::Rng;
+
+    fn routing_and_input(tokens: usize, experts: usize, k: usize, seed: u64) -> (Routing, Tensor) {
+        let mut rng = Rng::seed(seed);
+        let probs = rng.uniform_tensor(&[tokens, experts], 0.0, 1.0).softmax_last();
+        let cfg = RouteConfig { k, ..RouteConfig::top1() };
+        let routing = route(&probs, &cfg).unwrap();
+        let x = rng.normal_tensor(&[tokens, 6], 0.0, 1.0);
+        (routing, x)
+    }
+
+    #[test]
+    fn encode_places_rows_at_locations() {
+        let (routing, x) = routing_and_input(8, 4, 1, 1);
+        let d = fast_encode(&x, &routing).unwrap();
+        for (t, (experts, locs)) in
+            routing.expert_of.iter().zip(&routing.location_of).enumerate()
+        {
+            if let (Some(&e), Some(Some(l))) = (experts.first(), locs.first()) {
+                for mi in 0..6 {
+                    assert_eq!(d.at(&[e, *l, mi]), x.at(&[t, mi]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_tokens_leave_zero_slots_and_get_zero_output() {
+        // All tokens to one expert, tiny capacity.
+        let mut probs = Tensor::zeros(&[6, 3]);
+        for t in 0..6 {
+            probs.set(&[t, 0], 1.0);
+        }
+        let routing = route(&probs, &RouteConfig::top1()).unwrap();
+        assert_eq!(routing.capacity, 2);
+        let mut rng = Rng::seed(2);
+        let x = rng.normal_tensor(&[6, 4], 0.0, 1.0);
+        let d = fast_encode(&x, &routing).unwrap();
+        // Experts 1, 2 received nothing.
+        assert_eq!(d.index_axis0(1).unwrap().max_abs(), 0.0);
+        // Decode of the identity expert returns zeros for dropped tokens.
+        let out = fast_decode(&d, &routing, 6).unwrap();
+        for t in 2..6 {
+            for mi in 0..4 {
+                assert_eq!(out.at(&[t, mi]), 0.0, "token {t} must be dropped");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_weights_by_gates() {
+        let (routing, x) = routing_and_input(8, 4, 2, 3);
+        let d = fast_encode(&x, &routing).unwrap();
+        let out = fast_decode(&d, &routing, 8).unwrap();
+        // With identity experts, surviving tokens get Σ_i g_i · x ≈ x
+        // when all k assignments survive (gates normalized).
+        for t in 0..8 {
+            if routing.location_of[t].iter().all(|l| l.is_some()) {
+                for mi in 0..6 {
+                    assert!((out.at(&[t, mi]) - x.at(&[t, mi])).abs() < 1e-5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encode_backward_matches_finite_difference() {
+        let (routing, x) = routing_and_input(5, 3, 2, 4);
+        let mut rng = Rng::seed(5);
+        let up = rng.normal_tensor(&[3, routing.capacity, 6], 0.0, 1.0);
+        let dx = fast_encode_backward(&up, &routing, 5).unwrap();
+        let eps = 1e-2;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let lp = fast_encode(&xp, &routing).unwrap().mul(&up).unwrap().sum();
+            let lm = fast_encode(&xm, &routing).unwrap().mul(&up).unwrap().sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - dx.as_slice()[i]).abs() < 1e-2, "i={i} fd={fd} got={}", dx.as_slice()[i]);
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn decode_backward_matches_finite_difference() {
+        let (routing, _) = routing_and_input(5, 3, 2, 6);
+        let mut rng = Rng::seed(7);
+        let y = rng.normal_tensor(&[3, routing.capacity, 6], 0.0, 1.0);
+        let up = rng.normal_tensor(&[5, 6], 0.0, 1.0);
+        let (dy, dgates) = fast_decode_backward(&up, &y, &routing).unwrap();
+        let eps = 1e-2;
+        for i in 0..y.len() {
+            let mut yp = y.clone();
+            yp.as_mut_slice()[i] += eps;
+            let mut ym = y.clone();
+            ym.as_mut_slice()[i] -= eps;
+            let lp = fast_decode(&yp, &routing, 5).unwrap().mul(&up).unwrap().sum();
+            let lm = fast_decode(&ym, &routing, 5).unwrap().mul(&up).unwrap().sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - dy.as_slice()[i]).abs() < 1e-2, "i={i}");
+        }
+        // Gate gradients: perturb a gate, re-decode.
+        for t in 0..5 {
+            for gi in 0..2 {
+                if routing.location_of[t][gi].is_none() {
+                    assert_eq!(dgates[t][gi], 0.0);
+                    continue;
+                }
+                let mut rp = routing.clone();
+                rp.gate_of[t][gi] += eps;
+                let mut rm = routing.clone();
+                rm.gate_of[t][gi] -= eps;
+                let lp = fast_decode(&y, &rp, 5).unwrap().mul(&up).unwrap().sum();
+                let lm = fast_decode(&y, &rm, 5).unwrap().mul(&up).unwrap().sum();
+                let fd = (lp - lm) / (2.0 * eps);
+                assert!((fd - dgates[t][gi]).abs() < 1e-1, "t={t} gi={gi} fd={fd} got={}", dgates[t][gi]);
+            }
+        }
+    }
+
+    #[test]
+    fn shape_validation() {
+        let (routing, x) = routing_and_input(4, 2, 1, 8);
+        assert!(fast_encode(&x.reshape(&[24]).unwrap(), &routing).is_err());
+        let bad = Tensor::zeros(&[3, routing.capacity, 6]);
+        assert!(fast_decode(&bad, &routing, 4).is_err());
+        assert!(fast_encode_backward(&bad, &routing, 4).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! Simulated multi-GPU cluster substrate for the tutel-rs MoE stack.
+//!
+//! The Tutel paper runs on Azure NDm A100 v4 clusters (8× A100 per node,
+//! 8× HDR InfiniBand NICs, NVLink/NVSwitch intra-node). No such hardware
+//! is reachable from a Rust test process, so this crate provides the
+//! closest synthetic equivalent: a *descriptive* cluster topology plus
+//! *calibrated analytic cost models* for the kernels and transfers the
+//! paper's adaptive mechanisms reason about, and a small discrete-event
+//! timeline for multi-stream (compute/communication) scheduling.
+//!
+//! All adaptive decisions in Tutel — parallelism switching, pipelining
+//! degree, All-to-All algorithm selection — depend only on the *relative
+//! ordering* of costs, so a cost model calibrated against the paper's
+//! published anchor measurements (see [`calib`]) reproduces the decision
+//! landscape: who wins, by roughly what factor, and where the crossovers
+//! fall.
+//!
+//! # Example
+//!
+//! ```
+//! use tutel_simgpu::{Topology, GpuCostModel};
+//!
+//! let topo = Topology::new(4, 8); // 4 nodes × 8 GPUs
+//! assert_eq!(topo.world_size(), 32);
+//! let cost = GpuCostModel::a100();
+//! // A tall GEMM is far more efficient than a tiny-row batched GEMM.
+//! let tall = cost.gemm_time(1, 16384, 2048, 2048);
+//! let tiny = cost.gemm_time(2048, 8, 2048, 2048);
+//! assert!(tiny > tall);
+//! ```
+
+pub mod calib;
+mod cost;
+mod link;
+mod memory;
+mod timeline;
+mod topology;
+
+pub use cost::GpuCostModel;
+pub use link::{fabric_contention, LinkModel, Protocol};
+pub use memory::MemoryMeter;
+pub use timeline::{EventId, StreamId, Timeline};
+pub use topology::Topology;
+
+/// Seconds, the unit of every cost model in this crate.
+pub type Seconds = f64;

@@ -1,0 +1,77 @@
+use std::fmt;
+
+/// Error type for tensor operations.
+///
+/// Every fallible operation in this crate returns a `TensorError` that
+/// carries enough context (the offending shapes or indices) to diagnose
+/// the failure without a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Element count of the provided data does not match the shape.
+    ElementCountMismatch {
+        /// Number of elements supplied.
+        data_len: usize,
+        /// Number of elements the shape requires.
+        shape_len: usize,
+    },
+    /// Two shapes that must match do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// An axis index is out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The requested axis.
+        axis: usize,
+        /// The tensor's rank.
+        rank: usize,
+    },
+    /// An index along an axis is out of range.
+    IndexOutOfRange {
+        /// The requested index.
+        index: usize,
+        /// The axis length.
+        len: usize,
+    },
+    /// The tensor has the wrong rank for the requested operation.
+    RankMismatch {
+        /// Expected rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// A dimension constraint specific to one operation was violated.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ElementCountMismatch { data_len, shape_len } => write!(
+                f,
+                "data has {data_len} elements but shape requires {shape_len}"
+            ),
+            TensorError::ShapeMismatch { left, right, op } => {
+                write!(f, "shape mismatch in {op}: {left:?} vs {right:?}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::IndexOutOfRange { index, len } => {
+                write!(f, "index {index} out of range for axis of length {len}")
+            }
+            TensorError::RankMismatch { expected, actual, op } => {
+                write!(f, "rank mismatch in {op}: expected {expected}, got {actual}")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

@@ -1,0 +1,289 @@
+//! Matrix multiplication: the `fflayer` compute primitive.
+//!
+//! Expert FFNs in the paper are computed as strided batched GEMMs
+//! (`bgemm_strided_batched` in PyTorch); the simulator's cost model keys
+//! off the same shapes these functions take.
+
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors: `(m, k) × (k, n) → (m, n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices, or
+    /// [`TensorError::ShapeMismatch`] if the inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: self.rank(), op: "matmul" });
+        }
+        if rhs.rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: rhs.rank(), op: "matmul" });
+        }
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: rhs.dims().to_vec(),
+                op: "matmul",
+            });
+        }
+        let mut out = Tensor::zeros(&[m, n]);
+        gemm(self.as_slice(), rhs.as_slice(), out.as_mut_slice(), m, k, n);
+        Ok(out)
+    }
+
+    /// Batched matrix product: `(b, m, k) × (b, k, n) → (b, m, n)`.
+    ///
+    /// This is the CPU analogue of `bgemm_strided_batched`, the operation
+    /// the paper's Figure 7 profiles. Expert computation uses it with
+    /// `b = ΔE` (local experts), `m = C` (capacity), `k = M`, `n = V`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-rank-3 operands, or
+    /// [`TensorError::ShapeMismatch`] if batch or inner dims disagree.
+    pub fn bmm(&self, rhs: &Tensor) -> Result<Tensor> {
+        if self.rank() != 3 {
+            return Err(TensorError::RankMismatch { expected: 3, actual: self.rank(), op: "bmm" });
+        }
+        if rhs.rank() != 3 {
+            return Err(TensorError::RankMismatch { expected: 3, actual: rhs.rank(), op: "bmm" });
+        }
+        let (b, m, k) = (self.dims()[0], self.dims()[1], self.dims()[2]);
+        let (b2, k2, n) = (rhs.dims()[0], rhs.dims()[1], rhs.dims()[2]);
+        if b != b2 || k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: rhs.dims().to_vec(),
+                op: "bmm",
+            });
+        }
+        let mut out = Tensor::zeros(&[b, m, n]);
+        for i in 0..b {
+            let a = &self.as_slice()[i * m * k..(i + 1) * m * k];
+            let w = &rhs.as_slice()[i * k * n..(i + 1) * k * n];
+            let o = &mut out.as_mut_slice()[i * m * n..(i + 1) * m * n];
+            gemm(a, w, o, m, k, n);
+        }
+        Ok(out)
+    }
+
+    /// `self × rhsᵀ` for rank-2 tensors: `(m, k) × (n, k)ᵀ → (m, n)`.
+    ///
+    /// Used by backward passes (`dX = dY Wᵀ`) without materializing the
+    /// transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] or
+    /// [`TensorError::ShapeMismatch`] analogous to [`Tensor::matmul`].
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 || rhs.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank().max(rhs.rank()),
+                op: "matmul_nt",
+            });
+        }
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (n, k2) = (rhs.dims()[0], rhs.dims()[1]);
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: rhs.dims().to_vec(),
+                op: "matmul_nt",
+            });
+        }
+        let mut out = Tensor::zeros(&[m, n]);
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        let o = out.as_mut_slice();
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a[i * k + p] * b[j * k + p];
+                }
+                o[i * n + j] = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// `selfᵀ × rhs` for rank-2 tensors: `(k, m)ᵀ × (k, n) → (m, n)`.
+    ///
+    /// Used by backward passes (`dW = Xᵀ dY`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] or
+    /// [`TensorError::ShapeMismatch`] analogous to [`Tensor::matmul`].
+    pub fn matmul_tn(&self, rhs: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 || rhs.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank().max(rhs.rank()),
+                op: "matmul_tn",
+            });
+        }
+        let (k, m) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: rhs.dims().to_vec(),
+                op: "matmul_tn",
+            });
+        }
+        let mut out = Tensor::zeros(&[m, n]);
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        let o = out.as_mut_slice();
+        for p in 0..k {
+            for i in 0..m {
+                let av = a[p * m + i];
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    o[i * n + j] += av * b[p * n + j];
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// FLOP threshold above which GEMMs split across threads. Each output
+/// row is computed by exactly one thread with the same serial kernel,
+/// so results are bit-identical to the single-threaded path.
+const PAR_FLOP_THRESHOLD: usize = 1 << 22;
+
+/// Maximum worker threads for a parallel GEMM.
+const PAR_MAX_THREADS: usize = 4;
+
+/// Inner GEMM kernel: `out[m×n] = a[m×k] · b[k×n]` (accumulating into a
+/// zeroed buffer). i-k-j loop order keeps the innermost loop streaming
+/// over contiguous memory; large problems split output rows across
+/// threads.
+fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    let flops = 2 * m * k * n;
+    if flops >= PAR_FLOP_THRESHOLD && m >= 2 {
+        let threads = PAR_MAX_THREADS.min(m);
+        let rows_per = m.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (block, chunk) in out.chunks_mut(rows_per * n).enumerate() {
+                let row0 = block * rows_per;
+                let rows = chunk.len() / n;
+                let a_block = &a[row0 * k..(row0 + rows) * k];
+                scope.spawn(move || gemm_serial(a_block, b, chunk, rows, k, n));
+            }
+        });
+    } else {
+        gemm_serial(a, b, out, m, k, n);
+    }
+}
+
+fn gemm_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for j in 0..n {
+                orow[j] += av * brow[j];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let id = Tensor::eye(2);
+        assert_eq!(a.matmul(&id).unwrap(), a);
+        assert_eq!(id.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(a.matmul(&b).is_err());
+        let v = Tensor::zeros(&[3]);
+        assert!(a.matmul(&v).is_err());
+    }
+
+    #[test]
+    fn bmm_matches_per_batch_matmul() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[2, 2, 3]).unwrap();
+        let b = Tensor::from_vec((0..12).map(|x| (x as f32) * 0.5).collect(), &[2, 3, 2]).unwrap();
+        let c = a.bmm(&b).unwrap();
+        for i in 0..2 {
+            let ai = a.index_axis0(i).unwrap();
+            let bi = b.index_axis0(i).unwrap();
+            let ci = c.index_axis0(i).unwrap();
+            assert_eq!(ai.matmul(&bi).unwrap(), ci);
+        }
+    }
+
+    #[test]
+    fn bmm_rejects_batch_mismatch() {
+        let a = Tensor::zeros(&[2, 2, 3]);
+        let b = Tensor::zeros(&[3, 3, 2]);
+        assert!(a.bmm(&b).is_err());
+    }
+
+    #[test]
+    fn parallel_gemm_is_bit_identical_to_serial() {
+        // A problem big enough to cross the parallel threshold; compare
+        // against the serial kernel directly.
+        let (m, k, n) = (64usize, 128usize, 256usize);
+        let mut rng = crate::Rng::seed(99);
+        let a = rng.normal_tensor(&[m, k], 0.0, 1.0);
+        let b = rng.normal_tensor(&[k, n], 0.0, 1.0);
+        assert!(2 * m * k * n >= PAR_FLOP_THRESHOLD, "fixture must trigger threading");
+        let parallel = a.matmul(&b).unwrap();
+        let mut serial = vec![0.0f32; m * n];
+        gemm_serial(a.as_slice(), b.as_slice(), &mut serial, m, k, n);
+        assert_eq!(parallel.as_slice(), serial.as_slice());
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]).unwrap();
+        let b = Tensor::from_vec((0..12).map(|x| x as f32 * 0.25).collect(), &[4, 3]).unwrap();
+        let fast = a.matmul_nt(&b).unwrap();
+        let slow = a.matmul(&b.transpose2().unwrap()).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[3, 2]).unwrap();
+        let b = Tensor::from_vec((0..12).map(|x| x as f32 * 0.25).collect(), &[3, 4]).unwrap();
+        let fast = a.matmul_tn(&b).unwrap();
+        let slow = a.transpose2().unwrap().matmul(&b).unwrap();
+        assert_eq!(fast, slow);
+    }
+}

@@ -1,0 +1,403 @@
+//! Elementwise and reduction operations used by gating and training.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Per-row top-k result: `(indices, values)`, each `rows × k`.
+pub type TopK = (Vec<Vec<usize>>, Vec<Vec<f32>>);
+
+impl Tensor {
+    /// Elementwise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn add(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Elementwise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn sub(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn mul(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_with(rhs, "mul", |a, b| a * b)
+    }
+
+    /// In-place `self += alpha * rhs` (axpy), the accumulation primitive
+    /// used by gradient updates and P2's local sum-reduction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn axpy(&mut self, alpha: f32, rhs: &Tensor) -> Result<()> {
+        if self.shape() != rhs.shape() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: rhs.dims().to_vec(),
+                op: "axpy",
+            });
+        }
+        for (a, b) in self.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by a scalar, returning a new tensor.
+    pub fn scale(&self, alpha: f32) -> Tensor {
+        let mut out = self.clone();
+        for v in out.as_mut_slice() {
+            *v *= alpha;
+        }
+        out
+    }
+
+    /// Applies a function elementwise, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let mut out = self.clone();
+        for v in out.as_mut_slice() {
+            *v = f(*v);
+        }
+        out
+    }
+
+    /// ReLU activation.
+    pub fn relu(&self) -> Tensor {
+        self.map(|v| v.max(0.0))
+    }
+
+    /// Derivative mask of ReLU with respect to this (pre-activation)
+    /// tensor, multiplied into `upstream`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn relu_backward(&self, upstream: &Tensor) -> Result<Tensor> {
+        self.zip_with(upstream, "relu_backward", |pre, g| if pre > 0.0 { g } else { 0.0 })
+    }
+
+    /// GELU activation (tanh approximation, as used by transformer FFNs).
+    pub fn gelu(&self) -> Tensor {
+        self.map(gelu_scalar)
+    }
+
+    /// Derivative of GELU (tanh approximation) times `upstream`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn gelu_backward(&self, upstream: &Tensor) -> Result<Tensor> {
+        self.zip_with(upstream, "gelu_backward", |pre, g| gelu_grad_scalar(pre) * g)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Maximum absolute element (0 for empty tensors).
+    pub fn max_abs(&self) -> f32 {
+        self.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+
+    /// Squared L2 norm.
+    pub fn sq_norm(&self) -> f32 {
+        self.as_slice().iter().map(|v| v * v).sum()
+    }
+
+    /// Clips the tensor's L2 norm to `max_norm` in place (gradient
+    /// clipping). No-op if the norm is already within bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_norm` is not positive.
+    pub fn clip_norm(&mut self, max_norm: f32) {
+        assert!(max_norm > 0.0, "max_norm must be positive");
+        let norm = self.sq_norm().sqrt();
+        if norm > max_norm {
+            let scale = max_norm / norm;
+            for v in self.as_mut_slice() {
+                *v *= scale;
+            }
+        }
+    }
+
+    /// Row-wise softmax over the last axis.
+    ///
+    /// For a gating logits tensor of shape `(T, E)` this produces the
+    /// routing probabilities of Figure 18 line 2.
+    pub fn softmax_last(&self) -> Tensor {
+        let cols = *self.dims().last().unwrap_or(&1);
+        let mut out = self.clone();
+        if cols == 0 {
+            return out;
+        }
+        for row in out.as_mut_slice().chunks_mut(cols) {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                denom += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= denom;
+            }
+        }
+        out
+    }
+
+    /// Backward of [`Tensor::softmax_last`]: given `y = softmax(x)` (this
+    /// tensor) and upstream gradient `dy`, returns `dx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn softmax_last_backward(&self, upstream: &Tensor) -> Result<Tensor> {
+        if self.shape() != upstream.shape() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: upstream.dims().to_vec(),
+                op: "softmax_last_backward",
+            });
+        }
+        let cols = *self.dims().last().unwrap_or(&1);
+        let mut out = self.clone();
+        if cols == 0 {
+            return Ok(out);
+        }
+        for ((yrow, grow), orow) in self
+            .as_slice()
+            .chunks(cols)
+            .zip(upstream.as_slice().chunks(cols))
+            .zip(out.as_mut_slice().chunks_mut(cols))
+        {
+            let dot: f32 = yrow.iter().zip(grow).map(|(y, g)| y * g).sum();
+            for j in 0..cols {
+                orow[j] = yrow[j] * (grow[j] - dot);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Per-row top-k over the last axis: returns `(indices, values)` each
+    /// of shape `rows × k`, sorted by descending value (ties broken by
+    /// lower index, matching deterministic GPU top-k).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if `k` is zero or larger
+    /// than the last-axis length.
+    pub fn topk_last(&self, k: usize) -> Result<TopK> {
+        let cols = *self.dims().last().unwrap_or(&0);
+        if k == 0 || k > cols {
+            return Err(TensorError::InvalidArgument(format!(
+                "top-k with k={k} over axis of length {cols}"
+            )));
+        }
+        let rows = self.len() / cols;
+        let mut idxs = Vec::with_capacity(rows);
+        let mut vals = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &self.as_slice()[r * cols..(r + 1) * cols];
+            let mut order: Vec<usize> = (0..cols).collect();
+            order.sort_by(|&a, &b| {
+                row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+            });
+            order.truncate(k);
+            vals.push(order.iter().map(|&i| row[i]).collect());
+            idxs.push(order);
+        }
+        Ok((idxs, vals))
+    }
+
+    fn zip_with(&self, rhs: &Tensor, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        if self.shape() != rhs.shape() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: rhs.dims().to_vec(),
+                op,
+            });
+        }
+        let mut out = self.clone();
+        for (a, b) in out.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
+            *a = f(*a, *b);
+        }
+        Ok(out)
+    }
+}
+
+/// Scalar GELU, tanh approximation.
+fn gelu_scalar(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Derivative of the tanh-approximated GELU.
+fn gelu_grad_scalar(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    let inner = SQRT_2_OVER_PI * (x + 0.044715 * x * x * x);
+    let t = inner.tanh();
+    let dinner = SQRT_2_OVER_PI * (1.0 + 3.0 * 0.044715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn add_sub_mul_roundtrip() {
+        let a = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]).unwrap();
+        let b = Tensor::from_vec(vec![0.5, 4.0, -1.0], &[3]).unwrap();
+        assert_eq!(a.add(&b).unwrap().sub(&b).unwrap(), a);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[0.5, -8.0, -3.0]);
+        assert!(a.add(&Tensor::zeros(&[2])).is_err());
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::ones(&[3]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        a.axpy(2.0, &b).unwrap();
+        assert_eq!(a.as_slice(), &[3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let s = t.softmax_last();
+        for row in s.as_slice().chunks(3) {
+            assert!(close(row.iter().sum::<f32>(), 1.0));
+            assert!(row.iter().all(|&v| v > 0.0));
+        }
+        // Monotonicity within a row.
+        assert!(s.at(&[0, 2]) > s.at(&[0, 1]));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let b = a.map(|v| v + 100.0);
+        let (sa, sb) = (a.softmax_last(), b.softmax_last());
+        for (x, y) in sa.as_slice().iter().zip(sb.as_slice()) {
+            assert!(close(*x, *y));
+        }
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_difference() {
+        let x = Tensor::from_vec(vec![0.3, -0.7, 1.2, 0.1], &[1, 4]).unwrap();
+        let y = x.softmax_last();
+        let upstream = Tensor::from_vec(vec![1.0, -0.5, 0.25, 2.0], &[1, 4]).unwrap();
+        let analytic = y.softmax_last_backward(&upstream).unwrap();
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let lp: f32 = xp.softmax_last().mul(&upstream).unwrap().sum();
+            let lm: f32 = xm.softmax_last().mul(&upstream).unwrap().sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - analytic.as_slice()[i]).abs() < 1e-3,
+                "fd {} vs analytic {}",
+                fd,
+                analytic.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn topk_orders_descending_with_index_tiebreak() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.9, 0.3], &[1, 4]).unwrap();
+        let (idxs, vals) = t.topk_last(3).unwrap();
+        assert_eq!(idxs[0], vec![1, 2, 3]);
+        assert_eq!(vals[0], vec![0.9, 0.9, 0.3]);
+    }
+
+    #[test]
+    fn topk_validates_k() {
+        let t = Tensor::zeros(&[2, 3]);
+        assert!(t.topk_last(0).is_err());
+        assert!(t.topk_last(4).is_err());
+        assert!(t.topk_last(3).is_ok());
+    }
+
+    #[test]
+    fn relu_and_backward() {
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]).unwrap();
+        assert_eq!(x.relu().as_slice(), &[0.0, 0.0, 2.0]);
+        let g = Tensor::ones(&[3]);
+        assert_eq!(x.relu_backward(&g).unwrap().as_slice(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn gelu_backward_matches_finite_difference() {
+        let x = Tensor::from_vec(vec![-2.0, -0.5, 0.0, 0.5, 2.0], &[5]).unwrap();
+        let g = Tensor::ones(&[5]);
+        let analytic = x.gelu_backward(&g).unwrap();
+        let eps = 1e-3;
+        for i in 0..5 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let fd = (xp.gelu().sum() - xm.gelu().sum()) / (2.0 * eps);
+            assert!(
+                (fd - analytic.as_slice()[i]).abs() < 1e-2,
+                "fd {} vs analytic {}",
+                fd,
+                analytic.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn clip_norm_scales_only_when_needed() {
+        let mut t = Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap();
+        t.clip_norm(10.0);
+        assert_eq!(t.as_slice(), &[3.0, 4.0]);
+        t.clip_norm(1.0);
+        assert!((t.sq_norm().sqrt() - 1.0).abs() < 1e-6);
+        assert!((t.as_slice()[0] - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn clip_norm_rejects_nonpositive() {
+        Tensor::ones(&[2]).clip_norm(0.0);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![1.0, -3.0, 2.0], &[3]).unwrap();
+        assert!(close(t.sum(), 0.0));
+        assert!(close(t.mean(), 0.0));
+        assert!(close(t.max_abs(), 3.0));
+        assert!(close(t.sq_norm(), 14.0));
+    }
+}

@@ -1,0 +1,431 @@
+use std::fmt;
+
+use crate::{Result, Shape, TensorError};
+
+/// A contiguous, row-major, `f32` tensor.
+///
+/// This is the single data container used across the tutel-rs stack. It
+/// is deliberately simple: owned `Vec<f32>` storage, always contiguous,
+/// no views — layout transformations (the very thing the paper's
+/// Flexible/2DH All-to-All reason about) are explicit copies, which keeps
+/// every data-movement cost visible to the simulator.
+///
+/// # Example
+///
+/// ```
+/// use tutel_tensor::Tensor;
+///
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.shape().dims(), &[2, 3]);
+/// assert_eq!(t.len(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// Creates a tensor from owned data and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ElementCountMismatch`] if `data.len()` does
+    /// not equal the product of `dims`.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if data.len() != shape.len() {
+            return Err(TensorError::ElementCountMismatch {
+                data_len: data.len(),
+                shape_len: shape.len(),
+            });
+        }
+        Ok(Tensor { data, shape })
+    }
+
+    /// Creates a zero-filled tensor.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        Tensor { data: vec![0.0; shape.len()], shape }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        Tensor { data: vec![value; shape.len()], shape }
+    }
+
+    /// Creates a one-filled tensor.
+    pub fn ones(dims: &[usize]) -> Self {
+        Tensor::full(dims, 1.0)
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a rank-1 tensor of `0.0, 1.0, ..., n-1.0`.
+    pub fn arange(n: usize) -> Self {
+        Tensor {
+            data: (0..n).map(|i| i as f32).collect(),
+            shape: Shape::new(&[n]),
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The dimension list, shorthand for `shape().dims()`.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Immutable view of the underlying row-major storage.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the underlying storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the index rank or coordinates are out
+    /// of range.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Sets the element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the index rank or coordinates are out
+    /// of range.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.shape.offset(index);
+        self.data[off] = value;
+    }
+
+    /// Returns a copy with a new shape over the same data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ElementCountMismatch`] if the element count
+    /// differs.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Tensor> {
+        Tensor::from_vec(self.data.clone(), dims)
+    }
+
+    /// Reshapes in place (no data movement).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ElementCountMismatch`] if the element count
+    /// differs.
+    pub fn reshape_in_place(&mut self, dims: &[usize]) -> Result<()> {
+        let shape = Shape::new(dims);
+        if shape.len() != self.data.len() {
+            return Err(TensorError::ElementCountMismatch {
+                data_len: self.data.len(),
+                shape_len: shape.len(),
+            });
+        }
+        self.shape = shape;
+        Ok(())
+    }
+
+    /// Copies the `index`-th slab along axis 0, e.g. row `i` of a matrix
+    /// or expert `e` of an `(E, C, M)` buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfRange`] if `index` is out of
+    /// range, or [`TensorError::RankMismatch`] for rank-0 tensors.
+    pub fn index_axis0(&self, index: usize) -> Result<Tensor> {
+        if self.rank() == 0 {
+            return Err(TensorError::RankMismatch { expected: 1, actual: 0, op: "index_axis0" });
+        }
+        let n = self.shape.dims()[0];
+        if index >= n {
+            return Err(TensorError::IndexOutOfRange { index, len: n });
+        }
+        let slab = self.len() / n;
+        let data = self.data[index * slab..(index + 1) * slab].to_vec();
+        Tensor::from_vec(data, &self.shape.dims()[1..])
+    }
+
+    /// Splits the tensor into `parts` equal chunks along axis `axis`,
+    /// copying each chunk out. Used by adaptive pipelining to partition
+    /// the capacity dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if the axis length is not
+    /// divisible by `parts`, or [`TensorError::AxisOutOfRange`] for a bad
+    /// axis.
+    pub fn split_axis(&self, axis: usize, parts: usize) -> Result<Vec<Tensor>> {
+        let axis_len = self.shape.dim(axis)?;
+        if parts == 0 || axis_len % parts != 0 {
+            return Err(TensorError::InvalidArgument(format!(
+                "axis length {axis_len} not divisible into {parts} parts"
+            )));
+        }
+        let chunk_len = axis_len / parts;
+        let outer: usize = self.shape.dims()[..axis].iter().product();
+        let inner: usize = self.shape.dims()[axis + 1..].iter().product();
+        let mut out = Vec::with_capacity(parts);
+        for p in 0..parts {
+            let mut dims = self.shape.dims().to_vec();
+            dims[axis] = chunk_len;
+            let mut data = Vec::with_capacity(outer * chunk_len * inner);
+            for o in 0..outer {
+                let base = o * axis_len * inner + p * chunk_len * inner;
+                data.extend_from_slice(&self.data[base..base + chunk_len * inner]);
+            }
+            out.push(Tensor::from_vec(data, &dims)?);
+        }
+        Ok(out)
+    }
+
+    /// Concatenates tensors along `axis`. Inverse of [`Tensor::split_axis`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if `parts` is empty, or
+    /// [`TensorError::ShapeMismatch`] if shapes disagree off-axis.
+    pub fn concat_axis(parts: &[Tensor], axis: usize) -> Result<Tensor> {
+        let first = parts
+            .first()
+            .ok_or_else(|| TensorError::InvalidArgument("concat of zero tensors".into()))?;
+        let rank = first.rank();
+        if axis >= rank {
+            return Err(TensorError::AxisOutOfRange { axis, rank });
+        }
+        let mut axis_total = 0;
+        for p in parts {
+            let mut a = p.dims().to_vec();
+            let mut b = first.dims().to_vec();
+            a[axis] = 0;
+            b[axis] = 0;
+            if a != b {
+                return Err(TensorError::ShapeMismatch {
+                    left: first.dims().to_vec(),
+                    right: p.dims().to_vec(),
+                    op: "concat_axis",
+                });
+            }
+            axis_total += p.dims()[axis];
+        }
+        let outer: usize = first.dims()[..axis].iter().product();
+        let inner: usize = first.dims()[axis + 1..].iter().product();
+        let mut dims = first.dims().to_vec();
+        dims[axis] = axis_total;
+        let mut data = Vec::with_capacity(outer * axis_total * inner);
+        for o in 0..outer {
+            for p in parts {
+                let chunk = p.dims()[axis] * inner;
+                let base = o * chunk;
+                data.extend_from_slice(&p.data[base..base + chunk]);
+            }
+        }
+        Tensor::from_vec(data, &dims)
+    }
+
+    /// Transposes a rank-2 tensor (copying).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices.
+    pub fn transpose2(&self) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: self.rank(), op: "transpose2" });
+        }
+        let (r, c) = (self.dims()[0], self.dims()[1]);
+        let mut out = Tensor::zeros(&[c, r]);
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Permutes axes (copying). `perm` must be a permutation of `0..rank`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if `perm` is not a valid
+    /// permutation of the axes.
+    pub fn permute(&self, perm: &[usize]) -> Result<Tensor> {
+        let rank = self.rank();
+        let mut seen = vec![false; rank];
+        if perm.len() != rank || perm.iter().any(|&p| p >= rank || std::mem::replace(&mut seen[p], true)) {
+            return Err(TensorError::InvalidArgument(format!(
+                "{perm:?} is not a permutation of 0..{rank}"
+            )));
+        }
+        let src_dims = self.dims();
+        let dst_dims: Vec<usize> = perm.iter().map(|&p| src_dims[p]).collect();
+        let src_strides = self.shape.strides();
+        let mut out = Tensor::zeros(&dst_dims);
+        let dst_strides = out.shape.strides();
+        // Walk destination indices in order; gather from source.
+        let total = self.len();
+        let mut idx = vec![0usize; rank];
+        for flat in 0..total {
+            // Decompose flat destination offset into a multi-index.
+            let mut rem = flat;
+            for (i, s) in dst_strides.iter().enumerate() {
+                idx[i] = rem / s;
+                rem %= s;
+            }
+            let mut src_off = 0;
+            for (i, &p) in perm.iter().enumerate() {
+                src_off += idx[i] * src_strides[p];
+            }
+            out.data[flat] = self.data[src_off];
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} ", self.shape)?;
+        let preview: Vec<String> = self.data.iter().take(8).map(|v| format!("{v:.4}")).collect();
+        write!(f, "[{}{}]", preview.join(", "), if self.len() > 8 { ", ..." } else { "" })
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::zeros(&[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_element_count() {
+        assert!(Tensor::from_vec(vec![1.0; 5], &[2, 3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0; 6], &[2, 3]).is_ok());
+    }
+
+    #[test]
+    fn eye_has_unit_diagonal() {
+        let t = Tensor::eye(3);
+        assert_eq!(t.at(&[0, 0]), 1.0);
+        assert_eq!(t.at(&[1, 1]), 1.0);
+        assert_eq!(t.at(&[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn index_axis0_extracts_slab() {
+        let t = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[3, 4]).unwrap();
+        let row = t.index_axis0(1).unwrap();
+        assert_eq!(row.dims(), &[4]);
+        assert_eq!(row.as_slice(), &[4.0, 5.0, 6.0, 7.0]);
+        assert!(t.index_axis0(3).is_err());
+    }
+
+    #[test]
+    fn split_concat_roundtrip_axis0() {
+        let t = Tensor::from_vec((0..24).map(|x| x as f32).collect(), &[4, 6]).unwrap();
+        let parts = t.split_axis(0, 2).unwrap();
+        assert_eq!(parts[0].dims(), &[2, 6]);
+        let back = Tensor::concat_axis(&parts, 0).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn split_concat_roundtrip_middle_axis() {
+        let t = Tensor::from_vec((0..24).map(|x| x as f32).collect(), &[2, 4, 3]).unwrap();
+        let parts = t.split_axis(1, 2).unwrap();
+        assert_eq!(parts[0].dims(), &[2, 2, 3]);
+        // First chunk of capacity dim for the first "expert".
+        assert_eq!(&parts[0].as_slice()[..6], &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        // Second slab starts at the second expert's first capacity chunk.
+        assert_eq!(&parts[0].as_slice()[6..], &[12.0, 13.0, 14.0, 15.0, 16.0, 17.0]);
+        let back = Tensor::concat_axis(&parts, 1).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn split_rejects_indivisible() {
+        let t = Tensor::zeros(&[3, 2]);
+        assert!(t.split_axis(0, 2).is_err());
+        assert!(t.split_axis(0, 0).is_err());
+    }
+
+    #[test]
+    fn transpose2_is_involution() {
+        let t = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]).unwrap();
+        let tt = t.transpose2().unwrap().transpose2().unwrap();
+        assert_eq!(t, tt);
+        assert_eq!(t.transpose2().unwrap().at(&[2, 1]), t.at(&[1, 2]));
+    }
+
+    #[test]
+    fn permute_matches_transpose_for_matrices() {
+        let t = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]).unwrap();
+        assert_eq!(t.permute(&[1, 0]).unwrap(), t.transpose2().unwrap());
+    }
+
+    #[test]
+    fn permute_3d() {
+        let t = Tensor::from_vec((0..24).map(|x| x as f32).collect(), &[2, 3, 4]).unwrap();
+        let p = t.permute(&[2, 0, 1]).unwrap();
+        assert_eq!(p.dims(), &[4, 2, 3]);
+        assert_eq!(p.at(&[3, 1, 2]), t.at(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn permute_rejects_non_permutation() {
+        let t = Tensor::zeros(&[2, 3]);
+        assert!(t.permute(&[0, 0]).is_err());
+        assert!(t.permute(&[0]).is_err());
+        assert!(t.permute(&[0, 2]).is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::arange(6);
+        let r = t.reshape(&[2, 3]).unwrap();
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshape(&[4, 2]).is_err());
+    }
+}

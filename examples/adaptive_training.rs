@@ -1,0 +1,88 @@
+//! Adaptive mechanisms in action during a (simulated) training run:
+//!
+//! * the per-iteration capacity factor wanders (Figure 1),
+//! * Algorithm 2 searches (All-to-All algorithm × pipelining degree)
+//!   online and converges to the per-bucket optimum,
+//! * the inline parallelism router flips between P1 and P2 as the
+//!   workload changes.
+//!
+//! Run with: `cargo run --release --example adaptive_training`
+
+use tutel_suite::comm::{CollectiveTiming, World};
+use tutel_suite::experts::{InlineParallelismRouter, MoeDims};
+use tutel_suite::tensor::Rng;
+use tutel_suite::tutel::data::SyntheticVision;
+use tutel_suite::tutel::model::{cross_entropy, SwinLiteConfig, SwinLiteMoe};
+use tutel_suite::tutel::pipeline::{LayerDims, OnlineStrategySearch, PipelineTimeModel};
+use tutel_suite::tutel::MoeConfig;
+
+fn main() {
+    // A small MoE model training on the synthetic clustered task, with
+    // auto-adapting capacity (capacity_factor = 0).
+    let mut cfg = SwinLiteConfig::new(16, 16, 8);
+    cfg.blocks = 4;
+    cfg = cfg.with_moe(MoeConfig::new(0, 0, 8).with_capacity_factor(0.0));
+    let mut rng = Rng::seed(1);
+    let mut model = SwinLiteMoe::new(&cfg, &mut rng).expect("valid config");
+    let dataset = SyntheticVision::new(16, 16, 8, 16, 2);
+
+    // The simulated execution environment: 64 GPUs, Figure 22-ish dims.
+    let timing = CollectiveTiming::new(World::azure(64));
+    let time_model = PipelineTimeModel::new(timing);
+    let mut search = OnlineStrategySearch::new(0.5);
+    let par_router = InlineParallelismRouter::new(timing);
+
+    let mut data_rng = Rng::seed(3);
+    println!("step  loss    f_needed  pipeline-strategy   parallelism  sim-time");
+    for step in 0..120 {
+        let (x, y) = dataset.batch(16, &mut data_rng);
+        let (logits, _aux, tel) = model.forward(&x, 16).expect("forward");
+        let (loss, dl) = cross_entropy(&logits, &y);
+        model.backward(&dl).expect("backward");
+        model.step(0.05);
+
+        // Telemetry from the first MoE layer drives the adaptive layer.
+        let f = tel.first().map(|t| t.needed_factor).unwrap_or(1.0).max(0.05);
+        let dims = LayerDims {
+            tokens: 4096,
+            model_dim: 4096,
+            hidden_dim: 4096,
+            local_experts: 2,
+            k: 1,
+            capacity_factor: f,
+        };
+        // Algorithm 2: pick a strategy, "measure" it on the simulator,
+        // feed the measurement back.
+        let strategy = search.next_strategy(f);
+        let t = time_model.step_time(&dims, strategy);
+        search.record(f, strategy, t);
+
+        // Inline parallelism router decision for a replicated-expert
+        // setting (E = 8 experts on 64 GPUs → 8-way groups).
+        let pdims = MoeDims {
+            world: 64,
+            global_experts: 8,
+            tokens: 4096,
+            k: 1,
+            capacity_factor: f,
+            model_dim: 4096,
+            hidden_dim: 4096,
+        };
+        let choice = par_router.choose(&pdims);
+
+        if step % 10 == 0 {
+            println!(
+                "{step:>4}  {loss:.3}   {f:>7.2}   {:<17} {choice}      {:.2}ms",
+                strategy.to_string(),
+                t * 1e3,
+            );
+        }
+    }
+    println!(
+        "\nAlgorithm 2 state: {} known capacity factors in {} buckets",
+        search.known_factors(),
+        search.num_buckets()
+    );
+    let final_strategy = search.next_strategy(1.0);
+    println!("converged strategy for f=1.0: {final_strategy}");
+}

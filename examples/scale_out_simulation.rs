@@ -1,0 +1,56 @@
+//! Scale-out study on the simulated cluster: sweep 16 → 4,096 GPUs and
+//! watch (a) the linear All-to-All collapse that motivates 2DH and
+//! (b) Tutel's feature ladder recover the lost throughput (Figure 23).
+//!
+//! Run with: `cargo run --release --example scale_out_simulation`
+
+use tutel_suite::comm::{A2aImpl, CollectiveTiming, World};
+use tutel_suite::simgpu::Protocol;
+use tutel_suite::tutel::adaptive::{FeatureSet, MoeLayerSimulator};
+use tutel_suite::tutel::pipeline::LayerDims;
+
+fn main() {
+    const MIB: f64 = 1024.0 * 1024.0;
+
+    println!("== All-to-All at scale: linear vs 2DH (1 MiB per GPU) ==");
+    println!("{:>6} {:>12} {:>12} {:>9}", "GPUs", "linear", "2DH", "speedup");
+    for w in [64usize, 256, 1024, 2048, 4096] {
+        let timing = CollectiveTiming::new(World::azure(w));
+        let linear = timing.linear_time(MIB, Protocol::Simple);
+        let two_dh = timing.two_dh_time_impl(MIB, Protocol::Simple, A2aImpl::NcclApi);
+        println!(
+            "{w:>6} {:>10.2}ms {:>10.2}ms {:>8.1}x",
+            linear * 1e3,
+            two_dh * 1e3,
+            linear / two_dh
+        );
+    }
+
+    println!("\n== Single MoE layer: the Tutel feature ladder (Figure 23 dims) ==");
+    let dims = LayerDims::figure23();
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "GPUs", "Fairseq", "+kernels", "+pipeline", "+flex A2A", "speedup"
+    );
+    for w in [16usize, 64, 256, 1024, 2048] {
+        let sim = MoeLayerSimulator::azure(w);
+        let base = sim.step_time(&dims, FeatureSet::fairseq_baseline());
+        let k = sim.step_time(&dims, FeatureSet::kernels());
+        let p = sim.step_time(&dims, FeatureSet::kernels_pipelining());
+        let f = sim.step_time(&dims, FeatureSet::kernels_pipelining_flex());
+        let full = sim.step_time(&dims, FeatureSet::full());
+        println!(
+            "{w:>6} {:>10.1}ms {:>10.1}ms {:>10.1}ms {:>10.1}ms {:>8.2}x",
+            base * 1e3,
+            k * 1e3,
+            p * 1e3,
+            f * 1e3,
+            base / full
+        );
+    }
+
+    println!("\n== Where each gain comes from ==");
+    println!("small scale : dense-einsum encode/decode dominates -> Tutel kernels win");
+    println!("large scale : tiny per-peer messages kill linear All-to-All -> 2DH wins");
+    println!("any scale   : rigid (W, dE, dC, M) layout starves the GEMM -> flexible layout wins");
+}
