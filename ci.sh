@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Local CI: formatting, lints, build, and the full test suite.
+# Run from the repo root. Fails fast on the first broken gate.
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (tier-1: root suite)"
+cargo test -q
+
+# tutel-bench's lib tests regenerate several full paper experiments and
+# take ~7 minutes; run them separately with `cargo test -p tutel-bench`.
+echo "==> cargo test --workspace (minus tutel-bench)"
+cargo test -q --workspace --exclude tutel-bench
+
+echo "ci.sh: all gates green"

@@ -11,7 +11,9 @@ fn bench_encode_decode(c: &mut Criterion) {
     for &tokens in &[128usize, 512] {
         let (experts, m) = (16usize, 64usize);
         let mut rng = Rng::seed(tokens as u64);
-        let probs = rng.uniform_tensor(&[tokens, experts], 0.0, 1.0).softmax_last();
+        let probs = rng
+            .uniform_tensor(&[tokens, experts], 0.0, 1.0)
+            .softmax_last();
         let routing = route(&probs, &RouteConfig::top2()).unwrap();
         let x = rng.normal_tensor(&[tokens, m], 0.0, 1.0);
         let y = rng.normal_tensor(&[experts, routing.capacity, m], 0.0, 1.0);

@@ -10,9 +10,14 @@ fn bench_routing(c: &mut Criterion) {
     for &tokens in &[256usize, 1024] {
         let experts = 32;
         let mut rng = Rng::seed(tokens as u64);
-        let probs = rng.uniform_tensor(&[tokens, experts], 0.0, 1.0).softmax_last();
+        let probs = rng
+            .uniform_tensor(&[tokens, experts], 0.0, 1.0)
+            .softmax_last();
         for k in [1usize, 2, 4] {
-            let cfg = RouteConfig { k, ..RouteConfig::top1() };
+            let cfg = RouteConfig {
+                k,
+                ..RouteConfig::top1()
+            };
             group.bench_with_input(
                 BenchmarkId::new(format!("top{k}"), tokens),
                 &tokens,

@@ -18,17 +18,23 @@ fn bench_layers(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("tutel_infer", tokens), &tokens, |b, _| {
             b.iter(|| tutel_layer.infer(&x).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("fairseq_infer", tokens), &tokens, |b, _| {
-            b.iter(|| fairseq.infer(&x).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("tutel_train_step", tokens), &tokens, |b, _| {
-            b.iter(|| {
-                let out = tutel_layer.forward(&x).unwrap();
-                let dx = tutel_layer.backward(&out.output).unwrap();
-                tutel_layer.step(0.0);
-                dx
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fairseq_infer", tokens),
+            &tokens,
+            |b, _| b.iter(|| fairseq.infer(&x).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tutel_train_step", tokens),
+            &tokens,
+            |b, _| {
+                b.iter(|| {
+                    let out = tutel_layer.forward(&x).unwrap();
+                    let dx = tutel_layer.backward(&out.output).unwrap();
+                    tutel_layer.step(0.0);
+                    dx
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -14,13 +14,9 @@ fn bench_search(c: &mut Criterion) {
             let s = search.next_strategy(f);
             search.record(f, s, 1.0 + (i % 7) as f64 * 0.1);
         }
-        group.bench_with_input(
-            BenchmarkId::new("known_f_lookup", known),
-            &known,
-            |b, _| {
-                b.iter(|| search.next_strategy(1.0 + (known / 2) as f64 * 0.01))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("known_f_lookup", known), &known, |b, _| {
+            b.iter(|| search.next_strategy(1.0 + (known / 2) as f64 * 0.01))
+        });
     }
     // New-factor path (bucket recomputation).
     group.bench_function("new_f_rebucket_100_known", |b| {

@@ -9,7 +9,10 @@ use tutel_bench::experiments::{
 };
 
 fn main() {
-    let steps: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let steps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
     println!("# Tutel reproduction sweep (training budget: {steps} steps)\n");
 
     println!("## Micro-benchmarks\n");

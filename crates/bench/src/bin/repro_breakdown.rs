@@ -1,0 +1,21 @@
+//! Per-stage breakdown of one modeled MoE iteration across scales,
+//! printed as a table and written to `BENCH_breakdown.json` (pass an
+//! argument to choose a different output path).
+
+use tutel_bench::experiments::breakdown;
+use tutel_obs::Telemetry;
+
+fn main() {
+    let tel = Telemetry::enabled();
+    let rows = breakdown::breakdown_rows(&tel);
+    breakdown::breakdown_table(&rows).print();
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_breakdown.json".to_string());
+    let json = breakdown::breakdown_json(&rows, &tel).to_json();
+    std::fs::write(&path, json + "\n").expect("write breakdown json");
+    println!(
+        "wrote {path} ({} rows, * = chosen by the search)",
+        rows.len()
+    );
+}

@@ -1,7 +1,10 @@
 //! Regenerates Figure 1 (dynamic capacity telemetry during training).
 
 fn main() {
-    let steps: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let steps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
     for t in tutel_bench::experiments::accuracy::fig1(steps) {
         t.print();
     }

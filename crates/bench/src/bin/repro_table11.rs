@@ -1,6 +1,9 @@
 //! Regenerates table11 (accuracy experiment on the synthetic substitute).
 
 fn main() {
-    let steps: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let steps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
     tutel_bench::experiments::accuracy::table11(steps).print();
 }

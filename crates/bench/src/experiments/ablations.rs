@@ -29,7 +29,15 @@ fn fig22_dims(f: f64) -> LayerDims {
 pub fn ablation_interference() -> Table {
     let mut t = Table::new(
         "Ablation: interference-aware vs interference-blind pipelining search",
-        &["GPUs", "f", "Blind pick", "Aware pick", "Blind actual", "Aware actual", "Penalty"],
+        &[
+            "GPUs",
+            "f",
+            "Blind pick",
+            "Aware pick",
+            "Blind actual",
+            "Aware actual",
+            "Penalty",
+        ],
     );
     for w in [16usize, 64, 256] {
         for f in [1.0, 4.0, 16.0] {
@@ -120,8 +128,9 @@ pub fn ablation_bucket_length() -> Table {
     let timing = CollectiveTiming::new(World::azure(128));
     let model = PipelineTimeModel::new(timing);
     // A wandering f schedule with three regimes.
-    let schedule: Vec<f64> =
-        (0..90).map(|i| [1.0, 1.3, 4.0, 4.4, 12.0, 13.5][i % 6]).collect();
+    let schedule: Vec<f64> = (0..90)
+        .map(|i| [1.0, 1.3, 4.0, 4.4, 12.0, 13.5][i % 6])
+        .collect();
     for bucket_len in [0.1, 0.5, 2.0, 8.0] {
         let mut search = OnlineStrategySearch::new(bucket_len);
         let mut explorations = 0usize;
@@ -139,8 +148,7 @@ pub fn ablation_bucket_length() -> Table {
         for &f in &fs {
             let dims = fig22_dims(f);
             let chosen = search.next_strategy(f);
-            regret +=
-                model.step_time(&dims, chosen) / model.best_strategy(&dims).1 - 1.0;
+            regret += model.step_time(&dims, chosen) / model.best_strategy(&dims).1 - 1.0;
         }
         t.row(&[
             format!("{bucket_len}"),

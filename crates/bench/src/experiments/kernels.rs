@@ -15,7 +15,9 @@ use crate::Table;
 
 fn fixture(tokens: usize, experts: usize, m: usize, seed: u64) -> (Routing, Tensor) {
     let mut rng = Rng::seed(seed);
-    let probs = rng.uniform_tensor(&[tokens, experts], 0.0, 1.0).softmax_last();
+    let probs = rng
+        .uniform_tensor(&[tokens, experts], 0.0, 1.0)
+        .softmax_last();
     let routing = route(&probs, &RouteConfig::top2()).unwrap();
     let x = rng.normal_tensor(&[tokens, m], 0.0, 1.0);
     (routing, x)
@@ -117,10 +119,18 @@ mod tests {
             .lines()
             .skip(3)
             .map(|l| {
-                l.split_whitespace().last().unwrap().trim_end_matches('x').parse().unwrap()
+                l.split_whitespace()
+                    .last()
+                    .unwrap()
+                    .trim_end_matches('x')
+                    .parse()
+                    .unwrap()
             })
             .collect();
-        assert!(speedups.windows(2).all(|w| w[1] >= w[0] * 0.99), "{speedups:?}");
+        assert!(
+            speedups.windows(2).all(|w| w[1] >= w[0] * 0.99),
+            "{speedups:?}"
+        );
         assert!(*speedups.last().unwrap() > 10.0);
     }
 }

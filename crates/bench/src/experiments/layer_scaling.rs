@@ -2,8 +2,8 @@
 //! Table 8 (end-to-end SwinV2-MoE training/inference speed).
 
 use tutel::adaptive::{FeatureSet, MoeLayerSimulator};
-use tutel_experts::ExpertPlacement;
 use tutel::pipeline::LayerDims;
+use tutel_experts::ExpertPlacement;
 
 use crate::report::fmt_speedup;
 use crate::Table;
@@ -53,7 +53,13 @@ pub fn fig23() -> Table {
 pub fn fig23_replicated() -> Table {
     let mut t = Table::new(
         "Figure 23 variant: replicated experts (count_per_node = -4, V = 16K), times in ms",
-        &["GPUs", "f", "(4) static P1", "(5) adaptive parallelism", "Gain"],
+        &[
+            "GPUs",
+            "f",
+            "(4) static P1",
+            "(5) adaptive parallelism",
+            "Gain",
+        ],
     );
     for w in [32usize, 64, 128] {
         let sim = MoeLayerSimulator::azure(w);
@@ -123,7 +129,12 @@ impl SwinSpeedModel {
     ///
     /// `features = None` means the dense (no-MoE) model; training costs
     /// ~3× the forward compute, inference 1×.
-    pub fn images_per_second(&self, world: usize, features: Option<FeatureSet>, training: bool) -> f64 {
+    pub fn images_per_second(
+        &self,
+        world: usize,
+        features: Option<FeatureSet>,
+        training: bool,
+    ) -> f64 {
         let sim = MoeLayerSimulator::azure(world);
         let gpu = sim.timing().world().gpu();
         // Training triples the dense compute (forward + 2× backward)
@@ -245,8 +256,7 @@ mod tests {
         // scales both, but inference is MoE-overhead-dominated).
         let model = SwinSpeedModel::swinv2_b();
         let speedup = |training: bool| {
-            let fair =
-                model.images_per_second(128, Some(FeatureSet::fairseq_baseline()), training);
+            let fair = model.images_per_second(128, Some(FeatureSet::fairseq_baseline()), training);
             let tut = model.images_per_second(128, Some(FeatureSet::full()), training);
             tut / fair
         };
@@ -254,6 +264,9 @@ mod tests {
         let infer = speedup(false);
         assert!(train > 1.05, "training speedup {train}");
         assert!(infer > 1.05, "inference speedup {infer}");
-        assert!(infer > train, "inference leverage must exceed training: {infer} vs {train}");
+        assert!(
+            infer > train,
+            "inference leverage must exceed training: {infer} vs {train}"
+        );
     }
 }

@@ -20,7 +20,14 @@ pub fn table1() -> Table {
     let dims = LayerDims::figure23();
     let mut t = Table::new(
         "Table 1: All-to-All overhead and potential overlap speedup",
-        &["GPUs", "MoE (ms)", "Comp (ms)", "A2A (ms)", "A2A ratio", "Potential speedup"],
+        &[
+            "GPUs",
+            "MoE (ms)",
+            "Comp (ms)",
+            "A2A (ms)",
+            "A2A ratio",
+            "Potential speedup",
+        ],
     );
     for w in [16usize, 64, 256] {
         let timing = CollectiveTiming::new(World::azure(w));
@@ -31,8 +38,18 @@ pub fn table1() -> Table {
         // pre-Tutel baseline this table profiles).
         let comp = gpu.gate_time(dims.tokens, e)
             + 2.0 * gpu.dense_encode_time(dims.tokens, e, dc, dims.model_dim)
-            + gpu.gemm_time(dims.local_experts, dims.expert_rows() / dims.local_experts, dims.model_dim, dims.hidden_dim)
-            + gpu.gemm_time(dims.local_experts, dims.expert_rows() / dims.local_experts, dims.hidden_dim, dims.model_dim);
+            + gpu.gemm_time(
+                dims.local_experts,
+                dims.expert_rows() / dims.local_experts,
+                dims.model_dim,
+                dims.hidden_dim,
+            )
+            + gpu.gemm_time(
+                dims.local_experts,
+                dims.expert_rows() / dims.local_experts,
+                dims.hidden_dim,
+                dims.model_dim,
+            );
         let a2a = 2.0 * timing.linear_time(dims.a2a_bytes(), Protocol::Simple);
         let total = comp + a2a;
         let ratio = a2a / total;
@@ -74,12 +91,20 @@ pub fn fig6a() -> Table {
 pub fn fig6b() -> Table {
     let mut t = Table::new(
         "Figure 6b: linear All-to-All bus bandwidth vs scale (nccl-tests metric)",
-        &["GPUs", "busbw @1MiB (GB/s)", "busbw @32MiB (GB/s)", "busbw @256MiB (GB/s)"],
+        &[
+            "GPUs",
+            "busbw @1MiB (GB/s)",
+            "busbw @32MiB (GB/s)",
+            "busbw @256MiB (GB/s)",
+        ],
     );
     for w in [64usize, 128, 256, 512, 1024, 2048] {
         let timing = CollectiveTiming::new(World::azure(w));
         let bw = |s: f64| {
-            format!("{:.2}", timing.bus_bandwidth(AllToAllAlgo::Linear, s, Protocol::Simple) / 1e9)
+            format!(
+                "{:.2}",
+                timing.bus_bandwidth(AllToAllAlgo::Linear, s, Protocol::Simple) / 1e9
+            )
         };
         t.row(&[w.to_string(), bw(MIB), bw(32.0 * MIB), bw(256.0 * MIB)]);
     }
@@ -119,8 +144,7 @@ pub fn fig10() -> Table {
         &["GPUs", "Rigid (TFLOP/s)", "Flexible (TFLOP/s)", "Flex gain"],
     );
     let rows_total = dims.expert_rows();
-    let flops =
-        2.0 * rows_total as f64 * dims.model_dim as f64 * dims.hidden_dim as f64 * 2.0;
+    let flops = 2.0 * rows_total as f64 * dims.model_dim as f64 * dims.hidden_dim as f64 * 2.0;
     for w in [16usize, 64, 256, 1024, 2048] {
         let de = dims.local_experts;
         let rigid_rows = (rows_total / (w * de)).max(1);
@@ -169,7 +193,14 @@ pub fn fig21() -> Table {
     let timing = CollectiveTiming::new(World::azure(64));
     let mut t = Table::new(
         "Figure 21: 2DH implementation comparison at 64 GPUs",
-        &["Size", "Linear (NCCL)", "2DH (NCCL)", "2DH (MSCCL Simple)", "2DH (MSCCL LL128)", "Best"],
+        &[
+            "Size",
+            "Linear (NCCL)",
+            "2DH (NCCL)",
+            "2DH (MSCCL Simple)",
+            "2DH (MSCCL LL128)",
+            "Best",
+        ],
     );
     for s in [MIB, 32.0 * MIB, 256.0 * MIB] {
         let linear = timing.linear_time(s, Protocol::Simple);
@@ -245,7 +276,16 @@ mod tests {
 
     #[test]
     fn all_micro_tables_render() {
-        for t in [table1(), fig6a(), fig6b(), fig7(), fig10(), fig20(), fig21(), table4()] {
+        for t in [
+            table1(),
+            fig6a(),
+            fig6b(),
+            fig7(),
+            fig10(),
+            fig20(),
+            fig21(),
+            table4(),
+        ] {
             assert!(!t.is_empty());
             assert!(!t.render().is_empty());
         }

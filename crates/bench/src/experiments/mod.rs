@@ -4,6 +4,7 @@
 
 pub mod ablations;
 pub mod accuracy;
+pub mod breakdown;
 pub mod kernels;
 pub mod layer_scaling;
 pub mod micro;

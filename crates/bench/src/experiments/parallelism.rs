@@ -18,7 +18,13 @@ pub fn fig3() -> Table {
     let r = router(8);
     let mut t = Table::new(
         "Figure 3: P2/P1 throughput ratio vs capacity factor (V = 16K, M = 2K, W = 8, E = 2)",
-        &["f", "top-1 ratio", "top-2 ratio", "top-1 winner", "top-2 winner"],
+        &[
+            "f",
+            "top-1 ratio",
+            "top-2 ratio",
+            "top-1 winner",
+            "top-2 winner",
+        ],
     );
     for f in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
         let mut ratios = Vec::new();
@@ -95,12 +101,48 @@ struct Scenario {
 pub fn table5b() -> Table {
     let r = router(8);
     let scenarios = [
-        Scenario { label: "f1,E4,S1K,V4K", experts: 4, tokens: 1024, hidden: 4096, fs: &[1.0] },
-        Scenario { label: "f1,E4,S1K,V8K", experts: 4, tokens: 1024, hidden: 8192, fs: &[1.0] },
-        Scenario { label: "f1,E2,S16K,V2K", experts: 2, tokens: 16384, hidden: 2048, fs: &[1.0] },
-        Scenario { label: "f1,E2,S32K,V2K", experts: 2, tokens: 32768, hidden: 2048, fs: &[1.0] },
-        Scenario { label: "f1,E4,S4K,V8K", experts: 4, tokens: 4096, hidden: 8192, fs: &[1.0] },
-        Scenario { label: "f1,E1,S4K,V8K", experts: 1, tokens: 4096, hidden: 8192, fs: &[1.0] },
+        Scenario {
+            label: "f1,E4,S1K,V4K",
+            experts: 4,
+            tokens: 1024,
+            hidden: 4096,
+            fs: &[1.0],
+        },
+        Scenario {
+            label: "f1,E4,S1K,V8K",
+            experts: 4,
+            tokens: 1024,
+            hidden: 8192,
+            fs: &[1.0],
+        },
+        Scenario {
+            label: "f1,E2,S16K,V2K",
+            experts: 2,
+            tokens: 16384,
+            hidden: 2048,
+            fs: &[1.0],
+        },
+        Scenario {
+            label: "f1,E2,S32K,V2K",
+            experts: 2,
+            tokens: 32768,
+            hidden: 2048,
+            fs: &[1.0],
+        },
+        Scenario {
+            label: "f1,E4,S4K,V8K",
+            experts: 4,
+            tokens: 4096,
+            hidden: 8192,
+            fs: &[1.0],
+        },
+        Scenario {
+            label: "f1,E1,S4K,V8K",
+            experts: 1,
+            tokens: 4096,
+            hidden: 8192,
+            fs: &[1.0],
+        },
         Scenario {
             label: "f1~16,E4,S2K,V8K",
             experts: 4,
@@ -147,7 +189,10 @@ mod tests {
     #[test]
     fn fig3_crossover_exists_for_both_k() {
         let text = fig3().render();
-        assert!(text.contains("P1") && text.contains("P2"), "both parallelisms must win somewhere:\n{text}");
+        assert!(
+            text.contains("P1") && text.contains("P2"),
+            "both parallelisms must win somewhere:\n{text}"
+        );
     }
 
     #[test]

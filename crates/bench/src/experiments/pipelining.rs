@@ -24,8 +24,11 @@ pub fn table6_settings() -> Vec<LayerDims> {
                 for hidden in [1024usize, 2048, 4096] {
                     for de2 in [1usize, 2, 4] {
                         // de2 = 2·ΔE ∈ {1, 2, 4} → ΔE ∈ {0.5, 1, 2}.
-                        let (local_experts, hidden_dim) =
-                            if de2 == 1 { (1, hidden / 2) } else { (de2 / 2, hidden) };
+                        let (local_experts, hidden_dim) = if de2 == 1 {
+                            (1, hidden / 2)
+                        } else {
+                            (de2 / 2, hidden)
+                        };
                         v.push(LayerDims {
                             tokens: samples * tokens_per_sample,
                             model_dim: m,
@@ -64,7 +67,11 @@ pub fn fig5() -> Table {
         .collect();
     entries.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
     for (s, count) in entries {
-        t.row(&[s.to_string(), count.to_string(), fmt_pct(count as f64 / total as f64)]);
+        t.row(&[
+            s.to_string(),
+            count.to_string(),
+            fmt_pct(count as f64 / total as f64),
+        ]);
     }
     t
 }
@@ -78,16 +85,12 @@ pub fn table7(worst: bool) -> Table {
     } else {
         "Table 7a: adaptive pipelining improvement over static, average"
     };
-    let mut t = Table::new(
-        title,
-        &["GPUs", "Algo", "d=1", "d=2", "d=4", "d=8"],
-    );
+    let mut t = Table::new(title, &["GPUs", "Algo", "d=1", "d=2", "d=4", "d=8"]);
     for w in [16usize, 32, 64, 128, 256] {
         let model = PipelineTimeModel::new(CollectiveTiming::new(World::azure(w)));
         let settings = table6_settings();
         // Precompute best per setting.
-        let bests: Vec<f64> =
-            settings.iter().map(|d| model.best_strategy(d).1).collect();
+        let bests: Vec<f64> = settings.iter().map(|d| model.best_strategy(d).1).collect();
         for algo in tutel_comm::AllToAllAlgo::ALL {
             let mut cells = vec![w.to_string(), algo.to_string()];
             for degree in [1usize, 2, 4, 8] {
@@ -100,7 +103,11 @@ pub fn table7(worst: bool) -> Table {
                     acc += improvement;
                     max = max.max(improvement);
                 }
-                let val = if worst { max } else { acc / settings.len() as f64 };
+                let val = if worst {
+                    max
+                } else {
+                    acc / settings.len() as f64
+                };
                 cells.push(fmt_pct(val));
             }
             t.row(&cells);
@@ -164,7 +171,10 @@ mod tests {
                     .unwrap_or(false)
             })
             .count();
-        assert!(winners >= 2, "expected multiple winning strategies:\n{text}");
+        assert!(
+            winners >= 2,
+            "expected multiple winning strategies:\n{text}"
+        );
     }
 
     #[test]
@@ -188,6 +198,9 @@ mod tests {
             .filter(|w| w.ends_with('%'))
             .map(|w| w.trim_end_matches('%').parse::<f64>().unwrap())
             .fold(0.0, f64::max);
-        assert!(max > 10.0, "best-case dynamic gain {max}% too small:\n{text}");
+        assert!(
+            max > 10.0,
+            "best-case dynamic gain {max}% too small:\n{text}"
+        );
     }
 }

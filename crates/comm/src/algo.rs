@@ -56,8 +56,9 @@ mod tests {
     #[test]
     fn both_algorithms_agree() {
         let topo = Topology::new(2, 2);
-        let bufs: RankBuffers =
-            (0..4).map(|r| (0..8).map(|i| (r * 100 + i) as f32).collect()).collect();
+        let bufs: RankBuffers = (0..4)
+            .map(|r| (0..8).map(|i| (r * 100 + i) as f32).collect())
+            .collect();
         let a = AllToAllAlgo::Linear.run(&bufs, &topo);
         let b = AllToAllAlgo::TwoDh.run(&bufs, &topo);
         assert_eq!(a, b);

@@ -129,8 +129,9 @@ mod tests {
     fn inputs(w: usize, e: usize, dc: usize, m: usize) -> Vec<Tensor> {
         (0..w)
             .map(|r| {
-                let data: Vec<f32> =
-                    (0..e * dc * m).map(|i| (r * e * dc * m + i) as f32).collect();
+                let data: Vec<f32> = (0..e * dc * m)
+                    .map(|i| (r * e * dc * m + i) as f32)
+                    .collect();
                 Tensor::from_vec(data, &[e, dc, m]).unwrap()
             })
             .collect()
@@ -165,10 +166,8 @@ mod tests {
     fn combine_inverts_dispatch() {
         let topo = Topology::new(2, 2);
         let ins = inputs(4, 4, 2, 3);
-        let dispatched =
-            flex_all_to_all(&ins, 1, 0, AllToAllAlgo::TwoDh, &topo).unwrap();
-        let combined =
-            flex_all_to_all(&dispatched, 0, 1, AllToAllAlgo::TwoDh, &topo).unwrap();
+        let dispatched = flex_all_to_all(&ins, 1, 0, AllToAllAlgo::TwoDh, &topo).unwrap();
+        let combined = flex_all_to_all(&dispatched, 0, 1, AllToAllAlgo::TwoDh, &topo).unwrap();
         for (orig, back) in ins.iter().zip(&combined) {
             assert_eq!(orig, back);
         }

@@ -26,8 +26,8 @@
 
 mod algo;
 pub mod flex;
-mod local_agg;
 mod linear;
+mod local_agg;
 pub mod primitives;
 pub mod runtime;
 mod stride;

@@ -31,7 +31,10 @@ pub fn linear_all_to_all(bufs: &RankBuffers) -> RankBuffers {
         bufs.iter().all(|b| b.len() == len),
         "all ranks must hold equally sized buffers"
     );
-    assert!(len.is_multiple_of(n), "buffer of {len} elements not divisible into {n} chunks");
+    assert!(
+        len.is_multiple_of(n),
+        "buffer of {len} elements not divisible into {n} chunks"
+    );
     let chunk = len / n;
     let mut out = vec![vec![0.0f32; len]; n];
     for (src, buf) in bufs.iter().enumerate() {
@@ -50,11 +53,7 @@ mod tests {
     fn labeled(n: usize, chunk: usize) -> RankBuffers {
         // Value encodes (src, dst, offset) uniquely.
         (0..n)
-            .map(|s| {
-                (0..n * chunk)
-                    .map(|i| (s * n * chunk + i) as f32)
-                    .collect()
-            })
+            .map(|s| (0..n * chunk).map(|i| (s * n * chunk + i) as f32).collect())
             .collect()
     }
 

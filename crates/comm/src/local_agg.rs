@@ -31,8 +31,14 @@ pub fn naive_local_agg_all_to_all(bufs: &RankBuffers, topology: &Topology) -> Ra
     let nnodes = topology.nnodes();
     assert_eq!(bufs.len(), n, "buffer count must equal world size");
     let len = bufs[0].len();
-    assert!(bufs.iter().all(|b| b.len() == len), "all ranks must hold equally sized buffers");
-    assert!(len.is_multiple_of(n), "buffer of {len} elements not divisible into {n} chunks");
+    assert!(
+        bufs.iter().all(|b| b.len() == len),
+        "all ranks must hold equally sized buffers"
+    );
+    assert!(
+        len.is_multiple_of(n),
+        "buffer of {len} elements not divisible into {n} chunks"
+    );
     let chunk = len / n;
 
     // Phase 1: rank (node, l) aggregates, for each round r in 0..n/m,

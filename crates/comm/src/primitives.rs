@@ -16,7 +16,10 @@ pub fn all_gather(bufs: &RankBuffers) -> RankBuffers {
     let n = bufs.len();
     assert!(n > 0, "all-gather over zero ranks");
     let len = bufs[0].len();
-    assert!(bufs.iter().all(|b| b.len() == len), "all ranks must hold equally sized buffers");
+    assert!(
+        bufs.iter().all(|b| b.len() == len),
+        "all ranks must hold equally sized buffers"
+    );
     let mut gathered = Vec::with_capacity(n * len);
     for b in bufs {
         gathered.extend_from_slice(b);
@@ -34,7 +37,10 @@ pub fn all_reduce_sum(bufs: &RankBuffers) -> RankBuffers {
     let n = bufs.len();
     assert!(n > 0, "all-reduce over zero ranks");
     let len = bufs[0].len();
-    assert!(bufs.iter().all(|b| b.len() == len), "all ranks must hold equally sized buffers");
+    assert!(
+        bufs.iter().all(|b| b.len() == len),
+        "all ranks must hold equally sized buffers"
+    );
     let mut sum = vec![0.0f32; len];
     for b in bufs {
         for (s, v) in sum.iter_mut().zip(b) {
@@ -54,11 +60,19 @@ pub fn reduce_scatter_sum(bufs: &RankBuffers) -> RankBuffers {
     let n = bufs.len();
     assert!(n > 0, "reduce-scatter over zero ranks");
     let len = bufs[0].len();
-    assert!(bufs.iter().all(|b| b.len() == len), "all ranks must hold equally sized buffers");
-    assert!(len.is_multiple_of(n), "buffer of {len} elements not divisible into {n} shards");
+    assert!(
+        bufs.iter().all(|b| b.len() == len),
+        "all ranks must hold equally sized buffers"
+    );
+    assert!(
+        len.is_multiple_of(n),
+        "buffer of {len} elements not divisible into {n} shards"
+    );
     let shard = len / n;
     let reduced = &all_reduce_sum(bufs)[0];
-    (0..n).map(|r| reduced[r * shard..(r + 1) * shard].to_vec()).collect()
+    (0..n)
+        .map(|r| reduced[r * shard..(r + 1) * shard].to_vec())
+        .collect()
 }
 
 /// Broadcast from `root`: every rank receives `bufs[root]`.
@@ -97,7 +111,11 @@ mod tests {
 
     #[test]
     fn reduce_scatter_splits_the_sum() {
-        let bufs = vec![vec![1.0, 2.0, 3.0], vec![10.0, 20.0, 30.0], vec![100.0, 200.0, 300.0]];
+        let bufs = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![10.0, 20.0, 30.0],
+            vec![100.0, 200.0, 300.0],
+        ];
         let out = reduce_scatter_sum(&bufs);
         assert_eq!(out[0], vec![111.0]);
         assert_eq!(out[1], vec![222.0]);
@@ -106,7 +124,11 @@ mod tests {
 
     #[test]
     fn reduce_scatter_then_all_gather_equals_all_reduce() {
-        let bufs = vec![vec![1.0, 2.0, 3.0], vec![10.0, 20.0, 30.0], vec![100.0, 200.0, 300.0]];
+        let bufs = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![10.0, 20.0, 30.0],
+            vec![100.0, 200.0, 300.0],
+        ];
         let via_rs = all_gather(&reduce_scatter_sum(&bufs));
         let via_ar = all_reduce_sum(&bufs);
         assert_eq!(via_rs, via_ar);

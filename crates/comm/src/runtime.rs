@@ -4,7 +4,7 @@
 //! etc.) compute collectives over all ranks at once — convenient for
 //! tests, but nothing like how a real cluster executes. This module
 //! runs every simulated rank on its **own OS thread** with only
-//! point-to-point channels between them (crossbeam MPMC), and
+//! point-to-point channels between them (MPMC channels), and
 //! implements the collectives as each rank's local program — exactly
 //! the structure of Algorithm 1 and Algorithm 3 in the paper:
 //!
@@ -73,7 +73,11 @@ impl Communicator {
     /// Panics if `peer` is out of range or the run has been torn down.
     pub fn send(&self, peer: usize, tag: u64, payload: Vec<f32>) {
         self.senders[peer]
-            .send(Message { src: self.rank, tag, payload })
+            .send(Message {
+                src: self.rank,
+                tag,
+                payload,
+            })
             .expect("peer thread is alive for the duration of the run");
     }
 
@@ -90,11 +94,17 @@ impl Communicator {
             }
         }
         loop {
-            let msg = self.receiver.recv().expect("peer thread panicked mid-collective");
+            let msg = self
+                .receiver
+                .recv()
+                .expect("peer thread panicked mid-collective");
             if msg.src == src && msg.tag == tag {
                 return msg.payload;
             }
-            self.mailbox.entry((msg.src, msg.tag)).or_default().push(msg.payload);
+            self.mailbox
+                .entry((msg.src, msg.tag))
+                .or_default()
+                .push(msg.payload);
         }
     }
 
@@ -117,7 +127,11 @@ impl Communicator {
     /// Panics if `input.len()` is not divisible by the world size.
     pub fn all_to_all(&mut self, input: &[f32]) -> Vec<f32> {
         let n = self.world_size();
-        assert!(input.len().is_multiple_of(n), "buffer of {} not divisible into {n} chunks", input.len());
+        assert!(
+            input.len().is_multiple_of(n),
+            "buffer of {} not divisible into {n} chunks",
+            input.len()
+        );
         let chunk = input.len() / n;
         let tag = self.fresh_tag();
         for peer in 0..n {
@@ -148,7 +162,11 @@ impl Communicator {
         let n = self.world_size();
         let m = self.topology.gpus_per_node();
         let nnodes = self.topology.nnodes();
-        assert!(input.len().is_multiple_of(n), "buffer of {} not divisible into {n} chunks", input.len());
+        assert!(
+            input.len().is_multiple_of(n),
+            "buffer of {} not divisible into {n} chunks",
+            input.len()
+        );
         let chunk = input.len() / n;
         let node = self.topology.node_of(self.rank);
         let local = self.topology.local_rank(self.rank);
@@ -162,7 +180,11 @@ impl Communicator {
         for dst_local in 0..m {
             if dst_local != local {
                 let dst = node * m + dst_local;
-                self.send(dst, tag, aligned[dst_local * block..(dst_local + 1) * block].to_vec());
+                self.send(
+                    dst,
+                    tag,
+                    aligned[dst_local * block..(dst_local + 1) * block].to_vec(),
+                );
             }
         }
         let mut phase2 = vec![0.0f32; input.len()];
@@ -185,7 +207,11 @@ impl Communicator {
         for dst_node in 0..nnodes {
             if dst_node != node {
                 let dst = dst_node * m + local;
-                self.send(dst, tag, phase3[dst_node * nblock..(dst_node + 1) * nblock].to_vec());
+                self.send(
+                    dst,
+                    tag,
+                    phase3[dst_node * nblock..(dst_node + 1) * nblock].to_vec(),
+                );
             }
         }
         let mut out = vec![0.0f32; input.len()];
@@ -233,7 +259,11 @@ impl Communicator {
         if n == 1 {
             return input.to_vec();
         }
-        assert!(input.len().is_multiple_of(n), "buffer of {} not divisible into {n} shards", input.len());
+        assert!(
+            input.len().is_multiple_of(n),
+            "buffer of {} not divisible into {n} shards",
+            input.len()
+        );
         let shard = input.len() / n;
         let next = (self.rank + 1) % n;
         let prev = (self.rank + n - 1) % n;
@@ -244,9 +274,16 @@ impl Communicator {
         for s in 0..n - 1 {
             let send_idx = (self.rank + n - s) % n;
             let recv_idx = (self.rank + n - 1 - s) % n;
-            self.send(next, tag + s as u64 * 0x10000, buf[send_idx * shard..(send_idx + 1) * shard].to_vec());
+            self.send(
+                next,
+                tag + s as u64 * 0x10000,
+                buf[send_idx * shard..(send_idx + 1) * shard].to_vec(),
+            );
             let payload = self.recv(prev, tag + s as u64 * 0x10000);
-            for (o, v) in buf[recv_idx * shard..(recv_idx + 1) * shard].iter_mut().zip(payload) {
+            for (o, v) in buf[recv_idx * shard..(recv_idx + 1) * shard]
+                .iter_mut()
+                .zip(payload)
+            {
                 *o += v;
             }
         }
@@ -255,7 +292,11 @@ impl Communicator {
         for s in 0..n - 1 {
             let send_idx = (self.rank + 1 + n - s) % n;
             let recv_idx = (self.rank + n - s) % n;
-            self.send(next, tag + s as u64 * 0x10000, buf[send_idx * shard..(send_idx + 1) * shard].to_vec());
+            self.send(
+                next,
+                tag + s as u64 * 0x10000,
+                buf[send_idx * shard..(send_idx + 1) * shard].to_vec(),
+            );
             let payload = self.recv(prev, tag + s as u64 * 0x10000);
             buf[recv_idx * shard..(recv_idx + 1) * shard].copy_from_slice(&payload);
         }
@@ -316,7 +357,10 @@ where
                 program(comm)
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("rank program panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank program panicked"))
+            .collect()
     })
 }
 
@@ -394,7 +438,10 @@ mod tests {
         // them separate even though ranks proceed at different speeds.
         let topo = Topology::new(2, 2);
         let a = labeled(4, 2);
-        let b: RankBuffers = a.iter().map(|r| r.iter().map(|v| v + 1000.0).collect()).collect();
+        let b: RankBuffers = a
+            .iter()
+            .map(|r| r.iter().map(|v| v + 1000.0).collect())
+            .collect();
         let (ea, eb) = (linear_all_to_all(&a), linear_all_to_all(&b));
         let (ra, rb) = (&a, &b);
         let got = run_threaded(topo, |mut comm| {

@@ -58,7 +58,10 @@ mod tests {
     fn figure15_phase1_layout() {
         // 2 nodes × 4 GPUs; GPU2's initial row is 20..27.
         let out = stride_memcpy(&gpu_row(2, 8), 1, 4, 2);
-        let expect: Vec<f32> = [20, 24, 21, 25, 22, 26, 23, 27].iter().map(|&x| x as f32).collect();
+        let expect: Vec<f32> = [20, 24, 21, 25, 22, 26, 23, 27]
+            .iter()
+            .map(|&x| x as f32)
+            .collect();
         assert_eq!(out, expect);
     }
 
@@ -66,9 +69,15 @@ mod tests {
     fn figure15_phase3_layout() {
         // After phase 2, GPU0 holds 00 04 10 14 20 24 30 34; phase 3
         // swaps row/col and yields 00 10 20 30 04 14 24 34.
-        let phase2: Vec<f32> = [0, 4, 10, 14, 20, 24, 30, 34].iter().map(|&x| x as f32).collect();
+        let phase2: Vec<f32> = [0, 4, 10, 14, 20, 24, 30, 34]
+            .iter()
+            .map(|&x| x as f32)
+            .collect();
         let out = stride_memcpy(&phase2, 1, 2, 4);
-        let expect: Vec<f32> = [0, 10, 20, 30, 4, 14, 24, 34].iter().map(|&x| x as f32).collect();
+        let expect: Vec<f32> = [0, 10, 20, 30, 4, 14, 24, 34]
+            .iter()
+            .map(|&x| x as f32)
+            .collect();
         assert_eq!(out, expect);
     }
 

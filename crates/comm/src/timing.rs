@@ -156,14 +156,16 @@ impl CollectiveTiming {
         // Scattered gather/scatter at S/n granularity dominates as n
         // grows (anchor: ~600 µs → ~5 ms for S = 128 MiB, m = 8).
         let scattered = gpu.strided_copy_time(bytes, chunk);
-        let intra = nv.base_latency() + nv.burst_time(m - 1, bytes / m as f64, protocol) + scattered;
+        let intra =
+            nv.base_latency() + nv.burst_time(m - 1, bytes / m as f64, protocol) + scattered;
         if nnodes == 1 {
             return intra;
         }
         let ib = self.world.infiniband();
         let inter_block = bytes * m as f64 / n as f64;
         let contention = fabric_contention(nnodes);
-        let inter = ib.base_latency() + ib.burst_time(nnodes - 1, inter_block, protocol) * contention;
+        let inter =
+            ib.base_latency() + ib.burst_time(nnodes - 1, inter_block, protocol) * contention;
         intra + inter
     }
 
@@ -242,6 +244,46 @@ impl CollectiveTiming {
         self.ring_time(bytes / group as f64, group, 2.0)
     }
 
+    /// [`CollectiveTiming::all_to_all_time`] that also records the
+    /// priced collective (operation, algorithm, payload bytes, modeled
+    /// seconds) into `tel` — the per-collective audit trail of a
+    /// simulated run. No-op recording when `tel` is disabled.
+    pub fn all_to_all_time_observed(
+        &self,
+        algo: AllToAllAlgo,
+        bytes: f64,
+        protocol: Protocol,
+        tel: &tutel_obs::Telemetry,
+    ) -> Seconds {
+        let t = self.all_to_all_time(algo, bytes, protocol);
+        tel.collective("all_to_all", &algo.to_string(), bytes, t);
+        t
+    }
+
+    /// [`CollectiveTiming::all_gather_time`] with collective recording.
+    pub fn all_gather_time_observed(
+        &self,
+        shard_bytes: f64,
+        group: usize,
+        tel: &tutel_obs::Telemetry,
+    ) -> Seconds {
+        let t = self.all_gather_time(shard_bytes, group);
+        tel.collective("all_gather", &format!("ring/{group}"), shard_bytes, t);
+        t
+    }
+
+    /// [`CollectiveTiming::all_reduce_time`] with collective recording.
+    pub fn all_reduce_time_observed(
+        &self,
+        bytes: f64,
+        group: usize,
+        tel: &tutel_obs::Telemetry,
+    ) -> Seconds {
+        let t = self.all_reduce_time(bytes, group);
+        tel.collective("all_reduce", &format!("ring/{group}"), bytes, t);
+        t
+    }
+
     /// Bus bandwidth (bytes/s) achieved by an All-to-All of `bytes` per
     /// GPU: the standard nccl-tests metric `S·(n−1)/n / t`.
     pub fn bus_bandwidth(&self, algo: AllToAllAlgo, bytes: f64, protocol: Protocol) -> f64 {
@@ -260,8 +302,16 @@ impl CollectiveTiming {
         let topo = self.world.topology();
         // A ring across nodes is bottlenecked by its slowest hop.
         let spans_nodes = group > topo.gpus_per_node() && topo.nnodes() > 1;
-        let link = if spans_nodes { self.world.infiniband() } else { self.world.nvlink() };
-        let contention = if spans_nodes { fabric_contention(topo.nnodes()) } else { 1.0 };
+        let link = if spans_nodes {
+            self.world.infiniband()
+        } else {
+            self.world.nvlink()
+        };
+        let contention = if spans_nodes {
+            fabric_contention(topo.nnodes())
+        } else {
+            1.0
+        };
         link.base_latency()
             + passes * link.burst_time(group - 1, step_bytes, Protocol::Simple) * contention
     }
@@ -333,7 +383,10 @@ mod tests {
         let scattered = big.world().gpu().strided_copy_time(s, s / 2048.0);
         let aligned = 1.25 * big.world().gpu().copy_time(s);
         assert!(scattered > 1e-3, "scattered access {scattered}");
-        assert!(scattered > 4.0 * aligned, "scattered {scattered} vs aligned {aligned}");
+        assert!(
+            scattered > 4.0 * aligned,
+            "scattered {scattered} vs aligned {aligned}"
+        );
     }
 
     #[test]

@@ -44,12 +44,21 @@ pub fn two_dh_all_to_all(bufs: &RankBuffers, topology: &Topology) -> RankBuffers
     let nnodes = topology.nnodes();
     assert_eq!(bufs.len(), n, "buffer count must equal world size");
     let len = bufs[0].len();
-    assert!(bufs.iter().all(|b| b.len() == len), "all ranks must hold equally sized buffers");
-    assert!(len.is_multiple_of(n), "buffer of {len} elements not divisible into {n} chunks");
+    assert!(
+        bufs.iter().all(|b| b.len() == len),
+        "all ranks must hold equally sized buffers"
+    );
+    assert!(
+        len.is_multiple_of(n),
+        "buffer of {len} elements not divisible into {n} chunks"
+    );
     let chunk = len / n;
 
     // Phase 1: align chunks sharing the same local destination GPU.
-    let phase1: RankBuffers = bufs.iter().map(|b| stride_memcpy(b, chunk, m, nnodes)).collect();
+    let phase1: RankBuffers = bufs
+        .iter()
+        .map(|b| stride_memcpy(b, chunk, m, nnodes))
+        .collect();
 
     // Phase 2: intra-node All-to-All of blocks of nnodes·chunk elements.
     let mut phase2: RankBuffers = vec![vec![0.0; len]; n];
@@ -67,7 +76,10 @@ pub fn two_dh_all_to_all(bufs: &RankBuffers, topology: &Topology) -> RankBuffers
     }
 
     // Phase 3: align chunks sharing the same remote destination node.
-    let phase3: RankBuffers = phase2.iter().map(|b| stride_memcpy(b, chunk, nnodes, m)).collect();
+    let phase3: RankBuffers = phase2
+        .iter()
+        .map(|b| stride_memcpy(b, chunk, nnodes, m))
+        .collect();
 
     // Phase 4: inter-node All-to-All of blocks of m·chunk elements among
     // same-local-rank peers.
@@ -102,8 +114,9 @@ mod tests {
     fn figure15_example_two_nodes_of_four() {
         let topo = Topology::new(2, 4);
         // Chunk value = src*10 + dst, one element per chunk.
-        let bufs: RankBuffers =
-            (0..8).map(|s| (0..8).map(|d| (s * 10 + d) as f32).collect()).collect();
+        let bufs: RankBuffers = (0..8)
+            .map(|s| (0..8).map(|d| (s * 10 + d) as f32).collect())
+            .collect();
         let out = two_dh_all_to_all(&bufs, &topo);
         // Final row of GPU d must be [0d, 1d, ..., 7d] (Figure 15).
         for d in 0..8 {

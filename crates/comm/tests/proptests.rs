@@ -20,7 +20,9 @@ fn rank_buffers(nnodes: usize, gpn: usize, chunk: usize, seed: u64) -> RankBuffe
         state ^= state << 17;
         (state % 1000) as f32 / 10.0
     };
-    (0..n).map(|_| (0..n * chunk).map(|_| next()).collect()).collect()
+    (0..n)
+        .map(|_| (0..n * chunk).map(|_| next()).collect())
+        .collect()
 }
 
 proptest! {

@@ -39,22 +39,34 @@ impl FeatureSet {
 
     /// Curve (2): Tutel kernels + linear All-to-All.
     pub fn kernels() -> Self {
-        FeatureSet { tutel_kernels: true, ..FeatureSet::default() }
+        FeatureSet {
+            tutel_kernels: true,
+            ..FeatureSet::default()
+        }
     }
 
     /// Curve (3): kernels + adaptive pipelining.
     pub fn kernels_pipelining() -> Self {
-        FeatureSet { adaptive_pipelining: true, ..FeatureSet::kernels() }
+        FeatureSet {
+            adaptive_pipelining: true,
+            ..FeatureSet::kernels()
+        }
     }
 
     /// Curve (4): kernels + adaptive pipelining + Flexible All-to-All.
     pub fn kernels_pipelining_flex() -> Self {
-        FeatureSet { flexible_a2a: true, ..FeatureSet::kernels_pipelining() }
+        FeatureSet {
+            flexible_a2a: true,
+            ..FeatureSet::kernels_pipelining()
+        }
     }
 
     /// Curve (5): everything.
     pub fn full() -> Self {
-        FeatureSet { adaptive_parallelism: true, ..FeatureSet::kernels_pipelining_flex() }
+        FeatureSet {
+            adaptive_parallelism: true,
+            ..FeatureSet::kernels_pipelining_flex()
+        }
     }
 
     /// The Figure 23 ladder, in order.
@@ -63,7 +75,10 @@ impl FeatureSet {
             ("Fairseq baseline", FeatureSet::fairseq_baseline()),
             ("+ Tutel kernels", FeatureSet::kernels()),
             ("+ adaptive pipelining", FeatureSet::kernels_pipelining()),
-            ("+ flexible All-to-All", FeatureSet::kernels_pipelining_flex()),
+            (
+                "+ flexible All-to-All",
+                FeatureSet::kernels_pipelining_flex(),
+            ),
             ("+ adaptive parallelism", FeatureSet::full()),
         ]
     }
@@ -98,7 +113,9 @@ impl MoeLayerSimulator {
     /// Panics for invalid world sizes (see
     /// [`tutel_simgpu::Topology::azure_ndv4`]).
     pub fn azure(world_size: usize) -> Self {
-        MoeLayerSimulator { timing: CollectiveTiming::new(tutel_comm::World::azure(world_size)) }
+        MoeLayerSimulator {
+            timing: CollectiveTiming::new(tutel_comm::World::azure(world_size)),
+        }
     }
 
     /// Creates a simulator over an explicit pricer.
@@ -123,6 +140,32 @@ impl MoeLayerSimulator {
         model.flexible_layout = features.flexible_a2a;
         let (strategy, _) = if features.adaptive_pipelining {
             model.best_strategy(dims)
+        } else {
+            (PipelineStrategy::baseline(), 0.0)
+        };
+        let base = model.step_time(dims, strategy);
+        if features.adaptive_parallelism {
+            base - self.parallelism_saving(dims)
+        } else {
+            base
+        }
+    }
+
+    /// [`MoeLayerSimulator::step_time`] that also threads a telemetry
+    /// handle through the strategy search, so every simulated iteration
+    /// with `adaptive_pipelining` leaves an audit record (all eight
+    /// candidate strategies, modeled costs, and the winner) in `tel`.
+    pub fn step_time_observed(
+        &self,
+        dims: &LayerDims,
+        features: FeatureSet,
+        tel: &tutel_obs::Telemetry,
+    ) -> Seconds {
+        let mut model = PipelineTimeModel::new(self.timing);
+        model.sparse_kernels = features.tutel_kernels;
+        model.flexible_layout = features.flexible_a2a;
+        let (strategy, _) = if features.adaptive_pipelining {
+            model.best_strategy_observed(dims, tel)
         } else {
             (PipelineStrategy::baseline(), 0.0)
         };
@@ -207,8 +250,10 @@ impl MoeLayerSimulator {
         // path; the placement adds each strategy's *surcharge* over it
         // (P1: parameter collectives; P2: token replication + local
         // repeat/reduce).
-        let token_baseline =
-            4.0 * self.timing.linear_time(moe_dims.token_a2a_bytes_p1(), Protocol::Simple);
+        let token_baseline = 4.0
+            * self
+                .timing
+                .linear_time(moe_dims.token_a2a_bytes_p1(), Protocol::Simple);
         let surcharge = |p: Parallelism| (router.cost_of(p, &moe_dims) - token_baseline).max(0.0);
         let extra = if features.adaptive_parallelism {
             surcharge(Parallelism::P1).min(surcharge(Parallelism::P2))
@@ -311,7 +356,10 @@ mod tests {
             sim.step_time(&dims, FeatureSet::kernels())
                 / sim.step_time(&dims, FeatureSet::kernels_pipelining())
         };
-        assert!(gain(2048) > gain(16), "pipelining gain must grow with scale");
+        assert!(
+            gain(2048) > gain(16),
+            "pipelining gain must grow with scale"
+        );
         assert!(gain(2048) > 1.5, "2,048-GPU pipelining gain {}", gain(2048));
     }
 
@@ -339,7 +387,10 @@ mod tests {
         let static_p1 =
             sim.step_time_with_placement(&dims, FeatureSet::kernels_pipelining_flex(), &placement);
         let adaptive = sim.step_time_with_placement(&dims, FeatureSet::full(), &placement);
-        assert!(adaptive <= static_p1, "adaptive {adaptive} vs static {static_p1}");
+        assert!(
+            adaptive <= static_p1,
+            "adaptive {adaptive} vs static {static_p1}"
+        );
         // And both exceed the unreplicated base (the surcharge is real).
         let unreplicated = sim.step_time(&dims, FeatureSet::kernels_pipelining_flex());
         assert!(static_p1 > unreplicated);
@@ -348,7 +399,8 @@ mod tests {
         // open (the Figure 3 regime).
         dims.capacity_factor = 0.25;
         dims.hidden_dim = 16384;
-        let s = sim.step_time_with_placement(&dims, FeatureSet::kernels_pipelining_flex(), &placement);
+        let s =
+            sim.step_time_with_placement(&dims, FeatureSet::kernels_pipelining_flex(), &placement);
         let a = sim.step_time_with_placement(&dims, FeatureSet::full(), &placement);
         assert!(a < s, "adaptive must win at small f: {a} vs {s}");
     }

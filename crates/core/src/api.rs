@@ -41,7 +41,10 @@ pub mod moe {
     /// Returns a [`TensorError`] if `scores` is not rank-2 or `top_k`
     /// is out of range.
     pub fn top_k_routing(scores: &Tensor, top_k: usize) -> Result<(Routing, f32), TensorError> {
-        let cfg = RouteConfig { k: top_k, ..RouteConfig::top1() };
+        let cfg = RouteConfig {
+            k: top_k,
+            ..RouteConfig::top1()
+        };
         let crit = route(scores, &cfg)?;
         let l_aux = tutel_gate::aux_loss(scores, &crit)?;
         Ok((crit, l_aux))
@@ -69,7 +72,13 @@ pub mod net {
         split_dim: usize,
         topology: &Topology,
     ) -> Result<Vec<Tensor>, TensorError> {
-        tutel_comm::flex::flex_all_to_all(inputs, concat_dim, split_dim, AllToAllAlgo::TwoDh, topology)
+        tutel_comm::flex::flex_all_to_all(
+            inputs,
+            concat_dim,
+            split_dim,
+            AllToAllAlgo::TwoDh,
+            topology,
+        )
     }
 }
 

@@ -73,6 +73,8 @@ impl FairseqMoeLayer {
             capacity_factor: routing.capacity_factor,
             needed_factor: routing.needed_factor,
             survival_rate: routing.survival_rate(),
+            expert_load: routing.counts.clone(),
+            dropped: routing.dropped(),
         })
     }
 }

@@ -77,7 +77,8 @@ impl StateDict {
     /// Serializes to the `TUTELSD1` binary format.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
-        self.write_to(&mut out).expect("writing to a Vec cannot fail");
+        self.write_to(&mut out)
+            .expect("writing to a Vec cannot fail");
         out
     }
 
@@ -123,14 +124,20 @@ impl StateDict {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a TUTELSD1 state dict"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a TUTELSD1 state dict",
+            ));
         }
         let count = read_u32(&mut r)? as usize;
         let mut entries = BTreeMap::new();
         for _ in 0..count {
             let name_len = read_u32(&mut r)? as usize;
             if name_len > 1 << 20 {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "unreasonable name length"));
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "unreasonable name length",
+                ));
             }
             let mut name = vec![0u8; name_len];
             r.read_exact(&mut name)?;
@@ -138,7 +145,10 @@ impl StateDict {
                 .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 tensor name"))?;
             let rank = read_u32(&mut r)? as usize;
             if rank > 16 {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "unreasonable tensor rank"));
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "unreasonable tensor rank",
+                ));
             }
             let mut dims = Vec::with_capacity(rank);
             for _ in 0..rank {
@@ -148,7 +158,10 @@ impl StateDict {
             }
             let len: usize = dims.iter().product();
             if len > 1 << 30 {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "unreasonable tensor size"));
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "unreasonable tensor size",
+                ));
             }
             let mut data = Vec::with_capacity(len);
             let mut b = [0u8; 4];

@@ -120,7 +120,10 @@ mod tests {
 
     #[test]
     fn builder_chain() {
-        let cfg = MoeConfig::new(8, 16, 4).with_top_k(2).with_capacity_factor(-4.0).with_bpr(true);
+        let cfg = MoeConfig::new(8, 16, 4)
+            .with_top_k(2)
+            .with_capacity_factor(-4.0)
+            .with_bpr(true);
         let rc = cfg.route_config();
         assert_eq!(rc.k, 2);
         assert!(rc.bpr);

@@ -138,9 +138,9 @@ impl SyntheticVision {
         let u = if rng.uniform() < 0.5 { -1.0 } else { 1.0 };
         let norm = (c as f32).sqrt();
         for j in 0..c {
-            row[j] = (1.5 * center[j] + u * d1[j] + u * s * 0.9 * d2[j]
-                + self.noise * rng.normal())
-                / norm;
+            row[j] =
+                (1.5 * center[j] + u * d1[j] + u * s * 0.9 * d2[j] + self.noise * rng.normal())
+                    / norm;
         }
     }
 
@@ -267,7 +267,10 @@ mod tests {
             let gap: f32 = (0..c)
                 .map(|j| (mean[0][j] / count[0] as f32 - mean[1][j] / count[1] as f32).abs())
                 .fold(0.0, f32::max);
-            assert!(gap < 0.2, "linear pooling must not separate classes, gap {gap}");
+            assert!(
+                gap < 0.2,
+                "linear pooling must not separate classes, gap {gap}"
+            );
         }
     }
 

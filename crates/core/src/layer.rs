@@ -9,8 +9,14 @@
 //! developers".
 
 use tutel_experts::ExpertsBlock;
-use tutel_gate::{aux_loss, aux_loss_grad, route, CosineRouter, HashRouter, LinearRouter, Router, Routing};
-use tutel_kernels::{fast_decode, fast_decode_backward, fast_encode, fast_encode_backward};
+use tutel_gate::{
+    aux_loss, aux_loss_grad, observe_routing, route, CosineRouter, HashRouter, LinearRouter,
+    Router, Routing,
+};
+use tutel_kernels::{
+    fast_decode_backward, fast_decode_observed, fast_encode_backward, fast_encode_observed,
+};
+use tutel_obs::Telemetry;
 use tutel_tensor::{Rng, Tensor, TensorError};
 
 use crate::checkpoint::{RestoreError, StateDict};
@@ -31,6 +37,10 @@ pub struct MoeOutput {
     /// Fraction of (token, expert) assignments that survived the
     /// capacity clamp.
     pub survival_rate: f64,
+    /// Post-capacity token count per expert.
+    pub expert_load: Vec<usize>,
+    /// Token-expert assignments dropped by the capacity clamp.
+    pub dropped: usize,
 }
 
 enum AnyRouter {
@@ -77,6 +87,7 @@ pub struct MoeLayer {
     experts: ExpertsBlock,
     saved: Option<SavedForward>,
     frozen: bool,
+    obs: Telemetry,
 }
 
 impl MoeLayer {
@@ -94,7 +105,9 @@ impl MoeLayer {
             )));
         }
         let router = match cfg.router {
-            RouterKind::Linear => AnyRouter::Linear(LinearRouter::new(cfg.model_dim, cfg.experts, rng)),
+            RouterKind::Linear => {
+                AnyRouter::Linear(LinearRouter::new(cfg.model_dim, cfg.experts, rng))
+            }
             RouterKind::Cosine => AnyRouter::Cosine(CosineRouter::new(
                 cfg.model_dim,
                 cfg.cosine_proj_dim.min(cfg.model_dim),
@@ -104,7 +117,22 @@ impl MoeLayer {
             RouterKind::Hash => AnyRouter::Hash(HashRouter::new(cfg.experts)),
         };
         let experts = ExpertsBlock::new(cfg.experts, cfg.model_dim, cfg.hidden_dim, rng);
-        Ok(MoeLayer { cfg: *cfg, router, experts, saved: None, frozen: false })
+        Ok(MoeLayer {
+            cfg: *cfg,
+            router,
+            experts,
+            saved: None,
+            frozen: false,
+            obs: Telemetry::disabled(),
+        })
+    }
+
+    /// Routes the layer's stage spans and gate statistics into `tel`
+    /// (and through to its experts). Pass [`Telemetry::disabled`] to
+    /// turn instrumentation back off.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.experts.set_telemetry(tel.clone());
+        self.obs = tel;
     }
 
     /// The layer's configuration.
@@ -187,40 +215,63 @@ impl MoeLayer {
     ///
     /// Returns a [`TensorError`] on shape mismatch.
     pub fn infer_with(&self, x: &Tensor, capacity_factor: f64) -> Result<MoeOutput, TensorError> {
+        let _span = self.obs.span("moe.infer");
         let mut cfg = self.cfg;
         cfg.capacity_factor = capacity_factor;
-        let logits = self.router.as_dyn().logits(x)?;
-        let probs = logits.softmax_last();
-        let routing = route(&probs, &cfg.route_config())?;
-        let dispatched = fast_encode(x, &routing)?;
+        let (probs, routing) = {
+            let _gate = self.obs.span("gate");
+            let logits = self.router.as_dyn().logits(x)?;
+            let probs = logits.softmax_last();
+            let routing = route(&probs, &cfg.route_config())?;
+            (probs, routing)
+        };
+        observe_routing(&routing, &self.obs);
+        let dispatched = fast_encode_observed(x, &routing, &self.obs)?;
         let expert_out = self.experts.infer(&dispatched)?;
-        let output = fast_decode(&expert_out, &routing, x.dims()[0])?;
+        let output = fast_decode_observed(&expert_out, &routing, x.dims()[0], &self.obs)?;
         let aux = aux_loss(&probs, &routing)?;
+        self.obs.set_gauge("gate.aux_loss", aux as f64);
         Ok(MoeOutput {
             output,
             aux_loss: aux,
             capacity_factor: routing.capacity_factor,
             needed_factor: routing.needed_factor,
             survival_rate: routing.survival_rate(),
+            expert_load: routing.counts.clone(),
+            dropped: routing.dropped(),
         })
     }
 
     fn forward_inner(&mut self, x: &Tensor) -> Result<(MoeOutput, SavedForward), TensorError> {
-        let logits = self.router.as_dyn().logits(x)?;
-        let probs = logits.softmax_last();
-        let routing = route(&probs, &self.cfg.route_config())?;
-        let dispatched = fast_encode(x, &routing)?;
+        let _span = self.obs.span("moe.forward");
+        let (probs, routing) = {
+            let _gate = self.obs.span("gate");
+            let logits = self.router.as_dyn().logits(x)?;
+            let probs = logits.softmax_last();
+            let routing = route(&probs, &self.cfg.route_config())?;
+            (probs, routing)
+        };
+        observe_routing(&routing, &self.obs);
+        let dispatched = fast_encode_observed(x, &routing, &self.obs)?;
         let expert_out = self.experts.forward(&dispatched)?;
-        let output = fast_decode(&expert_out, &routing, x.dims()[0])?;
+        let output = fast_decode_observed(&expert_out, &routing, x.dims()[0], &self.obs)?;
         let aux = aux_loss(&probs, &routing)?;
+        self.obs.set_gauge("gate.aux_loss", aux as f64);
         let out = MoeOutput {
             output,
             aux_loss: aux,
             capacity_factor: routing.capacity_factor,
             needed_factor: routing.needed_factor,
             survival_rate: routing.survival_rate(),
+            expert_load: routing.counts.clone(),
+            dropped: routing.dropped(),
         };
-        let saved = SavedForward { x: x.clone(), probs, routing, expert_out };
+        let saved = SavedForward {
+            x: x.clone(),
+            probs,
+            routing,
+            expert_out,
+        };
         Ok((out, saved))
     }
 
@@ -233,7 +284,13 @@ impl MoeLayer {
     /// Returns a [`TensorError`] if no forward is cached or shapes
     /// mismatch.
     pub fn backward(&mut self, d_out: &Tensor) -> Result<Tensor, TensorError> {
-        let SavedForward { x, probs, routing, expert_out } = self
+        let _span = self.obs.span("moe.backward");
+        let SavedForward {
+            x,
+            probs,
+            routing,
+            expert_out,
+        } = self
             .saved
             .take()
             .ok_or_else(|| TensorError::InvalidArgument("backward without forward".into()))?;
@@ -280,7 +337,9 @@ impl MoeLayer {
     /// Exports the layer's parameters under `prefix` into `sd`.
     pub fn export_state(&self, prefix: &str, sd: &mut StateDict) {
         match &self.router {
-            AnyRouter::Linear(r) => sd.insert(&format!("{prefix}.router.weight"), r.weights().clone()),
+            AnyRouter::Linear(r) => {
+                sd.insert(&format!("{prefix}.router.weight"), r.weights().clone())
+            }
             AnyRouter::Cosine(r) => {
                 let (w, m) = r.weights();
                 sd.insert(&format!("{prefix}.router.proj"), w.clone());
@@ -306,9 +365,7 @@ impl MoeLayer {
     ///
     /// Returns a [`RestoreError`] for missing or misshapen tensors.
     pub fn import_state(&mut self, prefix: &str, sd: &StateDict) -> Result<(), RestoreError> {
-        let need = |name: String| {
-            sd.get(&name).cloned().ok_or(RestoreError::Missing(name))
-        };
+        let need = |name: String| sd.get(&name).cloned().ok_or(RestoreError::Missing(name));
         match &mut self.router {
             AnyRouter::Linear(r) => {
                 let name = format!("{prefix}.router.weight");
@@ -319,7 +376,11 @@ impl MoeLayer {
                 let wn = format!("{prefix}.router.proj");
                 let mn = format!("{prefix}.router.embed");
                 let tn = format!("{prefix}.router.tau");
-                let tau = need(tn.clone())?.as_slice().first().copied().unwrap_or(0.07);
+                let tau = need(tn.clone())?
+                    .as_slice()
+                    .first()
+                    .copied()
+                    .unwrap_or(0.07);
                 r.set_weights(need(wn.clone())?, need(mn)?, tau)
                     .map_err(|_| RestoreError::ShapeMismatch(wn))?;
             }
@@ -407,7 +468,10 @@ mod tests {
     fn backward_gradcheck_through_everything() {
         // End-to-end finite difference through router + softmax +
         // encode + experts + decode (top-2 to exercise normalization).
-        let cfg = MoeConfig::new(4, 6, 3).with_top_k(2).with_aux_weight(0.0).with_capacity_factor(8.0);
+        let cfg = MoeConfig::new(4, 6, 3)
+            .with_top_k(2)
+            .with_aux_weight(0.0)
+            .with_capacity_factor(8.0);
         let (mut l, mut rng) = layer(&cfg, 4);
         let x = rng.normal_tensor(&[5, 4], 0.0, 1.0);
         let up = rng.normal_tensor(&[5, 4], 0.0, 1.0);
@@ -469,7 +533,9 @@ mod tests {
 
     #[test]
     fn training_reduces_regression_loss() {
-        let cfg = MoeConfig::new(6, 12, 4).with_top_k(2).with_capacity_factor(0.0);
+        let cfg = MoeConfig::new(6, 12, 4)
+            .with_top_k(2)
+            .with_capacity_factor(0.0);
         let (mut l, mut rng) = layer(&cfg, 7);
         let x = rng.normal_tensor(&[24, 6], 0.0, 1.0);
         let target = rng.normal_tensor(&[24, 6], 0.0, 1.0);

@@ -36,8 +36,8 @@
 //! # Ok::<(), tutel_tensor::TensorError>(())
 //! ```
 
-mod api;
 pub mod adaptive;
+mod api;
 mod baseline;
 pub mod checkpoint;
 mod config;

@@ -180,22 +180,32 @@ impl SwinLiteConfig {
     /// Makes every other FFN an MoE layer with the given config (its
     /// `model_dim`/`hidden_dim` are overwritten to match the model).
     pub fn with_moe(mut self, moe: MoeConfig) -> Self {
-        self.moe = Some(MoeConfig { model_dim: self.channels, hidden_dim: self.hidden, ..moe });
+        self.moe = Some(MoeConfig {
+            model_dim: self.channels,
+            hidden_dim: self.hidden,
+            ..moe
+        });
         self
     }
 }
 
 /// Per-forward telemetry of one MoE block.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MoeTelemetry {
     /// Which block the MoE layer sits in.
     pub block: usize,
     /// Minimum capacity factor that would drop no token (Figure 1).
     pub needed_factor: f64,
+    /// The capacity factor the layer actually ran with.
+    pub capacity_factor: f64,
     /// Survival rate under the layer's actual capacity.
     pub survival_rate: f64,
     /// Auxiliary loss.
     pub aux_loss: f32,
+    /// Tokens routed to each expert this forward.
+    pub expert_load: Vec<usize>,
+    /// Tokens dropped by capacity limits this forward.
+    pub dropped: usize,
 }
 
 /// The SwinLite-MoE model.
@@ -228,7 +238,13 @@ impl SwinLiteMoe {
             blocks.push(Block { mixer, ffn });
         }
         let head = Linear::new(cfg.channels, cfg.classes, rng);
-        Ok(SwinLiteMoe { cfg: *cfg, embed, blocks, head, saved_pool: None })
+        Ok(SwinLiteMoe {
+            cfg: *cfg,
+            embed,
+            blocks,
+            head,
+            saved_pool: None,
+        })
     }
 
     /// The model's configuration.
@@ -259,7 +275,8 @@ impl SwinLiteMoe {
                 FfnSlot::Dense { block } => block.num_params(),
                 FfnSlot::Moe(m) => {
                     let cfg = m.config();
-                    let per_expert = 2 * cfg.model_dim * cfg.hidden_dim + cfg.model_dim + cfg.hidden_dim;
+                    let per_expert =
+                        2 * cfg.model_dim * cfg.hidden_dim + cfg.model_dim + cfg.hidden_dim;
                     per_expert * cfg.top_k + cfg.model_dim * cfg.experts
                 }
             };
@@ -285,12 +302,25 @@ impl SwinLiteMoe {
         }
     }
 
+    /// Attaches a telemetry handle to every MoE layer (spans, kernel
+    /// counters, routing metrics). Dense FFN blocks stay silent so the
+    /// recorded stages attribute MoE work only.
+    pub fn set_telemetry(&mut self, tel: tutel_obs::Telemetry) {
+        for b in &mut self.blocks {
+            if let FfnSlot::Moe(m) = &mut b.ffn {
+                m.set_telemetry(tel.clone());
+            }
+        }
+    }
+
     /// Exports every parameter into a [`StateDict`].
     pub fn state_dict(&self) -> StateDict {
         let mut sd = StateDict::new();
         self.embed.export_state("embed", &mut sd);
         for (i, block) in self.blocks.iter().enumerate() {
-            block.mixer.export_state(&format!("blocks.{i}.mixer"), &mut sd);
+            block
+                .mixer
+                .export_state(&format!("blocks.{i}.mixer"), &mut sd);
             match &block.ffn {
                 FfnSlot::Dense { block: ffn } => {
                     let (w1, b1, w2, b2) = ffn.weights();
@@ -318,9 +348,8 @@ impl SwinLiteMoe {
             block.mixer.import_state(&format!("blocks.{i}.mixer"), sd)?;
             match &mut block.ffn {
                 FfnSlot::Dense { block: ffn } => {
-                    let need = |name: String| {
-                        sd.get(&name).cloned().ok_or(RestoreError::Missing(name))
-                    };
+                    let need =
+                        |name: String| sd.get(&name).cloned().ok_or(RestoreError::Missing(name));
                     let w1 = need(format!("blocks.{i}.ffn.w1"))?;
                     let b1 = need(format!("blocks.{i}.ffn.b1"))?;
                     let w2 = need(format!("blocks.{i}.ffn.w2"))?;
@@ -376,8 +405,11 @@ impl SwinLiteMoe {
                     telemetry.push(MoeTelemetry {
                         block: bi,
                         needed_factor: out.needed_factor,
+                        capacity_factor: out.capacity_factor,
                         survival_rate: out.survival_rate,
                         aux_loss: out.aux_loss,
+                        expert_load: out.expert_load,
+                        dropped: out.dropped,
                     });
                     h = h.add(&out.output)?;
                 }
@@ -620,8 +652,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_argmax() {
-        let logits =
-            Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.5, 0.6], &[3, 2]).unwrap();
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.5, 0.6], &[3, 2]).unwrap();
         assert!((accuracy(&logits, &[0, 1, 0]) - 2.0 / 3.0).abs() < 1e-9);
     }
 
@@ -642,7 +673,10 @@ mod tests {
         let (x, y) = ds.batch(64, &mut data_rng);
         let logits = model.infer(&x, 64).unwrap();
         let acc = accuracy(&logits, &y);
-        assert!(acc > 0.55, "trained accuracy {acc} barely above chance (1/3)");
+        assert!(
+            acc > 0.55,
+            "trained accuracy {acc} barely above chance (1/3)"
+        );
     }
 
     #[test]
@@ -662,7 +696,10 @@ mod tests {
             model.backward(&dl).unwrap();
             model.step(0.05);
         }
-        assert!(last < first.unwrap(), "loss must decrease: {first:?} → {last}");
+        assert!(
+            last < first.unwrap(),
+            "loss must decrease: {first:?} → {last}"
+        );
     }
 
     #[test]

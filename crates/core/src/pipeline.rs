@@ -33,7 +33,10 @@ impl PipelineStrategy {
     /// The static baseline every comparison in Table 7 is against:
     /// linear All-to-All, degree 1.
     pub fn baseline() -> PipelineStrategy {
-        PipelineStrategy { algo: AllToAllAlgo::Linear, degree: 1 }
+        PipelineStrategy {
+            algo: AllToAllAlgo::Linear,
+            degree: 1,
+        }
     }
 }
 
@@ -117,7 +120,12 @@ pub struct PipelineTimeModel {
 impl PipelineTimeModel {
     /// Creates a model with Tutel kernels and flexible layout enabled.
     pub fn new(timing: CollectiveTiming) -> Self {
-        PipelineTimeModel { timing, sparse_kernels: true, flexible_layout: true, interference: true }
+        PipelineTimeModel {
+            timing,
+            sparse_kernels: true,
+            flexible_layout: true,
+            interference: true,
+        }
     }
 
     /// The collective pricer in use.
@@ -144,7 +152,9 @@ impl PipelineTimeModel {
 
         // Chunked portions.
         let chunk_bytes = dims.a2a_bytes() / d as f64;
-        let a2a_once = self.timing.all_to_all_time(strategy.algo, chunk_bytes, Protocol::Simple);
+        let a2a_once = self
+            .timing
+            .all_to_all_time(strategy.algo, chunk_bytes, Protocol::Simple);
         let rows = dims.expert_rows();
         let chunk_rows = (rows / d).max(1);
         let expert_once = self.expert_time(dims, w, chunk_rows);
@@ -205,13 +215,103 @@ impl PipelineTimeModel {
             .expect("strategy space is non-empty")
     }
 
+    /// [`PipelineTimeModel::best_strategy`] that also appends an
+    /// adaptive-decision audit record to `tel`: all eight candidate
+    /// strategies with their modeled costs, plus the winner.
+    pub fn best_strategy_observed(
+        &self,
+        dims: &LayerDims,
+        tel: &tutel_obs::Telemetry,
+    ) -> (PipelineStrategy, Seconds) {
+        if !tel.is_enabled() {
+            return self.best_strategy(dims);
+        }
+        let costs: Vec<(PipelineStrategy, Seconds)> = PipelineStrategy::all()
+            .into_iter()
+            .map(|s| (s, self.step_time(dims, s)))
+            .collect();
+        let (best, best_t) = costs
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("strategy space is non-empty");
+        tel.decision(tutel_obs::DecisionRecord {
+            kind: "pipeline".to_string(),
+            capacity_factor: dims.capacity_factor,
+            candidates: costs.into_iter().map(|(s, t)| (s.to_string(), t)).collect(),
+            chosen: best.to_string(),
+            predicted_s: Some(best_t),
+            step: None,
+        });
+        (best, best_t)
+    }
+
+    /// Per-stage attribution of [`PipelineTimeModel::step_time`]:
+    /// serial cost of each stage plus how much the pipelined schedule
+    /// saved by overlapping. Satisfies
+    /// `gate + encode + a2a_dispatch + expert + a2a_combine + decode
+    /// - overlap_saving == step_time` up to rounding.
+    pub fn stage_breakdown(&self, dims: &LayerDims, strategy: PipelineStrategy) -> StageBreakdown {
+        let d = strategy.degree.max(1);
+        let world = self.timing.world();
+        let w = world.size();
+        let gpu = world.gpu();
+        let e_global = w * dims.local_experts;
+
+        let gate = gpu.gate_time(dims.tokens, e_global);
+        let encode_decode = if self.sparse_kernels {
+            2.0 * gpu.sparse_encode_time(dims.tokens, dims.k, dims.model_dim)
+        } else {
+            let dc = (dims.expert_rows() / e_global.max(1)).max(1);
+            2.0 * gpu.dense_encode_time(dims.tokens, e_global, dc, dims.model_dim)
+        };
+
+        let chunk_bytes = dims.a2a_bytes() / d as f64;
+        let a2a_once = self
+            .timing
+            .all_to_all_time(strategy.algo, chunk_bytes, Protocol::Simple);
+        let chunk_rows = (dims.expert_rows() / d).max(1);
+        let expert_once = self.expert_time(dims, w, chunk_rows);
+        let (comm_inflation, comp_inflation) = if d > 1 && self.interference {
+            let comm = match strategy.algo {
+                AllToAllAlgo::Linear => calib::OVERLAP_COMM_INFLATION_LINEAR,
+                AllToAllAlgo::TwoDh => calib::OVERLAP_COMM_INFLATION_2DH,
+            };
+            (comm, calib::OVERLAP_COMPUTE_INFLATION)
+        } else {
+            (1.0, 1.0)
+        };
+
+        let a2a_leg = d as f64 * a2a_once * comm_inflation;
+        let expert = d as f64 * expert_once * comp_inflation;
+        let serial = gate + encode_decode + 2.0 * a2a_leg + expert;
+        let overlap_saving = serial - self.step_time(dims, strategy);
+        StageBreakdown {
+            strategy,
+            gate,
+            encode: encode_decode / 2.0,
+            a2a_dispatch: a2a_leg,
+            expert,
+            a2a_combine: a2a_leg,
+            decode: encode_decode / 2.0,
+            overlap_saving,
+        }
+    }
+
     /// Time of a 2DH step under the MSCCL fused implementation with the
     /// best protocol — used by the Figure 21 comparison.
-    pub fn two_dh_msccl_time(&self, dims: &LayerDims, degree: usize, protocol: Protocol) -> Seconds {
+    pub fn two_dh_msccl_time(
+        &self,
+        dims: &LayerDims,
+        degree: usize,
+        protocol: Protocol,
+    ) -> Seconds {
         // Same schedule as step_time but with the MSCCL pricer.
         let d = degree.max(1);
         let chunk_bytes = dims.a2a_bytes() / d as f64;
-        let a2a_once = self.timing.two_dh_time_impl(chunk_bytes, protocol, A2aImpl::Msccl);
+        let a2a_once = self
+            .timing
+            .two_dh_time_impl(chunk_bytes, protocol, A2aImpl::Msccl);
         let rows = dims.expert_rows();
         let expert_once = self.expert_time(dims, self.timing.world().size(), (rows / d).max(1));
         let gpu = self.timing.world().gpu();
@@ -220,8 +320,16 @@ impl PipelineTimeModel {
         let comm = StreamId(0);
         let comp = StreamId(1);
         let mut tl = Timeline::new();
-        let infl = if d > 1 { calib::OVERLAP_COMM_INFLATION_2DH } else { 1.0 };
-        let cinfl = if d > 1 { calib::OVERLAP_COMPUTE_INFLATION } else { 1.0 };
+        let infl = if d > 1 {
+            calib::OVERLAP_COMM_INFLATION_2DH
+        } else {
+            1.0
+        };
+        let cinfl = if d > 1 {
+            calib::OVERLAP_COMPUTE_INFLATION
+        } else {
+            1.0
+        };
         let mut deps = Vec::new();
         for _ in 0..d {
             deps.push(tl.push(comm, a2a_once * infl, &[]));
@@ -234,6 +342,54 @@ impl PipelineTimeModel {
             tl.push(comm, a2a_once * infl, &[dep]);
         }
         fixed + tl.makespan()
+    }
+}
+
+/// Serial per-stage costs of one modeled MoE iteration, plus the time
+/// the two-stream schedule recovered by overlapping. Produced by
+/// [`PipelineTimeModel::stage_breakdown`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageBreakdown {
+    /// The strategy the breakdown was computed for.
+    pub strategy: PipelineStrategy,
+    /// Gating (softmax + top-k + cumsum) time.
+    pub gate: Seconds,
+    /// Sparse (or dense) dispatch encode.
+    pub encode: Seconds,
+    /// All chunks of the dispatch All-to-All, serialized.
+    pub a2a_dispatch: Seconds,
+    /// All expert GEMM chunks, serialized.
+    pub expert: Seconds,
+    /// All chunks of the combine All-to-All, serialized.
+    pub a2a_combine: Seconds,
+    /// Sparse (or dense) combine decode.
+    pub decode: Seconds,
+    /// Serial sum minus the pipelined makespan (0 at degree 1).
+    pub overlap_saving: Seconds,
+}
+
+impl StageBreakdown {
+    /// Sum of the serial stages without any overlap credit.
+    pub fn serial_total(&self) -> Seconds {
+        self.gate + self.encode + self.a2a_dispatch + self.expert + self.a2a_combine + self.decode
+    }
+
+    /// The modeled step time this breakdown attributes.
+    pub fn total(&self) -> Seconds {
+        self.serial_total() - self.overlap_saving
+    }
+
+    /// The stages as `(name, seconds)` pairs, in execution order —
+    /// ready for [`tutel_obs::Telemetry::add_stage`].
+    pub fn stages(&self) -> [(&'static str, Seconds); 6] {
+        [
+            ("gate", self.gate),
+            ("encode", self.encode),
+            ("a2a_dispatch", self.a2a_dispatch),
+            ("expert", self.expert),
+            ("a2a_combine", self.a2a_combine),
+            ("decode", self.decode),
+        ]
     }
 }
 
@@ -250,11 +406,16 @@ struct Memo {
 
 impl Memo {
     fn best(&self) -> Option<PipelineStrategy> {
-        self.tried.iter().min_by(|a, b| a.1.total_cmp(b.1)).map(|(s, _)| *s)
+        self.tried
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(s, _)| *s)
     }
 
     fn untried(&self) -> Option<PipelineStrategy> {
-        PipelineStrategy::all().into_iter().find(|s| !self.tried.contains_key(s))
+        PipelineStrategy::all()
+            .into_iter()
+            .find(|s| !self.tried.contains_key(s))
     }
 
     fn all_tried(&self) -> bool {
@@ -334,16 +495,67 @@ impl OnlineStrategySearch {
         }
     }
 
+    /// [`OnlineStrategySearch::next_strategy`] that also appends an
+    /// adaptive-decision audit record to `tel`: every strategy the
+    /// relevant memo has measured so far (normalized seconds), the
+    /// choice made this iteration, and — once the bucket has finished
+    /// exploring — the predicted cost of that choice. While still
+    /// exploring, `predicted_s` is `None` (the pick is a probe, not a
+    /// prediction).
+    pub fn next_strategy_observed(
+        &mut self,
+        f: f64,
+        tel: &tutel_obs::Telemetry,
+    ) -> PipelineStrategy {
+        let choice = self.next_strategy(f);
+        if tel.is_enabled() {
+            // Prefer the exact-f memo (what `next_strategy` consults
+            // first), falling back to the shared bucket memo.
+            let exact = self.per_f.get(&fkey(f));
+            let memo = match exact {
+                Some(m) if m.all_tried() => Some(m),
+                _ => self.bucket_index(f).map(|b| &self.buckets[b].memo),
+            };
+            let mut candidates: Vec<(String, Seconds)> = memo
+                .map(|m| m.tried.iter().map(|(s, &t)| (s.to_string(), t)).collect())
+                .unwrap_or_default();
+            candidates.sort_by(|a, b| a.1.total_cmp(&b.1));
+            let converged = memo.is_some_and(Memo::all_tried);
+            let predicted_s = if converged {
+                candidates.first().map(|(_, t)| *t)
+            } else {
+                None
+            };
+            tel.decision(tutel_obs::DecisionRecord {
+                kind: "pipeline.online".to_string(),
+                capacity_factor: f,
+                candidates,
+                chosen: choice.to_string(),
+                predicted_s,
+                step: None,
+            });
+        }
+        choice
+    }
+
     /// OPTIMIZESTRATEGY: records a measured iteration time for
     /// (`f`, `strategy`).
     pub fn record(&mut self, f: f64, strategy: PipelineStrategy, time: Seconds) {
-        self.per_f.entry(fkey(f)).or_default().tried.insert(strategy, time);
+        self.per_f
+            .entry(fkey(f))
+            .or_default()
+            .tried
+            .insert(strategy, time);
         if let Some(b) = self.bucket_index(f) {
             let lo = self.buckets[b].lo.max(f64::EPSILON);
             // Normalize by the bucket's lowest f so measurements from
             // different factors are comparable.
             let normalized = time * lo / f.max(f64::EPSILON);
-            let entry = self.buckets[b].memo.tried.entry(strategy).or_insert(normalized);
+            let entry = self.buckets[b]
+                .memo
+                .tried
+                .entry(strategy)
+                .or_insert(normalized);
             *entry = entry.min(normalized);
         }
     }
@@ -378,7 +590,10 @@ impl OnlineStrategySearch {
                 if let Some(b) = current.take() {
                     self.buckets.push(b);
                 }
-                current = Some(Bucket { lo: kf, memo: Memo::default() });
+                current = Some(Bucket {
+                    lo: kf,
+                    memo: Memo::default(),
+                });
             }
             let b = current.as_mut().expect("bucket exists after start check");
             if let Some(fm) = self.per_f.get(&fkey(kf)) {
@@ -434,12 +649,21 @@ mod tests {
     fn pipelining_helps_when_comm_and_compute_are_comparable() {
         let m = model(64);
         let dims = figure22_dims();
-        let d1 = m.step_time(&dims, PipelineStrategy { algo: AllToAllAlgo::Linear, degree: 1 });
+        let d1 = m.step_time(
+            &dims,
+            PipelineStrategy {
+                algo: AllToAllAlgo::Linear,
+                degree: 1,
+            },
+        );
         let best = PipelineStrategy::all()
             .into_iter()
             .map(|s| m.step_time(&dims, s))
             .fold(f64::INFINITY, f64::min);
-        assert!(best < d1, "some overlap strategy must beat no-overlap: {best} vs {d1}");
+        assert!(
+            best < d1,
+            "some overlap strategy must beat no-overlap: {best} vs {d1}"
+        );
         // And a genuinely overlapped (degree > 1) strategy must beat
         // its own degree-1 variant for at least one algorithm.
         let overlapped_wins = AllToAllAlgo::ALL.iter().any(|&algo| {
@@ -448,7 +672,10 @@ mod tests {
                 .iter()
                 .any(|&d| m.step_time(&dims, PipelineStrategy { algo, degree: d }) < base)
         });
-        assert!(overlapped_wins, "overlap must pay somewhere in the Figure 22 regime");
+        assert!(
+            overlapped_wins,
+            "overlap must pay somewhere in the Figure 22 regime"
+        );
     }
 
     #[test]
@@ -458,11 +685,19 @@ mod tests {
         // payload chunks are tiny and 2DH must win.
         let dims = LayerDims::figure23();
         let (best_big, _) = model(2048).best_strategy(&dims);
-        assert_eq!(best_big.algo, AllToAllAlgo::TwoDh, "2DH must win at 2,048 GPUs");
+        assert_eq!(
+            best_big.algo,
+            AllToAllAlgo::TwoDh,
+            "2DH must win at 2,048 GPUs"
+        );
         let mut small = dims;
         small.tokens = 65536; // huge per-GPU payload at 16 GPUs
         let (best_small, _) = model(16).best_strategy(&small);
-        assert_eq!(best_small.algo, AllToAllAlgo::Linear, "linear must win for fat messages at 16 GPUs");
+        assert_eq!(
+            best_small.algo,
+            AllToAllAlgo::Linear,
+            "linear must win for fat messages at 16 GPUs"
+        );
     }
 
     #[test]
@@ -472,8 +707,20 @@ mod tests {
         let m = model(64);
         let mut dims = LayerDims::figure23();
         dims.tokens = 256;
-        let t1 = m.step_time(&dims, PipelineStrategy { algo: AllToAllAlgo::Linear, degree: 1 });
-        let t8 = m.step_time(&dims, PipelineStrategy { algo: AllToAllAlgo::Linear, degree: 8 });
+        let t1 = m.step_time(
+            &dims,
+            PipelineStrategy {
+                algo: AllToAllAlgo::Linear,
+                degree: 1,
+            },
+        );
+        let t8 = m.step_time(
+            &dims,
+            PipelineStrategy {
+                algo: AllToAllAlgo::Linear,
+                degree: 8,
+            },
+        );
         assert!(t1 < t8, "tiny payload: d1 {t1} must beat d8 {t8}");
     }
 
@@ -487,7 +734,10 @@ mod tests {
         let s = PipelineStrategy::baseline();
         let tf = flex.step_time(&dims, s);
         let tr = rigid.step_time(&dims, s);
-        assert!(tr > tf, "rigid {tr} must be slower than flexible {tf} at 2,048 GPUs");
+        assert!(
+            tr > tf,
+            "rigid {tr} must be slower than flexible {tf} at 2,048 GPUs"
+        );
         // And the gap shrinks at small scale.
         let mut flex16 = model(16);
         flex16.flexible_layout = true;
@@ -502,7 +752,13 @@ mod tests {
     fn msccl_with_protocol_choice_beats_ncclapi_2dh() {
         let m = model(256);
         let dims = LayerDims::figure23();
-        let nccl = m.step_time(&dims, PipelineStrategy { algo: AllToAllAlgo::TwoDh, degree: 2 });
+        let nccl = m.step_time(
+            &dims,
+            PipelineStrategy {
+                algo: AllToAllAlgo::TwoDh,
+                degree: 2,
+            },
+        );
         let msccl = m
             .two_dh_msccl_time(&dims, 2, Protocol::Simple)
             .min(m.two_dh_msccl_time(&dims, 2, Protocol::Ll128));
@@ -538,7 +794,13 @@ mod tests {
             search.record(3.1, s, oracle(s));
         }
         let s = search.next_strategy(3.1);
-        assert_eq!(s, PipelineStrategy { algo: AllToAllAlgo::TwoDh, degree: 2 });
+        assert_eq!(
+            s,
+            PipelineStrategy {
+                algo: AllToAllAlgo::TwoDh,
+                degree: 2
+            }
+        );
     }
 
     #[test]
@@ -547,7 +809,11 @@ mod tests {
         let s = search.next_strategy(1.0);
         search.record(1.0, s, 1.0);
         search.next_strategy(1.5);
-        assert_eq!(search.num_buckets(), 1, "1.0 and 1.5 share a bucket of length 1");
+        assert_eq!(
+            search.num_buckets(),
+            1,
+            "1.0 and 1.5 share a bucket of length 1"
+        );
         search.next_strategy(4.0);
         assert_eq!(search.num_buckets(), 2, "4.0 starts a new bucket");
         assert_eq!(search.known_factors(), 3);
@@ -565,7 +831,10 @@ mod tests {
             search.record(1.0, s, oracle(s));
         }
         let s = search.next_strategy(1.4);
-        assert_eq!(s.degree, 4, "bucket must transfer the f=1.0 optimum to f=1.4");
+        assert_eq!(
+            s.degree, 4,
+            "bucket must transfer the f=1.0 optimum to f=1.4"
+        );
     }
 
     #[test]

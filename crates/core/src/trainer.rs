@@ -28,7 +28,10 @@ impl LrSchedule {
     pub fn lr_at(&self, base: f32, step: usize, total: usize) -> f32 {
         match *self {
             LrSchedule::Constant => base,
-            LrSchedule::CosineWithWarmup { warmup, floor_fraction } => {
+            LrSchedule::CosineWithWarmup {
+                warmup,
+                floor_fraction,
+            } => {
                 if step < warmup && warmup > 0 {
                     base * (step + 1) as f32 / warmup as f32
                 } else {
@@ -89,22 +92,71 @@ pub struct TrainStats {
 /// Panics if a forward/backward pass fails on internally generated
 /// shapes (a bug, not a user error).
 pub fn train(model: &mut SwinLiteMoe, dataset: &SyntheticVision, cfg: &TrainConfig) -> TrainStats {
+    train_observed(model, dataset, cfg, &tutel_obs::Telemetry::disabled())
+}
+
+/// [`train`] with a telemetry handle: attaches `tel` to the model's
+/// MoE layers and emits one [`tutel_obs::StepRecord`] per step —
+/// loss, learning rate, summed aux loss, per-layer needed factors,
+/// element-wise summed expert load, dropped-token total, and the
+/// per-stage durations the layer spans accumulated during the step.
+///
+/// # Panics
+///
+/// Panics if a forward/backward pass fails on internally generated
+/// shapes (a bug, not a user error).
+pub fn train_observed(
+    model: &mut SwinLiteMoe,
+    dataset: &SyntheticVision,
+    cfg: &TrainConfig,
+    tel: &tutel_obs::Telemetry,
+) -> TrainStats {
+    model.set_telemetry(tel.clone());
     let mut rng = Rng::seed(cfg.seed);
     let mut loss_curve = Vec::with_capacity(cfg.steps);
-    let mut trace = Vec::with_capacity(cfg.steps);
-    for _ in 0..cfg.steps {
+    let mut trace: Vec<Vec<f64>> = Vec::with_capacity(cfg.steps);
+    for step in 0..cfg.steps {
+        tel.begin_step(step as u64);
         let (x, y) = dataset.batch(cfg.batch, &mut rng);
-        let (logits, _aux, tel) = model.forward(&x, cfg.batch).expect("forward");
+        let (logits, aux, layer_tel) = model.forward(&x, cfg.batch).expect("forward");
         let (loss, d_logits) = cross_entropy(&logits, &y);
         loss_curve.push(loss);
-        trace.push(tel.iter().map(|t| t.needed_factor).collect());
+        trace.push(layer_tel.iter().map(|t| t.needed_factor).collect());
         model.backward(&d_logits).expect("backward");
-        model.step(cfg.schedule.lr_at(cfg.lr, loss_curve.len() - 1, cfg.steps));
+        let lr = cfg.schedule.lr_at(cfg.lr, step, cfg.steps);
+        model.step(lr);
+        if tel.is_enabled() {
+            let mut expert_load: Vec<u64> = Vec::new();
+            let mut dropped = 0u64;
+            for t in &layer_tel {
+                if expert_load.len() < t.expert_load.len() {
+                    expert_load.resize(t.expert_load.len(), 0);
+                }
+                for (sum, &n) in expert_load.iter_mut().zip(&t.expert_load) {
+                    *sum += n as u64;
+                }
+                dropped += t.dropped as u64;
+            }
+            tel.record_step(tutel_obs::StepRecord {
+                step: step as u64,
+                loss: loss as f64,
+                lr: lr as f64,
+                aux_loss: aux as f64,
+                capacity_factor: layer_tel.first().map_or(0.0, |t| t.capacity_factor),
+                needed_factors: trace.last().cloned().unwrap_or_default(),
+                expert_load,
+                dropped,
+                stages: Vec::new(),
+            });
+        }
     }
     let window = (cfg.steps / 10).max(1);
-    let final_loss =
-        loss_curve.iter().rev().take(window).sum::<f32>() / window as f32;
-    TrainStats { loss_curve, final_loss, needed_factor_trace: trace }
+    let final_loss = loss_curve.iter().rev().take(window).sum::<f32>() / window as f32;
+    TrainStats {
+        loss_curve,
+        final_loss,
+        needed_factor_trace: trace,
+    }
 }
 
 /// Evaluates top-1 accuracy over `batches` held-out batches.
@@ -206,7 +258,10 @@ mod tests {
 
     #[test]
     fn cosine_schedule_warms_up_then_decays() {
-        let s = LrSchedule::CosineWithWarmup { warmup: 10, floor_fraction: 0.1 };
+        let s = LrSchedule::CosineWithWarmup {
+            warmup: 10,
+            floor_fraction: 0.1,
+        };
         let base = 1.0;
         // Warmup is increasing.
         assert!(s.lr_at(base, 0, 100) < s.lr_at(base, 5, 100));
@@ -233,7 +288,10 @@ mod tests {
             batch: 8,
             lr: 0.08,
             seed: 9,
-            schedule: LrSchedule::CosineWithWarmup { warmup: 5, floor_fraction: 0.05 },
+            schedule: LrSchedule::CosineWithWarmup {
+                warmup: 5,
+                floor_fraction: 0.05,
+            },
         };
         let stats = train(&mut model, &ds, &cfg);
         assert!(stats.final_loss.is_finite());
@@ -243,7 +301,13 @@ mod tests {
     #[test]
     fn train_records_loss_and_telemetry() {
         let (mut model, ds) = quick_setup(true);
-        let cfg = TrainConfig { steps: 30, batch: 8, lr: 0.05, seed: 1, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            steps: 30,
+            batch: 8,
+            lr: 0.05,
+            seed: 1,
+            ..TrainConfig::default()
+        };
         let stats = train(&mut model, &ds, &cfg);
         assert_eq!(stats.loss_curve.len(), 30);
         assert_eq!(stats.needed_factor_trace.len(), 30);
@@ -255,7 +319,13 @@ mod tests {
     fn training_is_seed_reproducible() {
         let (mut m1, ds) = quick_setup(true);
         let (mut m2, _) = quick_setup(true);
-        let cfg = TrainConfig { steps: 10, batch: 8, lr: 0.05, seed: 2, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            steps: 10,
+            batch: 8,
+            lr: 0.05,
+            seed: 2,
+            ..TrainConfig::default()
+        };
         let s1 = train(&mut m1, &ds, &cfg);
         let s2 = train(&mut m2, &ds, &cfg);
         assert_eq!(s1.loss_curve, s2.loss_curve);
@@ -271,7 +341,13 @@ mod tests {
     #[test]
     fn few_shot_eval_beats_chance_after_training() {
         let (mut model, ds) = quick_setup(true);
-        let cfg = TrainConfig { steps: 120, batch: 16, lr: 0.05, seed: 4, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            steps: 120,
+            batch: 16,
+            lr: 0.05,
+            seed: 4,
+            ..TrainConfig::default()
+        };
         train(&mut model, &ds, &cfg);
         let acc = few_shot_linear_eval(&model, &ds, 5, 5);
         assert!(acc > 0.45, "few-shot accuracy {acc} (chance 0.33)");

@@ -1,5 +1,6 @@
 //! The expert feed-forward network (`fflayer`).
 
+use tutel_obs::Telemetry;
 use tutel_tensor::{Rng, Tensor, TensorError};
 
 /// A batch of `ΔE` expert FFNs: for each local expert `e`,
@@ -41,6 +42,8 @@ pub struct ExpertsBlock {
     db2: Tensor,
     /// Saved input and pre-activation from the last forward.
     saved: Option<(Tensor, Tensor)>,
+    /// Telemetry sink; disabled by default.
+    obs: Telemetry,
 }
 
 impl ExpertsBlock {
@@ -62,7 +65,13 @@ impl ExpertsBlock {
             dw2: Tensor::zeros(&[local_experts, hidden_dim, model_dim]),
             db2: Tensor::zeros(&[local_experts, model_dim]),
             saved: None,
+            obs: Telemetry::disabled(),
         }
+    }
+
+    /// Routes this block's spans and FLOP counters into `tel`.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.obs = tel;
     }
 
     /// Builds a block from explicit weights (used by the sharded
@@ -71,7 +80,12 @@ impl ExpertsBlock {
     /// # Errors
     ///
     /// Returns a [`TensorError`] if any weight has inconsistent shape.
-    pub fn from_weights(w1: Tensor, b1: Tensor, w2: Tensor, b2: Tensor) -> Result<Self, TensorError> {
+    pub fn from_weights(
+        w1: Tensor,
+        b1: Tensor,
+        w2: Tensor,
+        b2: Tensor,
+    ) -> Result<Self, TensorError> {
         if w1.rank() != 3 || w2.rank() != 3 {
             return Err(TensorError::RankMismatch {
                 expected: 3,
@@ -100,6 +114,7 @@ impl ExpertsBlock {
             w2,
             b2,
             saved: None,
+            obs: Telemetry::disabled(),
         })
     }
 
@@ -166,8 +181,10 @@ impl ExpertsBlock {
     ///
     /// Returns a [`TensorError`] if `x` has the wrong shape.
     pub fn forward(&mut self, x: &Tensor) -> Result<Tensor, TensorError> {
+        let span = self.ffn_span("ffn", x);
         let (h_pre, y) = self.forward_only(x)?;
         self.saved = Some((x.clone(), h_pre));
+        drop(span);
         Ok(y)
     }
 
@@ -177,7 +194,28 @@ impl ExpertsBlock {
     ///
     /// Returns a [`TensorError`] if `x` has the wrong shape.
     pub fn infer(&self, x: &Tensor) -> Result<Tensor, TensorError> {
-        Ok(self.forward_only(x)?.1)
+        let span = self.ffn_span("ffn", x);
+        let y = self.forward_only(x)?.1;
+        drop(span);
+        Ok(y)
+    }
+
+    /// Opens a span over an FFN pass and counts its FLOPs (two GEMMs,
+    /// `2·2·ΔE·C·M·V` multiply-adds). Returns a no-op span when
+    /// telemetry is disabled or `x` is misshapen (the pass itself will
+    /// report the shape error).
+    fn ffn_span(&self, name: &str, x: &Tensor) -> tutel_obs::Span {
+        if !self.obs.is_enabled() || x.rank() != 3 {
+            return self.obs.span(name);
+        }
+        let c = x.dims()[1];
+        let flops = 4 * self.local_experts * c * self.model_dim * self.hidden_dim;
+        self.obs.add_counter("experts.flops", flops as u64);
+        self.obs
+            .span(name)
+            .tag("local_experts", self.local_experts)
+            .tag("rows", c)
+            .tag("flops", flops)
     }
 
     fn forward_only(&self, x: &Tensor) -> Result<(Tensor, Tensor), TensorError> {
@@ -200,6 +238,7 @@ impl ExpertsBlock {
     /// Returns a [`TensorError`] if no forward is cached or shapes
     /// mismatch.
     pub fn backward(&mut self, d_y: &Tensor) -> Result<Tensor, TensorError> {
+        let _span = self.ffn_span("ffn.backward", d_y);
         let (x, h_pre) = self
             .saved
             .take()
@@ -302,8 +341,11 @@ fn accumulate_bias(db: &mut Tensor, e: usize, d: &Tensor, rows: usize, cols: usi
 
 /// Copies expert `e`'s `(rows, cols)` slab out of a rank-3 tensor.
 fn slab(t: &Tensor, e: usize, rows: usize, cols: usize) -> Tensor {
-    Tensor::from_vec(t.as_slice()[e * rows * cols..(e + 1) * rows * cols].to_vec(), &[rows, cols])
-        .expect("slab dims")
+    Tensor::from_vec(
+        t.as_slice()[e * rows * cols..(e + 1) * rows * cols].to_vec(),
+        &[rows, cols],
+    )
+    .expect("slab dims")
 }
 
 fn mat(t: &Tensor, e: usize, rows: usize, cols: usize) -> Tensor {
@@ -385,7 +427,10 @@ mod tests {
         let y = ex.infer(&x).unwrap();
         let final_loss = 0.5 * y.sub(&target).unwrap().sq_norm();
         let initial = initial.unwrap();
-        assert!(final_loss < 0.6 * initial, "loss {initial} → {final_loss} did not descend");
+        assert!(
+            final_loss < 0.6 * initial,
+            "loss {initial} → {final_loss} did not descend"
+        );
     }
 
     #[test]

@@ -59,7 +59,11 @@ impl ExpertPlacement {
                         "count_per_node = {x}: {shards} GPUs per expert does not divide world {world}"
                     ));
                 }
-                Ok(ExpertPlacement { world, local_experts: None, shards_per_expert: Some(shards) })
+                Ok(ExpertPlacement {
+                    world,
+                    local_experts: None,
+                    shards_per_expert: Some(shards),
+                })
             }
             std::cmp::Ordering::Equal => Err("count_per_node must be nonzero".into()),
         }
@@ -125,7 +129,12 @@ impl fmt::Display for ExpertPlacement {
         match (self.local_experts, self.shards_per_expert) {
             (Some(le), _) => write!(f, "{} GPUs × {le} local experts", self.world),
             (_, Some(sh)) => {
-                write!(f, "{} experts × {sh}-way sharded over {} GPUs", self.global_experts(), self.world)
+                write!(
+                    f,
+                    "{} experts × {sh}-way sharded over {} GPUs",
+                    self.global_experts(),
+                    self.world
+                )
             }
             _ => unreachable!(),
         }

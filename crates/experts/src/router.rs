@@ -56,7 +56,12 @@ impl MoeDims {
 
     /// Global per-expert capacity `C = k·f·T/E`.
     pub fn capacity(&self) -> usize {
-        tutel_gate::expert_capacity(self.k, self.capacity_factor, self.tokens, self.global_experts)
+        tutel_gate::expert_capacity(
+            self.k,
+            self.capacity_factor,
+            self.tokens,
+            self.global_experts,
+        )
     }
 
     /// Bytes of one expert's parameters (two `M×V` matrices + biases).
@@ -112,17 +117,25 @@ pub struct InlineParallelismRouter {
 impl InlineParallelismRouter {
     /// Creates a router pricing on `timing`.
     pub fn new(timing: CollectiveTiming) -> Self {
-        InlineParallelismRouter { timing, a2a_passes: 4.0, param_passes: 2.0 }
+        InlineParallelismRouter {
+            timing,
+            a2a_passes: 4.0,
+            param_passes: 2.0,
+        }
     }
 
     /// Estimated per-iteration communication cost of P1.
     pub fn p1_cost(&self, dims: &MoeDims) -> Seconds {
         let token = self.a2a_passes
-            * self.timing.linear_time(dims.token_a2a_bytes_p1(), Protocol::Simple);
+            * self
+                .timing
+                .linear_time(dims.token_a2a_bytes_p1(), Protocol::Simple);
         let shards = dims.shards();
         let param = if shards > 1 {
             self.param_passes
-                * self.timing.all_gather_time(dims.expert_param_bytes() / shards as f64, shards)
+                * self
+                    .timing
+                    .all_gather_time(dims.expert_param_bytes() / shards as f64, shards)
         } else {
             0.0
         };
@@ -156,6 +169,26 @@ impl InlineParallelismRouter {
         } else {
             Parallelism::P2
         }
+    }
+
+    /// [`InlineParallelismRouter::choose`] that also appends an
+    /// adaptive-decision audit record (both candidate costs and the
+    /// winner) to `tel`.
+    pub fn choose_observed(&self, dims: &MoeDims, tel: &tutel_obs::Telemetry) -> Parallelism {
+        let choice = self.choose(dims);
+        if tel.is_enabled() {
+            let p1 = self.p1_cost(dims);
+            let p2 = self.p2_cost(dims);
+            tel.decision(tutel_obs::DecisionRecord {
+                kind: "parallelism".to_string(),
+                capacity_factor: dims.capacity_factor,
+                candidates: vec![("P1".to_string(), p1), ("P2".to_string(), p2)],
+                chosen: choice.to_string(),
+                predicted_s: Some(p1.min(p2)),
+                step: None,
+            });
+        }
+        choice
     }
 
     /// The cost of a *static* choice, for computing the adaptive

@@ -106,7 +106,11 @@ impl ShardedExpertParams {
                 w1: w1s[r].clone(),
                 b1: b1s[r].clone(),
                 w2: w2s[r].clone(),
-                b2: if r == 0 { b2.clone() } else { Tensor::zeros(b2.dims()) },
+                b2: if r == 0 {
+                    b2.clone()
+                } else {
+                    Tensor::zeros(b2.dims())
+                },
             })
             .collect();
         Ok(ShardedExpertParams {

@@ -31,7 +31,12 @@ pub fn aux_loss(probs: &Tensor, routing: &Routing) -> Result<f32, TensorError> {
             mean_prob[ei] += probs.at(&[ti, ei]) / t as f32;
         }
     }
-    Ok(e as f32 * fraction.iter().zip(&mean_prob).map(|(f, p)| f * p).sum::<f32>())
+    Ok(e as f32
+        * fraction
+            .iter()
+            .zip(&mean_prob)
+            .map(|(f, p)| f * p)
+            .sum::<f32>())
 }
 
 /// Gradient of [`aux_loss`] with respect to `probs`, treating the
@@ -62,7 +67,11 @@ pub fn aux_loss_grad(probs: &Tensor, routing: &Routing) -> Result<Tensor, Tensor
 
 fn check(probs: &Tensor, routing: &Routing) -> Result<(usize, usize), TensorError> {
     if probs.rank() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, actual: probs.rank(), op: "aux_loss" });
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: probs.rank(),
+            op: "aux_loss",
+        });
     }
     let (t, e) = (probs.dims()[0], probs.dims()[1]);
     if t != routing.num_tokens() || e != routing.experts {
@@ -133,7 +142,11 @@ mod tests {
             let lp = aux_loss(&pp, &r).unwrap();
             let lm = aux_loss(&pm, &r).unwrap();
             let fd = (lp - lm) / (2.0 * eps);
-            assert!((fd - g.as_slice()[i]).abs() < 1e-3, "i={i} fd={fd} got={}", g.as_slice()[i]);
+            assert!(
+                (fd - g.as_slice()[i]).abs() < 1e-3,
+                "i={i} fd={fd} got={}",
+                g.as_slice()[i]
+            );
         }
     }
 

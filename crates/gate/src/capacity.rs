@@ -73,9 +73,9 @@ impl CapacityPolicy {
         match *self {
             CapacityPolicy::Fixed(f) => f,
             CapacityPolicy::AutoMin => needed_capacity_factor(counts, k, tokens).max(f64::EPSILON),
-            CapacityPolicy::AutoCapped(bound) => {
-                needed_capacity_factor(counts, k, tokens).max(f64::EPSILON).min(bound)
-            }
+            CapacityPolicy::AutoCapped(bound) => needed_capacity_factor(counts, k, tokens)
+                .max(f64::EPSILON)
+                .min(bound),
         }
     }
 }
@@ -123,7 +123,10 @@ mod tests {
     fn policy_parsing_follows_figure16() {
         assert_eq!(CapacityPolicy::from_arg(4.0), CapacityPolicy::Fixed(4.0));
         assert_eq!(CapacityPolicy::from_arg(0.0), CapacityPolicy::AutoMin);
-        assert_eq!(CapacityPolicy::from_arg(-4.0), CapacityPolicy::AutoCapped(4.0));
+        assert_eq!(
+            CapacityPolicy::from_arg(-4.0),
+            CapacityPolicy::AutoCapped(4.0)
+        );
     }
 
     #[test]

@@ -106,7 +106,11 @@ mod tests {
         for _ in 0..100 {
             ctl.observe(4.0);
         }
-        assert!(ctl.factor() > 3.5, "must rise toward 4·headroom, got {}", ctl.factor());
+        assert!(
+            ctl.factor() > 3.5,
+            "must rise toward 4·headroom, got {}",
+            ctl.factor()
+        );
         for _ in 0..300 {
             ctl.observe(1.0);
         }
@@ -132,7 +136,10 @@ mod tests {
                 changes += 1;
             }
         }
-        assert_eq!(changes, 0, "noise within the dead band must not move the factor");
+        assert_eq!(
+            changes, 0,
+            "noise within the dead band must not move the factor"
+        );
         assert!((ctl.factor() - settled).abs() < 1e-9);
     }
 
@@ -167,6 +174,10 @@ mod tests {
             ctl.observe(needed);
             distinct.insert((ctl.factor() * 1e6) as u64);
         }
-        assert!(distinct.len() < 40, "{} distinct emitted factors", distinct.len());
+        assert!(
+            distinct.len() < 40,
+            "{} distinct emitted factors",
+            distinct.len()
+        );
     }
 }

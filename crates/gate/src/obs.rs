@@ -1,0 +1,80 @@
+//! Telemetry reporting for the gate: per-expert load, drops, and
+//! capacity, pushed into a shared [`Telemetry`] handle.
+
+use tutel_obs::{Histogram, Telemetry};
+
+use crate::routing::Routing;
+
+/// Reports one routing decision's statistics:
+///
+/// * histogram `gate.expert_load` — post-capacity token count of every
+///   expert (one observation per expert per iteration);
+/// * counter `gate.routed_tokens` / `gate.dropped_tokens` — tokens
+///   seen and tokens lost to the capacity clamp;
+/// * gauges `gate.capacity_factor`, `gate.needed_factor`,
+///   `gate.survival_rate` — the Figure 1 signals driving the adaptive
+///   layer.
+///
+/// No-op (one branch) when `tel` is disabled.
+pub fn observe_routing(routing: &Routing, tel: &Telemetry) {
+    if !tel.is_enabled() {
+        return;
+    }
+    for &count in &routing.counts {
+        tel.record_hist_with("gate.expert_load", count as f64, Histogram::magnitude);
+    }
+    tel.add_counter("gate.routed_tokens", routing.num_tokens() as u64);
+    tel.add_counter("gate.dropped_tokens", routing.dropped() as u64);
+    tel.set_gauge("gate.capacity_factor", routing.capacity_factor);
+    tel.set_gauge("gate.needed_factor", routing.needed_factor);
+    tel.set_gauge("gate.survival_rate", routing.survival_rate());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::{route, RouteConfig};
+    use tutel_tensor::Tensor;
+
+    #[test]
+    fn routing_statistics_land_in_telemetry() {
+        let probs = Tensor::from_vec(
+            vec![
+                0.7, 0.1, 0.2, //
+                0.2, 0.7, 0.1, //
+                0.6, 0.3, 0.1, //
+                0.1, 0.2, 0.7,
+            ],
+            &[4, 3],
+        )
+        .unwrap()
+        .softmax_last();
+        let routing = route(&probs, &RouteConfig::top1().with_capacity_factor(4.0)).unwrap();
+        let tel = Telemetry::enabled();
+        observe_routing(&routing, &tel);
+        assert_eq!(tel.counter_value("gate.routed_tokens"), Some(4));
+        assert_eq!(
+            tel.counter_value("gate.dropped_tokens"),
+            Some(routing.dropped() as u64)
+        );
+        assert_eq!(
+            tel.gauge_value("gate.capacity_factor"),
+            Some(routing.capacity_factor)
+        );
+        let hist = tel
+            .histogram("gate.expert_load")
+            .expect("histogram registered");
+        assert_eq!(hist.total_count(), routing.counts.len() as u64);
+    }
+
+    #[test]
+    fn disabled_telemetry_records_nothing() {
+        let probs = Tensor::from_vec(vec![0.9, 0.1, 0.1, 0.9], &[2, 2])
+            .unwrap()
+            .softmax_last();
+        let routing = route(&probs, &RouteConfig::top1()).unwrap();
+        let tel = Telemetry::disabled();
+        observe_routing(&routing, &tel);
+        assert_eq!(tel.counter_value("gate.routed_tokens"), None);
+    }
+}

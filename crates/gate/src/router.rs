@@ -87,7 +87,9 @@ impl Router for LinearRouter {
 
     fn step(&mut self, lr: f32) {
         self.dw.clip_norm(1.0);
-        self.w.axpy(-lr, &self.dw).expect("gradient shape matches weights");
+        self.w
+            .axpy(-lr, &self.dw)
+            .expect("gradient shape matches weights");
         self.dw = Tensor::zeros(self.dw.dims());
     }
 }
@@ -222,8 +224,12 @@ impl Router for CosineRouter {
     fn step(&mut self, lr: f32) {
         self.dw.clip_norm(1.0);
         self.dm.clip_norm(1.0);
-        self.w.axpy(-lr, &self.dw).expect("gradient shape matches weights");
-        self.m.axpy(-lr, &self.dm).expect("gradient shape matches embeddings");
+        self.w
+            .axpy(-lr, &self.dw)
+            .expect("gradient shape matches weights");
+        self.m
+            .axpy(-lr, &self.dm)
+            .expect("gradient shape matches embeddings");
         self.tau = (self.tau - lr * self.dtau).max(Self::MIN_TAU);
         self.dw = Tensor::zeros(self.dw.dims());
         self.dm = Tensor::zeros(self.dm.dims());
@@ -305,7 +311,11 @@ mod tests {
             let lp = r.logits(&xp).unwrap().mul(&up).unwrap().sum();
             let lm = r.logits(&xm).unwrap().mul(&up).unwrap().sum();
             let fd = (lp - lm) / (2.0 * eps);
-            assert!((fd - dx.as_slice()[i]).abs() < 1e-2, "i={i} fd={fd} got={}", dx.as_slice()[i]);
+            assert!(
+                (fd - dx.as_slice()[i]).abs() < 1e-2,
+                "i={i} fd={fd} got={}",
+                dx.as_slice()[i]
+            );
         }
     }
 
@@ -319,7 +329,10 @@ mod tests {
         r.backward(&x, &up).unwrap();
         r.step(0.1);
         let after = r.logits(&x).unwrap().sum();
-        assert!(after < before, "loss ∑logits must decrease: {before} → {after}");
+        assert!(
+            after < before,
+            "loss ∑logits must decrease: {before} → {after}"
+        );
     }
 
     #[test]

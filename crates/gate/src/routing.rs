@@ -38,7 +38,10 @@ impl RouteConfig {
 
     /// GShard-style top-2 with `f = 1.0`.
     pub fn top2() -> Self {
-        RouteConfig { k: 2, ..RouteConfig::top1() }
+        RouteConfig {
+            k: 2,
+            ..RouteConfig::top1()
+        }
     }
 
     /// Replaces the capacity factor.
@@ -91,7 +94,11 @@ impl Routing {
     /// Total (token, expert) assignments that were dropped by the
     /// capacity clamp.
     pub fn dropped(&self) -> usize {
-        self.location_of.iter().flatten().filter(|l| l.is_none()).count()
+        self.location_of
+            .iter()
+            .flatten()
+            .filter(|l| l.is_none())
+            .count()
     }
 
     /// Fraction of assignments that survived the capacity clamp.
@@ -132,7 +139,11 @@ impl Routing {
 /// ```
 pub fn route(probs: &Tensor, cfg: &RouteConfig) -> Result<Routing, TensorError> {
     if probs.rank() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, actual: probs.rank(), op: "route" });
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: probs.rank(),
+            op: "route",
+        });
     }
     let (tokens, experts) = (probs.dims()[0], probs.dims()[1]);
     if cfg.k == 0 || cfg.k > experts {
@@ -176,7 +187,9 @@ pub fn route(probs: &Tensor, cfg: &RouteConfig) -> Result<Routing, TensorError> 
         order.sort_by(|&a, &b| {
             let ga = vals[a].first().copied().unwrap_or(0.0);
             let gb = vals[b].first().copied().unwrap_or(0.0);
-            gb.partial_cmp(&ga).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+            gb.partial_cmp(&ga)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
         });
     }
 
@@ -217,7 +230,11 @@ mod tests {
         let mut t = Tensor::zeros(&[tokens, experts]);
         for ti in 0..tokens {
             for e in 0..experts {
-                let v = if e == 0 { 0.5 + 0.4 / (ti + 1) as f32 } else { 0.5 / experts as f32 };
+                let v = if e == 0 {
+                    0.5 + 0.4 / (ti + 1) as f32
+                } else {
+                    0.5 / experts as f32
+                };
                 t.set(&[ti, e], v);
             }
         }
@@ -276,11 +293,17 @@ mod tests {
         let mut rng = Rng::seed(2);
         let probs = rng.uniform_tensor(&[8, 8], 0.0, 1.0).softmax_last();
         for k in [1, 3, 5, 8] {
-            let cfg = RouteConfig { k, ..RouteConfig::top1() };
+            let cfg = RouteConfig {
+                k,
+                ..RouteConfig::top1()
+            };
             let r = route(&probs, &cfg).unwrap();
             assert!(r.expert_of.iter().all(|e| e.len() == k));
         }
-        let cfg = RouteConfig { k: 9, ..RouteConfig::top1() };
+        let cfg = RouteConfig {
+            k: 9,
+            ..RouteConfig::top1()
+        };
         assert!(route(&probs, &cfg).is_err());
     }
 

@@ -6,7 +6,9 @@ use tutel_gate::{route, CapacityPolicy, RouteConfig};
 use tutel_tensor::{Rng, Tensor};
 
 fn random_probs(tokens: usize, experts: usize, seed: u64) -> Tensor {
-    Rng::seed(seed).uniform_tensor(&[tokens, experts], 0.0, 1.0).softmax_last()
+    Rng::seed(seed)
+        .uniform_tensor(&[tokens, experts], 0.0, 1.0)
+        .softmax_last()
 }
 
 proptest! {

@@ -71,7 +71,11 @@ impl DenseCombine {
         for ti in 0..t {
             for ei in 0..e {
                 for c in 0..cap {
-                    let w = if self.weights.at(&[ti, ei, c]) != 0.0 { 1.0 } else { 0.0 };
+                    let w = if self.weights.at(&[ti, ei, c]) != 0.0 {
+                        1.0
+                    } else {
+                        0.0
+                    };
                     let row = &x.as_slice()[ti * m..(ti + 1) * m];
                     let off = (ei * cap + c) * m;
                     let orow = &mut out.as_mut_slice()[off..off + m];
@@ -117,7 +121,11 @@ impl DenseCombine {
     }
 
     fn dims(&self) -> (usize, usize, usize) {
-        (self.weights.dims()[0], self.weights.dims()[1], self.weights.dims()[2])
+        (
+            self.weights.dims()[0],
+            self.weights.dims()[1],
+            self.weights.dims()[2],
+        )
     }
 }
 
@@ -134,8 +142,13 @@ mod tests {
 
     fn setup(tokens: usize, experts: usize, k: usize, seed: u64) -> (Routing, Tensor, Tensor) {
         let mut rng = Rng::seed(seed);
-        let probs = rng.uniform_tensor(&[tokens, experts], 0.0, 1.0).softmax_last();
-        let cfg = RouteConfig { k, ..RouteConfig::top1() };
+        let probs = rng
+            .uniform_tensor(&[tokens, experts], 0.0, 1.0)
+            .softmax_last();
+        let cfg = RouteConfig {
+            k,
+            ..RouteConfig::top1()
+        };
         let routing = route(&probs, &cfg).unwrap();
         let x = rng.normal_tensor(&[tokens, 5], 0.0, 1.0);
         let y = rng.normal_tensor(&[experts, routing.capacity, 5], 0.0, 1.0);
@@ -180,7 +193,9 @@ mod tests {
         let (routing, _, y) = setup(6, 3, 1, 11);
         let c = DenseCombine::new(&routing);
         assert!(c.encode(&Tensor::zeros(&[7, 5])).is_err());
-        assert!(c.decode(&Tensor::zeros(&[3, routing.capacity + 1, 5])).is_err());
+        assert!(c
+            .decode(&Tensor::zeros(&[3, routing.capacity + 1, 5]))
+            .is_err());
         assert!(c.decode(&y).is_ok());
     }
 }

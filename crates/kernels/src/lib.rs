@@ -20,7 +20,9 @@
 
 pub mod dense;
 pub mod memory;
+pub mod observed;
 pub mod sparse;
 
 pub use dense::{DenseCombine, DenseEncoded};
+pub use observed::{fast_decode_observed, fast_encode_observed};
 pub use sparse::{fast_decode, fast_decode_backward, fast_encode, fast_encode_backward};

@@ -1,0 +1,108 @@
+//! Telemetry-instrumented wrappers around the sparse kernels.
+//!
+//! Each wrapper times the kernel in a span (whose name doubles as the
+//! per-step stage key: `encode` / `decode`) and counts the elements it
+//! touched. With a disabled [`Telemetry`] handle the wrappers reduce
+//! to the plain kernels plus one branch.
+
+use tutel_gate::Routing;
+use tutel_obs::Telemetry;
+use tutel_tensor::{Tensor, TensorError};
+
+use crate::sparse::{fast_decode, fast_encode};
+
+/// [`fast_encode`] inside an `encode` span; counts the dispatched
+/// elements (`E·ΔC·M`) into `kernels.encode.elements` and the routed
+/// assignment slots into `kernels.encode.calls`.
+///
+/// # Errors
+///
+/// Returns whatever [`fast_encode`] returns.
+pub fn fast_encode_observed(
+    x: &Tensor,
+    routing: &Routing,
+    tel: &Telemetry,
+) -> Result<Tensor, TensorError> {
+    if !tel.is_enabled() {
+        return fast_encode(x, routing);
+    }
+    let span = tel
+        .span("encode")
+        .tag("tokens", routing.num_tokens())
+        .tag("experts", routing.experts)
+        .tag("capacity", routing.capacity);
+    let out = fast_encode(x, routing)?;
+    tel.add_counter("kernels.encode.elements", out.len() as u64);
+    tel.add_counter("kernels.encode.calls", 1);
+    drop(span);
+    Ok(out)
+}
+
+/// [`fast_decode`] inside a `decode` span; counts the combined output
+/// elements (`T·M`) into `kernels.decode.elements` and invocations
+/// into `kernels.decode.calls`.
+///
+/// # Errors
+///
+/// Returns whatever [`fast_decode`] returns.
+pub fn fast_decode_observed(
+    y: &Tensor,
+    routing: &Routing,
+    tokens: usize,
+    tel: &Telemetry,
+) -> Result<Tensor, TensorError> {
+    if !tel.is_enabled() {
+        return fast_decode(y, routing, tokens);
+    }
+    let span = tel
+        .span("decode")
+        .tag("tokens", tokens)
+        .tag("experts", routing.experts)
+        .tag("capacity", routing.capacity);
+    let out = fast_decode(y, routing, tokens)?;
+    tel.add_counter("kernels.decode.elements", out.len() as u64);
+    tel.add_counter("kernels.decode.calls", 1);
+    drop(span);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tutel_gate::{route, RouteConfig};
+
+    #[test]
+    fn observed_kernels_match_plain_and_count_elements() {
+        let probs = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.5, 0.5], &[3, 2])
+            .unwrap()
+            .softmax_last();
+        let routing = route(&probs, &RouteConfig::top1().with_capacity_factor(4.0)).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]).unwrap();
+
+        let tel = Telemetry::enabled();
+        let dispatched = fast_encode_observed(&x, &routing, &tel).unwrap();
+        assert_eq!(dispatched, fast_encode(&x, &routing).unwrap());
+        let combined = fast_decode_observed(&dispatched, &routing, 3, &tel).unwrap();
+        assert_eq!(combined, fast_decode(&dispatched, &routing, 3).unwrap());
+
+        assert_eq!(
+            tel.counter_value("kernels.encode.elements"),
+            Some(dispatched.len() as u64)
+        );
+        assert_eq!(
+            tel.counter_value("kernels.decode.elements"),
+            Some(combined.len() as u64)
+        );
+        assert_eq!(tel.counter_value("kernels.encode.calls"), Some(1));
+        // Both spans made it into the ring.
+        let spans: Vec<String> = tel
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                tutel_obs::Event::Span(s) => Some(s.name),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans, vec!["encode".to_string(), "decode".to_string()]);
+    }
+}

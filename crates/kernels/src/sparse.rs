@@ -42,7 +42,12 @@ pub fn fast_encode(x: &Tensor, routing: &Routing) -> Result<Tensor, TensorError>
     let m = check_tokens(x, routing)?;
     let mut out = Tensor::zeros(&[routing.experts, routing.capacity, m]);
     let cap = routing.capacity;
-    for (t, (experts, locs)) in routing.expert_of.iter().zip(&routing.location_of).enumerate() {
+    for (t, (experts, locs)) in routing
+        .expert_of
+        .iter()
+        .zip(&routing.location_of)
+        .enumerate()
+    {
         let row = &x.as_slice()[t * m..(t + 1) * m];
         for (&e, loc) in experts.iter().zip(locs) {
             if let Some(l) = *loc {
@@ -71,7 +76,12 @@ pub fn fast_encode_backward(
     let m = check_dispatch(d_dispatched, routing)?;
     let cap = routing.capacity;
     let mut dx = Tensor::zeros(&[tokens, m]);
-    for (t, (experts, locs)) in routing.expert_of.iter().zip(&routing.location_of).enumerate() {
+    for (t, (experts, locs)) in routing
+        .expert_of
+        .iter()
+        .zip(&routing.location_of)
+        .enumerate()
+    {
         for (&e, loc) in experts.iter().zip(locs) {
             if let Some(l) = *loc {
                 let off = (e * cap + l) * m;
@@ -141,8 +151,7 @@ pub fn fast_decode_backward(
     }
     let cap = routing.capacity;
     let mut dy = Tensor::zeros(y.dims());
-    let mut dgates: Vec<Vec<f32>> =
-        routing.gate_of.iter().map(|g| vec![0.0; g.len()]).collect();
+    let mut dgates: Vec<Vec<f32>> = routing.gate_of.iter().map(|g| vec![0.0; g.len()]).collect();
     for (t, ((experts, locs), gates)) in routing
         .expert_of
         .iter()
@@ -156,8 +165,10 @@ pub fn fast_decode_backward(
                 let off = (e * cap + l) * m;
                 let yrow = &y.as_slice()[off..off + m];
                 let mut dot = 0.0f32;
-                for ((o, dv), yv) in
-                    dy.as_mut_slice()[off..off + m].iter_mut().zip(drow).zip(yrow)
+                for ((o, dv), yv) in dy.as_mut_slice()[off..off + m]
+                    .iter_mut()
+                    .zip(drow)
+                    .zip(yrow)
                 {
                     *o += g * dv;
                     dot += yv * dv;
@@ -171,7 +182,11 @@ pub fn fast_decode_backward(
 
 fn check_tokens(x: &Tensor, routing: &Routing) -> Result<usize, TensorError> {
     if x.rank() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, actual: x.rank(), op: "fast_encode" });
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: x.rank(),
+            op: "fast_encode",
+        });
     }
     if x.dims()[0] != routing.num_tokens() {
         return Err(TensorError::ShapeMismatch {
@@ -202,8 +217,13 @@ mod tests {
 
     fn routing_and_input(tokens: usize, experts: usize, k: usize, seed: u64) -> (Routing, Tensor) {
         let mut rng = Rng::seed(seed);
-        let probs = rng.uniform_tensor(&[tokens, experts], 0.0, 1.0).softmax_last();
-        let cfg = RouteConfig { k, ..RouteConfig::top1() };
+        let probs = rng
+            .uniform_tensor(&[tokens, experts], 0.0, 1.0)
+            .softmax_last();
+        let cfg = RouteConfig {
+            k,
+            ..RouteConfig::top1()
+        };
         let routing = route(&probs, &cfg).unwrap();
         let x = rng.normal_tensor(&[tokens, 6], 0.0, 1.0);
         (routing, x)
@@ -213,8 +233,11 @@ mod tests {
     fn encode_places_rows_at_locations() {
         let (routing, x) = routing_and_input(8, 4, 1, 1);
         let d = fast_encode(&x, &routing).unwrap();
-        for (t, (experts, locs)) in
-            routing.expert_of.iter().zip(&routing.location_of).enumerate()
+        for (t, (experts, locs)) in routing
+            .expert_of
+            .iter()
+            .zip(&routing.location_of)
+            .enumerate()
         {
             if let (Some(&e), Some(Some(l))) = (experts.first(), locs.first()) {
                 for mi in 0..6 {
@@ -278,7 +301,11 @@ mod tests {
             let lp = fast_encode(&xp, &routing).unwrap().mul(&up).unwrap().sum();
             let lm = fast_encode(&xm, &routing).unwrap().mul(&up).unwrap().sum();
             let fd = (lp - lm) / (2.0 * eps);
-            assert!((fd - dx.as_slice()[i]).abs() < 1e-2, "i={i} fd={fd} got={}", dx.as_slice()[i]);
+            assert!(
+                (fd - dx.as_slice()[i]).abs() < 1e-2,
+                "i={i} fd={fd} got={}",
+                dx.as_slice()[i]
+            );
         }
     }
 
@@ -296,8 +323,16 @@ mod tests {
             yp.as_mut_slice()[i] += eps;
             let mut ym = y.clone();
             ym.as_mut_slice()[i] -= eps;
-            let lp = fast_decode(&yp, &routing, 5).unwrap().mul(&up).unwrap().sum();
-            let lm = fast_decode(&ym, &routing, 5).unwrap().mul(&up).unwrap().sum();
+            let lp = fast_decode(&yp, &routing, 5)
+                .unwrap()
+                .mul(&up)
+                .unwrap()
+                .sum();
+            let lm = fast_decode(&ym, &routing, 5)
+                .unwrap()
+                .mul(&up)
+                .unwrap()
+                .sum();
             let fd = (lp - lm) / (2.0 * eps);
             assert!((fd - dy.as_slice()[i]).abs() < 1e-2, "i={i}");
         }
@@ -315,7 +350,11 @@ mod tests {
                 let lp = fast_decode(&y, &rp, 5).unwrap().mul(&up).unwrap().sum();
                 let lm = fast_decode(&y, &rm, 5).unwrap().mul(&up).unwrap().sum();
                 let fd = (lp - lm) / (2.0 * eps);
-                assert!((fd - dgates[t][gi]).abs() < 1e-1, "t={t} gi={gi} fd={fd} got={}", dgates[t][gi]);
+                assert!(
+                    (fd - dgates[t][gi]).abs() < 1e-1,
+                    "t={t} gi={gi} fd={fd} got={}",
+                    dgates[t][gi]
+                );
             }
         }
     }

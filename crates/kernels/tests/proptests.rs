@@ -5,7 +5,9 @@
 
 use proptest::prelude::*;
 use tutel_gate::{route, CapacityPolicy, RouteConfig, Routing};
-use tutel_kernels::{fast_decode, fast_decode_backward, fast_encode, fast_encode_backward, DenseCombine};
+use tutel_kernels::{
+    fast_decode, fast_decode_backward, fast_encode, fast_encode_backward, DenseCombine,
+};
 use tutel_tensor::{Rng, Tensor};
 
 fn fixture(
@@ -16,7 +18,9 @@ fn fixture(
     seed: u64,
 ) -> (Routing, Tensor, Tensor) {
     let mut rng = Rng::seed(seed);
-    let probs = rng.uniform_tensor(&[tokens, experts], 0.0, 1.0).softmax_last();
+    let probs = rng
+        .uniform_tensor(&[tokens, experts], 0.0, 1.0)
+        .softmax_last();
     let cfg = RouteConfig {
         k,
         capacity: CapacityPolicy::Fixed(f),

@@ -1,0 +1,277 @@
+//! The telemetry event model: spans, modeled collectives, per-step
+//! training records, and adaptive-decision audit entries.
+//!
+//! Every event serializes to one self-describing JSON object (a
+//! `"type"` field plus payload) so a JSONL export can be filtered with
+//! `jq 'select(.type == "...")'`.
+
+use crate::json::Value;
+
+/// A tag attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TagValue {
+    /// A string tag.
+    Str(String),
+    /// A float tag.
+    F64(f64),
+    /// An integer tag.
+    U64(u64),
+}
+
+impl TagValue {
+    fn to_value(&self) -> Value {
+        match self {
+            TagValue::Str(s) => Value::Str(s.clone()),
+            TagValue::F64(x) => Value::Num(*x),
+            TagValue::U64(n) => Value::Num(*n as f64),
+        }
+    }
+}
+
+impl From<&str> for TagValue {
+    fn from(s: &str) -> TagValue {
+        TagValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for TagValue {
+    fn from(s: String) -> TagValue {
+        TagValue::Str(s)
+    }
+}
+
+impl From<f64> for TagValue {
+    fn from(x: f64) -> TagValue {
+        TagValue::F64(x)
+    }
+}
+
+impl From<u64> for TagValue {
+    fn from(n: u64) -> TagValue {
+        TagValue::U64(n)
+    }
+}
+
+impl From<usize> for TagValue {
+    fn from(n: usize) -> TagValue {
+        TagValue::U64(n as u64)
+    }
+}
+
+/// A completed wall-clock span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span name (also the stage key it accumulates under).
+    pub name: String,
+    /// Start offset from telemetry creation, seconds.
+    pub start_s: f64,
+    /// Wall-clock duration, seconds.
+    pub dur_s: f64,
+    /// Training step active when the span closed, if any.
+    pub step: Option<u64>,
+    /// Free-form tags.
+    pub tags: Vec<(String, TagValue)>,
+}
+
+/// A priced (modeled) collective: the simulated cluster never moves
+/// real bytes, so instead of a wall-clock span the comm layer records
+/// the algorithm, payload, and the cost model's answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectiveRecord {
+    /// Operation: `all_to_all`, `all_gather`, `all_reduce`.
+    pub op: String,
+    /// Algorithm tag (`linear`, `2DH`, or a group size).
+    pub algo: String,
+    /// Per-GPU payload bytes.
+    pub bytes: f64,
+    /// Modeled seconds from the cost model.
+    pub modeled_s: f64,
+    /// Training step active when recorded, if any.
+    pub step: Option<u64>,
+}
+
+/// One training iteration, assembled by the trainer (or an example's
+/// hand-rolled loop) after the optimizer step.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StepRecord {
+    /// Step index.
+    pub step: u64,
+    /// Training loss.
+    pub loss: f64,
+    /// Learning rate used.
+    pub lr: f64,
+    /// Summed auxiliary loss over MoE layers.
+    pub aux_loss: f64,
+    /// Capacity factor in effect (first MoE layer).
+    pub capacity_factor: f64,
+    /// Per-MoE-layer minimum no-drop capacity factor.
+    pub needed_factors: Vec<f64>,
+    /// Per-expert token counts, summed element-wise over MoE layers.
+    pub expert_load: Vec<u64>,
+    /// Tokens dropped by the capacity clamp, summed over MoE layers.
+    pub dropped: u64,
+    /// Per-stage durations in seconds (`gate`, `encode`, `ffn`,
+    /// `decode` measured; `a2a_dispatch`, `a2a_combine` modeled).
+    pub stages: Vec<(String, f64)>,
+}
+
+/// One adaptive-decision audit entry: what the search considered, what
+/// it predicted, and what it picked.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionRecord {
+    /// Which adaptive mechanism decided: `pipeline` (exhaustive model
+    /// search), `pipeline.online` (Algorithm 2), or `parallelism`
+    /// (P1/P2 router).
+    pub kind: String,
+    /// Capacity factor the decision was made for.
+    pub capacity_factor: f64,
+    /// Candidate name → predicted/measured cost in seconds.
+    pub candidates: Vec<(String, f64)>,
+    /// The winning candidate.
+    pub chosen: String,
+    /// Predicted cost of the winner, when the search has one
+    /// (`None` while Algorithm 2 is still exploring).
+    pub predicted_s: Option<f64>,
+    /// Training step active when recorded, if any.
+    pub step: Option<u64>,
+}
+
+/// Any recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A wall-clock span.
+    Span(SpanRecord),
+    /// A modeled collective.
+    Collective(CollectiveRecord),
+    /// A training step.
+    Step(StepRecord),
+    /// An adaptive decision.
+    Decision(DecisionRecord),
+}
+
+fn opt_step(step: Option<u64>) -> Value {
+    match step {
+        Some(s) => Value::from(s),
+        None => Value::Null,
+    }
+}
+
+impl Event {
+    /// The event as one self-describing JSON object.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Event::Span(s) => {
+                let mut pairs = vec![
+                    ("type".to_string(), Value::from("span")),
+                    ("name".to_string(), Value::from(s.name.clone())),
+                    ("start_s".to_string(), Value::from(s.start_s)),
+                    ("dur_s".to_string(), Value::from(s.dur_s)),
+                    ("step".to_string(), opt_step(s.step)),
+                ];
+                if !s.tags.is_empty() {
+                    pairs.push((
+                        "tags".to_string(),
+                        Value::Obj(
+                            s.tags
+                                .iter()
+                                .map(|(k, v)| (k.clone(), v.to_value()))
+                                .collect(),
+                        ),
+                    ));
+                }
+                Value::Obj(pairs)
+            }
+            Event::Collective(c) => Value::obj([
+                ("type", Value::from("collective")),
+                ("op", Value::from(c.op.clone())),
+                ("algo", Value::from(c.algo.clone())),
+                ("bytes", Value::from(c.bytes)),
+                ("modeled_s", Value::from(c.modeled_s)),
+                ("step", opt_step(c.step)),
+            ]),
+            Event::Step(s) => Value::obj([
+                ("type", Value::from("step")),
+                ("step", Value::from(s.step)),
+                ("loss", Value::from(s.loss)),
+                ("lr", Value::from(s.lr)),
+                ("aux_loss", Value::from(s.aux_loss)),
+                ("capacity_factor", Value::from(s.capacity_factor)),
+                (
+                    "needed_factors",
+                    Value::Arr(s.needed_factors.iter().map(|&f| Value::from(f)).collect()),
+                ),
+                (
+                    "expert_load",
+                    Value::Arr(s.expert_load.iter().map(|&n| Value::from(n)).collect()),
+                ),
+                ("dropped", Value::from(s.dropped)),
+                (
+                    "stages",
+                    Value::Obj(
+                        s.stages
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Value::from(*v)))
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Event::Decision(d) => Value::obj([
+                ("type", Value::from("adaptive_decision")),
+                ("kind", Value::from(d.kind.clone())),
+                ("capacity_factor", Value::from(d.capacity_factor)),
+                (
+                    "candidates",
+                    Value::Arr(
+                        d.candidates
+                            .iter()
+                            .map(|(name, cost)| {
+                                Value::obj([
+                                    ("name", Value::from(name.clone())),
+                                    ("cost_s", Value::from(*cost)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("chosen", Value::from(d.chosen.clone())),
+                (
+                    "predicted_s",
+                    d.predicted_s.map(Value::from).unwrap_or(Value::Null),
+                ),
+                ("step", opt_step(d.step)),
+            ]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_serialize_with_type_tags() {
+        let span = Event::Span(SpanRecord {
+            name: "gate".into(),
+            start_s: 0.5,
+            dur_s: 0.25,
+            step: Some(3),
+            tags: vec![("algo".into(), TagValue::from("2DH"))],
+        });
+        let json = span.to_value().to_json();
+        assert!(json.starts_with(r#"{"type":"span""#), "{json}");
+        assert!(json.contains(r#""step":3"#), "{json}");
+        assert!(json.contains(r#""algo":"2DH""#), "{json}");
+
+        let dec = Event::Decision(DecisionRecord {
+            kind: "pipeline".into(),
+            capacity_factor: 1.0,
+            candidates: vec![("linear×d1".into(), 0.002)],
+            chosen: "linear×d1".into(),
+            predicted_s: None,
+            step: None,
+        });
+        let json = dec.to_value().to_json();
+        assert!(json.contains(r#""type":"adaptive_decision""#), "{json}");
+        assert!(json.contains(r#""predicted_s":null"#), "{json}");
+    }
+}

@@ -1,0 +1,165 @@
+//! A minimal JSON value and writer.
+//!
+//! The workspace builds offline without serde's serialization
+//! machinery, so the telemetry exporter hand-writes its JSONL. Only
+//! what export needs is implemented: objects, arrays, strings,
+//! numbers, booleans, and null. Non-finite floats serialize as `null`
+//! (JSON has no NaN/Infinity).
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number; written via [`fmt_f64`].
+    Num(f64),
+    /// A string (escaped on write).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; insertion order is preserved on write.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (impl Into<String>, Value)>) -> Value {
+        Value::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Serializes to a compact one-line JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(x) => out.push_str(&fmt_f64(*x)),
+            Value::Str(s) => write_escaped(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Value {
+        Value::Num(x)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(x: u64) -> Value {
+        Value::Num(x as f64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(x: usize) -> Value {
+        Value::Num(x as f64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+
+/// Formats a float the way the exporter wants it: integers without a
+/// fraction, everything else in shortest-roundtrip form, non-finite as
+/// `null`.
+pub fn fmt_f64(x: f64) -> String {
+    if !x.is_finite() {
+        return "null".to_string();
+    }
+    if x == x.trunc() && x.abs() < 1e15 {
+        // Integral values print without the trailing ".0" Rust's
+        // Display would add via {:?}; {} already does this.
+        let mut s = String::new();
+        let _ = write!(s, "{x}");
+        if s.contains('.') {
+            s.truncate(s.find('.').unwrap_or(s.len()));
+        }
+        s
+    } else {
+        format!("{x}")
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_and_nests() {
+        let v = Value::obj([
+            ("name", Value::from("a\"b\\c\nd")),
+            (
+                "xs",
+                Value::Arr(vec![Value::from(1u64), Value::Bool(true), Value::Null]),
+            ),
+        ]);
+        assert_eq!(v.to_json(), r#"{"name":"a\"b\\c\nd","xs":[1,true,null]}"#);
+    }
+
+    #[test]
+    fn floats_format_compactly() {
+        assert_eq!(fmt_f64(3.0), "3");
+        assert_eq!(fmt_f64(0.25), "0.25");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+    }
+}

@@ -1,0 +1,312 @@
+//! Lock-cheap metric primitives: counters, gauges, and fixed
+//! log-bucketed histograms.
+//!
+//! All three record through atomics, so a handle can be shared across
+//! threads and updated without taking a lock. The registry itself
+//! (name → handle) is behind a mutex, but lookups return `Arc`s that
+//! instrumentation sites may cache.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing integer metric.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins float metric.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, x: f64) {
+        self.bits.store(x.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value (0.0 if never set).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram over positive values with *fixed log-bucketing*: the
+/// bucket layout is decided at construction and never changes, so two
+/// histograms with the same layout can be merged bucket-by-bucket.
+///
+/// Bucket `i` (for `1 ≤ i ≤ n`) covers `[lo·r^(i-1), lo·r^i)`; bucket
+/// `0` is the underflow bucket (`v < lo`, including zero and negative
+/// values) and bucket `n + 1` the overflow bucket (`v ≥ lo·r^n`).
+/// Bounds are materialized once by cumulative multiplication and
+/// indexed by binary search, so [`Histogram::bucket_index`] is always
+/// consistent with [`Histogram::bounds`].
+#[derive(Debug)]
+pub struct Histogram {
+    /// The `n + 1` bucket edges `lo·r^0 .. lo·r^n`, strictly increasing.
+    bounds: Vec<f64>,
+    /// `n + 2` counts: underflow, the `n` log buckets, overflow.
+    counts: Vec<AtomicU64>,
+    /// Sum of recorded values (f64 bits, CAS-updated).
+    sum_bits: AtomicU64,
+    total: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `n` log buckets starting at `lo` and
+    /// growing by factor `ratio` per bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo > 0`, `ratio > 1`, `n ≥ 1`, and the top edge
+    /// `lo·ratio^n` stays finite.
+    pub fn new(lo: f64, ratio: f64, n: usize) -> Self {
+        assert!(
+            lo > 0.0 && lo.is_finite(),
+            "histogram lo must be positive and finite"
+        );
+        assert!(
+            ratio > 1.0 && ratio.is_finite(),
+            "histogram ratio must exceed 1"
+        );
+        assert!(n >= 1, "histogram needs at least one bucket");
+        let mut bounds = Vec::with_capacity(n + 1);
+        let mut edge = lo;
+        for _ in 0..=n {
+            bounds.push(edge);
+            edge *= ratio;
+        }
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram top edge overflowed to infinity"
+        );
+        let counts = (0..n + 2).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            counts,
+            sum_bits: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    /// The default layout for durations in seconds: 1 ns to ~16 s in
+    /// ×2 steps.
+    pub fn timing() -> Self {
+        Histogram::new(1e-9, 2.0, 34)
+    }
+
+    /// The default layout for integer-ish magnitudes (token counts,
+    /// element counts): 1 to ~10^9 in roughly ×2 steps.
+    pub fn magnitude() -> Self {
+        Histogram::new(1.0, 2.0, 30)
+    }
+
+    /// The bucket edges (length = number of log buckets + 1).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Number of counts slots: log buckets + underflow + overflow.
+    pub fn num_buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The bucket slot a value lands in: number of edges ≤ `v`.
+    pub fn bucket_index(&self, v: f64) -> usize {
+        self.bounds.partition_point(|&b| b <= v)
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: f64) {
+        let idx = self.bucket_index(v);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        // CAS loop to accumulate an f64 through an AtomicU64.
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Per-slot counts snapshot.
+    pub fn counts(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total observations.
+    pub fn total_count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Whether `other` has the identical bucket layout.
+    pub fn same_layout(&self, other: &Histogram) -> bool {
+        self.bounds == other.bounds
+    }
+
+    /// Merges `other` into `self` bucket-by-bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layouts differ.
+    pub fn merge(&self, other: &Histogram) {
+        assert!(
+            self.same_layout(other),
+            "cannot merge histograms with different layouts"
+        );
+        for (dst, count) in self.counts.iter().zip(other.counts()) {
+            dst.fetch_add(count, Ordering::Relaxed);
+        }
+        self.total.fetch_add(other.total_count(), Ordering::Relaxed);
+        let add = other.sum();
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + add).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// Name → metric registry. One mutexed map per metric kind; handles
+/// are `Arc`s so hot paths can look up once and update lock-free.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// Gets or creates the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("metrics registry poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Gets or creates the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("metrics registry poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Gets or creates the histogram `name` with [`Histogram::timing`]
+    /// layout; use [`MetricsRegistry::histogram_with`] for a custom one.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, Histogram::timing)
+    }
+
+    /// Gets or creates the histogram `name`, building a missing one
+    /// with `make`.
+    pub fn histogram_with(&self, name: &str, make: impl FnOnce() -> Histogram) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("metrics registry poisoned");
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(make()))
+            .clone()
+    }
+
+    /// Snapshot of all counters.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let map = self.counters.lock().expect("metrics registry poisoned");
+        map.iter().map(|(k, v)| (k.clone(), v.get())).collect()
+    }
+
+    /// Snapshot of all gauges.
+    pub fn gauges(&self) -> Vec<(String, f64)> {
+        let map = self.gauges.lock().expect("metrics registry poisoned");
+        map.iter().map(|(k, v)| (k.clone(), v.get())).collect()
+    }
+
+    /// Snapshot of all histograms (name, handle).
+    pub fn histograms(&self) -> Vec<(String, Arc<Histogram>)> {
+        let map = self.histograms.lock().expect("metrics registry poisoned");
+        map.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = MetricsRegistry::default();
+        reg.counter("a").add(3);
+        reg.counter("a").add(4);
+        assert_eq!(reg.counter("a").get(), 7);
+        reg.gauge("g").set(1.25);
+        assert_eq!(reg.gauge("g").get(), 1.25);
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let h = Histogram::new(1.0, 2.0, 3); // edges 1, 2, 4, 8
+        for v in [0.5, 1.0, 1.9, 2.0, 7.9, 8.0, 100.0] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), vec![1, 2, 1, 1, 2]);
+        assert_eq!(h.total_count(), 7);
+        assert!((h.sum() - 121.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_conserves_counts() {
+        let a = Histogram::new(1.0, 2.0, 4);
+        let b = Histogram::new(1.0, 2.0, 4);
+        for v in [0.1, 3.0, 5.0] {
+            a.record(v);
+        }
+        for v in [2.0, 40.0] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.total_count(), 5);
+        assert_eq!(a.counts().iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "different layouts")]
+    fn merge_rejects_layout_mismatch() {
+        let a = Histogram::new(1.0, 2.0, 4);
+        let b = Histogram::new(1.0, 3.0, 4);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,92 @@
+//! A bounded in-process recorder: keeps the newest `cap` items and
+//! counts what it had to drop.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A mutex-guarded ring buffer. Push is O(1); when full, the oldest
+/// item is evicted and the drop counter incremented, so a long run can
+/// never exhaust memory while the exporter still knows data went
+/// missing.
+#[derive(Debug)]
+pub struct RingBuffer<T> {
+    items: Mutex<VecDeque<T>>,
+    cap: usize,
+    dropped: AtomicU64,
+}
+
+impl<T> RingBuffer<T> {
+    /// Creates a ring retaining at most `cap` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "ring capacity must be positive");
+        RingBuffer {
+            items: Mutex::new(VecDeque::new()),
+            cap,
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends `item`, evicting the oldest entry when full.
+    pub fn push(&self, item: T) {
+        let mut items = self.items.lock().expect("ring poisoned");
+        if items.len() == self.cap {
+            items.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        items.push_back(item);
+    }
+
+    /// Number of retained items.
+    pub fn len(&self) -> usize {
+        self.items.lock().expect("ring poisoned").len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Items evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl<T: Clone> RingBuffer<T> {
+    /// A copy of the retained items, oldest first.
+    pub fn snapshot(&self) -> Vec<T> {
+        self.items
+            .lock()
+            .expect("ring poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_newest_and_counts_drops() {
+        let ring = RingBuffer::new(3);
+        for i in 0..5 {
+            ring.push(i);
+        }
+        assert_eq!(ring.snapshot(), vec![2, 3, 4]);
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(ring.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_capacity() {
+        let _ = RingBuffer::<u8>::new(0);
+    }
+}

@@ -1,0 +1,477 @@
+//! The [`Telemetry`] handle: a cheap-to-clone, no-op-when-disabled
+//! front door to the metrics registry, span tracer, and event ring.
+
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::events::{CollectiveRecord, DecisionRecord, Event, SpanRecord, StepRecord, TagValue};
+use crate::json::Value;
+use crate::metrics::{Histogram, MetricsRegistry};
+use crate::ring::RingBuffer;
+
+/// Sentinel for "no training step active".
+const NO_STEP: i64 = -1;
+
+#[derive(Debug)]
+struct Inner {
+    metrics: MetricsRegistry,
+    events: RingBuffer<Event>,
+    /// Stage-name → accumulated seconds for the current step; drained
+    /// into each [`StepRecord`].
+    stages: Mutex<Vec<(String, f64)>>,
+    /// Current training step, or [`NO_STEP`].
+    step: AtomicI64,
+    epoch: Instant,
+}
+
+/// A shared telemetry handle.
+///
+/// Cloning is an `Arc` clone (or a `None` copy when disabled). Every
+/// recording method first checks the inner `Option`; a disabled handle
+/// does no timing, no allocation, and no locking, so instrumented hot
+/// paths cost one branch when telemetry is off.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Telemetry({})",
+            if self.inner.is_some() {
+                "enabled"
+            } else {
+                "disabled"
+            }
+        )
+    }
+}
+
+impl Telemetry {
+    /// A handle that records nothing. This is also the `Default`.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// An enabled handle with the default event-ring capacity (65,536
+    /// events; oldest dropped first).
+    pub fn enabled() -> Self {
+        Telemetry::with_capacity(65_536)
+    }
+
+    /// An enabled handle retaining at most `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                metrics: MetricsRegistry::default(),
+                events: RingBuffer::new(cap),
+                stages: Mutex::new(Vec::new()),
+                step: AtomicI64::new(NO_STEP),
+                epoch: Instant::now(),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    // --- metrics ---
+
+    /// Adds `n` to counter `name`.
+    pub fn add_counter(&self, name: &str, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.counter(name).add(n);
+        }
+    }
+
+    /// Sets gauge `name`.
+    pub fn set_gauge(&self, name: &str, x: f64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.gauge(name).set(x);
+        }
+    }
+
+    /// Records `v` into histogram `name` (created with `make` on first
+    /// use).
+    pub fn record_hist_with(&self, name: &str, v: f64, make: impl FnOnce() -> Histogram) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.histogram_with(name, make).record(v);
+        }
+    }
+
+    /// Records `v` into histogram `name` with the default timing
+    /// layout.
+    pub fn record_hist(&self, name: &str, v: f64) {
+        self.record_hist_with(name, v, Histogram::timing);
+    }
+
+    /// Counter snapshot, `None` when disabled or unknown.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        let inner = self.inner.as_ref()?;
+        inner
+            .metrics
+            .counters()
+            .into_iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Gauge snapshot, `None` when disabled or unknown.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        let inner = self.inner.as_ref()?;
+        inner
+            .metrics
+            .gauges()
+            .into_iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Histogram handle, `None` when disabled or unknown.
+    pub fn histogram(&self, name: &str) -> Option<Arc<Histogram>> {
+        let inner = self.inner.as_ref()?;
+        inner
+            .metrics
+            .histograms()
+            .into_iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, h)| h)
+    }
+
+    // --- spans ---
+
+    /// Opens a wall-clock span; it records itself when dropped. The
+    /// span's duration also accumulates into the current step's stage
+    /// map under `name`.
+    pub fn span(&self, name: &str) -> Span {
+        match &self.inner {
+            Some(inner) => Span {
+                inner: Some(SpanState {
+                    telemetry: inner.clone(),
+                    name: name.to_string(),
+                    start: Instant::now(),
+                    tags: Vec::new(),
+                }),
+            },
+            None => Span { inner: None },
+        }
+    }
+
+    /// Adds `seconds` to the current step's stage `name` without a
+    /// wall-clock span — for stage costs that are *modeled* rather
+    /// than measured (the simulated All-to-All legs).
+    pub fn add_stage(&self, name: &str, seconds: f64) {
+        if let Some(inner) = &self.inner {
+            inner.add_stage(name, seconds);
+        }
+    }
+
+    // --- events ---
+
+    /// Records a modeled collective, stamped with the current step.
+    pub fn collective(&self, op: &str, algo: &str, bytes: f64, modeled_s: f64) {
+        if let Some(inner) = &self.inner {
+            inner.events.push(Event::Collective(CollectiveRecord {
+                op: op.to_string(),
+                algo: algo.to_string(),
+                bytes,
+                modeled_s,
+                step: inner.current_step(),
+            }));
+        }
+    }
+
+    /// Records an adaptive decision, stamped with the current step.
+    pub fn decision(&self, mut rec: DecisionRecord) {
+        if let Some(inner) = &self.inner {
+            rec.step = inner.current_step();
+            inner.events.push(Event::Decision(rec));
+        }
+    }
+
+    /// Marks the start of training step `step`: stamps subsequent
+    /// spans/decisions/collectives and clears the stage accumulator.
+    pub fn begin_step(&self, step: u64) {
+        if let Some(inner) = &self.inner {
+            inner.step.store(step as i64, Ordering::Relaxed);
+            inner.stages.lock().expect("stages poisoned").clear();
+        }
+    }
+
+    /// Completes a training step: drains the accumulated stage
+    /// durations into `rec.stages` (modeled stages already in `rec`
+    /// are kept) and records the event.
+    pub fn record_step(&self, mut rec: StepRecord) {
+        if let Some(inner) = &self.inner {
+            let mut acc = inner.stages.lock().expect("stages poisoned");
+            for (name, secs) in acc.drain(..) {
+                merge_stage(&mut rec.stages, &name, secs);
+            }
+            drop(acc);
+            inner.events.push(Event::Step(rec));
+            inner.step.store(NO_STEP, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of all recorded events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        match &self.inner {
+            Some(inner) => inner.events.snapshot(),
+            None => Vec::new(),
+        }
+    }
+
+    /// All adaptive-decision events, oldest first.
+    pub fn decisions(&self) -> Vec<DecisionRecord> {
+        self.events()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::Decision(d) => Some(d),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All step events, oldest first.
+    pub fn steps(&self) -> Vec<StepRecord> {
+        self.events()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::Step(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of events dropped because the ring was full.
+    pub fn dropped_events(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.events.dropped())
+    }
+
+    // --- export ---
+
+    /// Writes the full telemetry state as JSONL: a `meta` header line,
+    /// one line per event (oldest first), then one line per metric.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from `w`; a disabled handle writes
+    /// nothing and returns `Ok`.
+    pub fn export_jsonl(&self, w: &mut impl Write) -> io::Result<()> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        let events = inner.events.snapshot();
+        let meta = Value::obj([
+            ("type", Value::from("meta")),
+            ("events", Value::from(events.len())),
+            ("dropped_events", Value::from(inner.events.dropped())),
+        ]);
+        writeln!(w, "{}", meta.to_json())?;
+        for event in &events {
+            writeln!(w, "{}", event.to_value().to_json())?;
+        }
+        for (name, value) in inner.metrics.counters() {
+            let line = Value::obj([
+                ("type", Value::from("counter")),
+                ("name", Value::from(name)),
+                ("value", Value::from(value)),
+            ]);
+            writeln!(w, "{}", line.to_json())?;
+        }
+        for (name, value) in inner.metrics.gauges() {
+            let line = Value::obj([
+                ("type", Value::from("gauge")),
+                ("name", Value::from(name)),
+                ("value", Value::from(value)),
+            ]);
+            writeln!(w, "{}", line.to_json())?;
+        }
+        for (name, hist) in inner.metrics.histograms() {
+            let line = Value::obj([
+                ("type", Value::from("histogram")),
+                ("name", Value::from(name)),
+                (
+                    "bounds",
+                    Value::Arr(hist.bounds().iter().map(|&b| Value::from(b)).collect()),
+                ),
+                (
+                    "counts",
+                    Value::Arr(hist.counts().iter().map(|&c| Value::from(c)).collect()),
+                ),
+                ("sum", Value::from(hist.sum())),
+                ("count", Value::from(hist.total_count())),
+            ]);
+            writeln!(w, "{}", line.to_json())?;
+        }
+        Ok(())
+    }
+
+    /// [`Telemetry::export_jsonl`] to a fresh file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the file.
+    pub fn export_jsonl_to(&self, path: &str) -> io::Result<()> {
+        let mut file = io::BufWriter::new(std::fs::File::create(path)?);
+        self.export_jsonl(&mut file)?;
+        file.flush()
+    }
+}
+
+impl Inner {
+    fn current_step(&self) -> Option<u64> {
+        match self.step.load(Ordering::Relaxed) {
+            NO_STEP => None,
+            s => Some(s as u64),
+        }
+    }
+
+    fn add_stage(&self, name: &str, seconds: f64) {
+        let mut acc = self.stages.lock().expect("stages poisoned");
+        merge_stage(&mut acc, name, seconds);
+    }
+}
+
+fn merge_stage(stages: &mut Vec<(String, f64)>, name: &str, seconds: f64) {
+    match stages.iter_mut().find(|(k, _)| k == name) {
+        Some((_, total)) => *total += seconds,
+        None => stages.push((name.to_string(), seconds)),
+    }
+}
+
+struct SpanState {
+    telemetry: Arc<Inner>,
+    name: String,
+    start: Instant,
+    tags: Vec<(String, TagValue)>,
+}
+
+/// An open span; closes (and records itself) on drop. No-op when the
+/// telemetry handle that produced it is disabled.
+pub struct Span {
+    inner: Option<SpanState>,
+}
+
+impl Span {
+    /// Attaches a tag.
+    pub fn tag(mut self, key: &str, value: impl Into<TagValue>) -> Self {
+        if let Some(state) = &mut self.inner {
+            state.tags.push((key.to_string(), value.into()));
+        }
+        self
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(state) = self.inner.take() else {
+            return;
+        };
+        let dur_s = state.start.elapsed().as_secs_f64();
+        let start_s = state
+            .start
+            .duration_since(state.telemetry.epoch)
+            .as_secs_f64();
+        state.telemetry.add_stage(&state.name, dur_s);
+        state.telemetry.events.push(Event::Span(SpanRecord {
+            name: state.name,
+            start_s,
+            dur_s,
+            step: state.telemetry.current_step(),
+            tags: state.tags,
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let tel = Telemetry::disabled();
+        tel.add_counter("c", 5);
+        tel.set_gauge("g", 1.0);
+        let _span = tel.span("s");
+        tel.record_step(StepRecord::default());
+        assert!(tel.events().is_empty());
+        assert_eq!(tel.counter_value("c"), None);
+        let mut out = Vec::new();
+        tel.export_jsonl(&mut out).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn spans_feed_events_and_stages() {
+        let tel = Telemetry::enabled();
+        tel.begin_step(7);
+        {
+            let _s = tel.span("gate").tag("experts", 8u64);
+        }
+        tel.add_stage("a2a_dispatch", 0.001);
+        tel.record_step(StepRecord {
+            step: 7,
+            ..StepRecord::default()
+        });
+        let steps = tel.steps();
+        assert_eq!(steps.len(), 1);
+        let stages = &steps[0].stages;
+        assert!(stages.iter().any(|(k, _)| k == "gate"));
+        assert!(stages
+            .iter()
+            .any(|(k, v)| k == "a2a_dispatch" && (*v - 0.001).abs() < 1e-12));
+        // The span itself is also in the ring, stamped with the step.
+        let span = tel
+            .events()
+            .into_iter()
+            .find_map(|e| match e {
+                Event::Span(s) => Some(s),
+                _ => None,
+            })
+            .expect("span recorded");
+        assert_eq!(span.step, Some(7));
+        assert_eq!(span.tags.len(), 1);
+    }
+
+    #[test]
+    fn export_emits_one_json_object_per_line() {
+        let tel = Telemetry::enabled();
+        tel.add_counter("kernels.encode.elements", 1024);
+        tel.set_gauge("gate.capacity_factor", 1.25);
+        tel.record_hist("dur", 0.5);
+        tel.collective("all_to_all", "2DH", 4096.0, 0.002);
+        let mut out = Vec::new();
+        tel.export_jsonl(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(
+            lines.len() >= 5,
+            "meta + event + 3 metrics, got {}",
+            lines.len()
+        );
+        for line in &lines {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "not an object: {line}"
+            );
+            assert!(line.contains("\"type\":"), "untyped line: {line}");
+        }
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let tel = Telemetry::enabled();
+        let clone = tel.clone();
+        clone.add_counter("shared", 2);
+        assert_eq!(tel.counter_value("shared"), Some(2));
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for the fixed log-bucketed histogram: bounds are
+//! strictly monotone, indexing is consistent with the bounds, and
+//! merging conserves counts.
+
+use proptest::prelude::*;
+use tutel_obs::Histogram;
+
+/// A valid (lo, ratio, n) layout whose top edge stays finite.
+fn layout() -> impl Strategy<Value = (f64, f64, usize)> {
+    (1e-9f64..1e3, 1.05f64..8.0, 1usize..64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bucket_bounds_are_strictly_monotone((lo, ratio, n) in layout()) {
+        let h = Histogram::new(lo, ratio, n);
+        let bounds = h.bounds();
+        prop_assert_eq!(bounds.len(), n + 1);
+        for w in bounds.windows(2) {
+            prop_assert!(w[0] < w[1], "bounds not increasing: {} !< {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_consistent_with_bounds(
+        (lo, ratio, n) in layout(),
+        values in proptest::collection::vec(-1e6f64..1e12, 1..50),
+    ) {
+        let h = Histogram::new(lo, ratio, n);
+        for &v in &values {
+            let idx = h.bucket_index(v);
+            let bounds = h.bounds();
+            // idx 0 = underflow, idx bounds.len() = overflow.
+            if idx > 0 {
+                prop_assert!(bounds[idx - 1] <= v, "lower edge violated for {v}");
+            } else {
+                prop_assert!(v < bounds[0], "underflow misplaced for {v}");
+            }
+            if idx < bounds.len() {
+                prop_assert!(v < bounds[idx], "upper edge violated for {v}");
+            } else {
+                prop_assert!(v >= bounds[bounds.len() - 1], "overflow misplaced for {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn recording_conserves_counts(
+        (lo, ratio, n) in layout(),
+        values in proptest::collection::vec(0f64..1e9, 0..100),
+    ) {
+        let h = Histogram::new(lo, ratio, n);
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.total_count(), values.len() as u64);
+        prop_assert_eq!(h.counts().iter().sum::<u64>(), values.len() as u64);
+    }
+
+    #[test]
+    fn merge_conserves_counts_per_bucket(
+        (lo, ratio, n) in layout(),
+        xs in proptest::collection::vec(0f64..1e9, 0..60),
+        ys in proptest::collection::vec(0f64..1e9, 0..60),
+    ) {
+        let a = Histogram::new(lo, ratio, n);
+        let b = Histogram::new(lo, ratio, n);
+        for &v in &xs {
+            a.record(v);
+        }
+        for &v in &ys {
+            b.record(v);
+        }
+        let before_a = a.counts();
+        let before_b = b.counts();
+        a.merge(&b);
+        let after = a.counts();
+        for i in 0..after.len() {
+            prop_assert_eq!(after[i], before_a[i] + before_b[i], "bucket {} not conserved", i);
+        }
+        prop_assert_eq!(a.total_count(), (xs.len() + ys.len()) as u64);
+        let total_sum: f64 = xs.iter().chain(&ys).sum();
+        prop_assert!((a.sum() - total_sum).abs() <= 1e-6 * total_sum.abs().max(1.0));
+    }
+}

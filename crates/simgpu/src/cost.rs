@@ -116,7 +116,13 @@ impl GpuCostModel {
 
     /// Time of the dense (GShard/Fairseq) encode or decode:
     /// `O(T·E·ΔC·M)` elements pushed through the einsum.
-    pub fn dense_encode_time(&self, tokens: usize, experts: usize, capacity: usize, m: usize) -> Seconds {
+    pub fn dense_encode_time(
+        &self,
+        tokens: usize,
+        experts: usize,
+        capacity: usize,
+        m: usize,
+    ) -> Seconds {
         let elems = tokens as f64 * experts as f64 * capacity as f64 * m as f64;
         self.launch_overhead + elems / self.dense_encode_rate
     }
@@ -169,7 +175,10 @@ mod tests {
         // Section 3.4 anchor: ~600 µs → ~5 ms (≈ 8×).
         let ratio = small_chunks / big_chunks;
         assert!(ratio > 5.0 && ratio < 12.0, "ratio = {ratio}");
-        assert!(big_chunks > 100e-6 && big_chunks < 1e-3, "abs = {big_chunks}");
+        assert!(
+            big_chunks > 100e-6 && big_chunks < 1e-3,
+            "abs = {big_chunks}"
+        );
     }
 
     #[test]

@@ -70,14 +70,21 @@ impl Timeline {
         let dep_ready = deps
             .iter()
             .map(|d| {
-                self.ops.get(d.0).expect("dependency event id out of range").finish
+                self.ops
+                    .get(d.0)
+                    .expect("dependency event id out of range")
+                    .finish
             })
             .fold(0.0f64, f64::max);
         let stream_ready = self.stream_front.get(&stream).copied().unwrap_or(0.0);
         let start = dep_ready.max(stream_ready);
         let finish = start + duration;
         self.stream_front.insert(stream, finish);
-        self.ops.push(Op { stream, start, finish });
+        self.ops.push(Op {
+            stream,
+            start,
+            finish,
+        });
         EventId(self.ops.len() - 1)
     }
 

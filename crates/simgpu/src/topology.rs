@@ -34,8 +34,14 @@ impl Topology {
     ///
     /// Panics if either dimension is zero.
     pub fn new(nnodes: usize, gpus_per_node: usize) -> Self {
-        assert!(nnodes > 0 && gpus_per_node > 0, "topology dimensions must be positive");
-        Topology { nnodes, gpus_per_node }
+        assert!(
+            nnodes > 0 && gpus_per_node > 0,
+            "topology dimensions must be positive"
+        );
+        Topology {
+            nnodes,
+            gpus_per_node,
+        }
     }
 
     /// A single-node topology (all GPUs on NVLink).
@@ -56,7 +62,10 @@ impl Topology {
         if world_size <= 8 {
             Topology::new(1, world_size)
         } else {
-            assert!(world_size.is_multiple_of(8), "multi-node NDv4 topologies come in multiples of 8 GPUs");
+            assert!(
+                world_size.is_multiple_of(8),
+                "multi-node NDv4 topologies come in multiples of 8 GPUs"
+            );
             Topology::new(world_size / 8, 8)
         }
     }

@@ -53,7 +53,10 @@ pub enum TensorError {
 impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TensorError::ElementCountMismatch { data_len, shape_len } => write!(
+            TensorError::ElementCountMismatch {
+                data_len,
+                shape_len,
+            } => write!(
                 f,
                 "data has {data_len} elements but shape requires {shape_len}"
             ),
@@ -66,8 +69,15 @@ impl fmt::Display for TensorError {
             TensorError::IndexOutOfRange { index, len } => {
                 write!(f, "index {index} out of range for axis of length {len}")
             }
-            TensorError::RankMismatch { expected, actual, op } => {
-                write!(f, "rank mismatch in {op}: expected {expected}, got {actual}")
+            TensorError::RankMismatch {
+                expected,
+                actual,
+                op,
+            } => {
+                write!(
+                    f,
+                    "rank mismatch in {op}: expected {expected}, got {actual}"
+                )
             }
             TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }

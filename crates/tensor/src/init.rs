@@ -31,7 +31,9 @@ pub struct Rng {
 impl Rng {
     /// Creates a generator from a seed.
     pub fn seed(seed: u64) -> Self {
-        Rng { inner: SmallRng::seed_from_u64(seed) }
+        Rng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Uniform sample in `[0, 1)`.
@@ -169,6 +171,9 @@ mod tests {
         let w = rng.kaiming(512, 4);
         let std = (w.sq_norm() / w.len() as f32).sqrt();
         let expected = (2.0f32 / 512.0).sqrt();
-        assert!((std - expected).abs() / expected < 0.2, "std {std} vs {expected}");
+        assert!(
+            (std - expected).abs() / expected < 0.2,
+            "std {std} vs {expected}"
+        );
     }
 }

@@ -15,10 +15,18 @@ impl Tensor {
     /// [`TensorError::ShapeMismatch`] if the inner dimensions disagree.
     pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: self.rank(), op: "matmul" });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "matmul",
+            });
         }
         if rhs.rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: rhs.rank(), op: "matmul" });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: rhs.rank(),
+                op: "matmul",
+            });
         }
         let (m, k) = (self.dims()[0], self.dims()[1]);
         let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
@@ -46,10 +54,18 @@ impl Tensor {
     /// [`TensorError::ShapeMismatch`] if batch or inner dims disagree.
     pub fn bmm(&self, rhs: &Tensor) -> Result<Tensor> {
         if self.rank() != 3 {
-            return Err(TensorError::RankMismatch { expected: 3, actual: self.rank(), op: "bmm" });
+            return Err(TensorError::RankMismatch {
+                expected: 3,
+                actual: self.rank(),
+                op: "bmm",
+            });
         }
         if rhs.rank() != 3 {
-            return Err(TensorError::RankMismatch { expected: 3, actual: rhs.rank(), op: "bmm" });
+            return Err(TensorError::RankMismatch {
+                expected: 3,
+                actual: rhs.rank(),
+                op: "bmm",
+            });
         }
         let (b, m, k) = (self.dims()[0], self.dims()[1], self.dims()[2]);
         let (b2, k2, n) = (rhs.dims()[0], rhs.dims()[1], rhs.dims()[2]);
@@ -262,7 +278,10 @@ mod tests {
         let mut rng = crate::Rng::seed(99);
         let a = rng.normal_tensor(&[m, k], 0.0, 1.0);
         let b = rng.normal_tensor(&[k, n], 0.0, 1.0);
-        assert!(2 * m * k * n >= PAR_FLOP_THRESHOLD, "fixture must trigger threading");
+        assert!(
+            2 * m * k * n >= PAR_FLOP_THRESHOLD,
+            "fixture must trigger threading"
+        );
         let parallel = a.matmul(&b).unwrap();
         let mut serial = vec![0.0f32; m * n];
         gemm_serial(a.as_slice(), b.as_slice(), &mut serial, m, k, n);

@@ -83,7 +83,11 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn relu_backward(&self, upstream: &Tensor) -> Result<Tensor> {
-        self.zip_with(upstream, "relu_backward", |pre, g| if pre > 0.0 { g } else { 0.0 })
+        self.zip_with(
+            upstream,
+            "relu_backward",
+            |pre, g| if pre > 0.0 { g } else { 0.0 },
+        )
     }
 
     /// GELU activation (tanh approximation, as used by transformer FFNs).
@@ -97,7 +101,9 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn gelu_backward(&self, upstream: &Tensor) -> Result<Tensor> {
-        self.zip_with(upstream, "gelu_backward", |pre, g| gelu_grad_scalar(pre) * g)
+        self.zip_with(upstream, "gelu_backward", |pre, g| {
+            gelu_grad_scalar(pre) * g
+        })
     }
 
     /// Sum of all elements.
@@ -220,7 +226,10 @@ impl Tensor {
             let row = &self.as_slice()[r * cols..(r + 1) * cols];
             let mut order: Vec<usize> = (0..cols).collect();
             order.sort_by(|&a, &b| {
-                row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+                row[b]
+                    .partial_cmp(&row[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
             });
             order.truncate(k);
             vals.push(order.iter().map(|&i| row[i]).collect());
@@ -229,7 +238,12 @@ impl Tensor {
         Ok((idxs, vals))
     }
 
-    fn zip_with(&self, rhs: &Tensor, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+    fn zip_with(
+        &self,
+        rhs: &Tensor,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor> {
         if self.shape() != rhs.shape() {
             return Err(TensorError::ShapeMismatch {
                 left: self.dims().to_vec(),

@@ -53,7 +53,11 @@ fn f16_round(v: f32) -> f32 {
     }
     let max_f16 = 65504.0f32;
     if v.abs() > max_f16 {
-        return if v > 0.0 { f32::INFINITY } else { f32::NEG_INFINITY };
+        return if v > 0.0 {
+            f32::INFINITY
+        } else {
+            f32::NEG_INFINITY
+        };
     }
     // Decompose, clamp the exponent to f16's range, round the mantissa
     // to 10 bits.

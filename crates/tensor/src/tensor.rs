@@ -46,13 +46,19 @@ impl Tensor {
     /// Creates a zero-filled tensor.
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
-        Tensor { data: vec![0.0; shape.len()], shape }
+        Tensor {
+            data: vec![0.0; shape.len()],
+            shape,
+        }
     }
 
     /// Creates a tensor filled with `value`.
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
-        Tensor { data: vec![value; shape.len()], shape }
+        Tensor {
+            data: vec![value; shape.len()],
+            shape,
+        }
     }
 
     /// Creates a one-filled tensor.
@@ -175,7 +181,11 @@ impl Tensor {
     /// range, or [`TensorError::RankMismatch`] for rank-0 tensors.
     pub fn index_axis0(&self, index: usize) -> Result<Tensor> {
         if self.rank() == 0 {
-            return Err(TensorError::RankMismatch { expected: 1, actual: 0, op: "index_axis0" });
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: 0,
+                op: "index_axis0",
+            });
         }
         let n = self.shape.dims()[0];
         if index >= n {
@@ -270,7 +280,11 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] for non-matrices.
     pub fn transpose2(&self) -> Result<Tensor> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: self.rank(), op: "transpose2" });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "transpose2",
+            });
         }
         let (r, c) = (self.dims()[0], self.dims()[1]);
         let mut out = Tensor::zeros(&[c, r]);
@@ -291,7 +305,11 @@ impl Tensor {
     pub fn permute(&self, perm: &[usize]) -> Result<Tensor> {
         let rank = self.rank();
         let mut seen = vec![false; rank];
-        if perm.len() != rank || perm.iter().any(|&p| p >= rank || std::mem::replace(&mut seen[p], true)) {
+        if perm.len() != rank
+            || perm
+                .iter()
+                .any(|&p| p >= rank || std::mem::replace(&mut seen[p], true))
+        {
             return Err(TensorError::InvalidArgument(format!(
                 "{perm:?} is not a permutation of 0..{rank}"
             )));
@@ -324,8 +342,18 @@ impl Tensor {
 impl fmt::Display for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor{} ", self.shape)?;
-        let preview: Vec<String> = self.data.iter().take(8).map(|v| format!("{v:.4}")).collect();
-        write!(f, "[{}{}]", preview.join(", "), if self.len() > 8 { ", ..." } else { "" })
+        let preview: Vec<String> = self
+            .data
+            .iter()
+            .take(8)
+            .map(|v| format!("{v:.4}"))
+            .collect();
+        write!(
+            f,
+            "[{}{}]",
+            preview.join(", "),
+            if self.len() > 8 { ", ..." } else { "" }
+        )
     }
 }
 
@@ -379,7 +407,10 @@ mod tests {
         // First chunk of capacity dim for the first "expert".
         assert_eq!(&parts[0].as_slice()[..6], &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
         // Second slab starts at the second expert's first capacity chunk.
-        assert_eq!(&parts[0].as_slice()[6..], &[12.0, 13.0, 14.0, 15.0, 16.0, 17.0]);
+        assert_eq!(
+            &parts[0].as_slice()[6..],
+            &[12.0, 13.0, 14.0, 15.0, 16.0, 17.0]
+        );
         let back = Tensor::concat_axis(&parts, 1).unwrap();
         assert_eq!(back, t);
     }

@@ -28,7 +28,10 @@ fn main() -> Result<(), TensorError> {
     println!("MoE layer output shape : {}", out.output.shape());
     println!("auxiliary loss         : {:.4}", out.aux_loss);
     println!("capacity factor used   : {:.3}", out.capacity_factor);
-    println!("needed capacity factor : {:.3} (Figure 1 telemetry)", out.needed_factor);
+    println!(
+        "needed capacity factor : {:.3} (Figure 1 telemetry)",
+        out.needed_factor
+    );
     println!("token survival rate    : {:.1}%", out.survival_rate * 100.0);
 
     // One SGD step against a dummy regression target.

@@ -13,7 +13,10 @@ fn main() {
     const MIB: f64 = 1024.0 * 1024.0;
 
     println!("== All-to-All at scale: linear vs 2DH (1 MiB per GPU) ==");
-    println!("{:>6} {:>12} {:>12} {:>9}", "GPUs", "linear", "2DH", "speedup");
+    println!(
+        "{:>6} {:>12} {:>12} {:>9}",
+        "GPUs", "linear", "2DH", "speedup"
+    );
     for w in [64usize, 256, 1024, 2048, 4096] {
         let timing = CollectiveTiming::new(World::azure(w));
         let linear = timing.linear_time(MIB, Protocol::Simple);

@@ -27,9 +27,18 @@ fn build(moe: bool, seed: u64) -> SwinLiteMoe {
 }
 
 fn main() {
-    let steps: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(800);
+    let steps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(800);
     let dataset = SyntheticVision::new(32, 32, 16, 16, 2023);
-    let tc = TrainConfig { steps, batch: 32, lr: 0.05, seed: 11, ..TrainConfig::default() };
+    let tc = TrainConfig {
+        steps,
+        batch: 32,
+        lr: 0.05,
+        seed: 11,
+        ..TrainConfig::default()
+    };
 
     println!("pre-training dense and MoE models ({steps} steps each)...");
     let mut dense = build(false, 7);

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only *decorates* config/topology structs with
+//! `#[derive(Serialize, Deserialize)]` — nothing actually serializes
+//! through serde (checkpointing uses a hand-rolled binary format, and
+//! telemetry export in `tutel-obs` writes JSON by hand). This shim
+//! therefore provides marker traits with blanket impls and re-exports
+//! no-op derive macros, which is enough for every use site to compile
+//! unchanged against the real crate's spelling.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+///
+/// The real trait has a `'de` lifetime parameter; no code in this
+/// workspace writes a `Deserialize` bound, so the shim omits it.
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}

@@ -1,0 +1,17 @@
+//! No-op derive macros for the offline `serde` shim.
+//!
+//! The shim's `Serialize`/`Deserialize` traits carry blanket impls, so
+//! these derives only need to exist for `#[derive(Serialize)]` to
+//! parse; they expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -29,7 +29,9 @@ fn online_search_converges_to_simulator_oracle() {
     let model = PipelineTimeModel::new(CollectiveTiming::new(World::azure(128)));
     let mut search = OnlineStrategySearch::new(0.5);
     // A periodic f schedule visiting two regimes.
-    let schedule: Vec<f64> = (0..80).map(|i| if i % 2 == 0 { 1.0 } else { 4.0 }).collect();
+    let schedule: Vec<f64> = (0..80)
+        .map(|i| if i % 2 == 0 { 1.0 } else { 4.0 })
+        .collect();
     for &f in &schedule {
         let s = search.next_strategy(f);
         let t = model.step_time(&dims_with_f(f), s);
@@ -91,7 +93,10 @@ fn parallelism_router_crossover_is_consistent_with_costs() {
             tutel_suite::experts::Parallelism::P1 => tutel_suite::experts::Parallelism::P2,
             tutel_suite::experts::Parallelism::P2 => tutel_suite::experts::Parallelism::P1,
         };
-        assert!(router.cost_of(chosen, &d) <= router.cost_of(other, &d) + 1e-15, "f={f}");
+        assert!(
+            router.cost_of(chosen, &d) <= router.cost_of(other, &d) + 1e-15,
+            "f={f}"
+        );
     }
 }
 

@@ -21,7 +21,17 @@ fn trained_model_roundtrips_through_bytes() {
     let ds = SyntheticVision::new(8, 4, 3, 4, 1);
     let mut rng = Rng::seed(2);
     let mut model = SwinLiteMoe::new(&cfg(RouterKind::Linear), &mut rng).unwrap();
-    train(&mut model, &ds, &TrainConfig { steps: 25, batch: 8, lr: 0.05, seed: 3, ..TrainConfig::default() });
+    train(
+        &mut model,
+        &ds,
+        &TrainConfig {
+            steps: 25,
+            batch: 8,
+            lr: 0.05,
+            seed: 3,
+            ..TrainConfig::default()
+        },
+    );
 
     let bytes = model.state_dict().to_bytes();
     let restored_sd = StateDict::from_bytes(&bytes).unwrap();
@@ -45,7 +55,17 @@ fn cosine_router_checkpoints_too() {
     let ds = SyntheticVision::new(8, 4, 3, 4, 1);
     let mut rng = Rng::seed(4);
     let mut model = SwinLiteMoe::new(&cfg(RouterKind::Cosine), &mut rng).unwrap();
-    train(&mut model, &ds, &TrainConfig { steps: 10, batch: 8, lr: 0.02, seed: 5, ..TrainConfig::default() });
+    train(
+        &mut model,
+        &ds,
+        &TrainConfig {
+            steps: 10,
+            batch: 8,
+            lr: 0.02,
+            seed: 5,
+            ..TrainConfig::default()
+        },
+    );
     let sd = model.state_dict();
     let mut fresh = SwinLiteMoe::new(&cfg(RouterKind::Cosine), &mut Rng::seed(77)).unwrap();
     fresh.load_state_dict(&sd).unwrap();

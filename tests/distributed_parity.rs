@@ -34,8 +34,13 @@ fn make_ranks(
     (0..world)
         .map(|_| {
             let x = rng.normal_tensor(&[tokens, m], 0.0, 1.0);
-            let probs = rng.uniform_tensor(&[tokens, experts], 0.0, 1.0).softmax_last();
-            let cfg = RouteConfig { k, ..RouteConfig::top1() };
+            let probs = rng
+                .uniform_tensor(&[tokens, experts], 0.0, 1.0)
+                .softmax_last();
+            let cfg = RouteConfig {
+                k,
+                ..RouteConfig::top1()
+            };
             let routing = route(&probs, &cfg).unwrap();
             RankState { x, routing }
         })
@@ -69,8 +74,10 @@ fn run_parity(topology: Topology, local_experts: usize, k: usize, algo: AllToAll
 
     // Distributed path: encode → Flexible All-to-All (dispatch) →
     // rank-local expert slice → Flexible All-to-All (combine) → decode.
-    let encoded: Vec<Tensor> =
-        ranks.iter().map(|r| fast_encode(&r.x, &r.routing).unwrap()).collect();
+    let encoded: Vec<Tensor> = ranks
+        .iter()
+        .map(|r| fast_encode(&r.x, &r.routing).unwrap())
+        .collect();
     let dispatched = flex_all_to_all(&encoded, 1, 0, algo, &topology).unwrap();
     let (w1, b1, w2, b2) = global_experts.weights();
     let expert_outs: Vec<Tensor> = dispatched
@@ -78,9 +85,7 @@ fn run_parity(topology: Topology, local_experts: usize, k: usize, algo: AllToAll
         .enumerate()
         .map(|(rank, input)| {
             // Rank `rank` owns experts [rank·ΔE, (rank+1)·ΔE).
-            let slice = |t: &Tensor| {
-                t.split_axis(0, w).unwrap()[rank].clone()
-            };
+            let slice = |t: &Tensor| t.split_axis(0, w).unwrap()[rank].clone();
             let local =
                 ExpertsBlock::from_weights(slice(w1), slice(b1), slice(w2), slice(b2)).unwrap();
             local.infer(input).unwrap()
@@ -129,8 +134,10 @@ fn parity_across_algorithms_is_bit_identical() {
     let topology = Topology::new(2, 2);
     let w = topology.world_size();
     let ranks = make_ranks(w, 16, w, 8, 1, 9);
-    let encoded: Vec<Tensor> =
-        ranks.iter().map(|r| fast_encode(&r.x, &r.routing).unwrap()).collect();
+    let encoded: Vec<Tensor> = ranks
+        .iter()
+        .map(|r| fast_encode(&r.x, &r.routing).unwrap())
+        .collect();
     let a = flex_all_to_all(&encoded, 1, 0, AllToAllAlgo::Linear, &topology).unwrap();
     let b = flex_all_to_all(&encoded, 1, 0, AllToAllAlgo::TwoDh, &topology).unwrap();
     assert_eq!(a, b);

@@ -11,7 +11,9 @@ use tutel_suite::tutel::{FairseqMoeLayer, MoeConfig, MoeLayer};
 fn tutel_equals_fairseq_over_many_seeds_and_configs() {
     for seed in 0..8u64 {
         for (k, f) in [(1usize, 1.0f64), (2, 1.0), (1, 0.5), (2, 2.0), (3, 0.0)] {
-            let cfg = MoeConfig::new(10, 14, 4).with_top_k(k).with_capacity_factor(f);
+            let cfg = MoeConfig::new(10, 14, 4)
+                .with_top_k(k)
+                .with_capacity_factor(f);
             let baseline = FairseqMoeLayer::new_seeded(&cfg, seed).unwrap();
             let mut rng = Rng::seed(seed);
             let tutel = MoeLayer::new(&cfg, &mut rng).unwrap();
@@ -62,7 +64,11 @@ fn switching_parallelism_mid_run_changes_nothing() {
             p1_forward(&params, &x).unwrap()
         };
         assert!(reference.sub(&y).unwrap().max_abs() < 1e-4, "iteration {i}");
-        assert_eq!(params.placement_fingerprint(), fp, "parameters migrated at {i}");
+        assert_eq!(
+            params.placement_fingerprint(),
+            fp,
+            "parameters migrated at {i}"
+        );
     }
 }
 

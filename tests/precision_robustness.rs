@@ -32,7 +32,13 @@ fn bf16_weights_preserve_accuracy() {
     train(
         &mut model,
         &ds,
-        &TrainConfig { steps: 250, batch: 32, lr: 0.05, seed: 4, ..TrainConfig::default() },
+        &TrainConfig {
+            steps: 250,
+            batch: 32,
+            lr: 0.05,
+            seed: 4,
+            ..TrainConfig::default()
+        },
     );
     let full = evaluate(&model, &ds, 6, 9);
     assert!(full > 0.5, "fixture must train above chance, got {full}");

@@ -25,15 +25,19 @@ fn run_distributed_step(topology: Topology, k: usize, seed: u64) {
     let mut rng = Rng::seed(seed);
     let router = LinearRouter::new(m, experts, &mut rng);
     let global_experts = ExpertsBlock::new(experts, m, v, &mut rng);
-    let inputs: Vec<Tensor> =
-        (0..w).map(|_| rng.normal_tensor(&[tokens, m], 0.0, 1.0)).collect();
+    let inputs: Vec<Tensor> = (0..w)
+        .map(|_| rng.normal_tensor(&[tokens, m], 0.0, 1.0))
+        .collect();
 
     // Reference: rank-local routing + global expert application.
     let reference: Vec<Tensor> = inputs
         .iter()
         .map(|x| {
             let probs = router.logits(x).unwrap().softmax_last();
-            let cfg = RouteConfig { k, ..RouteConfig::top1() };
+            let cfg = RouteConfig {
+                k,
+                ..RouteConfig::top1()
+            };
             let routing = route(&probs, &cfg).unwrap();
             let enc = fast_encode(x, &routing).unwrap();
             let out = global_experts.infer(&enc).unwrap();
@@ -50,7 +54,10 @@ fn run_distributed_step(topology: Topology, k: usize, seed: u64) {
         let x = &inputs_ref[rank];
         // Gate + route + encode, all rank-local.
         let probs = router_ref.logits(x).unwrap().softmax_last();
-        let cfg = RouteConfig { k, ..RouteConfig::top1() };
+        let cfg = RouteConfig {
+            k,
+            ..RouteConfig::top1()
+        };
         let routing = route(&probs, &cfg).unwrap();
         let enc = fast_encode(x, &routing).unwrap(); // (E, dC, M)
         let cap = routing.capacity;
@@ -67,8 +74,7 @@ fn run_distributed_step(topology: Topology, k: usize, seed: u64) {
         let flex = flex.reshape(&[local_experts, w * cap, m]).unwrap();
         let (w1, b1, w2, b2) = experts_ref.weights();
         let slice = |t: &Tensor| t.split_axis(0, w).unwrap()[rank].clone();
-        let local =
-            ExpertsBlock::from_weights(slice(w1), slice(b1), slice(w2), slice(b2)).unwrap();
+        let local = ExpertsBlock::from_weights(slice(w1), slice(b1), slice(w2), slice(b2)).unwrap();
         let expert_out = local.infer(&flex).unwrap();
 
         // Combine: invert the layout and ship each source its tokens.
