@@ -20,4 +20,10 @@ cargo test -q
 echo "==> cargo test --workspace (minus tutel-bench)"
 cargo test -q --workspace --exclude tutel-bench
 
+echo "==> tutel-check: workspace lint (baseline ratchet)"
+cargo run --release -q -p tutel-check -- --baseline check-baseline.json
+
+echo "==> tutel-check: deterministic concurrency sweep (fixed seeds)"
+cargo run --release -q -p tutel-check -- --sched --seeds 128
+
 echo "ci.sh: all gates green"

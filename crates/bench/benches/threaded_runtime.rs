@@ -20,16 +20,24 @@ fn bench_runtime(c: &mut Criterion) {
             b.iter(|| linear_all_to_all(bufs_ref))
         });
         group.bench_with_input(BenchmarkId::new("threaded_linear", n), &n, |b, _| {
-            b.iter(|| run_threaded(topo, |mut comm| comm.all_to_all(&bufs_ref[comm.rank()])))
+            b.iter(|| {
+                run_threaded(topo, |mut comm| {
+                    comm.all_to_all(&bufs_ref[comm.rank()]).unwrap()
+                })
+            })
         });
         group.bench_with_input(BenchmarkId::new("threaded_2dh", n), &n, |b, _| {
-            b.iter(|| run_threaded(topo, |mut comm| comm.all_to_all_2dh(&bufs_ref[comm.rank()])))
+            b.iter(|| {
+                run_threaded(topo, |mut comm| {
+                    comm.all_to_all_2dh(&bufs_ref[comm.rank()]).unwrap()
+                })
+            })
         });
         group.bench_with_input(BenchmarkId::new("threaded_allreduce", n), &n, |b, _| {
             b.iter(|| {
                 run_threaded(topo, |mut comm| {
                     let mine = vec![comm.rank() as f32; n * 64];
-                    comm.all_reduce_sum(&mine)
+                    comm.all_reduce_sum(&mine).unwrap()
                 })
             })
         });

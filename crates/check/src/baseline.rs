@@ -1,0 +1,299 @@
+//! The baseline ratchet: pre-existing violations are pinned in a
+//! committed `check-baseline.json` as per-`file:rule` counts. A run
+//! fails if any `file:rule` count *exceeds* its baselined value (new
+//! violations), and the tool offers `--write-baseline` when counts
+//! drop so the ratchet only ever tightens.
+
+use std::collections::BTreeMap;
+
+use crate::diag::{json_escape, Diagnostic};
+
+/// Violation counts keyed by `"<file>:<rule>"` (BTreeMap for stable
+/// serialization order).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    pub counts: BTreeMap<String, u64>,
+}
+
+impl Baseline {
+    /// Aggregates a diagnostic batch into ratchet counts.
+    pub fn from_diagnostics(diags: &[Diagnostic]) -> Baseline {
+        let mut counts = BTreeMap::new();
+        for d in diags {
+            *counts.entry(format!("{}:{}", d.file, d.rule)).or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Serializes to the committed JSON format.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"total\": {},\n", self.total()));
+        out.push_str("  \"counts\": {");
+        for (i, (k, v)) in self.counts.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!("    \"{}\": {v}", json_escape(k)));
+        }
+        if !self.counts.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses the committed JSON format (strict: objects, strings,
+    /// and unsigned integers only).
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut p = Parser {
+            chars: text.chars().collect(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let top = p.object()?;
+        let mut counts = BTreeMap::new();
+        let mut declared_total = None;
+        for (key, val) in top {
+            match (key.as_str(), val) {
+                ("total", Value::Num(n)) => declared_total = Some(n),
+                ("counts", Value::Obj(entries)) => {
+                    for (k, v) in entries {
+                        match v {
+                            Value::Num(n) => {
+                                counts.insert(k, n);
+                            }
+                            _ => return Err(format!("count for {k:?} is not an integer")),
+                        }
+                    }
+                }
+                (other, _) => return Err(format!("unexpected key {other:?} in baseline")),
+            }
+        }
+        let baseline = Baseline { counts };
+        if let Some(t) = declared_total {
+            if t != baseline.total() {
+                return Err(format!(
+                    "baseline total {t} disagrees with the sum of counts {}",
+                    baseline.total()
+                ));
+            }
+        }
+        Ok(baseline)
+    }
+}
+
+/// Outcome of comparing a current run against the committed baseline.
+#[derive(Debug, Default)]
+pub struct Ratchet {
+    /// `(key, current, baselined)` where current > baselined: failures.
+    pub regressions: Vec<(String, u64, u64)>,
+    /// `(key, current, baselined)` where current < baselined: the
+    /// baseline should be re-written (tightened).
+    pub improvements: Vec<(String, u64, u64)>,
+}
+
+impl Ratchet {
+    pub fn compare(current: &Baseline, committed: &Baseline) -> Ratchet {
+        let mut out = Ratchet::default();
+        for (k, &cur) in &current.counts {
+            let base = committed.counts.get(k).copied().unwrap_or(0);
+            if cur > base {
+                out.regressions.push((k.clone(), cur, base));
+            } else if cur < base {
+                out.improvements.push((k.clone(), cur, base));
+            }
+        }
+        for (k, &base) in &committed.counts {
+            if !current.counts.contains_key(k) {
+                out.improvements.push((k.clone(), 0, base));
+            }
+        }
+        out.improvements.sort();
+        out
+    }
+
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+enum Value {
+    Num(u64),
+    Str(#[allow(dead_code)] String),
+    Obj(Vec<(String, Value)>),
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\r' | '\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {c:?} at offset {}, found {:?}",
+                self.pos,
+                self.peek()
+            ))
+        }
+    }
+
+    fn object(&mut self) -> Result<Vec<(String, Value)>, String> {
+        self.expect('{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(':')?;
+            out.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => self.pos += 1,
+                Some('}') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => Ok(Value::Obj(self.object()?)),
+            Some('"') => Ok(Value::Str(self.string()?)),
+            Some(c) if c.is_ascii_digit() => {
+                let mut n: u64 = 0;
+                while let Some(c) = self.peek().filter(char::is_ascii_digit) {
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add(c as u64 - '0' as u64))
+                        .ok_or("integer overflow in baseline")?;
+                    self.pos += 1;
+                }
+                Ok(Value::Num(n))
+            }
+            other => Err(format!("unexpected token {other:?}")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some('"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some('\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("dangling escape")?;
+                    out.push(match esc {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    });
+                    self.pos += 1;
+                }
+                Some(c) => {
+                    out.push(c);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(file: &str, rule: &'static str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            file: file.into(),
+            line: 1,
+            message: String::new(),
+            snippet: String::new(),
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let b = Baseline::from_diagnostics(&[
+            diag("a.rs", "no_panic"),
+            diag("a.rs", "no_panic"),
+            diag("b.rs", "layout_doc"),
+        ]);
+        let parsed = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.total(), 3);
+        assert_eq!(parsed.counts["a.rs:no_panic"], 2);
+    }
+
+    #[test]
+    fn empty_baseline_round_trips() {
+        let b = Baseline::default();
+        assert_eq!(Baseline::parse(&b.render()).unwrap(), b);
+    }
+
+    #[test]
+    fn new_violation_fails_the_ratchet() {
+        let committed = Baseline::from_diagnostics(&[diag("a.rs", "no_panic")]);
+        let current =
+            Baseline::from_diagnostics(&[diag("a.rs", "no_panic"), diag("a.rs", "no_panic")]);
+        let r = Ratchet::compare(&current, &committed);
+        assert!(!r.passed());
+        assert_eq!(r.regressions, vec![("a.rs:no_panic".to_string(), 2, 1)]);
+    }
+
+    #[test]
+    fn fix_shows_as_improvement() {
+        let committed =
+            Baseline::from_diagnostics(&[diag("a.rs", "no_panic"), diag("b.rs", "layout_doc")]);
+        let current = Baseline::from_diagnostics(&[diag("a.rs", "no_panic")]);
+        let r = Ratchet::compare(&current, &committed);
+        assert!(r.passed());
+        assert_eq!(r.improvements, vec![("b.rs:layout_doc".to_string(), 0, 1)]);
+    }
+
+    #[test]
+    fn moving_a_violation_between_files_fails() {
+        // Shrinking one file does not buy headroom in another.
+        let committed = Baseline::from_diagnostics(&[diag("a.rs", "no_panic")]);
+        let current = Baseline::from_diagnostics(&[diag("b.rs", "no_panic")]);
+        assert!(!Ratchet::compare(&current, &committed).passed());
+    }
+
+    #[test]
+    fn corrupt_baseline_is_an_error() {
+        assert!(Baseline::parse("{\"total\": 5, \"counts\": {}}").is_err());
+        assert!(Baseline::parse("not json").is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Lint diagnostics: one finding with location, rule id, message, and
+//! the offending source line, renderable as human text or JSON.
+
+use std::fmt;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule id (`no_panic`, `layout_doc`, `layering`,
+    /// `shim_hygiene`, or the framework's own `bad_allow`).
+    pub rule: &'static str,
+    /// Workspace-relative path (always `/`-separated).
+    pub file: String,
+    /// 1-based line of the finding.
+    pub line: u32,
+    /// What went wrong and how to fix or suppress it.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )?;
+        write!(f, "    | {}", self.snippet)
+    }
+}
+
+/// Minimal JSON string escaping (the only JSON writer this crate
+/// needs; nothing here nests beyond strings and integers).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a diagnostic batch as a JSON array (stable field order).
+pub fn diagnostics_to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[\n");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\", \"snippet\": \"{}\"}}{}\n",
+            json_escape(d.rule),
+            json_escape(&d.file),
+            d.line,
+            json_escape(&d.message),
+            json_escape(&d.snippet),
+            if i + 1 == diags.len() { "" } else { "," }
+        ));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_location_rule_and_snippet() {
+        let d = Diagnostic {
+            rule: "no_panic",
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            message: "`.unwrap()` in library code".into(),
+            snippet: "let v = m.get(k).unwrap();".into(),
+        };
+        let s = d.to_string();
+        assert!(s.contains("crates/x/src/lib.rs:7: [no_panic]"));
+        assert!(s.contains("| let v = m.get(k).unwrap();"));
+    }
+
+    #[test]
+    fn json_is_escaped() {
+        let d = Diagnostic {
+            rule: "layout_doc",
+            file: "a.rs".into(),
+            line: 1,
+            message: "needs \"layout\"".into(),
+            snippet: "fn f(x: &[f32])".into(),
+        };
+        let j = diagnostics_to_json(&[d]);
+        assert!(j.contains("needs \\\"layout\\\""));
+        assert!(j.starts_with('[') && j.ends_with(']'));
+    }
+}

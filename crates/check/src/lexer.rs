@@ -1,0 +1,435 @@
+//! A small hand-rolled Rust lexer: just enough structure for the lint
+//! rules in this crate, with no external dependencies.
+//!
+//! The token stream keeps comments (the rules need doc comments and
+//! `// check:allow(...)` suppressions) and classifies string/char
+//! literals precisely enough that nothing inside them is ever mistaken
+//! for code — the property every rule here depends on. Compound
+//! operators are emitted as single-character [`TokenKind::Punct`]
+//! tokens; the rules match short token sequences, so `::` is simply
+//! two adjacent `:` tokens.
+
+/// Token classification; the payload text lives in [`Token::text`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character.
+    Punct,
+    /// String/char/byte/numeric literal (text includes delimiters).
+    Literal,
+    /// Lifetime such as `'a` (text excludes the quote).
+    Lifetime,
+    /// `///` outer or `/** */` doc comment (text excludes the marker).
+    DocComment,
+    /// `//!` or `/*! */` inner doc comment (text excludes the marker).
+    InnerDocComment,
+    /// Plain `//` or `/* */` comment (text excludes the marker).
+    Comment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    /// True for the comment kinds (doc or plain).
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::DocComment | TokenKind::InnerDocComment | TokenKind::Comment
+        )
+    }
+
+    /// True for a punct token of exactly this character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+
+    /// True for an identifier token with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+/// Lexes `src` into a token stream. Unterminated constructs (string,
+/// block comment) consume to end of input rather than erroring: lints
+/// degrade gracefully on torn files.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    };
+    lx.run();
+    lx.out
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek(0);
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    /// Pushes a token whose text was accumulated as raw bytes; the
+    /// source is valid UTF-8 and tokens split only at ASCII
+    /// boundaries, so this never actually loses anything.
+    fn push_bytes(&mut self, kind: TokenKind, bytes: Vec<u8>, line: u32) {
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(&mut self) {
+        while self.pos < self.src.len() {
+            let c = self.peek(0);
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b'r' if self.peek(1) == b'"' || (self.peek(1) == b'#' && self.raw_ahead(1)) => {
+                    self.raw_string(1)
+                }
+                b'b' if self.peek(1) == b'"' => {
+                    self.bump();
+                    self.string();
+                }
+                b'b' if self.peek(1) == b'r' && (self.peek(2) == b'"' || self.raw_ahead(2)) => {
+                    self.raw_string(2)
+                }
+                b'b' if self.peek(1) == b'\'' => self.byte_char(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 => self.ident(),
+                _ => {
+                    let line = self.line;
+                    let c = self.bump();
+                    self.push(TokenKind::Punct, (c as char).to_string(), line);
+                }
+            }
+        }
+    }
+
+    /// True if `r#...#"` starts at `pos + offset` (raw string with hashes).
+    fn raw_ahead(&self, offset: usize) -> bool {
+        let mut i = offset;
+        while self.peek(i) == b'#' {
+            i += 1;
+        }
+        i > offset && self.peek(i) == b'"'
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let kind = match (self.peek(0), self.peek(1)) {
+            // `////...` is a plain comment by rustdoc's rules.
+            (b'/', b'/') => TokenKind::Comment,
+            (b'/', _) => {
+                self.bump();
+                TokenKind::DocComment
+            }
+            (b'!', _) => {
+                self.bump();
+                TokenKind::InnerDocComment
+            }
+            _ => TokenKind::Comment,
+        };
+        let mut text = Vec::new();
+        while self.pos < self.src.len() && self.peek(0) != b'\n' {
+            text.push(self.bump());
+        }
+        self.push_bytes(kind, text, line);
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let kind = match self.peek(0) {
+            // `/**/` is empty, `/***` is plain; `/**x` is doc.
+            b'*' if self.peek(1) != b'*' && self.peek(1) != b'/' => {
+                self.bump();
+                TokenKind::DocComment
+            }
+            b'!' => {
+                self.bump();
+                TokenKind::InnerDocComment
+            }
+            _ => TokenKind::Comment,
+        };
+        let mut depth = 1usize;
+        let mut text = Vec::new();
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump();
+                self.bump();
+                text.extend_from_slice(b"/*");
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth > 0 {
+                    text.extend_from_slice(b"*/");
+                }
+            } else {
+                text.push(self.bump());
+            }
+        }
+        self.push_bytes(kind, text, line);
+    }
+
+    fn string(&mut self) {
+        let line = self.line;
+        let mut text = Vec::new();
+        text.push(self.bump()); // opening quote
+        while self.pos < self.src.len() {
+            let c = self.bump();
+            text.push(c);
+            if c == b'\\' {
+                if self.pos < self.src.len() {
+                    text.push(self.bump());
+                }
+            } else if c == b'"' {
+                break;
+            }
+        }
+        self.push_bytes(TokenKind::Literal, text, line);
+    }
+
+    /// Raw (byte) string: `prefix_len` covers the `r` / `br` prefix.
+    fn raw_string(&mut self, prefix_len: usize) {
+        let line = self.line;
+        let mut text = Vec::new();
+        for _ in 0..prefix_len {
+            text.push(self.bump());
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            hashes += 1;
+            text.push(self.bump());
+        }
+        text.push(self.bump()); // opening quote
+        while self.pos < self.src.len() {
+            let c = self.bump();
+            text.push(c);
+            if c == b'"' {
+                let mut matched = 0usize;
+                while matched < hashes && self.peek(0) == b'#' {
+                    matched += 1;
+                    text.push(self.bump());
+                }
+                if matched == hashes {
+                    break;
+                }
+            }
+        }
+        self.push_bytes(TokenKind::Literal, text, line);
+    }
+
+    fn byte_char(&mut self) {
+        let line = self.line;
+        let mut text = Vec::new();
+        text.push(self.bump()); // b
+        text.push(self.bump()); // '
+        loop {
+            let c = self.bump();
+            if c == 0 {
+                break;
+            }
+            text.push(c);
+            if c == b'\\' {
+                text.push(self.bump());
+            } else if c == b'\'' {
+                break;
+            }
+        }
+        self.push_bytes(TokenKind::Literal, text, line);
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        // `'a` followed by a non-quote is a lifetime; `'a'` is a char.
+        let next = self.peek(1);
+        let is_lifetime =
+            (next == b'_' || next.is_ascii_alphabetic()) && self.peek(2) != b'\'' && next != b'\\';
+        if is_lifetime {
+            self.bump(); // '
+            let mut text = Vec::new();
+            while {
+                let c = self.peek(0);
+                c == b'_' || c.is_ascii_alphanumeric()
+            } {
+                text.push(self.bump());
+            }
+            self.push_bytes(TokenKind::Lifetime, text, line);
+            return;
+        }
+        let mut text = Vec::new();
+        text.push(self.bump()); // '
+        loop {
+            let c = self.bump();
+            if c == 0 {
+                break;
+            }
+            text.push(c);
+            if c == b'\\' {
+                text.push(self.bump());
+            } else if c == b'\'' {
+                break;
+            }
+        }
+        self.push_bytes(TokenKind::Literal, text, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = Vec::new();
+        text.push(self.bump());
+        loop {
+            let c = self.peek(0);
+            if c == b'_' || c.is_ascii_alphanumeric() {
+                text.push(self.bump());
+            } else if c == b'.' && self.peek(1).is_ascii_digit() {
+                // `0.5` continues the number; `0..5` does not.
+                text.push(self.bump());
+            } else if (c == b'+' || c == b'-') && matches!(text.last(), Some(b'e') | Some(b'E')) {
+                // Exponent sign in `1e-3`.
+                text.push(self.bump());
+            } else {
+                break;
+            }
+        }
+        self.push_bytes(TokenKind::Literal, text, line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut text = Vec::new();
+        loop {
+            let c = self.peek(0);
+            if c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80 {
+                text.push(self.bump());
+            } else {
+                break;
+            }
+        }
+        self.push_bytes(TokenKind::Ident, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let toks = lex("fn main() {\n    x.unwrap();\n}");
+        let unwrap = toks.iter().find(|t| t.is_ident("unwrap")).unwrap();
+        assert_eq!(unwrap.line, 2);
+        assert!(toks.iter().any(|t| t.is_punct('.')));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "call .unwrap() and panic!";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || t != "unwrap"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t.contains("panic!")));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let toks = kinds("let a = r#\"quote \" inside\"#; let b = \"esc \\\" q\"; b");
+        let lits: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Literal)
+            .collect();
+        assert_eq!(lits.len(), 2);
+        assert!(lits[0].1.contains("quote \" inside"));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, t)| *k == TokenKind::Literal && t.starts_with('\''))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn comment_kinds() {
+        let src = "//! inner\n/// outer doc\n// plain\n/* block */\n/** block doc */\nfn f() {}";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::InnerDocComment);
+        assert_eq!(toks[1].kind, TokenKind::DocComment);
+        assert_eq!(toks[1].text.trim(), "outer doc");
+        assert_eq!(toks[2].kind, TokenKind::Comment);
+        assert_eq!(toks[3].kind, TokenKind::Comment);
+        assert_eq!(toks[4].kind, TokenKind::DocComment);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* a /* b */ c */ fn");
+        assert_eq!(toks[0].kind, TokenKind::Comment);
+        assert!(toks[0].text.contains("/* b */"));
+        assert!(toks[1].is_ident("fn"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = lex("for i in 0..10 { let x = 1.5e-3; }");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text == "0"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text == "1.5e-3"));
+        assert_eq!(toks.iter().filter(|t| t.is_punct('.')).count(), 2);
+    }
+}

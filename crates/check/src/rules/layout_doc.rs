@@ -1,0 +1,286 @@
+//! Rule `layout_doc` (L2): a `pub fn` that takes a raw `&[f32]` /
+//! `&mut [f32]` buffer *and* dimension arguments (`usize`) must name
+//! the buffer's tensor layout — a tuple like `(T, M)`, `(ΔE, C, M)`,
+//! or `(W, ΔE, ΔC, M)` — in its doc comment.
+//!
+//! Every buffer crossing gate → encode → All-to-All → FFN → decode is
+//! a flat `&[f32]` whose meaning is pure convention; the layout tuple
+//! in the doc comment is the only machine-checkable trace of that
+//! convention, and this rule keeps it from silently rotting.
+
+use super::{Rule, STRICT_CRATES};
+use crate::diag::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+use crate::source::SourceFile;
+
+pub struct LayoutDoc;
+
+impl Rule for LayoutDoc {
+    fn id(&self) -> &'static str {
+        "layout_doc"
+    }
+
+    fn check_file(&self, file: &SourceFile, sink: &mut Vec<Diagnostic>) {
+        if !STRICT_CRATES.contains(&file.crate_name.as_str()) {
+            return;
+        }
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if !toks[i].is_ident("pub") || toks[i].is_comment() || file.in_test(toks[i].line) {
+                continue;
+            }
+            // `pub` [unsafe|const|async|extern "C"]* `fn` name
+            let mut j = match next_code(toks, i + 1) {
+                Some(j) => j,
+                None => continue,
+            };
+            while toks[j].is_ident("unsafe")
+                || toks[j].is_ident("const")
+                || toks[j].is_ident("async")
+                || toks[j].is_ident("extern")
+                || toks[j].kind == TokenKind::Literal
+            {
+                j = match next_code(toks, j + 1) {
+                    Some(j) => j,
+                    None => break,
+                };
+            }
+            if !toks[j].is_ident("fn") {
+                continue;
+            }
+            let name_i = match next_code(toks, j + 1) {
+                Some(n) => n,
+                None => continue,
+            };
+            let Some((lo, hi)) = param_span(toks, name_i + 1) else {
+                continue;
+            };
+            let params: Vec<&Token> = toks[lo..=hi].iter().filter(|t| !t.is_comment()).collect();
+            if !(has_f32_slice(&params) && params.iter().any(|t| t.is_ident("usize"))) {
+                continue;
+            }
+            let doc = preceding_doc(toks, i);
+            if !has_layout_tuple(&doc) {
+                let line = toks[name_i].line;
+                file.emit(
+                    sink,
+                    Diagnostic {
+                        rule: self.id(),
+                        file: file.rel_path.clone(),
+                        line,
+                        message: format!(
+                            "pub fn `{}` takes a raw f32 buffer with dimension args but its doc \
+                             comment names no tensor layout (e.g. `(E, C, M)`)",
+                            toks[name_i].text
+                        ),
+                        snippet: file.snippet(line),
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// Next non-comment token index at or after `i`.
+fn next_code(toks: &[Token], i: usize) -> Option<usize> {
+    (i..toks.len()).find(|&k| !toks[k].is_comment())
+}
+
+/// Token span `(lo, hi)` of the parameter list starting at or after
+/// `start`: the first `(` at angle-bracket depth 0 through its match.
+fn param_span(toks: &[Token], start: usize) -> Option<(usize, usize)> {
+    let mut angle = 0i32;
+    let mut k = start;
+    let lo = loop {
+        let t = toks.get(k)?;
+        if !t.is_comment() {
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                angle -= 1;
+            } else if t.is_punct('(') && angle <= 0 {
+                break k;
+            } else if t.is_punct('{') || t.is_punct(';') {
+                return None;
+            }
+        }
+        k += 1;
+    };
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(lo) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some((lo, k));
+            }
+        }
+    }
+    None
+}
+
+/// True if the parameter tokens contain `&[f32]` or `&mut [f32]`
+/// (with an optional lifetime after the `&`).
+fn has_f32_slice(params: &[&Token]) -> bool {
+    for i in 0..params.len() {
+        if !params[i].is_punct('&') {
+            continue;
+        }
+        let mut k = i + 1;
+        if params.get(k).is_some_and(|t| t.kind == TokenKind::Lifetime) {
+            k += 1;
+        }
+        if params.get(k).is_some_and(|t| t.is_ident("mut")) {
+            k += 1;
+        }
+        if params.get(k).is_some_and(|t| t.is_punct('['))
+            && params.get(k + 1).is_some_and(|t| t.is_ident("f32"))
+            && params.get(k + 2).is_some_and(|t| t.is_punct(']'))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Concatenated doc-comment text in the item preamble directly above
+/// token `i` (stopping at the previous item's `;`, `{`, or `}`;
+/// attribute tokens in between are skipped).
+fn preceding_doc(toks: &[Token], i: usize) -> String {
+    let mut docs: Vec<&str> = Vec::new();
+    for t in toks[..i].iter().rev() {
+        if t.kind == TokenKind::DocComment {
+            docs.push(&t.text);
+        } else if !t.is_comment()
+            && (t.is_punct(';') || t.is_punct('{') || t.is_punct('}') || t.is_punct(','))
+        {
+            break;
+        }
+    }
+    docs.reverse();
+    docs.join("\n")
+}
+
+/// Character set allowed inside a layout-tuple component.
+fn layout_char(c: char) -> bool {
+    c.is_ascii_alphanumeric()
+        || matches!(
+            c,
+            'Δ' | 'δ' | '·' | '×' | '*' | '=' | '+' | '-' | '/' | '_' | ' '
+        )
+}
+
+/// True if `doc` contains a tensor-layout tuple: a parenthesized,
+/// comma-separated list of 2–6 short dimension names such as
+/// `(T, M)`, `(ΔE, C, M)`, or `(dE, C = W·dC, M)`.
+pub fn has_layout_tuple(doc: &str) -> bool {
+    let chars: Vec<char> = doc.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '(' {
+            if let Some(close) = chars[i + 1..].iter().position(|&c| c == ')' || c == '(') {
+                let inner: String = chars[i + 1..i + 1 + close].iter().collect();
+                if chars[i + 1 + close] == ')' && is_layout_body(&inner) {
+                    return true;
+                }
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+fn is_layout_body(body: &str) -> bool {
+    let parts: Vec<&str> = body.split(',').map(str::trim).collect();
+    if !(2..=6).contains(&parts.len()) {
+        return false;
+    }
+    let mut has_short_dim = false;
+    for p in parts {
+        if p.is_empty() || p.chars().count() > 16 || !p.chars().all(layout_char) {
+            return false;
+        }
+        if !p
+            .chars()
+            .any(|c| c.is_ascii_alphabetic() || c == 'Δ' || c == 'δ')
+        {
+            return false;
+        }
+        if p.chars().count() <= 4 && !p.contains(' ') {
+            has_short_dim = true;
+        }
+    }
+    has_short_dim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::parse("tutel-kernels", "src/lib.rs", src);
+        let mut sink = Vec::new();
+        LayoutDoc.check_file(&file, &mut sink);
+        sink
+    }
+
+    #[test]
+    fn flags_undocumented_buffer_fn() {
+        let src = "/// Does things fast.\npub fn encode(x: &[f32], tokens: usize, m: usize) -> Vec<f32> { vec![] }\n";
+        let diags = run(src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 2);
+        assert!(diags[0].message.contains("encode"));
+    }
+
+    #[test]
+    fn layout_tuple_in_doc_satisfies() {
+        for layout in [
+            "(T, M)",
+            "(ΔE, C, M)",
+            "(W, ΔE, ΔC, M)",
+            "(dE, C = W·dC, M)",
+        ] {
+            let src = format!(
+                "/// Input laid out as `{layout}` row-major.\npub fn f(x: &[f32], t: usize) {{}}\n"
+            );
+            assert!(run(&src).is_empty(), "layout {layout} not accepted");
+        }
+    }
+
+    #[test]
+    fn needs_both_slice_and_dims() {
+        // Slice without dims, dims without slice: out of scope.
+        assert!(run("pub fn a(x: &[f32]) {}\n").is_empty());
+        assert!(run("pub fn b(n: usize, m: usize) {}\n").is_empty());
+        // &mut [f32] with dims: in scope.
+        assert_eq!(run("pub fn c(x: &mut [f32], n: usize) {}\n").len(), 1);
+    }
+
+    #[test]
+    fn private_and_test_fns_are_exempt() {
+        assert!(run("fn f(x: &[f32], n: usize) {}\n").is_empty());
+        let src = "#[cfg(test)]\nmod tests {\n    pub fn f(x: &[f32], n: usize) {}\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn prose_parens_do_not_count_as_layouts() {
+        for doc in [
+            "normalized to the range (0, 1) exactly",
+            "see above (and the paper) for details of the wire format here",
+        ] {
+            let src = format!("/// {doc}\npub fn f(x: &[f32], n: usize) {{}}\n");
+            assert_eq!(run(&src).len(), 1, "doc {doc:?} wrongly accepted");
+        }
+    }
+
+    #[test]
+    fn allow_suppresses() {
+        let src =
+            "// check:allow(layout_doc, scalar scratch buffer)\npub fn f(x: &[f32], n: usize) {}\n";
+        assert!(run(src).is_empty());
+    }
+}

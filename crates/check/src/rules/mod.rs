@@ -1,0 +1,56 @@
+//! The rule framework: each source-level rule inspects one lexed
+//! [`SourceFile`] and emits [`Diagnostic`]s; the layering rule works
+//! on `Cargo.toml` manifests instead and lives in [`layering`].
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+pub mod layering;
+mod layout_doc;
+mod no_panic;
+mod shim_hygiene;
+
+pub use layout_doc::LayoutDoc;
+pub use no_panic::NoPanic;
+pub use shim_hygiene::ShimHygiene;
+
+/// The library crates whose non-test code must hold the strict
+/// contracts (`no_panic`, `layout_doc`): everything on the
+/// gate → encode → All-to-All → FFN → decode data path.
+pub const STRICT_CRATES: &[&str] = &[
+    "tutel-tensor",
+    "tutel-comm",
+    "tutel-gate",
+    "tutel-kernels",
+    "tutel-experts",
+    "tutel",
+];
+
+/// A source-level lint rule.
+pub trait Rule {
+    /// Stable rule id used in diagnostics, baselines, and
+    /// `check:allow` suppressions.
+    fn id(&self) -> &'static str;
+    /// Inspects one file, pushing findings into `sink`.
+    fn check_file(&self, file: &SourceFile, sink: &mut Vec<Diagnostic>);
+}
+
+/// All source-level rules, in diagnostic-output order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NoPanic),
+        Box::new(LayoutDoc),
+        Box::new(ShimHygiene),
+    ]
+}
+
+/// Runs every source rule over `file`, including the framework's own
+/// malformed-suppression diagnostics.
+pub fn check_source(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut sink = file.bad_allows.clone();
+    for rule in all_rules() {
+        rule.check_file(file, &mut sink);
+    }
+    sink.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    sink
+}

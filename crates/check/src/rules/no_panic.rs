@@ -1,0 +1,114 @@
+//! Rule `no_panic` (L1): no `.unwrap()`, `.expect(..)`, `panic!`, or
+//! `unimplemented!` in the non-test code of the strict library crates.
+//!
+//! On a 4,096-GPU run a library panic takes down a whole rank and, via
+//! the collectives, wedges every peer waiting on it; fallible paths
+//! must surface typed errors instead. Justified sites (e.g. an
+//! invariant audit that *should* abort) carry
+//! `// check:allow(no_panic, reason)`.
+
+use super::{Rule, STRICT_CRATES};
+use crate::diag::Diagnostic;
+use crate::lexer::Token;
+use crate::source::SourceFile;
+
+pub struct NoPanic;
+
+/// Macro idents that unconditionally panic.
+const PANIC_MACROS: &[&str] = &["panic", "unimplemented"];
+
+impl Rule for NoPanic {
+    fn id(&self) -> &'static str {
+        "no_panic"
+    }
+
+    fn check_file(&self, file: &SourceFile, sink: &mut Vec<Diagnostic>) {
+        if !STRICT_CRATES.contains(&file.crate_name.as_str()) {
+            return;
+        }
+        let code: Vec<&Token> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+        for (i, tok) in code.iter().enumerate() {
+            if file.in_test(tok.line) {
+                continue;
+            }
+            let offence = if (tok.is_ident("unwrap") || tok.is_ident("expect"))
+                && i > 0
+                && code[i - 1].is_punct('.')
+                && code.get(i + 1).is_some_and(|t| t.is_punct('('))
+            {
+                Some(format!("`.{}()` in library code", tok.text))
+            } else if PANIC_MACROS.iter().any(|m| tok.is_ident(m))
+                && code.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            {
+                Some(format!("`{}!` in library code", tok.text))
+            } else {
+                None
+            };
+            if let Some(what) = offence {
+                file.emit(
+                    sink,
+                    Diagnostic {
+                        rule: self.id(),
+                        file: file.rel_path.clone(),
+                        line: tok.line,
+                        message: format!(
+                            "{what}: return a typed error instead, or justify with \
+                             `// check:allow(no_panic, reason)`"
+                        ),
+                        snippet: file.snippet(tok.line),
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn run(crate_name: &str, src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::parse(crate_name, "src/lib.rs", src);
+        let mut sink = Vec::new();
+        NoPanic.check_file(&file, &mut sink);
+        sink
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros() {
+        let src = "fn f() {\n    a.unwrap();\n    b.expect(\"x\");\n    panic!(\"y\");\n    unimplemented!()\n}\n";
+        let diags = run("tutel-comm", src);
+        assert_eq!(
+            diags.iter().map(|d| d.line).collect::<Vec<_>>(),
+            vec![2, 3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn test_code_and_other_crates_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { a.unwrap(); }\n}\n";
+        assert!(run("tutel-comm", src).is_empty());
+        assert!(run("tutel-bench", "fn f() { a.unwrap(); }\n").is_empty());
+    }
+
+    #[test]
+    fn allow_suppresses_one_site() {
+        let src = "fn f() {\n    // check:allow(no_panic, audit must abort)\n    panic!(\"boom\");\n    q.unwrap();\n}\n";
+        let diags = run("tutel-tensor", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 4);
+    }
+
+    #[test]
+    fn words_in_strings_and_comments_do_not_count() {
+        let src = "fn f() {\n    // this would panic! if .unwrap() were real\n    let s = \"panic! .unwrap()\";\n    let e = my_expect(1);\n}\n";
+        assert!(run("tutel-comm", src).is_empty());
+    }
+
+    #[test]
+    fn should_panic_attribute_is_not_flagged() {
+        let src = "#[should_panic(expected = \"boom\")]\nfn t() {}\n";
+        assert!(run("tutel-comm", src).is_empty());
+    }
+}

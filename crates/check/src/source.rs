@@ -1,0 +1,309 @@
+//! Per-file source model shared by the lint rules: the token stream,
+//! raw lines, `// check:allow(rule, reason)` suppressions, and the
+//! line spans belonging to `#[cfg(test)]` / `#[test]` code.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, Token, TokenKind};
+
+/// One parsed `check:allow` suppression.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Line the comment sits on; it suppresses this line and the next.
+    pub line: u32,
+    pub rule: String,
+    #[allow(dead_code)]
+    pub reason: String,
+}
+
+/// A lexed source file ready for rule evaluation.
+pub struct SourceFile {
+    /// Package name of the owning crate (e.g. `tutel-comm`).
+    pub crate_name: String,
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    /// Raw source lines (index 0 = line 1).
+    pub lines: Vec<String>,
+    /// Full token stream including comments.
+    pub tokens: Vec<Token>,
+    /// `is_test_line[i]` ⇔ line `i + 1` is inside test-only code.
+    pub is_test_line: Vec<bool>,
+    /// Parsed suppressions.
+    pub allows: Vec<Allow>,
+    /// Malformed `check:allow` comments, reported as `bad_allow`.
+    pub bad_allows: Vec<Diagnostic>,
+}
+
+impl SourceFile {
+    pub fn parse(crate_name: &str, rel_path: &str, text: &str) -> SourceFile {
+        let tokens = lex(text);
+        let lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let is_test_line = test_lines(&tokens, lines.len());
+        let mut allows = Vec::new();
+        let mut bad_allows = Vec::new();
+        for t in &tokens {
+            // Suppressions live in plain `//` comments only; doc
+            // comments mentioning the grammar are prose.
+            if t.kind != TokenKind::Comment {
+                continue;
+            }
+            match parse_allow(&t.text) {
+                AllowParse::None => {}
+                AllowParse::Ok { rule, reason } => allows.push(Allow {
+                    line: t.line,
+                    rule,
+                    reason,
+                }),
+                AllowParse::Malformed(why) => bad_allows.push(Diagnostic {
+                    rule: "bad_allow",
+                    file: rel_path.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "malformed suppression ({why}); the grammar is \
+                         `// check:allow(rule_id, reason)` with a non-empty reason"
+                    ),
+                    snippet: lines
+                        .get(t.line as usize - 1)
+                        .map(|l| l.trim().to_string())
+                        .unwrap_or_default(),
+                }),
+            }
+        }
+        SourceFile {
+            crate_name: crate_name.to_string(),
+            rel_path: rel_path.to_string(),
+            lines,
+            tokens,
+            is_test_line,
+            allows,
+            bad_allows,
+        }
+    }
+
+    /// The trimmed source line at 1-based `line`.
+    pub fn snippet(&self, line: u32) -> String {
+        self.lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
+
+    /// True if line `line` is inside `#[cfg(test)]` / `#[test]` code.
+    pub fn in_test(&self, line: u32) -> bool {
+        self.is_test_line
+            .get(line as usize - 1)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// True if an allow for `rule` covers `line` (the comment's own
+    /// line or the line directly below it).
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && (a.line == line || a.line + 1 == line))
+    }
+
+    /// Emits `d` unless suppressed by a matching `check:allow`.
+    pub fn emit(&self, sink: &mut Vec<Diagnostic>, d: Diagnostic) {
+        if !self.allowed(d.rule, d.line) {
+            sink.push(d);
+        }
+    }
+}
+
+enum AllowParse {
+    None,
+    Ok { rule: String, reason: String },
+    Malformed(&'static str),
+}
+
+/// Parses `check:allow(rule, reason)` out of a comment body.
+fn parse_allow(comment: &str) -> AllowParse {
+    let Some(start) = comment.find("check:allow") else {
+        return AllowParse::None;
+    };
+    let rest = &comment[start + "check:allow".len()..];
+    // Without an argument list this is a prose mention, not a
+    // (malformed) suppression attempt.
+    let Some(rest) = rest.strip_prefix('(') else {
+        return AllowParse::None;
+    };
+    let Some(end) = rest.rfind(')') else {
+        return AllowParse::Malformed("missing closing `)`");
+    };
+    let body = &rest[..end];
+    let Some((rule, reason)) = body.split_once(',') else {
+        return AllowParse::Malformed("missing `, reason` after the rule id");
+    };
+    let rule = rule.trim();
+    let reason = reason.trim();
+    if rule.is_empty() || !rule.chars().all(|c| c == '_' || c.is_ascii_alphanumeric()) {
+        return AllowParse::Malformed("rule id must be a bare identifier");
+    }
+    if reason.is_empty() {
+        return AllowParse::Malformed("reason must be non-empty");
+    }
+    AllowParse::Ok {
+        rule: rule.to_string(),
+        reason: reason.to_string(),
+    }
+}
+
+/// Marks every line covered by `#[cfg(test)]` items or `#[test]`
+/// functions. Works on the token stream: attributes are recognized
+/// structurally, then the following item's extent is brace-matched.
+fn test_lines(tokens: &[Token], nlines: usize) -> Vec<bool> {
+    let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut marks = vec![false; nlines];
+    let mut i = 0usize;
+    while i < code.len() {
+        if let Some(after_attr) = match_test_attribute(&code, i) {
+            let start_line = code[i].line;
+            // Skip any further attributes on the same item.
+            let mut j = after_attr;
+            while j < code.len() && code[j].is_punct('#') {
+                j = skip_attribute(&code, j);
+            }
+            let end_line = item_end_line(&code, j).unwrap_or(start_line);
+            let lo = start_line as usize - 1;
+            let hi = (end_line as usize).min(nlines);
+            for m in marks.iter_mut().take(hi).skip(lo) {
+                *m = true;
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    marks
+}
+
+/// If `code[i..]` starts a `#[cfg(test)]` or `#[test]` attribute,
+/// returns the index just past its closing `]`.
+fn match_test_attribute(code: &[&Token], i: usize) -> Option<usize> {
+    if !code[i].is_punct('#') || i + 2 >= code.len() || !code[i + 1].is_punct('[') {
+        return None;
+    }
+    let is_test = code[i + 2].is_ident("test")
+        || (code[i + 2].is_ident("cfg")
+            && code.get(i + 3).is_some_and(|t| t.is_punct('('))
+            && code.get(i + 4).is_some_and(|t| t.is_ident("test")));
+    if !is_test {
+        return None;
+    }
+    Some(skip_attribute(code, i))
+}
+
+/// Skips a `#[...]` attribute starting at `i` (pointing at `#`),
+/// returning the index past the matching `]`.
+fn skip_attribute(code: &[&Token], i: usize) -> usize {
+    let mut j = i + 1;
+    if j >= code.len() || !code[j].is_punct('[') {
+        return i + 1;
+    }
+    let mut depth = 0i32;
+    while j < code.len() {
+        if code[j].is_punct('[') {
+            depth += 1;
+        } else if code[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    code.len()
+}
+
+/// Line where the item starting at `code[i]` ends: at the matching
+/// `}` of its first brace block, or at a `;` that precedes any `{`.
+fn item_end_line(code: &[&Token], i: usize) -> Option<u32> {
+    let mut j = i;
+    while j < code.len() {
+        if code[j].is_punct(';') {
+            return Some(code[j].line);
+        }
+        if code[j].is_punct('{') {
+            let mut depth = 0i32;
+            while j < code.len() {
+                if code[j].is_punct('{') {
+                    depth += 1;
+                } else if code[j].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(code[j].line);
+                    }
+                }
+                j += 1;
+            }
+            return code.last().map(|t| t.line);
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_is_marked() {
+        let src = "pub fn lib() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\n";
+        let f = SourceFile::parse("c", "f.rs", src);
+        assert!(!f.in_test(1));
+        assert!(f.in_test(3));
+        assert!(f.in_test(6));
+        assert!(f.in_test(7));
+    }
+
+    #[test]
+    fn test_fn_outside_mod_is_marked() {
+        let src = "fn a() {}\n#[test]\nfn t() {\n    b();\n}\nfn c() {}\n";
+        let f = SourceFile::parse("c", "f.rs", src);
+        assert!(!f.in_test(1));
+        assert!(f.in_test(2));
+        assert!(f.in_test(4));
+        assert!(!f.in_test(6));
+    }
+
+    #[test]
+    fn allow_covers_its_line_and_the_next() {
+        let src =
+            "// check:allow(no_panic, justified here)\nlet x = y.unwrap();\nlet z = q.unwrap();\n";
+        let f = SourceFile::parse("c", "f.rs", src);
+        assert!(f.allowed("no_panic", 1));
+        assert!(f.allowed("no_panic", 2));
+        assert!(!f.allowed("no_panic", 3));
+        assert!(!f.allowed("layout_doc", 2));
+        assert!(f.bad_allows.is_empty());
+    }
+
+    #[test]
+    fn malformed_allow_is_reported() {
+        let src = "// check:allow(no_panic)\nlet x = y.unwrap();\n";
+        let f = SourceFile::parse("c", "f.rs", src);
+        assert!(f.allows.is_empty());
+        assert_eq!(f.bad_allows.len(), 1);
+        assert_eq!(f.bad_allows[0].rule, "bad_allow");
+        assert_eq!(f.bad_allows[0].line, 1);
+    }
+
+    #[test]
+    fn allow_with_empty_reason_is_malformed() {
+        let f = SourceFile::parse("c", "f.rs", "// check:allow(no_panic,   )\n");
+        assert_eq!(f.bad_allows.len(), 1);
+    }
+
+    #[test]
+    fn prose_mentions_are_not_suppressions() {
+        // Doc comments never carry suppressions, and a bare mention
+        // without an argument list is prose even in a plain comment.
+        let src =
+            "/// Suppress with `check:allow(rule, reason)`.\n// see check:allow docs\nfn f() {}\n";
+        let f = SourceFile::parse("c", "f.rs", src);
+        assert!(f.allows.is_empty());
+        assert!(f.bad_allows.is_empty());
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: a malformed suppression — missing reason — reported as
+//! `bad_allow` (line 6) while the unwrap it fails to cover is still
+//! reported as `no_panic` (line 7).
+
+pub fn head(xs: &[i64]) -> i64 {
+    // check:allow(no_panic)
+    *xs.first().unwrap()
+}

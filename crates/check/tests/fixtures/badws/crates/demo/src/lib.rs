@@ -1,0 +1,5 @@
+//! Fixture crate for the CLI integration test: one `no_panic` hit.
+
+pub fn boom(xs: &[i64]) -> i64 {
+    *xs.first().unwrap()
+}

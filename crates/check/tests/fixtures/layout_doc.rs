@@ -1,0 +1,13 @@
+//! Fixture: triggers exactly one `layout_doc` violation (line 9).
+
+/// Dispatched tokens laid out as `(E, C, M)` row-major.
+pub fn documented(buf: &[f32], experts: usize, cap: usize, model: usize) -> f32 {
+    buf[experts * cap * model - 1]
+}
+
+/// Scales a dispatch buffer in place. No layout named: violation.
+pub fn undocumented(buf: &mut [f32], experts: usize, cap: usize) {
+    for x in buf.iter_mut() {
+        *x *= (experts + cap) as f32;
+    }
+}

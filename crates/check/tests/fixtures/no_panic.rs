@@ -1,0 +1,15 @@
+//! Fixture: triggers exactly one `no_panic` violation (line 5).
+
+pub fn head(xs: &[i64]) -> i64 {
+    // The next line is the violation.
+    *xs.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v = vec![1].pop().unwrap();
+        assert_eq!(v, 1);
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: triggers exactly one `shim_hygiene` violation (line 6).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+// The next line reaches outside the rand shim's documented surface.
+use rand::distributions::Uniform;
+
+pub fn mk() -> SmallRng {
+    SmallRng::seed_from_u64(7)
+}

@@ -1,0 +1,7 @@
+//! Fixture: a would-be `no_panic` violation silenced by a
+//! well-formed `check:allow`, so the file lints clean.
+
+pub fn head(xs: &[i64]) -> i64 {
+    // check:allow(no_panic, fixture demonstrating the suppression grammar)
+    *xs.first().unwrap()
+}

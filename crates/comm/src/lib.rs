@@ -25,16 +25,20 @@
 //! * ring [`primitives`]: all-gather, reduce-scatter, all-reduce.
 
 mod algo;
+mod error;
 pub mod flex;
 mod linear;
 mod local_agg;
 pub mod primitives;
 pub mod runtime;
+#[cfg(feature = "check-sched")]
+pub mod sched;
 mod stride;
 mod timing;
 mod world;
 
 pub use algo::AllToAllAlgo;
+pub use error::CommError;
 pub use linear::linear_all_to_all;
 pub use local_agg::naive_local_agg_all_to_all;
 pub use stride::stride_memcpy;

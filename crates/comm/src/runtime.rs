@@ -15,15 +15,27 @@
 //! * ring [`Communicator::all_gather`] and
 //!   [`Communicator::all_reduce_sum`].
 //!
+//! Every operation returns `Result<_, CommError>` instead of
+//! panicking, so rank programs can surface failures (and the
+//! `check-sched` deterministic scheduler can inject them) without
+//! unwinding across threads.
+//!
+//! The transport is pluggable: production runs use MPMC channels via
+//! [`run_threaded`]; under `feature = "check-sched"` the same
+//! `Communicator` can instead be backed by the adversarial
+//! deterministic scheduler in [`crate::sched`].
+//!
 //! Unit tests assert bit-equality against the sequential reference
 //! implementations.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::{Arc, Barrier};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use tutel_simgpu::Topology;
 
+use crate::error::CommError;
 use crate::stride_memcpy;
 
 /// A tagged point-to-point message.
@@ -33,21 +45,41 @@ struct Message {
     payload: Vec<f32>,
 }
 
-/// One rank's endpoint in a [`ThreadedCluster`] run: point-to-point
+/// The wire under a [`Communicator`]: real channels for production
+/// runs, or the deterministic scheduler when model checking.
+enum Endpoint {
+    /// One MPMC channel per rank plus a shared barrier.
+    Channel {
+        senders: Vec<Sender<Message>>,
+        receiver: Receiver<Message>,
+        barrier: Arc<Barrier>,
+    },
+    /// Scheduler-mediated transport (see [`crate::sched`]).
+    #[cfg(feature = "check-sched")]
+    Sched(Arc<crate::sched::SchedNet>),
+}
+
+/// One rank's endpoint in a [`run_threaded`] run: point-to-point
 /// sends/receives plus the collectives built on them.
 ///
 /// Not `Clone`: exactly one communicator exists per rank per run.
+/// When dropped at the end of a healthy run, it audits that its
+/// mailbox is empty — a parked message at join means some collective
+/// sent under a tag nobody consumed.
 pub struct Communicator {
     rank: usize,
     topology: Topology,
-    senders: Vec<Sender<Message>>,
-    receiver: Receiver<Message>,
-    /// Out-of-order arrivals parked until requested.
+    endpoint: Endpoint,
+    /// Out-of-order arrivals parked until requested, keyed by
+    /// `(src, tag)`. Entries are removed as soon as they drain so the
+    /// map stays empty across healthy collectives.
     mailbox: HashMap<(usize, u64), Vec<Vec<f32>>>,
     /// Monotone per-collective tag so concurrent collectives on the
     /// same communicator pair never mix messages.
     next_tag: u64,
-    barrier: Arc<Barrier>,
+    /// Set once any operation errored; disables the drop-time mailbox
+    /// audit (a failed run legitimately strands messages).
+    poisoned: Cell<bool>,
 }
 
 impl Communicator {
@@ -66,51 +98,143 @@ impl Communicator {
         &self.topology
     }
 
+    /// Builds a scheduler-backed communicator for one rank of a
+    /// [`crate::sched::run_sched`] run.
+    #[cfg(feature = "check-sched")]
+    pub(crate) fn with_sched(
+        rank: usize,
+        topology: Topology,
+        net: Arc<crate::sched::SchedNet>,
+    ) -> Self {
+        Communicator {
+            rank,
+            topology,
+            endpoint: Endpoint::Sched(net),
+            mailbox: HashMap::new(),
+            next_tag: 0,
+            poisoned: Cell::new(false),
+        }
+    }
+
+    /// Messages currently parked in the mailbox: nonzero after a
+    /// collective means a send was never matched by a recv.
+    pub fn parked_messages(&self) -> usize {
+        self.mailbox.values().map(Vec::len).sum()
+    }
+
+    /// Discards parked messages (the `check-sched` harness reports
+    /// them itself and must suppress the drop-time audit).
+    #[cfg(feature = "check-sched")]
+    pub(crate) fn clear_mailbox(&mut self) {
+        self.mailbox.clear();
+    }
+
+    fn fail<T>(&self, err: CommError) -> Result<T, CommError> {
+        self.poisoned.set(true);
+        Err(err)
+    }
+
     /// Sends `payload` to `peer` under `tag`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `peer` is out of range or the run has been torn down.
-    pub fn send(&self, peer: usize, tag: u64, payload: Vec<f32>) {
-        self.senders[peer]
-            .send(Message {
-                src: self.rank,
-                tag,
-                payload,
-            })
-            .expect("peer thread is alive for the duration of the run");
+    /// [`CommError::PeerOutOfRange`] for a bad `peer`;
+    /// [`CommError::Disconnected`] if the run has been torn down.
+    pub fn send(&self, peer: usize, tag: u64, payload: Vec<f32>) -> Result<(), CommError> {
+        if peer >= self.world_size() {
+            return self.fail(CommError::PeerOutOfRange {
+                peer,
+                world: self.world_size(),
+            });
+        }
+        match &self.endpoint {
+            Endpoint::Channel { senders, .. } => {
+                let msg = Message {
+                    src: self.rank,
+                    tag,
+                    payload,
+                };
+                match senders[peer].send(msg) {
+                    Ok(()) => Ok(()),
+                    Err(_) => self.fail(CommError::Disconnected { rank: self.rank }),
+                }
+            }
+            #[cfg(feature = "check-sched")]
+            Endpoint::Sched(net) => match net.send(self.rank, peer, tag, payload) {
+                Ok(()) => Ok(()),
+                Err(e) => self.fail(e),
+            },
+        }
+    }
+
+    /// Blocks for the next raw arrival, whatever its source or tag.
+    fn recv_any(&mut self) -> Result<(usize, u64, Vec<f32>), CommError> {
+        match &mut self.endpoint {
+            Endpoint::Channel { receiver, .. } => match receiver.recv() {
+                Ok(m) => Ok((m.src, m.tag, m.payload)),
+                Err(_) => {
+                    self.poisoned.set(true);
+                    Err(CommError::Disconnected { rank: self.rank })
+                }
+            },
+            #[cfg(feature = "check-sched")]
+            Endpoint::Sched(net) => match net.recv(self.rank) {
+                Ok(m) => Ok(m),
+                Err(e) => {
+                    self.poisoned.set(true);
+                    Err(e)
+                }
+            },
+        }
     }
 
     /// Receives the next message from `src` under `tag`, parking any
     /// other arrivals.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the channel disconnects (a peer panicked).
-    pub fn recv(&mut self, src: usize, tag: u64) -> Vec<f32> {
+    /// [`CommError::Disconnected`] if a peer exited mid-collective;
+    /// [`CommError::Deadlock`] under the deterministic scheduler.
+    pub fn recv(&mut self, src: usize, tag: u64) -> Result<Vec<f32>, CommError> {
         if let Some(queue) = self.mailbox.get_mut(&(src, tag)) {
-            if !queue.is_empty() {
-                return queue.remove(0);
+            // Queues are created non-empty and removed when drained,
+            // so a present entry always yields a message.
+            let payload = queue.remove(0);
+            if queue.is_empty() {
+                self.mailbox.remove(&(src, tag));
             }
+            return Ok(payload);
         }
         loop {
-            let msg = self
-                .receiver
-                .recv()
-                .expect("peer thread panicked mid-collective");
-            if msg.src == src && msg.tag == tag {
-                return msg.payload;
+            let (msg_src, msg_tag, payload) = self.recv_any()?;
+            if msg_src == src && msg_tag == tag {
+                return Ok(payload);
             }
             self.mailbox
-                .entry((msg.src, msg.tag))
+                .entry((msg_src, msg_tag))
                 .or_default()
-                .push(msg.payload);
+                .push(payload);
         }
     }
 
     /// Blocks until every rank reaches the same barrier call.
-    pub fn barrier(&self) {
-        self.barrier.wait();
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::Deadlock`] under the deterministic scheduler when
+    /// the barrier can never trip; infallible on the channel endpoint.
+    pub fn barrier(&self) -> Result<(), CommError> {
+        match &self.endpoint {
+            Endpoint::Channel { barrier, .. } => {
+                barrier.wait();
+                Ok(())
+            }
+            #[cfg(feature = "check-sched")]
+            Endpoint::Sched(net) => match net.barrier(self.rank) {
+                Ok(()) => Ok(()),
+                Err(e) => self.fail(e),
+            },
+        }
     }
 
     fn fresh_tag(&mut self) -> u64 {
@@ -118,25 +242,29 @@ impl Communicator {
         self.next_tag
     }
 
+    fn require_divisible(&self, len: usize, chunks: usize) -> Result<usize, CommError> {
+        if chunks == 0 || !len.is_multiple_of(chunks) {
+            self.poisoned.set(true);
+            return Err(CommError::Indivisible { len, chunks });
+        }
+        Ok(len / chunks)
+    }
+
     /// Linear All-to-All (Algorithm 1): splits `input` into `W` equal
-    /// chunks, sends chunk `d` to rank `d`, returns the received chunks
-    /// in source order.
+    /// chunks laid out as `(W, chunk)`, sends chunk `d` to rank `d`,
+    /// returns the received chunks in source order.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `input.len()` is not divisible by the world size.
-    pub fn all_to_all(&mut self, input: &[f32]) -> Vec<f32> {
+    /// [`CommError::Indivisible`] if `input.len()` is not divisible by
+    /// the world size, plus any transport error.
+    pub fn all_to_all(&mut self, input: &[f32]) -> Result<Vec<f32>, CommError> {
         let n = self.world_size();
-        assert!(
-            input.len().is_multiple_of(n),
-            "buffer of {} not divisible into {n} chunks",
-            input.len()
-        );
-        let chunk = input.len() / n;
+        let chunk = self.require_divisible(input.len(), n)?;
         let tag = self.fresh_tag();
         for peer in 0..n {
             if peer != self.rank {
-                self.send(peer, tag, input[peer * chunk..(peer + 1) * chunk].to_vec());
+                self.send(peer, tag, input[peer * chunk..(peer + 1) * chunk].to_vec())?;
             }
         }
         let mut out = vec![0.0f32; input.len()];
@@ -144,30 +272,26 @@ impl Communicator {
             .copy_from_slice(&input[self.rank * chunk..(self.rank + 1) * chunk]);
         for src in 0..n {
             if src != self.rank {
-                let payload = self.recv(src, tag);
+                let payload = self.recv(src, tag)?;
                 out[src * chunk..(src + 1) * chunk].copy_from_slice(&payload);
             }
         }
-        out
+        Ok(out)
     }
 
     /// 2DH All-to-All (Algorithm 3): each rank runs the four phases of
-    /// Figure 15 locally, exchanging only intra-node blocks in phase 2
-    /// and inter-node blocks in phase 4.
+    /// Figure 15 locally over its `(W, chunk)` buffer, exchanging only
+    /// intra-node blocks in phase 2 and inter-node blocks in phase 4.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `input.len()` is not divisible by the world size.
-    pub fn all_to_all_2dh(&mut self, input: &[f32]) -> Vec<f32> {
+    /// [`CommError::Indivisible`] if `input.len()` is not divisible by
+    /// the world size, plus any transport error.
+    pub fn all_to_all_2dh(&mut self, input: &[f32]) -> Result<Vec<f32>, CommError> {
         let n = self.world_size();
         let m = self.topology.gpus_per_node();
         let nnodes = self.topology.nnodes();
-        assert!(
-            input.len().is_multiple_of(n),
-            "buffer of {} not divisible into {n} chunks",
-            input.len()
-        );
-        let chunk = input.len() / n;
+        let chunk = self.require_divisible(input.len(), n)?;
         let node = self.topology.node_of(self.rank);
         let local = self.topology.local_rank(self.rank);
 
@@ -184,7 +308,7 @@ impl Communicator {
                     dst,
                     tag,
                     aligned[dst_local * block..(dst_local + 1) * block].to_vec(),
-                );
+                )?;
             }
         }
         let mut phase2 = vec![0.0f32; input.len()];
@@ -193,7 +317,7 @@ impl Communicator {
         for src_local in 0..m {
             if src_local != local {
                 let src = node * m + src_local;
-                let payload = self.recv(src, tag);
+                let payload = self.recv(src, tag)?;
                 phase2[src_local * block..(src_local + 1) * block].copy_from_slice(&payload);
             }
         }
@@ -211,7 +335,7 @@ impl Communicator {
                     dst,
                     tag,
                     phase3[dst_node * nblock..(dst_node + 1) * nblock].to_vec(),
-                );
+                )?;
             }
         }
         let mut out = vec![0.0f32; input.len()];
@@ -220,16 +344,21 @@ impl Communicator {
         for src_node in 0..nnodes {
             if src_node != node {
                 let src = src_node * m + local;
-                let payload = self.recv(src, tag);
+                let payload = self.recv(src, tag)?;
                 out[src_node * nblock..(src_node + 1) * nblock].copy_from_slice(&payload);
             }
         }
-        out
+        Ok(out)
     }
 
     /// Ring all-gather: returns the concatenation of every rank's
-    /// `input` in rank order, moving one shard per ring step.
-    pub fn all_gather(&mut self, input: &[f32]) -> Vec<f32> {
+    /// `input` in rank order (layout `(W, shard)`), moving one shard
+    /// per ring step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any transport error.
+    pub fn all_gather(&mut self, input: &[f32]) -> Result<Vec<f32>, CommError> {
         let n = self.world_size();
         let shard = input.len();
         let tag = self.fresh_tag();
@@ -240,31 +369,28 @@ impl Communicator {
         // At step s, forward the shard that originated at rank - s.
         let mut carry = input.to_vec();
         for s in 0..n.saturating_sub(1) {
-            self.send(next, tag + s as u64 * 0x10000, carry);
-            carry = self.recv(prev, tag + s as u64 * 0x10000);
+            self.send(next, tag + s as u64 * 0x10000, carry)?;
+            carry = self.recv(prev, tag + s as u64 * 0x10000)?;
             let origin = (self.rank + n - 1 - s) % n;
             out[origin * shard..(origin + 1) * shard].copy_from_slice(&carry);
         }
-        out
+        Ok(out)
     }
 
     /// Ring all-reduce (sum): reduce-scatter pass followed by an
-    /// all-gather pass, each moving `input.len()/n` per step.
+    /// all-gather pass over the `(W, shard)` split, each moving
+    /// `input.len()/n` per step.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `input.len()` is not divisible by the world size.
-    pub fn all_reduce_sum(&mut self, input: &[f32]) -> Vec<f32> {
+    /// [`CommError::Indivisible`] if `input.len()` is not divisible by
+    /// the world size, plus any transport error.
+    pub fn all_reduce_sum(&mut self, input: &[f32]) -> Result<Vec<f32>, CommError> {
         let n = self.world_size();
         if n == 1 {
-            return input.to_vec();
+            return Ok(input.to_vec());
         }
-        assert!(
-            input.len().is_multiple_of(n),
-            "buffer of {} not divisible into {n} shards",
-            input.len()
-        );
-        let shard = input.len() / n;
+        let shard = self.require_divisible(input.len(), n)?;
         let next = (self.rank + 1) % n;
         let prev = (self.rank + n - 1) % n;
         let mut buf = input.to_vec();
@@ -278,8 +404,8 @@ impl Communicator {
                 next,
                 tag + s as u64 * 0x10000,
                 buf[send_idx * shard..(send_idx + 1) * shard].to_vec(),
-            );
-            let payload = self.recv(prev, tag + s as u64 * 0x10000);
+            )?;
+            let payload = self.recv(prev, tag + s as u64 * 0x10000)?;
             for (o, v) in buf[recv_idx * shard..(recv_idx + 1) * shard]
                 .iter_mut()
                 .zip(payload)
@@ -296,11 +422,32 @@ impl Communicator {
                 next,
                 tag + s as u64 * 0x10000,
                 buf[send_idx * shard..(send_idx + 1) * shard].to_vec(),
-            );
-            let payload = self.recv(prev, tag + s as u64 * 0x10000);
+            )?;
+            let payload = self.recv(prev, tag + s as u64 * 0x10000)?;
             buf[recv_idx * shard..(recv_idx + 1) * shard].copy_from_slice(&payload);
         }
-        buf
+        Ok(buf)
+    }
+}
+
+impl Drop for Communicator {
+    fn drop(&mut self) {
+        // Mailbox audit at join: a healthy run consumes every message
+        // it was sent. Skipped when the run already failed (poisoned
+        // or panicking) — stranded messages are expected then.
+        if !std::thread::panicking() && !self.poisoned.get() && !self.mailbox.is_empty() {
+            let detail: Vec<String> = self
+                .mailbox
+                .iter()
+                .map(|((src, tag), q)| format!("{} from rank {src} under tag {tag}", q.len()))
+                .collect();
+            // check:allow(no_panic, join-time audit must abort the rank on leaked messages)
+            panic!(
+                "rank {}: mailbox not empty at join: {}",
+                self.rank,
+                detail.join(", ")
+            );
+        }
     }
 }
 
@@ -315,7 +462,7 @@ impl Communicator {
 ///
 /// let results = run_threaded(Topology::new(2, 2), |mut comm| {
 ///     let rank = comm.rank() as f32;
-///     comm.all_to_all(&[rank; 4])
+///     comm.all_to_all(&[rank; 4]).unwrap()
 /// });
 /// // Rank 0 received one element from each rank.
 /// assert_eq!(results[0], vec![0.0, 1.0, 2.0, 3.0]);
@@ -323,7 +470,8 @@ impl Communicator {
 ///
 /// # Panics
 ///
-/// Panics if any rank's program panics.
+/// Panics if any rank's program panics (the panic payload is
+/// re-raised on the caller's thread).
 pub fn run_threaded<F, R>(topology: Topology, program: F) -> Vec<R>
 where
     F: Fn(Communicator) -> R + Send + Sync,
@@ -348,18 +496,24 @@ where
                 let comm = Communicator {
                     rank,
                     topology,
-                    senders: senders.clone(),
-                    receiver,
+                    endpoint: Endpoint::Channel {
+                        senders: senders.clone(),
+                        receiver,
+                        barrier,
+                    },
                     mailbox: HashMap::new(),
                     next_tag: 0,
-                    barrier,
+                    poisoned: Cell::new(false),
                 };
                 program(comm)
             }));
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("rank program panicked"))
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     })
 }
@@ -381,7 +535,9 @@ mod tests {
         let bufs = labeled(6, 4);
         let expect = linear_all_to_all(&bufs);
         let bufs_ref = &bufs;
-        let got = run_threaded(topo, |mut comm| comm.all_to_all(&bufs_ref[comm.rank()]));
+        let got = run_threaded(topo, |mut comm| {
+            comm.all_to_all(&bufs_ref[comm.rank()]).unwrap()
+        });
         assert_eq!(got, expect);
     }
 
@@ -391,7 +547,9 @@ mod tests {
         let bufs = labeled(8, 3);
         let expect = two_dh_all_to_all(&bufs, &topo);
         let bufs_ref = &bufs;
-        let got = run_threaded(topo, |mut comm| comm.all_to_all_2dh(&bufs_ref[comm.rank()]));
+        let got = run_threaded(topo, |mut comm| {
+            comm.all_to_all_2dh(&bufs_ref[comm.rank()]).unwrap()
+        });
         assert_eq!(got, expect);
     }
 
@@ -401,7 +559,9 @@ mod tests {
         let bufs = labeled(4, 2);
         let expect = linear_all_to_all(&bufs);
         let bufs_ref = &bufs;
-        let got = run_threaded(topo, |mut comm| comm.all_to_all_2dh(&bufs_ref[comm.rank()]));
+        let got = run_threaded(topo, |mut comm| {
+            comm.all_to_all_2dh(&bufs_ref[comm.rank()]).unwrap()
+        });
         assert_eq!(got, expect);
     }
 
@@ -410,7 +570,7 @@ mod tests {
         let topo = Topology::new(2, 2);
         let got = run_threaded(topo, |mut comm| {
             let mine = vec![comm.rank() as f32 * 10.0, comm.rank() as f32 * 10.0 + 1.0];
-            comm.all_gather(&mine)
+            comm.all_gather(&mine).unwrap()
         });
         let expect: Vec<f32> = vec![0.0, 1.0, 10.0, 11.0, 20.0, 21.0, 30.0, 31.0];
         for r in got {
@@ -423,7 +583,7 @@ mod tests {
         let topo = Topology::new(1, 4);
         let got = run_threaded(topo, |mut comm| {
             let mine: Vec<f32> = (0..8).map(|i| (comm.rank() * 8 + i) as f32).collect();
-            comm.all_reduce_sum(&mine)
+            comm.all_reduce_sum(&mine).unwrap()
         });
         // Sum over ranks of (r*8 + i) = 4i + 8·(0+1+2+3) = 4i + 48.
         let expect: Vec<f32> = (0..8).map(|i| 4.0 * i as f32 + 48.0).collect();
@@ -445,8 +605,8 @@ mod tests {
         let (ea, eb) = (linear_all_to_all(&a), linear_all_to_all(&b));
         let (ra, rb) = (&a, &b);
         let got = run_threaded(topo, |mut comm| {
-            let first = comm.all_to_all(&ra[comm.rank()]);
-            let second = comm.all_to_all(&rb[comm.rank()]);
+            let first = comm.all_to_all(&ra[comm.rank()]).unwrap();
+            let second = comm.all_to_all(&rb[comm.rank()]).unwrap();
             (first, second)
         });
         for (rank, (first, second)) in got.into_iter().enumerate() {
@@ -463,7 +623,7 @@ mod tests {
         let counter_ref = &counter;
         run_threaded(topo, |comm| {
             counter_ref.fetch_add(1, Ordering::SeqCst);
-            comm.barrier();
+            comm.barrier().unwrap();
             // After the barrier every rank must observe all increments.
             assert_eq!(counter_ref.load(Ordering::SeqCst), 4);
         });
@@ -473,11 +633,70 @@ mod tests {
     fn single_rank_degenerate_cases() {
         let topo = Topology::single_node(1);
         let got = run_threaded(topo, |mut comm| {
-            let a = comm.all_to_all(&[1.0, 2.0]);
-            let b = comm.all_reduce_sum(&[3.0]);
-            let c = comm.all_gather(&[4.0]);
+            let a = comm.all_to_all(&[1.0, 2.0]).unwrap();
+            let b = comm.all_reduce_sum(&[3.0]).unwrap();
+            let c = comm.all_gather(&[4.0]).unwrap();
             (a, b, c)
         });
         assert_eq!(got[0], (vec![1.0, 2.0], vec![3.0], vec![4.0]));
+    }
+
+    #[test]
+    fn indivisible_buffer_is_a_typed_error() {
+        let topo = Topology::new(1, 2);
+        let got = run_threaded(topo, |mut comm| comm.all_to_all(&[1.0, 2.0, 3.0]));
+        for r in got {
+            assert_eq!(r, Err(CommError::Indivisible { len: 3, chunks: 2 }));
+        }
+    }
+
+    #[test]
+    fn send_to_bad_peer_is_a_typed_error() {
+        let topo = Topology::single_node(1);
+        let got = run_threaded(topo, |comm| comm.send(5, 0, vec![1.0]));
+        assert_eq!(got[0], Err(CommError::PeerOutOfRange { peer: 5, world: 1 }));
+    }
+
+    #[test]
+    fn mailbox_drains_to_empty_after_out_of_order_arrivals() {
+        // Rank 1 sends two tags before rank 0 asks for either; rank
+        // 0's selective recv parks one, then drains it — the mailbox
+        // entry must be removed, not left as an empty Vec.
+        let topo = Topology::new(1, 2);
+        let got = run_threaded(topo, |mut comm| {
+            if comm.rank() == 1 {
+                comm.send(0, 7, vec![7.0]).unwrap();
+                comm.send(0, 8, vec![8.0]).unwrap();
+                0
+            } else {
+                let b = comm.recv(1, 8).unwrap();
+                let a = comm.recv(1, 7).unwrap();
+                assert_eq!((a, b), (vec![7.0], vec![8.0]));
+                comm.parked_messages()
+            }
+        });
+        assert_eq!(got[0], 0, "drained mailbox entry was not removed");
+    }
+
+    #[test]
+    fn leaked_mailbox_message_panics_at_join() {
+        let topo = Topology::new(1, 2);
+        let result = std::panic::catch_unwind(|| {
+            run_threaded(topo, |mut comm| {
+                if comm.rank() == 1 {
+                    // Tag 42 is never consumed; tag 1 unblocks rank 0.
+                    comm.send(0, 42, vec![1.0]).unwrap();
+                    comm.send(0, 1, vec![2.0]).unwrap();
+                } else {
+                    comm.recv(1, 1).unwrap();
+                }
+            })
+        });
+        let payload = result.expect_err("leak must panic at join");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("mailbox not empty"), "got: {msg}");
     }
 }

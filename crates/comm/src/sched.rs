@@ -1,0 +1,515 @@
+//! Deterministic adversarial scheduler for the threaded runtime
+//! (compiled under `feature = "check-sched"` only).
+//!
+//! `tutel-check` uses this module to model-check the collectives in
+//! [`crate::runtime`]: instead of crossbeam channels, every rank talks
+//! through a shared [`SchedNet`] that *buffers* all sends and only
+//! releases a message when the whole world has quiesced (every live
+//! rank blocked in `recv` or `barrier`). At each quiescent point the
+//! scheduler picks *which* pending message to deliver next from a
+//! seeded PRNG, so one `u64` seed names one complete interleaving —
+//! including arbitrarily delayed and reordered arrivals across tags —
+//! and replaying the seed replays the schedule bit-for-bit.
+//!
+//! Detected failure classes:
+//!
+//! * **deadlock** — the world quiesced with no deliverable message
+//!   (or with a barrier that can never complete); every blocked rank
+//!   gets [`CommError::Deadlock`] carrying the seed. A watchdog
+//!   backstops the quiescence accounting itself.
+//! * **tag-collision mixing** — the harness compares results against
+//!   the sequential references; reordered same-tag messages surface
+//!   as value corruption under some seed.
+//! * **mailbox leaks** — messages still parked in a rank's mailbox
+//!   (or undelivered in the net) when its program returns.
+//!
+//! Determinism argument: deliveries happen only at quiescent points,
+//! candidates are sorted by a canonical `(src, dst, tag, seq)` key
+//! (never by racy insertion order), and the PRNG is consumed exactly
+//! once per delivery — so the choice sequence, and therefore the whole
+//! execution, is a function of `(topology, program, seed)` alone.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use tutel_simgpu::Topology;
+
+use crate::error::CommError;
+use crate::runtime::Communicator;
+
+/// How long a blocked rank waits before re-auditing the quiescence
+/// accounting. Only reached if the bookkeeping itself is buggy; the
+/// normal deadlock path is detected synchronously.
+const WATCHDOG: Duration = Duration::from_secs(5);
+
+/// SplitMix64 step: the scheduler's whole entropy source.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a fold of one delivery choice into the schedule signature.
+fn sig_mix(sig: u64, src: usize, dst: usize, tag: u64, seq: u64) -> u64 {
+    let mut h = sig;
+    for v in [src as u64, dst as u64, tag, seq] {
+        h = (h ^ v).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A buffered (not yet delivered) point-to-point message.
+struct Pending {
+    src: usize,
+    dst: usize,
+    tag: u64,
+    /// Per-(src, dst) send sequence number: the canonical tiebreaker.
+    seq: u64,
+    payload: Vec<f32>,
+}
+
+/// What a rank is doing right now, as far as the scheduler knows.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Wait {
+    /// Executing its program between runtime calls.
+    Running,
+    /// Blocked inside `recv` with an empty inbox.
+    Recv,
+    /// Blocked inside `barrier`.
+    Barrier,
+    /// Program returned.
+    Done,
+}
+
+struct SchedState {
+    rng: u64,
+    pending: Vec<Pending>,
+    /// Delivered messages awaiting consumption: `(src, tag, payload)`.
+    inboxes: Vec<VecDeque<(usize, u64, Vec<f32>)>>,
+    waiting: Vec<Wait>,
+    /// `send_seq[src][dst]`: next per-pair sequence number.
+    send_seq: Vec<Vec<u64>>,
+    signature: u64,
+    deliveries: u64,
+    deadlock: Option<String>,
+}
+
+impl SchedState {
+    /// True when every live rank is blocked and no delivered message
+    /// is waiting to wake a receiver: the scheduler's turn to act.
+    fn quiescent(&self) -> bool {
+        self.waiting.iter().enumerate().all(|(r, w)| match w {
+            Wait::Running => false,
+            Wait::Recv => self.inboxes[r].is_empty(),
+            Wait::Barrier | Wait::Done => true,
+        })
+    }
+
+    fn wait_summary(&self) -> String {
+        let mut parts = Vec::new();
+        for (r, w) in self.waiting.iter().enumerate() {
+            let s = match w {
+                Wait::Running => continue,
+                Wait::Recv => format!("rank {r} blocked in recv"),
+                Wait::Barrier => format!("rank {r} blocked in barrier"),
+                Wait::Done => format!("rank {r} done"),
+            };
+            parts.push(s);
+        }
+        parts.push(format!("{} message(s) pending", self.pending.len()));
+        parts.join("; ")
+    }
+}
+
+/// The shared scheduler: one per checked run, shared by every rank's
+/// [`Communicator`].
+pub struct SchedNet {
+    seed: u64,
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+impl SchedNet {
+    fn new(world: usize, seed: u64) -> Self {
+        // Mix the seed once so seed 0 still produces a lively stream.
+        let mut rng = seed ^ 0x5DEECE66D;
+        splitmix64(&mut rng);
+        SchedNet {
+            seed,
+            state: Mutex::new(SchedState {
+                rng,
+                pending: Vec::new(),
+                inboxes: vec![VecDeque::new(); world],
+                waiting: vec![Wait::Running; world],
+                send_seq: vec![vec![0; world]; world],
+                signature: 0xcbf2_9ce4_8422_2325,
+                deliveries: 0,
+                deadlock: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SchedState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Runs the scheduler while the world is quiescent: releases one
+    /// barrier or delivers seeded-chosen pending messages until some
+    /// receiver becomes runnable (or declares deadlock).
+    fn try_schedule(&self, st: &mut SchedState) {
+        while st.deadlock.is_none() && st.quiescent() {
+            let live: Vec<usize> = (0..st.waiting.len())
+                .filter(|&r| st.waiting[r] != Wait::Done)
+                .collect();
+            if live.is_empty() {
+                return;
+            }
+            if live.iter().all(|&r| st.waiting[r] == Wait::Barrier) {
+                if live.len() == st.waiting.len() {
+                    // Full house: the barrier trips.
+                    for &r in &live {
+                        st.waiting[r] = Wait::Running;
+                    }
+                    self.cv.notify_all();
+                } else {
+                    st.deadlock = Some(format!(
+                        "barrier can never complete: {} of {} ranks already done ({})",
+                        st.waiting.len() - live.len(),
+                        st.waiting.len(),
+                        st.wait_summary()
+                    ));
+                    self.cv.notify_all();
+                }
+                return;
+            }
+            // At least one rank is blocked in recv. Deliverable = any
+            // pending message whose destination has not finished,
+            // ordered by the canonical key so the choice is a pure
+            // function of (state, rng) — never of insertion order.
+            let mut candidates: Vec<usize> = (0..st.pending.len())
+                .filter(|&i| st.waiting[st.pending[i].dst] != Wait::Done)
+                .collect();
+            if candidates.is_empty() {
+                st.deadlock = Some(st.wait_summary());
+                self.cv.notify_all();
+                return;
+            }
+            candidates.sort_by_key(|&i| {
+                let p = &st.pending[i];
+                (p.src, p.dst, p.tag, p.seq)
+            });
+            let pick = candidates[(splitmix64(&mut st.rng) as usize) % candidates.len()];
+            let msg = st.pending.remove(pick);
+            st.signature = sig_mix(st.signature, msg.src, msg.dst, msg.tag, msg.seq);
+            st.deliveries += 1;
+            let woke_receiver = st.waiting[msg.dst] == Wait::Recv;
+            st.inboxes[msg.dst].push_back((msg.src, msg.tag, msg.payload));
+            if woke_receiver {
+                // quiescent() is now false until the receiver drains
+                // its inbox, so the loop exits; wake it.
+                self.cv.notify_all();
+                return;
+            }
+            // Delivered into a barrier-waiter's inbox: the world is
+            // still quiescent, keep scheduling.
+        }
+    }
+
+    fn deadlock_err(&self, st: &SchedState) -> CommError {
+        CommError::Deadlock {
+            seed: self.seed,
+            detail: st
+                .deadlock
+                .clone()
+                .unwrap_or_else(|| "scheduler poisoned".to_string()),
+        }
+    }
+
+    /// Buffers a send; delivery happens at a later quiescent point.
+    pub(crate) fn send(
+        &self,
+        src: usize,
+        dst: usize,
+        tag: u64,
+        payload: Vec<f32>,
+    ) -> Result<(), CommError> {
+        let mut st = self.lock();
+        if st.deadlock.is_some() {
+            return Err(self.deadlock_err(&st));
+        }
+        let seq = st.send_seq[src][dst];
+        st.send_seq[src][dst] += 1;
+        st.pending.push(Pending {
+            src,
+            dst,
+            tag,
+            seq,
+            payload,
+        });
+        Ok(())
+    }
+
+    /// Blocks until the scheduler delivers a message to `rank`.
+    pub(crate) fn recv(&self, rank: usize) -> Result<(usize, u64, Vec<f32>), CommError> {
+        let mut st = self.lock();
+        loop {
+            if let Some(msg) = st.inboxes[rank].pop_front() {
+                st.waiting[rank] = Wait::Running;
+                return Ok(msg);
+            }
+            if st.deadlock.is_some() {
+                return Err(self.deadlock_err(&st));
+            }
+            st.waiting[rank] = Wait::Recv;
+            self.try_schedule(&mut st);
+            if st.deadlock.is_some() {
+                return Err(self.deadlock_err(&st));
+            }
+            if !st.inboxes[rank].is_empty() {
+                continue;
+            }
+            let (guard, timeout) = match self.cv.wait_timeout(st, WATCHDOG) {
+                Ok(pair) => pair,
+                Err(poisoned) => {
+                    let (g, t) = poisoned.into_inner();
+                    (g, t)
+                }
+            };
+            st = guard;
+            if timeout.timed_out() && st.inboxes[rank].is_empty() && st.deadlock.is_none() {
+                st.deadlock = Some(format!(
+                    "watchdog fired after {WATCHDOG:?} with no progress ({})",
+                    st.wait_summary()
+                ));
+                self.cv.notify_all();
+                return Err(self.deadlock_err(&st));
+            }
+        }
+    }
+
+    /// Scheduler-mediated barrier: trips only when every rank of the
+    /// world is parked in it (matching `std::sync::Barrier::new(n)`).
+    pub(crate) fn barrier(&self, rank: usize) -> Result<(), CommError> {
+        let mut st = self.lock();
+        if st.deadlock.is_some() {
+            return Err(self.deadlock_err(&st));
+        }
+        st.waiting[rank] = Wait::Barrier;
+        self.try_schedule(&mut st);
+        loop {
+            if st.waiting[rank] != Wait::Barrier {
+                return Ok(());
+            }
+            if st.deadlock.is_some() {
+                return Err(self.deadlock_err(&st));
+            }
+            let (guard, timeout) = match self.cv.wait_timeout(st, WATCHDOG) {
+                Ok(pair) => pair,
+                Err(poisoned) => {
+                    let (g, t) = poisoned.into_inner();
+                    (g, t)
+                }
+            };
+            st = guard;
+            if timeout.timed_out() && st.waiting[rank] == Wait::Barrier && st.deadlock.is_none() {
+                st.deadlock = Some(format!(
+                    "watchdog fired in barrier after {WATCHDOG:?} ({})",
+                    st.wait_summary()
+                ));
+                self.cv.notify_all();
+                return Err(self.deadlock_err(&st));
+            }
+        }
+    }
+
+    /// Marks `rank`'s program as returned and re-runs the scheduler:
+    /// the remaining ranks may now be quiescent (or deadlocked).
+    pub(crate) fn mark_done(&self, rank: usize) {
+        let mut st = self.lock();
+        st.waiting[rank] = Wait::Done;
+        self.try_schedule(&mut st);
+        self.cv.notify_all();
+    }
+}
+
+/// Everything the checker needs to judge (and replay) one schedule.
+#[derive(Debug, Clone)]
+pub struct SchedReport {
+    /// The seed that reproduces this exact interleaving.
+    pub seed: u64,
+    /// Order-sensitive fingerprint of the delivery choices: two runs
+    /// with equal signatures executed the same schedule.
+    pub signature: u64,
+    /// Total messages delivered.
+    pub deliveries: u64,
+    /// Deadlock diagnostic, if the schedule wedged.
+    pub deadlock: Option<String>,
+    /// Messages still buffered in the net at the end of the run.
+    pub undelivered: usize,
+    /// `(rank, parked_messages)` for every rank whose mailbox was
+    /// non-empty when its program returned.
+    pub mailbox_leaks: Vec<(usize, usize)>,
+}
+
+impl SchedReport {
+    /// True when the schedule completed with no detected defect.
+    pub fn clean(&self) -> bool {
+        self.deadlock.is_none() && self.undelivered == 0 && self.mailbox_leaks.is_empty()
+    }
+}
+
+/// Runs `program` on every rank under the deterministic scheduler
+/// with the given `seed`; returns per-rank results plus the
+/// [`SchedReport`] describing the schedule that was executed.
+///
+/// Unlike [`crate::runtime::run_threaded`], the program receives
+/// `&mut Communicator` so the harness can audit the mailbox after the
+/// program returns. Rank programs should surface [`CommError`]s in
+/// their return value (e.g. return `Result`) rather than panicking.
+pub fn run_sched<F, R>(topology: Topology, seed: u64, program: F) -> (Vec<R>, SchedReport)
+where
+    F: Fn(&mut Communicator) -> R + Send + Sync,
+    R: Send,
+{
+    let n = topology.world_size();
+    let net = Arc::new(SchedNet::new(n, seed));
+    let program = &program;
+    let (results, leaks): (Vec<R>, Vec<(usize, usize)>) = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for rank in 0..n {
+            let net = Arc::clone(&net);
+            handles.push(scope.spawn(move || {
+                let mut comm = Communicator::with_sched(rank, topology, Arc::clone(&net));
+                let out = program(&mut comm);
+                let parked = comm.parked_messages();
+                // The leak is reported through SchedReport; clear so
+                // the mailbox Drop audit doesn't re-panic about it.
+                comm.clear_mailbox();
+                net.mark_done(rank);
+                (out, (rank, parked))
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(pair) => pair,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .unzip()
+    });
+    let st = net.lock();
+    let report = SchedReport {
+        seed,
+        signature: st.signature,
+        deliveries: st.deliveries,
+        deadlock: st.deadlock.clone(),
+        undelivered: st.pending.len(),
+        mailbox_leaks: leaks.into_iter().filter(|&(_, n)| n > 0).collect(),
+    };
+    (results, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_signature() {
+        let topo = Topology::new(2, 2);
+        let run = |seed| {
+            let (_, report) = run_sched(topo, seed, |comm| {
+                let mine = vec![comm.rank() as f32; 4];
+                comm.all_to_all(&mine)
+            });
+            report
+        };
+        let (a, b) = (run(7), run(7));
+        assert_eq!(a.signature, b.signature);
+        assert_eq!(a.deliveries, b.deliveries);
+        assert!(a.clean(), "clean collective reported {a:?}");
+    }
+
+    #[test]
+    fn seeds_explore_distinct_schedules() {
+        let topo = Topology::new(2, 2);
+        let mut sigs = std::collections::HashSet::new();
+        for seed in 0..32 {
+            let (_, report) = run_sched(topo, seed, |comm| {
+                let mine: Vec<f32> = (0..8).map(|i| (comm.rank() * 8 + i) as f32).collect();
+                comm.all_to_all(&mine)
+            });
+            assert!(report.clean());
+            sigs.insert(report.signature);
+        }
+        assert!(
+            sigs.len() >= 16,
+            "only {} distinct schedules in 32 seeds",
+            sigs.len()
+        );
+    }
+
+    #[test]
+    fn detects_deadlock_with_replayable_seed() {
+        // Rank 0 waits for a message nobody ever sends.
+        let topo = Topology::new(1, 2);
+        let (results, report) = run_sched(topo, 13, |comm| {
+            if comm.rank() == 0 {
+                comm.recv(1, 999).map(|_| ())
+            } else {
+                Ok(())
+            }
+        });
+        assert!(report.deadlock.is_some(), "no deadlock reported");
+        assert_eq!(report.seed, 13);
+        assert!(matches!(
+            &results[0],
+            Err(CommError::Deadlock { seed: 13, .. })
+        ));
+    }
+
+    #[test]
+    fn detects_mailbox_leak() {
+        // Rank 1 sends under a tag rank 0 never asks for. Depending
+        // on the schedule the stray message is either parked in rank
+        // 0's mailbox (delivered first) or left undelivered in the
+        // net (delivered never) — both must be reported, and some
+        // seed must exhibit each.
+        let topo = Topology::new(1, 2);
+        let mut saw_mailbox_leak = false;
+        let mut saw_undelivered = false;
+        for seed in 0..16 {
+            let (_, report) = run_sched(topo, seed, |comm| {
+                if comm.rank() == 1 {
+                    comm.send(0, 77, vec![1.0])?;
+                    comm.send(0, 88, vec![2.0])?;
+                    Ok(vec![])
+                } else {
+                    comm.recv(1, 88)
+                }
+            });
+            assert!(!report.clean(), "stray message not reported: {report:?}");
+            saw_mailbox_leak |= report.mailbox_leaks == vec![(0, 1)];
+            saw_undelivered |= report.undelivered == 1;
+        }
+        assert!(saw_mailbox_leak, "no seed parked the stray message");
+        assert!(saw_undelivered, "no seed left the stray undelivered");
+    }
+
+    #[test]
+    fn barrier_trips_under_scheduler() {
+        let topo = Topology::new(1, 3);
+        let (results, report) = run_sched(topo, 5, |comm| comm.barrier().map(|()| comm.rank()));
+        assert!(report.clean());
+        assert_eq!(
+            results.into_iter().collect::<Result<Vec<_>, _>>(),
+            Ok(vec![0, 1, 2])
+        );
+    }
+}

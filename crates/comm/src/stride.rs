@@ -6,9 +6,10 @@
 //! as `row × col` chunks, chunk `i` moves to position
 //! `(i % row) · col + i / row` — a chunk-granular matrix transpose.
 
-/// Chunk-granular transpose: reorders `input` (consisting of
-/// `row × col` chunks of `chunk` elements) so that chunk `i` lands at
-/// position `(i % row) * col + i / row`.
+/// Chunk-granular transpose: reorders `input`, laid out as
+/// `(row, col, chunk)` row-major — `row × col` chunks of `chunk`
+/// contiguous elements — so that chunk `i` lands at position
+/// `(i % row) * col + i / row`.
 ///
 /// With `row = ngpus_per_node`, `col = nnodes` this groups the chunks
 /// destined for the same *local* GPU together (phase 1 of Figure 15);

@@ -288,9 +288,13 @@ impl ExpertsBlock {
         self.db1.clip_norm(Self::GRAD_CLIP);
         self.dw2.clip_norm(Self::GRAD_CLIP);
         self.db2.clip_norm(Self::GRAD_CLIP);
+        // check:allow(no_panic, gradients are allocated with the weights' dims at construction)
         self.w1.axpy(-lr, &self.dw1).expect("shape");
+        // check:allow(no_panic, gradients are allocated with the weights' dims at construction)
         self.b1.axpy(-lr, &self.db1).expect("shape");
+        // check:allow(no_panic, gradients are allocated with the weights' dims at construction)
         self.w2.axpy(-lr, &self.dw2).expect("shape");
+        // check:allow(no_panic, gradients are allocated with the weights' dims at construction)
         self.b2.axpy(-lr, &self.db2).expect("shape");
         self.zero_grad();
     }
@@ -345,6 +349,7 @@ fn slab(t: &Tensor, e: usize, rows: usize, cols: usize) -> Tensor {
         t.as_slice()[e * rows * cols..(e + 1) * rows * cols].to_vec(),
         &[rows, cols],
     )
+    // check:allow(no_panic, the slice is rows*cols elements by construction)
     .expect("slab dims")
 }
 

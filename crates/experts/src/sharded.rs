@@ -157,6 +157,7 @@ impl ShardedExpertParams {
     pub fn shard_block(&self, r: usize) -> ExpertsBlock {
         let s = &self.slices[r];
         ExpertsBlock::from_weights(s.w1.clone(), s.b1.clone(), s.w2.clone(), s.b2.clone())
+            // check:allow(no_panic, shard slices were validated when the slab was partitioned)
             .expect("shard slices are internally consistent")
     }
 
@@ -223,6 +224,7 @@ pub fn p2_forward(params: &ShardedExpertParams, x: &Tensor) -> Result<Tensor, Te
             Some(a) => a.add(&partial)?,
         });
     }
+    // check:allow(no_panic, shards() >= 1 is a SlabParams invariant)
     Ok(acc.expect("at least one shard"))
 }
 

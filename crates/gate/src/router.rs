@@ -89,6 +89,7 @@ impl Router for LinearRouter {
         self.dw.clip_norm(1.0);
         self.w
             .axpy(-lr, &self.dw)
+            // check:allow(no_panic, dw is allocated with w's dims at construction)
             .expect("gradient shape matches weights");
         self.dw = Tensor::zeros(self.dw.dims());
     }
@@ -226,9 +227,11 @@ impl Router for CosineRouter {
         self.dm.clip_norm(1.0);
         self.w
             .axpy(-lr, &self.dw)
+            // check:allow(no_panic, dw is allocated with w's dims at construction)
             .expect("gradient shape matches weights");
         self.m
             .axpy(-lr, &self.dm)
+            // check:allow(no_panic, dm is allocated with m's dims at construction)
             .expect("gradient shape matches embeddings");
         self.tau = (self.tau - lr * self.dtau).max(Self::MIN_TAU);
         self.dw = Tensor::zeros(self.dw.dims());

@@ -65,7 +65,7 @@ fn run_distributed_step(topology: Topology, k: usize, seed: u64) {
         // Dispatch: the (E, dC, M) buffer is already rank-major along
         // E, so a plain All-to-All ships each destination rank its
         // experts' slabs; the receiving side holds (W, dE, dC, M).
-        let received = comm.all_to_all_2dh(enc.as_slice());
+        let received = comm.all_to_all_2dh(enc.as_slice()).unwrap();
 
         // Rearrange to the flexible (dE, C = W·dC, M) layout locally
         // and run this rank's experts.
@@ -83,7 +83,7 @@ fn run_distributed_step(topology: Topology, k: usize, seed: u64) {
             .unwrap()
             .permute(&[1, 0, 2, 3])
             .unwrap();
-        let combined = comm.all_to_all_2dh(back.as_slice());
+        let combined = comm.all_to_all_2dh(back.as_slice()).unwrap();
         let combined = Tensor::from_vec(combined, &[experts, cap, m]).unwrap();
         fast_decode(&combined, &routing, tokens).unwrap()
     });
