@@ -20,6 +20,13 @@ cargo test -q
 echo "==> cargo test --workspace (minus tutel-bench)"
 cargo test -q --workspace --exclude tutel-bench
 
+echo "==> determinism suite at TUTEL_THREADS=1 and =4"
+TUTEL_THREADS=1 cargo test -q --test determinism
+TUTEL_THREADS=4 cargo test -q --test determinism
+
+echo "==> compute_runtime bench smoke (2s warmup-only run)"
+cargo bench -q -p tutel-bench --bench compute_runtime -- --warm-up-time 1 --measurement-time 1 --sample-size 10 compute_runtime_arena > /dev/null
+
 echo "==> tutel-check: workspace lint (baseline ratchet)"
 cargo run --release -q -p tutel-check -- --baseline check-baseline.json
 

@@ -1,0 +1,90 @@
+//! Criterion bench for the `tutel-rt` compute runtime: blocked GEMM at
+//! the Figure 7 shape family, parallel encode/decode at large token
+//! counts, and buffer acquisition with the arena on vs off.
+//!
+//! The Figure 7 fflayer GEMM is `rows × M` by `M × V` with `M = V`
+//! (the paper runs M = V = 2048 at 16384 tokens/step; here the family
+//! is scaled to CPU-feasible sizes, keeping the square-weight shape).
+//! `serial` pins the pool to one participant via
+//! `with_parallelism_limit`, so the pair of lines prices the pool
+//! itself, not the host's core count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tutel_gate::{route, RouteConfig};
+use tutel_kernels::{fast_decode, fast_encode};
+use tutel_rt::with_parallelism_limit;
+use tutel_tensor::{scratch, Rng, Tensor};
+
+fn bench_gemm_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compute_runtime_gemm");
+    // (rows, m = v): Figure 7 family, rows = tokens per GPU.
+    for &(rows, mv) in &[(16usize, 256usize), (64, 256), (256, 256)] {
+        let mut rng = Rng::seed(rows as u64);
+        let x = rng.normal_tensor(&[rows, mv], 0.0, 1.0);
+        let w = rng.normal_tensor(&[mv, mv], 0.0, 1.0);
+        let id = format!("{rows}x{mv}x{mv}");
+        group.bench_with_input(BenchmarkId::new("pool", &id), &rows, |b, _| {
+            b.iter(|| x.matmul(&w).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("serial", &id), &rows, |b, _| {
+            b.iter(|| with_parallelism_limit(1, || x.matmul(&w).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compute_runtime_dispatch");
+    group.sample_size(10);
+    for &tokens in &[4096usize, 16384] {
+        let (experts, m) = (16usize, 64usize);
+        let mut rng = Rng::seed(tokens as u64);
+        let probs = rng
+            .uniform_tensor(&[tokens, experts], 0.0, 1.0)
+            .softmax_last();
+        let routing = route(&probs, &RouteConfig::top2()).unwrap();
+        let x = rng.normal_tensor(&[tokens, m], 0.0, 1.0);
+        let y = rng.normal_tensor(&[experts, routing.capacity, m], 0.0, 1.0);
+
+        group.bench_with_input(BenchmarkId::new("pool", tokens), &tokens, |b, _| {
+            b.iter(|| {
+                let d = fast_encode(&x, &routing).unwrap();
+                let o = fast_decode(&y, &routing, tokens).unwrap();
+                scratch::recycle(d);
+                o
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("serial", tokens), &tokens, |b, _| {
+            b.iter(|| {
+                with_parallelism_limit(1, || {
+                    let d = fast_encode(&x, &routing).unwrap();
+                    let o = fast_decode(&y, &routing, tokens).unwrap();
+                    scratch::recycle(d);
+                    o
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_arena(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compute_runtime_arena");
+    // The encode-buffer size at T = 16384: E × C × M floats.
+    let dims = [16usize, 2048, 64];
+    group.bench_function("arena_on", |b| {
+        b.iter(|| {
+            let t = scratch::zeroed(&dims);
+            scratch::recycle(t);
+        })
+    });
+    group.bench_function("arena_off", |b| b.iter(|| Tensor::zeros(&dims)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gemm_fig7, bench_dispatch, bench_arena
+}
+criterion_main!(benches);

@@ -1,0 +1,160 @@
+//! Rule `hot_alloc` (L5): no fresh heap traffic in marked hot
+//! functions.
+//!
+//! The per-iteration MoE path (encode → FFN → decode and its backward)
+//! runs thousands of times per training job; a `Tensor::zeros` or
+//! `.to_vec()` inside it re-allocates the same multi-megabyte buffer
+//! every step and regresses exactly the wins the `tutel-rt` arena
+//! exists to lock in. Functions on that path are annotated with a
+//! `// check:hot` marker comment; inside the annotated item this rule
+//! flags
+//!
+//! * `Tensor::zeros(..)` — use `scratch::zeroed` (arena-backed), and
+//! * `.to_vec()` — borrow, or check a buffer out of the arena.
+//!
+//! Sites that genuinely must allocate (cold error paths, one-off
+//! setup) carry `// check:allow(hot_alloc, reason)`.
+
+use super::{Rule, STRICT_CRATES};
+use crate::diag::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+use crate::source::{item_end_line, skip_attribute, SourceFile};
+
+pub struct HotAlloc;
+
+/// Inclusive 1-based line ranges covered by `// check:hot` markers:
+/// each marker claims the next item (function) that follows it.
+fn hot_spans(file: &SourceFile) -> Vec<(u32, u32)> {
+    let code: Vec<&Token> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut spans = Vec::new();
+    for t in &file.tokens {
+        if t.kind != TokenKind::Comment || !t.text.contains("check:hot") {
+            continue;
+        }
+        let Some(mut j) = code.iter().position(|c| c.line > t.line) else {
+            continue;
+        };
+        while j < code.len() && code[j].is_punct('#') {
+            j = skip_attribute(&code, j);
+        }
+        if let (Some(start), Some(end)) = (code.get(j).map(|c| c.line), item_end_line(&code, j)) {
+            spans.push((start, end));
+        }
+    }
+    spans
+}
+
+impl Rule for HotAlloc {
+    fn id(&self) -> &'static str {
+        "hot_alloc"
+    }
+
+    fn check_file(&self, file: &SourceFile, sink: &mut Vec<Diagnostic>) {
+        if !STRICT_CRATES.contains(&file.crate_name.as_str()) {
+            return;
+        }
+        let spans = hot_spans(file);
+        if spans.is_empty() {
+            return;
+        }
+        let in_hot = |line: u32| spans.iter().any(|&(lo, hi)| lo <= line && line <= hi);
+        let code: Vec<&Token> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+        for (i, tok) in code.iter().enumerate() {
+            if !in_hot(tok.line) || file.in_test(tok.line) {
+                continue;
+            }
+            let offence = if tok.is_ident("zeros")
+                && i >= 3
+                && code[i - 1].is_punct(':')
+                && code[i - 2].is_punct(':')
+                && code[i - 3].is_ident("Tensor")
+                && code.get(i + 1).is_some_and(|t| t.is_punct('('))
+            {
+                Some("`Tensor::zeros` allocates fresh: use `scratch::zeroed`")
+            } else if tok.is_ident("to_vec")
+                && i > 0
+                && code[i - 1].is_punct('.')
+                && code.get(i + 1).is_some_and(|t| t.is_punct('('))
+            {
+                Some("`.to_vec()` copies to a fresh allocation: borrow or use the arena")
+            } else {
+                None
+            };
+            if let Some(what) = offence {
+                file.emit(
+                    sink,
+                    Diagnostic {
+                        rule: self.id(),
+                        file: file.rel_path.clone(),
+                        line: tok.line,
+                        message: format!(
+                            "{what} in a `check:hot` function, or justify with \
+                             `// check:allow(hot_alloc, reason)`"
+                        ),
+                        snippet: file.snippet(tok.line),
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn run(crate_name: &str, src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::parse(crate_name, "src/lib.rs", src);
+        let mut sink = Vec::new();
+        HotAlloc.check_file(&file, &mut sink);
+        sink
+    }
+
+    #[test]
+    fn flags_zeros_and_to_vec_inside_hot_fn() {
+        let src = "// check:hot\nfn f() {\n    let a = Tensor::zeros(&[4]);\n    let b = s.to_vec();\n}\n";
+        let diags = run("tutel-tensor", src);
+        assert_eq!(diags.iter().map(|d| d.line).collect::<Vec<_>>(), vec![3, 4]);
+    }
+
+    #[test]
+    fn unmarked_functions_are_exempt() {
+        let src = "fn cold() {\n    let a = Tensor::zeros(&[4]);\n    let b = s.to_vec();\n}\n";
+        assert!(run("tutel-tensor", src).is_empty());
+    }
+
+    #[test]
+    fn marker_claims_only_the_next_item() {
+        let src = "// check:hot\nfn hot() {\n    x();\n}\n\nfn cold() {\n    let a = Tensor::zeros(&[4]);\n}\n";
+        assert!(run("tutel-tensor", src).is_empty());
+    }
+
+    #[test]
+    fn marker_skips_attributes_on_the_item() {
+        let src = "// check:hot\n#[inline]\nfn hot() {\n    let a = Tensor::zeros(&[4]);\n}\n";
+        assert_eq!(run("tutel-tensor", src).len(), 1);
+    }
+
+    #[test]
+    fn allow_suppresses_one_site() {
+        let src = "// check:hot\nfn f() {\n    // check:allow(hot_alloc, cold fallback)\n    let a = Tensor::zeros(&[4]);\n    let b = s.to_vec();\n}\n";
+        let diags = run("tutel-tensor", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 5);
+    }
+
+    #[test]
+    fn non_strict_crates_and_tests_are_exempt() {
+        let src = "// check:hot\nfn f() { let a = Tensor::zeros(&[4]); }\n";
+        assert!(run("tutel-bench", src).is_empty());
+        let test_src = "// check:hot\n#[test]\nfn t() { let a = Tensor::zeros(&[4]); }\n";
+        assert!(run("tutel-tensor", test_src).is_empty());
+    }
+
+    #[test]
+    fn words_in_strings_and_comments_do_not_count() {
+        let src = "// check:hot\nfn f() {\n    // Tensor::zeros(..) would be wrong here\n    let s = \"Tensor::zeros .to_vec()\";\n}\n";
+        assert!(run("tutel-tensor", src).is_empty());
+    }
+}

@@ -4,9 +4,10 @@
 //! tensor → simgpu → comm → gate → kernels → experts → core → bench
 //! ```
 //!
-//! with `tutel-obs` reachable from every layer (and itself depending
-//! on no tutel crate), and the `tutel-check`/`tutel-bench` tool crates
-//! on top. An upward dependency (say, gate reaching into experts)
+//! with the base crates `tutel-obs` and `tutel-rt` reachable from
+//! every layer (and themselves depending on no tutel crate), and the
+//! `tutel-check`/`tutel-bench` tool crates on top. An upward
+//! dependency (say, gate reaching into experts)
 //! would let routing decisions grow hidden couplings to expert
 //! placement — exactly the kind of cycle the paper's layered design
 //! forbids. Parsed straight out of each crate's `Cargo.toml`
@@ -16,9 +17,10 @@
 use crate::diag::Diagnostic;
 
 /// Layer index per package; a crate may depend only on strictly lower
-/// layers (plus `tutel-obs`).
+/// layers (plus the base crates).
 const TIERS: &[(&str, u32)] = &[
     ("tutel-obs", 0),
+    ("tutel-rt", 0),
     ("tutel-tensor", 1),
     ("tutel-simgpu", 2),
     ("tutel-comm", 3),
@@ -29,6 +31,10 @@ const TIERS: &[(&str, u32)] = &[
     ("tutel-bench", 8),
     ("tutel-check", 8),
 ];
+
+/// Crates at the bottom of the DAG: reachable from every layer,
+/// depending on no tutel crate themselves (not even each other).
+const BASE_CRATES: &[&str] = &["tutel-obs", "tutel-rt"];
 
 fn tier(name: &str) -> Option<u32> {
     TIERS.iter().find(|(n, _)| *n == name).map(|&(_, t)| t)
@@ -96,10 +102,10 @@ pub fn check_layering(manifests: &[Manifest]) -> Vec<Diagnostic> {
         for (dep, line) in &m.deps {
             // Workspace-dependency keys map 1:1 to package names here.
             let Some(dep_tier) = tier(dep) else { continue };
-            let violation = if m.name == "tutel-obs" {
-                // obs is the base: no tutel dependency at all.
+            let violation = if BASE_CRATES.contains(&m.name.as_str()) {
+                // Base crates: no tutel dependency at all.
                 true
-            } else if dep == "tutel-obs" {
+            } else if BASE_CRATES.contains(&dep.as_str()) {
                 false
             } else {
                 dep_tier >= crate_tier
@@ -191,6 +197,19 @@ mod tests {
         let diags = check_layering(&ms);
         assert_eq!(diags.len(), 1);
         assert!(diags[0].message.contains("tutel-obs"));
+    }
+
+    #[test]
+    fn rt_is_a_base_crate_like_obs() {
+        // Any layer may depend on tutel-rt…
+        let ok = vec![
+            manifest("tutel-tensor", &["tutel-rt", "tutel-obs"]),
+            manifest("tutel", &["tutel-rt"]),
+        ];
+        assert!(check_layering(&ok).is_empty());
+        // …but rt itself must depend on no tutel crate, obs included.
+        let bad = vec![manifest("tutel-rt", &["tutel-obs"])];
+        assert_eq!(check_layering(&bad).len(), 1);
     }
 
     #[test]

@@ -5,11 +5,13 @@
 use crate::diag::Diagnostic;
 use crate::source::SourceFile;
 
+mod hot_alloc;
 pub mod layering;
 mod layout_doc;
 mod no_panic;
 mod shim_hygiene;
 
+pub use hot_alloc::HotAlloc;
 pub use layout_doc::LayoutDoc;
 pub use no_panic::NoPanic;
 pub use shim_hygiene::ShimHygiene;
@@ -39,6 +41,7 @@ pub trait Rule {
 pub fn all_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(NoPanic),
+        Box::new(HotAlloc),
         Box::new(LayoutDoc),
         Box::new(ShimHygiene),
     ]

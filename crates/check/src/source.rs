@@ -196,7 +196,7 @@ fn match_test_attribute(code: &[&Token], i: usize) -> Option<usize> {
 
 /// Skips a `#[...]` attribute starting at `i` (pointing at `#`),
 /// returning the index past the matching `]`.
-fn skip_attribute(code: &[&Token], i: usize) -> usize {
+pub(crate) fn skip_attribute(code: &[&Token], i: usize) -> usize {
     let mut j = i + 1;
     if j >= code.len() || !code[j].is_punct('[') {
         return i + 1;
@@ -218,7 +218,7 @@ fn skip_attribute(code: &[&Token], i: usize) -> usize {
 
 /// Line where the item starting at `code[i]` ends: at the matching
 /// `}` of its first brace block, or at a `;` that precedes any `{`.
-fn item_end_line(code: &[&Token], i: usize) -> Option<u32> {
+pub(crate) fn item_end_line(code: &[&Token], i: usize) -> Option<u32> {
     let mut j = i;
     while j < code.len() {
         if code[j].is_punct(';') {

@@ -17,7 +17,7 @@ use tutel_kernels::{
     fast_decode_backward, fast_decode_observed, fast_encode_backward, fast_encode_observed,
 };
 use tutel_obs::Telemetry;
-use tutel_tensor::{Rng, Tensor, TensorError};
+use tutel_tensor::{scratch, Rng, Tensor, TensorError};
 
 use crate::checkpoint::{RestoreError, StateDict};
 use crate::{MoeConfig, RouterKind};
@@ -228,7 +228,9 @@ impl MoeLayer {
         observe_routing(&routing, &self.obs);
         let dispatched = fast_encode_observed(x, &routing, &self.obs)?;
         let expert_out = self.experts.infer(&dispatched)?;
+        scratch::recycle(dispatched);
         let output = fast_decode_observed(&expert_out, &routing, x.dims()[0], &self.obs)?;
+        scratch::recycle(expert_out);
         let aux = aux_loss(&probs, &routing)?;
         self.obs.set_gauge("gate.aux_loss", aux as f64);
         Ok(MoeOutput {
@@ -254,6 +256,7 @@ impl MoeLayer {
         observe_routing(&routing, &self.obs);
         let dispatched = fast_encode_observed(x, &routing, &self.obs)?;
         let expert_out = self.experts.forward(&dispatched)?;
+        scratch::recycle(dispatched);
         let output = fast_decode_observed(&expert_out, &routing, x.dims()[0], &self.obs)?;
         let aux = aux_loss(&probs, &routing)?;
         self.obs.set_gauge("gate.aux_loss", aux as f64);
@@ -283,6 +286,7 @@ impl MoeLayer {
     ///
     /// Returns a [`TensorError`] if no forward is cached or shapes
     /// mismatch.
+    // check:hot
     pub fn backward(&mut self, d_out: &Tensor) -> Result<Tensor, TensorError> {
         let _span = self.obs.span("moe.backward");
         let SavedForward {
@@ -298,17 +302,20 @@ impl MoeLayer {
 
         // Through decode: gradients for expert outputs and gate values.
         let (d_expert_out, d_gates) = fast_decode_backward(d_out, &expert_out, &routing)?;
+        scratch::recycle(expert_out);
 
         // Through the experts.
         let d_dispatched = self.experts.backward(&d_expert_out)?;
+        scratch::recycle(d_expert_out);
 
         // Through encode back to the layer input.
         let mut d_x = fast_encode_backward(&d_dispatched, &routing, tokens)?;
+        scratch::recycle(d_dispatched);
 
         // Gate-value gradients → probability gradients. For k > 1 the
         // selected gates were normalized (g_i = v_i / Σv); chain
         // through that. For k = 1 the raw probability was the gate.
-        let mut d_probs = Tensor::zeros(probs.dims());
+        let mut d_probs = scratch::zeroed(probs.dims());
         for (t, (experts, dg)) in routing.expert_of.iter().zip(&d_gates).enumerate() {
             if self.cfg.top_k > 1 {
                 let vals: Vec<f32> = experts.iter().map(|&e| probs.at(&[t, e])).collect();
@@ -326,11 +333,17 @@ impl MoeLayer {
         // Auxiliary loss gradient (straight-through on the fractions).
         let d_aux = aux_loss_grad(&probs, &routing)?;
         d_probs.axpy(self.cfg.aux_weight, &d_aux)?;
+        scratch::recycle(d_aux);
 
         // Through softmax and the router.
         let d_logits = probs.softmax_last_backward(&d_probs)?;
+        scratch::recycle(d_probs);
+        scratch::recycle(probs);
         let d_x_router = self.router.as_dyn_mut().backward(&x, &d_logits)?;
+        scratch::recycle(d_logits);
+        scratch::recycle(x);
         d_x.axpy(1.0, &d_x_router)?;
+        scratch::recycle(d_x_router);
         Ok(d_x)
     }
 

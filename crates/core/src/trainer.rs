@@ -105,6 +105,23 @@ pub fn train(model: &mut SwinLiteMoe, dataset: &SyntheticVision, cfg: &TrainConf
 ///
 /// Panics if a forward/backward pass fails on internally generated
 /// shapes (a bug, not a user error).
+/// Copies the cumulative `tutel-rt` pool and arena counters into a
+/// telemetry-friendly snapshot (see [`tutel_obs::runtime`]).
+pub fn runtime_snapshot() -> tutel_obs::RuntimeSnapshot {
+    let pool = tutel_rt::pool_stats();
+    let arena = tutel_rt::arena().stats();
+    tutel_obs::RuntimeSnapshot {
+        pool_workers: pool.workers,
+        pool_jobs: pool.jobs,
+        pool_chunks: pool.chunks,
+        pool_utilization: pool.utilization(),
+        pool_steals: pool.steals,
+        arena_hit_rate: arena.hit_rate(),
+        arena_retained_elems: arena.retained_elems,
+        arena_evictions: arena.evictions,
+    }
+}
+
 pub fn train_observed(
     model: &mut SwinLiteMoe,
     dataset: &SyntheticVision,
@@ -148,6 +165,7 @@ pub fn train_observed(
                 dropped,
                 stages: Vec::new(),
             });
+            tutel_obs::record_runtime(tel, &runtime_snapshot());
         }
     }
     let window = (cfg.steps / 10).max(1);

@@ -1,7 +1,10 @@
 //! The expert feed-forward network (`fflayer`).
 
 use tutel_obs::Telemetry;
-use tutel_tensor::{Rng, Tensor, TensorError};
+use tutel_tensor::{
+    gelu_backward_with_tanh, gelu_slice_with_tanh, gemm_nt, gemm_tn, scratch, Rng, Tensor,
+    TensorError,
+};
 
 /// A batch of `ΔE` expert FFNs: for each local expert `e`,
 /// `y = gelu(x · W1_e + b1_e) · W2_e + b2_e` with `x (C, M)`,
@@ -40,8 +43,10 @@ pub struct ExpertsBlock {
     db1: Tensor,
     dw2: Tensor,
     db2: Tensor,
-    /// Saved input and pre-activation from the last forward.
-    saved: Option<(Tensor, Tensor)>,
+    /// Saved activations from the last forward: the input `x`, the
+    /// pre-activation `h_pre`, the GELU output `h`, and the `tanh`
+    /// intermediate — so backward never re-evaluates `tanh`.
+    saved: Option<(Tensor, Tensor, Tensor, Tensor)>,
     /// Telemetry sink; disabled by default.
     obs: Telemetry,
 }
@@ -182,8 +187,19 @@ impl ExpertsBlock {
     /// Returns a [`TensorError`] if `x` has the wrong shape.
     pub fn forward(&mut self, x: &Tensor) -> Result<Tensor, TensorError> {
         let span = self.ffn_span("ffn", x);
-        let (h_pre, y) = self.forward_only(x)?;
-        self.saved = Some((x.clone(), h_pre));
+        self.check_input(x)?;
+        let c = x.dims()[1];
+        // h_pre = x · W1 + b1 (per expert).
+        let mut h_pre = x.bmm(&self.w1)?;
+        add_bias(&mut h_pre, &self.b1, c);
+        // Keep the GELU output and its tanh intermediate for backward:
+        // re-evaluating tanh there would dominate the backward pass.
+        let mut h = scratch::zeroed(h_pre.dims());
+        let mut tanh = scratch::zeroed(h_pre.dims());
+        gelu_slice_with_tanh(h_pre.as_slice(), h.as_mut_slice(), tanh.as_mut_slice());
+        let mut y = h.bmm(&self.w2)?;
+        add_bias(&mut y, &self.b2, c);
+        self.saved = Some((scratch::copy_of(x), h_pre, h, tanh));
         drop(span);
         Ok(y)
     }
@@ -195,7 +211,7 @@ impl ExpertsBlock {
     /// Returns a [`TensorError`] if `x` has the wrong shape.
     pub fn infer(&self, x: &Tensor) -> Result<Tensor, TensorError> {
         let span = self.ffn_span("ffn", x);
-        let y = self.forward_only(x)?.1;
+        let y = self.forward_only(x)?;
         drop(span);
         Ok(y)
     }
@@ -218,7 +234,8 @@ impl ExpertsBlock {
             .tag("flops", flops)
     }
 
-    fn forward_only(&self, x: &Tensor) -> Result<(Tensor, Tensor), TensorError> {
+    // check:hot
+    fn forward_only(&self, x: &Tensor) -> Result<Tensor, TensorError> {
         self.check_input(x)?;
         let c = x.dims()[1];
         // h_pre = x · W1 + b1 (per expert).
@@ -227,7 +244,9 @@ impl ExpertsBlock {
         let h = h_pre.gelu();
         let mut y = h.bmm(&self.w2)?;
         add_bias(&mut y, &self.b2, c);
-        Ok((h_pre, y))
+        scratch::recycle(h_pre);
+        scratch::recycle(h);
+        Ok(y)
     }
 
     /// Backward pass: consumes the cached activations, accumulates
@@ -237,44 +256,78 @@ impl ExpertsBlock {
     ///
     /// Returns a [`TensorError`] if no forward is cached or shapes
     /// mismatch.
+    // check:hot
     pub fn backward(&mut self, d_y: &Tensor) -> Result<Tensor, TensorError> {
         let _span = self.ffn_span("ffn.backward", d_y);
-        let (x, h_pre) = self
+        let (x, h_pre, h, tanh) = self
             .saved
             .take()
             .ok_or_else(|| TensorError::InvalidArgument("backward without forward".into()))?;
         self.check_input(d_y)?;
         let (de, c) = (x.dims()[0], x.dims()[1]);
         let (m, v) = (self.model_dim, self.hidden_dim);
-        let h = h_pre.gelu();
-        let mut dx = Tensor::zeros(x.dims());
+        let mut dx = scratch::zeroed(x.dims());
+        let arena = tutel_rt::arena();
+        // Per-expert scratch, recycled across iterations: the hidden
+        // gradient slab.
+        let mut dh = arena.take_zeroed(c * v);
+        let xs = x.as_slice();
+        let hps = h_pre.as_slice();
+        let hs = h.as_slice();
+        let ts = tanh.as_slice();
+        let dys = d_y.as_slice();
         for e in 0..de {
-            let xe = slab(&x, e, c, m);
-            let he = slab(&h, e, c, v);
-            let hpre_e = slab(&h_pre, e, c, v);
-            let dye = slab(d_y, e, c, m);
-            let w1e = mat(&self.w1, e, m, v);
-            let w2e = mat(&self.w2, e, v, m);
-            // dW2 = hᵀ · dY; db2 = Σ rows dY; dh = dY · W2ᵀ.
-            let dw2 = he.matmul_tn(&dye)?;
-            self.dw2.as_mut_slice()[e * v * m..(e + 1) * v * m]
-                .iter_mut()
-                .zip(dw2.as_slice())
-                .for_each(|(a, b)| *a += b);
-            accumulate_bias(&mut self.db2, e, &dye, c, m);
-            let dh = dye.matmul_nt(&w2e)?;
-            // Through GELU.
-            let dh_pre = hpre_e.gelu_backward(&dh)?;
-            // dW1 = xᵀ · dh_pre; db1 = Σ rows dh_pre; dx = dh_pre · W1ᵀ.
-            let dw1 = xe.matmul_tn(&dh_pre)?;
-            self.dw1.as_mut_slice()[e * m * v..(e + 1) * m * v]
-                .iter_mut()
-                .zip(dw1.as_slice())
-                .for_each(|(a, b)| *a += b);
-            accumulate_bias(&mut self.db1, e, &dh_pre, c, v);
-            let dxe = dh_pre.matmul_nt(&w1e)?;
-            dx.as_mut_slice()[e * c * m..(e + 1) * c * m].copy_from_slice(dxe.as_slice());
+            let xe = &xs[e * c * m..(e + 1) * c * m];
+            let hpe = &hps[e * c * v..(e + 1) * c * v];
+            let dye = &dys[e * c * m..(e + 1) * c * m];
+            // dW2 += hᵀ · dY (straight into the gradient slab), using
+            // the GELU output saved by forward; db2 += Σ rows dY.
+            gemm_tn(
+                &hs[e * c * v..(e + 1) * c * v],
+                dye,
+                &mut self.dw2.as_mut_slice()[e * v * m..(e + 1) * v * m],
+                v,
+                c,
+                m,
+            );
+            accumulate_bias(&mut self.db2, e, dye, c, m);
+            // dh = dY · W2ᵀ, then through GELU in place.
+            gemm_nt(
+                dye,
+                &self.w2.as_slice()[e * v * m..(e + 1) * v * m],
+                &mut dh,
+                c,
+                m,
+                v,
+            );
+            gelu_backward_with_tanh(hpe, &ts[e * c * v..(e + 1) * c * v], &mut dh);
+            // dW1 += xᵀ · dh_pre; db1 += Σ rows dh_pre; dx = dh_pre · W1ᵀ.
+            gemm_tn(
+                xe,
+                &dh,
+                &mut self.dw1.as_mut_slice()[e * m * v..(e + 1) * m * v],
+                m,
+                c,
+                v,
+            );
+            accumulate_bias(&mut self.db1, e, &dh, c, v);
+            gemm_nt(
+                &dh,
+                &self.w1.as_slice()[e * m * v..(e + 1) * m * v],
+                &mut dx.as_mut_slice()[e * c * m..(e + 1) * c * m],
+                c,
+                v,
+                m,
+            );
+            if e + 1 < de {
+                dh.fill(0.0);
+            }
         }
+        arena.put(dh);
+        scratch::recycle(x);
+        scratch::recycle(h_pre);
+        scratch::recycle(h);
+        scratch::recycle(tanh);
         Ok(dx)
     }
 
@@ -299,12 +352,13 @@ impl ExpertsBlock {
         self.zero_grad();
     }
 
-    /// Clears accumulated gradients.
+    /// Clears accumulated gradients in place (no reallocation — this
+    /// runs every optimizer step).
     pub fn zero_grad(&mut self) {
-        self.dw1 = Tensor::zeros(self.dw1.dims());
-        self.db1 = Tensor::zeros(self.db1.dims());
-        self.dw2 = Tensor::zeros(self.dw2.dims());
-        self.db2 = Tensor::zeros(self.db2.dims());
+        self.dw1.as_mut_slice().fill(0.0);
+        self.db1.as_mut_slice().fill(0.0);
+        self.dw2.as_mut_slice().fill(0.0);
+        self.db2.as_mut_slice().fill(0.0);
     }
 
     fn check_input(&self, x: &Tensor) -> Result<(), TensorError> {
@@ -333,28 +387,14 @@ fn add_bias(t: &mut Tensor, bias: &Tensor, rows: usize) {
     }
 }
 
-fn accumulate_bias(db: &mut Tensor, e: usize, d: &Tensor, rows: usize, cols: usize) {
+fn accumulate_bias(db: &mut Tensor, e: usize, d: &[f32], rows: usize, cols: usize) {
     let base = e * cols;
     for r in 0..rows {
-        let row = &d.as_slice()[r * cols..(r + 1) * cols];
+        let row = &d[r * cols..(r + 1) * cols];
         for (o, v) in db.as_mut_slice()[base..base + cols].iter_mut().zip(row) {
             *o += v;
         }
     }
-}
-
-/// Copies expert `e`'s `(rows, cols)` slab out of a rank-3 tensor.
-fn slab(t: &Tensor, e: usize, rows: usize, cols: usize) -> Tensor {
-    Tensor::from_vec(
-        t.as_slice()[e * rows * cols..(e + 1) * rows * cols].to_vec(),
-        &[rows, cols],
-    )
-    // check:allow(no_panic, the slice is rows*cols elements by construction)
-    .expect("slab dims")
-}
-
-fn mat(t: &Tensor, e: usize, rows: usize, cols: usize) -> Tensor {
-    slab(t, e, rows, cols)
 }
 
 #[cfg(test)]

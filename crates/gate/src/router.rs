@@ -1,6 +1,6 @@
 //! Routers: the trainable functions producing token→expert logits.
 
-use tutel_tensor::{Rng, Tensor, TensorError};
+use tutel_tensor::{gemm_tn, Rng, Tensor, TensorError};
 
 /// A gating router: maps token features `(T, C)` to expert logits
 /// `(T, E)`.
@@ -60,11 +60,11 @@ impl LinearRouter {
     /// Returns a [`TensorError`] if the shape differs.
     pub fn set_weights(&mut self, w: Tensor) -> Result<(), TensorError> {
         if w.dims() != self.w.dims() {
-            return Err(TensorError::ShapeMismatch {
-                left: w.dims().to_vec(),
-                right: self.w.dims().to_vec(),
-                op: "set_weights",
-            });
+            return Err(TensorError::shape_mismatch(
+                "set_weights",
+                w.dims(),
+                self.w.dims(),
+            ));
         }
         self.w = w;
         Ok(())
@@ -80,8 +80,30 @@ impl Router for LinearRouter {
         x.matmul(&self.w)
     }
 
+    // check:hot
     fn backward(&mut self, x: &Tensor, d_logits: &Tensor) -> Result<Tensor, TensorError> {
-        self.dw.axpy(1.0, &x.matmul_tn(d_logits)?)?;
+        let (c, e) = (self.w.dims()[0], self.w.dims()[1]);
+        if x.rank() != 2
+            || d_logits.rank() != 2
+            || x.dims()[0] != d_logits.dims()[0]
+            || x.dims()[1] != c
+            || d_logits.dims()[1] != e
+        {
+            return Err(TensorError::shape_mismatch(
+                "linear_router_backward",
+                x.dims(),
+                d_logits.dims(),
+            ));
+        }
+        // dW += xᵀ · d_logits, straight into the gradient buffer.
+        gemm_tn(
+            x.as_slice(),
+            d_logits.as_slice(),
+            self.dw.as_mut_slice(),
+            c,
+            x.dims()[0],
+            e,
+        );
         d_logits.matmul_nt(&self.w)
     }
 
@@ -91,7 +113,7 @@ impl Router for LinearRouter {
             .axpy(-lr, &self.dw)
             // check:allow(no_panic, dw is allocated with w's dims at construction)
             .expect("gradient shape matches weights");
-        self.dw = Tensor::zeros(self.dw.dims());
+        self.dw.as_mut_slice().fill(0.0);
     }
 }
 
@@ -146,11 +168,11 @@ impl CosineRouter {
     /// Returns a [`TensorError`] if any shape differs.
     pub fn set_weights(&mut self, w: Tensor, m: Tensor, tau: f32) -> Result<(), TensorError> {
         if w.dims() != self.w.dims() || m.dims() != self.m.dims() {
-            return Err(TensorError::ShapeMismatch {
-                left: w.dims().to_vec(),
-                right: self.w.dims().to_vec(),
-                op: "set_weights",
-            });
+            return Err(TensorError::shape_mismatch(
+                "set_weights",
+                w.dims(),
+                self.w.dims(),
+            ));
         }
         self.w = w;
         self.m = m;
@@ -187,11 +209,11 @@ impl Router for CosineRouter {
         let (t, d) = (y.dims()[0], y.dims()[1]);
         let e = self.m.dims()[0];
         if d_logits.dims() != [t, e] {
-            return Err(TensorError::ShapeMismatch {
-                left: d_logits.dims().to_vec(),
-                right: vec![t, e],
-                op: "cosine_router_backward",
-            });
+            return Err(TensorError::shape_mismatch(
+                "cosine_router_backward",
+                d_logits.dims(),
+                &[t, e],
+            ));
         }
         let mut dy = Tensor::zeros(&[t, d]);
         for ti in 0..t {
@@ -234,8 +256,8 @@ impl Router for CosineRouter {
             // check:allow(no_panic, dm is allocated with m's dims at construction)
             .expect("gradient shape matches embeddings");
         self.tau = (self.tau - lr * self.dtau).max(Self::MIN_TAU);
-        self.dw = Tensor::zeros(self.dw.dims());
-        self.dm = Tensor::zeros(self.dm.dims());
+        self.dw.as_mut_slice().fill(0.0);
+        self.dm.as_mut_slice().fill(0.0);
         self.dtau = 0.0;
     }
 }

@@ -3,11 +3,54 @@
 //! Complexity is `O(T·k·M)` — a factor `T` below the dense einsum —
 //! because each (token, selection) pair touches exactly one `M`-length
 //! row. The GPU kernels assign one warp per token row; this CPU
-//! equivalent keeps the same row-at-a-time structure (and therefore the
-//! same operation count the cost model prices).
+//! equivalent parallelizes the same row-at-a-time structure on the
+//! `tutel-rt` pool.
+//!
+//! # Ownership parallelism
+//!
+//! Every pass is organized so each output row has exactly **one
+//! writer** — no atomics, no locks, and results that are bit-identical
+//! for any `TUTEL_THREADS`:
+//!
+//! * token-major passes (`fast_decode`, `fast_encode_backward`, gate
+//!   gradients) parallelize over token rows, each token reading its
+//!   own `≤ k` slots;
+//! * slot-major passes (`fast_encode`, the `d_y` half of
+//!   [`fast_decode_backward`]) parallelize over capacity-slot rows via
+//!   an inverse slot map (`slot → (token, selection)`), exploiting the
+//!   router's invariant that a capacity slot is granted to at most one
+//!   (token, selection) pair.
+//!
+//! Row blocks are fixed at [`ROW_CHUNK`] rows — a function of the
+//! problem shape only, never of the worker count.
 
 use tutel_gate::Routing;
-use tutel_tensor::{Tensor, TensorError};
+use tutel_tensor::{scratch, Tensor, TensorError};
+
+/// Output rows per parallel chunk (fixed: part of the determinism
+/// contract, never derived from pool size).
+const ROW_CHUNK: usize = 64;
+
+/// Inverse slot map: for each `(expert, capacity)` slot, the
+/// `(token, selection)` pair that owns it, if any. The router grants
+/// each slot at most once (per-expert location counter), which is what
+/// makes single-writer slot-major passes possible.
+fn slot_owners(routing: &Routing) -> Vec<Option<(u32, u32)>> {
+    let mut owners = vec![None; routing.experts * routing.capacity];
+    for (t, (experts, locs)) in routing
+        .expert_of
+        .iter()
+        .zip(&routing.location_of)
+        .enumerate()
+    {
+        for (i, (&e, loc)) in experts.iter().zip(locs).enumerate() {
+            if let Some(l) = *loc {
+                owners[e * routing.capacity + l] = Some((t as u32, i as u32));
+            }
+        }
+    }
+    owners
+}
 
 /// Sparse encode (`moe.fast_encode`): scatters the MoE layer input
 /// `x (T, M)` into the All-to-All dispatch buffer `(E, ΔC, M)`.
@@ -38,27 +81,23 @@ use tutel_tensor::{Tensor, TensorError};
 /// assert_eq!(dispatched.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
 /// # Ok::<(), tutel_tensor::TensorError>(())
 /// ```
+// check:hot
 pub fn fast_encode(x: &Tensor, routing: &Routing) -> Result<Tensor, TensorError> {
     let m = check_tokens(x, routing)?;
-    let mut out = Tensor::zeros(&[routing.experts, routing.capacity, m]);
-    let cap = routing.capacity;
-    for (t, (experts, locs)) in routing
-        .expert_of
-        .iter()
-        .zip(&routing.location_of)
-        .enumerate()
-    {
-        let row = &x.as_slice()[t * m..(t + 1) * m];
-        for (&e, loc) in experts.iter().zip(locs) {
-            if let Some(l) = *loc {
-                let off = (e * cap + l) * m;
-                // One warp per row on GPU; one memcpy-add per row here.
-                for (o, v) in out.as_mut_slice()[off..off + m].iter_mut().zip(row) {
-                    *o += v;
-                }
+    let owners = slot_owners(routing);
+    let mut out = scratch::zeroed(&[routing.experts, routing.capacity, m]);
+    let xs = x.as_slice();
+    // Slot-major: each slot row is either a copy of its owner token's
+    // feature row or stays zero. One warp per row on GPU; one memcpy
+    // per owned row here.
+    tutel_rt::parallel_chunks(out.as_mut_slice(), ROW_CHUNK * m, |blk, chunk| {
+        let slot0 = blk * ROW_CHUNK;
+        for (s, orow) in chunk.chunks_mut(m).enumerate() {
+            if let Some((t, _)) = owners[slot0 + s] {
+                orow.copy_from_slice(&xs[t as usize * m..(t as usize + 1) * m]);
             }
         }
-    }
+    });
     Ok(out)
 }
 
@@ -68,6 +107,7 @@ pub fn fast_encode(x: &Tensor, routing: &Routing) -> Result<Tensor, TensorError>
 /// # Errors
 ///
 /// Returns a [`TensorError`] if `d_dispatched` has the wrong shape.
+// check:hot
 pub fn fast_encode_backward(
     d_dispatched: &Tensor,
     routing: &Routing,
@@ -75,23 +115,24 @@ pub fn fast_encode_backward(
 ) -> Result<Tensor, TensorError> {
     let m = check_dispatch(d_dispatched, routing)?;
     let cap = routing.capacity;
-    let mut dx = Tensor::zeros(&[tokens, m]);
-    for (t, (experts, locs)) in routing
-        .expert_of
-        .iter()
-        .zip(&routing.location_of)
-        .enumerate()
-    {
-        for (&e, loc) in experts.iter().zip(locs) {
-            if let Some(l) = *loc {
-                let off = (e * cap + l) * m;
-                let src = &d_dispatched.as_slice()[off..off + m];
-                for (o, v) in dx.as_mut_slice()[t * m..(t + 1) * m].iter_mut().zip(src) {
-                    *o += v;
+    let mut dx = scratch::zeroed(&[tokens, m]);
+    let dd = d_dispatched.as_slice();
+    // Token-major: each token row sums the gradients parked in its
+    // own slots, in selection order (same order as the serial kernel).
+    tutel_rt::parallel_chunks(dx.as_mut_slice(), ROW_CHUNK * m, |blk, chunk| {
+        let t0 = blk * ROW_CHUNK;
+        for (ti, orow) in chunk.chunks_mut(m).enumerate() {
+            let t = t0 + ti;
+            for (&e, loc) in routing.expert_of[t].iter().zip(&routing.location_of[t]) {
+                if let Some(l) = *loc {
+                    let src = &dd[(e * cap + l) * m..(e * cap + l + 1) * m];
+                    for (o, v) in orow.iter_mut().zip(src) {
+                        *o += v;
+                    }
                 }
             }
         }
-    }
+    });
     Ok(dx)
 }
 
@@ -103,27 +144,32 @@ pub fn fast_encode_backward(
 /// # Errors
 ///
 /// Returns a [`TensorError`] if `y` has the wrong shape.
+// check:hot
 pub fn fast_decode(y: &Tensor, routing: &Routing, tokens: usize) -> Result<Tensor, TensorError> {
     let m = check_dispatch(y, routing)?;
     let cap = routing.capacity;
-    let mut out = Tensor::zeros(&[tokens, m]);
-    for (t, ((experts, locs), gates)) in routing
-        .expert_of
-        .iter()
-        .zip(&routing.location_of)
-        .zip(&routing.gate_of)
-        .enumerate()
-    {
-        for ((&e, loc), &g) in experts.iter().zip(locs).zip(gates) {
-            if let Some(l) = *loc {
-                let off = (e * cap + l) * m;
-                let src = &y.as_slice()[off..off + m];
-                for (o, v) in out.as_mut_slice()[t * m..(t + 1) * m].iter_mut().zip(src) {
-                    *o += g * v;
+    let mut out = scratch::zeroed(&[tokens, m]);
+    let ys = y.as_slice();
+    // Token-major: each token row is a gate-weighted sum of its ≤ k
+    // expert output rows, accumulated in selection order.
+    tutel_rt::parallel_chunks(out.as_mut_slice(), ROW_CHUNK * m, |blk, chunk| {
+        let t0 = blk * ROW_CHUNK;
+        for (ti, orow) in chunk.chunks_mut(m).enumerate() {
+            let t = t0 + ti;
+            for ((&e, loc), &g) in routing.expert_of[t]
+                .iter()
+                .zip(&routing.location_of[t])
+                .zip(&routing.gate_of[t])
+            {
+                if let Some(l) = *loc {
+                    let src = &ys[(e * cap + l) * m..(e * cap + l + 1) * m];
+                    for (o, v) in orow.iter_mut().zip(src) {
+                        *o += g * v;
+                    }
                 }
             }
         }
-    }
+    });
     Ok(out)
 }
 
@@ -131,10 +177,14 @@ pub fn fast_decode(y: &Tensor, routing: &Routing, tokens: usize) -> Result<Tenso
 /// has shape `(E, ΔC, M)` and `d_gates[t][i]` is the gradient of the
 /// `i`-th gate value of token `t` (`⟨y_row, d_out_row⟩`, Figure 19).
 ///
+/// Runs as two ownership-parallel passes: slot-major for `d_y` (each
+/// slot's gradient is its owner's `g · d_out` row) and token-major for
+/// `d_gates`.
+///
 /// # Errors
 ///
 /// Returns a [`TensorError`] on any shape mismatch.
-#[allow(clippy::needless_range_loop)]
+// check:hot
 pub fn fast_decode_backward(
     d_out: &Tensor,
     y: &Tensor,
@@ -143,40 +193,55 @@ pub fn fast_decode_backward(
     let m = check_tokens(d_out, routing)?;
     let m2 = check_dispatch(y, routing)?;
     if m != m2 {
-        return Err(TensorError::ShapeMismatch {
-            left: d_out.dims().to_vec(),
-            right: y.dims().to_vec(),
-            op: "fast_decode_backward",
-        });
+        return Err(TensorError::shape_mismatch(
+            "fast_decode_backward",
+            d_out.dims(),
+            y.dims(),
+        ));
     }
     let cap = routing.capacity;
-    let mut dy = Tensor::zeros(y.dims());
-    let mut dgates: Vec<Vec<f32>> = routing.gate_of.iter().map(|g| vec![0.0; g.len()]).collect();
-    for (t, ((experts, locs), gates)) in routing
-        .expert_of
-        .iter()
-        .zip(&routing.location_of)
-        .zip(&routing.gate_of)
-        .enumerate()
-    {
-        let drow = &d_out.as_slice()[t * m..(t + 1) * m];
-        for (i, ((&e, loc), &g)) in experts.iter().zip(locs).zip(gates).enumerate() {
-            if let Some(l) = *loc {
-                let off = (e * cap + l) * m;
-                let yrow = &y.as_slice()[off..off + m];
-                let mut dot = 0.0f32;
-                for ((o, dv), yv) in dy.as_mut_slice()[off..off + m]
-                    .iter_mut()
-                    .zip(drow)
-                    .zip(yrow)
-                {
+    let owners = slot_owners(routing);
+    let ds = d_out.as_slice();
+    let ys = y.as_slice();
+
+    // Pass 1, slot-major: dy[slot] = g · d_out[owner token].
+    let mut dy = scratch::zeroed(&[routing.experts, cap, m]);
+    tutel_rt::parallel_chunks(dy.as_mut_slice(), ROW_CHUNK * m, |blk, chunk| {
+        let slot0 = blk * ROW_CHUNK;
+        for (s, orow) in chunk.chunks_mut(m).enumerate() {
+            if let Some((t, i)) = owners[slot0 + s] {
+                let g = routing.gate_of[t as usize][i as usize];
+                let drow = &ds[t as usize * m..(t as usize + 1) * m];
+                for (o, dv) in orow.iter_mut().zip(drow) {
                     *o += g * dv;
-                    dot += yv * dv;
                 }
-                dgates[t][i] = dot;
             }
         }
-    }
+    });
+
+    // Pass 2, token-major: dgates[t][i] = ⟨y_slot, d_out_t⟩.
+    let mut dgates: Vec<Vec<f32>> = routing.gate_of.iter().map(|g| vec![0.0; g.len()]).collect();
+    tutel_rt::parallel_chunks(&mut dgates, ROW_CHUNK, |blk, chunk| {
+        let t0 = blk * ROW_CHUNK;
+        for (ti, grow) in chunk.iter_mut().enumerate() {
+            let t = t0 + ti;
+            let drow = &ds[t * m..(t + 1) * m];
+            for (i, (&e, loc)) in routing.expert_of[t]
+                .iter()
+                .zip(&routing.location_of[t])
+                .enumerate()
+            {
+                if let Some(l) = *loc {
+                    let yrow = &ys[(e * cap + l) * m..(e * cap + l + 1) * m];
+                    let mut dot = 0.0f32;
+                    for (yv, dv) in yrow.iter().zip(drow) {
+                        dot += yv * dv;
+                    }
+                    grow[i] = dot;
+                }
+            }
+        }
+    });
     Ok((dy, dgates))
 }
 
@@ -200,11 +265,11 @@ fn check_tokens(x: &Tensor, routing: &Routing) -> Result<usize, TensorError> {
 
 fn check_dispatch(y: &Tensor, routing: &Routing) -> Result<usize, TensorError> {
     if y.rank() != 3 || y.dims()[0] != routing.experts || y.dims()[1] != routing.capacity {
-        return Err(TensorError::ShapeMismatch {
-            left: y.dims().to_vec(),
-            right: vec![routing.experts, routing.capacity, 0],
-            op: "fast_decode",
-        });
+        return Err(TensorError::shape_mismatch(
+            "fast_decode",
+            y.dims(),
+            &[routing.experts, routing.capacity, 0],
+        ));
     }
     Ok(y.dims()[2])
 }
@@ -356,6 +421,24 @@ mod tests {
                     dgates[t][gi]
                 );
             }
+        }
+    }
+
+    #[test]
+    fn dispatch_kernels_bit_identical_across_limits() {
+        let (routing, x) = routing_and_input(130, 8, 2, 17);
+        let run = |limit: usize| {
+            tutel_rt::with_parallelism_limit(limit, || {
+                let d = fast_encode(&x, &routing).unwrap();
+                let out = fast_decode(&d, &routing, 130).unwrap();
+                let (dy, dgates) = fast_decode_backward(&out, &d, &routing).unwrap();
+                let dx = fast_encode_backward(&dy, &routing, 130).unwrap();
+                (d, out, dy, dgates, dx)
+            })
+        };
+        let reference = run(1);
+        for limit in [2, 4, 8] {
+            assert_eq!(run(limit), reference, "limit {limit}");
         }
     }
 

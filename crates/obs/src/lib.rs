@@ -63,9 +63,11 @@ pub mod events;
 pub mod json;
 pub mod metrics;
 pub mod ring;
+pub mod runtime;
 mod telemetry;
 
 pub use events::{CollectiveRecord, DecisionRecord, Event, SpanRecord, StepRecord, TagValue};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use ring::RingBuffer;
+pub use runtime::{record_runtime, RuntimeSnapshot};
 pub use telemetry::{Span, Telemetry};

@@ -1,0 +1,102 @@
+//! Compute-runtime gauges: pool utilization, steal counts, arena
+//! hit-rate.
+//!
+//! `tutel-obs` sits at the bottom of the workspace layering and must
+//! not depend on `tutel-rt`, so the runtime's counters arrive here as
+//! a plain-number [`RuntimeSnapshot`] filled in by the caller (the
+//! trainer, the bench harness) from `tutel_rt::pool_stats()` and
+//! `tutel_rt::arena().stats()`. [`record_runtime`] turns one snapshot
+//! into the stable gauge names below, so JSONL exports from any
+//! harness agree on spelling.
+
+use crate::Telemetry;
+
+/// Gauge: worker threads in the pool (including the caller's slot).
+pub const POOL_WORKERS: &str = "rt.pool.workers";
+/// Gauge: parallel jobs dispatched through the pool so far.
+pub const POOL_JOBS: &str = "rt.pool.jobs";
+/// Gauge: chunks executed across all jobs so far.
+pub const POOL_CHUNKS: &str = "rt.pool.chunks";
+/// Gauge: fraction of chunks executed by background workers rather
+/// than the calling thread (0 on a single-core host).
+pub const POOL_UTILIZATION: &str = "rt.pool.utilization";
+/// Gauge: chunks claimed out of another participant's region.
+pub const POOL_STEALS: &str = "rt.pool.steals";
+/// Gauge: fraction of arena takes served from the free lists.
+pub const ARENA_HIT_RATE: &str = "rt.arena.hit_rate";
+/// Gauge: `f32` elements currently retained in the arena free lists.
+pub const ARENA_RETAINED_ELEMS: &str = "rt.arena.retained_elems";
+/// Gauge: buffers the arena dropped because a retention cap was hit.
+pub const ARENA_EVICTIONS: &str = "rt.arena.evictions";
+
+/// A point-in-time copy of the compute runtime's cumulative counters,
+/// decoupled from `tutel-rt`'s own stats types.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RuntimeSnapshot {
+    /// Worker threads in the pool, including the caller's slot.
+    pub pool_workers: usize,
+    /// Parallel jobs dispatched through the pool.
+    pub pool_jobs: u64,
+    /// Chunks executed across all jobs.
+    pub pool_chunks: u64,
+    /// Fraction of chunks executed by background workers.
+    pub pool_utilization: f64,
+    /// Chunks claimed out of another participant's region.
+    pub pool_steals: u64,
+    /// Fraction of arena takes served from the free lists.
+    pub arena_hit_rate: f64,
+    /// `f32` elements currently retained in the arena free lists.
+    pub arena_retained_elems: usize,
+    /// Buffers dropped because an arena retention cap was hit.
+    pub arena_evictions: u64,
+}
+
+/// Publishes `snap` as gauges on `tel` under the `rt.*` names. A
+/// no-op (one branch per gauge) when telemetry is disabled.
+pub fn record_runtime(tel: &Telemetry, snap: &RuntimeSnapshot) {
+    if !tel.is_enabled() {
+        return;
+    }
+    tel.set_gauge(POOL_WORKERS, snap.pool_workers as f64);
+    tel.set_gauge(POOL_JOBS, snap.pool_jobs as f64);
+    tel.set_gauge(POOL_CHUNKS, snap.pool_chunks as f64);
+    tel.set_gauge(POOL_UTILIZATION, snap.pool_utilization);
+    tel.set_gauge(POOL_STEALS, snap.pool_steals as f64);
+    tel.set_gauge(ARENA_HIT_RATE, snap.arena_hit_rate);
+    tel.set_gauge(ARENA_RETAINED_ELEMS, snap.arena_retained_elems as f64);
+    tel.set_gauge(ARENA_EVICTIONS, snap.arena_evictions as f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_runtime_sets_all_gauges() {
+        let tel = Telemetry::enabled();
+        let snap = RuntimeSnapshot {
+            pool_workers: 4,
+            pool_jobs: 10,
+            pool_chunks: 80,
+            pool_utilization: 0.75,
+            pool_steals: 3,
+            arena_hit_rate: 0.9,
+            arena_retained_elems: 1024,
+            arena_evictions: 1,
+        };
+        record_runtime(&tel, &snap);
+        assert_eq!(tel.gauge_value(POOL_WORKERS), Some(4.0));
+        assert_eq!(tel.gauge_value(POOL_UTILIZATION), Some(0.75));
+        assert_eq!(tel.gauge_value(POOL_STEALS), Some(3.0));
+        assert_eq!(tel.gauge_value(ARENA_HIT_RATE), Some(0.9));
+        assert_eq!(tel.gauge_value(ARENA_RETAINED_ELEMS), Some(1024.0));
+        assert_eq!(tel.gauge_value(ARENA_EVICTIONS), Some(1.0));
+    }
+
+    #[test]
+    fn disabled_telemetry_is_a_no_op() {
+        let tel = Telemetry::disabled();
+        record_runtime(&tel, &RuntimeSnapshot::default());
+        assert_eq!(tel.gauge_value(POOL_WORKERS), None);
+    }
+}

@@ -50,6 +50,22 @@ pub enum TensorError {
     InvalidArgument(String),
 }
 
+impl TensorError {
+    /// Builds a [`TensorError::ShapeMismatch`] out of borrowed shapes.
+    ///
+    /// `#[cold]` and out-of-line so `check:hot` kernels can construct
+    /// rich errors without putting the `Vec` allocations on the hot
+    /// path the optimizer sees.
+    #[cold]
+    pub fn shape_mismatch(op: &'static str, left: &[usize], right: &[usize]) -> TensorError {
+        TensorError::ShapeMismatch {
+            left: left.to_vec(),
+            right: right.to_vec(),
+            op,
+        }
+    }
+}
+
 impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

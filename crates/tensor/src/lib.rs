@@ -23,12 +23,15 @@ mod init;
 mod linalg;
 mod ops;
 pub mod precision;
+pub mod scratch;
 mod shape;
 #[allow(clippy::module_inception)]
 mod tensor;
 
 pub use error::TensorError;
 pub use init::Rng;
+pub use linalg::{gemm_bnn, gemm_nn, gemm_nn_sparse, gemm_nt, gemm_tn};
+pub use ops::{gelu_backward_in_place, gelu_backward_with_tanh, gelu_slice, gelu_slice_with_tanh};
 pub use precision::{quantize, Precision};
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -3,8 +3,53 @@
 //! Expert FFNs in the paper are computed as strided batched GEMMs
 //! (`bgemm_strided_batched` in PyTorch); the simulator's cost model keys
 //! off the same shapes these functions take.
+//!
+//! # Kernel design
+//!
+//! All four entry points (`matmul`, `bmm`, `matmul_nt`, `matmul_tn`)
+//! route through cache-blocked, panel-packed slice kernels that run on
+//! the `tutel-rt` pool:
+//!
+//! * the output is split into fixed [`ROW_BLOCK`]-row chunks — block
+//!   boundaries depend only on the problem shape, never the worker
+//!   count, so results are **bit-identical for every `TUTEL_THREADS`**
+//!   (`bmm` parallelizes over `batch × row-blocks`);
+//! * inside a block, the `k` dimension is tiled by [`KC`] and an
+//!   [`MR`]`×`[`NR`] register micro-tile accumulates with a fixed,
+//!   branch-free inner loop the compiler can keep in vector registers
+//!   (A panels are packed `kc × MR`-interleaved so the microkernel
+//!   reads both operands contiguously);
+//! * the old `av == 0.0` skip is gone from the dense path — on dense
+//!   operands the branch costs more than the multiply and blocks
+//!   vectorization. [`gemm_nn_sparse`] keeps that behaviour for
+//!   operands whose zeros are *structural* (one-hot dispatch masks),
+//!   which is the only place value-sparsity is worth a branch.
+//!
+//! The slice-level kernels ([`gemm_nn`], [`gemm_tn`], [`gemm_nt`],
+//! [`gemm_bnn`]) are public so backward passes can accumulate straight
+//! into pre-allocated gradient buffers without materializing
+//! intermediate tensors.
 
 use crate::{Result, Tensor, TensorError};
+
+/// Rows per register micro-tile.
+const MR: usize = 4;
+/// Columns per register micro-tile.
+const NR: usize = 8;
+/// `k`-dimension panel depth: one packed A panel is `KC × MR` floats
+/// (4 KiB), comfortably L1-resident.
+const KC: usize = 256;
+/// Output rows per parallel chunk. Fixed (never derived from worker
+/// count) so chunk boundaries — and therefore accumulation order —
+/// are identical for every pool size.
+const ROW_BLOCK: usize = 32;
+
+/// Builds a tensor around an arena buffer whose length already equals
+/// `dims` product (the fallback allocation is unreachable and exists
+/// only to keep this path typed-error free).
+fn tensor_from_scratch(data: Vec<f32>, dims: &[usize]) -> Tensor {
+    Tensor::from_vec(data, dims).unwrap_or_else(|_| Tensor::zeros(dims))
+}
 
 impl Tensor {
     /// Matrix product of two rank-2 tensors: `(m, k) × (k, n) → (m, n)`.
@@ -13,6 +58,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::RankMismatch`] for non-matrices, or
     /// [`TensorError::ShapeMismatch`] if the inner dimensions disagree.
+    // check:hot
     pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
         if self.rank() != 2 {
             return Err(TensorError::RankMismatch {
@@ -31,15 +77,15 @@ impl Tensor {
         let (m, k) = (self.dims()[0], self.dims()[1]);
         let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
         if k != k2 {
-            return Err(TensorError::ShapeMismatch {
-                left: self.dims().to_vec(),
-                right: rhs.dims().to_vec(),
-                op: "matmul",
-            });
+            return Err(TensorError::shape_mismatch(
+                "matmul",
+                self.dims(),
+                rhs.dims(),
+            ));
         }
-        let mut out = Tensor::zeros(&[m, n]);
-        gemm(self.as_slice(), rhs.as_slice(), out.as_mut_slice(), m, k, n);
-        Ok(out)
+        let mut out = tutel_rt::arena().take_zeroed(m * n);
+        gemm_nn(self.as_slice(), rhs.as_slice(), &mut out, m, k, n);
+        Ok(tensor_from_scratch(out, &[m, n]))
     }
 
     /// Batched matrix product: `(b, m, k) × (b, k, n) → (b, m, n)`.
@@ -47,11 +93,13 @@ impl Tensor {
     /// This is the CPU analogue of `bgemm_strided_batched`, the operation
     /// the paper's Figure 7 profiles. Expert computation uses it with
     /// `b = ΔE` (local experts), `m = C` (capacity), `k = M`, `n = V`.
+    /// Parallelized over `batch × row-blocks`.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::RankMismatch`] for non-rank-3 operands, or
     /// [`TensorError::ShapeMismatch`] if batch or inner dims disagree.
+    // check:hot
     pub fn bmm(&self, rhs: &Tensor) -> Result<Tensor> {
         if self.rank() != 3 {
             return Err(TensorError::RankMismatch {
@@ -70,20 +118,11 @@ impl Tensor {
         let (b, m, k) = (self.dims()[0], self.dims()[1], self.dims()[2]);
         let (b2, k2, n) = (rhs.dims()[0], rhs.dims()[1], rhs.dims()[2]);
         if b != b2 || k != k2 {
-            return Err(TensorError::ShapeMismatch {
-                left: self.dims().to_vec(),
-                right: rhs.dims().to_vec(),
-                op: "bmm",
-            });
+            return Err(TensorError::shape_mismatch("bmm", self.dims(), rhs.dims()));
         }
-        let mut out = Tensor::zeros(&[b, m, n]);
-        for i in 0..b {
-            let a = &self.as_slice()[i * m * k..(i + 1) * m * k];
-            let w = &rhs.as_slice()[i * k * n..(i + 1) * k * n];
-            let o = &mut out.as_mut_slice()[i * m * n..(i + 1) * m * n];
-            gemm(a, w, o, m, k, n);
-        }
-        Ok(out)
+        let mut out = tutel_rt::arena().take_zeroed(b * m * n);
+        gemm_bnn(self.as_slice(), rhs.as_slice(), &mut out, b, m, k, n);
+        Ok(tensor_from_scratch(out, &[b, m, n]))
     }
 
     /// `self × rhsᵀ` for rank-2 tensors: `(m, k) × (n, k)ᵀ → (m, n)`.
@@ -95,6 +134,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::RankMismatch`] or
     /// [`TensorError::ShapeMismatch`] analogous to [`Tensor::matmul`].
+    // check:hot
     pub fn matmul_nt(&self, rhs: &Tensor) -> Result<Tensor> {
         if self.rank() != 2 || rhs.rank() != 2 {
             return Err(TensorError::RankMismatch {
@@ -106,26 +146,15 @@ impl Tensor {
         let (m, k) = (self.dims()[0], self.dims()[1]);
         let (n, k2) = (rhs.dims()[0], rhs.dims()[1]);
         if k != k2 {
-            return Err(TensorError::ShapeMismatch {
-                left: self.dims().to_vec(),
-                right: rhs.dims().to_vec(),
-                op: "matmul_nt",
-            });
+            return Err(TensorError::shape_mismatch(
+                "matmul_nt",
+                self.dims(),
+                rhs.dims(),
+            ));
         }
-        let mut out = Tensor::zeros(&[m, n]);
-        let a = self.as_slice();
-        let b = rhs.as_slice();
-        let o = out.as_mut_slice();
-        for i in 0..m {
-            for j in 0..n {
-                let mut acc = 0.0f32;
-                for p in 0..k {
-                    acc += a[i * k + p] * b[j * k + p];
-                }
-                o[i * n + j] = acc;
-            }
-        }
-        Ok(out)
+        let mut out = tutel_rt::arena().take_zeroed(m * n);
+        gemm_nt(self.as_slice(), rhs.as_slice(), &mut out, m, k, n);
+        Ok(tensor_from_scratch(out, &[m, n]))
     }
 
     /// `selfᵀ × rhs` for rank-2 tensors: `(k, m)ᵀ × (k, n) → (m, n)`.
@@ -136,6 +165,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::RankMismatch`] or
     /// [`TensorError::ShapeMismatch`] analogous to [`Tensor::matmul`].
+    // check:hot
     pub fn matmul_tn(&self, rhs: &Tensor) -> Result<Tensor> {
         if self.rank() != 2 || rhs.rank() != 2 {
             return Err(TensorError::RankMismatch {
@@ -147,65 +177,141 @@ impl Tensor {
         let (k, m) = (self.dims()[0], self.dims()[1]);
         let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
         if k != k2 {
-            return Err(TensorError::ShapeMismatch {
-                left: self.dims().to_vec(),
-                right: rhs.dims().to_vec(),
-                op: "matmul_tn",
-            });
+            return Err(TensorError::shape_mismatch(
+                "matmul_tn",
+                self.dims(),
+                rhs.dims(),
+            ));
         }
-        let mut out = Tensor::zeros(&[m, n]);
-        let a = self.as_slice();
-        let b = rhs.as_slice();
-        let o = out.as_mut_slice();
-        for p in 0..k {
-            for i in 0..m {
-                let av = a[p * m + i];
-                if av == 0.0 {
-                    continue;
-                }
-                for j in 0..n {
-                    o[i * n + j] += av * b[p * n + j];
-                }
-            }
-        }
-        Ok(out)
+        let mut out = tutel_rt::arena().take_zeroed(m * n);
+        gemm_tn(self.as_slice(), rhs.as_slice(), &mut out, m, k, n);
+        Ok(tensor_from_scratch(out, &[m, n]))
     }
 }
 
-/// FLOP threshold above which GEMMs split across threads. Each output
-/// row is computed by exactly one thread with the same serial kernel,
-/// so results are bit-identical to the single-threaded path.
-const PAR_FLOP_THRESHOLD: usize = 1 << 22;
-
-/// Maximum worker threads for a parallel GEMM.
-const PAR_MAX_THREADS: usize = 4;
-
-/// Inner GEMM kernel: `out[m×n] = a[m×k] · b[k×n]` (accumulating into a
-/// zeroed buffer). i-k-j loop order keeps the innermost loop streaming
-/// over contiguous memory; large problems split output rows across
-/// threads.
-fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+/// `out += a · b` over row-major buffers `a (m, k)`, `b (k, n)`,
+/// `out (m, n)`, parallel over fixed row blocks.
+pub fn gemm_nn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
-    let flops = 2 * m * k * n;
-    if flops >= PAR_FLOP_THRESHOLD && m >= 2 {
-        let threads = PAR_MAX_THREADS.min(m);
-        let rows_per = m.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (block, chunk) in out.chunks_mut(rows_per * n).enumerate() {
-                let row0 = block * rows_per;
-                let rows = chunk.len() / n;
-                let a_block = &a[row0 * k..(row0 + rows) * k];
-                scope.spawn(move || gemm_serial(a_block, b, chunk, rows, k, n));
-            }
-        });
-    } else {
-        gemm_serial(a, b, out, m, k, n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
     }
+    tutel_rt::parallel_chunks(out, ROW_BLOCK * n, |blk, chunk| {
+        block_packed(
+            a,
+            b,
+            chunk,
+            blk * ROW_BLOCK,
+            chunk.len() / n,
+            k,
+            n,
+            Layout::Nn { k },
+        );
+    });
 }
 
-fn gemm_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+/// Batched `out += a · b` over row-major buffers `a (B, m, k)`,
+/// `bb (B, k, n)`, `out (B, m, n)`, parallel over batch × row-blocks.
+pub fn gemm_bnn(
+    a: &[f32],
+    bb: &[f32],
+    out: &mut [f32],
+    batches: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(a.len(), batches * m * k);
+    debug_assert_eq!(bb.len(), batches * k * n);
+    debug_assert_eq!(out.len(), batches * m * n);
+    if batches == 0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let blocks_per = m.div_ceil(ROW_BLOCK);
+    let ranges: Vec<(usize, usize)> = (0..batches * blocks_per)
+        .map(|idx| {
+            let (bi, blk) = (idx / blocks_per, idx % blocks_per);
+            let r0 = blk * ROW_BLOCK;
+            let r1 = (r0 + ROW_BLOCK).min(m);
+            (bi * m * n + r0 * n, bi * m * n + r1 * n)
+        })
+        .collect();
+    tutel_rt::parallel_ranges(out, &ranges, |idx, chunk| {
+        let (bi, blk) = (idx / blocks_per, idx % blocks_per);
+        let a_batch = &a[bi * m * k..(bi + 1) * m * k];
+        let b_batch = &bb[bi * k * n..(bi + 1) * k * n];
+        block_packed(
+            a_batch,
+            b_batch,
+            chunk,
+            blk * ROW_BLOCK,
+            chunk.len() / n,
+            k,
+            n,
+            Layout::Nn { k },
+        );
+    });
+}
+
+/// `out += aᵀ · b` over row-major buffers `a (k, m)`, `b (k, n)`,
+/// `out (m, n)`, parallel over fixed row blocks. Shares the packed
+/// microkernel with [`gemm_nn`]; only the A-panel packer differs
+/// (column gather instead of row copy).
+pub fn gemm_tn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    tutel_rt::parallel_chunks(out, ROW_BLOCK * n, |blk, chunk| {
+        block_packed(
+            a,
+            b,
+            chunk,
+            blk * ROW_BLOCK,
+            chunk.len() / n,
+            k,
+            n,
+            Layout::Tn { m },
+        );
+    });
+}
+
+/// `out += a · bᵀ` over row-major buffers `a (m, k)`, `b (n, k)`,
+/// `out (m, n)`, parallel over fixed row blocks. Both operands are
+/// row-major over `k`, so each output element is an 8-lane strip-mined
+/// dot product with a fixed horizontal-sum order.
+pub fn gemm_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    tutel_rt::parallel_chunks(out, ROW_BLOCK * n, |blk, chunk| {
+        let row0 = blk * ROW_BLOCK;
+        for (i, orow) in chunk.chunks_mut(n).enumerate() {
+            let arow = &a[(row0 + i) * k..(row0 + i + 1) * k];
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o += dot_lanes(arow, &b[j * k..(j + 1) * k]);
+            }
+        }
+    });
+}
+
+/// Serial value-sparsity-aware `out += a · b` over row-major buffers
+/// `a (m, k)`, `b (k, n)`, `out (m, n)`: rows of `a` that are
+/// structurally zero (one-hot dispatch/combine masks) skip their
+/// whole `n`-length update. Only worth it when zeros carry
+/// meaning — on dense operands use [`gemm_nn`], where the branch-free
+/// microkernel wins.
+pub fn gemm_nn_sparse(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
     for i in 0..m {
         for p in 0..k {
             let av = a[i * k + p];
@@ -221,9 +327,213 @@ fn gemm_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usi
     }
 }
 
+/// How the A operand is laid out relative to the `m × k` iteration
+/// space of one packed block.
+#[derive(Clone, Copy)]
+enum Layout {
+    /// A is `m × k` row-major (stride `k` between rows).
+    Nn { k: usize },
+    /// A is `k × m` row-major — a transposed read (stride `m` between
+    /// consecutive `p`).
+    Tn { m: usize },
+}
+
+/// Serial packed kernel for one `rows × n` output block starting at
+/// absolute row `row0`. Accumulates into `out_rows` (`rows * n`
+/// elements). Same code runs regardless of which pool worker executes
+/// the block, so results never depend on thread count.
+#[allow(clippy::too_many_arguments)]
+fn block_packed(
+    a: &[f32],
+    b: &[f32],
+    out_rows: &mut [f32],
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+    layout: Layout,
+) {
+    let mut apanel = [0.0f32; KC * MR];
+    let mut pc = 0;
+    while pc < k {
+        let kc_len = KC.min(k - pc);
+        let mut ir = 0;
+        while ir < rows {
+            let mr_eff = MR.min(rows - ir);
+            // Pack the A micro-panel `kc_len × MR`, interleaved so the
+            // microkernel reads MR values per `p` contiguously. Short
+            // tiles are zero-padded: the padding rows multiply into
+            // accumulators that are never written back.
+            match layout {
+                Layout::Nn { k } => {
+                    for r in 0..MR {
+                        if r < mr_eff {
+                            let arow = &a[(row0 + ir + r) * k + pc..];
+                            for p in 0..kc_len {
+                                apanel[p * MR + r] = arow[p];
+                            }
+                        } else {
+                            for p in 0..kc_len {
+                                apanel[p * MR + r] = 0.0;
+                            }
+                        }
+                    }
+                }
+                Layout::Tn { m } => {
+                    for p in 0..kc_len {
+                        let acol = &a[(pc + p) * m + row0 + ir..];
+                        for r in 0..MR {
+                            apanel[p * MR + r] = if r < mr_eff { acol[r] } else { 0.0 };
+                        }
+                    }
+                }
+            }
+            let mut jc = 0;
+            while jc < n {
+                let nr_eff = NR.min(n - jc);
+                if nr_eff == NR {
+                    micro_tile_full(&apanel, kc_len, b, n, pc, jc, out_rows, ir, mr_eff);
+                } else {
+                    micro_tile_edge(&apanel, kc_len, b, n, pc, jc, nr_eff, out_rows, ir, mr_eff);
+                }
+                jc += NR;
+            }
+            ir += MR;
+        }
+        pc += KC;
+    }
+}
+
+/// Full `MR × NR` register tile: branch-free p-innermost accumulation
+/// the compiler can vectorize (NR-wide FMA rows broadcast-scaled by
+/// packed A values).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn micro_tile_full(
+    apanel: &[f32],
+    kc_len: usize,
+    b: &[f32],
+    n: usize,
+    pc: usize,
+    jc: usize,
+    out_rows: &mut [f32],
+    ir: usize,
+    mr_eff: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..kc_len {
+        let boff = (pc + p) * n + jc;
+        let brow = &b[boff..boff + NR];
+        let avals = &apanel[p * MR..p * MR + MR];
+        for r in 0..MR {
+            let av = avals[r];
+            let accr = &mut acc[r];
+            for j in 0..NR {
+                accr[j] += av * brow[j];
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate().take(mr_eff) {
+        let ooff = (ir + r) * n + jc;
+        let orow = &mut out_rows[ooff..ooff + NR];
+        for j in 0..NR {
+            orow[j] += accr[j];
+        }
+    }
+}
+
+/// Ragged right-edge tile (`nr_eff < NR` columns).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn micro_tile_edge(
+    apanel: &[f32],
+    kc_len: usize,
+    b: &[f32],
+    n: usize,
+    pc: usize,
+    jc: usize,
+    nr_eff: usize,
+    out_rows: &mut [f32],
+    ir: usize,
+    mr_eff: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..kc_len {
+        let boff = (pc + p) * n + jc;
+        let brow = &b[boff..boff + nr_eff];
+        let avals = &apanel[p * MR..p * MR + MR];
+        for r in 0..MR {
+            let av = avals[r];
+            let accr = &mut acc[r];
+            for (j, &bv) in brow.iter().enumerate() {
+                accr[j] += av * bv;
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate().take(mr_eff) {
+        let ooff = (ir + r) * n + jc;
+        let orow = &mut out_rows[ooff..ooff + nr_eff];
+        for (j, o) in orow.iter_mut().enumerate() {
+            *o += accr[j];
+        }
+    }
+}
+
+/// 8-lane strip-mined dot product with a fixed reduction tree, so the
+/// result is a pure function of the operands (never of scheduling).
+#[inline]
+fn dot_lanes(x: &[f32], y: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), y.len());
+    let mut lanes = [0.0f32; NR];
+    let blocks = x.len() / NR;
+    for c in 0..blocks {
+        let xb = &x[c * NR..c * NR + NR];
+        let yb = &y[c * NR..c * NR + NR];
+        for l in 0..NR {
+            lanes[l] += xb[l] * yb[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for i in blocks * NR..x.len() {
+        tail += x[i] * y[i];
+    }
+    let s0 = (lanes[0] + lanes[4]) + (lanes[1] + lanes[5]);
+    let s1 = (lanes[2] + lanes[6]) + (lanes[3] + lanes[7]);
+    (s0 + s1) + tail
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Naive reference: plain i-j-p triple loop, no blocking.
+    fn gemm_ref(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    fn assert_close(got: &[f32], want: &[f32], k: usize) {
+        assert_eq!(got.len(), want.len());
+        // Blocked accumulation reorders sums; tolerance scales with
+        // the reduction length (ULP-scale, not loose).
+        let tol = 1e-5 * (k as f32).sqrt().max(1.0);
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            let scale = w.abs().max(1.0);
+            assert!(
+                (g - w).abs() <= tol * scale,
+                "elem {i}: got {g}, want {w} (tol {tol})"
+            );
+        }
+    }
 
     #[test]
     fn matmul_identity() {
@@ -271,21 +581,37 @@ mod tests {
     }
 
     #[test]
-    fn parallel_gemm_is_bit_identical_to_serial() {
-        // A problem big enough to cross the parallel threshold; compare
-        // against the serial kernel directly.
-        let (m, k, n) = (64usize, 128usize, 256usize);
+    fn blocked_gemm_matches_naive_on_awkward_shapes() {
+        let mut rng = crate::Rng::seed(7);
+        // Shapes straddling every blocking edge: sub-tile, exact-tile,
+        // ragged rows/cols, multi-KC-panel k.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (4, 8, 8),
+            (33, 17, 9),
+            (32, 300, 40),
+            (65, 513, 31),
+        ] {
+            let a = rng.normal_tensor(&[m, k], 0.0, 1.0);
+            let b = rng.normal_tensor(&[k, n], 0.0, 1.0);
+            let got = a.matmul(&b).unwrap();
+            let want = gemm_ref(a.as_slice(), b.as_slice(), m, k, n);
+            assert_close(got.as_slice(), &want, k);
+        }
+    }
+
+    #[test]
+    fn gemm_is_bit_identical_across_parallelism_limits() {
+        let (m, k, n) = (97usize, 130usize, 57usize);
         let mut rng = crate::Rng::seed(99);
         let a = rng.normal_tensor(&[m, k], 0.0, 1.0);
         let b = rng.normal_tensor(&[k, n], 0.0, 1.0);
-        assert!(
-            2 * m * k * n >= PAR_FLOP_THRESHOLD,
-            "fixture must trigger threading"
-        );
-        let parallel = a.matmul(&b).unwrap();
-        let mut serial = vec![0.0f32; m * n];
-        gemm_serial(a.as_slice(), b.as_slice(), &mut serial, m, k, n);
-        assert_eq!(parallel.as_slice(), serial.as_slice());
+        let reference = tutel_rt::with_parallelism_limit(1, || a.matmul(&b).unwrap());
+        for limit in [2, 4, 8] {
+            let got = tutel_rt::with_parallelism_limit(limit, || a.matmul(&b).unwrap());
+            assert_eq!(got.as_slice(), reference.as_slice(), "limit {limit}");
+        }
     }
 
     #[test]
@@ -294,7 +620,8 @@ mod tests {
         let b = Tensor::from_vec((0..12).map(|x| x as f32 * 0.25).collect(), &[4, 3]).unwrap();
         let fast = a.matmul_nt(&b).unwrap();
         let slow = a.matmul(&b.transpose2().unwrap()).unwrap();
-        assert_eq!(fast, slow);
+        let want: Vec<f32> = slow.as_slice().to_vec();
+        assert_close(fast.as_slice(), &want, 3);
     }
 
     #[test]
@@ -303,6 +630,115 @@ mod tests {
         let b = Tensor::from_vec((0..12).map(|x| x as f32 * 0.25).collect(), &[3, 4]).unwrap();
         let fast = a.matmul_tn(&b).unwrap();
         let slow = a.transpose2().unwrap().matmul(&b).unwrap();
-        assert_eq!(fast, slow);
+        let want: Vec<f32> = slow.as_slice().to_vec();
+        assert_close(fast.as_slice(), &want, 3);
+    }
+
+    #[test]
+    fn nt_and_tn_match_naive_on_larger_shapes() {
+        let mut rng = crate::Rng::seed(21);
+        let (m, k, n) = (37usize, 66usize, 41usize);
+        let a = rng.normal_tensor(&[m, k], 0.0, 1.0);
+        let bt = rng.normal_tensor(&[n, k], 0.0, 1.0);
+        let nt = a.matmul_nt(&bt).unwrap();
+        let b_dense = bt.transpose2().unwrap();
+        let want_nt = gemm_ref(a.as_slice(), b_dense.as_slice(), m, k, n);
+        assert_close(nt.as_slice(), &want_nt, k);
+
+        let at = rng.normal_tensor(&[k, m], 0.0, 1.0);
+        let b = rng.normal_tensor(&[k, n], 0.0, 1.0);
+        let tn = at.matmul_tn(&b).unwrap();
+        let a_dense = at.transpose2().unwrap();
+        let want_tn = gemm_ref(a_dense.as_slice(), b.as_slice(), m, k, n);
+        assert_close(tn.as_slice(), &want_tn, k);
+    }
+
+    #[test]
+    fn sparse_gemm_matches_dense_kernel() {
+        let mut rng = crate::Rng::seed(5);
+        let (m, k, n) = (20usize, 30usize, 10usize);
+        let mut a = rng.normal_tensor(&[m, k], 0.0, 1.0);
+        // Structural sparsity: zero out most of A.
+        for (i, v) in a.as_mut_slice().iter_mut().enumerate() {
+            if i % 3 != 0 {
+                *v = 0.0;
+            }
+        }
+        let b = rng.normal_tensor(&[k, n], 0.0, 1.0);
+        let mut sparse = vec![0.0f32; m * n];
+        gemm_nn_sparse(a.as_slice(), b.as_slice(), &mut sparse, m, k, n);
+        let want = gemm_ref(a.as_slice(), b.as_slice(), m, k, n);
+        assert_close(&sparse, &want, k);
+    }
+
+    #[test]
+    fn slice_kernels_accumulate_into_out() {
+        let a = [1.0f32, 0.0, 0.0, 1.0];
+        let b = [2.0f32, 3.0, 4.0, 5.0];
+        let mut out = [10.0f32; 4];
+        gemm_nn(&a, &b, &mut out, 2, 2, 2);
+        assert_eq!(out, [12.0, 13.0, 14.0, 15.0]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+            (1usize..48, 1usize..300, 1usize..48)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Blocked NN/TN/NT all agree with the naive triple loop
+            /// within reduction-length-scaled tolerance on arbitrary
+            /// shapes and values.
+            #[test]
+            fn blocked_gemms_match_naive((m, k, n) in dims(), seed in 0u64..1024) {
+                let mut rng = crate::Rng::seed(seed);
+                let a = rng.normal_tensor(&[m, k], 0.0, 1.0);
+                let b = rng.normal_tensor(&[k, n], 0.0, 1.0);
+                let want = gemm_ref(a.as_slice(), b.as_slice(), m, k, n);
+
+                let nn = a.matmul(&b).unwrap();
+                assert_close(nn.as_slice(), &want, k);
+
+                // A stored transposed: a_t (k, m).
+                let mut at = vec![0.0f32; k * m];
+                for i in 0..m {
+                    for p in 0..k {
+                        at[p * m + i] = a.as_slice()[i * k + p];
+                    }
+                }
+                let mut tn = vec![0.0f32; m * n];
+                gemm_tn(&at, b.as_slice(), &mut tn, m, k, n);
+                assert_close(&tn, &want, k);
+
+                // B stored transposed: b_t (n, k).
+                let mut btr = vec![0.0f32; n * k];
+                for p in 0..k {
+                    for j in 0..n {
+                        btr[j * k + p] = b.as_slice()[p * n + j];
+                    }
+                }
+                let mut nt = vec![0.0f32; m * n];
+                gemm_nt(a.as_slice(), &btr, &mut nt, m, k, n);
+                assert_close(&nt, &want, k);
+            }
+
+            /// Worker count never changes a single bit of the output.
+            #[test]
+            fn gemm_bits_invariant_under_parallelism((m, k, n) in dims(), seed in 0u64..1024) {
+                let mut rng = crate::Rng::seed(seed);
+                let a = rng.normal_tensor(&[m, k], 0.0, 1.0);
+                let b = rng.normal_tensor(&[k, n], 0.0, 1.0);
+                let reference = tutel_rt::with_parallelism_limit(1, || a.matmul(&b).unwrap());
+                for limit in [2usize, 5, 8] {
+                    let got = tutel_rt::with_parallelism_limit(limit, || a.matmul(&b).unwrap());
+                    prop_assert_eq!(got.as_slice(), reference.as_slice());
+                }
+            }
+        }
     }
 }

@@ -150,24 +150,30 @@ impl Tensor {
     /// Row-wise softmax over the last axis.
     ///
     /// For a gating logits tensor of shape `(T, E)` this produces the
-    /// routing probabilities of Figure 18 line 2.
+    /// routing probabilities of Figure 18 line 2. Rows are processed
+    /// in fixed 64-row chunks on the `tutel-rt` pool; each row's
+    /// arithmetic is self-contained, so results are bit-identical for
+    /// any worker count.
+    // check:hot
     pub fn softmax_last(&self) -> Tensor {
         let cols = *self.dims().last().unwrap_or(&1);
-        let mut out = self.clone();
+        let mut out = crate::scratch::copy_of(self);
         if cols == 0 {
             return out;
         }
-        for row in out.as_mut_slice().chunks_mut(cols) {
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut denom = 0.0;
-            for v in row.iter_mut() {
-                *v = (*v - max).exp();
-                denom += *v;
+        tutel_rt::parallel_chunks(out.as_mut_slice(), 64 * cols, |_, chunk| {
+            for row in chunk.chunks_mut(cols) {
+                let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut denom = 0.0;
+                for v in row.iter_mut() {
+                    *v = (*v - max).exp();
+                    denom += *v;
+                }
+                for v in row.iter_mut() {
+                    *v /= denom;
+                }
             }
-            for v in row.iter_mut() {
-                *v /= denom;
-            }
-        }
+        });
         out
     }
 
@@ -260,6 +266,49 @@ impl Tensor {
 }
 
 /// Scalar GELU, tanh approximation.
+/// Slice form of [`Tensor::gelu`]: writes `gelu(h_pre[i])` into
+/// `out[i]`. Hot backward paths use this on arena buffers to avoid
+/// materializing whole-activation temporaries.
+pub fn gelu_slice(h_pre: &[f32], out: &mut [f32]) {
+    for (o, &pre) in out.iter_mut().zip(h_pre) {
+        *o = gelu_scalar(pre);
+    }
+}
+
+/// In-place slice form of [`Tensor::gelu_backward`]: scales each
+/// upstream gradient by `gelu'(h_pre[i])`.
+pub fn gelu_backward_in_place(h_pre: &[f32], upstream: &mut [f32]) {
+    for (g, &pre) in upstream.iter_mut().zip(h_pre) {
+        *g *= gelu_grad_scalar(pre);
+    }
+}
+
+/// Like [`gelu_slice`], but also stores the intermediate `tanh` value
+/// in `tanh_out[i]`. Training forward passes use this so the backward
+/// pass can apply [`gelu_backward_with_tanh`] without re-evaluating
+/// `tanh`, which dominates the activation cost. Bit-identical to
+/// [`gelu_slice`] on `out`.
+pub fn gelu_slice_with_tanh(h_pre: &[f32], out: &mut [f32], tanh_out: &mut [f32]) {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    for ((o, t), &x) in out.iter_mut().zip(tanh_out.iter_mut()).zip(h_pre) {
+        let th = (SQRT_2_OVER_PI * (x + 0.044715 * x * x * x)).tanh();
+        *t = th;
+        *o = 0.5 * x * (1.0 + th);
+    }
+}
+
+/// In-place GELU backward reusing the `tanh` values captured by
+/// [`gelu_slice_with_tanh`]. Bit-identical to
+/// [`gelu_backward_in_place`] (the gradient expression is evaluated in
+/// the same order, only the `tanh` is read instead of recomputed).
+pub fn gelu_backward_with_tanh(h_pre: &[f32], tanh: &[f32], upstream: &mut [f32]) {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    for ((g, &x), &t) in upstream.iter_mut().zip(h_pre).zip(tanh) {
+        let dinner = SQRT_2_OVER_PI * (1.0 + 3.0 * 0.044715 * x * x);
+        *g *= 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner;
+    }
+}
+
 fn gelu_scalar(x: f32) -> f32 {
     const SQRT_2_OVER_PI: f32 = 0.797_884_6;
     0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044715 * x * x * x)).tanh())
@@ -280,6 +329,24 @@ mod tests {
 
     fn close(a: f32, b: f32) -> bool {
         (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn gelu_with_tanh_is_bit_identical_to_plain_forms() {
+        let h_pre: Vec<f32> = (-40..40).map(|i| i as f32 * 0.17).collect();
+        let mut plain = vec![0.0; h_pre.len()];
+        gelu_slice(&h_pre, &mut plain);
+        let mut cached = vec![0.0; h_pre.len()];
+        let mut tanh = vec![0.0; h_pre.len()];
+        gelu_slice_with_tanh(&h_pre, &mut cached, &mut tanh);
+        assert_eq!(plain, cached);
+
+        let upstream: Vec<f32> = (0..h_pre.len()).map(|i| 0.3 + i as f32 * 0.01).collect();
+        let mut g_plain = upstream.clone();
+        gelu_backward_in_place(&h_pre, &mut g_plain);
+        let mut g_cached = upstream;
+        gelu_backward_with_tanh(&h_pre, &tanh, &mut g_cached);
+        assert_eq!(g_plain, g_cached);
     }
 
     #[test]

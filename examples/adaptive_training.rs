@@ -151,6 +151,10 @@ fn main() {
     let final_strategy = search.next_strategy(1.0);
     println!("converged strategy for f=1.0: {final_strategy}");
 
+    // Final compute-runtime counters (pool utilization, steal counts,
+    // arena hit rate) as rt.* gauges.
+    tutel_suite::obs::record_runtime(&tel, &tutel_suite::tutel::trainer::runtime_snapshot());
+
     if let Some(path) = out_path {
         if let Err(e) = tel.export_jsonl_to(&path) {
             eprintln!("error: cannot write telemetry to {path}: {e}");
