@@ -27,6 +27,17 @@ TUTEL_THREADS=4 cargo test -q --test determinism
 echo "==> compute_runtime bench smoke (2s warmup-only run)"
 cargo bench -q -p tutel-bench --bench compute_runtime -- --warm-up-time 1 --measurement-time 1 --sample-size 10 compute_runtime_arena > /dev/null
 
+echo "==> conformance harness (smoke matrix + fault suite)"
+# HARNESS_FULL=1 upgrades to the full 96-point matrix.
+cargo run --release -q -p tutel-harness --bin harness -- \
+    ${HARNESS_FULL:+--full} --json BENCH_harness.json
+
+echo "==> conformance harness: replayed fault seed"
+# A second, fixed fault seed so every collective's retry/recovery path
+# is exercised under two distinct injected fault patterns per run.
+cargo run --release -q -p tutel-harness --bin harness -- \
+    --fault-seed 0xB0B0 > /dev/null
+
 echo "==> tutel-check: workspace lint (baseline ratchet)"
 cargo run --release -q -p tutel-check -- --baseline check-baseline.json
 

@@ -10,7 +10,13 @@
 //!    - `layout_doc` (L2): pub fns taking raw `&[f32]` buffers with
 //!      dimension args must name the tensor layout in their docs;
 //!    - `layering` (L3): the crate DAG points strictly downward;
-//!    - `shim_hygiene` (L4): only documented shim APIs may be used.
+//!    - `shim_hygiene` (L4): only documented shim APIs may be used;
+//!    - `test_determinism` (L5): no wall-clock time or unseeded
+//!      randomness in test trees or the conformance harness — every
+//!      test failure must be replayable from an explicit seed. Test
+//!      trees (`tests/` at the root and per crate) are walked with
+//!      this rule alone, since the strict data-path contracts exempt
+//!      test code by design.
 //!
 //!    Pre-existing violations are pinned by a committed baseline
 //!    ([`Baseline`] / [`Ratchet`]): new ones fail, counts may only
@@ -35,7 +41,7 @@ pub mod sweep;
 pub use baseline::{Baseline, Ratchet};
 pub use diag::{diagnostics_to_json, Diagnostic};
 pub use rules::layering::{check_layering, parse_manifest, Manifest};
-pub use rules::{check_source, STRICT_CRATES};
+pub use rules::{check_source, check_test_source, STRICT_CRATES};
 pub use source::SourceFile;
 
 /// Result of linting a workspace tree.
@@ -55,8 +61,10 @@ pub fn lint_source(crate_name: &str, rel_path: &str, text: &str) -> Vec<Diagnost
 }
 
 /// Lints every crate under `<root>/crates/`: each `Cargo.toml` feeds
-/// the layering rule, each `src/**/*.rs` feeds the source rules. The
-/// walk order is sorted, so output and baselines are deterministic.
+/// the layering rule, each `src/**/*.rs` feeds the source rules, and
+/// each test tree (`crates/*/tests/` and the root `tests/`) feeds the
+/// test-only rules ([`check_test_source`]). The walk order is sorted,
+/// so output and baselines are deterministic.
 pub fn lint_workspace(root: &Path) -> Result<LintReport, String> {
     let crates_dir = root.join("crates");
     let mut crate_dirs = read_dir_sorted(&crates_dir)
@@ -85,6 +93,26 @@ pub fn lint_workspace(root: &Path) -> Result<LintReport, String> {
             report.diagnostics.extend(check_source(&parsed));
             report.files_scanned += 1;
         }
+        for file in walk_rs_files(&dir.join("tests")) {
+            // `tests/fixtures/` holds deliberately-broken lint inputs,
+            // not tests.
+            if rel_path(root, &file).contains("tests/fixtures/") {
+                continue;
+            }
+            let text = fs::read_to_string(&file)
+                .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+            let parsed = SourceFile::parse(&crate_name, &rel_path(root, &file), &text);
+            report.diagnostics.extend(check_test_source(&parsed));
+            report.files_scanned += 1;
+        }
+    }
+    // Root-level integration tests belong to the façade package.
+    for file in walk_rs_files(&root.join("tests")) {
+        let text = fs::read_to_string(&file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        let parsed = SourceFile::parse("tutel-suite", &rel_path(root, &file), &text);
+        report.diagnostics.extend(check_test_source(&parsed));
+        report.files_scanned += 1;
     }
     report.diagnostics.extend(check_layering(&manifests));
     report

@@ -10,11 +10,13 @@ pub mod layering;
 mod layout_doc;
 mod no_panic;
 mod shim_hygiene;
+mod test_determinism;
 
 pub use hot_alloc::HotAlloc;
 pub use layout_doc::LayoutDoc;
 pub use no_panic::NoPanic;
 pub use shim_hygiene::ShimHygiene;
+pub use test_determinism::TestDeterminism;
 
 /// The library crates whose non-test code must hold the strict
 /// contracts (`no_panic`, `layout_doc`): everything on the
@@ -44,7 +46,20 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(HotAlloc),
         Box::new(LayoutDoc),
         Box::new(ShimHygiene),
+        Box::new(TestDeterminism),
     ]
+}
+
+/// Runs only the rules that apply to test code over `file`. Test
+/// trees (`tests/` at the root and per crate) are scanned with this
+/// reduced set: the strict data-path contracts (`no_panic`,
+/// `layout_doc`, …) deliberately exempt test code, while
+/// `test_determinism` exists *for* it.
+pub fn check_test_source(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut sink = file.bad_allows.clone();
+    TestDeterminism.check_file(file, &mut sink);
+    sink.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    sink
 }
 
 /// Runs every source rule over `file`, including the framework's own

@@ -35,6 +35,7 @@ const ALLOWED: &[(&str, &[&str])] = &[
             "crossbeam::channel::Sender",
             "crossbeam::channel::Receiver",
             "crossbeam::channel::RecvError",
+            "crossbeam::channel::RecvTimeoutError",
             "crossbeam::channel::SendError",
         ],
     ),

@@ -1,0 +1,134 @@
+//! Rule `test_determinism` (L1): no wall-clock time or unseeded
+//! randomness in test code (`tests/` trees and the conformance
+//! harness crate).
+//!
+//! The conformance matrix asserts *bitwise* equivalence and the fault
+//! suite replays seeded plans; a test that consults `SystemTime` or an
+//! entropy-seeded RNG can pass locally and flake in CI, and its
+//! failures cannot be replayed from a seed. `Instant` is deliberately
+//! allowed — bounding wall time ("clean failure must not hang") is a
+//! legitimate test concern and never feeds assertion *values*.
+//! Justified sites carry `// check:allow(test_determinism, reason)`.
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::lexer::Token;
+use crate::source::SourceFile;
+
+pub struct TestDeterminism;
+
+/// Identifiers that pull in wall-clock time or ambient entropy.
+const BANNED_IDENTS: &[(&str, &str)] = &[
+    ("SystemTime", "wall-clock time"),
+    ("thread_rng", "an OS-entropy RNG"),
+    ("from_entropy", "an OS-entropy seed"),
+    ("getrandom", "OS entropy"),
+    ("RandomState", "a randomly-keyed hasher"),
+];
+
+impl TestDeterminism {
+    /// The rule covers test trees everywhere plus the whole harness
+    /// crate (its library *is* test infrastructure).
+    fn applies(file: &SourceFile) -> bool {
+        file.crate_name == "tutel-harness"
+            || file.rel_path.starts_with("tests/")
+            || file.rel_path.contains("/tests/")
+    }
+}
+
+impl Rule for TestDeterminism {
+    fn id(&self) -> &'static str {
+        "test_determinism"
+    }
+
+    fn check_file(&self, file: &SourceFile, sink: &mut Vec<Diagnostic>) {
+        if !Self::applies(file) {
+            return;
+        }
+        let code: Vec<&Token> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+        for (i, tok) in code.iter().enumerate() {
+            let offence =
+                if let Some((_, what)) = BANNED_IDENTS.iter().find(|(id, _)| tok.is_ident(id)) {
+                    Some(format!("`{}` introduces {what}", tok.text))
+                } else if tok.is_ident("random")
+                    && i >= 2
+                    && code[i - 1].is_punct(':')
+                    && code[i - 2].is_punct(':')
+                    && i >= 3
+                    && code[i - 3].is_ident("rand")
+                {
+                    Some("`rand::random` draws from an unseeded RNG".to_string())
+                } else {
+                    None
+                };
+            if let Some(what) = offence {
+                file.emit(
+                    sink,
+                    Diagnostic {
+                        rule: self.id(),
+                        file: file.rel_path.clone(),
+                        line: tok.line,
+                        message: format!(
+                            "{what}: tests must be replayable from an explicit seed — \
+                             derive all inputs from a literal seed, or justify with \
+                             `// check:allow(test_determinism, reason)`"
+                        ),
+                        snippet: file.snippet(tok.line),
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn run(crate_name: &str, path: &str, src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::parse(crate_name, path, src);
+        let mut sink = Vec::new();
+        TestDeterminism.check_file(&file, &mut sink);
+        sink
+    }
+
+    #[test]
+    fn flags_wall_clock_and_entropy_in_tests() {
+        let src = "fn t() {\n    let s = SystemTime::now();\n    let mut r = thread_rng();\n    let x: u8 = rand::random();\n}\n";
+        let diags = run("tutel-suite", "tests/foo.rs", src);
+        assert_eq!(
+            diags.iter().map(|d| d.line).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn harness_crate_is_covered_everywhere() {
+        let src = "fn f() { let h = RandomState::new(); }\n";
+        assert_eq!(
+            run("tutel-harness", "crates/harness/src/lib.rs", src).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn non_test_library_code_is_exempt() {
+        let src = "fn f() { let s = SystemTime::now(); }\n";
+        assert!(run("tutel-obs", "crates/obs/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn instant_is_allowed_for_wall_time_bounds() {
+        let src = "fn t() { let t0 = Instant::now(); assert!(t0.elapsed() < LIMIT); }\n";
+        assert!(run("tutel-suite", "tests/foo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_suppresses_one_site() {
+        let src = "fn t() {\n    // check:allow(test_determinism, measuring entropy quality itself)\n    let r = thread_rng();\n    let s = SystemTime::now();\n}\n";
+        let diags = run("tutel-suite", "crates/comm/tests/foo.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 4);
+    }
+}

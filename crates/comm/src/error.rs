@@ -40,6 +40,19 @@ pub enum CommError {
         /// Human-readable wait-state summary at the point of quiesce.
         detail: String,
     },
+    /// A reliable collective exhausted its retry budget waiting for a
+    /// peer: the message (or its acknowledgement) never arrived within
+    /// the configured timeouts. Surfaced instead of hanging.
+    Timeout {
+        /// The rank whose wait expired.
+        rank: usize,
+        /// The peer it was waiting on.
+        peer: usize,
+        /// The message tag it was waiting for (0 for an ack wait).
+        tag: u64,
+        /// Receive attempts made (1 initial + retries) before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -59,6 +72,18 @@ impl fmt::Display for CommError {
             }
             CommError::Deadlock { seed, detail } => {
                 write!(f, "deadlock under schedule seed {seed}: {detail}")
+            }
+            CommError::Timeout {
+                rank,
+                peer,
+                tag,
+                attempts,
+            } => {
+                write!(
+                    f,
+                    "rank {rank}: timed out waiting on rank {peer} (tag {tag}) \
+                     after {attempts} attempt(s)"
+                )
             }
         }
     }
@@ -80,5 +105,13 @@ mod tests {
             detail: "rank 1 waiting on (0, 3)".into(),
         };
         assert!(e.to_string().contains("seed 42"));
+        let e = CommError::Timeout {
+            rank: 1,
+            peer: 3,
+            tag: 5,
+            attempts: 4,
+        };
+        assert!(e.to_string().contains("rank 3"));
+        assert!(e.to_string().contains("4 attempt"));
     }
 }

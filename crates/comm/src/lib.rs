@@ -26,6 +26,7 @@
 
 mod algo;
 mod error;
+pub mod fault;
 pub mod flex;
 mod linear;
 mod local_agg;
@@ -39,8 +40,10 @@ mod world;
 
 pub use algo::AllToAllAlgo;
 pub use error::CommError;
+pub use fault::{FaultAction, FaultPlan};
 pub use linear::linear_all_to_all;
 pub use local_agg::naive_local_agg_all_to_all;
+pub use runtime::{run_threaded, run_threaded_reliable, ReliableConfig, RetryPolicy};
 pub use stride::stride_memcpy;
 pub use timing::{A2aImpl, CollectiveTiming};
 pub use two_dh::two_dh_all_to_all;

@@ -36,6 +36,7 @@ use std::time::Duration;
 use tutel_simgpu::Topology;
 
 use crate::error::CommError;
+use crate::fault::{FaultAction, FaultPlan};
 use crate::runtime::Communicator;
 
 /// How long a blocked rank waits before re-auditing the quiescence
@@ -69,6 +70,12 @@ struct Pending {
     /// Per-(src, dst) send sequence number: the canonical tiebreaker.
     seq: u64,
     payload: Vec<f32>,
+    /// Earliest delivery count at which this message is eligible
+    /// (set by an injected [`FaultAction::Delay`]).
+    not_before: u64,
+    /// Already processed by the fault layer (a duplicated or delayed
+    /// copy): exempt from further injection.
+    faulted: bool,
 }
 
 /// What a rank is doing right now, as far as the scheduler knows.
@@ -95,6 +102,9 @@ struct SchedState {
     signature: u64,
     deliveries: u64,
     deadlock: Option<String>,
+    injected_drops: u64,
+    injected_dups: u64,
+    injected_delays: u64,
 }
 
 impl SchedState {
@@ -128,17 +138,20 @@ impl SchedState {
 /// [`Communicator`].
 pub struct SchedNet {
     seed: u64,
+    /// Delivery-time fault injection, if armed (see [`run_sched_faulty`]).
+    plan: Option<FaultPlan>,
     state: Mutex<SchedState>,
     cv: Condvar,
 }
 
 impl SchedNet {
-    fn new(world: usize, seed: u64) -> Self {
+    fn new(world: usize, seed: u64, plan: Option<FaultPlan>) -> Self {
         // Mix the seed once so seed 0 still produces a lively stream.
         let mut rng = seed ^ 0x5DEECE66D;
         splitmix64(&mut rng);
         SchedNet {
             seed,
+            plan,
             state: Mutex::new(SchedState {
                 rng,
                 pending: Vec::new(),
@@ -148,6 +161,9 @@ impl SchedNet {
                 signature: 0xcbf2_9ce4_8422_2325,
                 deliveries: 0,
                 deadlock: None,
+                injected_drops: 0,
+                injected_dups: 0,
+                injected_delays: 0,
             }),
             cv: Condvar::new(),
         }
@@ -201,12 +217,59 @@ impl SchedNet {
                 self.cv.notify_all();
                 return;
             }
+            // Injected delays make a message ineligible until the
+            // delivery count passes `not_before` — unless *every*
+            // candidate is held back, in which case all become
+            // eligible again (delays must postpone, never wedge).
+            let eligible: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&i| st.pending[i].not_before <= st.deliveries)
+                .collect();
+            if !eligible.is_empty() {
+                candidates = eligible;
+            }
             candidates.sort_by_key(|&i| {
                 let p = &st.pending[i];
                 (p.src, p.dst, p.tag, p.seq)
             });
             let pick = candidates[(splitmix64(&mut st.rng) as usize) % candidates.len()];
             let msg = st.pending.remove(pick);
+            if !msg.faulted {
+                if let Some(plan) = &self.plan {
+                    match plan.action(msg.src, msg.dst, msg.tag) {
+                        FaultAction::Deliver => {}
+                        FaultAction::Drop => {
+                            // Lost forever: the receiver's recv now
+                            // either drains another message or ends in
+                            // a detected (replayable) deadlock.
+                            st.injected_drops += 1;
+                            continue;
+                        }
+                        FaultAction::Duplicate => {
+                            st.injected_dups += 1;
+                            st.pending.push(Pending {
+                                src: msg.src,
+                                dst: msg.dst,
+                                tag: msg.tag,
+                                seq: msg.seq,
+                                payload: msg.payload.clone(),
+                                not_before: 0,
+                                faulted: true,
+                            });
+                        }
+                        FaultAction::Delay(k) => {
+                            st.injected_delays += 1;
+                            st.pending.push(Pending {
+                                not_before: st.deliveries + u64::from(k.max(1)),
+                                faulted: true,
+                                ..msg
+                            });
+                            continue;
+                        }
+                    }
+                }
+            }
             st.signature = sig_mix(st.signature, msg.src, msg.dst, msg.tag, msg.seq);
             st.deliveries += 1;
             let woke_receiver = st.waiting[msg.dst] == Wait::Recv;
@@ -252,6 +315,8 @@ impl SchedNet {
             tag,
             seq,
             payload,
+            not_before: 0,
+            faulted: false,
         });
         Ok(())
     }
@@ -356,6 +421,12 @@ pub struct SchedReport {
     /// `(rank, parked_messages)` for every rank whose mailbox was
     /// non-empty when its program returned.
     pub mailbox_leaks: Vec<(usize, usize)>,
+    /// Deliveries discarded by the armed [`FaultPlan`].
+    pub injected_drops: u64,
+    /// Deliveries doubled by the armed [`FaultPlan`].
+    pub injected_dups: u64,
+    /// Deliveries postponed by the armed [`FaultPlan`].
+    pub injected_delays: u64,
 }
 
 impl SchedReport {
@@ -378,8 +449,40 @@ where
     F: Fn(&mut Communicator) -> R + Send + Sync,
     R: Send,
 {
+    run_sched_impl(topology, seed, None, program)
+}
+
+/// [`run_sched`] with a delivery-time [`FaultPlan`] armed: at each
+/// scheduling point the picked message is dropped, duplicated, or
+/// postponed per `plan.action(src, dst, tag)`. The combination
+/// `(topology, program, seed, plan)` replays bit-for-bit, so a seed
+/// that wedges a collective (drop → detected deadlock) or corrupts a
+/// mailbox (duplicate → reported leak) names a reproducible failure.
+pub fn run_sched_faulty<F, R>(
+    topology: Topology,
+    seed: u64,
+    plan: FaultPlan,
+    program: F,
+) -> (Vec<R>, SchedReport)
+where
+    F: Fn(&mut Communicator) -> R + Send + Sync,
+    R: Send,
+{
+    run_sched_impl(topology, seed, Some(plan), program)
+}
+
+fn run_sched_impl<F, R>(
+    topology: Topology,
+    seed: u64,
+    plan: Option<FaultPlan>,
+    program: F,
+) -> (Vec<R>, SchedReport)
+where
+    F: Fn(&mut Communicator) -> R + Send + Sync,
+    R: Send,
+{
     let n = topology.world_size();
-    let net = Arc::new(SchedNet::new(n, seed));
+    let net = Arc::new(SchedNet::new(n, seed, plan));
     let program = &program;
     let (results, leaks): (Vec<R>, Vec<(usize, usize)>) = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
@@ -412,6 +515,9 @@ where
         deadlock: st.deadlock.clone(),
         undelivered: st.pending.len(),
         mailbox_leaks: leaks.into_iter().filter(|&(_, n)| n > 0).collect(),
+        injected_drops: st.injected_drops,
+        injected_dups: st.injected_dups,
+        injected_delays: st.injected_delays,
     };
     (results, report)
 }
@@ -511,5 +617,78 @@ mod tests {
             results.into_iter().collect::<Result<Vec<_>, _>>(),
             Ok(vec![0, 1, 2])
         );
+    }
+
+    #[test]
+    fn injected_drop_becomes_detected_deadlock() {
+        // An unprotected collective under a dropping plan must end in
+        // a *detected* deadlock (typed error carrying the seed), never
+        // a hang or silent corruption.
+        let topo = Topology::new(1, 2);
+        let plan = FaultPlan::new(0xD0).with_drops(100);
+        let (results, report) = run_sched_faulty(topo, 21, plan, |comm| {
+            let mine = vec![comm.rank() as f32; 4];
+            comm.all_to_all(&mine)
+        });
+        assert!(report.injected_drops > 0, "plan injected nothing");
+        assert!(report.deadlock.is_some(), "dropped delivery not detected");
+        assert!(results
+            .iter()
+            .any(|r| matches!(r, Err(CommError::Deadlock { seed: 21, .. }))));
+    }
+
+    #[test]
+    fn injected_duplicate_is_reported_as_leak() {
+        let topo = Topology::new(1, 2);
+        let plan = FaultPlan::new(0xD1).with_duplicates(100);
+        let (results, report) = run_sched_faulty(topo, 3, plan, |comm| {
+            let mine = vec![comm.rank() as f32; 2];
+            comm.all_to_all(&mine)
+        });
+        // The duplicate parks in a mailbox or stays undelivered; the
+        // values the programs saw are still the correct ones.
+        assert!(report.injected_dups > 0);
+        assert!(
+            !report.clean(),
+            "duplicated delivery escaped the audit: {report:?}"
+        );
+        for (rank, r) in results.iter().enumerate() {
+            let got = r.as_ref().expect("dup must not fail the collective");
+            assert_eq!(got, &vec![0.0, 1.0], "rank {rank} corrupted");
+        }
+    }
+
+    #[test]
+    fn injected_delays_reorder_but_preserve_results() {
+        let topo = Topology::new(2, 2);
+        let plan = FaultPlan::new(0xD2).with_delays(60, 3);
+        let (results, report) = run_sched_faulty(topo, 11, plan, |comm| {
+            let mine: Vec<f32> = (0..8).map(|i| (comm.rank() * 8 + i) as f32).collect();
+            comm.all_to_all(&mine)
+        });
+        assert!(report.injected_delays > 0, "plan injected nothing");
+        assert!(report.clean(), "delays must only postpone: {report:?}");
+        let expect = crate::linear_all_to_all(
+            &(0..4)
+                .map(|r| (0..8).map(|i| (r * 8 + i) as f32).collect())
+                .collect::<Vec<_>>(),
+        );
+        for (rank, r) in results.into_iter().enumerate() {
+            assert_eq!(r.expect("delays must not fail"), expect[rank]);
+        }
+    }
+
+    #[test]
+    fn faulty_runs_replay_bit_for_bit() {
+        let topo = Topology::new(1, 2);
+        let plan = FaultPlan::new(7).with_delays(50, 2).with_duplicates(20);
+        let run = || {
+            let (results, report) = run_sched_faulty(topo, 9, plan, |comm| {
+                let mine = vec![comm.rank() as f32; 4];
+                comm.all_to_all(&mine)
+            });
+            (results, report.signature, report.deliveries)
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use tutel_comm::{
-    flex::flex_all_to_all, linear_all_to_all, naive_local_agg_all_to_all, two_dh_all_to_all,
-    AllToAllAlgo, RankBuffers,
+    flex::flex_all_to_all, linear_all_to_all, naive_local_agg_all_to_all, stride_memcpy,
+    two_dh_all_to_all, AllToAllAlgo, RankBuffers,
 };
 use tutel_simgpu::Topology;
 use tutel_tensor::Tensor;
@@ -88,6 +88,37 @@ proptest! {
         prop_assert_eq!(dispatched[0].dims(), &[experts_per_rank, w * dc, m]);
         let combined = flex_all_to_all(&dispatched, 0, 1, AllToAllAlgo::Linear, &topo).unwrap();
         prop_assert_eq!(&combined, &ins);
+    }
+
+    #[test]
+    fn stride_align_unalign_is_identity_permutation(
+        row in 1usize..9,
+        col in 1usize..9,
+        chunk in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        // 2DH's align (phase 1/3) composed with its unalign (the same
+        // transpose with row/col swapped) must be the identity — in
+        // particular on *non-uniform* shapes where row ≠ col (a world
+        // size not divisible by the local world), where a wrong index
+        // formula would still pass square-shape tests.
+        let mut state = seed | 1;
+        let buf: Vec<f32> = (0..row * col * chunk).map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 4096) as f32 / 16.0
+        }).collect();
+        let aligned = stride_memcpy(&buf, chunk, row, col);
+        let back = stride_memcpy(&aligned, chunk, col, row);
+        let same_bits = back.iter().zip(&buf).all(|(a, b)| a.to_bits() == b.to_bits());
+        prop_assert!(same_bits, "round-trip is not the identity at row={row} col={col} chunk={chunk}");
+        // And the forward pass alone is a permutation (no chunk lost).
+        let mut before: Vec<u32> = buf.iter().map(|v| v.to_bits()).collect();
+        let mut after: Vec<u32> = aligned.iter().map(|v| v.to_bits()).collect();
+        before.sort_unstable();
+        after.sort_unstable();
+        prop_assert_eq!(before, after);
     }
 
     #[test]

@@ -69,13 +69,19 @@ impl CapacityPolicy {
 
     /// Resolves the capacity factor to use this iteration, given the
     /// routed (unclamped) per-expert counts.
+    ///
+    /// Always strictly positive: the variants are constructible
+    /// directly (bypassing [`CapacityPolicy::from_arg`]), so a
+    /// degenerate `Fixed(0.0)` or `AutoCapped(0.0)` is clamped to
+    /// `f64::EPSILON` here rather than tripping [`expert_capacity`]'s
+    /// positivity assert from deep inside `route`.
     pub fn resolve(&self, counts: &[usize], k: usize, tokens: usize) -> f64 {
         match *self {
-            CapacityPolicy::Fixed(f) => f,
+            CapacityPolicy::Fixed(f) => f.max(f64::EPSILON),
             CapacityPolicy::AutoMin => needed_capacity_factor(counts, k, tokens).max(f64::EPSILON),
             CapacityPolicy::AutoCapped(bound) => needed_capacity_factor(counts, k, tokens)
-                .max(f64::EPSILON)
-                .min(bound),
+                .min(bound)
+                .max(f64::EPSILON),
         }
     }
 }

@@ -133,6 +133,92 @@ proptest! {
     }
 
     #[test]
+    fn zero_tokens_route_cleanly(
+        experts in 1usize..8,
+        k_off in 0usize..4,
+        policy_sel in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        // T = 0 must not divide-by-zero inside the auto policies or
+        // produce a zero capacity: Equation 1 floors at 1.
+        let k = 1 + k_off % experts;
+        let capacity = match policy_sel {
+            0 => CapacityPolicy::Fixed(1.0),
+            1 => CapacityPolicy::AutoMin,
+            2 => CapacityPolicy::AutoCapped(2.0),
+            _ => CapacityPolicy::AutoCapped(0.0), // degenerate direct construction
+        };
+        let cfg = RouteConfig { k, capacity, bpr: false, normalize_gates: true };
+        let r = route(&random_probs(0, experts, seed), &cfg).unwrap();
+        prop_assert_eq!(r.num_tokens(), 0);
+        prop_assert!(r.capacity >= 1, "capacity {} < 1", r.capacity);
+        prop_assert_eq!(r.dropped(), 0);
+        prop_assert!(r.counts.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn all_tokens_to_one_expert_is_clamped_or_kept(
+        tokens in 1usize..40,
+        experts in 2usize..8,
+        auto in any::<bool>(),
+    ) {
+        // One-hot rows: every token demands expert 0. AutoMin must
+        // grow capacity to hold all of them; Fixed(1.0) must clamp to
+        // exactly ceil(T/E) survivors and drop the rest.
+        let mut data = vec![0.0f32; tokens * experts];
+        for t in 0..tokens {
+            data[t * experts] = 1.0;
+        }
+        let probs = Tensor::from_vec(data, &[tokens, experts]).unwrap();
+        let capacity = if auto { CapacityPolicy::AutoMin } else { CapacityPolicy::Fixed(1.0) };
+        let cfg = RouteConfig { k: 1, capacity, bpr: false, normalize_gates: true };
+        let r = route(&probs, &cfg).unwrap();
+        prop_assert_eq!(r.raw_counts[0], tokens);
+        if auto {
+            prop_assert_eq!(r.counts[0], tokens);
+            prop_assert_eq!(r.dropped(), 0);
+        } else {
+            let cap = (tokens as f64 / experts as f64).ceil() as usize;
+            prop_assert_eq!(r.counts[0], cap.min(tokens));
+            prop_assert_eq!(r.dropped(), tokens - cap.min(tokens));
+        }
+    }
+
+    #[test]
+    fn tiny_capacity_factor_rounds_to_one_slot(
+        tokens in 1usize..40,
+        experts in 1usize..8,
+        f in 1e-9f64..1e-3,
+        seed in any::<u64>(),
+    ) {
+        // Equation 1 rounding at the bottom edge: a vanishing factor
+        // yields capacity exactly 1 (never 0), so routing still
+        // admits one token per expert.
+        let cfg = RouteConfig { k: 1, capacity: CapacityPolicy::Fixed(f), bpr: false, normalize_gates: true };
+        let r = route(&random_probs(tokens, experts, seed), &cfg).unwrap();
+        prop_assert_eq!(r.capacity, 1);
+        prop_assert!(r.counts.iter().all(|&c| c <= 1));
+    }
+
+    #[test]
+    fn degenerate_policies_resolve_without_panicking(
+        tokens in 0usize..20,
+        experts in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        // The enum fields are public, so Fixed(0.0) / AutoCapped(0.0)
+        // are constructible without from_arg's sign convention; they
+        // must resolve to a positive factor instead of tripping
+        // expert_capacity's positivity assert mid-route.
+        for capacity in [CapacityPolicy::Fixed(0.0), CapacityPolicy::AutoCapped(0.0)] {
+            let cfg = RouteConfig { k: 1, capacity, bpr: false, normalize_gates: true };
+            let r = route(&random_probs(tokens, experts, seed), &cfg).unwrap();
+            prop_assert!(r.capacity_factor > 0.0);
+            prop_assert!(r.capacity >= 1);
+        }
+    }
+
+    #[test]
     fn raw_counts_conserve_assignments(
         tokens in 1usize..40,
         experts in 1usize..8,

@@ -1,0 +1,295 @@
+//! The distributed executor: the same MoE layer as [`crate::reference`],
+//! run over the threaded `comm::runtime` under every combination of
+//! strategy knobs — P1/P2 parallelism, linear/2DH All-to-All, pipeline
+//! degree, world size, and per-rank compute thread limit.
+//!
+//! Every rank is an OS thread with a real mailbox-based communicator.
+//! The forward pass pipelines the capacity dimension into
+//! `Config::degree` chunks, each dispatched → computed → combined
+//! independently (Section 3.3's multi-stream pipelining, modeled as
+//! chunk-serial execution with identical arithmetic); backward runs
+//! the mirrored wire format in reverse.
+
+use tutel_comm::runtime::{run_threaded, Communicator};
+use tutel_comm::CommError;
+use tutel_experts::{ExpertsBlock, ShardedExpertParams};
+use tutel_kernels::{fast_decode, fast_decode_backward, fast_encode_backward};
+use tutel_rt::with_parallelism_limit;
+use tutel_simgpu::Topology;
+use tutel_tensor::Tensor;
+
+use crate::reference::{gate_and_encode, gate_backward, Fixture, Problem, RankResult};
+use crate::{A2aAlgo, Config, Strategy};
+
+/// The topology used for each simulated world size: single node for
+/// `w = 1`, and a 2-node hierarchy otherwise so 2DH exercises both
+/// intra- and inter-node phases.
+pub fn topology_for(world: usize) -> Topology {
+    match world {
+        1 => Topology::single_node(1),
+        2 => Topology::new(2, 1),
+        w => Topology::new(2, w / 2),
+    }
+}
+
+/// This rank's expert parameters in the form the strategy executes:
+/// P1 gathers the full local block; P2 keeps per-shard slices and sums
+/// their partial outputs.
+enum RankExperts {
+    Full(Box<ExpertsBlock>),
+    Sharded(ShardedExpertParams),
+}
+
+impl RankExperts {
+    fn for_rank(fixture: &Fixture, strategy: Strategy, world: usize, rank: usize) -> Self {
+        let (w1, b1, w2, b2) = fixture.experts.weights();
+        let slice =
+            |t: &Tensor| t.split_axis(0, world).expect("E divisible by world")[rank].clone();
+        let local = ExpertsBlock::from_weights(slice(w1), slice(b1), slice(w2), slice(b2))
+            .expect("sliced weights stay consistent");
+        match strategy {
+            Strategy::P1 => RankExperts::Full(Box::new(local)),
+            Strategy::P2 => RankExperts::Sharded(
+                ShardedExpertParams::from_block(&local, Problem::SHARDS)
+                    .expect("hidden dim divisible by SHARDS"),
+            ),
+        }
+    }
+
+    /// Fresh runnable block(s) for one pipeline chunk. Each chunk gets
+    /// its own blocks so forward activations stay cached per chunk for
+    /// the backward pass.
+    fn chunk_blocks(&self) -> Vec<ExpertsBlock> {
+        match self {
+            RankExperts::Full(block) => {
+                let (w1, b1, w2, b2) = block.weights();
+                vec![
+                    ExpertsBlock::from_weights(w1.clone(), b1.clone(), w2.clone(), b2.clone())
+                        .expect("weights round-trip"),
+                ]
+            }
+            RankExperts::Sharded(params) => (0..params.shards())
+                .map(|r| params.shard_block(r))
+                .collect(),
+        }
+    }
+}
+
+fn exchange(comm: &mut Communicator, algo: A2aAlgo, buf: &[f32]) -> Result<Vec<f32>, CommError> {
+    match algo {
+        A2aAlgo::Linear => comm.all_to_all(buf),
+        A2aAlgo::TwoDh => comm.all_to_all_2dh(buf),
+    }
+}
+
+/// Dispatch wire: ship an origin-side `(E, cc, M)` chunk and rebuild
+/// the expert-side `(ΔE, W·cc, M)` batch.
+fn to_expert_layout(
+    comm: &mut Communicator,
+    algo: A2aAlgo,
+    chunk: &Tensor,
+    world: usize,
+    cc: usize,
+) -> Result<Tensor, CommError> {
+    let received = exchange(comm, algo, chunk.as_slice())?;
+    let recv = Tensor::from_vec(
+        received,
+        &[world, Problem::LOCAL_EXPERTS, cc, Problem::MODEL_DIM],
+    )
+    .expect("wire chunk has fixed dims");
+    Ok(recv
+        .permute(&[1, 0, 2, 3])
+        .expect("rank-major permute")
+        .reshape(&[Problem::LOCAL_EXPERTS, world * cc, Problem::MODEL_DIM])
+        .expect("contiguous reshape"))
+}
+
+/// Combine wire: invert [`to_expert_layout`] — ship an expert-side
+/// `(ΔE, W·cc, M)` batch back and rebuild the origin-side
+/// `(E, cc, M)` chunk.
+fn to_origin_layout(
+    comm: &mut Communicator,
+    algo: A2aAlgo,
+    batch: &Tensor,
+    world: usize,
+    cc: usize,
+) -> Result<Tensor, CommError> {
+    let back = batch
+        .reshape(&[Problem::LOCAL_EXPERTS, world, cc, Problem::MODEL_DIM])
+        .expect("batch has fixed dims")
+        .permute(&[1, 0, 2, 3])
+        .expect("rank-major permute");
+    let combined = exchange(comm, algo, back.as_slice())?;
+    Ok(Tensor::from_vec(
+        combined,
+        &[Problem::LOCAL_EXPERTS * world, cc, Problem::MODEL_DIM],
+    )
+    .expect("wire chunk has fixed dims"))
+}
+
+/// Runs the full forward + backward under `cfg` on every rank and
+/// returns the per-rank results (index = rank).
+///
+/// # Panics
+///
+/// Panics if any rank hits a communication error — conformance runs
+/// are fault-free, so an error here is itself a conformance failure.
+pub fn run_distributed(problem: &Problem, fixture: &Fixture, cfg: &Config) -> Vec<RankResult> {
+    assert_eq!(cfg.world, problem.world, "config/problem world mismatch");
+    assert_eq!(
+        Problem::CAPACITY % cfg.degree,
+        0,
+        "pipeline degree must divide capacity"
+    );
+    let topo = topology_for(cfg.world);
+    assert_eq!(topo.world_size(), cfg.world, "topology/world mismatch");
+    let cfg = *cfg;
+    run_threaded(topo, move |comm| {
+        with_parallelism_limit(cfg.threads, || run_rank(problem, fixture, &cfg, comm))
+    })
+}
+
+fn run_rank(
+    problem: &Problem,
+    fixture: &Fixture,
+    cfg: &Config,
+    mut comm: Communicator,
+) -> RankResult {
+    let rank = comm.rank();
+    let world = cfg.world;
+    let cc = Problem::CAPACITY / cfg.degree;
+    let (_, d_out) = &fixture.per_rank[rank];
+
+    // Gate + encode, rank-local and identical to the reference by
+    // construction.
+    let (probs, routing, enc) = gate_and_encode(problem, fixture, rank);
+    let experts = RankExperts::for_rank(fixture, cfg.strategy, world, rank);
+
+    // Forward, pipelined over the capacity dimension. Each chunk keeps
+    // its own expert block(s) so activations stay cached for backward.
+    let enc_chunks = enc
+        .split_axis(1, cfg.degree)
+        .expect("degree divides capacity");
+    let mut chunk_state: Vec<Vec<ExpertsBlock>> = Vec::with_capacity(cfg.degree);
+    let mut out_chunks: Vec<Tensor> = Vec::with_capacity(cfg.degree);
+    for chunk in &enc_chunks {
+        let flex =
+            to_expert_layout(&mut comm, cfg.algo, chunk, world, cc).expect("fault-free dispatch");
+        let mut blocks = experts.chunk_blocks();
+        let mut partial: Option<Tensor> = None;
+        for block in &mut blocks {
+            let y = block.forward(&flex).expect("expert dims fixed");
+            partial = Some(match partial {
+                None => y,
+                Some(mut acc) => {
+                    acc.axpy(1.0, &y).expect("shard outputs share dims");
+                    acc
+                }
+            });
+        }
+        let expert_out = partial.expect("at least one block per chunk");
+        out_chunks.push(
+            to_origin_layout(&mut comm, cfg.algo, &expert_out, world, cc)
+                .expect("fault-free combine"),
+        );
+        chunk_state.push(blocks);
+    }
+    let combined = Tensor::concat_axis(&out_chunks, 1).expect("chunks tile the capacity dim");
+    let output = fast_decode(&combined, &routing, Problem::TOKENS).expect("decode dims fixed");
+    let aux = tutel_gate::aux_loss(&probs, &routing).expect("aux dims fixed");
+
+    // Backward: mirror the wire format in reverse, chunk by chunk.
+    let (d_combined, d_gates) =
+        fast_decode_backward(d_out, &combined, &routing).expect("decode backward dims fixed");
+    let d_chunks = d_combined
+        .split_axis(1, cfg.degree)
+        .expect("degree divides capacity");
+    let mut d_disp_chunks: Vec<Tensor> = Vec::with_capacity(cfg.degree);
+    for (blocks, d_chunk) in chunk_state.iter_mut().zip(&d_chunks) {
+        let d_flex = to_expert_layout(&mut comm, cfg.algo, d_chunk, world, cc)
+            .expect("fault-free grad dispatch");
+        let mut d_batch: Option<Tensor> = None;
+        for block in blocks.iter_mut() {
+            let d = block.backward(&d_flex).expect("expert backward dims fixed");
+            d_batch = Some(match d_batch {
+                None => d,
+                Some(mut acc) => {
+                    acc.axpy(1.0, &d).expect("shard grads share dims");
+                    acc
+                }
+            });
+        }
+        let d_batch = d_batch.expect("at least one block per chunk");
+        d_disp_chunks.push(
+            to_origin_layout(&mut comm, cfg.algo, &d_batch, world, cc)
+                .expect("fault-free grad combine"),
+        );
+    }
+    let d_dispatched =
+        Tensor::concat_axis(&d_disp_chunks, 1).expect("chunks tile the capacity dim");
+    let d_x_encode = fast_encode_backward(&d_dispatched, &routing, Problem::TOKENS)
+        .expect("encode backward dims fixed");
+    let d_x = gate_backward(fixture, rank, &probs, &routing, &d_gates, d_x_encode);
+
+    RankResult {
+        output: output.as_slice().to_vec(),
+        d_x: d_x.as_slice().to_vec(),
+        aux,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::run_reference;
+    use crate::{max_scaled_ulp, max_ulp, A2aAlgo, Strategy};
+
+    #[test]
+    fn p1_single_thread_is_bitwise_identical() {
+        let problem = Problem { world: 2, seed: 5 };
+        let fixture = problem.materialize();
+        let reference = run_reference(&problem, &fixture);
+        let cfg = Config {
+            strategy: Strategy::P1,
+            algo: A2aAlgo::Linear,
+            degree: 2,
+            world: 2,
+            threads: crate::reference::REF_THREADS,
+        };
+        let got = run_distributed(&problem, &fixture, &cfg);
+        for (rank, (g, r)) in got.iter().zip(&reference).enumerate() {
+            assert_eq!(max_ulp(&g.output, &r.output), 0, "rank {rank} output");
+            assert_eq!(max_ulp(&g.d_x, &r.d_x), 0, "rank {rank} d_x");
+            assert_eq!(g.aux.to_bits(), r.aux.to_bits(), "rank {rank} aux");
+        }
+    }
+
+    #[test]
+    fn p2_stays_within_ulp_budget() {
+        let problem = Problem { world: 2, seed: 9 };
+        let fixture = problem.materialize();
+        let reference = run_reference(&problem, &fixture);
+        let cfg = Config {
+            strategy: Strategy::P2,
+            algo: A2aAlgo::TwoDh,
+            degree: 4,
+            world: 2,
+            threads: 4,
+        };
+        let got = run_distributed(&problem, &fixture, &cfg);
+        let budget = f64::from(cfg.ulp_budget());
+        for (rank, (g, r)) in got.iter().zip(&reference).enumerate() {
+            assert!(
+                max_scaled_ulp(&g.output, &r.output) <= budget,
+                "rank {rank} output exceeds budget: {} scaled ULP",
+                max_scaled_ulp(&g.output, &r.output)
+            );
+            assert!(
+                max_scaled_ulp(&g.d_x, &r.d_x) <= budget,
+                "rank {rank} d_x exceeds budget: {} scaled ULP",
+                max_scaled_ulp(&g.d_x, &r.d_x)
+            );
+            assert_eq!(g.aux.to_bits(), r.aux.to_bits(), "rank {rank} aux");
+        }
+    }
+}

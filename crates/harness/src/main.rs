@@ -1,0 +1,216 @@
+//! `harness` — run the differential conformance matrix and the seeded
+//! fault-injection suite, print a pass/fail grid, and emit a machine-
+//! readable benchmark record.
+//!
+//! ```text
+//! harness [--smoke | --full] [--seed N] [--fault-seed N] [--json PATH]
+//! ```
+//!
+//! Exit code 0 iff every matrix point and every fault scenario passed.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use tutel_harness::faults::{run_fault_suite, FaultReport};
+use tutel_harness::matrix::{configs, run_matrix, Mode, Verdict};
+
+/// Default problem seed (parameters + inputs).
+const DEFAULT_SEED: u64 = 42;
+/// Default fault-plan seed; replay any failure with `--fault-seed`.
+const DEFAULT_FAULT_SEED: u64 = 0xFA17;
+
+struct Args {
+    mode: Mode,
+    seed: u64,
+    fault_seed: u64,
+    json: Option<String>,
+}
+
+/// Parses a seed in decimal or `0x`-prefixed hex (the grid prints
+/// fault seeds in hex, so they must paste back).
+fn parse_seed(s: &str) -> Result<u64, String> {
+    let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.map_err(|e| format!("invalid seed {s:?}: {e}"))
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        mode: if std::env::var("HARNESS_FULL").is_ok_and(|v| v == "1") {
+            Mode::Full
+        } else {
+            Mode::Smoke
+        },
+        seed: DEFAULT_SEED,
+        fault_seed: DEFAULT_FAULT_SEED,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut take = |what: &str| it.next().ok_or_else(|| format!("{what} requires a value"));
+        match arg.as_str() {
+            "--smoke" => args.mode = Mode::Smoke,
+            "--full" => args.mode = Mode::Full,
+            "--seed" => args.seed = parse_seed(&take("--seed")?)?,
+            "--fault-seed" => args.fault_seed = parse_seed(&take("--fault-seed")?)?,
+            "--json" => args.json = Some(take("--json")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: harness [--smoke | --full] [--seed N] [--fault-seed N] [--json PATH]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn print_matrix(verdicts: &[Verdict]) {
+    println!("conformance matrix ({} configurations):", verdicts.len());
+    println!(
+        "  {:<18} {:>10} {:>8} {:>8} {:>6}  verdict",
+        "config", "budget", "out", "d_x", "aux"
+    );
+    for v in verdicts {
+        println!(
+            "  {:<18} {:>7} ULP {:>8.2} {:>8.2} {:>6}  {}",
+            v.config.label(),
+            v.config.ulp_budget(),
+            v.output_ulp,
+            v.d_x_ulp,
+            if v.aux_bitwise { "bit" } else { "DIFF" },
+            if v.pass {
+                if v.bitwise {
+                    "pass (bitwise)"
+                } else {
+                    "pass"
+                }
+            } else {
+                "FAIL"
+            }
+        );
+    }
+}
+
+fn print_faults(reports: &[FaultReport]) {
+    println!("fault-injection suite:");
+    println!(
+        "  {:<16} {:>9} {:>11} {:>8} {:>7} {:>8} {:>6}  verdict",
+        "collective", "injected", "retransmits", "recover", "typed", "no-leak", "sched"
+    );
+    for r in reports {
+        let yn = |b: bool| if b { "yes" } else { "NO" };
+        println!(
+            "  {:<16} {:>9} {:>11} {:>8} {:>7} {:>8} {:>6}  {}",
+            r.collective.label(),
+            r.injected,
+            r.retransmits,
+            yn(r.recovered_identical),
+            yn(r.failed_typed && r.bounded),
+            yn(r.no_leak),
+            yn(r.sched_detected),
+            if r.pass { "pass" } else { "FAIL" }
+        );
+    }
+}
+
+fn write_json(
+    path: &str,
+    args: &Args,
+    verdicts: &[Verdict],
+    reports: &[FaultReport],
+    matrix_secs: f64,
+    fault_secs: f64,
+) -> std::io::Result<()> {
+    let matrix_pass = verdicts.iter().filter(|v| v.pass).count();
+    let fault_pass = reports.iter().filter(|r| r.pass).count();
+    let worst_ulp = verdicts
+        .iter()
+        .map(|v| v.output_ulp.max(v.d_x_ulp))
+        .fold(0.0f64, f64::max);
+    let body = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"harness\",\n",
+            "  \"mode\": \"{}\",\n",
+            "  \"seed\": {},\n",
+            "  \"fault_seed\": {},\n",
+            "  \"matrix_configs\": {},\n",
+            "  \"matrix_pass\": {},\n",
+            "  \"matrix_worst_ulp\": {:.3},\n",
+            "  \"matrix_wall_s\": {:.3},\n",
+            "  \"fault_collectives\": {},\n",
+            "  \"fault_pass\": {},\n",
+            "  \"fault_wall_s\": {:.3}\n",
+            "}}\n"
+        ),
+        args.mode.label(),
+        args.seed,
+        args.fault_seed,
+        verdicts.len(),
+        matrix_pass,
+        worst_ulp,
+        matrix_secs,
+        reports.len(),
+        fault_pass,
+        fault_secs,
+    );
+    std::fs::write(path, body)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "harness: {} matrix ({} configs), seed {}, fault seed {:#x}",
+        args.mode.label(),
+        configs(args.mode).len(),
+        args.seed,
+        args.fault_seed
+    );
+
+    let t0 = Instant::now();
+    let verdicts = run_matrix(args.mode, args.seed);
+    let matrix_secs = t0.elapsed().as_secs_f64();
+    print_matrix(&verdicts);
+
+    let t1 = Instant::now();
+    let reports = run_fault_suite(args.fault_seed);
+    let fault_secs = t1.elapsed().as_secs_f64();
+    print_faults(&reports);
+
+    let matrix_ok = verdicts.iter().all(|v| v.pass);
+    let faults_ok = reports.iter().all(|r| r.pass);
+    println!(
+        "matrix: {}/{} pass in {:.2}s; faults: {}/{} pass in {:.2}s",
+        verdicts.iter().filter(|v| v.pass).count(),
+        verdicts.len(),
+        matrix_secs,
+        reports.iter().filter(|r| r.pass).count(),
+        reports.len(),
+        fault_secs
+    );
+
+    if let Some(path) = &args.json {
+        if let Err(e) = write_json(path, &args, &verdicts, &reports, matrix_secs, fault_secs) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+
+    if matrix_ok && faults_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

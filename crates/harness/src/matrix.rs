@@ -1,0 +1,173 @@
+//! The conformance-matrix driver: cross product of every strategy
+//! knob, each point compared against the single-rank reference under
+//! the crate-level ULP tolerance policy.
+
+use crate::dist::run_distributed;
+use crate::reference::{run_reference, Problem, RankResult};
+use crate::{max_scaled_ulp, max_ulp, A2aAlgo, Config, Strategy};
+
+/// The axes of the full matrix.
+pub const STRATEGIES: [Strategy; 2] = [Strategy::P1, Strategy::P2];
+/// All-to-All algorithms.
+pub const ALGOS: [A2aAlgo; 2] = [A2aAlgo::Linear, A2aAlgo::TwoDh];
+/// Pipeline degrees (all divide [`Problem::CAPACITY`]).
+pub const DEGREES: [usize; 4] = [1, 2, 4, 8];
+/// Simulated world sizes.
+pub const WORLDS: [usize; 3] = [1, 2, 4];
+/// Per-rank compute thread limits (`TUTEL_THREADS`-equivalent).
+pub const THREADS: [usize; 2] = [1, 4];
+
+/// Matrix mode: the smoke subset keeps one representative
+/// `(degree, threads)` pair per corner of the pipeline axis; the full
+/// mode runs the entire cross product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// ~1/3 of the matrix, for CI.
+    Smoke,
+    /// Every configuration.
+    Full,
+}
+
+impl Mode {
+    /// Name used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mode::Smoke => "smoke",
+            Mode::Full => "full",
+        }
+    }
+}
+
+/// The configurations the mode selects, in stable order.
+pub fn configs(mode: Mode) -> Vec<Config> {
+    let mut out = Vec::new();
+    for world in WORLDS {
+        for strategy in STRATEGIES {
+            for algo in ALGOS {
+                for degree in DEGREES {
+                    for threads in THREADS {
+                        let keep = match mode {
+                            Mode::Full => true,
+                            // One bitwise-eligible point (d1 t1), one
+                            // mid point (d2 t4), one max-pipelining
+                            // point (d8 t1).
+                            Mode::Smoke => matches!((degree, threads), (1, 1) | (2, 4) | (8, 1)),
+                        };
+                        if keep {
+                            out.push(Config {
+                                strategy,
+                                algo,
+                                degree,
+                                world,
+                                threads,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Verdict for one matrix point.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// The configuration that ran.
+    pub config: Config,
+    /// Whether outputs and gradients matched bitwise on every rank.
+    pub bitwise: bool,
+    /// Largest output scale-aware ULP error across ranks.
+    pub output_ulp: f64,
+    /// Largest input-gradient scale-aware ULP error across ranks.
+    pub d_x_ulp: f64,
+    /// Whether the aux loss matched bitwise on every rank.
+    pub aux_bitwise: bool,
+    /// Whether the point passed its budget.
+    pub pass: bool,
+}
+
+impl Verdict {
+    fn judge(config: Config, reference: &[RankResult], got: &[RankResult]) -> Self {
+        let mut bitwise = got.len() == reference.len();
+        let mut output_ulp = 0.0f64;
+        let mut d_x_ulp = 0.0f64;
+        let mut aux_bitwise = got.len() == reference.len();
+        for (g, r) in got.iter().zip(reference) {
+            bitwise &= max_ulp(&g.output, &r.output) == 0 && max_ulp(&g.d_x, &r.d_x) == 0;
+            output_ulp = output_ulp.max(max_scaled_ulp(&g.output, &r.output));
+            d_x_ulp = d_x_ulp.max(max_scaled_ulp(&g.d_x, &r.d_x));
+            aux_bitwise &= g.aux.to_bits() == r.aux.to_bits();
+        }
+        let budget = config.ulp_budget();
+        let within_budget = if budget == 0 {
+            bitwise
+        } else {
+            output_ulp <= f64::from(budget) && d_x_ulp <= f64::from(budget)
+        };
+        let pass = within_budget && aux_bitwise;
+        Verdict {
+            config,
+            bitwise,
+            output_ulp,
+            d_x_ulp,
+            aux_bitwise,
+            pass,
+        }
+    }
+}
+
+/// Runs the matrix for `mode` and returns one verdict per
+/// configuration, in [`configs`] order. The reference and fixture are
+/// built once per world size from `seed` so every configuration of a
+/// world compares against the identical baseline.
+pub fn run_matrix(mode: Mode, seed: u64) -> Vec<Verdict> {
+    let mut verdicts = Vec::new();
+    for &world in &WORLDS {
+        let problem = Problem { world, seed };
+        let fixture = problem.materialize();
+        let reference = run_reference(&problem, &fixture);
+        for config in configs(mode).into_iter().filter(|c| c.world == world) {
+            let got = run_distributed(&problem, &fixture, &config);
+            verdicts.push(Verdict::judge(config, &reference, &got));
+        }
+    }
+    verdicts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_is_a_strict_subset_of_full() {
+        let smoke = configs(Mode::Smoke);
+        let full = configs(Mode::Full);
+        assert!(smoke.len() < full.len());
+        assert_eq!(full.len(), 2 * 2 * 4 * 3 * 2);
+        assert_eq!(smoke.len(), 2 * 2 * 3 * 3);
+        for c in &smoke {
+            assert!(full.contains(c), "{} missing from full", c.label());
+        }
+    }
+
+    #[test]
+    fn smoke_covers_every_strategy_algo_world() {
+        let smoke = configs(Mode::Smoke);
+        for world in WORLDS {
+            for strategy in STRATEGIES {
+                for algo in ALGOS {
+                    assert!(
+                        smoke
+                            .iter()
+                            .any(|c| c.world == world && c.strategy == strategy && c.algo == algo),
+                        "smoke misses {}/{} w{}",
+                        strategy.label(),
+                        algo.label(),
+                        world
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,17 +1,19 @@
 //! Offline stand-in for `crossbeam`.
 //!
-//! Provides `crossbeam::channel::{unbounded, Sender, Receiver}` — the
-//! only surface `tutel-comm`'s threaded runtime uses — as an MPMC
-//! unbounded channel over `Mutex<VecDeque>` + `Condvar`. Semantics
-//! match crossbeam where this workspace relies on them: cloneable
-//! senders *and* receivers, FIFO per queue, and `recv` returning
-//! `Err(RecvError)` once the queue is empty and every sender has
-//! dropped.
+//! Provides `crossbeam::channel::{unbounded, Sender, Receiver,
+//! RecvTimeoutError}` — the only surface `tutel-comm`'s threaded
+//! runtime uses — as an MPMC unbounded channel over
+//! `Mutex<VecDeque>` + `Condvar`. Semantics match crossbeam where
+//! this workspace relies on them: cloneable senders *and* receivers,
+//! FIFO per queue, `recv` returning `Err(RecvError)` once the queue
+//! is empty and every sender has dropped, and `recv_timeout`
+//! distinguishing `Timeout` from `Disconnected`.
 
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
     use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
     struct Shared<T> {
         queue: Mutex<State<T>>,
@@ -63,6 +65,29 @@ pub mod channel {
     }
 
     impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::recv_timeout`]: either the wait
+    /// expired or the channel is empty and disconnected.
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// The channel is empty and every sender has dropped.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
 
     /// Creates an unbounded MPMC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
@@ -131,6 +156,31 @@ pub mod channel {
         pub fn try_recv(&self) -> Option<T> {
             self.shared.queue.lock().unwrap().items.pop_front()
         }
+
+        /// Blocks until an item arrives, every sender has dropped, or
+        /// `timeout` elapses — matching crossbeam's `recv_timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _result) = self
+                    .shared
+                    .ready
+                    .wait_timeout(state, deadline - now)
+                    .unwrap();
+                state = guard;
+            }
+        }
     }
 
     impl<T> Clone for Receiver<T> {
@@ -167,6 +217,24 @@ mod tests {
         drop(tx2);
         assert_eq!(rx.recv().unwrap(), 1);
         assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        use super::channel::RecvTimeoutError;
+        use std::time::Duration;
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]
