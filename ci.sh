@@ -24,8 +24,18 @@ echo "==> determinism suite at TUTEL_THREADS=1 and =4"
 TUTEL_THREADS=1 cargo test -q --test determinism
 TUTEL_THREADS=4 cargo test -q --test determinism
 
+echo "==> executed-overlap determinism sweep at TUTEL_THREADS=1 and =4"
+TUTEL_THREADS=1 cargo test -q --test overlap
+TUTEL_THREADS=4 cargo test -q --test overlap
+
 echo "==> compute_runtime bench smoke (2s warmup-only run)"
 cargo bench -q -p tutel-bench --bench compute_runtime -- --warm-up-time 1 --measurement-time 1 --sample-size 10 compute_runtime_arena > /dev/null
+
+echo "==> pipeline_overlap bench smoke (executed degree sweep, incl. d1/d4)"
+cargo bench -q -p tutel-bench --bench pipeline_overlap > /dev/null
+
+echo "==> executed adaptive pipelining sweep (BENCH_pipeline.json)"
+cargo run --release -q -p tutel-bench --bin repro_pipeline > /dev/null
 
 echo "==> conformance harness (smoke matrix + fault suite)"
 # HARNESS_FULL=1 upgrades to the full 96-point matrix.

@@ -1,0 +1,53 @@
+//! Executed adaptive-pipelining sweep: every (All-to-All algorithm ×
+//! degree) strategy run through the overlap executor on the threaded
+//! runtime, priced under the link model, with the measured search's
+//! audit trail. Printed as a table and written to
+//! `BENCH_pipeline.json` (pass an argument to choose a different
+//! output path).
+//!
+//! Exits non-zero if any cell's best overlapped strategy fails to
+//! beat the degree-1 baseline, or if the search's converged choice
+//! is not the measured argmin — the acceptance criteria, enforced.
+
+use std::process::ExitCode;
+
+use tutel_bench::experiments::overlap_sweep;
+use tutel_obs::Telemetry;
+
+fn main() -> ExitCode {
+    let tel = Telemetry::enabled();
+    let cells = overlap_sweep::sweep(&tel);
+    overlap_sweep::sweep_table(&cells).print();
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    let json = overlap_sweep::sweep_json(&cells, &tel).to_json();
+    std::fs::write(&path, json + "\n").expect("write pipeline json");
+    println!(
+        "wrote {path} ({} cells, * = chosen by the measured search)",
+        cells.len()
+    );
+    let mut ok = true;
+    for cell in &cells {
+        if cell.best_overlapped_link_s >= cell.baseline_link_s {
+            eprintln!(
+                "FAIL world={} tokens={}: best overlapped {:.6}s does not beat degree-1 {:.6}s",
+                cell.world, cell.tokens, cell.best_overlapped_link_s, cell.baseline_link_s
+            );
+            ok = false;
+        }
+        if cell.chosen != cell.measured_best {
+            eprintln!(
+                "FAIL world={} tokens={}: chosen {} != measured argmin {}",
+                cell.world, cell.tokens, cell.chosen, cell.measured_best
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        println!("pipeline overlap acceptance: pass");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -8,5 +8,6 @@ pub mod breakdown;
 pub mod kernels;
 pub mod layer_scaling;
 pub mod micro;
+pub mod overlap_sweep;
 pub mod parallelism;
 pub mod pipelining;

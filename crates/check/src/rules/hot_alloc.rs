@@ -17,31 +17,15 @@
 
 use super::{Rule, STRICT_CRATES};
 use crate::diag::Diagnostic;
-use crate::lexer::{Token, TokenKind};
-use crate::source::{item_end_line, skip_attribute, SourceFile};
+use crate::lexer::Token;
+use crate::source::{marker_spans, SourceFile};
 
 pub struct HotAlloc;
 
 /// Inclusive 1-based line ranges covered by `// check:hot` markers:
 /// each marker claims the next item (function) that follows it.
 fn hot_spans(file: &SourceFile) -> Vec<(u32, u32)> {
-    let code: Vec<&Token> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
-    let mut spans = Vec::new();
-    for t in &file.tokens {
-        if t.kind != TokenKind::Comment || !t.text.contains("check:hot") {
-            continue;
-        }
-        let Some(mut j) = code.iter().position(|c| c.line > t.line) else {
-            continue;
-        };
-        while j < code.len() && code[j].is_punct('#') {
-            j = skip_attribute(&code, j);
-        }
-        if let (Some(start), Some(end)) = (code.get(j).map(|c| c.line), item_end_line(&code, j)) {
-            spans.push((start, end));
-        }
-    }
-    spans
+    marker_spans(file, "check:hot")
 }
 
 impl Rule for HotAlloc {
@@ -150,6 +134,19 @@ mod tests {
         assert!(run("tutel-bench", src).is_empty());
         let test_src = "// check:hot\n#[test]\nfn t() { let a = Tensor::zeros(&[4]); }\n";
         assert!(run("tutel-tensor", test_src).is_empty());
+    }
+
+    #[test]
+    fn overlap_executor_is_covered() {
+        // `core::overlap`'s `check:hot` schedule must stay
+        // allocation-clean like every other hot item — the crate name
+        // `tutel` is strict and the marker machinery is shared.
+        let src = "// check:hot\npub fn run_overlapped() {\n    let y = chunk.to_vec();\n}\n";
+        let file = SourceFile::parse("tutel", "crates/core/src/overlap.rs", src);
+        let mut sink = Vec::new();
+        HotAlloc.check_file(&file, &mut sink);
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink[0].line, 3);
     }
 
     #[test]

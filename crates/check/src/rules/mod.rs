@@ -8,12 +8,14 @@ use crate::source::SourceFile;
 mod hot_alloc;
 pub mod layering;
 mod layout_doc;
+mod no_block_in_overlap;
 mod no_panic;
 mod shim_hygiene;
 mod test_determinism;
 
 pub use hot_alloc::HotAlloc;
 pub use layout_doc::LayoutDoc;
+pub use no_block_in_overlap::NoBlockInOverlap;
 pub use no_panic::NoPanic;
 pub use shim_hygiene::ShimHygiene;
 pub use test_determinism::TestDeterminism;
@@ -44,6 +46,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(NoPanic),
         Box::new(HotAlloc),
+        Box::new(NoBlockInOverlap),
         Box::new(LayoutDoc),
         Box::new(ShimHygiene),
         Box::new(TestDeterminism),

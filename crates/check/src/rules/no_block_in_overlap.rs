@@ -1,0 +1,127 @@
+//! Rule `no_block_in_overlap` (L6): no blocking waits inside the
+//! overlap executor's steady state.
+//!
+//! The executed pipelining win (Section 3.3) exists only while the
+//! next chunk's All-to-All progresses *behind* the current chunk's
+//! compute. A `handle.wait(..)` dropped into the schedule between
+//! chunk issue and the final drain serializes the two streams again —
+//! silently, with every test still passing, because blocking changes
+//! only *when* messages move, never *what* they carry.
+//!
+//! The rule scans overlap-executor files (files whose path contains
+//! `overlap` inside the strict crates) and flags every
+//! `.wait(` call outside an item annotated with
+//! `// check:overlap-drain` — the marker claiming the one designated
+//! drain helper (and any future peer) where blocking is the point.
+//! Test code is exempt, and one-off sites can justify themselves with
+//! `// check:allow(no_block_in_overlap, reason)`.
+
+use super::{Rule, STRICT_CRATES};
+use crate::diag::Diagnostic;
+use crate::lexer::Token;
+use crate::source::{marker_spans, SourceFile};
+
+pub struct NoBlockInOverlap;
+
+impl Rule for NoBlockInOverlap {
+    fn id(&self) -> &'static str {
+        "no_block_in_overlap"
+    }
+
+    fn check_file(&self, file: &SourceFile, sink: &mut Vec<Diagnostic>) {
+        if !STRICT_CRATES.contains(&file.crate_name.as_str()) {
+            return;
+        }
+        // Scope: the overlap executor itself, not every consumer of a
+        // CommHandle (blocking `wait` is the correct epilogue outside
+        // a pipelined schedule).
+        let path = file.rel_path.rsplit('/').next().unwrap_or(&file.rel_path);
+        if !path.contains("overlap") {
+            return;
+        }
+        let drain_spans = marker_spans(file, "check:overlap-drain");
+        let in_drain = |line: u32| drain_spans.iter().any(|&(lo, hi)| lo <= line && line <= hi);
+        let code: Vec<&Token> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+        for (i, tok) in code.iter().enumerate() {
+            if in_drain(tok.line) || file.in_test(tok.line) {
+                continue;
+            }
+            let is_wait_call = tok.is_ident("wait")
+                && i > 0
+                && code[i - 1].is_punct('.')
+                && code.get(i + 1).is_some_and(|t| t.is_punct('('));
+            if is_wait_call {
+                file.emit(
+                    sink,
+                    Diagnostic {
+                        rule: self.id(),
+                        file: file.rel_path.clone(),
+                        line: tok.line,
+                        message: "blocking `.wait(..)` inside the overlap schedule serializes \
+                                  comm against compute: poll, or route through the \
+                                  `check:overlap-drain` drain helper, or justify with \
+                                  `// check:allow(no_block_in_overlap, reason)`"
+                            .to_string(),
+                        snippet: file.snippet(tok.line),
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn run(crate_name: &str, path: &str, src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::parse(crate_name, path, src);
+        let mut sink = Vec::new();
+        NoBlockInOverlap.check_file(&file, &mut sink);
+        sink
+    }
+
+    #[test]
+    fn flags_wait_outside_drain_items() {
+        let src = "fn schedule(h: CommHandle) {\n    let out = h.wait(comm);\n}\n";
+        let diags = run("tutel", "crates/core/src/overlap.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 2);
+        assert_eq!(diags[0].rule, "no_block_in_overlap");
+    }
+
+    #[test]
+    fn drain_marked_items_may_wait() {
+        let src = "// check:overlap-drain\nfn drain(h: CommHandle) -> Vec<f32> {\n    h.wait(comm)\n}\n\nfn schedule() {\n    poll();\n}\n";
+        assert!(run("tutel", "crates/core/src/overlap.rs", src).is_empty());
+    }
+
+    #[test]
+    fn marker_claims_only_the_next_item() {
+        let src = "// check:overlap-drain\nfn drain(h: H) { h.wait(c); }\n\nfn leak(h: H) { h.wait(c); }\n";
+        let diags = run("tutel", "crates/core/src/overlap.rs", src);
+        assert_eq!(diags.iter().map(|d| d.line).collect::<Vec<_>>(), vec![4]);
+    }
+
+    #[test]
+    fn non_overlap_files_and_non_strict_crates_are_exempt() {
+        let src = "fn f(h: H) { h.wait(c); }\n";
+        assert!(run("tutel", "crates/core/src/pipeline.rs", src).is_empty());
+        assert!(run("tutel-bench", "crates/bench/src/overlap_run.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tests_and_allows_are_exempt() {
+        let test_src = "#[test]\nfn t(h: H) { h.wait(c); }\n";
+        assert!(run("tutel", "crates/core/src/overlap.rs", test_src).is_empty());
+        let allowed = "fn f(h: H) {\n    // check:allow(no_block_in_overlap, degenerate degree-1 path)\n    h.wait(c);\n}\n";
+        assert!(run("tutel", "crates/core/src/overlap.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn wait_as_a_plain_ident_is_not_a_call() {
+        let src = "fn f() {\n    let wait = 3;\n    thread::sleep(wait);\n}\n";
+        assert!(run("tutel", "crates/core/src/overlap.rs", src).is_empty());
+    }
+}

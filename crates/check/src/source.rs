@@ -194,6 +194,31 @@ fn match_test_attribute(code: &[&Token], i: usize) -> Option<usize> {
     Some(skip_attribute(code, i))
 }
 
+/// Inclusive 1-based line ranges claimed by `// check:<marker>`
+/// comments: each marker claims the next item (function) that follows
+/// it, skipping attributes. Shared by the span-scoped rules
+/// (`hot_alloc` via `check:hot`, `no_block_in_overlap` via
+/// `check:overlap-drain`).
+pub(crate) fn marker_spans(file: &SourceFile, marker: &str) -> Vec<(u32, u32)> {
+    let code: Vec<&Token> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut spans = Vec::new();
+    for t in &file.tokens {
+        if t.kind != TokenKind::Comment || !t.text.contains(marker) {
+            continue;
+        }
+        let Some(mut j) = code.iter().position(|c| c.line > t.line) else {
+            continue;
+        };
+        while j < code.len() && code[j].is_punct('#') {
+            j = skip_attribute(&code, j);
+        }
+        if let (Some(start), Some(end)) = (code.get(j).map(|c| c.line), item_end_line(&code, j)) {
+            spans.push((start, end));
+        }
+    }
+    spans
+}
+
 /// Skips a `#[...]` attribute starting at `i` (pointing at `#`),
 /// returning the index past the matching `]`.
 pub(crate) fn skip_attribute(code: &[&Token], i: usize) -> usize {

@@ -435,6 +435,37 @@ impl Communicator {
         }
     }
 
+    /// Returns the next raw arrival if one is already queued, without
+    /// blocking. The sched endpoint always reports `None`: its
+    /// deliveries only happen at quiescence, so polling can make no
+    /// progress there — handle waits fall back to the blocking path,
+    /// which the scheduler mediates deterministically.
+    fn try_recv_any(&mut self) -> Option<Message> {
+        match &mut self.endpoint {
+            Endpoint::Channel { receiver, .. } => receiver.try_recv(),
+            #[cfg(feature = "check-sched")]
+            Endpoint::Sched(_) => None,
+        }
+    }
+
+    /// Drains every arrival already queued on the endpoint into the
+    /// mailbox without blocking. Under the reliability layer, control
+    /// traffic (`Retry`/`Ack`) is handled inline and data is deduped —
+    /// exactly as the blocking receive loop would.
+    fn drain_incoming(&mut self) -> Result<(), CommError> {
+        while let Some(msg) = self.try_recv_any() {
+            if self.reliability.is_some() {
+                self.handle_reliable_arrival(msg, None)?;
+            } else {
+                self.mailbox
+                    .entry((msg.src, msg.tag))
+                    .or_default()
+                    .push(msg.payload);
+            }
+        }
+        Ok(())
+    }
+
     /// Processes one arrival under the reliability layer: dedupes and
     /// parks data (returning it instead if it matches `want`), serves
     /// `Retry` requests from the retransmit log, and records acks.
@@ -536,10 +567,13 @@ impl Communicator {
     /// delayed sends, announces completion to every peer, and waits
     /// for every peer's announcement while serving their retry
     /// requests — so this rank stays reachable until all receivers
-    /// have recovered. Clears the retransmit log afterwards (FIFO
-    /// ordering puts a peer's last possible retry before its ack) and
-    /// mirrors the `comm.retry.*` counters as gauges.
-    fn collective_epilogue(&mut self) -> Result<(), CommError> {
+    /// have recovered. Drops the `finished` tags from the retransmit
+    /// log afterwards (FIFO ordering puts a peer's last possible retry
+    /// before its ack) and mirrors the `comm.retry.*` counters as
+    /// gauges. Only the finished tags are dropped — with non-blocking
+    /// handles, another collective's sends may already be logged and
+    /// must stay recoverable until *its* epilogue runs.
+    fn collective_epilogue(&mut self, finished: &[u64]) -> Result<(), CommError> {
         if self.reliability.is_none() {
             return Ok(());
         }
@@ -600,7 +634,7 @@ impl Communicator {
         }
         if let Some(rel) = &self.reliability {
             let mut st = rel.state.borrow_mut();
-            st.log.clear();
+            st.log.retain(|(_, t), _| !finished.contains(t));
             st.acks.retain(|(_, e)| *e > epoch);
             st.epoch += 1;
             drop(st);
@@ -671,7 +705,7 @@ impl Communicator {
                 out[src * chunk..(src + 1) * chunk].copy_from_slice(&payload);
             }
         }
-        self.collective_epilogue()?;
+        self.collective_epilogue(&[tag])?;
         Ok(out)
     }
 
@@ -722,14 +756,14 @@ impl Communicator {
         let phase3 = stride_memcpy(&phase2, chunk, nnodes, m);
 
         // Phase 4: inter-node All-to-All among same-local-rank peers.
-        let tag = self.fresh_tag();
+        let tag_inter = self.fresh_tag();
         let nblock = m * chunk;
         for dst_node in 0..nnodes {
             if dst_node != node {
                 let dst = dst_node * m + local;
                 self.send(
                     dst,
-                    tag,
+                    tag_inter,
                     phase3[dst_node * nblock..(dst_node + 1) * nblock].to_vec(),
                 )?;
             }
@@ -740,12 +774,118 @@ impl Communicator {
         for src_node in 0..nnodes {
             if src_node != node {
                 let src = src_node * m + local;
-                let payload = self.recv(src, tag)?;
+                let payload = self.recv(src, tag_inter)?;
                 out[src_node * nblock..(src_node + 1) * nblock].copy_from_slice(&payload);
             }
         }
-        self.collective_epilogue()?;
+        self.collective_epilogue(&[tag, tag_inter])?;
         Ok(out)
+    }
+
+    /// Non-blocking linear All-to-All: issues every send eagerly and
+    /// returns a [`CommHandle`] that completes as peers' chunks
+    /// arrive. Same wire layout and bitwise-identical result as
+    /// [`Communicator::all_to_all`].
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::Indivisible`] if `input.len()` is not divisible by
+    /// the world size, plus any transport error during issue.
+    pub fn ialltoall(&mut self, input: &[f32]) -> Result<CommHandle, CommError> {
+        let n = self.world_size();
+        let chunk = self.require_divisible(input.len(), n)?;
+        let tag = self.fresh_tag();
+        for peer in 0..n {
+            if peer != self.rank {
+                self.send(peer, tag, input[peer * chunk..(peer + 1) * chunk].to_vec())?;
+            }
+        }
+        let mut out = vec![0.0f32; input.len()];
+        out[self.rank * chunk..(self.rank + 1) * chunk]
+            .copy_from_slice(&input[self.rank * chunk..(self.rank + 1) * chunk]);
+        let pending: Vec<usize> = (0..n).filter(|&s| s != self.rank).collect();
+        let mut handle = CommHandle {
+            op: "ialltoall",
+            tags: vec![tag],
+            state: if pending.is_empty() {
+                HandleState::Done { out }
+            } else {
+                HandleState::Linear {
+                    tag,
+                    chunk,
+                    pending,
+                    out,
+                }
+            },
+        };
+        // Early arrivals may already be parked (a faster peer's sends
+        // land before we issue); absorb them now.
+        handle.absorb(self)?;
+        Ok(handle)
+    }
+
+    /// Non-blocking 2DH All-to-All: phases 1–2 are issued eagerly;
+    /// phases 3–4 are issued automatically once every intra-node block
+    /// has arrived (during `poll` or `wait`). Both phase tags are
+    /// allocated up front so every rank's tag counter advances by the
+    /// same amount at issue time — tag lockstep across ranks must not
+    /// depend on *when* each rank's poll observes the phase
+    /// transition.
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::Indivisible`] if `input.len()` is not divisible by
+    /// the world size, plus any transport error during issue.
+    pub fn ialltoall_2dh(&mut self, input: &[f32]) -> Result<CommHandle, CommError> {
+        let n = self.world_size();
+        let m = self.topology.gpus_per_node();
+        let nnodes = self.topology.nnodes();
+        let chunk = self.require_divisible(input.len(), n)?;
+        let node = self.topology.node_of(self.rank);
+        let local = self.topology.local_rank(self.rank);
+        let tag_intra = self.fresh_tag();
+        let tag_inter = self.fresh_tag();
+
+        // Phases 1–2: align and issue the intra-node exchange.
+        let aligned = stride_memcpy(input, chunk, m, nnodes);
+        let block = nnodes * chunk;
+        for dst_local in 0..m {
+            if dst_local != local {
+                let dst = node * m + dst_local;
+                self.send(
+                    dst,
+                    tag_intra,
+                    aligned[dst_local * block..(dst_local + 1) * block].to_vec(),
+                )?;
+            }
+        }
+        let mut phase2 = vec![0.0f32; input.len()];
+        phase2[local * block..(local + 1) * block]
+            .copy_from_slice(&aligned[local * block..(local + 1) * block]);
+        let pending_intra: Vec<usize> = (0..m).filter(|&l| l != local).collect();
+        let mut handle = CommHandle {
+            op: "ialltoall_2dh",
+            tags: vec![tag_intra, tag_inter],
+            state: HandleState::TwoDh {
+                tag_intra,
+                tag_inter,
+                chunk,
+                m,
+                nnodes,
+                node,
+                local,
+                phase2,
+                pending_intra,
+                inter_issued: false,
+                out: vec![0.0f32; input.len()],
+                pending_inter: (0..nnodes).filter(|&nd| nd != node).collect(),
+            },
+        };
+        // Degenerate topologies (m == 1, nnodes == 1) and early
+        // arrivals can already make progress — including issuing the
+        // inter-node phase — so absorb before handing the handle back.
+        handle.absorb(self)?;
+        Ok(handle)
     }
 
     /// Ring all-gather: returns the concatenation of every rank's
@@ -771,7 +911,10 @@ impl Communicator {
             let origin = (self.rank + n - 1 - s) % n;
             out[origin * shard..(origin + 1) * shard].copy_from_slice(&carry);
         }
-        self.collective_epilogue()?;
+        let tags: Vec<u64> = (0..n.saturating_sub(1))
+            .map(|s| tag + s as u64 * 0x10000)
+            .collect();
+        self.collective_epilogue(&tags)?;
         Ok(out)
     }
 
@@ -812,20 +955,329 @@ impl Communicator {
             }
         }
         // All-gather the reduced shards around the ring.
-        let tag = self.fresh_tag();
+        let tag_ag = self.fresh_tag();
         for s in 0..n - 1 {
             let send_idx = (self.rank + 1 + n - s) % n;
             let recv_idx = (self.rank + n - s) % n;
             self.send(
                 next,
-                tag + s as u64 * 0x10000,
+                tag_ag + s as u64 * 0x10000,
                 buf[send_idx * shard..(send_idx + 1) * shard].to_vec(),
             )?;
-            let payload = self.recv(prev, tag + s as u64 * 0x10000)?;
+            let payload = self.recv(prev, tag_ag + s as u64 * 0x10000)?;
             buf[recv_idx * shard..(recv_idx + 1) * shard].copy_from_slice(&payload);
         }
-        self.collective_epilogue()?;
+        let tags: Vec<u64> = (0..n - 1)
+            .flat_map(|s| [tag + s as u64 * 0x10000, tag_ag + s as u64 * 0x10000])
+            .collect();
+        self.collective_epilogue(&tags)?;
         Ok(buf)
+    }
+}
+
+/// Progress state of an in-flight non-blocking All-to-All.
+enum HandleState {
+    /// Linear: waiting on one chunk from each pending source rank.
+    Linear {
+        tag: u64,
+        chunk: usize,
+        /// Source ranks whose chunk has not arrived yet.
+        pending: Vec<usize>,
+        out: Vec<f32>,
+    },
+    /// 2DH: intra-node exchange in flight, then (once `inter_issued`)
+    /// the inter-node exchange.
+    TwoDh {
+        tag_intra: u64,
+        tag_inter: u64,
+        chunk: usize,
+        m: usize,
+        nnodes: usize,
+        node: usize,
+        local: usize,
+        /// Intra-node landing buffer (phase 2 of Figure 15).
+        phase2: Vec<f32>,
+        /// Local ranks whose intra-node block has not arrived yet.
+        pending_intra: Vec<usize>,
+        /// Whether phases 3–4 (align + inter-node sends) have run.
+        inter_issued: bool,
+        out: Vec<f32>,
+        /// Nodes whose inter-node block has not arrived yet.
+        pending_inter: Vec<usize>,
+    },
+    /// All chunks arrived; `wait` takes the buffer out.
+    Done { out: Vec<f32> },
+}
+
+/// An in-flight non-blocking All-to-All issued by
+/// [`Communicator::ialltoall`] or [`Communicator::ialltoall_2dh`].
+///
+/// The handle owns the collective's receive state; pass the same
+/// communicator it was issued on back into [`CommHandle::poll`] to
+/// make non-blocking progress and [`CommHandle::wait`] to block for
+/// completion. All sends were issued eagerly at creation, so peers
+/// can complete their receives whether or not this rank ever polls.
+///
+/// Under the reliability layer, the closing ack/epoch exchange runs
+/// in `wait` only — never in `poll` — so every rank executes its
+/// epilogues in identical program order (the epoch counters stay in
+/// lockstep exactly when ranks wait their handles in the same order,
+/// which deterministic rank programs do by construction).
+///
+/// A handle must be drained with `wait` before the communicator is
+/// dropped, even on error paths: an abandoned handle strands its
+/// peers' messages in the mailbox and the join-time audit will panic.
+pub struct CommHandle {
+    op: &'static str,
+    /// Every tag this collective sends under; the epilogue in `wait`
+    /// retires exactly these from the retransmit log.
+    tags: Vec<u64>,
+    state: HandleState,
+}
+
+impl CommHandle {
+    /// The collective this handle tracks (`"ialltoall"` or
+    /// `"ialltoall_2dh"`).
+    pub fn op(&self) -> &'static str {
+        self.op
+    }
+
+    /// Whether every chunk has arrived. A complete handle's `wait`
+    /// returns without blocking on data (the reliability epilogue, if
+    /// armed, still runs there).
+    pub fn is_complete(&self) -> bool {
+        matches!(self.state, HandleState::Done { .. })
+    }
+
+    /// Makes non-blocking progress: drains arrivals already queued on
+    /// the endpoint, absorbs the chunks this collective was waiting
+    /// for, and advances the 2DH phase machine. Returns
+    /// [`Self::is_complete`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors from draining or from issuing the
+    /// 2DH inter-node phase.
+    pub fn poll(&mut self, comm: &mut Communicator) -> Result<bool, CommError> {
+        comm.drain_incoming()?;
+        self.absorb(comm)?;
+        Ok(self.is_complete())
+    }
+
+    /// Blocks until the collective completes, closes it (the
+    /// reliability epilogue runs under this handle's tags), and
+    /// returns the received buffer — bitwise identical to what the
+    /// blocking collective would have returned.
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::Disconnected`] if a peer exited mid-collective;
+    /// [`CommError::Deadlock`] under the deterministic scheduler;
+    /// [`CommError::Timeout`] when an armed retry budget is exhausted.
+    pub fn wait(mut self, comm: &mut Communicator) -> Result<Vec<f32>, CommError> {
+        loop {
+            self.absorb(comm)?;
+            // After absorb, an incomplete handle always names a next
+            // source: the only source-less intermediate state (2DH
+            // with the inter-node phase unissued) is resolved by
+            // absorb the moment its last intra-node block lands.
+            let Some((src, tag)) = self.next_pending() else {
+                break;
+            };
+            let payload = comm.recv(src, tag)?;
+            self.accept(src, tag, payload);
+        }
+        comm.collective_epilogue(&self.tags)?;
+        match self.state {
+            HandleState::Done { out } => Ok(out),
+            // check:allow(no_panic, the wait loop above only exits in the Done state)
+            _ => unreachable!("CommHandle::wait exited its drain loop before completion"),
+        }
+    }
+
+    /// The next `(src, tag)` this handle is blocked on, if any.
+    fn next_pending(&self) -> Option<(usize, u64)> {
+        match &self.state {
+            HandleState::Linear { tag, pending, .. } => pending.first().map(|&src| (src, *tag)),
+            HandleState::TwoDh {
+                tag_intra,
+                tag_inter,
+                m,
+                node,
+                local,
+                pending_intra,
+                inter_issued,
+                pending_inter,
+                ..
+            } => {
+                if let Some(&src_local) = pending_intra.first() {
+                    Some((*node * *m + src_local, *tag_intra))
+                } else if *inter_issued {
+                    pending_inter
+                        .first()
+                        .map(|&src_node| (src_node * *m + *local, *tag_inter))
+                } else {
+                    None
+                }
+            }
+            HandleState::Done { .. } => None,
+        }
+    }
+
+    /// Accepts a payload received for `(src, tag)` and re-runs the
+    /// state machine (the arrival may complete a phase).
+    fn accept(&mut self, src: usize, tag: u64, payload: Vec<f32>) {
+        match &mut self.state {
+            HandleState::Linear {
+                chunk,
+                pending,
+                out,
+                ..
+            } => {
+                out[src * *chunk..(src + 1) * *chunk].copy_from_slice(&payload);
+                pending.retain(|&s| s != src);
+            }
+            HandleState::TwoDh {
+                tag_intra,
+                chunk,
+                m,
+                nnodes,
+                local,
+                phase2,
+                pending_intra,
+                out,
+                pending_inter,
+                ..
+            } => {
+                if tag == *tag_intra {
+                    let src_local = src % *m;
+                    let block = *nnodes * *chunk;
+                    phase2[src_local * block..(src_local + 1) * block].copy_from_slice(&payload);
+                    pending_intra.retain(|&l| l != src_local);
+                } else {
+                    let src_node = (src - *local) / *m;
+                    let nblock = *m * *chunk;
+                    out[src_node * nblock..(src_node + 1) * nblock].copy_from_slice(&payload);
+                    pending_inter.retain(|&nd| nd != src_node);
+                }
+            }
+            HandleState::Done { .. } => {}
+        }
+        self.promote();
+    }
+
+    /// Absorbs every already-parked chunk this handle is waiting for
+    /// and advances phases. Never blocks and never runs the epilogue.
+    fn absorb(&mut self, comm: &mut Communicator) -> Result<(), CommError> {
+        while let Some((src, tag)) = self.next_takeable(comm) {
+            // next_takeable only names (src, tag) pairs with a parked
+            // message, so the take always yields.
+            if let Some(payload) = comm.take_parked(src, tag) {
+                self.accept(src, tag, payload);
+            }
+        }
+        self.issue_inter_if_ready(comm)
+    }
+
+    /// The first pending `(src, tag)` with a message already parked.
+    fn next_takeable(&self, comm: &Communicator) -> Option<(usize, u64)> {
+        match &self.state {
+            HandleState::Linear { tag, pending, .. } => pending
+                .iter()
+                .map(|&src| (src, *tag))
+                .find(|key| comm.mailbox.contains_key(&(key.0, key.1))),
+            HandleState::TwoDh {
+                tag_intra,
+                tag_inter,
+                m,
+                node,
+                local,
+                pending_intra,
+                inter_issued,
+                pending_inter,
+                ..
+            } => {
+                let intra = pending_intra
+                    .iter()
+                    .map(|&l| (*node * *m + l, *tag_intra))
+                    .find(|key| comm.mailbox.contains_key(&(key.0, key.1)));
+                if intra.is_some() {
+                    return intra;
+                }
+                if *inter_issued {
+                    pending_inter
+                        .iter()
+                        .map(|&nd| (nd * *m + *local, *tag_inter))
+                        .find(|key| comm.mailbox.contains_key(&(key.0, key.1)))
+                } else {
+                    None
+                }
+            }
+            HandleState::Done { .. } => None,
+        }
+    }
+
+    /// Runs 2DH phases 3–4 (align + inter-node sends) once the last
+    /// intra-node block has landed, then re-absorbs: inter-node blocks
+    /// from faster peers may already be parked.
+    fn issue_inter_if_ready(&mut self, comm: &mut Communicator) -> Result<(), CommError> {
+        let HandleState::TwoDh {
+            tag_inter,
+            chunk,
+            m,
+            nnodes,
+            node,
+            local,
+            phase2,
+            pending_intra,
+            inter_issued,
+            out,
+            ..
+        } = &mut self.state
+        else {
+            return Ok(());
+        };
+        if *inter_issued || !pending_intra.is_empty() {
+            return Ok(());
+        }
+        let phase3 = stride_memcpy(phase2, *chunk, *nnodes, *m);
+        let nblock = *m * *chunk;
+        for dst_node in 0..*nnodes {
+            if dst_node != *node {
+                let dst = dst_node * *m + *local;
+                comm.send(
+                    dst,
+                    *tag_inter,
+                    phase3[dst_node * nblock..(dst_node + 1) * nblock].to_vec(),
+                )?;
+            }
+        }
+        out[*node * nblock..(*node + 1) * nblock]
+            .copy_from_slice(&phase3[*node * nblock..(*node + 1) * nblock]);
+        *inter_issued = true;
+        self.promote();
+        self.absorb(comm)
+    }
+
+    /// Moves the state to `Done` when nothing is pending anymore.
+    fn promote(&mut self) {
+        let finished = match &mut self.state {
+            HandleState::Linear { pending, out, .. } => {
+                pending.is_empty().then(|| std::mem::take(out))
+            }
+            HandleState::TwoDh {
+                pending_intra,
+                inter_issued,
+                out,
+                pending_inter,
+                ..
+            } => (*inter_issued && pending_intra.is_empty() && pending_inter.is_empty())
+                .then(|| std::mem::take(out)),
+            HandleState::Done { .. } => None,
+        };
+        if let Some(out) = finished {
+            self.state = HandleState::Done { out };
+        }
     }
 }
 
@@ -1258,5 +1710,166 @@ mod tests {
                 > 0,
             "100% duplication must exercise the dedupe path"
         );
+    }
+
+    #[test]
+    fn nonblocking_linear_matches_blocking_bitwise() {
+        let topo = Topology::new(2, 3);
+        let bufs = labeled(6, 4);
+        let bufs_ref = &bufs;
+        let blocking = run_threaded(topo, |mut comm| {
+            comm.all_to_all(&bufs_ref[comm.rank()]).unwrap()
+        });
+        let nonblocking = run_threaded(topo, |mut comm| {
+            let mut h = comm.ialltoall(&bufs_ref[comm.rank()]).unwrap();
+            // A few polls are legal at any point before the wait.
+            let _ = h.poll(&mut comm).unwrap();
+            let _ = h.poll(&mut comm).unwrap();
+            let out = h.wait(&mut comm).unwrap();
+            assert_eq!(comm.parked_messages(), 0);
+            out
+        });
+        assert_eq!(blocking, nonblocking);
+    }
+
+    #[test]
+    fn nonblocking_2dh_matches_blocking_bitwise() {
+        let topo = Topology::new(2, 4);
+        let bufs = labeled(8, 2);
+        let bufs_ref = &bufs;
+        let blocking = run_threaded(topo, |mut comm| {
+            comm.all_to_all_2dh(&bufs_ref[comm.rank()]).unwrap()
+        });
+        let nonblocking = run_threaded(topo, |mut comm| {
+            let mut h = comm.ialltoall_2dh(&bufs_ref[comm.rank()]).unwrap();
+            while !h.poll(&mut comm).unwrap() {
+                std::thread::yield_now();
+            }
+            assert!(h.is_complete());
+            let out = h.wait(&mut comm).unwrap();
+            assert_eq!(comm.parked_messages(), 0);
+            out
+        });
+        assert_eq!(blocking, nonblocking);
+    }
+
+    #[test]
+    fn nonblocking_2dh_single_node_and_single_rank() {
+        for topo in [Topology::single_node(1), Topology::single_node(4)] {
+            let n = topo.world_size();
+            let bufs = labeled(n, 3);
+            let bufs_ref = &bufs;
+            let blocking = run_threaded(topo, |mut comm| {
+                comm.all_to_all_2dh(&bufs_ref[comm.rank()]).unwrap()
+            });
+            let nonblocking = run_threaded(topo, |mut comm| {
+                let h = comm.ialltoall_2dh(&bufs_ref[comm.rank()]).unwrap();
+                h.wait(&mut comm).unwrap()
+            });
+            assert_eq!(blocking, nonblocking, "world {n}");
+        }
+    }
+
+    #[test]
+    fn overlapped_handles_do_not_cross_talk() {
+        // Two collectives in flight at once, drained in issue order,
+        // with a third blocking collective afterwards on the same
+        // communicator: payloads must not mix and the mailbox must be
+        // clean at join.
+        let topo = Topology::new(2, 2);
+        let n = topo.world_size();
+        let expected_a = run_threaded(topo, |mut comm| {
+            comm.all_to_all(&vec![comm.rank() as f32; n * 2]).unwrap()
+        });
+        let expected_b = run_threaded(topo, |mut comm| {
+            comm.all_to_all_2dh(&vec![100.0 + comm.rank() as f32; n * 2])
+                .unwrap()
+        });
+        let got = run_threaded(topo, |mut comm| {
+            let a_in = vec![comm.rank() as f32; n * 2];
+            let b_in = vec![100.0 + comm.rank() as f32; n * 2];
+            let mut ha = comm.ialltoall(&a_in).unwrap();
+            let mut hb = comm.ialltoall_2dh(&b_in).unwrap();
+            let _ = hb.poll(&mut comm).unwrap();
+            let _ = ha.poll(&mut comm).unwrap();
+            let a = ha.wait(&mut comm).unwrap();
+            let b = hb.wait(&mut comm).unwrap();
+            let c = comm.all_to_all(&a_in).unwrap();
+            assert_eq!(comm.parked_messages(), 0);
+            (a, b, c)
+        });
+        for (rank, (a, b, c)) in got.into_iter().enumerate() {
+            assert_eq!(a, expected_a[rank], "rank {rank}: first handle");
+            assert_eq!(b, expected_b[rank], "rank {rank}: second handle");
+            assert_eq!(c, expected_a[rank], "rank {rank}: trailing blocking op");
+        }
+    }
+
+    #[test]
+    fn reliable_ialltoall_recovers_with_second_handle_in_flight() {
+        // The overlap regression the tag-selective epilogue exists
+        // for: handle B's sends are logged before handle A's epilogue
+        // runs, so A's epilogue must not erase B's retransmit entries
+        // — a peer that lost B's data recovers it by retry after A
+        // closed.
+        let topo = Topology::new(2, 2);
+        let bufs = labeled(4, 3);
+        let bufs_ref = &bufs;
+        let program = |mut comm: Communicator| {
+            let ha = comm.ialltoall(&bufs_ref[comm.rank()]).unwrap();
+            let hb = comm.ialltoall(&bufs_ref[comm.rank()]).unwrap();
+            let a = ha.wait(&mut comm).unwrap();
+            let b = hb.wait(&mut comm).unwrap();
+            assert_eq!(comm.parked_messages(), 0);
+            (a, b)
+        };
+        let plain = run_threaded(topo, program);
+        let telemetry = Telemetry::enabled();
+        let cfg = ReliableConfig {
+            policy: fast_policy(6),
+            plan: Some(
+                FaultPlan::new(0x0B5E)
+                    .with_drops(30)
+                    .with_duplicates(20)
+                    .with_delays(20, 2),
+            ),
+            telemetry: telemetry.clone(),
+        };
+        let reliable = run_threaded_reliable(topo, cfg, program);
+        assert_eq!(plain, reliable, "faulted overlapped run diverged");
+        let injected = telemetry
+            .counter_value("comm.retry.injected_drops")
+            .unwrap_or(0)
+            + telemetry
+                .counter_value("comm.retry.injected_dups")
+                .unwrap_or(0)
+            + telemetry
+                .counter_value("comm.retry.injected_delays")
+                .unwrap_or(0);
+        assert!(injected > 0, "plan injected nothing — test is vacuous");
+        assert_eq!(
+            telemetry.counter_value("comm.retry.timeouts").unwrap_or(0),
+            0,
+            "recoverable plan must not exhaust any retry budget"
+        );
+    }
+
+    #[test]
+    fn reliable_nonblocking_2dh_matches_plain() {
+        let topo = Topology::new(2, 2);
+        let bufs = labeled(4, 3);
+        let bufs_ref = &bufs;
+        let program = |mut comm: Communicator| {
+            let h = comm.ialltoall_2dh(&bufs_ref[comm.rank()]).unwrap();
+            h.wait(&mut comm).unwrap()
+        };
+        let plain = run_threaded(topo, program);
+        let cfg = ReliableConfig {
+            policy: fast_policy(6),
+            plan: Some(FaultPlan::new(0x2D).with_drops(25).with_delays(25, 2)),
+            telemetry: Telemetry::enabled(),
+        };
+        let reliable = run_threaded_reliable(topo, cfg, program);
+        assert_eq!(plain, reliable);
     }
 }

@@ -8,6 +8,27 @@ use tutel_simgpu::{calib, fabric_contention, Protocol, Seconds};
 
 use crate::{AllToAllAlgo, World};
 
+/// Which leg of the MoE iteration an All-to-All serves. The two legs
+/// carry different payloads under asymmetric capacity, so observed
+/// pricing attributes them to separate telemetry buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum A2aPhase {
+    /// Token dispatch: encode → experts.
+    Dispatch,
+    /// Expert-output combine: experts → decode.
+    Combine,
+}
+
+impl A2aPhase {
+    /// The `op` string recorded into telemetry for this leg.
+    pub fn op(&self) -> &'static str {
+        match self {
+            A2aPhase::Dispatch => "a2a_dispatch",
+            A2aPhase::Combine => "a2a_combine",
+        }
+    }
+}
+
 /// Which implementation executes a 2DH All-to-All.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum A2aImpl {
@@ -248,15 +269,23 @@ impl CollectiveTiming {
     /// priced collective (operation, algorithm, payload bytes, modeled
     /// seconds) into `tel` — the per-collective audit trail of a
     /// simulated run. No-op recording when `tel` is disabled.
+    ///
+    /// The MoE iteration runs *two* All-to-Alls per layer — token
+    /// dispatch and expert-output combine — whose payloads differ
+    /// whenever the capacity is asymmetric (e.g. top-ANY routing or
+    /// chunked pipelining). They are attributed to separate `op`
+    /// buckets via [`A2aPhase`]; summing them into one `"all_to_all"`
+    /// bucket skewed the Algorithm-2 prior.
     pub fn all_to_all_time_observed(
         &self,
+        phase: A2aPhase,
         algo: AllToAllAlgo,
         bytes: f64,
         protocol: Protocol,
         tel: &tutel_obs::Telemetry,
     ) -> Seconds {
         let t = self.all_to_all_time(algo, bytes, protocol);
-        tel.collective("all_to_all", &algo.to_string(), bytes, t);
+        tel.collective(phase.op(), &algo.to_string(), bytes, t);
         t
     }
 
@@ -435,6 +464,45 @@ mod tests {
         let ar = t.all_reduce_time(8.0 * MIB, 8);
         let ratio = ar / ag;
         assert!(ratio > 1.5 && ratio < 2.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn observed_pricing_attributes_dispatch_and_combine_separately() {
+        let t = CollectiveTiming::new(World::azure(64));
+        let tel = tutel_obs::Telemetry::enabled();
+        // Asymmetric legs: a chunked dispatch ships a quarter of what
+        // the combine returns.
+        let td = t.all_to_all_time_observed(
+            A2aPhase::Dispatch,
+            AllToAllAlgo::Linear,
+            MIB / 4.0,
+            Protocol::Simple,
+            &tel,
+        );
+        let tc = t.all_to_all_time_observed(
+            A2aPhase::Combine,
+            AllToAllAlgo::Linear,
+            MIB,
+            Protocol::Simple,
+            &tel,
+        );
+        assert!(td < tc, "smaller dispatch must price below combine");
+        let ops: Vec<(String, f64)> = tel
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                tutel_obs::Event::Collective(c) => Some((c.op, c.bytes)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            ops,
+            vec![
+                ("a2a_dispatch".to_string(), MIB / 4.0),
+                ("a2a_combine".to_string(), MIB),
+            ],
+            "each leg must land in its own op bucket"
+        );
     }
 
     #[test]

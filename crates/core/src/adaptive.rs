@@ -11,7 +11,7 @@
 //! 4. `+` Flexible All-to-All;
 //! 5. `+` adaptive parallelism switching.
 
-use tutel_comm::CollectiveTiming;
+use tutel_comm::{A2aPhase, CollectiveTiming};
 use tutel_experts::{ExpertPlacement, InlineParallelismRouter, MoeDims, Parallelism};
 use tutel_simgpu::{Protocol, Seconds};
 
@@ -170,6 +170,24 @@ impl MoeLayerSimulator {
             (PipelineStrategy::baseline(), 0.0)
         };
         let base = model.step_time(dims, strategy);
+        if tel.is_enabled() {
+            // Record each priced All-to-All chunk under its phase —
+            // dispatch and combine are separate collectives in the
+            // executed schedule and must not share a telemetry bucket.
+            let d = strategy.degree.max(1);
+            let chunk_bytes = dims.a2a_bytes() / d as f64;
+            for phase in [A2aPhase::Dispatch, A2aPhase::Combine] {
+                for _ in 0..d {
+                    self.timing.all_to_all_time_observed(
+                        phase,
+                        strategy.algo,
+                        chunk_bytes,
+                        Protocol::Simple,
+                        tel,
+                    );
+                }
+            }
+        }
         if features.adaptive_parallelism {
             base - self.parallelism_saving(dims)
         } else {
@@ -403,6 +421,31 @@ mod tests {
             sim.step_time_with_placement(&dims, FeatureSet::kernels_pipelining_flex(), &placement);
         let a = sim.step_time_with_placement(&dims, FeatureSet::full(), &placement);
         assert!(a < s, "adaptive must win at small f: {a} vs {s}");
+    }
+
+    #[test]
+    fn observed_step_prices_dispatch_and_combine_separately() {
+        let sim = MoeLayerSimulator::azure(64);
+        let dims = LayerDims::figure23();
+        let tel = tutel_obs::Telemetry::enabled();
+        let t = sim.step_time_observed(&dims, FeatureSet::full(), &tel);
+        assert_eq!(t, sim.step_time(&dims, FeatureSet::full()));
+        let ops: Vec<String> = tel
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                tutel_obs::Event::Collective(c) => Some(c.op),
+                _ => None,
+            })
+            .collect();
+        let dispatches = ops.iter().filter(|o| *o == "a2a_dispatch").count();
+        let combines = ops.iter().filter(|o| *o == "a2a_combine").count();
+        assert!(dispatches > 0, "dispatch leg must be recorded: {ops:?}");
+        assert_eq!(dispatches, combines, "one combine chunk per dispatch chunk");
+        assert!(
+            !ops.iter().any(|o| o == "all_to_all"),
+            "no leg may fall into the old summed bucket: {ops:?}"
+        );
     }
 
     #[test]

@@ -44,6 +44,7 @@ mod config;
 pub mod data;
 mod layer;
 pub mod model;
+pub mod overlap;
 pub mod pipeline;
 pub mod trainer;
 

@@ -241,6 +241,7 @@ impl PipelineTimeModel {
             candidates: costs.into_iter().map(|(s, t)| (s.to_string(), t)).collect(),
             chosen: best.to_string(),
             predicted_s: Some(best_t),
+            measured_s: None,
             step: None,
         });
         (best, best_t)
@@ -532,6 +533,7 @@ impl OnlineStrategySearch {
                 candidates,
                 chosen: choice.to_string(),
                 predicted_s,
+                measured_s: None,
                 step: None,
             });
         }
@@ -614,6 +616,201 @@ impl OnlineStrategySearch {
         self.buckets
             .iter()
             .position(|b| f >= b.lo - 1e-12 && f - b.lo <= self.bucket_len + 1e-12)
+    }
+}
+
+/// Default EWMA weight for new measurements in
+/// [`MeasuredStrategySearch`]: heavy enough to track drift, light
+/// enough that one noisy chunk cannot flip a converged ranking.
+const MEASURED_EWMA_ALPHA: f64 = 0.4;
+
+/// Per-bucket state of the measured search: an EWMA of normalized
+/// wall-clock per strategy.
+#[derive(Debug, Clone)]
+struct MeasuredBucket {
+    /// Lowest capacity factor of the fixed-grid cell
+    /// (`⌊f/L⌋·L`) — the normalization anchor.
+    lo: f64,
+    ewma: HashMap<PipelineStrategy, Seconds>,
+}
+
+impl MeasuredBucket {
+    fn best(&self) -> Option<(PipelineStrategy, Seconds)> {
+        self.ewma
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(&s, &t)| (s, t))
+    }
+}
+
+/// Algorithm 2 ranked by **execution**, not by model: strategies are
+/// ordered by the measured wall-clock of the overlapped schedule
+/// ([`crate::overlap::run_overlapped`]), with the simgpu
+/// [`PipelineTimeModel`] kept only as the cold-start prior that
+/// decides exploration order.
+///
+/// Capacity factors land in fixed-grid buckets of length `L`
+/// (`lo = ⌊f/L⌋·L`); measurements within a bucket are normalized by
+/// `lo / f` so factors sharing a bucket share evidence, exactly like
+/// [`OnlineStrategySearch`]. Each (bucket, strategy) keeps an EWMA of
+/// its normalized measurements, so the ranking tracks machine drift
+/// instead of freezing the first sample forever.
+///
+/// The decision loop: [`MeasuredStrategySearch::next_strategy`] picks
+/// the cheapest *unmeasured* strategy under the model prior until all
+/// eight have at least one measurement, then the measured argmin;
+/// [`MeasuredStrategySearch::record`] folds each executed iteration's
+/// wall-clock back in.
+#[derive(Debug, Clone)]
+pub struct MeasuredStrategySearch {
+    bucket_len: f64,
+    alpha: f64,
+    model: PipelineTimeModel,
+    buckets: HashMap<u64, MeasuredBucket>,
+}
+
+impl MeasuredStrategySearch {
+    /// Creates a measured search over buckets of length `L`, with
+    /// `model` as the exploration prior.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_len` is not positive.
+    pub fn new(bucket_len: f64, model: PipelineTimeModel) -> Self {
+        assert!(bucket_len > 0.0, "bucket length must be positive");
+        MeasuredStrategySearch {
+            bucket_len,
+            alpha: MEASURED_EWMA_ALPHA,
+            model,
+            buckets: HashMap::new(),
+        }
+    }
+
+    /// Overrides the EWMA weight given to each new measurement
+    /// (`1.0` = keep only the latest sample).
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "EWMA weight must be in (0, 1]");
+        self.alpha = alpha;
+        self
+    }
+
+    /// The exploration prior.
+    pub fn model(&self) -> &PipelineTimeModel {
+        &self.model
+    }
+
+    fn bucket_lo(&self, f: f64) -> f64 {
+        (f.max(0.0) / self.bucket_len).floor() * self.bucket_len
+    }
+
+    fn bucket(&mut self, f: f64) -> &mut MeasuredBucket {
+        let lo = self.bucket_lo(f);
+        self.buckets.entry(fkey(lo)).or_insert(MeasuredBucket {
+            lo,
+            ewma: HashMap::new(),
+        })
+    }
+
+    /// GETSTRATEGY, measured flavor: the strategy to execute for
+    /// `dims` this iteration. While the bucket still has unmeasured
+    /// strategies, returns the one the model prices cheapest (probe
+    /// the most promising first, so early iterations are near-optimal
+    /// even mid-exploration); once every strategy has a measurement,
+    /// returns the measured argmin.
+    pub fn next_strategy(&mut self, dims: &LayerDims) -> PipelineStrategy {
+        let prior_dims = *dims;
+        let model = self.model;
+        let bucket = self.bucket(dims.capacity_factor);
+        let mut unmeasured: Vec<PipelineStrategy> = PipelineStrategy::all()
+            .into_iter()
+            .filter(|s| !bucket.ewma.contains_key(s))
+            .collect();
+        if unmeasured.is_empty() {
+            return bucket
+                .best()
+                .map(|(s, _)| s)
+                // check:allow(no_panic, all eight strategies measured implies the map is non-empty)
+                .expect("all measured implies non-empty");
+        }
+        unmeasured.sort_by(|&a, &b| {
+            model
+                .step_time(&prior_dims, a)
+                .total_cmp(&model.step_time(&prior_dims, b))
+        });
+        unmeasured[0]
+    }
+
+    /// [`MeasuredStrategySearch::next_strategy`] that also appends an
+    /// audit record (`kind = "pipeline.measured"`): the measured
+    /// candidates so far, the choice, the model's predicted cost of
+    /// the choice, and — when the choice already has evidence — its
+    /// measured EWMA, so the log carries the measured-vs-predicted
+    /// delta for every iteration.
+    pub fn next_strategy_observed(
+        &mut self,
+        dims: &LayerDims,
+        tel: &tutel_obs::Telemetry,
+    ) -> PipelineStrategy {
+        let choice = self.next_strategy(dims);
+        if tel.is_enabled() {
+            let predicted = self.model.step_time(dims, choice);
+            let bucket = self.bucket(dims.capacity_factor);
+            let mut candidates: Vec<(String, Seconds)> = bucket
+                .ewma
+                .iter()
+                .map(|(s, &t)| (s.to_string(), t))
+                .collect();
+            candidates.sort_by(|a, b| a.1.total_cmp(&b.1));
+            let measured_s = bucket.ewma.get(&choice).copied();
+            tel.decision(tutel_obs::DecisionRecord {
+                kind: "pipeline.measured".to_string(),
+                capacity_factor: dims.capacity_factor,
+                candidates,
+                chosen: choice.to_string(),
+                predicted_s: Some(predicted),
+                measured_s,
+                step: None,
+            });
+        }
+        choice
+    }
+
+    /// OPTIMIZESTRATEGY, measured flavor: folds one executed
+    /// iteration's wall-clock seconds into the (bucket, strategy)
+    /// EWMA, normalized by `lo / f` so factors sharing the bucket
+    /// stay comparable.
+    pub fn record(&mut self, f: f64, strategy: PipelineStrategy, wall_s: Seconds) {
+        let alpha = self.alpha;
+        let bucket = self.bucket(f);
+        let lo = bucket.lo.max(f64::EPSILON);
+        let normalized = wall_s * lo / f.max(f64::EPSILON);
+        bucket
+            .ewma
+            .entry(strategy)
+            .and_modify(|e| *e = alpha * normalized + (1.0 - alpha) * *e)
+            .or_insert(normalized);
+    }
+
+    /// Whether the bucket containing `f` has measured every strategy
+    /// (i.e. [`MeasuredStrategySearch::next_strategy`] now returns
+    /// the measured argmin rather than a probe).
+    pub fn converged(&self, f: f64) -> bool {
+        let lo = self.bucket_lo(f);
+        self.buckets
+            .get(&fkey(lo))
+            .is_some_and(|b| b.ewma.len() >= PipelineStrategy::all().len())
+    }
+
+    /// The measured argmin for `f`'s bucket, with its normalized EWMA
+    /// seconds — `None` until the first measurement lands.
+    pub fn measured_best(&self, f: f64) -> Option<(PipelineStrategy, Seconds)> {
+        let lo = self.bucket_lo(f);
+        self.buckets.get(&fkey(lo)).and_then(MeasuredBucket::best)
+    }
+
+    /// Number of buckets currently maintained.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
     }
 }
 
@@ -862,5 +1059,114 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_nonpositive_bucket_length() {
         OnlineStrategySearch::new(0.0);
+    }
+
+    // --- Measured search ---
+
+    #[test]
+    fn measured_search_explores_prior_cheapest_first() {
+        let m = model(64);
+        let dims = figure22_dims();
+        let mut search = MeasuredStrategySearch::new(0.5, m);
+        let first = search.next_strategy(&dims);
+        let (model_best, _) = m.best_strategy(&dims);
+        assert_eq!(
+            first, model_best,
+            "the first probe must be the model's favorite"
+        );
+    }
+
+    #[test]
+    fn measured_search_ranks_by_measurement_not_model() {
+        // Feed measurements that *disagree* with the model: the
+        // model's worst strategy measures fastest. The converged
+        // choice must follow the measurements.
+        let m = model(64);
+        let dims = figure22_dims();
+        let f = dims.capacity_factor;
+        let mut search = MeasuredStrategySearch::new(0.5, m);
+        let measured_oracle = |s: PipelineStrategy| {
+            if s.algo == AllToAllAlgo::Linear && s.degree == 8 {
+                0.001
+            } else {
+                0.010 + s.degree as f64 * 1e-4
+            }
+        };
+        for _ in 0..PipelineStrategy::all().len() {
+            let s = search.next_strategy(&dims);
+            assert!(!search.converged(f));
+            search.record(f, s, measured_oracle(s));
+        }
+        assert!(search.converged(f));
+        let chosen = search.next_strategy(&dims);
+        assert_eq!(
+            chosen,
+            PipelineStrategy {
+                algo: AllToAllAlgo::Linear,
+                degree: 8
+            },
+            "measured argmin must win even against the model"
+        );
+        let (best, t) = search.measured_best(f).expect("converged");
+        assert_eq!(best, chosen);
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn measured_search_ewma_tracks_drift() {
+        let m = model(64);
+        let dims = figure22_dims();
+        let f = dims.capacity_factor;
+        let mut search = MeasuredStrategySearch::new(0.5, m).with_alpha(0.5);
+        let a = PipelineStrategy::baseline();
+        search.record(f, a, 1.0);
+        search.record(f, a, 2.0);
+        let (_, t) = search.measured_best(f).expect("one strategy measured");
+        assert!(
+            (t - 1.5).abs() < 1e-12,
+            "EWMA(α=0.5) of [1, 2] is 1.5, got {t}"
+        );
+    }
+
+    #[test]
+    fn measured_search_buckets_share_fixed_grid_cells() {
+        let m = model(64);
+        let mut dims = figure22_dims();
+        let mut search = MeasuredStrategySearch::new(1.0, m);
+        // 1.1 and 1.9 share cell [1, 2); 2.1 opens a new one.
+        dims.capacity_factor = 1.1;
+        let probe = search.next_strategy(&dims);
+        search.record(1.1, probe, 1.0);
+        dims.capacity_factor = 1.9;
+        let _ = search.next_strategy(&dims);
+        assert_eq!(search.num_buckets(), 1);
+        dims.capacity_factor = 2.1;
+        let _ = search.next_strategy(&dims);
+        assert_eq!(search.num_buckets(), 2);
+    }
+
+    #[test]
+    fn measured_decision_carries_measured_vs_predicted() {
+        let m = model(64);
+        let dims = figure22_dims();
+        let f = dims.capacity_factor;
+        let mut search = MeasuredStrategySearch::new(0.5, m);
+        for _ in 0..PipelineStrategy::all().len() {
+            let s = search.next_strategy(&dims);
+            search.record(f, s, 0.003);
+        }
+        let tel = tutel_obs::Telemetry::enabled();
+        let chosen = search.next_strategy_observed(&dims, &tel);
+        let decisions = tel.decisions();
+        let rec = decisions
+            .iter()
+            .find(|d| d.kind == "pipeline.measured")
+            .expect("audit record emitted");
+        assert_eq!(rec.chosen, chosen.to_string());
+        assert_eq!(rec.candidates.len(), 8, "every measured strategy listed");
+        assert!(rec.predicted_s.is_some(), "model prediction attached");
+        assert!(rec.measured_s.is_some(), "measured EWMA attached");
+        // The audit log's own invariant: chosen == measured argmin.
+        assert_eq!(rec.candidates[0].0, rec.chosen);
     }
 }

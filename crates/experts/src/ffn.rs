@@ -189,6 +189,10 @@ impl ExpertsBlock {
         let span = self.ffn_span("ffn", x);
         self.check_input(x)?;
         let c = x.dims()[1];
+        // Register backward's hidden-gradient slab class so its first
+        // `take_zeroed` already hits a warm buffer. Idempotent top-up:
+        // once the class retains a buffer this is a lock + a map probe.
+        tutel_rt::request_prewarm(c * self.hidden_dim, 1);
         // h_pre = x · W1 + b1 (per expert).
         let mut h_pre = x.bmm(&self.w1)?;
         add_bias(&mut h_pre, &self.b1, c);

@@ -185,6 +185,7 @@ impl InlineParallelismRouter {
                 candidates: vec![("P1".to_string(), p1), ("P2".to_string(), p2)],
                 chosen: choice.to_string(),
                 predicted_s: Some(p1.min(p2)),
+                measured_s: None,
                 step: None,
             });
         }

@@ -5,13 +5,18 @@
 //!
 //! Every rank is an OS thread with a real mailbox-based communicator.
 //! The forward pass pipelines the capacity dimension into
-//! `Config::degree` chunks, each dispatched → computed → combined
-//! independently (Section 3.3's multi-stream pipelining, modeled as
-//! chunk-serial execution with identical arithmetic); backward runs
-//! the mirrored wire format in reverse.
+//! `Config::degree` chunks driven through the **executed** overlap
+//! schedule ([`tutel::overlap::run_overlapped`]): chunk `i+1`'s
+//! dispatch All-to-All is in flight on the comm threads while chunk
+//! `i`'s expert FFN runs, and combines drain non-blockingly behind
+//! the compute (Section 3.3's multi-stream pipelining, executed
+//! rather than chunk-serial). Backward runs the mirrored wire format
+//! in reverse through the same schedule. Overlap only reorders *when*
+//! exchanges progress — every chunk's arithmetic is identical to the
+//! serial path, so the conformance budgets are unchanged.
 
+use tutel::overlap::run_overlapped;
 use tutel_comm::runtime::{run_threaded, Communicator};
-use tutel_comm::CommError;
 use tutel_experts::{ExpertsBlock, ShardedExpertParams};
 use tutel_kernels::{fast_decode, fast_decode_backward, fast_encode_backward};
 use tutel_rt::with_parallelism_limit;
@@ -19,7 +24,7 @@ use tutel_simgpu::Topology;
 use tutel_tensor::Tensor;
 
 use crate::reference::{gate_and_encode, gate_backward, Fixture, Problem, RankResult};
-use crate::{A2aAlgo, Config, Strategy};
+use crate::{Config, Strategy};
 
 /// The topology used for each simulated world size: single node for
 /// `w = 1`, and a 2-node hierarchy otherwise so 2DH exercises both
@@ -75,56 +80,40 @@ impl RankExperts {
     }
 }
 
-fn exchange(comm: &mut Communicator, algo: A2aAlgo, buf: &[f32]) -> Result<Vec<f32>, CommError> {
-    match algo {
-        A2aAlgo::Linear => comm.all_to_all(buf),
-        A2aAlgo::TwoDh => comm.all_to_all_2dh(buf),
-    }
-}
-
-/// Dispatch wire: ship an origin-side `(E, cc, M)` chunk and rebuild
-/// the expert-side `(ΔE, W·cc, M)` batch.
-fn to_expert_layout(
-    comm: &mut Communicator,
-    algo: A2aAlgo,
-    chunk: &Tensor,
-    world: usize,
-    cc: usize,
-) -> Result<Tensor, CommError> {
-    let received = exchange(comm, algo, chunk.as_slice())?;
+/// Dispatch side of the wire, comm-free half: rebuild the expert-side
+/// `(ΔE, W·cc, M)` batch from a received origin-major wire buffer.
+fn flex_from_wire(received: Vec<f32>, world: usize, cc: usize) -> Tensor {
     let recv = Tensor::from_vec(
         received,
         &[world, Problem::LOCAL_EXPERTS, cc, Problem::MODEL_DIM],
     )
     .expect("wire chunk has fixed dims");
-    Ok(recv
-        .permute(&[1, 0, 2, 3])
+    recv.permute(&[1, 0, 2, 3])
         .expect("rank-major permute")
         .reshape(&[Problem::LOCAL_EXPERTS, world * cc, Problem::MODEL_DIM])
-        .expect("contiguous reshape"))
+        .expect("contiguous reshape")
 }
 
-/// Combine wire: invert [`to_expert_layout`] — ship an expert-side
-/// `(ΔE, W·cc, M)` batch back and rebuild the origin-side
-/// `(E, cc, M)` chunk.
-fn to_origin_layout(
-    comm: &mut Communicator,
-    algo: A2aAlgo,
-    batch: &Tensor,
-    world: usize,
-    cc: usize,
-) -> Result<Tensor, CommError> {
-    let back = batch
+/// Combine side of the wire, comm-free half: lay an expert-side
+/// `(ΔE, W·cc, M)` batch out rank-major for the return All-to-All.
+fn wire_from_batch(batch: &Tensor, world: usize, cc: usize) -> Vec<f32> {
+    batch
         .reshape(&[Problem::LOCAL_EXPERTS, world, cc, Problem::MODEL_DIM])
         .expect("batch has fixed dims")
         .permute(&[1, 0, 2, 3])
-        .expect("rank-major permute");
-    let combined = exchange(comm, algo, back.as_slice())?;
-    Ok(Tensor::from_vec(
+        .expect("rank-major permute")
+        .as_slice()
+        .to_vec()
+}
+
+/// Rebuild the origin-side `(E, cc, M)` chunk from a combined wire
+/// buffer.
+fn chunk_from_wire(combined: Vec<f32>, world: usize, cc: usize) -> Tensor {
+    Tensor::from_vec(
         combined,
         &[Problem::LOCAL_EXPERTS * world, cc, Problem::MODEL_DIM],
     )
-    .expect("wire chunk has fixed dims"))
+    .expect("wire chunk has fixed dims")
 }
 
 /// Runs the full forward + backward under `cfg` on every rank and
@@ -165,16 +154,16 @@ fn run_rank(
     let (probs, routing, enc) = gate_and_encode(problem, fixture, rank);
     let experts = RankExperts::for_rank(fixture, cfg.strategy, world, rank);
 
-    // Forward, pipelined over the capacity dimension. Each chunk keeps
-    // its own expert block(s) so activations stay cached for backward.
+    // Forward: the executed overlap schedule over the capacity
+    // dimension. Each chunk keeps its own expert block(s) so
+    // activations stay cached for backward.
     let enc_chunks = enc
         .split_axis(1, cfg.degree)
         .expect("degree divides capacity");
+    let enc_wire: Vec<Vec<f32>> = enc_chunks.iter().map(|c| c.as_slice().to_vec()).collect();
     let mut chunk_state: Vec<Vec<ExpertsBlock>> = Vec::with_capacity(cfg.degree);
-    let mut out_chunks: Vec<Tensor> = Vec::with_capacity(cfg.degree);
-    for chunk in &enc_chunks {
-        let flex =
-            to_expert_layout(&mut comm, cfg.algo, chunk, world, cc).expect("fault-free dispatch");
+    let fwd = run_overlapped(&mut comm, cfg.algo.comm_algo(), &enc_wire, |_, received| {
+        let flex = flex_from_wire(received, world, cc);
         let mut blocks = experts.chunk_blocks();
         let mut partial: Option<Tensor> = None;
         for block in &mut blocks {
@@ -188,12 +177,15 @@ fn run_rank(
             });
         }
         let expert_out = partial.expect("at least one block per chunk");
-        out_chunks.push(
-            to_origin_layout(&mut comm, cfg.algo, &expert_out, world, cc)
-                .expect("fault-free combine"),
-        );
         chunk_state.push(blocks);
-    }
+        wire_from_batch(&expert_out, world, cc)
+    })
+    .expect("fault-free overlapped forward");
+    let out_chunks: Vec<Tensor> = fwd
+        .combined
+        .into_iter()
+        .map(|w| chunk_from_wire(w, world, cc))
+        .collect();
     let combined = Tensor::concat_axis(&out_chunks, 1).expect("chunks tile the capacity dim");
     let output = fast_decode(&combined, &routing, Problem::TOKENS).expect("decode dims fixed");
     let aux = tutel_gate::aux_loss(&probs, &routing).expect("aux dims fixed");
@@ -204,12 +196,11 @@ fn run_rank(
     let d_chunks = d_combined
         .split_axis(1, cfg.degree)
         .expect("degree divides capacity");
-    let mut d_disp_chunks: Vec<Tensor> = Vec::with_capacity(cfg.degree);
-    for (blocks, d_chunk) in chunk_state.iter_mut().zip(&d_chunks) {
-        let d_flex = to_expert_layout(&mut comm, cfg.algo, d_chunk, world, cc)
-            .expect("fault-free grad dispatch");
+    let d_wire: Vec<Vec<f32>> = d_chunks.iter().map(|c| c.as_slice().to_vec()).collect();
+    let bwd = run_overlapped(&mut comm, cfg.algo.comm_algo(), &d_wire, |i, received| {
+        let d_flex = flex_from_wire(received, world, cc);
         let mut d_batch: Option<Tensor> = None;
-        for block in blocks.iter_mut() {
+        for block in chunk_state[i].iter_mut() {
             let d = block.backward(&d_flex).expect("expert backward dims fixed");
             d_batch = Some(match d_batch {
                 None => d,
@@ -220,11 +211,14 @@ fn run_rank(
             });
         }
         let d_batch = d_batch.expect("at least one block per chunk");
-        d_disp_chunks.push(
-            to_origin_layout(&mut comm, cfg.algo, &d_batch, world, cc)
-                .expect("fault-free grad combine"),
-        );
-    }
+        wire_from_batch(&d_batch, world, cc)
+    })
+    .expect("fault-free overlapped backward");
+    let d_disp_chunks: Vec<Tensor> = bwd
+        .combined
+        .into_iter()
+        .map(|w| chunk_from_wire(w, world, cc))
+        .collect();
     let d_dispatched =
         Tensor::concat_axis(&d_disp_chunks, 1).expect("chunks tile the capacity dim");
     let d_x_encode = fast_encode_backward(&d_dispatched, &routing, Problem::TOKENS)

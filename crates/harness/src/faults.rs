@@ -32,6 +32,9 @@ pub enum Collective {
     AllToAll,
     /// Two-Dimensional Hierarchical All-to-All.
     AllToAll2dh,
+    /// Non-blocking linear All-to-All (handle issued, then waited) —
+    /// the overlap executor's dispatch/combine primitive.
+    IAllToAll,
     /// Ring all-gather.
     AllGather,
     /// Ring all-reduce (sum).
@@ -39,9 +42,10 @@ pub enum Collective {
 }
 
 /// Every collective, in report order.
-pub const COLLECTIVES: [Collective; 4] = [
+pub const COLLECTIVES: [Collective; 5] = [
     Collective::AllToAll,
     Collective::AllToAll2dh,
+    Collective::IAllToAll,
     Collective::AllGather,
     Collective::AllReduceSum,
 ];
@@ -52,6 +56,7 @@ impl Collective {
         match self {
             Collective::AllToAll => "all_to_all",
             Collective::AllToAll2dh => "all_to_all_2dh",
+            Collective::IAllToAll => "ialltoall",
             Collective::AllGather => "all_gather",
             Collective::AllReduceSum => "all_reduce_sum",
         }
@@ -61,6 +66,10 @@ impl Collective {
         match self {
             Collective::AllToAll => comm.all_to_all(input),
             Collective::AllToAll2dh => comm.all_to_all_2dh(input),
+            Collective::IAllToAll => {
+                let handle = comm.ialltoall(input)?;
+                handle.wait(comm)
+            }
             Collective::AllGather => comm.all_gather(input),
             Collective::AllReduceSum => comm.all_reduce_sum(input),
         }
@@ -218,6 +227,16 @@ mod tests {
     fn default_seed_passes_for_all_to_all() {
         let report = run_fault_scenarios(Collective::AllToAll, 0xFA17);
         assert!(report.pass, "all_to_all fault scenarios failed: {report:?}");
+    }
+
+    #[test]
+    fn default_seed_passes_for_nonblocking_all_to_all() {
+        // The overlap executor's primitive goes through the same three
+        // replayed scenarios: recover bitwise under a mixed plan, fail
+        // typed under an unrecoverable one, wedge detectably under the
+        // deterministic scheduler.
+        let report = run_fault_scenarios(Collective::IAllToAll, 0xFA17);
+        assert!(report.pass, "ialltoall fault scenarios failed: {report:?}");
     }
 
     #[test]

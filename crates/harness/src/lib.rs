@@ -82,6 +82,15 @@ impl A2aAlgo {
             A2aAlgo::TwoDh => "2dh",
         }
     }
+
+    /// The `tutel-comm` algorithm this knob selects, for the executed
+    /// overlap path.
+    pub fn comm_algo(&self) -> tutel_comm::AllToAllAlgo {
+        match self {
+            A2aAlgo::Linear => tutel_comm::AllToAllAlgo::Linear,
+            A2aAlgo::TwoDh => tutel_comm::AllToAllAlgo::TwoDh,
+        }
+    }
 }
 
 /// One point of the conformance matrix.

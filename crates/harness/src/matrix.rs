@@ -48,10 +48,13 @@ pub fn configs(mode: Mode) -> Vec<Config> {
                     for threads in THREADS {
                         let keep = match mode {
                             Mode::Full => true,
-                            // One bitwise-eligible point (d1 t1), one
-                            // mid point (d2 t4), one max-pipelining
-                            // point (d8 t1).
-                            Mode::Smoke => matches!((degree, threads), (1, 1) | (2, 4) | (8, 1)),
+                            // One bitwise-eligible point (d1 t1), the
+                            // executed-overlap ladder at single-thread
+                            // bitwise eligibility (d4 t1, d8 t1), and
+                            // one mid multi-thread point (d2 t4).
+                            Mode::Smoke => {
+                                matches!((degree, threads), (1, 1) | (2, 4) | (4, 1) | (8, 1))
+                            }
                         };
                         if keep {
                             out.push(Config {
@@ -145,7 +148,7 @@ mod tests {
         let full = configs(Mode::Full);
         assert!(smoke.len() < full.len());
         assert_eq!(full.len(), 2 * 2 * 4 * 3 * 2);
-        assert_eq!(smoke.len(), 2 * 2 * 3 * 3);
+        assert_eq!(smoke.len(), 2 * 2 * 4 * 3);
         for c in &smoke {
             assert!(full.contains(c), "{} missing from full", c.label());
         }

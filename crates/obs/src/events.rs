@@ -132,6 +132,11 @@ pub struct DecisionRecord {
     /// Predicted cost of the winner, when the search has one
     /// (`None` while Algorithm 2 is still exploring).
     pub predicted_s: Option<f64>,
+    /// Measured cost of the winner (normalized per-chunk wall-clock),
+    /// when the search ranks by execution rather than by model
+    /// (`None` for purely modeled decisions or before the first
+    /// measurement lands).
+    pub measured_s: Option<f64>,
     /// Training step active when recorded, if any.
     pub step: Option<u64>,
 }
@@ -238,6 +243,10 @@ impl Event {
                     "predicted_s",
                     d.predicted_s.map(Value::from).unwrap_or(Value::Null),
                 ),
+                (
+                    "measured_s",
+                    d.measured_s.map(Value::from).unwrap_or(Value::Null),
+                ),
                 ("step", opt_step(d.step)),
             ]),
         }
@@ -268,10 +277,12 @@ mod tests {
             candidates: vec![("linear×d1".into(), 0.002)],
             chosen: "linear×d1".into(),
             predicted_s: None,
+            measured_s: Some(0.0021),
             step: None,
         });
         let json = dec.to_value().to_json();
         assert!(json.contains(r#""type":"adaptive_decision""#), "{json}");
         assert!(json.contains(r#""predicted_s":null"#), "{json}");
+        assert!(json.contains(r#""measured_s":0.0021"#), "{json}");
     }
 }
