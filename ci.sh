@@ -34,13 +34,26 @@ cargo bench -q -p tutel-bench --bench compute_runtime -- --warm-up-time 1 --meas
 echo "==> pipeline_overlap bench smoke (executed degree sweep, incl. d1/d4)"
 cargo bench -q -p tutel-bench --bench pipeline_overlap > /dev/null
 
+echo "==> trace_overhead bench smoke (disabled-telemetry fast path)"
+cargo bench -q -p tutel-bench --bench trace_overhead -- \
+    --warm-up-time 1 --measurement-time 1 disabled_ > /dev/null
+
 echo "==> executed adaptive pipelining sweep (BENCH_pipeline.json)"
 cargo run --release -q -p tutel-bench --bin repro_pipeline > /dev/null
 
-echo "==> conformance harness (smoke matrix + fault suite)"
-# HARNESS_FULL=1 upgrades to the full 96-point matrix.
+echo "==> conformance harness (smoke matrix + fault suite + traced run)"
+# HARNESS_FULL=1 upgrades to the full 96-point matrix. --trace runs the
+# 4-rank traced smoke (invariant-checked, straggler attribution) and
+# exports per-rank JSONLs plus the merged Perfetto trace.
+TRACE_DIR=$(mktemp -d)
+trap 'rm -rf "$TRACE_DIR"' EXIT
 cargo run --release -q -p tutel-harness --bin harness -- \
-    ${HARNESS_FULL:+--full} --json BENCH_harness.json
+    ${HARNESS_FULL:+--full} --json BENCH_harness.json \
+    --trace "$TRACE_DIR/run"
+
+echo "==> tutel-trace: merge exported rank JSONLs (standalone path)"
+cargo run --release -q -p tutel-obs --bin tutel-trace -- \
+    "$TRACE_DIR/merged.trace.json" "$TRACE_DIR"/run.rank*.jsonl > /dev/null
 
 echo "==> conformance harness: replayed fault seed"
 # A second, fixed fault seed so every collective's retry/recovery path

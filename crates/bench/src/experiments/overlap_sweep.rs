@@ -231,6 +231,10 @@ impl SweepCell {
 /// log with its measured-vs-predicted delta.
 pub fn sweep(tel: &Telemetry) -> Vec<SweepCell> {
     let mut cells = Vec::new();
+    // Each executed probe is one training step: stamping the step
+    // before the decision is what gives every `pipeline.measured`
+    // audit record a non-null `step`.
+    let mut step: u64 = 0;
     for world in WORLDS {
         for tokens in TOKENS {
             let model = PipelineTimeModel::new(CollectiveTiming::new(World::azure(world)));
@@ -238,11 +242,15 @@ pub fn sweep(tel: &Telemetry) -> Vec<SweepCell> {
             let dims = dims_for(tokens);
             let mut points = Vec::new();
             for _ in 0..PipelineStrategy::all().len() {
+                tel.begin_step(step);
+                step += 1;
                 let strategy = search.next_strategy_observed(&dims, tel);
                 let point = run_point(world, tokens, strategy);
-                search.record(dims.capacity_factor, strategy, point.link_wall_s);
+                search.record_observed(dims.capacity_factor, strategy, point.link_wall_s, tel);
                 points.push(point);
             }
+            tel.begin_step(step);
+            step += 1;
             let chosen = search.next_strategy_observed(&dims, tel);
             let measured_best = search
                 .measured_best(dims.capacity_factor)
@@ -408,20 +416,28 @@ mod tests {
         let mut search = MeasuredStrategySearch::new(0.25, model);
         let dims = dims_for(64);
         let mut points = Vec::new();
-        for _ in 0..PipelineStrategy::all().len() {
+        for step in 0..PipelineStrategy::all().len() {
+            tel.begin_step(step as u64);
             let s = search.next_strategy_observed(&dims, &tel);
             let p = run_point(2, 64, s);
-            search.record(dims.capacity_factor, s, p.link_wall_s);
+            search.record_observed(dims.capacity_factor, s, p.link_wall_s, &tel);
             points.push(p);
         }
+        tel.begin_step(PipelineStrategy::all().len() as u64);
         let chosen = search.next_strategy_observed(&dims, &tel);
         let best = search.measured_best(dims.capacity_factor).unwrap().0;
         assert_eq!(chosen, best, "converged choice is the measured argmin");
-        let last = tel.decisions();
-        let rec = last.last().unwrap();
-        assert_eq!(rec.kind, "pipeline.measured");
+        let decisions = tel.decisions();
+        for (i, rec) in decisions.iter().enumerate() {
+            assert_eq!(rec.kind, "pipeline.measured");
+            assert_eq!(rec.step, Some(i as u64), "step threaded into record {i}");
+            assert!(
+                rec.measured_s.is_some(),
+                "record {i} backfilled once its probe executed"
+            );
+        }
+        let rec = decisions.last().unwrap();
         assert_eq!(rec.chosen, chosen.to_string());
-        assert!(rec.measured_s.is_some(), "converged choice has evidence");
         let baseline = points
             .iter()
             .find(|p| p.strategy == PipelineStrategy::baseline())

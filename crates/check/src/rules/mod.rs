@@ -12,6 +12,7 @@ mod no_block_in_overlap;
 mod no_panic;
 mod shim_hygiene;
 mod test_determinism;
+mod traced_collective;
 
 pub use hot_alloc::HotAlloc;
 pub use layout_doc::LayoutDoc;
@@ -19,6 +20,7 @@ pub use no_block_in_overlap::NoBlockInOverlap;
 pub use no_panic::NoPanic;
 pub use shim_hygiene::ShimHygiene;
 pub use test_determinism::TestDeterminism;
+pub use traced_collective::TracedCollective;
 
 /// The library crates whose non-test code must hold the strict
 /// contracts (`no_panic`, `layout_doc`): everything on the
@@ -47,6 +49,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(NoPanic),
         Box::new(HotAlloc),
         Box::new(NoBlockInOverlap),
+        Box::new(TracedCollective),
         Box::new(LayoutDoc),
         Box::new(ShimHygiene),
         Box::new(TestDeterminism),

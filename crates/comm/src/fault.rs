@@ -71,6 +71,9 @@ pub struct FaultPlan {
     dup_pct: u8,
     delay_pct: u8,
     delay_steps: u32,
+    /// When set, only messages *sent by* this rank are faulted;
+    /// everything else delivers normally.
+    only_src: Option<usize>,
 }
 
 impl FaultPlan {
@@ -82,6 +85,7 @@ impl FaultPlan {
             dup_pct: 0,
             delay_pct: 0,
             delay_steps: 2,
+            only_src: None,
         }
     }
 
@@ -111,16 +115,30 @@ impl FaultPlan {
         self
     }
 
+    /// Restricts the plan to messages *sent by* `rank`: every other
+    /// source delivers normally. This is how a single-rank fault
+    /// scenario is staged (e.g. "rank 1 is slow") so the trace
+    /// analyzer's attribution can be checked against a known culprit.
+    pub fn only_from(mut self, rank: usize) -> Self {
+        self.only_src = Some(rank);
+        self
+    }
+
     /// True when no fault class is enabled.
     pub fn is_noop(&self) -> bool {
         self.drop_pct == 0 && self.dup_pct == 0 && self.delay_pct == 0
     }
 
     /// The action for one message identity — a pure function of
-    /// `(seed, src, dst, tag)`.
+    /// `(seed, src, dst, tag)` (and the source filter, if any).
     pub fn action(&self, src: usize, dst: usize, tag: u64) -> FaultAction {
         if self.is_noop() {
             return FaultAction::Deliver;
+        }
+        if let Some(only) = self.only_src {
+            if src != only {
+                return FaultAction::Deliver;
+            }
         }
         let roll = (mix(self.seed, src, dst, tag) % 100) as u8;
         let drop_end = self.drop_pct;
@@ -182,6 +200,18 @@ mod tests {
         let quarter = total as i64 / 4;
         assert!((drops - quarter).abs() < quarter / 2, "drops {drops}");
         assert!((delays - quarter).abs() < quarter / 2, "delays {delays}");
+    }
+
+    #[test]
+    fn only_from_faults_one_source_rank() {
+        let plan = FaultPlan::new(9).with_delays(100, 1).only_from(1);
+        for dst in 0..4 {
+            for tag in 0..16 {
+                assert_eq!(plan.action(1, dst, tag), FaultAction::Delay(1));
+                assert_eq!(plan.action(0, dst, tag), FaultAction::Deliver);
+                assert_eq!(plan.action(2, dst, tag), FaultAction::Deliver);
+            }
+        }
     }
 
     #[test]

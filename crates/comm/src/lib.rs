@@ -43,7 +43,10 @@ pub use error::CommError;
 pub use fault::{FaultAction, FaultPlan};
 pub use linear::linear_all_to_all;
 pub use local_agg::naive_local_agg_all_to_all;
-pub use runtime::{run_threaded, run_threaded_reliable, CommHandle, ReliableConfig, RetryPolicy};
+pub use runtime::{
+    run_threaded, run_threaded_reliable, run_threaded_reliable_traced, run_threaded_traced,
+    CommHandle, ReliableConfig, RetryPolicy,
+};
 pub use stride::stride_memcpy;
 pub use timing::{A2aImpl, A2aPhase, CollectiveTiming};
 pub use two_dh::two_dh_all_to_all;

@@ -59,6 +59,7 @@ use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use tutel_obs::trace::{FlowKind, TraceHub, Tracer, TRACK_COMM};
 use tutel_obs::Telemetry;
 use tutel_simgpu::Topology;
 
@@ -79,11 +80,28 @@ enum MsgKind {
     Ack,
 }
 
-/// A tagged point-to-point message.
+impl MsgKind {
+    /// The trace-layer class of this message.
+    fn flow_kind(self) -> FlowKind {
+        match self {
+            MsgKind::Data => FlowKind::Data,
+            MsgKind::Retry => FlowKind::Retry,
+            MsgKind::Ack => FlowKind::Ack,
+        }
+    }
+}
+
+/// A tagged point-to-point message. `seq` numbers the transmission
+/// attempt for `(src → dst, tag, kind)` — `0` for the first physical
+/// send, incrementing for duplicates and retransmits — so the causal
+/// tracer can bind every wire transmission to exactly one receive
+/// even when the reliability layer re-sends. It is `0` (and unused)
+/// when tracing is disabled.
 struct Message {
     src: usize,
     tag: u64,
     kind: MsgKind,
+    seq: u32,
     payload: Vec<f32>,
 }
 
@@ -141,8 +159,10 @@ struct RelState {
     /// wait for collective `k`.
     acks: HashSet<(usize, u64)>,
     /// Sends held back by [`FaultAction::Delay`], flushed (late) at
-    /// the start of the ack phase.
-    delayed: Vec<(usize, u64, Vec<f32>)>,
+    /// the start of the ack phase. The transmission number was
+    /// assigned (and the flow edge stamped) at logical send time, so
+    /// the trace shows the whole in-flight window.
+    delayed: Vec<(usize, u64, u32, Vec<f32>)>,
     /// Completed-collective count; the tag under which this rank's
     /// acks are sent.
     epoch: u64,
@@ -207,6 +227,14 @@ pub struct Communicator {
     /// fast path (and is always `None` on the sched endpoint, whose
     /// delivery faults live in the scheduler itself).
     reliability: Option<Reliability>,
+    /// Causal tracer for this rank; disabled (one branch per call, no
+    /// clock or allocation) unless the run was started via a traced
+    /// runner with a [`TraceHub`].
+    tracer: Tracer,
+    /// Transmission-attempt counters per `(peer, tag, kind)`, backing
+    /// the `seq` stamp on [`Message`]. Only touched when the tracer is
+    /// enabled.
+    send_seqs: RefCell<HashMap<(usize, u64, u8), u32>>,
 }
 
 impl Communicator {
@@ -241,7 +269,17 @@ impl Communicator {
             next_tag: 0,
             poisoned: Cell::new(false),
             reliability: None,
+            tracer: Tracer::disabled(),
+            send_seqs: RefCell::new(HashMap::new()),
         }
+    }
+
+    /// This rank's causal tracer (disabled unless the run was started
+    /// through a traced runner). Layers above the communicator — the
+    /// overlap engine, the harness — record their own tracks on it so
+    /// all of a rank's activity shares one timeline.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Messages currently parked in the mailbox: nonzero after a
@@ -306,7 +344,18 @@ impl Communicator {
             }
             FaultAction::Delay(_) => {
                 rel.obs.add_counter("comm.retry.injected_delays", 1);
-                rel.state.borrow_mut().delayed.push((peer, tag, payload));
+                // The sender logically transmits *now*; only the wire
+                // delivers late. Stamping the flow send here (and
+                // reusing the seq at the flush) puts the full in-flight
+                // time on this edge, so the analyzer can attribute the
+                // delivery latency to this rank.
+                let seq = self.next_seq(peer, tag, MsgKind::Data);
+                self.tracer
+                    .flow_send(peer, tag, seq, FlowKind::Data, payload.len() as u64 * 4);
+                rel.state
+                    .borrow_mut()
+                    .delayed
+                    .push((peer, tag, seq, payload));
                 Ok(())
             }
         }
@@ -323,12 +372,33 @@ impl Communicator {
         kind: MsgKind,
         payload: Vec<f32>,
     ) -> Result<(), CommError> {
+        let seq = self.next_seq(peer, tag, kind);
+        // Stamped before the wire hands the message over, so a flow
+        // edge's send timestamp always precedes its receive.
+        self.tracer
+            .flow_send(peer, tag, seq, kind.flow_kind(), payload.len() as u64 * 4);
+        self.send_wire(peer, tag, kind, seq, payload)
+    }
+
+    /// The physical handover under an already-assigned (and already
+    /// flow-stamped) transmission number — the tail of [`send_raw`],
+    /// called directly when flushing delayed sends whose flow edge was
+    /// stamped at logical send time.
+    fn send_wire(
+        &self,
+        peer: usize,
+        tag: u64,
+        kind: MsgKind,
+        seq: u32,
+        payload: Vec<f32>,
+    ) -> Result<(), CommError> {
         match &self.endpoint {
             Endpoint::Channel { senders, .. } => {
                 let msg = Message {
                     src: self.rank,
                     tag,
                     kind,
+                    seq,
                     payload,
                 };
                 match senders[peer].send(msg) {
@@ -344,11 +414,25 @@ impl Communicator {
         }
     }
 
+    /// Next transmission-attempt number for `(peer, tag, kind)` —
+    /// always `0` when tracing is off, so untraced runs never touch
+    /// the counter map.
+    fn next_seq(&self, peer: usize, tag: u64, kind: MsgKind) -> u32 {
+        if !self.tracer.is_enabled() {
+            return 0;
+        }
+        let mut seqs = self.send_seqs.borrow_mut();
+        let slot = seqs.entry((peer, tag, kind as u8)).or_insert(0);
+        let seq = *slot;
+        *slot += 1;
+        seq
+    }
+
     /// Blocks for the next raw arrival, whatever its source or tag.
-    fn recv_any(&mut self) -> Result<(usize, u64, Vec<f32>), CommError> {
+    fn recv_any(&mut self) -> Result<Message, CommError> {
         match &mut self.endpoint {
             Endpoint::Channel { receiver, .. } => match receiver.recv() {
-                Ok(m) => Ok((m.src, m.tag, m.payload)),
+                Ok(m) => Ok(m),
                 Err(_) => {
                     self.poisoned.set(true);
                     Err(CommError::Disconnected { rank: self.rank })
@@ -356,7 +440,13 @@ impl Communicator {
             },
             #[cfg(feature = "check-sched")]
             Endpoint::Sched(net) => match net.recv(self.rank) {
-                Ok(m) => Ok(m),
+                Ok((src, tag, payload)) => Ok(Message {
+                    src,
+                    tag,
+                    kind: MsgKind::Data,
+                    seq: 0,
+                    payload,
+                }),
                 Err(e) => {
                     self.poisoned.set(true);
                     Err(e)
@@ -395,14 +485,16 @@ impl Communicator {
             return self.recv_reliable(src, tag);
         }
         loop {
-            let (msg_src, msg_tag, payload) = self.recv_any()?;
-            if msg_src == src && msg_tag == tag {
-                return Ok(payload);
+            let msg = self.recv_any()?;
+            self.tracer
+                .flow_recv(msg.src, msg.tag, msg.seq, msg.kind.flow_kind(), true);
+            if msg.src == src && msg.tag == tag {
+                return Ok(msg.payload);
             }
             self.mailbox
-                .entry((msg_src, msg_tag))
+                .entry((msg.src, msg.tag))
                 .or_default()
-                .push(payload);
+                .push(msg.payload);
         }
     }
 
@@ -425,6 +517,7 @@ impl Communicator {
                     src,
                     tag,
                     kind: MsgKind::Data,
+                    seq: 0,
                     payload,
                 })),
                 Err(e) => {
@@ -457,6 +550,8 @@ impl Communicator {
             if self.reliability.is_some() {
                 self.handle_reliable_arrival(msg, None)?;
             } else {
+                self.tracer
+                    .flow_recv(msg.src, msg.tag, msg.seq, msg.kind.flow_kind(), true);
                 self.mailbox
                     .entry((msg.src, msg.tag))
                     .or_default()
@@ -480,6 +575,12 @@ impl Communicator {
         match msg.kind {
             MsgKind::Data => {
                 let fresh = rel.state.borrow_mut().seen.insert((msg.src, msg.tag));
+                // `accepted: false` marks the duplicate edge: a
+                // retransmit that raced the original (or an injected
+                // duplicate) still binds to its own send, so the
+                // timeline shows the redundant transmission.
+                self.tracer
+                    .flow_recv(msg.src, msg.tag, msg.seq, FlowKind::Data, fresh);
                 if !fresh {
                     // A duplicate or a retransmit that raced the
                     // original (or a delayed copy we already
@@ -501,14 +602,21 @@ impl Communicator {
                 // it from the log. An unknown tag means we have not
                 // sent it yet — ignore; the regular send (or the
                 // peer's next retry) will satisfy it.
+                self.tracer
+                    .flow_recv(msg.src, msg.tag, msg.seq, FlowKind::Retry, true);
                 let logged = rel.state.borrow().log.get(&(msg.src, msg.tag)).cloned();
                 if let Some(payload) = logged {
                     rel.obs.add_counter("comm.retry.retransmits", 1);
+                    self.tracer.instant(TRACK_COMM, "retransmit");
+                    // send_raw bumps the Data seq, so the retransmit
+                    // becomes a flow edge distinct from the original.
                     self.send_raw(msg.src, msg.tag, MsgKind::Data, payload)?;
                 }
                 Ok(None)
             }
             MsgKind::Ack => {
+                self.tracer
+                    .flow_recv(msg.src, msg.tag, msg.seq, FlowKind::Ack, true);
                 rel.state.borrow_mut().acks.insert((msg.src, msg.tag));
                 Ok(None)
             }
@@ -577,12 +685,13 @@ impl Communicator {
         if self.reliability.is_none() {
             return Ok(());
         }
-        let delayed: Vec<(usize, u64, Vec<f32>)> = match &self.reliability {
+        let _span = self.tracer.span(TRACK_COMM, "ack_phase");
+        let delayed: Vec<(usize, u64, u32, Vec<f32>)> = match &self.reliability {
             Some(rel) => rel.state.borrow_mut().delayed.drain(..).collect(),
             None => Vec::new(),
         };
-        for (peer, tag, payload) in delayed {
-            self.send_raw(peer, tag, MsgKind::Data, payload)?;
+        for (peer, tag, seq, payload) in delayed {
+            self.send_wire(peer, tag, MsgKind::Data, seq, payload)?;
         }
         let (policy, epoch) = match &self.reliability {
             Some(rel) => (rel.policy, rel.state.borrow().epoch),
@@ -688,6 +797,7 @@ impl Communicator {
     /// [`CommError::Indivisible`] if `input.len()` is not divisible by
     /// the world size, plus any transport error.
     pub fn all_to_all(&mut self, input: &[f32]) -> Result<Vec<f32>, CommError> {
+        let _span = self.tracer.span(TRACK_COMM, "all_to_all");
         let n = self.world_size();
         let chunk = self.require_divisible(input.len(), n)?;
         let tag = self.fresh_tag();
@@ -718,6 +828,7 @@ impl Communicator {
     /// [`CommError::Indivisible`] if `input.len()` is not divisible by
     /// the world size, plus any transport error.
     pub fn all_to_all_2dh(&mut self, input: &[f32]) -> Result<Vec<f32>, CommError> {
+        let _span = self.tracer.span(TRACK_COMM, "all_to_all_2dh");
         let n = self.world_size();
         let m = self.topology.gpus_per_node();
         let nnodes = self.topology.nnodes();
@@ -792,6 +903,7 @@ impl Communicator {
     /// [`CommError::Indivisible`] if `input.len()` is not divisible by
     /// the world size, plus any transport error during issue.
     pub fn ialltoall(&mut self, input: &[f32]) -> Result<CommHandle, CommError> {
+        let _span = self.tracer.span(TRACK_COMM, "ialltoall.issue");
         let n = self.world_size();
         let chunk = self.require_divisible(input.len(), n)?;
         let tag = self.fresh_tag();
@@ -837,6 +949,7 @@ impl Communicator {
     /// [`CommError::Indivisible`] if `input.len()` is not divisible by
     /// the world size, plus any transport error during issue.
     pub fn ialltoall_2dh(&mut self, input: &[f32]) -> Result<CommHandle, CommError> {
+        let _span = self.tracer.span(TRACK_COMM, "ialltoall_2dh.issue");
         let n = self.world_size();
         let m = self.topology.gpus_per_node();
         let nnodes = self.topology.nnodes();
@@ -896,6 +1009,7 @@ impl Communicator {
     ///
     /// Propagates any transport error.
     pub fn all_gather(&mut self, input: &[f32]) -> Result<Vec<f32>, CommError> {
+        let _span = self.tracer.span(TRACK_COMM, "all_gather");
         let n = self.world_size();
         let shard = input.len();
         let tag = self.fresh_tag();
@@ -927,6 +1041,7 @@ impl Communicator {
     /// [`CommError::Indivisible`] if `input.len()` is not divisible by
     /// the world size, plus any transport error.
     pub fn all_reduce_sum(&mut self, input: &[f32]) -> Result<Vec<f32>, CommError> {
+        let _span = self.tracer.span(TRACK_COMM, "all_reduce_sum");
         let n = self.world_size();
         if n == 1 {
             return Ok(input.to_vec());
@@ -1075,6 +1190,11 @@ impl CommHandle {
     /// [`CommError::Deadlock`] under the deterministic scheduler;
     /// [`CommError::Timeout`] when an armed retry budget is exhausted.
     pub fn wait(mut self, comm: &mut Communicator) -> Result<Vec<f32>, CommError> {
+        let span_name = match self.op {
+            "ialltoall" => "ialltoall.wait",
+            _ => "ialltoall_2dh.wait",
+        };
+        let _span = comm.tracer.span(TRACK_COMM, span_name);
         loop {
             self.absorb(comm)?;
             // After absorb, an incomplete handle always names a next
@@ -1255,6 +1375,10 @@ impl CommHandle {
         out[*node * nblock..(*node + 1) * nblock]
             .copy_from_slice(&phase3[*node * nblock..(*node + 1) * nblock]);
         *inter_issued = true;
+        // The moment the 2DH phase machine promotes from the
+        // intra-node to the inter-node exchange — visible on the
+        // timeline between the two tag families' flow edges.
+        comm.tracer.instant(TRACK_COMM, "2dh.promote");
         self.promote();
         self.absorb(comm)
     }
@@ -1328,7 +1452,37 @@ where
     F: Fn(Communicator) -> R + Send + Sync,
     R: Send,
 {
-    run_threaded_impl(topology, None, program)
+    run_threaded_impl(topology, None, None, program)
+}
+
+/// Like [`run_threaded`], but arms each rank's communicator with a
+/// [`Tracer`] from `hub`, so every collective records comm-track spans
+/// and `(src, dst, tag, seq)`-stamped flow edges on the hub's shared
+/// timebase. After the run, merge and export via
+/// [`TraceHub::export_rank_jsonls`] or [`TraceHub::merged`].
+pub fn run_threaded_traced<F, R>(topology: Topology, hub: &TraceHub, program: F) -> Vec<R>
+where
+    F: Fn(Communicator) -> R + Send + Sync,
+    R: Send,
+{
+    run_threaded_impl(topology, None, Some(hub), program)
+}
+
+/// [`run_threaded_reliable`] with causal tracing armed: retransmits,
+/// duplicate discards, and the ack phase all become visible timeline
+/// events, which is what lets the straggler analyzer attribute an
+/// injected per-rank fault to its source.
+pub fn run_threaded_reliable_traced<F, R>(
+    topology: Topology,
+    cfg: ReliableConfig,
+    hub: &TraceHub,
+    program: F,
+) -> Vec<R>
+where
+    F: Fn(Communicator) -> R + Send + Sync,
+    R: Send,
+{
+    run_threaded_impl(topology, Some(cfg), Some(hub), program)
 }
 
 /// Like [`run_threaded`], but arms the reliability layer on every
@@ -1348,10 +1502,15 @@ where
     F: Fn(Communicator) -> R + Send + Sync,
     R: Send,
 {
-    run_threaded_impl(topology, Some(cfg), program)
+    run_threaded_impl(topology, Some(cfg), None, program)
 }
 
-fn run_threaded_impl<F, R>(topology: Topology, cfg: Option<ReliableConfig>, program: F) -> Vec<R>
+fn run_threaded_impl<F, R>(
+    topology: Topology,
+    cfg: Option<ReliableConfig>,
+    hub: Option<&TraceHub>,
+    program: F,
+) -> Vec<R>
 where
     F: Fn(Communicator) -> R + Send + Sync,
     R: Send,
@@ -1390,6 +1549,11 @@ where
                         obs: c.telemetry.clone(),
                         state: RefCell::new(RelState::default()),
                     }),
+                    tracer: match hub {
+                        Some(h) => h.tracer(rank),
+                        None => Tracer::disabled(),
+                    },
+                    send_seqs: RefCell::new(HashMap::new()),
                 };
                 program(comm)
             }));
@@ -1408,6 +1572,7 @@ where
 mod tests {
     use super::*;
     use crate::{linear_all_to_all, two_dh_all_to_all, RankBuffers};
+    use tutel_obs::trace::TraceHub;
 
     fn labeled(n: usize, chunk: usize) -> RankBuffers {
         (0..n)
@@ -1871,5 +2036,128 @@ mod tests {
         };
         let reliable = run_threaded_reliable(topo, cfg, program);
         assert_eq!(plain, reliable);
+    }
+
+    #[test]
+    fn traced_all_to_all_binds_every_send_to_a_recv() {
+        let topo = Topology::new(2, 2);
+        let bufs = labeled(4, 2);
+        let bufs_ref = &bufs;
+        let hub = TraceHub::new(4);
+        let got = run_threaded_traced(topo, &hub, |mut comm| {
+            comm.all_to_all(&bufs_ref[comm.rank()]).unwrap()
+        });
+        assert_eq!(got, linear_all_to_all(&bufs));
+        let merged = hub.merged();
+        let inv = merged.check_invariants().expect("clean traced run");
+        // 4 ranks each send to 3 peers, exactly once.
+        assert_eq!(inv.edges, 12);
+        assert_eq!(inv.cross_rank_edges, 12);
+        assert_eq!(inv.retry_edges, 0);
+        // One all_to_all span per rank (plus nothing else on an
+        // unreliable run — no ack phase).
+        assert_eq!(inv.spans, 4);
+        for edge in merged.flow_edges() {
+            assert!(edge.accepted, "clean run must accept every edge");
+            assert!(edge.latency_us() >= 0.0);
+            assert_eq!(edge.seq, 0, "single transmission per identity");
+        }
+    }
+
+    #[test]
+    fn traced_2dh_handle_records_promotion_instant() {
+        let topo = Topology::new(2, 2);
+        let bufs = labeled(4, 2);
+        let bufs_ref = &bufs;
+        let hub = TraceHub::new(4);
+        run_threaded_traced(topo, &hub, |mut comm| {
+            let h = comm.ialltoall_2dh(&bufs_ref[comm.rank()]).unwrap();
+            h.wait(&mut comm).unwrap()
+        });
+        let merged = hub.merged();
+        merged.check_invariants().expect("clean traced run");
+        for rank in &merged.ranks {
+            let promoted = rank.events.iter().any(|e| {
+                matches!(e, tutel_obs::TraceEvent::Instant { name, .. } if name == "2dh.promote")
+            });
+            assert!(promoted, "rank {} never promoted phases", rank.rank);
+        }
+    }
+
+    #[test]
+    fn traced_duplicates_become_distinct_rejected_edges() {
+        let topo = Topology::new(1, 2);
+        let bufs = labeled(2, 4);
+        let bufs_ref = &bufs;
+        let hub = TraceHub::new(2);
+        let cfg = ReliableConfig {
+            policy: fast_policy(4),
+            plan: Some(FaultPlan::new(4).with_duplicates(100)),
+            telemetry: Telemetry::disabled(),
+        };
+        let got = run_threaded_reliable_traced(topo, cfg, &hub, |mut comm| {
+            comm.all_to_all(&bufs_ref[comm.rank()]).unwrap()
+        });
+        assert_eq!(got, linear_all_to_all(&bufs));
+        let merged = hub.merged();
+        merged.check_invariants().expect("duplicated traced run");
+        let edges = merged.flow_edges();
+        let dup_rejected = edges
+            .iter()
+            .filter(|e| e.kind == FlowKind::Data && !e.accepted)
+            .count();
+        // Each rank's one data send was transmitted twice: the second
+        // copy must appear as its own (seq 1) edge, marked rejected.
+        assert_eq!(dup_rejected, 2);
+        assert!(edges.iter().any(|e| e.kind == FlowKind::Data && e.seq == 1));
+    }
+
+    #[test]
+    fn traced_delays_keep_the_logical_send_stamp() {
+        let topo = Topology::new(1, 2);
+        let bufs = labeled(2, 4);
+        let bufs_ref = &bufs;
+        let hub = TraceHub::new(2);
+        let cfg = ReliableConfig {
+            // A generous timeout so no retry fires: the delayed copy
+            // itself (flushed at rank 1's ack phase) is the accepted
+            // delivery.
+            policy: RetryPolicy {
+                timeout: Duration::from_millis(500),
+                max_retries: 2,
+                backoff: 2,
+            },
+            plan: Some(FaultPlan::new(4).with_delays(100, 1).only_from(1)),
+            telemetry: Telemetry::disabled(),
+        };
+        let got = run_threaded_reliable_traced(topo, cfg, &hub, |mut comm| {
+            comm.all_to_all(&bufs_ref[comm.rank()]).unwrap()
+        });
+        assert_eq!(got, linear_all_to_all(&bufs));
+        let merged = hub.merged();
+        // The flush reuses the seq assigned at logical send time, so
+        // the delayed copy still binds exactly one send/recv pair.
+        merged.check_invariants().expect("delayed traced run");
+        let delayed: Vec<_> = merged
+            .flow_edges()
+            .into_iter()
+            .filter(|e| e.kind == FlowKind::Data && e.src == 1)
+            .collect();
+        assert_eq!(delayed.len(), 1);
+        assert!(delayed[0].accepted);
+        assert_eq!(delayed[0].seq, 0);
+        // The edge spans the whole in-flight window: stamped when
+        // rank 1 logically sent, received after the (late) flush.
+        assert!(delayed[0].latency_us() >= 0.0);
+    }
+
+    #[test]
+    fn untraced_runs_never_touch_seq_counters() {
+        let topo = Topology::new(1, 2);
+        let counts = run_threaded(topo, |mut comm| {
+            comm.all_to_all(&[comm.rank() as f32; 2]).unwrap();
+            comm.send_seqs.borrow().len()
+        });
+        assert_eq!(counts, vec![0, 0]);
     }
 }

@@ -50,6 +50,7 @@ use std::time::Instant;
 
 use tutel_comm::runtime::{CommHandle, Communicator};
 use tutel_comm::{AllToAllAlgo, CommError};
+use tutel_obs::trace::{TRACK_RT, TRACK_STREAM_COMM, TRACK_STREAM_COMPUTE};
 use tutel_rt::arena;
 
 /// What one overlapped dispatch → compute → combine schedule produced.
@@ -141,14 +142,24 @@ where
         tutel_rt::request_prewarm(first.len(), 2);
     }
 
+    // The two overlap streams record onto the rank's causal tracer
+    // (disabled → every call is one branch): blocking drain windows
+    // become spans, issues become instants, and the rt pool's chunk /
+    // steal deltas around each compute become an rt-track span — so a
+    // merged timeline shows what each stream was doing while the
+    // other progressed.
+    let tracer = comm.tracer().clone();
+    let traced = tracer.is_enabled();
     let mut disp: Vec<Option<CommHandle>> = Vec::with_capacity(d);
     let mut comb: Vec<Option<CommHandle>> = Vec::with_capacity(d);
     let run = (|| -> Result<(), CommError> {
         dispatch_issued.push(started);
+        tracer.instant(TRACK_STREAM_COMM, "dispatch.issue");
         disp.push(Some(issue(comm, algo, &dispatch_chunks[0])?));
         for i in 0..d {
             if i + 1 < d {
                 dispatch_issued.push(Instant::now());
+                tracer.instant(TRACK_STREAM_COMM, "dispatch.issue");
                 disp.push(Some(issue(comm, algo, &dispatch_chunks[i + 1])?));
             }
             // disp[i] is issued above before ever being drained, so
@@ -157,11 +168,53 @@ where
             let Some(handle) = disp[i].take() else {
                 continue;
             };
+            let drain_t0 = tracer.now_us();
             let flex = drain(handle, comm)?;
+            tracer.span_at_args(
+                TRACK_STREAM_COMM,
+                "dispatch.drain",
+                drain_t0,
+                tracer.now_us(),
+                &[("chunk", i as f64)],
+            );
+            let rt0 = if traced {
+                tutel_rt::pool_stats()
+            } else {
+                tutel_rt::PoolStats::default()
+            };
+            let compute_t0 = tracer.now_us();
             let t0 = Instant::now();
             let y = compute(i, flex);
             chunk_compute_s.push(t0.elapsed().as_secs_f64());
+            let compute_t1 = tracer.now_us();
+            tracer.span_at_args(
+                TRACK_STREAM_COMPUTE,
+                "compute",
+                compute_t0,
+                compute_t1,
+                &[("chunk", i as f64)],
+            );
+            if traced {
+                // Process-global pool counters: the deltas bound this
+                // chunk's share (concurrent ranks also contribute).
+                let rt1 = tutel_rt::pool_stats();
+                tracer.span_at_args(
+                    TRACK_RT,
+                    "rt",
+                    compute_t0,
+                    compute_t1,
+                    &[
+                        ("chunks", rt1.chunks.saturating_sub(rt0.chunks) as f64),
+                        (
+                            "worker_chunks",
+                            rt1.worker_chunks.saturating_sub(rt0.worker_chunks) as f64,
+                        ),
+                        ("steals", rt1.steals.saturating_sub(rt0.steals) as f64),
+                    ],
+                );
+            }
             combine_issued.push(Instant::now());
+            tracer.instant(TRACK_STREAM_COMM, "combine.issue");
             comb.push(Some(issue(comm, algo, &y)?));
             arena().put(y);
             // Opportunistic progress on earlier combines while the
@@ -172,9 +225,17 @@ where
                 }
             }
         }
-        for slot in comb.iter_mut() {
+        for (idx, slot) in comb.iter_mut().enumerate() {
             if let Some(handle) = slot.take() {
+                let drain_t0 = tracer.now_us();
                 combined.push(drain(handle, comm)?);
+                tracer.span_at_args(
+                    TRACK_STREAM_COMM,
+                    "combine.drain",
+                    drain_t0,
+                    tracer.now_us(),
+                    &[("chunk", idx as f64)],
+                );
             }
         }
         Ok(())

@@ -242,6 +242,7 @@ impl PipelineTimeModel {
             chosen: best.to_string(),
             predicted_s: Some(best_t),
             measured_s: None,
+            cause: None,
             step: None,
         });
         (best, best_t)
@@ -534,6 +535,7 @@ impl OnlineStrategySearch {
                 chosen: choice.to_string(),
                 predicted_s,
                 measured_s: None,
+                cause: None,
                 step: None,
             });
         }
@@ -667,6 +669,10 @@ pub struct MeasuredStrategySearch {
     alpha: f64,
     model: PipelineTimeModel,
     buckets: HashMap<u64, MeasuredBucket>,
+    /// Attributed cause (from the trace analyzer) carried into the
+    /// *next* emitted decision record — see
+    /// [`MeasuredStrategySearch::attribute`].
+    pending_cause: Option<String>,
 }
 
 impl MeasuredStrategySearch {
@@ -683,7 +689,18 @@ impl MeasuredStrategySearch {
             alpha: MEASURED_EWMA_ALPHA,
             model,
             buckets: HashMap::new(),
+            pending_cause: None,
         }
+    }
+
+    /// Attaches an attributed cause (e.g. a straggler or imbalance
+    /// anomaly found by [`tutel_obs::analyze`]) to the next decision
+    /// record emitted by
+    /// [`MeasuredStrategySearch::next_strategy_observed`] — so when a
+    /// measured regression changes (or fails to change) the chosen
+    /// strategy, the audit log says *why* the measurement moved.
+    pub fn attribute(&mut self, cause: impl Into<String>) {
+        self.pending_cause = Some(cause.into());
     }
 
     /// Overrides the EWMA weight given to each new measurement
@@ -769,6 +786,7 @@ impl MeasuredStrategySearch {
                 chosen: choice.to_string(),
                 predicted_s: Some(predicted),
                 measured_s,
+                cause: self.pending_cause.take(),
                 step: None,
             });
         }
@@ -789,6 +807,32 @@ impl MeasuredStrategySearch {
             .entry(strategy)
             .and_modify(|e| *e = alpha * normalized + (1.0 - alpha) * *e)
             .or_insert(normalized);
+    }
+
+    /// [`MeasuredStrategySearch::record`] that also backfills the most
+    /// recent `pipeline.measured` decision record for `strategy` with
+    /// the updated EWMA — so the audit log's `measured_s` reflects the
+    /// evidence the decision actually produced, not `null` until the
+    /// strategy happens to be re-chosen.
+    pub fn record_observed(
+        &mut self,
+        f: f64,
+        strategy: PipelineStrategy,
+        wall_s: Seconds,
+        tel: &tutel_obs::Telemetry,
+    ) {
+        self.record(f, strategy, wall_s);
+        if tel.is_enabled() {
+            let lo = self.bucket_lo(f);
+            let ewma = self
+                .buckets
+                .get(&fkey(lo))
+                .and_then(|b| b.ewma.get(&strategy))
+                .copied();
+            if let Some(ewma) = ewma {
+                tel.backfill_decision("pipeline.measured", &strategy.to_string(), ewma);
+            }
+        }
     }
 
     /// Whether the bucket containing `f` has measured every strategy
@@ -1168,5 +1212,40 @@ mod tests {
         assert!(rec.measured_s.is_some(), "measured EWMA attached");
         // The audit log's own invariant: chosen == measured argmin.
         assert_eq!(rec.candidates[0].0, rec.chosen);
+    }
+
+    #[test]
+    fn measured_decision_backfills_and_attributes_cause() {
+        let m = model(64);
+        let dims = figure22_dims();
+        let f = dims.capacity_factor;
+        let mut search = MeasuredStrategySearch::new(0.5, m);
+        let tel = tutel_obs::Telemetry::enabled();
+
+        // First probe: no EWMA exists yet, so the record is emitted
+        // with measured_s = None...
+        let s0 = search.next_strategy_observed(&dims, &tel);
+        assert!(tel.decisions()[0].measured_s.is_none());
+        // ...until the executed iteration reports back and backfills.
+        search.record_observed(f, s0, 0.004, &tel);
+        let backfilled = tel.decisions()[0]
+            .measured_s
+            .expect("record_observed backfills measured_s");
+        assert!(backfilled > 0.0);
+
+        // An attributed cause rides the next decision record, once.
+        search.attribute("straggler: rank 2");
+        let _ = search.next_strategy_observed(&dims, &tel);
+        let decisions = tel.decisions();
+        assert_eq!(
+            decisions[1].cause.as_deref(),
+            Some("straggler: rank 2"),
+            "attributed cause lands on the next record"
+        );
+        let _ = search.next_strategy_observed(&dims, &tel);
+        assert!(
+            tel.decisions()[2].cause.is_none(),
+            "cause is consumed, not sticky"
+        );
     }
 }

@@ -186,6 +186,7 @@ impl InlineParallelismRouter {
                 chosen: choice.to_string(),
                 predicted_s: Some(p1.min(p2)),
                 measured_s: None,
+                cause: None,
                 step: None,
             });
         }

@@ -16,9 +16,10 @@
 //! serial path, so the conformance budgets are unchanged.
 
 use tutel::overlap::run_overlapped;
-use tutel_comm::runtime::{run_threaded, Communicator};
+use tutel_comm::runtime::{run_threaded, run_threaded_traced, Communicator};
 use tutel_experts::{ExpertsBlock, ShardedExpertParams};
 use tutel_kernels::{fast_decode, fast_decode_backward, fast_encode_backward};
+use tutel_obs::trace::{TraceHub, TRACK_MAIN};
 use tutel_rt::with_parallelism_limit;
 use tutel_simgpu::Topology;
 use tutel_tensor::Tensor;
@@ -124,6 +125,32 @@ fn chunk_from_wire(combined: Vec<f32>, world: usize, cc: usize) -> Tensor {
 /// Panics if any rank hits a communication error — conformance runs
 /// are fault-free, so an error here is itself a conformance failure.
 pub fn run_distributed(problem: &Problem, fixture: &Fixture, cfg: &Config) -> Vec<RankResult> {
+    run_distributed_impl(problem, fixture, cfg, None)
+}
+
+/// [`run_distributed`] with every rank wired to a tracer from `hub`:
+/// the run leaves a causal trace (main-track phase spans, the overlap
+/// schedule's two streams, and cross-rank flow edges) on the hub's
+/// shared timebase.
+///
+/// # Panics
+///
+/// As [`run_distributed`].
+pub fn run_distributed_traced(
+    problem: &Problem,
+    fixture: &Fixture,
+    cfg: &Config,
+    hub: &TraceHub,
+) -> Vec<RankResult> {
+    run_distributed_impl(problem, fixture, cfg, Some(hub))
+}
+
+fn run_distributed_impl(
+    problem: &Problem,
+    fixture: &Fixture,
+    cfg: &Config,
+    hub: Option<&TraceHub>,
+) -> Vec<RankResult> {
     assert_eq!(cfg.world, problem.world, "config/problem world mismatch");
     assert_eq!(
         Problem::CAPACITY % cfg.degree,
@@ -133,9 +160,14 @@ pub fn run_distributed(problem: &Problem, fixture: &Fixture, cfg: &Config) -> Ve
     let topo = topology_for(cfg.world);
     assert_eq!(topo.world_size(), cfg.world, "topology/world mismatch");
     let cfg = *cfg;
-    run_threaded(topo, move |comm| {
-        with_parallelism_limit(cfg.threads, || run_rank(problem, fixture, &cfg, comm))
-    })
+    match hub {
+        Some(hub) => run_threaded_traced(topo, hub, move |comm| {
+            with_parallelism_limit(cfg.threads, || run_rank(problem, fixture, &cfg, comm))
+        }),
+        None => run_threaded(topo, move |comm| {
+            with_parallelism_limit(cfg.threads, || run_rank(problem, fixture, &cfg, comm))
+        }),
+    }
 }
 
 fn run_rank(
@@ -149,10 +181,18 @@ fn run_rank(
     let cc = Problem::CAPACITY / cfg.degree;
     let (_, d_out) = &fixture.per_rank[rank];
 
+    // Phase spans on the main track bound the causal trace's critical
+    // path; the forward/backward exchanges inside them land on the
+    // overlap stream tracks instead.
+    let tracer = comm.tracer().clone();
+    let _step = tracer.span(TRACK_MAIN, "step");
+
     // Gate + encode, rank-local and identical to the reference by
     // construction.
+    let gate_t0 = tracer.now_us();
     let (probs, routing, enc) = gate_and_encode(problem, fixture, rank);
     let experts = RankExperts::for_rank(fixture, cfg.strategy, world, rank);
+    tracer.span_at(TRACK_MAIN, "gate_encode", gate_t0, tracer.now_us());
 
     // Forward: the executed overlap schedule over the capacity
     // dimension. Each chunk keeps its own expert block(s) so
@@ -187,8 +227,10 @@ fn run_rank(
         .map(|w| chunk_from_wire(w, world, cc))
         .collect();
     let combined = Tensor::concat_axis(&out_chunks, 1).expect("chunks tile the capacity dim");
+    let decode_t0 = tracer.now_us();
     let output = fast_decode(&combined, &routing, Problem::TOKENS).expect("decode dims fixed");
     let aux = tutel_gate::aux_loss(&probs, &routing).expect("aux dims fixed");
+    tracer.span_at(TRACK_MAIN, "decode", decode_t0, tracer.now_us());
 
     // Backward: mirror the wire format in reverse, chunk by chunk.
     let (d_combined, d_gates) =
@@ -221,9 +263,11 @@ fn run_rank(
         .collect();
     let d_dispatched =
         Tensor::concat_axis(&d_disp_chunks, 1).expect("chunks tile the capacity dim");
+    let grad_t0 = tracer.now_us();
     let d_x_encode = fast_encode_backward(&d_dispatched, &routing, Problem::TOKENS)
         .expect("encode backward dims fixed");
     let d_x = gate_backward(fixture, rank, &probs, &routing, &d_gates, d_x_encode);
+    tracer.span_at(TRACK_MAIN, "gate_backward", grad_t0, tracer.now_us());
 
     RankResult {
         output: output.as_slice().to_vec(),

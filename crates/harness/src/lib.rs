@@ -43,6 +43,7 @@ pub mod dist;
 pub mod faults;
 pub mod matrix;
 pub mod reference;
+pub mod trace;
 
 /// Expert-parallelism strategy under test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -3,16 +3,24 @@
 //! readable benchmark record.
 //!
 //! ```text
-//! harness [--smoke | --full] [--seed N] [--fault-seed N] [--json PATH]
+//! harness [--smoke | --full] [--seed N] [--fault-seed N] [--json PATH] [--trace PREFIX]
 //! ```
 //!
-//! Exit code 0 iff every matrix point and every fault scenario passed.
+//! `--trace PREFIX` additionally runs the traced 4-rank smoke (per-rank
+//! JSONLs + merged `PREFIX.trace.json`, gated by the trace invariant
+//! checker) and the staged straggler scenario (the analyzer must name
+//! the delayed rank).
+//!
+//! Exit code 0 iff every matrix point, every fault scenario, and (when
+//! requested) both trace scenarios passed.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use tutel_harness::faults::{run_fault_suite, FaultReport};
 use tutel_harness::matrix::{configs, run_matrix, Mode, Verdict};
+use tutel_harness::trace::{run_straggler_scenario, run_trace_smoke};
+use tutel_obs::Telemetry;
 
 /// Default problem seed (parameters + inputs).
 const DEFAULT_SEED: u64 = 42;
@@ -24,6 +32,7 @@ struct Args {
     seed: u64,
     fault_seed: u64,
     json: Option<String>,
+    trace: Option<String>,
 }
 
 /// Parses a seed in decimal or `0x`-prefixed hex (the grid prints
@@ -46,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
         seed: DEFAULT_SEED,
         fault_seed: DEFAULT_FAULT_SEED,
         json: None,
+        trace: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -56,9 +66,11 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = parse_seed(&take("--seed")?)?,
             "--fault-seed" => args.fault_seed = parse_seed(&take("--fault-seed")?)?,
             "--json" => args.json = Some(take("--json")?),
+            "--trace" => args.trace = Some(take("--trace")?),
             "--help" | "-h" => {
                 return Err(
-                    "usage: harness [--smoke | --full] [--seed N] [--fault-seed N] [--json PATH]"
+                    "usage: harness [--smoke | --full] [--seed N] [--fault-seed N] \
+                     [--json PATH] [--trace PREFIX]"
                         .to_string(),
                 )
             }
@@ -188,6 +200,11 @@ fn main() -> ExitCode {
     let fault_secs = t1.elapsed().as_secs_f64();
     print_faults(&reports);
 
+    let trace_ok = match &args.trace {
+        None => true,
+        Some(prefix) => run_trace_scenarios(prefix, args.fault_seed),
+    };
+
     let matrix_ok = verdicts.iter().all(|v| v.pass);
     let faults_ok = reports.iter().all(|r| r.pass);
     println!(
@@ -208,9 +225,49 @@ fn main() -> ExitCode {
         println!("wrote {path}");
     }
 
-    if matrix_ok && faults_ok {
+    if matrix_ok && faults_ok && trace_ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Runs both trace scenarios under `prefix`, printing the analyzer
+/// reports; returns whether both passed.
+fn run_trace_scenarios(prefix: &str, fault_seed: u64) -> bool {
+    let smoke_ok = match run_trace_smoke(prefix) {
+        Ok(smoke) => {
+            println!(
+                "trace smoke: {} events, {} spans, {} flow edges ({} cross-rank, {} retry) \
+                 -> {}",
+                smoke.invariants.events,
+                smoke.invariants.spans,
+                smoke.invariants.edges,
+                smoke.invariants.cross_rank_edges,
+                smoke.invariants.retry_edges,
+                smoke.trace_path
+            );
+            print!("{}", smoke.report);
+            true
+        }
+        Err(e) => {
+            eprintln!("trace smoke FAILED: {e}");
+            false
+        }
+    };
+    let tel = Telemetry::enabled();
+    let straggler_ok = match run_straggler_scenario(fault_seed, 1, &tel) {
+        Ok(analysis) => {
+            println!(
+                "trace straggler: analyzer names rank {} from the delivery-latency signal",
+                analysis.straggler().unwrap_or(usize::MAX)
+            );
+            true
+        }
+        Err(e) => {
+            eprintln!("trace straggler FAILED: {e}");
+            false
+        }
+    };
+    smoke_ok && straggler_ok
 }

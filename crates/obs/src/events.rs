@@ -137,8 +137,38 @@ pub struct DecisionRecord {
     /// (`None` for purely modeled decisions or before the first
     /// measurement lands).
     pub measured_s: Option<f64>,
+    /// Attributed cause carried over from the trace analyzer when the
+    /// previously chosen strategy regressed (e.g. `straggler: rank 1`);
+    /// `None` for ordinary decisions.
+    pub cause: Option<String>,
     /// Training step active when recorded, if any.
     pub step: Option<u64>,
+}
+
+/// A typed anomaly flagged by the online trace analyzer
+/// (`tutel_obs::analyze`): stragglers, expert-load imbalance, and
+/// critical-path shifts, recorded into the same audit ring as
+/// adaptive decisions so a regression and its cause sit side by side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnomalyRecord {
+    /// Anomaly class: `straggler`, `expert_imbalance`, `critical_path`.
+    pub kind: String,
+    /// The rank the anomaly is attributed to, when rank-specific.
+    pub rank: Option<usize>,
+    /// Severity as a ratio against the healthy baseline (slowest rank
+    /// vs. median, hottest expert vs. mean load).
+    pub ratio: f64,
+    /// Human-readable attribution.
+    pub detail: String,
+    /// Training step active when recorded, if any.
+    pub step: Option<u64>,
+}
+
+impl AnomalyRecord {
+    /// One-line `kind: detail` form for text reports.
+    pub fn summary(&self) -> String {
+        format!("{}: {}", self.kind, self.detail)
+    }
 }
 
 /// Any recorded event.
@@ -152,6 +182,8 @@ pub enum Event {
     Step(StepRecord),
     /// An adaptive decision.
     Decision(DecisionRecord),
+    /// A trace-analyzer anomaly.
+    Anomaly(AnomalyRecord),
 }
 
 fn opt_step(step: Option<u64>) -> Value {
@@ -247,7 +279,22 @@ impl Event {
                     "measured_s",
                     d.measured_s.map(Value::from).unwrap_or(Value::Null),
                 ),
+                (
+                    "cause",
+                    d.cause
+                        .as_ref()
+                        .map(|c| Value::from(c.clone()))
+                        .unwrap_or(Value::Null),
+                ),
                 ("step", opt_step(d.step)),
+            ]),
+            Event::Anomaly(a) => Value::obj([
+                ("type", Value::from("anomaly")),
+                ("kind", Value::from(a.kind.clone())),
+                ("rank", a.rank.map(Value::from).unwrap_or(Value::Null)),
+                ("ratio", Value::from(a.ratio)),
+                ("detail", Value::from(a.detail.clone())),
+                ("step", opt_step(a.step)),
             ]),
         }
     }
@@ -278,11 +325,28 @@ mod tests {
             chosen: "linear×d1".into(),
             predicted_s: None,
             measured_s: Some(0.0021),
+            cause: Some("straggler: rank 1".into()),
             step: None,
         });
         let json = dec.to_value().to_json();
         assert!(json.contains(r#""type":"adaptive_decision""#), "{json}");
         assert!(json.contains(r#""predicted_s":null"#), "{json}");
         assert!(json.contains(r#""measured_s":0.0021"#), "{json}");
+        assert!(json.contains(r#""cause":"straggler: rank 1""#), "{json}");
+    }
+
+    #[test]
+    fn anomalies_serialize_with_rank_attribution() {
+        let a = Event::Anomaly(AnomalyRecord {
+            kind: "straggler".into(),
+            rank: Some(2),
+            ratio: 3.5,
+            detail: "rank 2 wall 3.5x median".into(),
+            step: Some(4),
+        });
+        let json = a.to_value().to_json();
+        assert!(json.contains(r#""type":"anomaly""#), "{json}");
+        assert!(json.contains(r#""rank":2"#), "{json}");
+        assert!(json.contains(r#""step":4"#), "{json}");
     }
 }

@@ -27,9 +27,19 @@
 //!   strategies, their predicted costs, and the winner).
 //! * **Export** ([`Telemetry::export_jsonl`]): one self-describing
 //!   JSON object per line (`"type"`: `meta`, `span`, `collective`,
-//!   `step`, `adaptive_decision`, `counter`, `gauge`, `histogram`),
-//!   hand-written by [`json`] because the offline build has no serde
-//!   serialization.
+//!   `step`, `adaptive_decision`, `anomaly`, `counter`, `gauge`,
+//!   `histogram`), hand-written by [`json`] because the offline build
+//!   has no serde serialization (the same module also parses, for the
+//!   trace merger).
+//! * **Causal tracing** ([`trace`]): per-rank [`Tracer`]s on a shared
+//!   [`TraceHub`] epoch record per-track timeline events and
+//!   `(src, dst, tag, seq)`-stamped flow edges; [`MergedTrace`]
+//!   combines ranks, checks invariants, and exports Chrome
+//!   `trace_events` JSON for Perfetto (see the `tutel-trace` CLI).
+//! * **Analysis** ([`analyze`]): per-step critical-path extraction,
+//!   straggler detection (wall clock and sender-attributed delivery
+//!   latency), and expert-imbalance alerts, emitted as typed
+//!   [`AnomalyRecord`]s into the decision audit log.
 //!
 //! # Cost when disabled
 //!
@@ -59,15 +69,24 @@
 //! assert!(String::from_utf8(jsonl).unwrap().contains("\"type\":\"step\""));
 //! ```
 
+pub mod analyze;
 pub mod events;
 pub mod json;
 pub mod metrics;
 pub mod ring;
 pub mod runtime;
 mod telemetry;
+pub mod trace;
 
-pub use events::{CollectiveRecord, DecisionRecord, Event, SpanRecord, StepRecord, TagValue};
+pub use analyze::{analyze, analyze_with_load, Analysis, AnalyzerConfig, CriticalPath};
+pub use events::{
+    AnomalyRecord, CollectiveRecord, DecisionRecord, Event, SpanRecord, StepRecord, TagValue,
+};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use ring::RingBuffer;
 pub use runtime::{record_runtime, RuntimeSnapshot};
 pub use telemetry::{Span, Telemetry};
+pub use trace::{
+    parse_rank_trace, FlowEdge, FlowKind, MergedTrace, RankTrace, TraceEvent, TraceHub,
+    TraceInvariants, Tracer,
+};

@@ -55,6 +55,31 @@ impl<T> RingBuffer<T> {
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
     }
+
+    /// Removes and returns all retained items, oldest first. The drop
+    /// counter is left untouched (it counts lifetime evictions, not
+    /// takes).
+    pub fn take(&self) -> Vec<T> {
+        self.items
+            .lock()
+            .expect("ring poisoned")
+            .drain(..)
+            .collect()
+    }
+
+    /// Scans retained items newest-first, applying `f` until it
+    /// returns `Some`; that value is returned. Used to patch the most
+    /// recent matching record in place (e.g. backfilling a decision's
+    /// measured cost once the measurement lands).
+    pub fn update_last<R>(&self, mut f: impl FnMut(&mut T) -> Option<R>) -> Option<R> {
+        let mut items = self.items.lock().expect("ring poisoned");
+        for item in items.iter_mut().rev() {
+            if let Some(r) = f(item) {
+                return Some(r);
+            }
+        }
+        None
+    }
 }
 
 impl<T: Clone> RingBuffer<T> {
@@ -88,5 +113,38 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_zero_capacity() {
         let _ = RingBuffer::<u8>::new(0);
+    }
+
+    #[test]
+    fn take_drains_but_keeps_drop_counter() {
+        let ring = RingBuffer::new(2);
+        for i in 0..3 {
+            ring.push(i);
+        }
+        assert_eq!(ring.take(), vec![1, 2]);
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn update_last_patches_newest_match() {
+        let ring = RingBuffer::new(4);
+        for i in 0..4 {
+            ring.push(i);
+        }
+        let hit = ring.update_last(|x| {
+            if *x % 2 == 0 {
+                *x = 100;
+                Some(*x)
+            } else {
+                None
+            }
+        });
+        assert_eq!(hit, Some(100));
+        assert_eq!(ring.snapshot(), vec![0, 1, 100, 3]);
+        assert_eq!(
+            ring.update_last(|x| if *x > 500 { Some(()) } else { None }),
+            None
+        );
     }
 }

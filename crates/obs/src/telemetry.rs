@@ -6,7 +6,9 @@ use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use crate::events::{CollectiveRecord, DecisionRecord, Event, SpanRecord, StepRecord, TagValue};
+use crate::events::{
+    AnomalyRecord, CollectiveRecord, DecisionRecord, Event, SpanRecord, StepRecord, TagValue,
+};
 use crate::json::Value;
 use crate::metrics::{Histogram, MetricsRegistry};
 use crate::ring::RingBuffer;
@@ -195,6 +197,36 @@ impl Telemetry {
         }
     }
 
+    /// Records a trace-analyzer anomaly into the audit ring, stamped
+    /// with the current step.
+    pub fn anomaly(&self, mut rec: AnomalyRecord) {
+        if let Some(inner) = &self.inner {
+            rec.step = inner.current_step();
+            inner.events.push(Event::Anomaly(rec));
+        }
+    }
+
+    /// Patches the newest decision matching `kind` and `chosen` with a
+    /// measured cost — decisions are emitted when a strategy is
+    /// *picked*, but the measurement only exists after the step ran,
+    /// so the EWMA update backfills it here. Returns whether a record
+    /// was found.
+    pub fn backfill_decision(&self, kind: &str, chosen: &str, measured_s: f64) -> bool {
+        let Some(inner) = &self.inner else {
+            return false;
+        };
+        inner
+            .events
+            .update_last(|event| match event {
+                Event::Decision(d) if d.kind == kind && d.chosen == chosen => {
+                    d.measured_s = Some(measured_s);
+                    Some(())
+                }
+                _ => None,
+            })
+            .is_some()
+    }
+
     /// Marks the start of training step `step`: stamps subsequent
     /// spans/decisions/collectives and clears the stage accumulator.
     pub fn begin_step(&self, step: u64) {
@@ -233,6 +265,17 @@ impl Telemetry {
             .into_iter()
             .filter_map(|e| match e {
                 Event::Decision(d) => Some(d),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All analyzer anomalies, oldest first.
+    pub fn anomalies(&self) -> Vec<AnomalyRecord> {
+        self.events()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::Anomaly(a) => Some(a),
                 _ => None,
             })
             .collect()
@@ -465,6 +508,45 @@ mod tests {
             );
             assert!(line.contains("\"type\":"), "untyped line: {line}");
         }
+    }
+
+    #[test]
+    fn anomalies_are_step_stamped() {
+        let tel = Telemetry::enabled();
+        tel.begin_step(11);
+        tel.anomaly(AnomalyRecord {
+            kind: "straggler".into(),
+            rank: Some(1),
+            ratio: 2.0,
+            detail: "slow".into(),
+            step: None,
+        });
+        let anomalies = tel.anomalies();
+        assert_eq!(anomalies.len(), 1);
+        assert_eq!(anomalies[0].step, Some(11));
+        assert_eq!(anomalies[0].rank, Some(1));
+    }
+
+    #[test]
+    fn backfill_patches_newest_matching_decision() {
+        let tel = Telemetry::enabled();
+        let rec = |chosen: &str| DecisionRecord {
+            kind: "pipeline.measured".into(),
+            capacity_factor: 1.0,
+            candidates: Vec::new(),
+            chosen: chosen.into(),
+            predicted_s: None,
+            measured_s: None,
+            cause: None,
+            step: None,
+        };
+        tel.decision(rec("linear×d2"));
+        tel.decision(rec("2dh×d4"));
+        assert!(tel.backfill_decision("pipeline.measured", "linear×d2", 0.005));
+        assert!(!tel.backfill_decision("pipeline.measured", "missing", 1.0));
+        let decisions = tel.decisions();
+        assert_eq!(decisions[0].measured_s, Some(0.005));
+        assert_eq!(decisions[1].measured_s, None);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Property tests for the fixed log-bucketed histogram: bounds are
 //! strictly monotone, indexing is consistent with the bounds, and
-//! merging conserves counts.
+//! merging conserves counts and is associative/commutative for
+//! same-layout histograms — the algebra the per-rank trace/metric
+//! merger relies on (merge order across ranks must not matter).
 
 use proptest::prelude::*;
 use tutel_obs::Histogram;
@@ -8,6 +10,15 @@ use tutel_obs::Histogram;
 /// A valid (lo, ratio, n) layout whose top edge stays finite.
 fn layout() -> impl Strategy<Value = (f64, f64, usize)> {
     (1e-9f64..1e3, 1.05f64..8.0, 1usize..64)
+}
+
+/// A fresh histogram with `values` recorded.
+fn filled(lo: f64, ratio: f64, n: usize, values: &[f64]) -> Histogram {
+    let h = Histogram::new(lo, ratio, n);
+    for &v in values {
+        h.record(v);
+    }
+    h
 }
 
 proptest! {
@@ -83,5 +94,44 @@ proptest! {
         prop_assert_eq!(a.total_count(), (xs.len() + ys.len()) as u64);
         let total_sum: f64 = xs.iter().chain(&ys).sum();
         prop_assert!((a.sum() - total_sum).abs() <= 1e-6 * total_sum.abs().max(1.0));
+    }
+
+    #[test]
+    fn merge_is_commutative_for_same_layout(
+        (lo, ratio, n) in layout(),
+        xs in proptest::collection::vec(0f64..1e9, 0..60),
+        ys in proptest::collection::vec(0f64..1e9, 0..60),
+    ) {
+        let ab = filled(lo, ratio, n, &xs);
+        ab.merge(&filled(lo, ratio, n, &ys));
+        let ba = filled(lo, ratio, n, &ys);
+        ba.merge(&filled(lo, ratio, n, &xs));
+        prop_assert_eq!(ab.counts(), ba.counts());
+        prop_assert_eq!(ab.total_count(), ba.total_count());
+        // One two-operand f64 addition either way: exactly equal.
+        prop_assert_eq!(ab.sum().to_bits(), ba.sum().to_bits());
+    }
+
+    #[test]
+    fn merge_is_associative_for_same_layout(
+        (lo, ratio, n) in layout(),
+        xs in proptest::collection::vec(0f64..1e9, 0..40),
+        ys in proptest::collection::vec(0f64..1e9, 0..40),
+        zs in proptest::collection::vec(0f64..1e9, 0..40),
+    ) {
+        // (A ⊕ B) ⊕ C
+        let left = filled(lo, ratio, n, &xs);
+        left.merge(&filled(lo, ratio, n, &ys));
+        left.merge(&filled(lo, ratio, n, &zs));
+        // A ⊕ (B ⊕ C)
+        let bc = filled(lo, ratio, n, &ys);
+        bc.merge(&filled(lo, ratio, n, &zs));
+        let right = filled(lo, ratio, n, &xs);
+        right.merge(&bc);
+        prop_assert_eq!(left.counts(), right.counts());
+        prop_assert_eq!(left.total_count(), right.total_count());
+        // The count algebra is exact; only the f64 sum re-associates.
+        let scale = left.sum().abs().max(1.0);
+        prop_assert!((left.sum() - right.sum()).abs() <= 1e-9 * scale);
     }
 }
