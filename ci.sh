@@ -67,4 +67,19 @@ cargo run --release -q -p tutel-check -- --baseline check-baseline.json
 echo "==> tutel-check: deterministic concurrency sweep (fixed seeds)"
 cargo run --release -q -p tutel-check -- --sched --seeds 128
 
+echo "==> tutel-check: happens-before race sweep at TUTEL_THREADS=1 and =4"
+# 128 seeded schedules over the combined overlap+pool+comm surface,
+# plus the three planted-bug selftests (each must be caught and its
+# seed must replay). The pool width changes which thread ids appear in
+# the real-arena selftests, so both widths are swept.
+TUTEL_THREADS=1 cargo run --release -q -p tutel-check -- --race --seeds 128
+TUTEL_THREADS=4 cargo run --release -q -p tutel-check -- --race --seeds 128
+
+echo "==> race_overhead bench smoke (check-race compiled out)"
+# Pins the feature-off cost of the rt instrumentation hooks at ~zero:
+# tutel-bench builds without tutel-check, so these rows measure the
+# true production arena/pool paths.
+cargo bench -q -p tutel-bench --bench race_overhead -- \
+    --warm-up-time 1 --measurement-time 1 disabled_ > /dev/null
+
 echo "ci.sh: all gates green"

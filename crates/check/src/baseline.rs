@@ -90,9 +90,15 @@ impl Baseline {
 pub struct Ratchet {
     /// `(key, current, baselined)` where current > baselined: failures.
     pub regressions: Vec<(String, u64, u64)>,
-    /// `(key, current, baselined)` where current < baselined: the
+    /// `(key, current, baselined)` where 0 < current < baselined: the
     /// baseline should be re-written (tightened).
     pub improvements: Vec<(String, u64, u64)>,
+    /// `(key, baselined)` where the key no longer produces any
+    /// diagnostic at all. A fully-fixed entry left in the committed
+    /// file is dead headroom — a later regression at that key would
+    /// slide under the ratchet unnoticed — so stale entries fail the
+    /// run until pruned with `--write-baseline`.
+    pub stale: Vec<(String, u64)>,
 }
 
 impl Ratchet {
@@ -108,15 +114,16 @@ impl Ratchet {
         }
         for (k, &base) in &committed.counts {
             if !current.counts.contains_key(k) {
-                out.improvements.push((k.clone(), 0, base));
+                out.stale.push((k.clone(), base));
             }
         }
         out.improvements.sort();
+        out.stale.sort();
         out
     }
 
     pub fn passed(&self) -> bool {
-        self.regressions.is_empty()
+        self.regressions.is_empty() && self.stale.is_empty()
     }
 }
 
@@ -274,13 +281,28 @@ mod tests {
     }
 
     #[test]
-    fn fix_shows_as_improvement() {
+    fn partial_fix_shows_as_improvement() {
+        let committed =
+            Baseline::from_diagnostics(&[diag("a.rs", "no_panic"), diag("a.rs", "no_panic")]);
+        let current = Baseline::from_diagnostics(&[diag("a.rs", "no_panic")]);
+        let r = Ratchet::compare(&current, &committed);
+        assert!(r.passed());
+        assert_eq!(r.improvements, vec![("a.rs:no_panic".to_string(), 1, 2)]);
+        assert!(r.stale.is_empty());
+    }
+
+    #[test]
+    fn fully_fixed_entry_is_stale_and_fails_until_pruned() {
         let committed =
             Baseline::from_diagnostics(&[diag("a.rs", "no_panic"), diag("b.rs", "layout_doc")]);
         let current = Baseline::from_diagnostics(&[diag("a.rs", "no_panic")]);
         let r = Ratchet::compare(&current, &committed);
-        assert!(r.passed());
-        assert_eq!(r.improvements, vec![("b.rs:layout_doc".to_string(), 0, 1)]);
+        assert!(!r.passed(), "stale headroom must fail the ratchet");
+        assert!(r.regressions.is_empty());
+        assert_eq!(r.stale, vec![("b.rs:layout_doc".to_string(), 1)]);
+        // Rewriting the baseline from the current run prunes it.
+        let r2 = Ratchet::compare(&current, &current.clone());
+        assert!(r2.passed());
     }
 
     #[test]

@@ -23,23 +23,35 @@
 //!    ratchet down. Per-site escapes use
 //!    `// check:allow(rule, reason)`.
 //!
-//! 2. A **deterministic concurrency checker** ([`sweep`]) replaying
-//!    seeded adversarial schedules through `tutel-comm`'s
-//!    `check-sched` runtime and diffing every collective against its
-//!    sequential reference; failures print a replayable seed.
+//! 2. **Dynamic schedule-exploration checkers** on the shared
+//!    [`explore`] framework (seeded choice points, canonical
+//!    candidate ordering, FNV schedule signatures, replay-by-seed
+//!    diagnostics):
+//!    - [`sweep`] replays seeded adversarial schedules through
+//!      `tutel-comm`'s `check-sched` runtime and diffs every
+//!      collective against its sequential reference;
+//!    - [`race`] is a vector-clock happens-before race and
+//!      arena-aliasing checker over the `rt` runtime's event log,
+//!      swept across steal-order and delivery-order perturbations of
+//!      the combined overlap+pool+comm surface.
+//!
+//!    Every dynamic failure prints a replayable seed.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
 pub mod baseline;
 pub mod diag;
+pub mod explore;
 pub mod lexer;
+pub mod race;
 pub mod rules;
 pub mod source;
 pub mod sweep;
 
 pub use baseline::{Baseline, Ratchet};
 pub use diag::{diagnostics_to_json, Diagnostic};
+pub use explore::{finding_to_anomaly, finding_to_diagnostic};
 pub use rules::layering::{check_layering, parse_manifest, Manifest};
 pub use rules::{check_source, check_test_source, STRICT_CRATES};
 pub use source::SourceFile;

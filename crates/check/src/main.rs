@@ -7,10 +7,12 @@
 //!             [--write-baseline FILE] [--emit-timing FILE]
 //! ```
 //!
-//! Concurrency mode:
+//! Concurrency modes:
 //!
 //! ```text
-//! tutel-check --sched [--seeds N]
+//! tutel-check --sched [--seeds N]   # comm scheduler sweep
+//! tutel-check --race  [--seeds N]   # happens-before race sweep +
+//!                                   # planted-bug selftests
 //! ```
 //!
 //! Exit codes: 0 = clean (or ratchet passed), 1 = violations or
@@ -20,6 +22,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use tutel_check::race::{combined_sweep, run_selftests, RaceConfig};
 use tutel_check::sweep::{broken_tag_selftest, sweep_collectives, SweepConfig};
 use tutel_check::{diagnostics_to_json, Baseline, Ratchet};
 
@@ -29,13 +32,15 @@ struct Opts {
     baseline: Option<PathBuf>,
     write_baseline: Option<PathBuf>,
     sched: bool,
+    race: bool,
     seeds: u64,
     emit_timing: Option<PathBuf>,
 }
 
 fn usage() -> &'static str {
     "usage: tutel-check [--root DIR] [--json] [--baseline FILE] \
-     [--write-baseline FILE] [--emit-timing FILE] | --sched [--seeds N]"
+     [--write-baseline FILE] [--emit-timing FILE] | --sched [--seeds N] \
+     | --race [--seeds N]"
 }
 
 fn parse_opts() -> Result<Opts, String> {
@@ -45,6 +50,7 @@ fn parse_opts() -> Result<Opts, String> {
         baseline: None,
         write_baseline: None,
         sched: false,
+        race: false,
         seeds: 128,
         emit_timing: None,
     };
@@ -62,6 +68,7 @@ fn parse_opts() -> Result<Opts, String> {
             "--emit-timing" => opts.emit_timing = Some(path_arg(&mut args)?),
             "--json" => opts.json = true,
             "--sched" => opts.sched = true,
+            "--race" => opts.race = true,
             "--seeds" => {
                 opts.seeds = args
                     .next()
@@ -88,6 +95,8 @@ fn main() -> ExitCode {
     };
     let result = if opts.sched {
         run_sched(&opts)
+    } else if opts.race {
+        run_race(&opts)
     } else {
         run_lint(&opts)
     };
@@ -160,12 +169,21 @@ fn run_lint(opts: &Opts) -> Result<bool, String> {
                  re-run with --write-baseline to tighten the ratchet"
             );
         }
+        for (key, base) in &ratchet.stale {
+            eprintln!(
+                "tutel-check: STALE {key}: baseline allows {base} but the key no \
+                 longer produces any diagnostic — prune with --write-baseline"
+            );
+        }
         eprintln!(
-            "tutel-check: {} file(s), {} violation(s) (baseline {}), {} regression(s) — {}",
+            "tutel-check: {} file(s), {} violation(s) (baseline {}), {} regression(s), \
+             {} stale entr{} — {}",
             report.files_scanned,
             current.total(),
             committed.total(),
             ratchet.regressions.len(),
+            ratchet.stale.len(),
+            if ratchet.stale.len() == 1 { "y" } else { "ies" },
             if ratchet.passed() { "PASS" } else { "FAIL" }
         );
         return Ok(ratchet.passed());
@@ -203,7 +221,7 @@ fn run_sched(opts: &Opts) -> Result<bool, String> {
             clean = false;
             println!(
                 "    [{}] {} — replay with --sched --seeds {} (seed {})",
-                f.kind,
+                f.rule,
                 f.detail,
                 f.seed + 1,
                 f.seed
@@ -213,7 +231,7 @@ fn run_sched(opts: &Opts) -> Result<bool, String> {
     // The checker checks itself: the intentionally-broken tag program
     // must be caught under at least one seed.
     let selftest = broken_tag_selftest(&cfg);
-    let caught = selftest.failures.iter().any(|f| f.kind == "corruption");
+    let caught = selftest.failures.iter().any(|f| f.rule == "corruption");
     println!(
         "  {:<16} {} schedules, {} distinct — {}",
         "broken_tag",
@@ -225,11 +243,61 @@ fn run_sched(opts: &Opts) -> Result<bool, String> {
             "NOT caught: checker is blind"
         }
     );
-    if let Some(first) = selftest.failures.iter().find(|f| f.kind == "corruption") {
+    if let Some(first) = selftest.failures.iter().find(|f| f.rule == "corruption") {
         println!("    first failing seed: {}", first.seed);
     }
     if !caught {
         clean = false;
+    }
+    Ok(clean)
+}
+
+/// Race mode; returns Ok(true) when the run should exit 0.
+///
+/// Two halves, both required: the combined overlap+pool+comm surface
+/// must sweep clean and structure-stable across every seed, and the
+/// three planted-bug selftests must each be caught with a seed that
+/// replays.
+fn run_race(opts: &Opts) -> Result<bool, String> {
+    let cfg = RaceConfig::default();
+    let mut clean = true;
+    println!(
+        "tutel-check --race: {} nodes x {} GPUs, degree {}, {} sim workers, {} seeds",
+        cfg.nnodes, cfg.gpus_per_node, cfg.degree, cfg.sim_workers, opts.seeds
+    );
+    let sweep = combined_sweep(&cfg, opts.seeds);
+    println!(
+        "  {:<28} {} schedules, {} distinct — {}",
+        sweep.name,
+        sweep.schedules,
+        sweep.distinct,
+        if sweep.passed() && sweep.structure_stable() {
+            "ok"
+        } else {
+            "FAIL"
+        }
+    );
+    for f in &sweep.findings {
+        clean = false;
+        println!("    {}", f.summary());
+    }
+    if !sweep.structure_stable() {
+        clean = false;
+    }
+
+    // Selftests: each planted bug must be caught, and the named seed
+    // must replay (run_selftests re-executes it and verifies).
+    for t in run_selftests(8) {
+        match &t.result {
+            Ok(f) => println!(
+                "  {:<28} caught (replay seed {}): [{}] {}",
+                t.name, f.seed, f.rule, f.detail
+            ),
+            Err(e) => {
+                clean = false;
+                println!("  {:<28} NOT caught: checker is blind — {e}", t.name);
+            }
+        }
     }
     Ok(clean)
 }

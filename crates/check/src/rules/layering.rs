@@ -21,6 +21,7 @@ use crate::diag::Diagnostic;
 const TIERS: &[(&str, u32)] = &[
     ("tutel-obs", 0),
     ("tutel-rt", 0),
+    ("tutel-explore", 0),
     ("tutel-tensor", 1),
     ("tutel-simgpu", 2),
     ("tutel-comm", 3),
@@ -30,11 +31,12 @@ const TIERS: &[(&str, u32)] = &[
     ("tutel", 7),
     ("tutel-bench", 8),
     ("tutel-check", 8),
+    ("tutel-harness", 9),
 ];
 
 /// Crates at the bottom of the DAG: reachable from every layer,
 /// depending on no tutel crate themselves (not even each other).
-const BASE_CRATES: &[&str] = &["tutel-obs", "tutel-rt"];
+const BASE_CRATES: &[&str] = &["tutel-obs", "tutel-rt", "tutel-explore"];
 
 fn tier(name: &str) -> Option<u32> {
     TIERS.iter().find(|(n, _)| *n == name).map(|&(_, t)| t)

@@ -13,6 +13,7 @@ mod no_panic;
 mod shim_hygiene;
 mod test_determinism;
 mod traced_collective;
+mod unsafe_audit;
 
 pub use hot_alloc::HotAlloc;
 pub use layout_doc::LayoutDoc;
@@ -21,6 +22,7 @@ pub use no_panic::NoPanic;
 pub use shim_hygiene::ShimHygiene;
 pub use test_determinism::TestDeterminism;
 pub use traced_collective::TracedCollective;
+pub use unsafe_audit::UnsafeAudit;
 
 /// The library crates whose non-test code must hold the strict
 /// contracts (`no_panic`, `layout_doc`): everything on the
@@ -53,6 +55,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(LayoutDoc),
         Box::new(ShimHygiene),
         Box::new(TestDeterminism),
+        Box::new(UnsafeAudit),
     ]
 }
 
@@ -60,10 +63,12 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
 /// trees (`tests/` at the root and per crate) are scanned with this
 /// reduced set: the strict data-path contracts (`no_panic`,
 /// `layout_doc`, …) deliberately exempt test code, while
-/// `test_determinism` exists *for* it.
+/// `test_determinism` exists *for* it and `unsafe_audit` applies
+/// everywhere — an unjustified `unsafe` is no safer in a test.
 pub fn check_test_source(file: &SourceFile) -> Vec<Diagnostic> {
     let mut sink = file.bad_allows.clone();
     TestDeterminism.check_file(file, &mut sink);
+    UnsafeAudit.check_file(file, &mut sink);
     sink.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     sink
 }

@@ -2,10 +2,13 @@
 //! scheduler-backed runtime (`feature = "check-sched"`) across a
 //! seeded family of adversarial schedules per collective, comparing
 //! every run bit-for-bit against the sequential reference and
-//! reporting any deadlock, value corruption, or message leak together
-//! with the seed that replays it.
+//! reporting any deadlock, value corruption, or message leak as an
+//! [`explore`](crate::explore) [`Finding`] carrying the seed that
+//! replays it.
 
 use std::collections::HashSet;
+
+use crate::explore::Finding;
 
 use tutel_comm::runtime::Communicator;
 use tutel_comm::sched::run_sched;
@@ -34,14 +37,6 @@ impl Default for SweepConfig {
     }
 }
 
-/// One detected schedule failure, replayable via its seed.
-#[derive(Debug, Clone)]
-pub struct Failure {
-    pub seed: u64,
-    pub kind: &'static str,
-    pub detail: String,
-}
-
 /// Sweep outcome for one collective.
 #[derive(Debug)]
 pub struct CollectiveSweep {
@@ -50,7 +45,9 @@ pub struct CollectiveSweep {
     pub schedules: u64,
     /// Distinct schedule signatures observed.
     pub distinct: usize,
-    pub failures: Vec<Failure>,
+    /// Schedule failures as framework findings (`rule` in
+    /// {deadlock, mailbox-leak, message-leak, rank-error, corruption}).
+    pub failures: Vec<Finding>,
 }
 
 impl CollectiveSweep {
@@ -76,45 +73,41 @@ fn judge(
     results: &[Result<Vec<f32>, CommError>],
     report: &tutel_comm::sched::SchedReport,
     expect: &RankBuffers,
-    failures: &mut Vec<Failure>,
+    failures: &mut Vec<Finding>,
 ) {
     if let Some(detail) = &report.deadlock {
-        failures.push(Failure {
-            seed,
-            kind: "deadlock",
-            detail: format!("{name}: {detail}"),
-        });
+        failures.push(Finding::new("deadlock", seed, format!("{name}: {detail}")));
         return;
     }
     for (rank, leaked) in &report.mailbox_leaks {
-        failures.push(Failure {
+        failures.push(Finding::new(
+            "mailbox-leak",
             seed,
-            kind: "mailbox-leak",
-            detail: format!("{name}: rank {rank} ended with {leaked} parked message(s)"),
-        });
+            format!("{name}: rank {rank} ended with {leaked} parked message(s)"),
+        ));
     }
     if report.undelivered > 0 {
-        failures.push(Failure {
+        failures.push(Finding::new(
+            "message-leak",
             seed,
-            kind: "message-leak",
-            detail: format!("{name}: {} message(s) never delivered", report.undelivered),
-        });
+            format!("{name}: {} message(s) never delivered", report.undelivered),
+        ));
     }
     for (rank, res) in results.iter().enumerate() {
         match res {
-            Err(e) => failures.push(Failure {
+            Err(e) => failures.push(Finding::new(
+                "rank-error",
                 seed,
-                kind: "rank-error",
-                detail: format!("{name}: rank {rank}: {e}"),
-            }),
-            Ok(got) if *got != expect[rank] => failures.push(Failure {
+                format!("{name}: rank {rank}: {e}"),
+            )),
+            Ok(got) if *got != expect[rank] => failures.push(Finding::new(
+                "corruption",
                 seed,
-                kind: "corruption",
-                detail: format!(
+                format!(
                     "{name}: rank {rank} result diverged from the sequential reference \
                      (tag-collision style mixing)"
                 ),
-            }),
+            )),
             Ok(_) => {}
         }
     }
@@ -265,7 +258,7 @@ pub fn broken_tag_selftest(cfg: &SweepConfig) -> CollectiveSweep {
 
 /// Replays a single seed of the broken-tag program and reports
 /// whether it failed — used to confirm a reported seed reproduces.
-pub fn broken_tag_replay(cfg: &SweepConfig, seed: u64) -> Vec<Failure> {
+pub fn broken_tag_replay(cfg: &SweepConfig, seed: u64) -> Vec<Finding> {
     let topo = Topology::new(cfg.nnodes, cfg.gpus_per_node);
     let n = topo.world_size();
     let round1 = labeled(n, cfg.chunk, 4);
@@ -337,12 +330,12 @@ mod tests {
         let corruption = sweep
             .failures
             .iter()
-            .find(|f| f.kind == "corruption")
+            .find(|f| f.rule == "corruption")
             .expect("tag collision should surface as corruption");
         // The reported seed must reproduce deterministically.
         let replay = broken_tag_replay(&small(), corruption.seed);
         assert!(
-            replay.iter().any(|f| f.kind == "corruption"),
+            replay.iter().any(|f| f.rule == "corruption"),
             "seed {} did not replay the corruption",
             corruption.seed
         );

@@ -28,11 +28,20 @@
 //! (never by racy insertion order), and the PRNG is consumed exactly
 //! once per delivery — so the choice sequence, and therefore the whole
 //! execution, is a function of `(topology, program, seed)` alone.
+//!
+//! The seeded choice point ([`Chooser`]) and the FNV schedule
+//! signature ([`SigHash`]) come from the shared `check::explore`
+//! framework (`tutel-explore`), which `check::race` uses identically
+//! for steal-order exploration — one seed convention, one replay
+//! story, one signature format across both checkers. The chooser is
+//! bit-compatible with this module's pre-framework PRNG, so all
+//! historical schedule signatures are preserved.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
+use tutel_explore::{Chooser, SigHash};
 use tutel_simgpu::Topology;
 
 use crate::error::CommError;
@@ -43,24 +52,6 @@ use crate::runtime::Communicator;
 /// accounting. Only reached if the bookkeeping itself is buggy; the
 /// normal deadlock path is detected synchronously.
 const WATCHDOG: Duration = Duration::from_secs(5);
-
-/// SplitMix64 step: the scheduler's whole entropy source.
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
-/// FNV-1a fold of one delivery choice into the schedule signature.
-fn sig_mix(sig: u64, src: usize, dst: usize, tag: u64, seq: u64) -> u64 {
-    let mut h = sig;
-    for v in [src as u64, dst as u64, tag, seq] {
-        h = (h ^ v).wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
 
 /// A buffered (not yet delivered) point-to-point message.
 struct Pending {
@@ -92,14 +83,14 @@ enum Wait {
 }
 
 struct SchedState {
-    rng: u64,
+    rng: Chooser,
     pending: Vec<Pending>,
     /// Delivered messages awaiting consumption: `(src, tag, payload)`.
     inboxes: Vec<VecDeque<(usize, u64, Vec<f32>)>>,
     waiting: Vec<Wait>,
     /// `send_seq[src][dst]`: next per-pair sequence number.
     send_seq: Vec<Vec<u64>>,
-    signature: u64,
+    signature: SigHash,
     deliveries: u64,
     deadlock: Option<String>,
     injected_drops: u64,
@@ -146,19 +137,16 @@ pub struct SchedNet {
 
 impl SchedNet {
     fn new(world: usize, seed: u64, plan: Option<FaultPlan>) -> Self {
-        // Mix the seed once so seed 0 still produces a lively stream.
-        let mut rng = seed ^ 0x5DEECE66D;
-        splitmix64(&mut rng);
         SchedNet {
             seed,
             plan,
             state: Mutex::new(SchedState {
-                rng,
+                rng: Chooser::new(seed),
                 pending: Vec::new(),
                 inboxes: vec![VecDeque::new(); world],
                 waiting: vec![Wait::Running; world],
                 send_seq: vec![vec![0; world]; world],
-                signature: 0xcbf2_9ce4_8422_2325,
+                signature: SigHash::new(),
                 deliveries: 0,
                 deadlock: None,
                 injected_drops: 0,
@@ -233,7 +221,7 @@ impl SchedNet {
                 let p = &st.pending[i];
                 (p.src, p.dst, p.tag, p.seq)
             });
-            let pick = candidates[(splitmix64(&mut st.rng) as usize) % candidates.len()];
+            let pick = candidates[st.rng.choose(candidates.len())];
             let msg = st.pending.remove(pick);
             if !msg.faulted {
                 if let Some(plan) = &self.plan {
@@ -270,7 +258,8 @@ impl SchedNet {
                     }
                 }
             }
-            st.signature = sig_mix(st.signature, msg.src, msg.dst, msg.tag, msg.seq);
+            st.signature
+                .mix_many(&[msg.src as u64, msg.dst as u64, msg.tag, msg.seq]);
             st.deliveries += 1;
             let woke_receiver = st.waiting[msg.dst] == Wait::Recv;
             st.inboxes[msg.dst].push_back((msg.src, msg.tag, msg.payload));
@@ -510,7 +499,7 @@ where
     let st = net.lock();
     let report = SchedReport {
         seed,
-        signature: st.signature,
+        signature: st.signature.value(),
         deliveries: st.deliveries,
         deadlock: st.deadlock.clone(),
         undelivered: st.pending.len(),

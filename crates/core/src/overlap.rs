@@ -156,11 +156,19 @@ where
         dispatch_issued.push(started);
         tracer.instant(TRACK_STREAM_COMM, "dispatch.issue");
         disp.push(Some(issue(comm, algo, &dispatch_chunks[0])?));
+        // Structural order markers for the race sweep: the issue /
+        // drain order of both streams is part of the determinism
+        // contract, so the checker folds it into the per-seed
+        // structure signature.
+        #[cfg(feature = "check-race")]
+        tutel_rt::chk::order_mark("overlap.dispatch", 0);
         for i in 0..d {
             if i + 1 < d {
                 dispatch_issued.push(Instant::now());
                 tracer.instant(TRACK_STREAM_COMM, "dispatch.issue");
                 disp.push(Some(issue(comm, algo, &dispatch_chunks[i + 1])?));
+                #[cfg(feature = "check-race")]
+                tutel_rt::chk::order_mark("overlap.dispatch", (i + 1) as u64);
             }
             // disp[i] is issued above before ever being drained, so
             // the take always yields; the fallback only quiets the
@@ -216,6 +224,8 @@ where
             combine_issued.push(Instant::now());
             tracer.instant(TRACK_STREAM_COMM, "combine.issue");
             comb.push(Some(issue(comm, algo, &y)?));
+            #[cfg(feature = "check-race")]
+            tutel_rt::chk::order_mark("overlap.combine", i as u64);
             arena().put(y);
             // Opportunistic progress on earlier combines while the
             // next chunk's dispatch is still in flight.
@@ -229,6 +239,8 @@ where
             if let Some(handle) = slot.take() {
                 let drain_t0 = tracer.now_us();
                 combined.push(drain(handle, comm)?);
+                #[cfg(feature = "check-race")]
+                tutel_rt::chk::order_mark("overlap.combine_drain", idx as u64);
                 tracer.span_at_args(
                     TRACK_STREAM_COMM,
                     "combine.drain",

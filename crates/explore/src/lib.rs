@@ -1,0 +1,380 @@
+//! `tutel-explore`: the shared schedule-exploration framework under
+//! every dynamic checker in the workspace.
+//!
+//! Both `comm::sched` (the deterministic message scheduler from the
+//! concurrency checker) and `check::race` (the happens-before race /
+//! arena-aliasing checker) explore interleavings the same way, and
+//! this crate is the single implementation of that contract:
+//!
+//! 1. **Seeded choice points** ([`Chooser`]): every nondeterministic
+//!    decision — which eligible message to deliver, which region a
+//!    simulated pool participant steals from — draws from one
+//!    SplitMix64 stream derived from the sweep seed. Candidates are
+//!    canonically ordered by the caller before the draw, so a seed
+//!    names exactly one schedule.
+//! 2. **Schedule signatures** ([`SigHash`]): an order-sensitive
+//!    FNV-1a fold of the choices taken. Equal signatures ⇒ the same
+//!    schedule executed; sweeps count distinct signatures to prove
+//!    they actually explored.
+//! 3. **Replayable-by-seed diagnostics** ([`Finding`]): every defect
+//!    carries the seed that exposes it, so `--sched --seeds N` /
+//!    `--race --seeds N` failures paste back into a single-seed
+//!    replay.
+//! 4. **Structural determinism** ([`sweep_seeds`]): per-seed
+//!    *structure* signatures (chunk grids, reduction order marks,
+//!    output bits) must be identical across the sweep — the
+//!    determinism contract asserted structurally, not just
+//!    observed-equal. Divergence yields a `schedule_dependent`
+//!    finding naming two seeds that disagree.
+//!
+//! The happens-before side lives in [`vclock`]: a trailing-zero
+//! normalized vector clock with the usual join/partial-order algebra
+//! (property-tested in `tests/proptests.rs`).
+//!
+//! The crate is std-only and sits in the workspace base tier next to
+//! `tutel-obs` and `tutel-rt`, so `comm` can depend on it behind its
+//! `check-sched` feature without a layering cycle; `tutel-check`
+//! re-exports it as `check::explore`.
+
+pub mod vclock;
+
+pub use vclock::VClock;
+
+/// SplitMix64: the statistically-solid 64-bit mixer both checkers use
+/// for schedule choices. One `u64` of state, passes BigCrush, and —
+/// critically for replay — trivially serializable as the seed itself.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives an independent sub-stream seed from a sweep seed and a
+/// caller-chosen salt (rank, chunk index, …), so per-rank or
+/// per-chunk [`Chooser`]s explore independently while remaining a
+/// pure function of the sweep seed.
+pub fn derive_seed(seed: u64, salt: u64) -> u64 {
+    let mut s = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    splitmix64(&mut s)
+}
+
+/// A seeded choice point: the scheduler's source of controlled
+/// nondeterminism.
+///
+/// Seeding XORs in the classic LCG constant and discards one draw so
+/// that small consecutive seeds (0, 1, 2, … — what sweeps use) still
+/// land in well-separated parts of the stream. This is bit-identical
+/// to the PRNG the pre-framework `comm::sched` used, so migrating
+/// onto [`Chooser`] preserved every historical schedule signature.
+#[derive(Debug, Clone)]
+pub struct Chooser {
+    state: u64,
+    draws: u64,
+}
+
+impl Chooser {
+    /// A chooser for one schedule, named by `seed`.
+    pub fn new(seed: u64) -> Chooser {
+        let mut state = seed ^ 0x5DEECE66D;
+        splitmix64(&mut state);
+        Chooser { state, draws: 0 }
+    }
+
+    /// Picks an index in `0..n` from canonically-ordered candidates.
+    ///
+    /// Always consumes exactly one draw when `n >= 1` — even for a
+    /// single candidate — so the draw sequence (and therefore every
+    /// downstream choice) depends only on *how many* choice points
+    /// ran, not on how constrained each one was. `n == 0` returns 0
+    /// without drawing.
+    pub fn choose(&mut self, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        self.draws += 1;
+        (splitmix64(&mut self.state) as usize) % n
+    }
+
+    /// A raw draw, for callers that need a full word (fault plans,
+    /// derived payloads).
+    pub fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
+        splitmix64(&mut self.state)
+    }
+
+    /// How many draws this chooser has consumed.
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+}
+
+/// FNV-1a offset basis: the starting value of every schedule
+/// signature.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An order-sensitive FNV-1a fold: the schedule (and structure)
+/// signature accumulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SigHash(u64);
+
+impl SigHash {
+    /// A fresh signature at the FNV offset basis.
+    pub fn new() -> SigHash {
+        SigHash(FNV_OFFSET)
+    }
+
+    /// Folds one word.
+    pub fn mix(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(FNV_PRIME);
+    }
+
+    /// Folds a sequence of words, in order.
+    pub fn mix_many(&mut self, vs: &[u64]) {
+        for &v in vs {
+            self.mix(v);
+        }
+    }
+
+    /// Folds a string byte-by-byte (labels, rule names).
+    pub fn mix_str(&mut self, s: &str) {
+        for b in s.bytes() {
+            self.mix(b as u64);
+        }
+    }
+
+    /// The folded value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for SigHash {
+    fn default() -> SigHash {
+        SigHash::new()
+    }
+}
+
+/// One defect found by a checker, replayable by seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule kind: `race`, `arena_alias`, `leak`, `deadlock`,
+    /// `schedule_dependent`, … — the `rule` half of a `file:rule`
+    /// baseline key.
+    pub rule: &'static str,
+    /// The sweep seed that exposes the defect; rerunning the same
+    /// driver with this seed reproduces it bit-for-bit.
+    pub seed: u64,
+    /// Human-readable attribution.
+    pub detail: String,
+    /// Source sites (`file:line`) involved, when the checker captured
+    /// them (arena take/put/access sites via `#[track_caller]`).
+    pub sites: Vec<String>,
+}
+
+impl Finding {
+    /// A finding with no captured source sites.
+    pub fn new(rule: &'static str, seed: u64, detail: String) -> Finding {
+        Finding {
+            rule,
+            seed,
+            detail,
+            sites: Vec::new(),
+        }
+    }
+
+    /// Attaches source sites.
+    pub fn with_sites(mut self, sites: Vec<String>) -> Finding {
+        self.sites = sites;
+        self
+    }
+
+    /// One-line rendering: `[rule] detail (replay seed N; sites …)`.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "[{}] {} (replay seed {})",
+            self.rule, self.detail, self.seed
+        );
+        if !self.sites.is_empty() {
+            s.push_str(&format!("; sites: {}", self.sites.join(", ")));
+        }
+        s
+    }
+}
+
+/// What one seed's run produced, as the sweep driver sees it.
+#[derive(Debug, Clone)]
+pub struct SeedRun {
+    /// Order-sensitive schedule signature: differs across seeds when
+    /// the sweep genuinely explores.
+    pub signature: u64,
+    /// Structural signature (chunk grids, reduction order, output
+    /// bits): must be *identical* across seeds, or the workload's
+    /// result depends on the schedule.
+    pub structure: u64,
+    /// Defects this seed exposed.
+    pub findings: Vec<Finding>,
+}
+
+/// Outcome of sweeping a driver over `0..seeds`.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// What was swept (for reports).
+    pub name: String,
+    /// Seeds executed.
+    pub schedules: u64,
+    /// Distinct schedule signatures observed.
+    pub distinct: usize,
+    /// Every finding from every seed, plus a `schedule_dependent`
+    /// finding if structure signatures diverged.
+    pub findings: Vec<Finding>,
+    /// `(structure signature, first seed exhibiting it)` in first-seen
+    /// order; more than one entry breaks the determinism contract.
+    pub structures: Vec<(u64, u64)>,
+}
+
+impl SweepOutcome {
+    /// True when the sweep found nothing.
+    pub fn passed(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// True when every seed produced the same structural signature.
+    pub fn structure_stable(&self) -> bool {
+        self.structures.len() <= 1
+    }
+}
+
+/// Sweeps `run` over seeds `0..seeds`, collecting findings, counting
+/// distinct schedules, and asserting structural determinism: if two
+/// seeds disagree on the structure signature, a `schedule_dependent`
+/// finding names both so either can be replayed.
+pub fn sweep_seeds<F>(name: &str, seeds: u64, mut run: F) -> SweepOutcome
+where
+    F: FnMut(u64) -> SeedRun,
+{
+    let mut distinct = std::collections::BTreeSet::new();
+    let mut findings = Vec::new();
+    let mut structures: Vec<(u64, u64)> = Vec::new();
+    for seed in 0..seeds {
+        let r = run(seed);
+        distinct.insert(r.signature);
+        findings.extend(r.findings);
+        if !structures.iter().any(|&(s, _)| s == r.structure) {
+            structures.push((r.structure, seed));
+        }
+    }
+    if structures.len() > 1 {
+        let (s0, seed0) = structures[0];
+        let (s1, seed1) = structures[1];
+        findings.push(Finding::new(
+            "schedule_dependent",
+            seed1,
+            format!(
+                "{name}: structural signature depends on the schedule: \
+                 seed {seed0} -> {s0:#018x} vs seed {seed1} -> {s1:#018x} \
+                 (reduction shape or chunk grid is not schedule-independent)"
+            ),
+        ));
+    }
+    SweepOutcome {
+        name: name.to_string(),
+        schedules: seeds,
+        distinct: distinct.len(),
+        findings,
+        structures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chooser_is_deterministic_and_always_draws() {
+        let mut a = Chooser::new(7);
+        let mut b = Chooser::new(7);
+        let picks_a: Vec<usize> = (1..20).map(|n| a.choose(n)).collect();
+        let picks_b: Vec<usize> = (1..20).map(|n| b.choose(n)).collect();
+        assert_eq!(picks_a, picks_b);
+        assert_eq!(a.draws(), 19);
+        // n == 1 still consumes a draw: downstream choices must not
+        // depend on how constrained earlier choice points were.
+        let mut c = Chooser::new(7);
+        let mut d = Chooser::new(7);
+        c.choose(1);
+        d.choose(5);
+        assert_eq!(c.choose(1000), d.choose(1000));
+        // n == 0 draws nothing.
+        let mut e = Chooser::new(7);
+        assert_eq!(e.choose(0), 0);
+        assert_eq!(e.draws(), 0);
+    }
+
+    #[test]
+    fn chooser_matches_the_legacy_sched_prng() {
+        // comm::sched seeded `state = seed ^ 0x5DEECE66D` and burned
+        // one draw; its pick was `splitmix64 % n`. The migration must
+        // keep every historical schedule signature.
+        let seed = 42u64;
+        let mut state = seed ^ 0x5DEECE66D;
+        splitmix64(&mut state);
+        let legacy = splitmix64(&mut state) as usize % 13;
+        assert_eq!(Chooser::new(seed).choose(13), legacy);
+    }
+
+    #[test]
+    fn sighash_matches_manual_fnv() {
+        let mut sig = SigHash::new();
+        sig.mix_many(&[1, 2, 3]);
+        let mut manual = FNV_OFFSET;
+        for v in [1u64, 2, 3] {
+            manual = (manual ^ v).wrapping_mul(FNV_PRIME);
+        }
+        assert_eq!(sig.value(), manual);
+        // Order-sensitive.
+        let mut rev = SigHash::new();
+        rev.mix_many(&[3, 2, 1]);
+        assert_ne!(sig.value(), rev.value());
+    }
+
+    #[test]
+    fn derive_seed_separates_salts() {
+        let s = 5u64;
+        assert_ne!(derive_seed(s, 0), derive_seed(s, 1));
+        assert_eq!(derive_seed(s, 3), derive_seed(s, 3));
+    }
+
+    #[test]
+    fn sweep_flags_structure_divergence_with_both_seeds() {
+        // A driver whose "structure" flips on seed parity.
+        let out = sweep_seeds("toy", 8, |seed| SeedRun {
+            signature: seed,
+            structure: seed % 2,
+            findings: Vec::new(),
+        });
+        assert_eq!(out.distinct, 8);
+        assert!(!out.structure_stable());
+        let f = out
+            .findings
+            .iter()
+            .find(|f| f.rule == "schedule_dependent")
+            .expect("divergence must be flagged");
+        assert!(f.detail.contains("seed 0"), "{}", f.detail);
+        assert!(f.detail.contains("seed 1"), "{}", f.detail);
+    }
+
+    #[test]
+    fn sweep_is_clean_on_stable_structure() {
+        let out = sweep_seeds("toy", 8, |seed| SeedRun {
+            signature: seed,
+            structure: 0xABCD,
+            findings: Vec::new(),
+        });
+        assert!(out.passed());
+        assert!(out.structure_stable());
+    }
+}

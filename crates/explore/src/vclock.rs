@@ -1,0 +1,137 @@
+//! Vector clocks: the happens-before algebra under `check::race`.
+//!
+//! A [`VClock`] maps thread slots to logical tick counts. The partial
+//! order is component-wise `<=`; two clocks with neither `a <= b` nor
+//! `b <= a` are **concurrent** — the race checker flags conflicting
+//! accesses exactly when their clocks are concurrent.
+//!
+//! Representation invariant: the tick vector never ends in a zero
+//! (trailing zeros are semantically absent slots), so the derived
+//! `Eq` coincides with order-theoretic equality and antisymmetry
+//! holds for the derived representation. `tick` and `join` preserve
+//! the invariant by construction: neither can write a zero into the
+//! last slot.
+
+/// A vector clock over dense thread slots `0..n`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VClock {
+    ticks: Vec<u64>,
+}
+
+impl VClock {
+    /// The bottom clock (no events observed).
+    pub fn new() -> VClock {
+        VClock::default()
+    }
+
+    /// The tick count observed for slot `t` (0 if absent).
+    pub fn get(&self, t: usize) -> u64 {
+        self.ticks.get(t).copied().unwrap_or(0)
+    }
+
+    /// Advances slot `t` by one local event.
+    pub fn tick(&mut self, t: usize) {
+        if self.ticks.len() <= t {
+            self.ticks.resize(t + 1, 0);
+        }
+        self.ticks[t] += 1;
+    }
+
+    /// In-place least upper bound: after the call, `self` has
+    /// observed everything either clock had (the happens-before edge
+    /// primitive: the receiver of an edge joins the sender's clock).
+    pub fn join(&mut self, other: &VClock) {
+        if self.ticks.len() < other.ticks.len() {
+            self.ticks.resize(other.ticks.len(), 0);
+        }
+        for (slot, &o) in other.ticks.iter().enumerate() {
+            if self.ticks[slot] < o {
+                self.ticks[slot] = o;
+            }
+        }
+    }
+
+    /// Functional [`join`](VClock::join), for the algebra tests.
+    pub fn joined(&self, other: &VClock) -> VClock {
+        let mut out = self.clone();
+        out.join(other);
+        out
+    }
+
+    /// Component-wise partial order: `self` happened before (or is)
+    /// `other`.
+    pub fn leq(&self, other: &VClock) -> bool {
+        self.ticks
+            .iter()
+            .enumerate()
+            .all(|(slot, &v)| v <= other.get(slot))
+    }
+
+    /// Neither ordered way: the two clocks are concurrent.
+    pub fn concurrent(&self, other: &VClock) -> bool {
+        !self.leq(other) && !other.leq(self)
+    }
+
+    /// Number of slots with a nonzero tick history.
+    pub fn dims(&self) -> usize {
+        self.ticks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vc(ticks: &[u64]) -> VClock {
+        let mut c = VClock::new();
+        for (slot, &n) in ticks.iter().enumerate() {
+            for _ in 0..n {
+                c.tick(slot);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn bottom_is_leq_everything() {
+        let b = VClock::new();
+        let c = vc(&[3, 0, 2]);
+        assert!(b.leq(&c));
+        assert!(!c.leq(&b));
+    }
+
+    #[test]
+    fn no_trailing_zeros_ever() {
+        let c = vc(&[1, 2, 3]);
+        let d = vc(&[1]);
+        let j = d.joined(&c);
+        assert_eq!(j.dims(), 3);
+        // Equality sees through slot-count differences: a clock that
+        // never observed slot 2 equals one that observed it 0 times.
+        assert_eq!(vc(&[2, 1]), vc(&[2, 1]));
+    }
+
+    #[test]
+    fn concurrent_detects_cross_increments() {
+        let a = vc(&[2, 0]);
+        let b = vc(&[0, 2]);
+        assert!(a.concurrent(&b));
+        assert!(!a.concurrent(&a));
+        let j = a.joined(&b);
+        assert!(!a.concurrent(&j));
+        assert!(!b.concurrent(&j));
+    }
+
+    #[test]
+    fn hb_edge_orders_the_receiver() {
+        // Thread 0 writes, publishes; thread 1 joins and reads.
+        let mut t0 = VClock::new();
+        t0.tick(0); // write
+        let published = t0.clone();
+        let mut t1 = VClock::new();
+        t1.tick(1);
+        assert!(published.concurrent(&t1));
+        t1.join(&published); // the edge
+        assert!(published.leq(&t1));
+    }
+}

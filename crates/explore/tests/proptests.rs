@@ -1,0 +1,97 @@
+//! Property tests for the vector-clock algebra: `join` is a
+//! semilattice operation (associative, commutative, idempotent) and
+//! `leq` is the matching partial order (reflexive, antisymmetric,
+//! transitive, with `join` as least upper bound).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tutel_explore::VClock;
+
+/// Builds a clock from raw per-slot tick counts (trailing zeros are
+/// fine: `tick` construction normalizes them away).
+fn clock(ticks: &[u64]) -> VClock {
+    let mut c = VClock::new();
+    for (slot, &n) in ticks.iter().enumerate() {
+        for _ in 0..n {
+            c.tick(slot);
+        }
+    }
+    c
+}
+
+fn any_clock() -> impl Strategy<Value = VClock> {
+    vec(0u64..5, 0..6).prop_map(|ticks| clock(&ticks))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn join_is_commutative(a in any_clock(), b in any_clock()) {
+        prop_assert_eq!(a.joined(&b), b.joined(&a));
+    }
+
+    #[test]
+    fn join_is_associative(a in any_clock(), b in any_clock(), c in any_clock()) {
+        prop_assert_eq!(a.joined(&b).joined(&c), a.joined(&b.joined(&c)));
+    }
+
+    #[test]
+    fn join_is_idempotent(a in any_clock()) {
+        prop_assert_eq!(a.joined(&a), a);
+    }
+
+    #[test]
+    fn leq_is_reflexive(a in any_clock()) {
+        prop_assert!(a.leq(&a));
+    }
+
+    #[test]
+    fn leq_is_antisymmetric(a in any_clock(), b in any_clock()) {
+        if a.leq(&b) && b.leq(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn leq_is_transitive(a in any_clock(), b in any_clock(), c in any_clock()) {
+        if a.leq(&b) && b.leq(&c) {
+            prop_assert!(a.leq(&c));
+        }
+    }
+
+    #[test]
+    fn join_is_an_upper_bound(a in any_clock(), b in any_clock()) {
+        let j = a.joined(&b);
+        prop_assert!(a.leq(&j));
+        prop_assert!(b.leq(&j));
+    }
+
+    #[test]
+    fn join_is_the_least_upper_bound(a in any_clock(), b in any_clock(), c in any_clock()) {
+        // Any common upper bound dominates the join.
+        if a.leq(&c) && b.leq(&c) {
+            prop_assert!(a.joined(&b).leq(&c));
+        }
+    }
+
+    #[test]
+    fn tick_strictly_advances(a in any_clock(), slot in 0usize..6) {
+        let mut t = a.clone();
+        t.tick(slot);
+        prop_assert!(a.leq(&t));
+        prop_assert!(!t.leq(&a));
+    }
+
+    #[test]
+    fn concurrent_is_symmetric_and_irreflexive(a in any_clock(), b in any_clock()) {
+        prop_assert_eq!(a.concurrent(&b), b.concurrent(&a));
+        prop_assert!(!a.concurrent(&a));
+    }
+
+    #[test]
+    fn get_matches_partial_order(a in any_clock(), b in any_clock()) {
+        let dominated = (0..a.dims().max(b.dims())).all(|s| a.get(s) <= b.get(s));
+        prop_assert_eq!(a.leq(&b), dominated);
+    }
+}

@@ -38,10 +38,16 @@
 //!
 //! Aux loss is compared bitwise always: it is computed rank-locally
 //! from the routing alone and no strategy knob may touch it.
+//!
+//! [`race`] additionally runs the combined overlap+pool+comm surface
+//! on real OS threads under the happens-before race checker
+//! (`tutel_check::race`), landing any finding in the telemetry audit
+//! ring as a typed anomaly.
 
 pub mod dist;
 pub mod faults;
 pub mod matrix;
+pub mod race;
 pub mod reference;
 pub mod trace;
 

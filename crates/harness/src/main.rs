@@ -19,6 +19,7 @@ use std::time::Instant;
 
 use tutel_harness::faults::{run_fault_suite, FaultReport};
 use tutel_harness::matrix::{configs, run_matrix, Mode, Verdict};
+use tutel_harness::race::run_race_surface;
 use tutel_harness::trace::{run_straggler_scenario, run_trace_smoke};
 use tutel_obs::Telemetry;
 
@@ -205,6 +206,8 @@ fn main() -> ExitCode {
         Some(prefix) => run_trace_scenarios(prefix, args.fault_seed),
     };
 
+    let race_ok = run_race_scenario(args.seed);
+
     let matrix_ok = verdicts.iter().all(|v| v.pass);
     let faults_ok = reports.iter().all(|r| r.pass);
     println!(
@@ -225,11 +228,33 @@ fn main() -> ExitCode {
         println!("wrote {path}");
     }
 
-    if matrix_ok && faults_ok && trace_ok {
+    if matrix_ok && faults_ok && trace_ok && race_ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Runs the combined-surface race scenario (real threads under the
+/// happens-before checker); prints the verdict and any finding.
+fn run_race_scenario(seed: u64) -> bool {
+    let tel = Telemetry::enabled();
+    let surface = run_race_surface(seed, &tel);
+    println!(
+        "race surface: {} events recorded, {} finding(s), outputs {} — {}",
+        surface.events,
+        surface.findings.len(),
+        if surface.outputs_match {
+            "match reference"
+        } else {
+            "DIVERGED"
+        },
+        if surface.passed() { "pass" } else { "FAIL" }
+    );
+    for f in &surface.findings {
+        println!("  {}", f.summary());
+    }
+    surface.passed()
 }
 
 /// Runs both trace scenarios under `prefix`, printing the analyzer

@@ -28,6 +28,8 @@
 //! contract (`take_raw`), so arena on/off cannot change results.
 
 use std::collections::BTreeMap;
+#[cfg(feature = "check-race")]
+use std::panic::Location;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
@@ -110,16 +112,22 @@ impl Arena {
     }
 
     /// Checks out an all-zero buffer of exactly `len` elements.
+    #[cfg_attr(feature = "check-race", track_caller)]
     pub fn take_zeroed(&self, len: usize) -> Vec<f32> {
         match self.pop(len) {
             Some(mut buf) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 buf.fill(0.0);
+                #[cfg(feature = "check-race")]
+                crate::chk::on_arena_take(buf.as_ptr() as usize, len, true, Location::caller());
                 buf
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                vec![0.0; len]
+                let buf = vec![0.0; len];
+                #[cfg(feature = "check-race")]
+                crate::chk::on_arena_take(buf.as_ptr() as usize, len, false, Location::caller());
+                buf
             }
         }
     }
@@ -128,15 +136,21 @@ impl Arena {
     /// **unspecified contents** (stale data from a previous user, or
     /// zeros if freshly allocated). The caller must overwrite every
     /// element before reading any.
+    #[cfg_attr(feature = "check-race", track_caller)]
     pub fn take_raw(&self, len: usize) -> Vec<f32> {
         match self.pop(len) {
             Some(buf) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                #[cfg(feature = "check-race")]
+                crate::chk::on_arena_take(buf.as_ptr() as usize, len, true, Location::caller());
                 buf
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                vec![0.0; len]
+                let buf = vec![0.0; len];
+                #[cfg(feature = "check-race")]
+                crate::chk::on_arena_take(buf.as_ptr() as usize, len, false, Location::caller());
+                buf
             }
         }
     }
@@ -161,7 +175,10 @@ impl Arena {
             if have >= count.min(PER_CLASS_CAP) || classes.retained_elems + len > TOTAL_CAP_ELEMS {
                 break;
             }
-            classes.by_len.entry(len).or_default().push(vec![0.0; len]);
+            let buf = vec![0.0; len];
+            #[cfg(feature = "check-race")]
+            crate::chk::on_arena_stock(buf.as_ptr() as usize, len);
+            classes.by_len.entry(len).or_default().push(buf);
             classes.retained_elems += len;
         }
     }
@@ -169,11 +186,18 @@ impl Arena {
     /// Returns a buffer to its size class for later reuse. Dropped
     /// silently if empty or if retaining it would exceed the
     /// per-class or whole-arena cap.
+    #[cfg_attr(feature = "check-race", track_caller)]
     pub fn put(&self, buf: Vec<f32>) {
         let len = buf.len();
         if len == 0 {
             return;
         }
+        // Ownership is relinquished whether the buffer is retained or
+        // evicted below; the checker is told which, because an evicted
+        // buffer's address returns to the allocator and must be
+        // forgotten rather than shadow-tracked.
+        #[cfg(feature = "check-race")]
+        let (chk_buf, chk_site) = (buf.as_ptr() as usize, Location::caller());
         let mut classes = match self.classes.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
@@ -181,18 +205,24 @@ impl Arena {
         if classes.retained_elems + len > TOTAL_CAP_ELEMS {
             drop(classes);
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            #[cfg(feature = "check-race")]
+            crate::chk::on_arena_put(chk_buf, len, false, chk_site);
             return;
         }
         let class = classes.by_len.entry(len).or_default();
         if class.len() >= PER_CLASS_CAP {
             drop(classes);
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            #[cfg(feature = "check-race")]
+            crate::chk::on_arena_put(chk_buf, len, false, chk_site);
             return;
         }
         class.push(buf);
         classes.retained_elems += len;
         drop(classes);
         self.returns.fetch_add(1, Ordering::Relaxed);
+        #[cfg(feature = "check-race")]
+        crate::chk::on_arena_put(chk_buf, len, true, chk_site);
     }
 
     /// Drops every retained buffer (counters are kept).
@@ -203,6 +233,8 @@ impl Arena {
         };
         classes.by_len.clear();
         classes.retained_elems = 0;
+        #[cfg(feature = "check-race")]
+        crate::chk::on_arena_clear();
     }
 
     /// Snapshot of the cumulative counters.

@@ -25,8 +25,16 @@
 //!
 //! The crate depends on nothing (std only) and sits below
 //! `tutel-tensor` in the workspace layering, next to `tutel-obs`.
+//!
+//! With the `check-race` feature, the [`chk`] module adds a typed
+//! event recorder (pool job lifecycle, arena ownership transfers) and
+//! a steal-order-controllable simulation of the pool's claim
+//! algorithm. `tutel-check`'s happens-before analyzer consumes the
+//! recorded events; without the feature every hook compiles out.
 
 pub mod arena;
+#[cfg(feature = "check-race")]
+pub mod chk;
 pub mod pool;
 
 pub use arena::{arena, Arena, ArenaStats};

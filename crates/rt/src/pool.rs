@@ -94,6 +94,9 @@ struct JobCore {
     completed: AtomicUsize,
     done: Mutex<bool>,
     done_cv: Condvar,
+    /// Job id in the race checker's event log.
+    #[cfg(feature = "check-race")]
+    chk_job: u64,
 }
 
 // SAFETY: `task` points at a `Sync` closure and is only dereferenced
@@ -117,6 +120,8 @@ impl JobCore {
                 if i >= end {
                     break;
                 }
+                #[cfg(feature = "check-race")]
+                crate::chk::chunk_claim(self.chk_job, i, v, offset > 0);
                 // SAFETY: the caller of `run` keeps the closure alive
                 // until every chunk completes; we are executing a
                 // not-yet-completed chunk.
@@ -125,6 +130,12 @@ impl JobCore {
                 if offset > 0 {
                     steals += 1;
                 }
+                // Recorded *before* the release-increment below, so in
+                // the log's total order every `ChunkDone` precedes the
+                // job's `JobJoin` (which follows the acquire-side
+                // wait). The analyzer relies on this.
+                #[cfg(feature = "check-race")]
+                crate::chk::chunk_done(self.chk_job, i);
                 if self.completed.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
                     let mut done = lock(&self.done);
                     *done = true;
@@ -248,9 +259,9 @@ impl Pool {
             cursors.push(AtomicUsize::new(start));
             bounds.push((start, end));
         }
-        // SAFETY of the lifetime erasure: `run` waits on `job.wait()`
-        // below before returning, so `task` outlives every
-        // dereference (see `JobCore::task` docs).
+        // SAFETY: the lifetime erasure is sound because `run` waits on
+        // `job.wait()` below before returning, so `task` outlives
+        // every dereference (see `JobCore::task` docs).
         let task_ptr: *const (dyn Fn(usize) + Sync) = task;
         let job = Arc::new(JobCore {
             task: unsafe {
@@ -265,6 +276,8 @@ impl Pool {
             completed: AtomicUsize::new(0),
             done: Mutex::new(false),
             done_cv: Condvar::new(),
+            #[cfg(feature = "check-race")]
+            chk_job: crate::chk::job_submit(total, participants),
         });
 
         {
@@ -279,6 +292,8 @@ impl Pool {
         let (ran, steals) = job.participate(0);
         IN_JOB.with(|f| f.set(false));
         job.wait();
+        #[cfg(feature = "check-race")]
+        crate::chk::job_join(job.chk_job);
 
         // Detach the job so parked workers don't re-inspect it.
         {
@@ -301,6 +316,8 @@ impl Drop for Pool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Relaxed);
         self.shared.job_cv.notify_all();
+        #[cfg(feature = "check-race")]
+        crate::chk::pool_shutdown();
     }
 }
 
@@ -524,6 +541,10 @@ pub fn parallel_ranges<T: Send>(
 /// Raw-pointer wrapper that may cross threads; disjointness is
 /// guaranteed by the caller ([`parallel_ranges`]).
 struct SendPtr<T>(*mut T);
+// SAFETY: `SendPtr` is only constructed by `parallel_ranges`, which
+// hands each chunk a pointer into ranges proven disjoint before the
+// job is submitted; no two threads ever touch the same elements, and
+// the payload itself is `T: Send`.
 unsafe impl<T: Send> Send for SendPtr<T> {}
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
