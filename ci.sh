@@ -20,9 +20,14 @@ cargo test -q
 echo "==> cargo test --workspace (minus tutel-bench)"
 cargo test -q --workspace --exclude tutel-bench
 
-echo "==> determinism suite at TUTEL_THREADS=1 and =4"
-TUTEL_THREADS=1 cargo test -q --test determinism
-TUTEL_THREADS=4 cargo test -q --test determinism
+echo "==> determinism suite: TUTEL_SIMD={0,1} x TUTEL_THREADS={1,4}"
+# The kernel-table axis crossed with the pool axis: every cell of the
+# sweep must be bit-identical to every other (the suite pins the
+# in-process override path; these four runs pin the env-var path).
+TUTEL_SIMD=0 TUTEL_THREADS=1 cargo test -q --test determinism
+TUTEL_SIMD=0 TUTEL_THREADS=4 cargo test -q --test determinism
+TUTEL_SIMD=1 TUTEL_THREADS=1 cargo test -q --test determinism
+TUTEL_SIMD=1 TUTEL_THREADS=4 cargo test -q --test determinism
 
 echo "==> executed-overlap determinism sweep at TUTEL_THREADS=1 and =4"
 TUTEL_THREADS=1 cargo test -q --test overlap
@@ -33,6 +38,10 @@ cargo bench -q -p tutel-bench --bench compute_runtime -- --warm-up-time 1 --meas
 
 echo "==> pipeline_overlap bench smoke (executed degree sweep, incl. d1/d4)"
 cargo bench -q -p tutel-bench --bench pipeline_overlap > /dev/null
+
+echo "==> simd_precision bench smoke (scalar-vs-AVX2 + bf16 wire)"
+cargo bench -q -p tutel-bench --bench simd_precision -- \
+    --warm-up-time 1 --measurement-time 1 bf16_wire > /dev/null
 
 echo "==> trace_overhead bench smoke (disabled-telemetry fast path)"
 cargo bench -q -p tutel-bench --bench trace_overhead -- \

@@ -1,0 +1,129 @@
+//! SIMD and reduced-precision benches: the same kernels under the
+//! scalar vs AVX2 dispatch tables (bit-identical outputs, different
+//! wall clock), bf16 pack/unpack throughput, and f32 vs bf16-storage
+//! expert compute (expected parity — storage halves *bytes*, while
+//! arithmetic stays f32).
+//!
+//! The scalar/simd pairs price the tentpole directly: both sides run
+//! in one process via `dispatch::with_simd_mode`, so the comparison
+//! sees identical allocator/cache state. The per-iteration override
+//! cost (one mutex + two atomic stores) is noise at these kernel
+//! sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tutel::{MoeConfig, MoeLayer};
+use tutel_experts::{ExpertsBlock, ShardedExpertParams};
+use tutel_tensor::{dispatch, Precision, Rng};
+
+fn bench_gemm_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simd_gemm");
+    for &(rows, mv) in &[(64usize, 256usize), (256, 256)] {
+        let mut rng = Rng::seed(rows as u64);
+        let x = rng.normal_tensor(&[rows, mv], 0.0, 1.0);
+        let w = rng.normal_tensor(&[mv, mv], 0.0, 1.0);
+        let id = format!("{rows}x{mv}x{mv}");
+        group.bench_with_input(BenchmarkId::new("scalar", &id), &rows, |b, _| {
+            b.iter(|| dispatch::with_simd_mode(Some(false), || x.matmul(&w).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("simd", &id), &rows, |b, _| {
+            b.iter(|| dispatch::with_simd_mode(Some(true), || x.matmul(&w).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_train_step_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simd_train_step");
+    // The (32, 64) config matches the historical moe_layer bench (its
+    // steps are gate/dispatch-bound at CPU scale); (128, 256) is the
+    // GEMM-dominated regime where the expert FFN carries the step.
+    for &(model_dim, hidden, tokens) in
+        &[(32usize, 64usize, 64usize), (32, 64, 256), (128, 256, 256)]
+    {
+        let cfg = MoeConfig::new(model_dim, hidden, 8).with_top_k(2);
+        let mut rng = Rng::seed(1);
+        let mut layer = MoeLayer::new(&cfg, &mut rng).unwrap();
+        let x = rng.normal_tensor(&[tokens, model_dim], 0.0, 1.0);
+        let id = format!("m{model_dim}v{hidden}t{tokens}");
+        let mut step = |simd: bool| {
+            dispatch::with_simd_mode(Some(simd), || {
+                let out = layer.forward(&x).unwrap();
+                let dx = layer.backward(&out.output).unwrap();
+                layer.step(0.0);
+                dx
+            })
+        };
+        group.bench_with_input(BenchmarkId::new("scalar", &id), &tokens, |b, _| {
+            b.iter(|| step(false))
+        });
+        group.bench_with_input(BenchmarkId::new("simd", &id), &tokens, |b, _| {
+            b.iter(|| step(true))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bf16_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bf16_wire");
+    let n = 1 << 20;
+    let mut rng = Rng::seed(9);
+    let src = rng.normal_tensor(&[n], 0.0, 1.0);
+    let mut packed = vec![0u16; n];
+    let mut out = vec![0.0f32; n];
+    for &(label, simd) in &[("scalar", false), ("simd", true)] {
+        group.bench_with_input(BenchmarkId::new("pack_1m", label), &n, |b, _| {
+            b.iter(|| {
+                dispatch::with_simd_mode(Some(simd), || {
+                    dispatch::bf16_pack_slice(src.as_slice(), &mut packed)
+                })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("unpack_1m", label), &n, |b, _| {
+            b.iter(|| {
+                dispatch::with_simd_mode(Some(simd), || {
+                    dispatch::bf16_unpack_slice(&packed, &mut out)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bf16_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bf16_storage");
+    let (e, m, v) = (8usize, 64, 128);
+    let mut rng = Rng::seed(11);
+    let mut f32_block = ExpertsBlock::new(e, m, v, &mut rng);
+    let (w1, b1, w2, b2) = f32_block.weights();
+    let mut bf16_block = ExpertsBlock::from_weights(w1.clone(), b1.clone(), w2.clone(), b2.clone())
+        .unwrap()
+        .with_storage_precision(Precision::Bf16);
+    let x = rng.normal_tensor(&[e, 32, m], 0.0, 1.0);
+    group.bench_function("forward/f32", |b| b.iter(|| f32_block.forward(&x).unwrap()));
+    group.bench_function("forward/bf16", |b| {
+        b.iter(|| bf16_block.forward(&x).unwrap())
+    });
+    group.finish();
+
+    // Not a timing: the byte counts the precision mode moves on the
+    // wire for the P2 parameter all-gather, printed for the benchmark
+    // record.
+    let shards = 2;
+    let wire = |block: &ExpertsBlock| {
+        let params = ShardedExpertParams::from_block(block, shards).unwrap();
+        params.shard_bytes() * (params.shards() as u64 - 1)
+    };
+    println!(
+        "bf16_wire_bytes: params all-gather per rank (E{e} M{m} V{v}, {shards} shards): \
+         f32 {} B, bf16 {} B",
+        wire(&f32_block),
+        wire(&bf16_block)
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gemm_modes, bench_train_step_modes, bench_bf16_wire, bench_bf16_storage
+}
+criterion_main!(benches);

@@ -38,6 +38,7 @@ pub fn fig3() -> Table {
                 capacity_factor: f,
                 model_dim: 2048,
                 hidden_dim: 16384,
+                weight_precision: tutel_tensor::Precision::F32,
             };
             // Throughput ratio P2/P1 = time(P1)/time(P2).
             let ratio = r.cost_of(Parallelism::P1, &dims) / r.cost_of(Parallelism::P2, &dims);
@@ -72,6 +73,7 @@ pub fn table5a() -> Table {
             capacity_factor: f,
             model_dim: 2048,
             hidden_dim: 8192,
+            weight_precision: tutel_tensor::Precision::F32,
         };
         let p1 = r.cost_of(Parallelism::P1, &dims);
         let p2 = r.cost_of(Parallelism::P2, &dims);
@@ -166,6 +168,7 @@ pub fn table5b() -> Table {
                 capacity_factor: f,
                 model_dim: 2048,
                 hidden_dim: s.hidden,
+                weight_precision: tutel_tensor::Precision::F32,
             };
             let p1 = r.cost_of(Parallelism::P1, &dims);
             let p2 = r.cost_of(Parallelism::P2, &dims);

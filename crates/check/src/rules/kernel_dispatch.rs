@@ -1,0 +1,106 @@
+//! Rule `kernel_dispatch` (L9): CPU-feature detection and
+//! `#[target_feature]` kernels may appear **only** in the tensor
+//! crate's dispatch module (`crates/tensor/src/dispatch.rs`).
+//!
+//! The SIMD design routes every hot path through one kernel-dispatch
+//! table resolved once at startup: a `is_x86_feature_detected!` call
+//! anywhere else is either per-call detection (a performance bug — the
+//! macro is a CPUID/cache probe) or a second dispatch point that can
+//! disagree with the table's `TUTEL_SIMD` override and break the
+//! scalar-vs-SIMD bitwise contract. Likewise a stray
+//! `#[target_feature]` fn outside the dispatch module is an intrinsic
+//! kernel the differential harness does not know to cross-check.
+//!
+//! Escape hatch for genuinely novel sites:
+//! `// check:allow(kernel_dispatch, reason)`.
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+pub struct KernelDispatch;
+
+/// The one module allowed to detect CPU features and carry
+/// `#[target_feature]` kernels.
+const DISPATCH_MODULE: &str = "crates/tensor/src/dispatch.rs";
+
+impl Rule for KernelDispatch {
+    fn id(&self) -> &'static str {
+        "kernel_dispatch"
+    }
+
+    fn check_file(&self, file: &SourceFile, sink: &mut Vec<Diagnostic>) {
+        if file.rel_path == DISPATCH_MODULE {
+            return;
+        }
+        for tok in file
+            .tokens
+            .iter()
+            .filter(|t| t.is_ident("is_x86_feature_detected") || t.is_ident("target_feature"))
+        {
+            file.emit(
+                sink,
+                Diagnostic {
+                    rule: self.id(),
+                    file: file.rel_path.clone(),
+                    line: tok.line,
+                    message: format!(
+                        "CPU-feature detection/`target_feature` outside `{DISPATCH_MODULE}`: \
+                         route kernels through `tutel_tensor::dispatch::table()` so mode \
+                         selection stays single-sourced, or justify with \
+                         `// check:allow(kernel_dispatch, reason)`"
+                    ),
+                    snippet: file.snippet(tok.line),
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn run(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::parse("tutel-tensor", rel_path, src);
+        let mut sink = Vec::new();
+        KernelDispatch.check_file(&file, &mut sink);
+        sink
+    }
+
+    #[test]
+    fn flags_detection_outside_dispatch() {
+        let src = "fn f() -> bool {\n    std::arch::is_x86_feature_detected!(\"avx2\")\n}\n";
+        let d = run("crates/tensor/src/linalg.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "kernel_dispatch");
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn flags_target_feature_outside_dispatch() {
+        let src = "#[target_feature(enable = \"avx2\")]\nfn kern(x: &[f32]) {}\n";
+        let d = run("crates/kernels/src/sparse.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn dispatch_module_is_exempt() {
+        let src = "#[target_feature(enable = \"avx2\")]\nfn kern() {}\nfn d() -> bool { std::arch::is_x86_feature_detected!(\"fma\") }\n";
+        assert!(run("crates/tensor/src/dispatch.rs", src).is_empty());
+    }
+
+    #[test]
+    fn prose_and_strings_are_ignored() {
+        let src = "// target_feature is discussed in prose here\nfn f() -> &'static str {\n    \"is_x86_feature_detected\"\n}\n";
+        assert!(run("crates/rt/src/pool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn check_allow_suppresses() {
+        let src = "// check:allow(kernel_dispatch, one-off probe in a bench)\nfn f() -> bool { std::arch::is_x86_feature_detected!(\"avx2\") }\n";
+        assert!(run("crates/bench/src/main.rs", src).is_empty());
+    }
+}

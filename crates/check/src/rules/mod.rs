@@ -6,6 +6,7 @@ use crate::diag::Diagnostic;
 use crate::source::SourceFile;
 
 mod hot_alloc;
+mod kernel_dispatch;
 pub mod layering;
 mod layout_doc;
 mod no_block_in_overlap;
@@ -16,6 +17,7 @@ mod traced_collective;
 mod unsafe_audit;
 
 pub use hot_alloc::HotAlloc;
+pub use kernel_dispatch::KernelDispatch;
 pub use layout_doc::LayoutDoc;
 pub use no_block_in_overlap::NoBlockInOverlap;
 pub use no_panic::NoPanic;
@@ -56,6 +58,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(ShimHygiene),
         Box::new(TestDeterminism),
         Box::new(UnsafeAudit),
+        Box::new(KernelDispatch),
     ]
 }
 

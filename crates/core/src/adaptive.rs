@@ -259,6 +259,7 @@ impl MoeLayerSimulator {
             capacity_factor: dims.capacity_factor,
             model_dim: dims.model_dim,
             hidden_dim: dims.hidden_dim,
+            weight_precision: tutel_tensor::Precision::F32,
         };
         if moe_dims.shards() <= 1 {
             return base;
@@ -298,6 +299,7 @@ impl MoeLayerSimulator {
             capacity_factor: dims.capacity_factor,
             model_dim: dims.model_dim,
             hidden_dim: dims.hidden_dim,
+            weight_precision: tutel_tensor::Precision::F32,
         };
         let router = InlineParallelismRouter::new(self.timing);
         let worst = router

@@ -115,6 +115,16 @@ pub struct PipelineTimeModel {
     /// 2.3). Disable for the ablation that shows how an
     /// interference-blind search over-pipelines.
     pub interference: bool,
+    /// Multiplier on expert GEMM time (1.0 = calibration baseline).
+    /// SIMD microkernels shrink compute without touching the wire, so
+    /// a `< 1` scale shifts every comm/compute tradeoff the search
+    /// prices — overlap degree and All-to-All algorithm included.
+    pub compute_scale: f64,
+    /// Weight storage precision in effect, carried into every audit
+    /// record this model emits. Expert GEMMs accumulate in `f32`
+    /// regardless, so this does not change modeled compute time; it
+    /// documents which price book the decision belongs to.
+    pub precision: tutel_tensor::Precision,
 }
 
 impl PipelineTimeModel {
@@ -125,7 +135,31 @@ impl PipelineTimeModel {
             sparse_kernels: true,
             flexible_layout: true,
             interference: true,
+            compute_scale: 1.0,
+            precision: tutel_tensor::Precision::F32,
         }
+    }
+
+    /// Sets the expert-compute scale (e.g. a measured SIMD speedup of
+    /// 2× → `0.5`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive and finite.
+    pub fn with_compute_scale(mut self, scale: f64) -> Self {
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "compute scale must be positive and finite"
+        );
+        self.compute_scale = scale;
+        self
+    }
+
+    /// Tags the model (and its audit records) with a weight storage
+    /// precision.
+    pub fn with_precision(mut self, precision: tutel_tensor::Precision) -> Self {
+        self.precision = precision;
+        self
     }
 
     /// The collective pricer in use.
@@ -202,7 +236,7 @@ impl PipelineTimeModel {
             (world * de, (chunk_rows / (world * de)).max(1))
         };
         let gpu = self.timing.world().gpu();
-        gpu.gemm_time(batch, rows, m, v) + gpu.gemm_time(batch, rows, v, m)
+        (gpu.gemm_time(batch, rows, m, v) + gpu.gemm_time(batch, rows, v, m)) * self.compute_scale
     }
 
     /// The strategy with the lowest modeled time — the "oracle" the
@@ -243,6 +277,7 @@ impl PipelineTimeModel {
             predicted_s: Some(best_t),
             measured_s: None,
             cause: None,
+            precision: Some(self.precision.label().to_string()),
             step: None,
         });
         (best, best_t)
@@ -536,6 +571,7 @@ impl OnlineStrategySearch {
                 predicted_s,
                 measured_s: None,
                 cause: None,
+                precision: None,
                 step: None,
             });
         }
@@ -787,6 +823,7 @@ impl MeasuredStrategySearch {
                 predicted_s: Some(predicted),
                 measured_s,
                 cause: self.pending_cause.take(),
+                precision: Some(self.model.precision.label().to_string()),
                 step: None,
             });
         }
@@ -1004,6 +1041,51 @@ mod tests {
             .two_dh_msccl_time(&dims, 2, Protocol::Simple)
             .min(m.two_dh_msccl_time(&dims, 2, Protocol::Ll128));
         assert!(msccl < nccl);
+    }
+
+    #[test]
+    fn compute_scale_reprices_the_strategy_search() {
+        // SIMD-accelerated experts shrink compute relative to comm;
+        // the modeled optimum must move for some workload in the
+        // Figure 22/23 family (typically to a lower overlap degree —
+        // there is less compute left to hide the All-to-All behind).
+        let base = model(64);
+        let fast = model(64).with_compute_scale(0.25);
+        let mut flipped = None;
+        'outer: for tokens in [256usize, 1024, 4096, 16384, 65536] {
+            for hidden in [1024usize, 2048, 4096, 8192] {
+                let dims = LayerDims {
+                    tokens,
+                    model_dim: 2048,
+                    hidden_dim: hidden,
+                    local_experts: 2,
+                    k: 2,
+                    capacity_factor: 1.0,
+                };
+                let (b, _) = base.best_strategy(&dims);
+                let (f, _) = fast.best_strategy(&dims);
+                if b != f {
+                    flipped = Some((dims, b, f));
+                    break 'outer;
+                }
+            }
+        }
+        let (dims, slow_best, fast_best) =
+            flipped.expect("4x faster compute must re-rank some strategy");
+        assert_ne!(slow_best, fast_best);
+        // Sanity: the scaled model still prices the scaled winner best.
+        let (again, _) = fast.best_strategy(&dims);
+        assert_eq!(again, fast_best);
+    }
+
+    #[test]
+    fn pipeline_decision_records_carry_precision() {
+        let m = model(64).with_precision(tutel_tensor::Precision::Bf16);
+        let tel = tutel_obs::Telemetry::enabled();
+        let _ = m.best_strategy_observed(&figure22_dims(), &tel);
+        let decisions = tel.decisions();
+        assert_eq!(decisions.len(), 1);
+        assert_eq!(decisions[0].precision.as_deref(), Some("bf16"));
     }
 
     // --- Algorithm 2 ---

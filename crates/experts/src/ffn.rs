@@ -2,8 +2,8 @@
 
 use tutel_obs::Telemetry;
 use tutel_tensor::{
-    gelu_backward_with_tanh, gelu_slice_with_tanh, gemm_nt, gemm_tn, scratch, Rng, Tensor,
-    TensorError,
+    gelu_backward_with_tanh, gelu_slice_with_tanh, gemm_nt, gemm_tn, quantize_in_place, scratch,
+    Precision, Rng, Tensor, TensorError,
 };
 
 /// A batch of `ΔE` expert FFNs: for each local expert `e`,
@@ -47,6 +47,13 @@ pub struct ExpertsBlock {
     /// pre-activation `h_pre`, the GELU output `h`, and the `tanh`
     /// intermediate — so backward never re-evaluates `tanh`.
     saved: Option<(Tensor, Tensor, Tensor, Tensor)>,
+    /// Weight *storage* format. Under [`Precision::Bf16`] the weights
+    /// are kept rounded to the bf16-representable set at every rest
+    /// point (construction, checkpoint restore, after each optimizer
+    /// step) so they can cross the wire as 2-byte values losslessly;
+    /// all arithmetic — GEMMs, gradients, the SGD update — still
+    /// accumulates in `f32`.
+    storage: Precision,
     /// Telemetry sink; disabled by default.
     obs: Telemetry,
 }
@@ -70,8 +77,43 @@ impl ExpertsBlock {
             dw2: Tensor::zeros(&[local_experts, hidden_dim, model_dim]),
             db2: Tensor::zeros(&[local_experts, model_dim]),
             saved: None,
+            storage: Precision::F32,
             obs: Telemetry::disabled(),
         }
+    }
+
+    /// Switches the weight storage format, immediately rounding the
+    /// current weights to it. `f32` accumulation is unaffected; only
+    /// where the parameters *live* (and how many bytes they cost to
+    /// move) changes.
+    pub fn with_storage_precision(mut self, precision: Precision) -> Self {
+        self.storage = precision;
+        self.round_weights_to_storage();
+        self
+    }
+
+    /// The weight storage format.
+    pub fn storage_precision(&self) -> Precision {
+        self.storage
+    }
+
+    /// Bytes the parameters occupy in storage (and on the wire for
+    /// parameter collectives) — half the `f32` figure under bf16.
+    pub fn weight_bytes(&self) -> u64 {
+        (self.num_params() * self.storage.storage_bytes()) as u64
+    }
+
+    /// Re-rounds all four parameter tensors to the storage format
+    /// (no-op for `f32`). Called at every rest point so the invariant
+    /// "stored weights are representable in `storage`" always holds.
+    fn round_weights_to_storage(&mut self) {
+        if self.storage == Precision::F32 {
+            return;
+        }
+        quantize_in_place(self.w1.as_mut_slice(), self.storage);
+        quantize_in_place(self.b1.as_mut_slice(), self.storage);
+        quantize_in_place(self.w2.as_mut_slice(), self.storage);
+        quantize_in_place(self.b2.as_mut_slice(), self.storage);
     }
 
     /// Routes this block's spans and FLOP counters into `tel`.
@@ -119,6 +161,7 @@ impl ExpertsBlock {
             w2,
             b2,
             saved: None,
+            storage: Precision::F32,
             obs: Telemetry::disabled(),
         })
     }
@@ -175,6 +218,7 @@ impl ExpertsBlock {
         self.b1 = b1;
         self.w2 = w2;
         self.b2 = b2;
+        self.round_weights_to_storage();
         self.saved = None;
         Ok(())
     }
@@ -353,6 +397,9 @@ impl ExpertsBlock {
         self.w2.axpy(-lr, &self.dw2).expect("shape");
         // check:allow(no_panic, gradients are allocated with the weights' dims at construction)
         self.b2.axpy(-lr, &self.db2).expect("shape");
+        // The update itself ran in f32; park the result back on the
+        // storage grid (no-op for f32 storage).
+        self.round_weights_to_storage();
         self.zero_grad();
     }
 
@@ -506,5 +553,66 @@ mod tests {
         let mut rng = Rng::seed(7);
         let ex = ExpertsBlock::new(2, 3, 5, &mut rng);
         assert_eq!(ex.num_params(), 2 * (3 * 5 + 5 + 5 * 3 + 3));
+    }
+
+    #[test]
+    fn bf16_storage_halves_weight_bytes_and_stays_on_grid() {
+        let mut rng = Rng::seed(8);
+        let f32_block = ExpertsBlock::new(2, 4, 8, &mut rng);
+        let f32_bytes = f32_block.weight_bytes();
+        let ex = f32_block.with_storage_precision(Precision::Bf16);
+        assert_eq!(ex.weight_bytes() * 2, f32_bytes);
+        let on_grid = |t: &Tensor| {
+            t.as_slice()
+                .iter()
+                .all(|&v| Precision::Bf16.round(v).to_bits() == v.to_bits())
+        };
+        let (w1, b1, w2, b2) = ex.weights();
+        assert!(on_grid(w1) && on_grid(b1) && on_grid(w2) && on_grid(b2));
+    }
+
+    #[test]
+    fn bf16_storage_stays_on_grid_after_steps_and_still_learns() {
+        let mut rng = Rng::seed(9);
+        let mut ex = ExpertsBlock::new(2, 4, 8, &mut rng).with_storage_precision(Precision::Bf16);
+        let x = rng.normal_tensor(&[2, 6, 4], 0.0, 1.0);
+        let target = rng.normal_tensor(&[2, 6, 4], 0.0, 1.0);
+        let mut initial = None;
+        for _ in 0..50 {
+            let y = ex.forward(&x).unwrap();
+            let diff = y.sub(&target).unwrap();
+            initial.get_or_insert(0.5 * diff.sq_norm());
+            ex.backward(&diff).unwrap();
+            ex.step(0.01);
+            // The rest-point invariant: every stored weight is bf16-
+            // representable after every optimizer step.
+            let (w1, _, w2, _) = ex.weights();
+            for &v in w1.as_slice().iter().chain(w2.as_slice()) {
+                assert_eq!(Precision::Bf16.round(v).to_bits(), v.to_bits());
+            }
+        }
+        let y = ex.infer(&x).unwrap();
+        let final_loss = 0.5 * y.sub(&target).unwrap().sq_norm();
+        let initial = initial.unwrap();
+        assert!(
+            final_loss < 0.7 * initial,
+            "bf16 storage must still descend: {initial} → {final_loss}"
+        );
+    }
+
+    #[test]
+    fn bf16_output_stays_within_format_error_of_f32() {
+        let mut rng = Rng::seed(10);
+        let f32_block = ExpertsBlock::new(2, 8, 16, &mut rng);
+        let bf16_block = f32_block.clone().with_storage_precision(Precision::Bf16);
+        let x = rng.normal_tensor(&[2, 5, 8], 0.0, 1.0);
+        let yf = f32_block.infer(&x).unwrap();
+        let yb = bf16_block.infer(&x).unwrap();
+        // bf16 keeps 8 mantissa bits → ~2^-8 relative weight error;
+        // the two-GEMM chain roughly doubles it. Scale-aware budget.
+        for (a, b) in yf.as_slice().iter().zip(yb.as_slice()) {
+            let scale = a.abs().max(1.0);
+            assert!((a - b).abs() / scale < 0.05, "f32 {a} vs bf16 {b}");
+        }
     }
 }

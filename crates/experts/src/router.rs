@@ -10,6 +10,7 @@
 
 use tutel_comm::CollectiveTiming;
 use tutel_simgpu::{Protocol, Seconds};
+use tutel_tensor::Precision;
 
 /// Which switchable parallelism executes the expert.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -46,6 +47,11 @@ pub struct MoeDims {
     pub model_dim: usize,
     /// Expert hidden dimension `V`.
     pub hidden_dim: usize,
+    /// Storage format of the expert weights. Token activations stay
+    /// `f32` on the wire, but P1's parameter all-gather moves weight
+    /// bytes — bf16 storage halves them and so shifts the P1/P2
+    /// crossover.
+    pub weight_precision: Precision,
 }
 
 impl MoeDims {
@@ -64,9 +70,11 @@ impl MoeDims {
         )
     }
 
-    /// Bytes of one expert's parameters (two `M×V` matrices + biases).
+    /// Bytes of one expert's parameters (two `M×V` matrices + biases)
+    /// at the weights' storage precision.
     pub fn expert_param_bytes(&self) -> f64 {
-        ((2 * self.model_dim * self.hidden_dim + self.model_dim + self.hidden_dim) * 4) as f64
+        ((2 * self.model_dim * self.hidden_dim + self.model_dim + self.hidden_dim)
+            * self.weight_precision.storage_bytes()) as f64
     }
 
     /// Bytes per GPU of one *un-replicated* token All-to-All: each GPU
@@ -96,6 +104,7 @@ impl MoeDims {
 /// let mut dims = MoeDims {
 ///     world: 8, global_experts: 2, tokens: 2048, k: 2,
 ///     capacity_factor: 1.0, model_dim: 2048, hidden_dim: 8192,
+///     weight_precision: tutel_tensor::Precision::F32,
 /// };
 /// // Small workload: avoid moving the big expert weights → P2.
 /// assert_eq!(router.choose(&dims), Parallelism::P2);
@@ -187,6 +196,7 @@ impl InlineParallelismRouter {
                 predicted_s: Some(p1.min(p2)),
                 measured_s: None,
                 cause: None,
+                precision: Some(dims.weight_precision.label().to_string()),
                 step: None,
             });
         }
@@ -221,6 +231,7 @@ mod tests {
             capacity_factor: f,
             model_dim: 2048,
             hidden_dim: hidden,
+            weight_precision: Precision::F32,
         }
     }
 
@@ -278,6 +289,46 @@ mod tests {
         assert_eq!(d.shards(), 1);
         assert!((r.p1_cost(&d) - r.p2_cost(&d)).abs() < 1e-12);
         assert_eq!(r.choose(&d), Parallelism::P1);
+    }
+
+    #[test]
+    fn bf16_weights_shift_the_p1_p2_crossover() {
+        // bf16 storage halves P1's parameter all-gather bytes while
+        // leaving token traffic (f32 activations) untouched, so the
+        // crossover capacity factor must move *down*: some f that
+        // picks P2 under f32 pricing flips to P1 under bf16.
+        let r = router();
+        let mut flipped_at = None;
+        for i in 1..256 {
+            let f = 0.125 * i as f64;
+            let mut d = dims(2, 2048, 8192, f);
+            let f32_choice = r.choose(&d);
+            d.weight_precision = Precision::Bf16;
+            let bf16_choice = r.choose(&d);
+            if f32_choice == Parallelism::P2 && bf16_choice == Parallelism::P1 {
+                flipped_at = Some(f);
+                break;
+            }
+            assert_eq!(
+                f32_choice, bf16_choice,
+                "cheaper params can only ever favor P1, f = {f}"
+            );
+        }
+        let f = flipped_at.expect("re-priced params must flip some decision");
+
+        // The audit trail shows the flip: same dims, two precision
+        // modes, two different winners — each record tagged with the
+        // price book it used.
+        let tel = tutel_obs::Telemetry::enabled();
+        let mut d = dims(2, 2048, 8192, f);
+        assert_eq!(r.choose_observed(&d, &tel), Parallelism::P2);
+        d.weight_precision = Precision::Bf16;
+        assert_eq!(r.choose_observed(&d, &tel), Parallelism::P1);
+        let decisions = tel.decisions();
+        assert_eq!(decisions.len(), 2);
+        assert_eq!(decisions[0].precision.as_deref(), Some("f32"));
+        assert_eq!(decisions[1].precision.as_deref(), Some("bf16"));
+        assert_ne!(decisions[0].chosen, decisions[1].chosen);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! parallelism). Switching between them changes only the communication
 //! plan — no parameter migration ever happens.
 
-use tutel_tensor::{Rng, Tensor, TensorError};
+use tutel_tensor::{dispatch, Precision, Rng, Tensor, TensorError};
 
 use crate::ExpertsBlock;
 
@@ -41,6 +41,9 @@ pub struct ShardedExpertParams {
     model_dim: usize,
     hidden_dim: usize,
     shards: usize,
+    /// Weight storage format — determines bytes per element on the
+    /// wire for the P1 parameter all-gather.
+    precision: Precision,
     /// Per-shard parameter slices, index = rank within the group.
     slices: Vec<ShardSlice>,
 }
@@ -118,8 +121,30 @@ impl ShardedExpertParams {
             model_dim: full.model_dim(),
             hidden_dim: v,
             shards,
+            precision: full.storage_precision(),
             slices,
         })
+    }
+
+    /// Switches the storage precision, rounding every shard's slice to
+    /// the new format in place (no parameter migration — sharding is
+    /// untouched).
+    pub fn with_storage_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        if precision != Precision::F32 {
+            for s in &mut self.slices {
+                tutel_tensor::quantize_in_place(s.w1.as_mut_slice(), precision);
+                tutel_tensor::quantize_in_place(s.b1.as_mut_slice(), precision);
+                tutel_tensor::quantize_in_place(s.w2.as_mut_slice(), precision);
+                tutel_tensor::quantize_in_place(s.b2.as_mut_slice(), precision);
+            }
+        }
+        self
+    }
+
+    /// The weight storage format.
+    pub fn storage_precision(&self) -> Precision {
+        self.precision
     }
 
     /// Number of shards (`R`, the "n-sharded" of the paper).
@@ -142,10 +167,13 @@ impl ShardedExpertParams {
         self.hidden_dim
     }
 
-    /// Parameter bytes held by one shard.
+    /// Parameter bytes held by one shard (and sent by it per ring
+    /// all-gather hop) at the storage precision — half the `f32`
+    /// figure under bf16.
     pub fn shard_bytes(&self) -> u64 {
         let s = &self.slices[0];
-        ((s.w1.len() + s.b1.len() + s.w2.len() + s.b2.len()) * std::mem::size_of::<f32>()) as u64
+        ((s.w1.len() + s.b1.len() + s.w2.len() + s.b2.len()) * self.precision.storage_bytes())
+            as u64
     }
 
     /// The tensor-parallel slice owned by rank `r` of the group, as a
@@ -159,6 +187,9 @@ impl ShardedExpertParams {
         ExpertsBlock::from_weights(s.w1.clone(), s.b1.clone(), s.w2.clone(), s.b2.clone())
             // check:allow(no_panic, shard slices were validated when the slab was partitioned)
             .expect("shard slices are internally consistent")
+            // Slices are already on the storage grid, so this re-round
+            // is an exact no-op on values; it only tags the block.
+            .with_storage_precision(self.precision)
     }
 
     /// Materializes the full parameters via (functional) all-gather —
@@ -175,7 +206,58 @@ impl ShardedExpertParams {
         let full_w1 = Tensor::concat_axis(&w1, 2)?;
         let full_b1 = Tensor::concat_axis(&b1, 1)?;
         let full_w2 = Tensor::concat_axis(&w2, 1)?;
-        ExpertsBlock::from_weights(full_w1, full_b1, full_w2, self.slices[0].b2.clone())
+        Ok(
+            ExpertsBlock::from_weights(full_w1, full_b1, full_w2, self.slices[0].b2.clone())?
+                .with_storage_precision(self.precision),
+        )
+    }
+
+    /// [`ShardedExpertParams::gather`] through the *wire format*, with
+    /// collective telemetry: under bf16 storage each slice is packed
+    /// into 2-byte values before "transmission" and unpacked on
+    /// arrival — an exact round trip because stored weights always sit
+    /// on the storage grid — and the recorded `all_gather` bytes are
+    /// the packed ones, i.e. half the `f32` figure.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if concatenation fails (cannot happen
+    /// for internally consistent shards).
+    pub fn gather_observed(&self, tel: &tutel_obs::Telemetry) -> Result<ExpertsBlock, TensorError> {
+        if tel.is_enabled() && self.shards > 1 {
+            tel.collective(
+                "all_gather",
+                &format!("params/{}/{}", self.precision.label(), self.shards),
+                (self.shard_bytes() * (self.shards as u64 - 1)) as f64,
+                0.0,
+            );
+        }
+        if self.precision != Precision::Bf16 {
+            return self.gather();
+        }
+        let through_wire = |t: &Tensor| {
+            let kt = dispatch::table();
+            let mut packed = vec![0u16; t.len()];
+            (kt.bf16_pack)(t.as_slice(), &mut packed);
+            let mut out = t.clone();
+            (kt.bf16_unpack)(&packed, out.as_mut_slice());
+            out
+        };
+        let w1: Vec<Tensor> = self.slices.iter().map(|s| through_wire(&s.w1)).collect();
+        let b1: Vec<Tensor> = self.slices.iter().map(|s| through_wire(&s.b1)).collect();
+        let w2: Vec<Tensor> = self.slices.iter().map(|s| through_wire(&s.w2)).collect();
+        let full_w1 = Tensor::concat_axis(&w1, 2)?;
+        let full_b1 = Tensor::concat_axis(&b1, 1)?;
+        let full_w2 = Tensor::concat_axis(&w2, 1)?;
+        Ok(
+            ExpertsBlock::from_weights(
+                full_w1,
+                full_b1,
+                full_w2,
+                through_wire(&self.slices[0].b2),
+            )?
+            .with_storage_precision(self.precision),
+        )
     }
 
     /// A fingerprint of the per-shard parameter bytes, used to assert
@@ -283,6 +365,55 @@ mod tests {
         // so each shard stores slightly more than total/R.
         assert!(sharded.shard_bytes() >= total / 2 - 64);
         assert!(sharded.shard_bytes() <= total / 2 + 64);
+    }
+
+    #[test]
+    fn bf16_halves_shard_bytes_and_wire_gather_is_exact() {
+        let mut rng = Rng::seed(7);
+        let f32_params = ShardedExpertParams::new(2, 4, 8, 2, &mut rng).unwrap();
+        let f32_bytes = f32_params.shard_bytes();
+        let params = f32_params.with_storage_precision(Precision::Bf16);
+        assert_eq!(params.shard_bytes() * 2, f32_bytes);
+
+        // Stored slices sit on the bf16 grid, so the packed 2-byte
+        // wire format loses nothing: gather-through-wire == gather.
+        let tel = tutel_obs::Telemetry::enabled();
+        let direct = params.gather().unwrap();
+        let wired = params.gather_observed(&tel).unwrap();
+        let (w1a, b1a, w2a, b2a) = direct.weights();
+        let (w1b, b1b, w2b, b2b) = wired.weights();
+        assert_eq!(w1a, w1b);
+        assert_eq!(b1a, b1b);
+        assert_eq!(w2a, w2b);
+        assert_eq!(b2a, b2b);
+
+        // And the telemetry records the halved byte count.
+        let recorded: Vec<_> = tel
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                tutel_obs::Event::Collective(c) if c.op == "all_gather" => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(recorded.len(), 1);
+        assert_eq!(
+            recorded[0].bytes,
+            (params.shard_bytes() * (params.shards() as u64 - 1)) as f64
+        );
+        assert!(recorded[0].algo.contains("bf16"));
+    }
+
+    #[test]
+    fn bf16_p1_and_p2_still_agree() {
+        let mut rng = Rng::seed(8);
+        let params = ShardedExpertParams::new(2, 6, 8, 2, &mut rng)
+            .unwrap()
+            .with_storage_precision(Precision::Bf16);
+        let x = rng.normal_tensor(&[2, 5, 6], 0.0, 1.0);
+        let y1 = p1_forward(&params, &x).unwrap();
+        let y2 = p2_forward(&params, &x).unwrap();
+        assert!(y1.sub(&y2).unwrap().max_abs() < 1e-4);
     }
 
     #[test]

@@ -93,6 +93,7 @@ proptest! {
             capacity_factor: f,
             model_dim: 2048,
             hidden_dim: 1 << hidden_pow,
+            weight_precision: tutel_tensor::Precision::F32,
         };
         let choice = router.choose(&dims);
         let chosen = router.cost_of(choice, &dims);

@@ -39,6 +39,14 @@
 //! Aux loss is compared bitwise always: it is computed rank-locally
 //! from the routing alone and no strategy knob may touch it.
 //!
+//! [`kernels`] crosses a second, orthogonal grid — {scalar, simd} ×
+//! {f32, bf16} kernel modes — with two contracts of its own: flipping
+//! the SIMD table is **bitwise** (0 ULP, any strategy, any thread
+//! count), while bf16-storage weights are budgeted at
+//! [`kernels::BF16_ULP_BUDGET`] scaled ULPs against the f32 twin
+//! (weight rounding is a ≤ 2⁻⁹ relative perturbation, far outside the
+//! 4-ULP strategy budget but tightly bounded at the tensor's scale).
+//!
 //! [`race`] additionally runs the combined overlap+pool+comm surface
 //! on real OS threads under the happens-before race checker
 //! (`tutel_check::race`), landing any finding in the telemetry audit
@@ -46,6 +54,7 @@
 
 pub mod dist;
 pub mod faults;
+pub mod kernels;
 pub mod matrix;
 pub mod race;
 pub mod reference;

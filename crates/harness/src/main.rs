@@ -18,6 +18,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use tutel_harness::faults::{run_fault_suite, FaultReport};
+use tutel_harness::kernels::{run_kernel_matrix, KernelVerdict, BF16_ULP_BUDGET};
 use tutel_harness::matrix::{configs, run_matrix, Mode, Verdict};
 use tutel_harness::race::run_race_surface;
 use tutel_harness::trace::{run_straggler_scenario, run_trace_smoke};
@@ -130,19 +131,56 @@ fn print_faults(reports: &[FaultReport]) {
     }
 }
 
+fn print_kernels(verdicts: &[KernelVerdict]) {
+    println!("kernel-mode matrix ({} cells):", verdicts.len());
+    println!(
+        "  {:<12} {:>8} {:>14} {:>9} {:>6} {:>7}  verdict",
+        "cell", "simd", "vs-f32 ULP", "budget", "aux", "faults"
+    );
+    for v in verdicts {
+        let budget = if v.cell.precision == tutel_tensor::Precision::F32 {
+            "0".to_string()
+        } else {
+            format!("{BF16_ULP_BUDGET:.0}")
+        };
+        println!(
+            "  {:<12} {:>8} {:>14.2} {:>9} {:>6} {:>7}  {}",
+            v.cell.label(),
+            if !v.cell.simd {
+                "base"
+            } else if v.simd_bitwise {
+                "bit"
+            } else {
+                "DIFF"
+            },
+            v.precision_ulp,
+            budget,
+            if v.aux_bitwise { "bit" } else { "DIFF" },
+            if v.fault_pass { "pass" } else { "FAIL" },
+            if v.pass { "pass" } else { "FAIL" }
+        );
+    }
+}
+
 fn write_json(
     path: &str,
     args: &Args,
     verdicts: &[Verdict],
     reports: &[FaultReport],
-    matrix_secs: f64,
-    fault_secs: f64,
+    kernels: &[KernelVerdict],
+    wall: [f64; 3],
 ) -> std::io::Result<()> {
+    let [matrix_secs, fault_secs, kernel_secs] = wall;
     let matrix_pass = verdicts.iter().filter(|v| v.pass).count();
     let fault_pass = reports.iter().filter(|r| r.pass).count();
+    let kernel_pass = kernels.iter().filter(|v| v.pass).count();
     let worst_ulp = verdicts
         .iter()
         .map(|v| v.output_ulp.max(v.d_x_ulp))
+        .fold(0.0f64, f64::max);
+    let worst_bf16_ulp = kernels
+        .iter()
+        .map(|v| v.precision_ulp)
         .fold(0.0f64, f64::max);
     let body = format!(
         concat!(
@@ -157,7 +195,12 @@ fn write_json(
             "  \"matrix_wall_s\": {:.3},\n",
             "  \"fault_collectives\": {},\n",
             "  \"fault_pass\": {},\n",
-            "  \"fault_wall_s\": {:.3}\n",
+            "  \"fault_wall_s\": {:.3},\n",
+            "  \"kernel_cells\": {},\n",
+            "  \"kernel_pass\": {},\n",
+            "  \"kernel_worst_bf16_ulp\": {:.3},\n",
+            "  \"kernel_bf16_budget\": {:.0},\n",
+            "  \"kernel_wall_s\": {:.3}\n",
             "}}\n"
         ),
         args.mode.label(),
@@ -170,6 +213,11 @@ fn write_json(
         reports.len(),
         fault_pass,
         fault_secs,
+        kernels.len(),
+        kernel_pass,
+        worst_bf16_ulp,
+        BF16_ULP_BUDGET,
+        kernel_secs,
     );
     std::fs::write(path, body)
 }
@@ -201,6 +249,11 @@ fn main() -> ExitCode {
     let fault_secs = t1.elapsed().as_secs_f64();
     print_faults(&reports);
 
+    let t2 = Instant::now();
+    let kernel_verdicts = run_kernel_matrix(args.seed, args.fault_seed);
+    let kernel_secs = t2.elapsed().as_secs_f64();
+    print_kernels(&kernel_verdicts);
+
     let trace_ok = match &args.trace {
         None => true,
         Some(prefix) => run_trace_scenarios(prefix, args.fault_seed),
@@ -210,25 +263,36 @@ fn main() -> ExitCode {
 
     let matrix_ok = verdicts.iter().all(|v| v.pass);
     let faults_ok = reports.iter().all(|r| r.pass);
+    let kernels_ok = kernel_verdicts.iter().all(|v| v.pass);
     println!(
-        "matrix: {}/{} pass in {:.2}s; faults: {}/{} pass in {:.2}s",
+        "matrix: {}/{} pass in {:.2}s; faults: {}/{} pass in {:.2}s; kernels: {}/{} pass in {:.2}s",
         verdicts.iter().filter(|v| v.pass).count(),
         verdicts.len(),
         matrix_secs,
         reports.iter().filter(|r| r.pass).count(),
         reports.len(),
-        fault_secs
+        fault_secs,
+        kernel_verdicts.iter().filter(|v| v.pass).count(),
+        kernel_verdicts.len(),
+        kernel_secs
     );
 
     if let Some(path) = &args.json {
-        if let Err(e) = write_json(path, &args, &verdicts, &reports, matrix_secs, fault_secs) {
+        if let Err(e) = write_json(
+            path,
+            &args,
+            &verdicts,
+            &reports,
+            &kernel_verdicts,
+            [matrix_secs, fault_secs, kernel_secs],
+        ) {
             eprintln!("failed to write {path}: {e}");
             return ExitCode::FAILURE;
         }
         println!("wrote {path}");
     }
 
-    if matrix_ok && faults_ok && trace_ok && race_ok {
+    if matrix_ok && faults_ok && kernels_ok && trace_ok && race_ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -25,7 +25,7 @@
 //! problem shape only, never of the worker count.
 
 use tutel_gate::Routing;
-use tutel_tensor::{scratch, Tensor, TensorError};
+use tutel_tensor::{dispatch, scratch, Tensor, TensorError};
 
 /// Output rows per parallel chunk (fixed: part of the determinism
 /// contract, never derived from pool size).
@@ -119,16 +119,18 @@ pub fn fast_encode_backward(
     let dd = d_dispatched.as_slice();
     // Token-major: each token row sums the gradients parked in its
     // own slots, in selection order (same order as the serial kernel).
+    // Lanewise accumulation routes through the active kernel table;
+    // both modes add element-at-a-time, so results stay bitwise
+    // identical under any `TUTEL_SIMD` setting.
     tutel_rt::parallel_chunks(dx.as_mut_slice(), ROW_CHUNK * m, |blk, chunk| {
+        let add_assign = dispatch::table().add_assign;
         let t0 = blk * ROW_CHUNK;
         for (ti, orow) in chunk.chunks_mut(m).enumerate() {
             let t = t0 + ti;
             for (&e, loc) in routing.expert_of[t].iter().zip(&routing.location_of[t]) {
                 if let Some(l) = *loc {
                     let src = &dd[(e * cap + l) * m..(e * cap + l + 1) * m];
-                    for (o, v) in orow.iter_mut().zip(src) {
-                        *o += v;
-                    }
+                    add_assign(src, orow);
                 }
             }
         }
@@ -151,8 +153,11 @@ pub fn fast_decode(y: &Tensor, routing: &Routing, tokens: usize) -> Result<Tenso
     let mut out = scratch::zeroed(&[tokens, m]);
     let ys = y.as_slice();
     // Token-major: each token row is a gate-weighted sum of its ≤ k
-    // expert output rows, accumulated in selection order.
+    // expert output rows, accumulated in selection order via the
+    // kernel table's axpy (mul then add per lane in both modes, so
+    // scalar and SIMD stay bitwise identical).
     tutel_rt::parallel_chunks(out.as_mut_slice(), ROW_CHUNK * m, |blk, chunk| {
+        let axpy = dispatch::table().axpy;
         let t0 = blk * ROW_CHUNK;
         for (ti, orow) in chunk.chunks_mut(m).enumerate() {
             let t = t0 + ti;
@@ -163,9 +168,7 @@ pub fn fast_decode(y: &Tensor, routing: &Routing, tokens: usize) -> Result<Tenso
             {
                 if let Some(l) = *loc {
                     let src = &ys[(e * cap + l) * m..(e * cap + l + 1) * m];
-                    for (o, v) in orow.iter_mut().zip(src) {
-                        *o += g * v;
-                    }
+                    axpy(g, src, orow);
                 }
             }
         }
@@ -207,21 +210,23 @@ pub fn fast_decode_backward(
     // Pass 1, slot-major: dy[slot] = g · d_out[owner token].
     let mut dy = scratch::zeroed(&[routing.experts, cap, m]);
     tutel_rt::parallel_chunks(dy.as_mut_slice(), ROW_CHUNK * m, |blk, chunk| {
+        let axpy = dispatch::table().axpy;
         let slot0 = blk * ROW_CHUNK;
         for (s, orow) in chunk.chunks_mut(m).enumerate() {
             if let Some((t, i)) = owners[slot0 + s] {
                 let g = routing.gate_of[t as usize][i as usize];
                 let drow = &ds[t as usize * m..(t as usize + 1) * m];
-                for (o, dv) in orow.iter_mut().zip(drow) {
-                    *o += g * dv;
-                }
+                axpy(g, drow, orow);
             }
         }
     });
 
-    // Pass 2, token-major: dgates[t][i] = ⟨y_slot, d_out_t⟩.
+    // Pass 2, token-major: dgates[t][i] = ⟨y_slot, d_out_t⟩ through
+    // the kernel table's 8-lane reduction-tree dot (same summation
+    // order in scalar and SIMD modes).
     let mut dgates: Vec<Vec<f32>> = routing.gate_of.iter().map(|g| vec![0.0; g.len()]).collect();
     tutel_rt::parallel_chunks(&mut dgates, ROW_CHUNK, |blk, chunk| {
+        let dot = dispatch::table().dot;
         let t0 = blk * ROW_CHUNK;
         for (ti, grow) in chunk.iter_mut().enumerate() {
             let t = t0 + ti;
@@ -233,11 +238,7 @@ pub fn fast_decode_backward(
             {
                 if let Some(l) = *loc {
                     let yrow = &ys[(e * cap + l) * m..(e * cap + l + 1) * m];
-                    let mut dot = 0.0f32;
-                    for (yv, dv) in yrow.iter().zip(drow) {
-                        dot += yv * dv;
-                    }
-                    grow[i] = dot;
+                    grow[i] = dot(yrow, drow);
                 }
             }
         }
@@ -440,6 +441,24 @@ mod tests {
         for limit in [2, 4, 8] {
             assert_eq!(run(limit), reference, "limit {limit}");
         }
+    }
+
+    #[test]
+    fn dispatch_kernels_bit_identical_across_simd_modes() {
+        if !dispatch::simd_available() {
+            return;
+        }
+        let (routing, x) = routing_and_input(130, 8, 2, 19);
+        let run = |force: bool| {
+            dispatch::with_simd_mode(Some(force), || {
+                let d = fast_encode(&x, &routing).unwrap();
+                let out = fast_decode(&d, &routing, 130).unwrap();
+                let (dy, dgates) = fast_decode_backward(&out, &d, &routing).unwrap();
+                let dx = fast_encode_backward(&dy, &routing, 130).unwrap();
+                (d, out, dy, dgates, dx)
+            })
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -141,6 +141,11 @@ pub struct DecisionRecord {
     /// previously chosen strategy regressed (e.g. `straggler: rank 1`);
     /// `None` for ordinary decisions.
     pub cause: Option<String>,
+    /// Storage-precision mode the costs were priced under (`f32`,
+    /// `bf16`), when the deciding mechanism is precision-aware —
+    /// reduced-precision weights halve parameter-collective bytes, so
+    /// the audit trail must say which price book was in effect.
+    pub precision: Option<String>,
     /// Training step active when recorded, if any.
     pub step: Option<u64>,
 }
@@ -286,6 +291,13 @@ impl Event {
                         .map(|c| Value::from(c.clone()))
                         .unwrap_or(Value::Null),
                 ),
+                (
+                    "precision",
+                    d.precision
+                        .as_ref()
+                        .map(|p| Value::from(p.clone()))
+                        .unwrap_or(Value::Null),
+                ),
                 ("step", opt_step(d.step)),
             ]),
             Event::Anomaly(a) => Value::obj([
@@ -326,6 +338,7 @@ mod tests {
             predicted_s: None,
             measured_s: Some(0.0021),
             cause: Some("straggler: rank 1".into()),
+            precision: Some("bf16".into()),
             step: None,
         });
         let json = dec.to_value().to_json();
@@ -333,6 +346,7 @@ mod tests {
         assert!(json.contains(r#""predicted_s":null"#), "{json}");
         assert!(json.contains(r#""measured_s":0.0021"#), "{json}");
         assert!(json.contains(r#""cause":"straggler: rank 1""#), "{json}");
+        assert!(json.contains(r#""precision":"bf16""#), "{json}");
     }
 
     #[test]

@@ -538,6 +538,7 @@ mod tests {
             predicted_s: None,
             measured_s: None,
             cause: None,
+            precision: None,
             step: None,
         };
         tel.decision(rec("linear×d2"));

@@ -1,0 +1,1050 @@
+//! Runtime CPU-feature kernel dispatch: the **only** module in the
+//! workspace allowed to touch `is_x86_feature_detected!` or
+//! `#[target_feature]` (the `kernel_dispatch` lint enforces this).
+//!
+//! # Design
+//!
+//! CPU features are detected **once** (a `OnceLock`) and resolved into
+//! one of two static [`KernelTable`]s of plain function pointers — a
+//! scalar table that is the portable reference, and an AVX2 table of
+//! explicit `f32x8` intrinsic kernels. Hot paths fetch the active
+//! table with [`table`] (two relaxed atomic loads, no detection, no
+//! branching beyond the table select) and call through the pointers;
+//! per-call feature checks never happen.
+//!
+//! # The bitwise-SIMD contract
+//!
+//! Every AVX2 kernel is **bitwise-identical** to its scalar twin, so
+//! the PR-3 determinism contract (results are a pure function of the
+//! problem, never of the worker count) extends to the `TUTEL_SIMD`
+//! axis unchanged. This falls out of three rules:
+//!
+//! 1. **No FMA in accumulation.** The scalar microkernel computes
+//!    `acc += a * b` with *two* roundings (multiply, then add); a
+//!    fused multiply-add rounds once and differs in the last bit. The
+//!    AVX2 kernels therefore emit `_mm256_add_ps(_mm256_mul_ps(..))`
+//!    pairs — FMA availability is part of the detection gate (the
+//!    AVX2 table is only installed on AVX2+FMA hosts, matching how
+//!    real deployments ship one fat binary) but the instruction is
+//!    deliberately never used where it would change results.
+//! 2. **Lane-for-lane identical data flow.** A vector `add`/`mul`/
+//!    `div`/`max` is the same IEEE operation per lane as the scalar
+//!    loop it replaces, so any kernel that is already lane-parallel
+//!    (the micro-tile, `axpy`, lanewise divide) is bitwise for free.
+//! 3. **Shared reduction trees.** Horizontal reductions (dot, row
+//!    max, row sum) strip-mine into [`NR`] = 8 lanes and collapse
+//!    them with one fixed tree — `(l0+l4)+(l1+l5)`, `(l2+l6)+(l3+l7)`,
+//!    then the pair, then the scalar tail — in *both* modes; the AVX2
+//!    path accumulates the lanes in one register and extracts them
+//!    into the very same tree.
+//!
+//! Mode selection: `TUTEL_SIMD=0` forces scalar, unset or `1` uses
+//! AVX2 when the host has it (read once); [`set_simd_override`] flips
+//! the mode in-process so differential harnesses can compare both
+//! sides without re-exec.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Rows per register micro-tile.
+pub const MR: usize = 4;
+/// Columns per register micro-tile — also the strip-mining width of
+/// every lane-tree reduction.
+pub const NR: usize = 8;
+
+/// Which kernel family the active table dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdMode {
+    /// Portable scalar kernels (the reference semantics).
+    Scalar,
+    /// Explicit AVX2 `f32x8` kernels (bitwise-identical to scalar).
+    Avx2,
+}
+
+impl SimdMode {
+    /// Short label for telemetry and bench records.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SimdMode::Scalar => "scalar",
+            SimdMode::Avx2 => "avx2",
+        }
+    }
+}
+
+/// `out_rows[(ir + r) * n + jc ..][..NR] += apanel · b` micro-tile;
+/// see [`KernelTable::micro_tile`].
+pub type MicroTileFn = fn(&[f32], usize, &[f32], usize, usize, usize, &mut [f32], usize, usize);
+/// Strip-mined dot product with the fixed lane tree.
+pub type DotFn = fn(&[f32], &[f32]) -> f32;
+/// `out[i] += a * v[i]`.
+pub type AxpyFn = fn(f32, &[f32], &mut [f32]);
+/// `out[i] += v[i]`.
+pub type AddAssignFn = fn(&[f32], &mut [f32]);
+/// Lane-tree horizontal reduction of one row.
+pub type RowReduceFn = fn(&[f32]) -> f32;
+/// `row[i] /= denom`.
+pub type DivAssignFn = fn(&mut [f32], f32);
+/// Round-to-nearest-even `f32 → bf16` pack (equal-length slices).
+pub type Bf16PackFn = fn(&[f32], &mut [u16]);
+/// `bf16 → f32` unpack (exact; equal-length slices).
+pub type Bf16UnpackFn = fn(&[u16], &mut [f32]);
+/// In-place rounding of every element to its nearest bf16 value.
+pub type Bf16RoundFn = fn(&mut [f32]);
+
+/// The resolved kernel set for one [`SimdMode`]. All pointers are
+/// plain safe `fn`s; the AVX2 entries wrap `#[target_feature]` bodies
+/// and are only ever installed after runtime detection succeeded.
+pub struct KernelTable {
+    /// Which family this table belongs to.
+    pub mode: SimdMode,
+    /// Full `MR × NR` GEMM micro-tile:
+    /// `(apanel, kc_len, b, n, pc, jc, out_rows, ir, mr_eff)` —
+    /// `apanel` is `kc_len × MR` interleaved (zero-padded short
+    /// tiles), `b` is the full `k × n` operand, and the tile
+    /// accumulates into `out_rows` at block-relative row `ir`.
+    pub micro_tile: MicroTileFn,
+    /// 8-lane strip-mined dot product (fixed reduction tree).
+    pub dot: DotFn,
+    /// `out += a * v` over equal-length slices.
+    pub axpy: AxpyFn,
+    /// `out += v` over equal-length slices.
+    pub add_assign: AddAssignFn,
+    /// Lane-tree maximum of a row (`-inf` for an empty row).
+    pub row_max: RowReduceFn,
+    /// Lane-tree sum of a row.
+    pub row_sum: RowReduceFn,
+    /// Lanewise `row[i] /= denom`.
+    pub div_assign: DivAssignFn,
+    /// Round-to-nearest-even `f32 → bf16` storage pack.
+    pub bf16_pack: Bf16PackFn,
+    /// Exact `bf16 → f32` unpack.
+    pub bf16_unpack: Bf16UnpackFn,
+    /// In-place bf16 rounding (`unpack(pack(x))` without the u16 hop).
+    pub bf16_round: Bf16RoundFn,
+}
+
+static SCALAR_TABLE: KernelTable = KernelTable {
+    mode: SimdMode::Scalar,
+    micro_tile: scalar::micro_tile,
+    dot: scalar::dot,
+    axpy: scalar::axpy,
+    add_assign: scalar::add_assign,
+    row_max: scalar::row_max,
+    row_sum: scalar::row_sum,
+    div_assign: scalar::div_assign,
+    bf16_pack: scalar::bf16_pack,
+    bf16_unpack: scalar::bf16_unpack,
+    bf16_round: scalar::bf16_round,
+};
+
+/// `OVERRIDE` encodes [`set_simd_override`]: 0 = follow the
+/// environment default, 1 = force scalar, 2 = force SIMD.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// True iff the host supports the AVX2+FMA kernel set. Detected once;
+/// every later call is one `OnceLock` load.
+pub fn simd_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static DETECTED: OnceLock<bool> = OnceLock::new();
+        *DETECTED.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The `TUTEL_SIMD` environment default, read once: unset or any
+/// value other than `"0"` enables SIMD (when available).
+fn env_enabled() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| std::env::var("TUTEL_SIMD").map_or(true, |v| v != "0"))
+}
+
+/// Overrides the mode in-process: `Some(true)` forces the SIMD table
+/// (clamped to scalar on hosts without AVX2+FMA), `Some(false)` forces
+/// scalar, `None` reverts to the `TUTEL_SIMD` environment default.
+/// Used by the differential harness to run both sides of the
+/// scalar-vs-SIMD comparison in one process.
+pub fn set_simd_override(force: Option<bool>) {
+    let code = match force {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    OVERRIDE.store(code, Ordering::Relaxed);
+}
+
+/// Runs `f` with the SIMD override pinned to `force` (see
+/// [`set_simd_override`]), restoring the previous override afterwards
+/// even on panic. Mode-switching callers are serialized by a global
+/// lock so concurrent switchers can't observe each other's override;
+/// threads that *don't* switch are unaffected either way, because the
+/// two kernel tables are bitwise-identical. Not reentrant.
+pub fn with_simd_mode<R>(force: Option<bool>, f: impl FnOnce() -> R) -> R {
+    static LOCK: Mutex<()> = Mutex::new(());
+    let _serial = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    struct Reset(u8);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            OVERRIDE.store(self.0, Ordering::Relaxed);
+        }
+    }
+    let _reset = Reset(OVERRIDE.load(Ordering::Relaxed));
+    set_simd_override(force);
+    f()
+}
+
+/// The mode the next [`table`] call resolves to.
+pub fn simd_mode() -> SimdMode {
+    let want_simd = match OVERRIDE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => env_enabled(),
+    };
+    if want_simd && simd_available() {
+        SimdMode::Avx2
+    } else {
+        SimdMode::Scalar
+    }
+}
+
+/// The active kernel table. Cheap enough for per-chunk use on hot
+/// paths: an atomic load, a `OnceLock` load, and a static ref — no
+/// feature detection, no allocation.
+pub fn table() -> &'static KernelTable {
+    match simd_mode() {
+        SimdMode::Scalar => &SCALAR_TABLE,
+        SimdMode::Avx2 => simd_table(),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn simd_table() -> &'static KernelTable {
+    &avx2::TABLE
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn simd_table() -> &'static KernelTable {
+    &SCALAR_TABLE
+}
+
+/// Rounds one `f32` to its nearest bf16-representable value
+/// (round-to-nearest-even on the dropped 16 bits). The scalar
+/// reference both tables' pack kernels must match bit-for-bit.
+#[inline]
+pub fn bf16_round_one(v: f32) -> f32 {
+    f32::from_bits((u32::from(bf16_pack_one(v))) << 16)
+}
+
+/// Packs one `f32` into bf16 storage bits (round-to-nearest-even).
+#[inline]
+pub fn bf16_pack_one(v: f32) -> u16 {
+    let bits = v.to_bits();
+    // Round-to-nearest-even on the truncated 16 low bits.
+    let rounding_bias = 0x7FFF + ((bits >> 16) & 1);
+    (bits.wrapping_add(rounding_bias) >> 16) as u16
+}
+
+/// Unpacks bf16 storage bits into the exact `f32` they denote.
+#[inline]
+pub fn bf16_unpack_one(h: u16) -> f32 {
+    f32::from_bits(u32::from(h) << 16)
+}
+
+/// The scalar maximum with `_mm256_max_ps` lane semantics
+/// (`if a > b { a } else { b }`: ties, signed zeros, and NaNs all
+/// resolve to `b`), so the scalar and AVX2 row-max trees agree
+/// bit-for-bit on every input.
+#[inline]
+fn maxps(a: f32, b: f32) -> f32 {
+    if a > b {
+        a
+    } else {
+        b
+    }
+}
+
+/// Collapses 8 accumulator lanes with the fixed reduction tree shared
+/// by every horizontal sum in the workspace.
+#[inline]
+fn sum_lanes_tree(lanes: &[f32; NR]) -> f32 {
+    let s0 = (lanes[0] + lanes[4]) + (lanes[1] + lanes[5]);
+    let s1 = (lanes[2] + lanes[6]) + (lanes[3] + lanes[7]);
+    s0 + s1
+}
+
+/// Collapses 8 max lanes with the same tree shape as
+/// [`sum_lanes_tree`], using [`maxps`] semantics.
+#[inline]
+fn max_lanes_tree(lanes: &[f32; NR]) -> f32 {
+    let m0 = maxps(maxps(lanes[0], lanes[4]), maxps(lanes[1], lanes[5]));
+    let m1 = maxps(maxps(lanes[2], lanes[6]), maxps(lanes[3], lanes[7]));
+    maxps(m0, m1)
+}
+
+/// Portable reference kernels. These define the semantics; the AVX2
+/// twins must match them bit-for-bit (pinned by the dispatch
+/// proptests and the harness kernel-mode matrix).
+mod scalar {
+    use super::{max_lanes_tree, maxps, sum_lanes_tree, MR, NR};
+
+    // The 9-ary signature IS the `MicroTileFn` table ABI: both modes
+    // must share it exactly so the pointers are interchangeable.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn micro_tile(
+        apanel: &[f32],
+        kc_len: usize,
+        b: &[f32],
+        n: usize,
+        pc: usize,
+        jc: usize,
+        out_rows: &mut [f32],
+        ir: usize,
+        mr_eff: usize,
+    ) {
+        let mut acc = [[0.0f32; NR]; MR];
+        for p in 0..kc_len {
+            let boff = (pc + p) * n + jc;
+            let brow = &b[boff..boff + NR];
+            let avals = &apanel[p * MR..p * MR + MR];
+            for (accr, &av) in acc.iter_mut().zip(avals) {
+                for (aj, &bv) in accr.iter_mut().zip(brow) {
+                    *aj += av * bv;
+                }
+            }
+        }
+        for (r, accr) in acc.iter().enumerate().take(mr_eff) {
+            let ooff = (ir + r) * n + jc;
+            let orow = &mut out_rows[ooff..ooff + NR];
+            for (o, &aj) in orow.iter_mut().zip(accr) {
+                *o += aj;
+            }
+        }
+    }
+
+    pub(super) fn dot(x: &[f32], y: &[f32]) -> f32 {
+        debug_assert_eq!(x.len(), y.len());
+        let mut lanes = [0.0f32; NR];
+        let blocks = x.len() / NR;
+        for c in 0..blocks {
+            let xb = &x[c * NR..c * NR + NR];
+            let yb = &y[c * NR..c * NR + NR];
+            for l in 0..NR {
+                lanes[l] += xb[l] * yb[l];
+            }
+        }
+        let mut tail = 0.0f32;
+        for i in blocks * NR..x.len() {
+            tail += x[i] * y[i];
+        }
+        sum_lanes_tree(&lanes) + tail
+    }
+
+    pub(super) fn axpy(a: f32, v: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(v.len(), out.len());
+        for (o, &x) in out.iter_mut().zip(v) {
+            *o += a * x;
+        }
+    }
+
+    pub(super) fn add_assign(v: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(v.len(), out.len());
+        for (o, &x) in out.iter_mut().zip(v) {
+            *o += x;
+        }
+    }
+
+    pub(super) fn row_max(x: &[f32]) -> f32 {
+        let mut lanes = [f32::NEG_INFINITY; NR];
+        let blocks = x.len() / NR;
+        for c in 0..blocks {
+            let xb = &x[c * NR..c * NR + NR];
+            for l in 0..NR {
+                lanes[l] = maxps(lanes[l], xb[l]);
+            }
+        }
+        let mut m = max_lanes_tree(&lanes);
+        for &v in &x[blocks * NR..] {
+            m = maxps(m, v);
+        }
+        m
+    }
+
+    pub(super) fn row_sum(x: &[f32]) -> f32 {
+        let mut lanes = [0.0f32; NR];
+        let blocks = x.len() / NR;
+        for c in 0..blocks {
+            let xb = &x[c * NR..c * NR + NR];
+            for l in 0..NR {
+                lanes[l] += xb[l];
+            }
+        }
+        let mut tail = 0.0f32;
+        for &v in &x[blocks * NR..] {
+            tail += v;
+        }
+        sum_lanes_tree(&lanes) + tail
+    }
+
+    pub(super) fn div_assign(row: &mut [f32], denom: f32) {
+        for v in row.iter_mut() {
+            *v /= denom;
+        }
+    }
+
+    pub(super) fn bf16_pack(src: &[f32], dst: &mut [u16]) {
+        debug_assert_eq!(src.len(), dst.len());
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = super::bf16_pack_one(s);
+        }
+    }
+
+    pub(super) fn bf16_unpack(src: &[u16], dst: &mut [f32]) {
+        debug_assert_eq!(src.len(), dst.len());
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = super::bf16_unpack_one(s);
+        }
+    }
+
+    pub(super) fn bf16_round(data: &mut [f32]) {
+        for v in data.iter_mut() {
+            *v = super::bf16_round_one(*v);
+        }
+    }
+}
+
+/// Explicit AVX2 `f32x8` kernels. Every entry is a safe wrapper whose
+/// body is a `#[target_feature(enable = "avx2")]` function; the
+/// wrappers are private and only reachable through [`TABLE`], which
+/// [`table`](super::table) returns exclusively after
+/// [`simd_available`](super::simd_available) confirmed AVX2+FMA.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{max_lanes_tree, maxps, sum_lanes_tree, KernelTable, SimdMode, MR, NR};
+    use core::arch::x86_64::{
+        __m128i, __m256, __m256i, _mm256_add_epi32, _mm256_add_ps, _mm256_and_si256,
+        _mm256_cvtepu16_epi32, _mm256_div_ps, _mm256_loadu_ps, _mm256_loadu_si256, _mm256_max_ps,
+        _mm256_mul_ps, _mm256_packus_epi32, _mm256_permute4x64_epi64, _mm256_set1_epi32,
+        _mm256_set1_ps, _mm256_setzero_ps, _mm256_slli_epi32, _mm256_srli_epi32, _mm256_storeu_ps,
+        _mm256_storeu_si256, _mm_loadu_si128,
+    };
+
+    pub(super) static TABLE: KernelTable = KernelTable {
+        mode: SimdMode::Avx2,
+        micro_tile,
+        dot,
+        axpy,
+        add_assign,
+        row_max,
+        row_sum,
+        div_assign,
+        bf16_pack,
+        bf16_unpack,
+        bf16_round,
+    };
+
+    /// Loads 8 consecutive `f32`s from a slice of length ≥ `off + 8`.
+    #[inline(always)]
+    fn load8(s: &[f32], off: usize) -> __m256 {
+        debug_assert!(off + NR <= s.len());
+        // SAFETY: the caller-checked bound above guarantees 8 in-range
+        // f32s at `off`; unaligned loads are permitted by `loadu`.
+        unsafe { _mm256_loadu_ps(s.as_ptr().add(off)) }
+    }
+
+    /// Stores 8 lanes over `s[off .. off + 8]`.
+    #[inline(always)]
+    fn store8(s: &mut [f32], off: usize, v: __m256) {
+        debug_assert!(off + NR <= s.len());
+        // SAFETY: the bound above guarantees 8 in-range f32s at `off`;
+        // unaligned stores are permitted by `storeu`.
+        unsafe { _mm256_storeu_ps(s.as_mut_ptr().add(off), v) }
+    }
+
+    // The 9-ary signature IS the `MicroTileFn` table ABI: both modes
+    // must share it exactly so the pointers are interchangeable.
+    #[allow(clippy::too_many_arguments)]
+    fn micro_tile(
+        apanel: &[f32],
+        kc_len: usize,
+        b: &[f32],
+        n: usize,
+        pc: usize,
+        jc: usize,
+        out_rows: &mut [f32],
+        ir: usize,
+        mr_eff: usize,
+    ) {
+        // SAFETY: this wrapper is reachable only through `TABLE`,
+        // which the dispatcher installs after AVX2+FMA detection.
+        unsafe { micro_tile_body(apanel, kc_len, b, n, pc, jc, out_rows, ir, mr_eff) }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2 (guaranteed by the dispatch table's detection
+    /// gate).
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    // SAFETY: `target_feature` makes this fn unsafe-to-call; the only
+    // caller is the detection-gated wrapper above.
+    unsafe fn micro_tile_body(
+        apanel: &[f32],
+        kc_len: usize,
+        b: &[f32],
+        n: usize,
+        pc: usize,
+        jc: usize,
+        out_rows: &mut [f32],
+        ir: usize,
+        mr_eff: usize,
+    ) {
+        let mut acc = [_mm256_setzero_ps(); MR];
+        for p in 0..kc_len {
+            let boff = (pc + p) * n + jc;
+            debug_assert!(boff + NR <= b.len());
+            let bv = load8(b, boff);
+            let avals = &apanel[p * MR..p * MR + MR];
+            for (accr, &av) in acc.iter_mut().zip(avals) {
+                // Two roundings (mul, then add) exactly like the
+                // scalar kernel; `_mm256_fmadd_ps` would fuse them
+                // and break the bitwise contract.
+                *accr = _mm256_add_ps(*accr, _mm256_mul_ps(_mm256_set1_ps(av), bv));
+            }
+        }
+        for (r, accr) in acc.iter().enumerate().take(mr_eff) {
+            let ooff = (ir + r) * n + jc;
+            let sum = _mm256_add_ps(load8(out_rows, ooff), *accr);
+            store8(out_rows, ooff, sum);
+        }
+    }
+
+    fn dot(x: &[f32], y: &[f32]) -> f32 {
+        // SAFETY: reachable only through the detection-gated `TABLE`.
+        unsafe { dot_body(x, y) }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2 (guaranteed by the dispatch table's detection
+    /// gate).
+    #[target_feature(enable = "avx2")]
+    // SAFETY: `target_feature` makes this fn unsafe-to-call; the only
+    // caller is the detection-gated wrapper above.
+    unsafe fn dot_body(x: &[f32], y: &[f32]) -> f32 {
+        debug_assert_eq!(x.len(), y.len());
+        let blocks = x.len() / NR;
+        let lanes_v = {
+            let mut acc = _mm256_setzero_ps();
+            for c in 0..blocks {
+                let prod = _mm256_mul_ps(load8(x, c * NR), load8(y, c * NR));
+                acc = _mm256_add_ps(acc, prod);
+            }
+            acc
+        };
+        let mut lanes = [0.0f32; NR];
+        store8(&mut lanes[..], 0, lanes_v);
+        let mut tail = 0.0f32;
+        for i in blocks * NR..x.len() {
+            tail += x[i] * y[i];
+        }
+        sum_lanes_tree(&lanes) + tail
+    }
+
+    fn axpy(a: f32, v: &[f32], out: &mut [f32]) {
+        // SAFETY: reachable only through the detection-gated `TABLE`.
+        unsafe { axpy_body(a, v, out) }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2 (guaranteed by the dispatch table's detection
+    /// gate).
+    #[target_feature(enable = "avx2")]
+    // SAFETY: `target_feature` makes this fn unsafe-to-call; the only
+    // caller is the detection-gated wrapper above.
+    unsafe fn axpy_body(a: f32, v: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(v.len(), out.len());
+        let blocks = v.len() / NR;
+        // Lanewise mul+add matches the scalar `*o += a * x` roundings.
+        let av = _mm256_set1_ps(a);
+        for c in 0..blocks {
+            let sum = _mm256_add_ps(load8(out, c * NR), _mm256_mul_ps(av, load8(v, c * NR)));
+            store8(out, c * NR, sum);
+        }
+        for i in blocks * NR..v.len() {
+            out[i] += a * v[i];
+        }
+    }
+
+    fn add_assign(v: &[f32], out: &mut [f32]) {
+        // SAFETY: reachable only through the detection-gated `TABLE`.
+        unsafe { add_assign_body(v, out) }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2 (guaranteed by the dispatch table's detection
+    /// gate).
+    #[target_feature(enable = "avx2")]
+    // SAFETY: `target_feature` makes this fn unsafe-to-call; the only
+    // caller is the detection-gated wrapper above.
+    unsafe fn add_assign_body(v: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(v.len(), out.len());
+        let blocks = v.len() / NR;
+        for c in 0..blocks {
+            let sum = _mm256_add_ps(load8(out, c * NR), load8(v, c * NR));
+            store8(out, c * NR, sum);
+        }
+        for i in blocks * NR..v.len() {
+            out[i] += v[i];
+        }
+    }
+
+    fn row_max(x: &[f32]) -> f32 {
+        // SAFETY: reachable only through the detection-gated `TABLE`.
+        unsafe { row_max_body(x) }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2 (guaranteed by the dispatch table's detection
+    /// gate).
+    #[target_feature(enable = "avx2")]
+    // SAFETY: `target_feature` makes this fn unsafe-to-call; the only
+    // caller is the detection-gated wrapper above.
+    unsafe fn row_max_body(x: &[f32]) -> f32 {
+        let blocks = x.len() / NR;
+        // `_mm256_max_ps` has the exact semantics of the scalar
+        // `maxps` helper per lane.
+        let lanes_v = {
+            let mut acc = _mm256_set1_ps(f32::NEG_INFINITY);
+            for c in 0..blocks {
+                acc = _mm256_max_ps(acc, load8(x, c * NR));
+            }
+            acc
+        };
+        let mut lanes = [0.0f32; NR];
+        store8(&mut lanes[..], 0, lanes_v);
+        let mut m = max_lanes_tree(&lanes);
+        for &v in &x[blocks * NR..] {
+            m = maxps(m, v);
+        }
+        m
+    }
+
+    fn row_sum(x: &[f32]) -> f32 {
+        // SAFETY: reachable only through the detection-gated `TABLE`.
+        unsafe { row_sum_body(x) }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2 (guaranteed by the dispatch table's detection
+    /// gate).
+    #[target_feature(enable = "avx2")]
+    // SAFETY: `target_feature` makes this fn unsafe-to-call; the only
+    // caller is the detection-gated wrapper above.
+    unsafe fn row_sum_body(x: &[f32]) -> f32 {
+        let blocks = x.len() / NR;
+        let lanes_v = {
+            let mut acc = _mm256_setzero_ps();
+            for c in 0..blocks {
+                acc = _mm256_add_ps(acc, load8(x, c * NR));
+            }
+            acc
+        };
+        let mut lanes = [0.0f32; NR];
+        store8(&mut lanes[..], 0, lanes_v);
+        let mut tail = 0.0f32;
+        for &v in &x[blocks * NR..] {
+            tail += v;
+        }
+        sum_lanes_tree(&lanes) + tail
+    }
+
+    fn div_assign(row: &mut [f32], denom: f32) {
+        // SAFETY: reachable only through the detection-gated `TABLE`.
+        unsafe { div_assign_body(row, denom) }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2 (guaranteed by the dispatch table's detection
+    /// gate).
+    #[target_feature(enable = "avx2")]
+    // SAFETY: `target_feature` makes this fn unsafe-to-call; the only
+    // caller is the detection-gated wrapper above.
+    unsafe fn div_assign_body(row: &mut [f32], denom: f32) {
+        let blocks = row.len() / NR;
+        // Lanewise IEEE divide is identical to the scalar `/=`.
+        let dv = _mm256_set1_ps(denom);
+        for c in 0..blocks {
+            let q = _mm256_div_ps(load8(row, c * NR), dv);
+            store8(row, c * NR, q);
+        }
+        for v in &mut row[blocks * NR..] {
+            *v /= denom;
+        }
+    }
+
+    /// Applies the round-to-nearest-even bias and truncates 8 packed
+    /// f32 bit patterns to their high 16 bits (as 32-bit lanes).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    // SAFETY: `target_feature` makes this fn unsafe-to-call; callers
+    // are themselves AVX2-gated bodies. Register-only integer ops
+    // replicating the scalar `bits + 0x7FFF + ((bits >> 16) & 1)`
+    // bias (wrapping) and logical right shift.
+    unsafe fn bf16_bias_shift(bits: __m256i) -> __m256i {
+        let lsb = _mm256_and_si256(_mm256_srli_epi32::<16>(bits), _mm256_set1_epi32(1));
+        let bias = _mm256_add_epi32(_mm256_set1_epi32(0x7FFF), lsb);
+        _mm256_srli_epi32::<16>(_mm256_add_epi32(bits, bias))
+    }
+
+    fn bf16_pack(src: &[f32], dst: &mut [u16]) {
+        // SAFETY: reachable only through the detection-gated `TABLE`.
+        unsafe { bf16_pack_body(src, dst) }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2 (guaranteed by the dispatch table's detection
+    /// gate).
+    #[target_feature(enable = "avx2")]
+    // SAFETY: `target_feature` makes this fn unsafe-to-call; the only
+    // caller is the detection-gated wrapper above.
+    unsafe fn bf16_pack_body(src: &[f32], dst: &mut [u16]) {
+        debug_assert_eq!(src.len(), dst.len());
+        let blocks = src.len() / 16;
+        for c in 0..blocks {
+            // The rounded 32-bit lanes are in [0, 0xFFFF], so the
+            // signed-input `packus` saturation never fires, and
+            // `permute4x64(0b11011000)` undoes the lane interleave
+            // `packus` introduces.
+            // SAFETY: each iteration reads f32s `[c*16, c*16 + 16)`
+            // and writes u16s over the same index range, both in
+            // bounds by the `blocks` computation; `loadu`/`storeu`
+            // permit unaligned access.
+            unsafe {
+                let lo = _mm256_loadu_si256(src.as_ptr().add(c * 16).cast::<__m256i>());
+                let hi = _mm256_loadu_si256(src.as_ptr().add(c * 16 + 8).cast::<__m256i>());
+                let packed = _mm256_packus_epi32(bf16_bias_shift(lo), bf16_bias_shift(hi));
+                let fixed = _mm256_permute4x64_epi64::<0b1101_1000>(packed);
+                _mm256_storeu_si256(dst.as_mut_ptr().add(c * 16).cast::<__m256i>(), fixed);
+            }
+        }
+        for i in blocks * 16..src.len() {
+            dst[i] = super::bf16_pack_one(src[i]);
+        }
+    }
+
+    fn bf16_unpack(src: &[u16], dst: &mut [f32]) {
+        // SAFETY: reachable only through the detection-gated `TABLE`.
+        unsafe { bf16_unpack_body(src, dst) }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2 (guaranteed by the dispatch table's detection
+    /// gate).
+    #[target_feature(enable = "avx2")]
+    // SAFETY: `target_feature` makes this fn unsafe-to-call; the only
+    // caller is the detection-gated wrapper above.
+    unsafe fn bf16_unpack_body(src: &[u16], dst: &mut [f32]) {
+        debug_assert_eq!(src.len(), dst.len());
+        let blocks = src.len() / NR;
+        for c in 0..blocks {
+            // SAFETY: each iteration reads 8 u16s and writes 8 f32s at
+            // index `c*8`, in bounds by the `blocks` computation; the
+            // widen-then-shift reproduces `(h as u32) << 16` per lane.
+            unsafe {
+                let h = _mm_loadu_si128(src.as_ptr().add(c * NR).cast::<__m128i>());
+                let wide = _mm256_slli_epi32::<16>(_mm256_cvtepu16_epi32(h));
+                _mm256_storeu_si256(dst.as_mut_ptr().add(c * NR).cast::<__m256i>(), wide);
+            }
+        }
+        for i in blocks * NR..src.len() {
+            dst[i] = super::bf16_unpack_one(src[i]);
+        }
+    }
+
+    fn bf16_round(data: &mut [f32]) {
+        // SAFETY: reachable only through the detection-gated `TABLE`.
+        unsafe { bf16_round_body(data) }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2 (guaranteed by the dispatch table's detection
+    /// gate).
+    #[target_feature(enable = "avx2")]
+    // SAFETY: `target_feature` makes this fn unsafe-to-call; the only
+    // caller is the detection-gated wrapper above.
+    unsafe fn bf16_round_body(data: &mut [f32]) {
+        let blocks = data.len() / NR;
+        for c in 0..blocks {
+            // SAFETY: 8 in-bounds f32s read and rewritten per
+            // iteration; bias-shift-left reproduces the scalar
+            // `((bits + bias) >> 16) << 16` per lane.
+            unsafe {
+                let bits = _mm256_loadu_si256(data.as_ptr().add(c * NR).cast::<__m256i>());
+                let rounded = _mm256_slli_epi32::<16>(bf16_bias_shift(bits));
+                _mm256_storeu_si256(data.as_mut_ptr().add(c * NR).cast::<__m256i>(), rounded);
+            }
+        }
+        for v in &mut data[blocks * NR..] {
+            *v = super::bf16_round_one(*v);
+        }
+    }
+}
+
+/// Packs `src` into bf16 storage (round-to-nearest-even) through the
+/// active kernel table. Panics in debug builds on length mismatch.
+pub fn bf16_pack_slice(src: &[f32], dst: &mut [u16]) {
+    (table().bf16_pack)(src, dst);
+}
+
+/// Unpacks bf16 storage into exact `f32`s through the active table.
+pub fn bf16_unpack_slice(src: &[u16], dst: &mut [f32]) {
+    (table().bf16_unpack)(src, dst);
+}
+
+/// Rounds every element to its nearest bf16 value in place, through
+/// the active table.
+pub fn bf16_round_slice(data: &mut [f32]) {
+    (table().bf16_round)(data);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = crate::Rng::seed(seed);
+        (0..n).map(|_| rng.normal() * 2.0).collect()
+    }
+
+    #[test]
+    fn override_selects_tables_and_reverts() {
+        with_simd_mode(Some(false), || {
+            assert_eq!(simd_mode(), SimdMode::Scalar);
+            assert_eq!(table().mode, SimdMode::Scalar);
+        });
+        if simd_available() {
+            with_simd_mode(Some(true), || {
+                assert_eq!(simd_mode(), SimdMode::Avx2);
+                assert_eq!(table().mode, SimdMode::Avx2);
+            });
+        }
+    }
+
+    #[test]
+    fn simd_kernels_match_scalar_bitwise() {
+        if !simd_available() {
+            return;
+        }
+        let x = ramp(67, 1);
+        let y = ramp(67, 2);
+        let scalar = &SCALAR_TABLE;
+        let simd = simd_table();
+        assert_eq!(
+            (scalar.dot)(&x, &y).to_bits(),
+            (simd.dot)(&x, &y).to_bits(),
+            "dot"
+        );
+        assert_eq!(
+            (scalar.row_max)(&x).to_bits(),
+            (simd.row_max)(&x).to_bits(),
+            "row_max"
+        );
+        assert_eq!(
+            (scalar.row_sum)(&x).to_bits(),
+            (simd.row_sum)(&x).to_bits(),
+            "row_sum"
+        );
+        let mut a = x.clone();
+        let mut b = x.clone();
+        (scalar.axpy)(0.37, &y, &mut a);
+        (simd.axpy)(0.37, &y, &mut b);
+        assert_eq!(bits(&a), bits(&b), "axpy");
+        (scalar.add_assign)(&y, &mut a);
+        (simd.add_assign)(&y, &mut b);
+        assert_eq!(bits(&a), bits(&b), "add_assign");
+        (scalar.div_assign)(&mut a, 1.7);
+        (simd.div_assign)(&mut b, 1.7);
+        assert_eq!(bits(&a), bits(&b), "div_assign");
+    }
+
+    #[test]
+    fn bf16_pack_unpack_round_trip_matches_scalar() {
+        if !simd_available() {
+            return;
+        }
+        let src = ramp(53, 3);
+        let simd = simd_table();
+        let mut packed_s = vec![0u16; src.len()];
+        let mut packed_v = vec![0u16; src.len()];
+        (SCALAR_TABLE.bf16_pack)(&src, &mut packed_s);
+        (simd.bf16_pack)(&src, &mut packed_v);
+        assert_eq!(packed_s, packed_v, "pack");
+        let mut un_s = vec![0.0f32; src.len()];
+        let mut un_v = vec![0.0f32; src.len()];
+        (SCALAR_TABLE.bf16_unpack)(&packed_s, &mut un_s);
+        (simd.bf16_unpack)(&packed_v, &mut un_v);
+        assert_eq!(bits(&un_s), bits(&un_v), "unpack");
+        let mut r_s = src.clone();
+        let mut r_v = src;
+        (SCALAR_TABLE.bf16_round)(&mut r_s);
+        (simd.bf16_round)(&mut r_v);
+        assert_eq!(bits(&r_s), bits(&r_v), "round");
+        // Rounding in place ≡ pack-then-unpack.
+        assert_eq!(bits(&r_s), bits(&un_s), "round vs pack∘unpack");
+    }
+
+    #[test]
+    fn micro_tile_matches_scalar_bitwise_on_short_tiles() {
+        if !simd_available() {
+            return;
+        }
+        let simd = simd_table();
+        let (n, kc_len) = (13usize, 9usize);
+        let b = ramp(kc_len * n, 4);
+        let mut apanel = vec![0.0f32; kc_len * MR];
+        for (i, v) in ramp(kc_len * MR, 5).iter().enumerate() {
+            apanel[i] = *v;
+        }
+        for mr_eff in 1..=MR {
+            let mut out_s = ramp(MR * n, 6);
+            let mut out_v = out_s.clone();
+            (SCALAR_TABLE.micro_tile)(&apanel, kc_len, &b, n, 0, 0, &mut out_s, 0, mr_eff);
+            (simd.micro_tile)(&apanel, kc_len, &b, n, 0, 0, &mut out_v, 0, mr_eff);
+            assert_eq!(bits(&out_s), bits(&out_v), "mr_eff {mr_eff}");
+        }
+    }
+
+    #[test]
+    fn modes_swap_under_override_for_slice_helpers() {
+        for force in [false, true] {
+            with_simd_mode(Some(force), || {
+                let mode = simd_mode();
+                let src = ramp(31, 8);
+                let mut packed = vec![0u16; src.len()];
+                bf16_pack_slice(&src, &mut packed);
+                let mut back = vec![0.0f32; src.len()];
+                bf16_unpack_slice(&packed, &mut back);
+                for (s, b) in src.iter().zip(&back) {
+                    assert!(
+                        (s - b).abs() <= s.abs() / 128.0 + 1e-6,
+                        "{mode:?}: {s} vs {b}"
+                    );
+                }
+            });
+        }
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Independent round-to-nearest-even reference: pick between
+        /// the two neighboring bf16 values by exact `f64` distance,
+        /// breaking ties toward the even (low-bit-zero) encoding.
+        /// Defined for finite inputs only.
+        fn bf16_reference(v: f32) -> u16 {
+            let down = (v.to_bits() >> 16) as u16;
+            let lo = super::bf16_unpack_one(down);
+            if lo == v {
+                return down;
+            }
+            let up = down.wrapping_add(1);
+            let hi = super::bf16_unpack_one(up);
+            // When `up` overflows past the largest finite bf16 it
+            // encodes ±inf, but for rounding purposes it denotes the
+            // phantom value ±2¹²⁸ (exact in f64) — IEEE RNE overflows
+            // to inf exactly when that phantom value is nearer.
+            let hi_val = if hi.is_finite() {
+                f64::from(hi)
+            } else {
+                2.0f64.powi(128) * f64::from(v.signum())
+            };
+            let dl = (f64::from(v) - f64::from(lo)).abs();
+            let dh = (hi_val - f64::from(v)).abs();
+            match dl.partial_cmp(&dh) {
+                Some(std::cmp::Ordering::Less) => down,
+                Some(std::cmp::Ordering::Greater) => up,
+                _ => {
+                    if down & 1 == 0 {
+                        down
+                    } else {
+                        up
+                    }
+                }
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// The pack kernel implements round-to-nearest-even on
+            /// every finite input, per the independent reference.
+            #[test]
+            fn bf16_pack_is_round_to_nearest_even(raw in any::<u32>()) {
+                let v = f32::from_bits(raw);
+                if v.is_finite() {
+                    prop_assert_eq!(bf16_pack_one(v), bf16_reference(v), "v = {}", v);
+                }
+            }
+
+            /// Unpack is exact and pack∘unpack is the identity on
+            /// storage bits (no double rounding).
+            #[test]
+            fn bf16_round_trip_is_stable(raw in any::<u32>()) {
+                let h = (raw & 0xFFFF) as u16;
+                let v = bf16_unpack_one(h);
+                if !v.is_nan() {
+                    prop_assert_eq!(bf16_pack_one(v), h);
+                }
+                prop_assert_eq!(bf16_round_one(v).to_bits(), v.to_bits());
+            }
+
+            /// Scalar and AVX2 bf16 kernels agree bit-for-bit on
+            /// arbitrary bit patterns (they are pure integer
+            /// pipelines, so even NaN payloads must match).
+            #[test]
+            fn bf16_kernels_agree_across_modes(raws in proptest::collection::vec(any::<u32>(), 1..64)) {
+                if simd_available() {
+                    let src: Vec<f32> = raws.iter().map(|&r| f32::from_bits(r)).collect();
+                    let simd = simd_table();
+                    let mut ps = vec![0u16; src.len()];
+                    let mut pv = vec![0u16; src.len()];
+                    (SCALAR_TABLE.bf16_pack)(&src, &mut ps);
+                    (simd.bf16_pack)(&src, &mut pv);
+                    prop_assert_eq!(&ps, &pv, "pack");
+                    let mut us = vec![0.0f32; src.len()];
+                    let mut uv = vec![0.0f32; src.len()];
+                    (SCALAR_TABLE.bf16_unpack)(&ps, &mut us);
+                    (simd.bf16_unpack)(&pv, &mut uv);
+                    prop_assert_eq!(bits(&us), bits(&uv), "unpack");
+                    let mut rs = src.clone();
+                    let mut rv = src;
+                    (SCALAR_TABLE.bf16_round)(&mut rs);
+                    (simd.bf16_round)(&mut rv);
+                    prop_assert_eq!(bits(&rs), bits(&rv), "round");
+                }
+            }
+        }
+    }
+}

@@ -18,6 +18,7 @@
 //! # Ok::<(), tutel_tensor::TensorError>(())
 //! ```
 
+pub mod dispatch;
 mod error;
 mod init;
 mod linalg;
@@ -28,11 +29,12 @@ mod shape;
 #[allow(clippy::module_inception)]
 mod tensor;
 
+pub use dispatch::{set_simd_override, simd_available, simd_mode, SimdMode};
 pub use error::TensorError;
 pub use init::Rng;
 pub use linalg::{gemm_bnn, gemm_nn, gemm_nn_sparse, gemm_nt, gemm_tn};
 pub use ops::{gelu_backward_in_place, gelu_backward_with_tanh, gelu_slice, gelu_slice_with_tanh};
-pub use precision::{quantize, Precision};
+pub use precision::{quantize, quantize_in_place, Precision};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

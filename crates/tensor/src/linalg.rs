@@ -30,12 +30,9 @@
 //! into pre-allocated gradient buffers without materializing
 //! intermediate tensors.
 
+use crate::dispatch::{self, MR, NR};
 use crate::{Result, Tensor, TensorError};
 
-/// Rows per register micro-tile.
-const MR: usize = 4;
-/// Columns per register micro-tile.
-const NR: usize = 8;
 /// `k`-dimension panel depth: one packed A panel is `KC × MR` floats
 /// (4 KiB), comfortably L1-resident.
 const KC: usize = 256;
@@ -292,11 +289,12 @@ pub fn gemm_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usi
         return;
     }
     tutel_rt::parallel_chunks(out, ROW_BLOCK * n, |blk, chunk| {
+        let dot = dispatch::table().dot;
         let row0 = blk * ROW_BLOCK;
         for (i, orow) in chunk.chunks_mut(n).enumerate() {
             let arow = &a[(row0 + i) * k..(row0 + i + 1) * k];
             for (j, o) in orow.iter_mut().enumerate() {
-                *o += dot_lanes(arow, &b[j * k..(j + 1) * k]);
+                *o += dot(arow, &b[j * k..(j + 1) * k]);
             }
         }
     });
@@ -312,6 +310,10 @@ pub fn gemm_nn_sparse(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize,
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
+    // The surviving row updates go through the same dispatch table as
+    // the dense microkernel, so structural sparsity no longer opts out
+    // of the SIMD path — only the zero-skip test stays scalar.
+    let axpy = dispatch::table().axpy;
     for i in 0..m {
         for p in 0..k {
             let av = a[i * k + p];
@@ -320,9 +322,7 @@ pub fn gemm_nn_sparse(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize,
             }
             let brow = &b[p * n..(p + 1) * n];
             let orow = &mut out[i * n..(i + 1) * n];
-            for j in 0..n {
-                orow[j] += av * brow[j];
-            }
+            axpy(av, brow, orow);
         }
     }
 }
@@ -353,6 +353,7 @@ fn block_packed(
     n: usize,
     layout: Layout,
 ) {
+    let micro_tile = dispatch::table().micro_tile;
     let mut apanel = [0.0f32; KC * MR];
     let mut pc = 0;
     while pc < k {
@@ -392,7 +393,7 @@ fn block_packed(
             while jc < n {
                 let nr_eff = NR.min(n - jc);
                 if nr_eff == NR {
-                    micro_tile_full(&apanel, kc_len, b, n, pc, jc, out_rows, ir, mr_eff);
+                    micro_tile(&apanel, kc_len, b, n, pc, jc, out_rows, ir, mr_eff);
                 } else {
                     micro_tile_edge(&apanel, kc_len, b, n, pc, jc, nr_eff, out_rows, ir, mr_eff);
                 }
@@ -404,45 +405,10 @@ fn block_packed(
     }
 }
 
-/// Full `MR × NR` register tile: branch-free p-innermost accumulation
-/// the compiler can vectorize (NR-wide FMA rows broadcast-scaled by
-/// packed A values).
-#[allow(clippy::too_many_arguments)]
-#[inline]
-fn micro_tile_full(
-    apanel: &[f32],
-    kc_len: usize,
-    b: &[f32],
-    n: usize,
-    pc: usize,
-    jc: usize,
-    out_rows: &mut [f32],
-    ir: usize,
-    mr_eff: usize,
-) {
-    let mut acc = [[0.0f32; NR]; MR];
-    for p in 0..kc_len {
-        let boff = (pc + p) * n + jc;
-        let brow = &b[boff..boff + NR];
-        let avals = &apanel[p * MR..p * MR + MR];
-        for r in 0..MR {
-            let av = avals[r];
-            let accr = &mut acc[r];
-            for j in 0..NR {
-                accr[j] += av * brow[j];
-            }
-        }
-    }
-    for (r, accr) in acc.iter().enumerate().take(mr_eff) {
-        let ooff = (ir + r) * n + jc;
-        let orow = &mut out_rows[ooff..ooff + NR];
-        for j in 0..NR {
-            orow[j] += accr[j];
-        }
-    }
-}
-
-/// Ragged right-edge tile (`nr_eff < NR` columns).
+/// Ragged right-edge tile (`nr_eff < NR` columns). Shared scalar code
+/// in both dispatch modes: it never spans a full vector, so keeping
+/// one copy guarantees the bitwise contract on the N-remainder for
+/// free (the full `MR × NR` tile lives in [`dispatch`]).
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn micro_tile_edge(
@@ -477,29 +443,6 @@ fn micro_tile_edge(
             *o += accr[j];
         }
     }
-}
-
-/// 8-lane strip-mined dot product with a fixed reduction tree, so the
-/// result is a pure function of the operands (never of scheduling).
-#[inline]
-fn dot_lanes(x: &[f32], y: &[f32]) -> f32 {
-    debug_assert_eq!(x.len(), y.len());
-    let mut lanes = [0.0f32; NR];
-    let blocks = x.len() / NR;
-    for c in 0..blocks {
-        let xb = &x[c * NR..c * NR + NR];
-        let yb = &y[c * NR..c * NR + NR];
-        for l in 0..NR {
-            lanes[l] += xb[l] * yb[l];
-        }
-    }
-    let mut tail = 0.0f32;
-    for i in blocks * NR..x.len() {
-        tail += x[i] * y[i];
-    }
-    let s0 = (lanes[0] + lanes[4]) + (lanes[1] + lanes[5]);
-    let s1 = (lanes[2] + lanes[6]) + (lanes[3] + lanes[7]);
-    (s0 + s1) + tail
 }
 
 #[cfg(test)]
@@ -688,6 +631,19 @@ mod tests {
             (1usize..48, 1usize..300, 1usize..48)
         }
 
+        /// Shapes guaranteed to leave a nonzero remainder on every
+        /// blocking axis: `m % MR ≠ 0`, `k % KC ≠ 0`, `n % NR ≠ 0`.
+        fn ragged_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+            (
+                (0usize..10, 1usize..MR),
+                (0usize..2, 1usize..KC),
+                (0usize..5, 1usize..NR),
+            )
+                .prop_map(|((mq, mrr), (kq, krr), (nq, nrr))| {
+                    (mq * MR + mrr, kq * KC + krr, nq * NR + nrr)
+                })
+        }
+
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -725,6 +681,47 @@ mod tests {
                 let mut nt = vec![0.0f32; m * n];
                 gemm_nt(a.as_slice(), &btr, &mut nt, m, k, n);
                 assert_close(&nt, &want, k);
+            }
+
+            /// The SIMD kernel table produces bit-identical results to
+            /// the scalar table on every GEMM variant, on shapes that
+            /// exercise all three remainder tails at once.
+            #[test]
+            fn simd_gemms_match_scalar_bitwise((m, k, n) in ragged_dims(), seed in 0u64..1024) {
+                if crate::dispatch::simd_available() {
+                    let mut rng = crate::Rng::seed(seed);
+                    let a = rng.normal_tensor(&[m, k], 0.0, 1.0);
+                    let b = rng.normal_tensor(&[k, n], 0.0, 1.0);
+                    let bt = rng.normal_tensor(&[n, k], 0.0, 1.0);
+                    let at = rng.normal_tensor(&[k, m], 0.0, 1.0);
+                    let ba = rng.normal_tensor(&[3, m, k], 0.0, 1.0);
+                    let bb = rng.normal_tensor(&[3, k, n], 0.0, 1.0);
+                    let mut sp = a.clone();
+                    for (i, v) in sp.as_mut_slice().iter_mut().enumerate() {
+                        if i % 3 != 0 { *v = 0.0; }
+                    }
+                    let run = |force: bool| {
+                        crate::dispatch::with_simd_mode(Some(force), || {
+                            let mut sparse = vec![0.0f32; m * n];
+                            gemm_nn_sparse(sp.as_slice(), b.as_slice(), &mut sparse, m, k, n);
+                            (
+                                a.matmul(&b).unwrap(),
+                                a.matmul_nt(&bt).unwrap(),
+                                at.matmul_tn(&b).unwrap(),
+                                ba.bmm(&bb).unwrap(),
+                                sparse,
+                            )
+                        })
+                    };
+                    let scalar = run(false);
+                    let simd = run(true);
+                    let bits = |s: &[f32]| s.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+                    prop_assert_eq!(bits(scalar.0.as_slice()), bits(simd.0.as_slice()), "matmul");
+                    prop_assert_eq!(bits(scalar.1.as_slice()), bits(simd.1.as_slice()), "nt");
+                    prop_assert_eq!(bits(scalar.2.as_slice()), bits(simd.2.as_slice()), "tn");
+                    prop_assert_eq!(bits(scalar.3.as_slice()), bits(simd.3.as_slice()), "bmm");
+                    prop_assert_eq!(bits(&scalar.4), bits(&simd.4), "gemm_nn_sparse");
+                }
             }
 
             /// Worker count never changes a single bit of the output.

@@ -151,9 +151,14 @@ impl Tensor {
     ///
     /// For a gating logits tensor of shape `(T, E)` this produces the
     /// routing probabilities of Figure 18 line 2. Rows are processed
-    /// in fixed 64-row chunks on the `tutel-rt` pool; each row's
-    /// arithmetic is self-contained, so results are bit-identical for
-    /// any worker count.
+    /// in fixed 64-row chunks on the `tutel-rt` pool, and each row in
+    /// four passes through the active kernel table: a lane-tree max,
+    /// a scalar `exp` sweep (libm `exp` is scalar in both modes), a
+    /// lane-tree sum, and a lanewise divide. Each row's arithmetic is
+    /// self-contained and every pass is bitwise-identical across
+    /// kernel tables, so results are bit-identical for any worker
+    /// count and any `TUTEL_SIMD` setting (rows shorter than 8 lanes
+    /// degenerate to the sequential tail in both modes).
     // check:hot
     pub fn softmax_last(&self) -> Tensor {
         let cols = *self.dims().last().unwrap_or(&1);
@@ -162,16 +167,14 @@ impl Tensor {
             return out;
         }
         tutel_rt::parallel_chunks(out.as_mut_slice(), 64 * cols, |_, chunk| {
+            let kt = crate::dispatch::table();
             for row in chunk.chunks_mut(cols) {
-                let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                let mut denom = 0.0;
+                let max = (kt.row_max)(row);
                 for v in row.iter_mut() {
                     *v = (*v - max).exp();
-                    denom += *v;
                 }
-                for v in row.iter_mut() {
-                    *v /= denom;
-                }
+                let denom = (kt.row_sum)(row);
+                (kt.div_assign)(row, denom);
             }
         });
         out
@@ -409,6 +412,24 @@ mod tests {
                 fd,
                 analytic.as_slice()[i]
             );
+        }
+    }
+
+    #[test]
+    fn softmax_is_bit_identical_across_simd_modes() {
+        if !crate::dispatch::simd_available() {
+            return;
+        }
+        let mut rng = crate::Rng::seed(31);
+        // Wide rows (several 8-lane blocks + tail) and narrow rows
+        // (pure tail) both must agree bit-for-bit.
+        for cols in [3usize, 17, 64] {
+            let x = rng.normal_tensor(&[37, cols], 0.0, 3.0);
+            let scalar = crate::dispatch::with_simd_mode(Some(false), || x.softmax_last());
+            let simd = crate::dispatch::with_simd_mode(Some(true), || x.softmax_last());
+            for (a, b) in scalar.as_slice().iter().zip(simd.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "cols {cols}");
+            }
         }
     }
 

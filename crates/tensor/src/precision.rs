@@ -33,6 +33,25 @@ impl Precision {
             Precision::F16 => f16_round(v),
         }
     }
+
+    /// Bytes one element occupies *in storage / on the wire* under this
+    /// format. Compute always accumulates in `f32`; this is what the
+    /// adaptive cost functions multiply parameter counts by.
+    pub fn storage_bytes(&self) -> usize {
+        match self {
+            Precision::F32 => 4,
+            Precision::Bf16 | Precision::F16 => 2,
+        }
+    }
+
+    /// Short audit-log label (`f32` / `bf16` / `f16`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Bf16 => "bf16",
+            Precision::F16 => "f16",
+        }
+    }
 }
 
 /// Rounds every element of `t` to `precision`, returning a new tensor.
@@ -40,11 +59,27 @@ pub fn quantize(t: &Tensor, precision: Precision) -> Tensor {
     t.map(|v| precision.round(v))
 }
 
+/// Rounds every element of `data` to `precision` in place. The bf16
+/// path goes through the active kernel table (SIMD when available —
+/// bitwise-identical to the scalar rounding by construction); the
+/// other formats use the scalar reference.
+pub fn quantize_in_place(data: &mut [f32], precision: Precision) {
+    match precision {
+        Precision::F32 => {}
+        Precision::Bf16 => (crate::dispatch::table().bf16_round)(data),
+        Precision::F16 => {
+            for v in data.iter_mut() {
+                *v = f16_round(*v);
+            }
+        }
+    }
+}
+
+/// Delegates to the dispatch module's scalar reference so the
+/// emulation path and the bf16 *storage* kernels (`dispatch::bf16_*`)
+/// can never disagree on the rounding rule.
 fn bf16_round(v: f32) -> f32 {
-    let bits = v.to_bits();
-    // Round-to-nearest-even on the truncated 16 low bits.
-    let rounding_bias = 0x7FFF + ((bits >> 16) & 1);
-    f32::from_bits(((bits.wrapping_add(rounding_bias)) >> 16) << 16)
+    crate::dispatch::bf16_round_one(v)
 }
 
 fn f16_round(v: f32) -> f32 {

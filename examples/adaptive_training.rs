@@ -107,6 +107,7 @@ fn main() {
             capacity_factor: f,
             model_dim: 4096,
             hidden_dim: 4096,
+            weight_precision: tutel_suite::tensor::Precision::F32,
         };
         let choice = par_router.choose_observed(&pdims, &tel);
 

@@ -85,6 +85,7 @@ fn parallelism_router_crossover_is_consistent_with_costs() {
         capacity_factor: f,
         model_dim: 2048,
         hidden_dim: 8192,
+        weight_precision: tutel_suite::tensor::Precision::F32,
     };
     for f in [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
         let d = dims(f);

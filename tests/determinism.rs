@@ -6,10 +6,19 @@
 //! pins that across `tutel_rt::with_parallelism_limit` sweeps, and
 //! `ci.sh` repeats the whole test binary under `TUTEL_THREADS=1` and
 //! `TUTEL_THREADS=4` to cover the env-var path too.
+//!
+//! The same contract extends along the kernel-table axis: the AVX2
+//! `f32x8` kernels share the scalar kernels' reduction trees and never
+//! emit FMA, so `TUTEL_SIMD=0` and `TUTEL_SIMD=1` must also be
+//! bit-identical — at every worker count simultaneously. The
+//! cross-mode sweep below pins the in-process override path
+//! (`dispatch::with_simd_mode`); `ci.sh` repeats the binary under
+//! `TUTEL_SIMD=0/1` × `TUTEL_THREADS=1/4` for the env-var path.
 
 use tutel_suite::gate::{route, RouteConfig};
 use tutel_suite::kernels::{fast_decode, fast_decode_backward, fast_encode, fast_encode_backward};
 use tutel_suite::rt::with_parallelism_limit;
+use tutel_suite::tensor::dispatch;
 use tutel_suite::tensor::{Rng, Tensor};
 use tutel_suite::tutel::{MoeConfig, MoeLayer};
 
@@ -120,6 +129,62 @@ fn moe_layer_forward_and_backward_are_bit_identical_across_worker_counts() {
         );
         assert_bits_equal(&reference.2, &got.2, "moe d_x", limit);
     }
+}
+
+#[test]
+fn moe_layer_is_bit_identical_across_simd_modes_and_worker_counts() {
+    // The full {scalar, simd} × worker-count cross product against one
+    // fixed reference (scalar, one worker): the two axes must not
+    // interact — SIMD chunks along columns inside a row kernel while
+    // the pool chunks along rows, and neither may move a bit.
+    let cfg = MoeConfig::new(16, 32, 4).with_top_k(2);
+    let run = |limit: usize| {
+        with_parallelism_limit(limit, || {
+            let mut rng = Rng::seed(7);
+            let mut layer = MoeLayer::new(&cfg, &mut rng).unwrap();
+            let x = rng.normal_tensor(&[96, 16], 0.0, 1.0);
+            let d = rng.normal_tensor(&[96, 16], 0.0, 1.0);
+            let out = layer.forward(&x).unwrap();
+            let dx = layer.backward(&d).unwrap();
+            (out.output, out.aux_loss, dx)
+        })
+    };
+    let reference = dispatch::with_simd_mode(Some(false), || run(1));
+    for simd in [false, true] {
+        for limit in LIMITS {
+            let got = dispatch::with_simd_mode(Some(simd), || run(limit));
+            let what = |s: &str| format!("{s} (simd={simd})");
+            assert_bits_equal(&reference.0, &got.0, &what("moe output"), limit);
+            assert_eq!(
+                reference.1.to_bits(),
+                got.1.to_bits(),
+                "aux loss at limit {limit} (simd={simd})"
+            );
+            assert_bits_equal(&reference.2, &got.2, &what("moe d_x"), limit);
+        }
+    }
+}
+
+#[test]
+fn gemm_family_is_bit_identical_across_simd_modes() {
+    let mut rng = Rng::seed(44);
+    // Ragged shapes so every micro-tile tail path runs in both modes.
+    let a = rng.normal_tensor(&[61, 87], 0.0, 1.0);
+    let b = rng.normal_tensor(&[87, 43], 0.0, 1.0);
+    let bt = rng.normal_tensor(&[43, 87], 0.0, 1.0);
+    let at = rng.normal_tensor(&[87, 61], 0.0, 1.0);
+    let run = || {
+        (
+            a.matmul(&b).unwrap(),
+            a.matmul_nt(&bt).unwrap(),
+            at.matmul_tn(&b).unwrap(),
+        )
+    };
+    let scalar = dispatch::with_simd_mode(Some(false), run);
+    let simd = dispatch::with_simd_mode(Some(true), run);
+    assert_bits_equal(&scalar.0, &simd.0, "matmul (simd)", 1);
+    assert_bits_equal(&scalar.1, &simd.1, "matmul_nt (simd)", 1);
+    assert_bits_equal(&scalar.2, &simd.2, "matmul_tn (simd)", 1);
 }
 
 #[test]
