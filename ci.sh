@@ -70,6 +70,27 @@ echo "==> conformance harness: replayed fault seed"
 cargo run --release -q -p tutel-harness --bin harness -- \
     --fault-seed 0xB0B0 > /dev/null
 
+echo "==> serving: smoke grid + seeded load-gen sweep at TUTEL_THREADS={1,4}"
+# The serving engine runs on a virtual clock, so the whole goodput
+# sweep (continuous vs serial batching over seeded poisson/bursty/
+# diurnal traces) must be bit-identical at any worker count: the
+# repro_serve digest line is compared across both settings, and the
+# acceptance criterion (continuous beats serial at every offered load)
+# is enforced by the binary's exit code. The serve unit/property tests
+# are also swept at both widths to pin the env-var path.
+TUTEL_THREADS=1 cargo test -q -p tutel-serve
+TUTEL_THREADS=4 cargo test -q -p tutel-serve
+TUTEL_THREADS=1 cargo run --release -q -p tutel-bench --bin repro_serve -- \
+    BENCH_serve.json | tee "$TRACE_DIR/serve_t1.txt" | grep "serve digest"
+TUTEL_THREADS=4 cargo run --release -q -p tutel-bench --bin repro_serve -- \
+    "$TRACE_DIR/BENCH_serve_t4.json" > "$TRACE_DIR/serve_t4.txt"
+D1=$(grep "serve digest" "$TRACE_DIR/serve_t1.txt")
+D4=$(grep "serve digest" "$TRACE_DIR/serve_t4.txt")
+if [ "$D1" != "$D4" ]; then
+    echo "serve digest diverged across TUTEL_THREADS: '$D1' vs '$D4'" >&2
+    exit 1
+fi
+
 echo "==> tutel-check: workspace lint (baseline ratchet)"
 cargo run --release -q -p tutel-check -- --baseline check-baseline.json
 

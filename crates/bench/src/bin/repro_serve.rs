@@ -1,0 +1,65 @@
+//! Serving goodput sweep: continuous batching vs one-request-at-a-time
+//! over the seeded open-loop traces, printed as a table and written to
+//! `BENCH_serve.json` (pass an argument to choose a different path).
+//!
+//! The per-rank compute worker count comes from `TUTEL_THREADS`
+//! (default 1). Every reported number lives on the engine's virtual
+//! clock, so the deterministic digest printed at the end must be
+//! identical at any thread setting — CI compares it at 1 and 4.
+//!
+//! Exits non-zero unless continuous batching beats the serial engine's
+//! goodput at every offered load level — the acceptance criterion,
+//! enforced.
+
+use std::process::ExitCode;
+
+use tutel_bench::experiments::serving;
+use tutel_obs::Telemetry;
+
+fn main() -> ExitCode {
+    let threads = std::env::var("TUTEL_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(1);
+    let tel = Telemetry::enabled();
+    let results = match serving::sweep(threads, &tel) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serving sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    serving::sweep_table(&results).print();
+
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let json = serving::sweep_json(&results, threads).to_json();
+    if let Err(e) = std::fs::write(&path, json + "\n") {
+        eprintln!("failed to write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {path} ({} load levels, threads={threads})",
+        results.len()
+    );
+    println!("serve digest: {:016x}", serving::digest(&results));
+
+    let mut ok = true;
+    for r in &results {
+        if !r.continuous_beats_serial() {
+            eprintln!(
+                "FAIL {}: continuous goodput {:.0} t/s does not beat serial {:.0} t/s",
+                r.level.label, r.continuous.goodput_tps, r.serial.goodput_tps
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        println!("serving acceptance: continuous beats serial at every load level — pass");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -11,3 +11,4 @@ pub mod micro;
 pub mod overlap_sweep;
 pub mod parallelism;
 pub mod pipelining;
+pub mod serving;

@@ -61,6 +61,7 @@ pub fn finding_to_anomaly(f: &Finding) -> AnomalyRecord {
     AnomalyRecord {
         kind: format!("check.{}", f.rule),
         rank: None,
+        request_id: None,
         ratio: 1.0,
         detail,
         step: Some(f.seed),

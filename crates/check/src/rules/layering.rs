@@ -29,8 +29,9 @@ const TIERS: &[(&str, u32)] = &[
     ("tutel-kernels", 5),
     ("tutel-experts", 6),
     ("tutel", 7),
-    ("tutel-bench", 8),
+    ("tutel-serve", 8),
     ("tutel-check", 8),
+    ("tutel-bench", 9),
     ("tutel-harness", 9),
 ];
 
@@ -186,8 +187,18 @@ mod tests {
 
     #[test]
     fn same_layer_dep_is_flagged() {
-        let ms = vec![manifest("tutel-bench", &["tutel-check"])];
+        let ms = vec![manifest("tutel-check", &["tutel-serve"])];
         assert_eq!(check_layering(&ms).len(), 1);
+    }
+
+    #[test]
+    fn tools_may_depend_on_the_serving_tier() {
+        // bench and harness sit above serve after the retier.
+        let ms = vec![
+            manifest("tutel-bench", &["tutel-serve", "tutel-check"]),
+            manifest("tutel-harness", &["tutel-serve"]),
+        ];
+        assert!(check_layering(&ms).is_empty());
     }
 
     #[test]

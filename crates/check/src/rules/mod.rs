@@ -28,7 +28,8 @@ pub use unsafe_audit::UnsafeAudit;
 
 /// The library crates whose non-test code must hold the strict
 /// contracts (`no_panic`, `layout_doc`): everything on the
-/// gate → encode → All-to-All → FFN → decode data path.
+/// gate → encode → All-to-All → FFN → decode data path, plus the
+/// serving tier that drives it request-by-request.
 pub const STRICT_CRATES: &[&str] = &[
     "tutel-tensor",
     "tutel-comm",
@@ -36,6 +37,7 @@ pub const STRICT_CRATES: &[&str] = &[
     "tutel-kernels",
     "tutel-experts",
     "tutel",
+    "tutel-serve",
 ];
 
 /// A source-level lint rule.

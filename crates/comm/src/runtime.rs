@@ -235,6 +235,12 @@ pub struct Communicator {
     /// the `seq` stamp on [`Message`]. Only touched when the tracer is
     /// enabled.
     send_seqs: RefCell<HashMap<(usize, u64, u8), u32>>,
+    /// Total `f32` elements this rank has physically transmitted as
+    /// collective payload (`Data` messages only; duplicates and
+    /// retransmits count each wire copy). Serving layers read this to
+    /// attribute per-step All-to-All volume without touching the hot
+    /// path — it is a plain counter bump on an already-owned cell.
+    sent_elems: Cell<u64>,
 }
 
 impl Communicator {
@@ -271,7 +277,16 @@ impl Communicator {
             reliability: None,
             tracer: Tracer::disabled(),
             send_seqs: RefCell::new(HashMap::new()),
+            sent_elems: Cell::new(0),
         }
+    }
+
+    /// Total `f32` elements transmitted on the wire as collective
+    /// payload so far (control traffic excluded). Monotone within a
+    /// run; the serve engine samples it around each micro-batch step
+    /// to report per-step communication volume.
+    pub fn sent_payload_elems(&self) -> u64 {
+        self.sent_elems.get()
     }
 
     /// This rank's causal tracer (disabled unless the run was started
@@ -392,6 +407,10 @@ impl Communicator {
         seq: u32,
         payload: Vec<f32>,
     ) -> Result<(), CommError> {
+        if kind == MsgKind::Data {
+            self.sent_elems
+                .set(self.sent_elems.get() + payload.len() as u64);
+        }
         match &self.endpoint {
             Endpoint::Channel { senders, .. } => {
                 let msg = Message {
@@ -1554,6 +1573,7 @@ where
                         None => Tracer::disabled(),
                     },
                     send_seqs: RefCell::new(HashMap::new()),
+                    sent_elems: Cell::new(0),
                 };
                 program(comm)
             }));
@@ -1640,6 +1660,25 @@ mod tests {
         let expect: Vec<f32> = (0..8).map(|i| 4.0 * i as f32 + 48.0).collect();
         for r in got {
             assert_eq!(r, expect);
+        }
+    }
+
+    #[test]
+    fn sent_payload_elems_counts_data_volume() {
+        // A 4-rank linear all-to-all sends chunk-sized payloads to the
+        // 3 peers (the self-chunk is a local copy, not a wire send).
+        let topo = Topology::single_node(4);
+        let chunk = 5;
+        let bufs = labeled(4, chunk);
+        let bufs_ref = &bufs;
+        let counts = run_threaded(topo, |mut comm| {
+            let before = comm.sent_payload_elems();
+            assert_eq!(before, 0);
+            comm.all_to_all(&bufs_ref[comm.rank()]).unwrap();
+            comm.sent_payload_elems() - before
+        });
+        for c in counts {
+            assert_eq!(c, 3 * chunk as u64);
         }
     }
 

@@ -209,6 +209,22 @@ impl MoeLayer {
         self.infer_with(x, self.cfg.capacity_factor)
     }
 
+    /// Batch-invariant inference: routes **dropless**
+    /// (`CapacityPolicy::AutoMin`), so a token's output is a function
+    /// of its own row and the parameters alone — no special-case
+    /// row handling anywhere, and in particular a batch of one token
+    /// takes exactly the same kernel path (blocked GEMM, softmax,
+    /// top-k, encode/FFN/decode) as a large batch and produces
+    /// bitwise-identical rows. This is the path the serving engine
+    /// builds its per-request differential oracle on.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] on shape mismatch.
+    pub fn infer_dropless(&self, x: &Tensor) -> Result<MoeOutput, TensorError> {
+        self.infer_with(x, 0.0)
+    }
+
     /// Inference with an explicit capacity-factor argument.
     ///
     /// # Errors
@@ -505,6 +521,29 @@ mod tests {
         // Routing is discontinuous at decision boundaries; with a large
         // capacity factor and smooth weights, most coordinates match.
         assert!(max_err < 0.15, "max grad error {max_err}");
+    }
+
+    #[test]
+    fn batch_of_one_takes_the_batched_kernel_path_bitwise() {
+        // The serving contract: under dropless routing, every row of
+        // a batched inference is bitwise identical to inferring that
+        // row alone — batch size 1 is not a special case anywhere in
+        // the gate, encode, FFN, or decode path.
+        let cfg = MoeConfig::new(8, 16, 4).with_top_k(2);
+        let (l, mut rng) = layer(&cfg, 12);
+        let x = rng.normal_tensor(&[16, 8], 0.0, 1.0);
+        let batched = l.infer_dropless(&x).unwrap();
+        for t in 0..16 {
+            let row = Tensor::from_vec(x.as_slice()[t * 8..(t + 1) * 8].to_vec(), &[1, 8]).unwrap();
+            let solo = l.infer_dropless(&row).unwrap();
+            assert_eq!(
+                solo.output.as_slice(),
+                &batched.output.as_slice()[t * 8..(t + 1) * 8],
+                "row {t} diverged between batch-1 and batch-16"
+            );
+            assert_eq!(solo.dropped, 0);
+        }
+        assert_eq!(batched.dropped, 0);
     }
 
     #[test]

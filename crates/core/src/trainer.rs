@@ -177,21 +177,41 @@ pub fn train_observed(
     }
 }
 
-/// Evaluates top-1 accuracy over `batches` held-out batches.
+/// Evaluates top-1 accuracy over `batches` held-out batches of 32
+/// samples each.
 ///
 /// # Panics
 ///
 /// Panics if inference fails on internally generated shapes.
 pub fn evaluate(model: &SwinLiteMoe, dataset: &SyntheticVision, batches: usize, seed: u64) -> f64 {
+    evaluate_with_batch(model, dataset, batches, 32, seed)
+}
+
+/// [`evaluate`] with an explicit batch size. Any size down to a
+/// single sample runs through the same inference path — batch size 1
+/// is not a special case (the serving engine relies on this when it
+/// re-batches straggling single requests).
+///
+/// # Panics
+///
+/// Panics if `batch` is zero or inference fails on internally
+/// generated shapes.
+pub fn evaluate_with_batch(
+    model: &SwinLiteMoe,
+    dataset: &SyntheticVision,
+    batches: usize,
+    batch: usize,
+    seed: u64,
+) -> f64 {
+    assert!(batch > 0, "evaluation batch must be nonzero");
     let mut rng = Rng::seed(seed);
     let mut total = 0.0;
-    let batch = 32;
     for _ in 0..batches {
         let (x, y) = dataset.batch(batch, &mut rng);
         let logits = model.infer(&x, batch).expect("infer");
         total += accuracy(&logits, &y);
     }
-    total / batches as f64
+    total / batches.max(1) as f64
 }
 
 /// The paper's 5-shot linear evaluation: freeze the backbone, extract
@@ -354,6 +374,24 @@ mod tests {
         let (model, ds) = quick_setup(false);
         let acc = evaluate(&model, &ds, 2, 3);
         assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn single_sample_batches_evaluate_through_the_same_path() {
+        // Batch size 1 must not be a special case: a single-sample
+        // evaluation runs the identical inference path and yields a
+        // well-formed accuracy, and the MoE variant does too.
+        for moe in [false, true] {
+            let (model, ds) = quick_setup(moe);
+            let acc = evaluate_with_batch(&model, &ds, 4, 1, 3);
+            assert!((0.0..=1.0).contains(&acc), "batch-1 accuracy {acc}");
+        }
+        // The default entry point is exactly the batch-32 case.
+        let (model, ds) = quick_setup(false);
+        assert_eq!(
+            evaluate(&model, &ds, 2, 3),
+            evaluate_with_batch(&model, &ds, 2, 32, 3)
+        );
     }
 
     #[test]

@@ -51,6 +51,13 @@
 //! on real OS threads under the happens-before race checker
 //! (`tutel_check::race`), landing any finding in the telemetry audit
 //! ring as a typed anomaly.
+//!
+//! [`serve`] extends the same oracle to the serving tier: seeded
+//! request mixes flow through `tutel-serve`'s continuous batcher and
+//! every completed request must reproduce its *solo* reference run —
+//! bitwise for P1 at [`reference::REF_THREADS`], ≤ 4 scaled ULP for
+//! P2 — for every batch composition the scheduler composes, including
+//! under a seeded `FaultPlan` replay on the step's All-to-All.
 
 pub mod dist;
 pub mod faults;
@@ -58,6 +65,7 @@ pub mod kernels;
 pub mod matrix;
 pub mod race;
 pub mod reference;
+pub mod serve;
 pub mod trace;
 
 /// Expert-parallelism strategy under test.

@@ -11,8 +11,9 @@
 //! checker) and the staged straggler scenario (the analyzer must name
 //! the delayed rank).
 //!
-//! Exit code 0 iff every matrix point, every fault scenario, and (when
-//! requested) both trace scenarios passed.
+//! Exit code 0 iff every matrix point, every fault scenario, every
+//! serving-grid point (with its fault replay), and (when requested)
+//! both trace scenarios passed.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -21,6 +22,7 @@ use tutel_harness::faults::{run_fault_suite, FaultReport};
 use tutel_harness::kernels::{run_kernel_matrix, KernelVerdict, BF16_ULP_BUDGET};
 use tutel_harness::matrix::{configs, run_matrix, Mode, Verdict};
 use tutel_harness::race::run_race_surface;
+use tutel_harness::serve::{run_serve_fault, run_serve_suite, ServeVerdict};
 use tutel_harness::trace::{run_straggler_scenario, run_trace_smoke};
 use tutel_obs::Telemetry;
 
@@ -162,15 +164,93 @@ fn print_kernels(verdicts: &[KernelVerdict]) {
     }
 }
 
+/// Prints the serving grid and the fault-replay verdict; returns
+/// whether every point (and the replay) passed, plus summary counts
+/// for the JSON record.
+fn run_serve_section(seed: u64, fault_seed: u64) -> (bool, usize, usize, f64) {
+    let results = run_serve_suite(seed);
+    println!("serving grid ({} cases):", results.len());
+    println!(
+        "  {:<14} {:>9} {:>6} {:>10} {:>12}  verdict",
+        "case", "completed", "steps", "ulp", "scaled-ulp"
+    );
+    let mut pass = 0usize;
+    let mut worst_scaled = 0.0f64;
+    let mut all_ok = true;
+    for res in &results {
+        match res {
+            Ok(v) => {
+                let ServeVerdict {
+                    case_,
+                    completed,
+                    offered,
+                    steps,
+                    worst_ulp,
+                    worst_scaled_ulp,
+                    budget,
+                    pass: ok,
+                } = v;
+                println!(
+                    "  {:<14} {:>5}/{:<3} {:>6} {:>10} {:>12.2}  {}",
+                    case_.label(),
+                    completed,
+                    offered,
+                    steps,
+                    worst_ulp,
+                    worst_scaled_ulp,
+                    if *ok {
+                        if *budget == 0 {
+                            "pass (bitwise)"
+                        } else {
+                            "pass"
+                        }
+                    } else {
+                        "FAIL"
+                    }
+                );
+                worst_scaled = worst_scaled.max(*worst_scaled_ulp);
+                if *ok {
+                    pass += 1;
+                } else {
+                    all_ok = false;
+                }
+            }
+            Err(e) => {
+                println!("  ERROR: {e}");
+                all_ok = false;
+            }
+        }
+    }
+    match run_serve_fault(fault_seed) {
+        Ok(v) => {
+            println!(
+                "serve fault replay: {} injected, {} retransmits, outputs {} — {}",
+                v.injected,
+                v.retransmits,
+                if v.identical { "bitwise" } else { "DIVERGED" },
+                if v.pass { "pass" } else { "FAIL" }
+            );
+            all_ok &= v.pass;
+        }
+        Err(e) => {
+            eprintln!("serve fault replay FAILED: {e}");
+            all_ok = false;
+        }
+    }
+    (all_ok, pass, results.len(), worst_scaled)
+}
+
 fn write_json(
     path: &str,
     args: &Args,
     verdicts: &[Verdict],
     reports: &[FaultReport],
     kernels: &[KernelVerdict],
-    wall: [f64; 3],
+    serve: (usize, usize, f64),
+    wall: [f64; 4],
 ) -> std::io::Result<()> {
-    let [matrix_secs, fault_secs, kernel_secs] = wall;
+    let [matrix_secs, fault_secs, kernel_secs, serve_secs] = wall;
+    let (serve_pass, serve_cases, serve_worst_scaled) = serve;
     let matrix_pass = verdicts.iter().filter(|v| v.pass).count();
     let fault_pass = reports.iter().filter(|r| r.pass).count();
     let kernel_pass = kernels.iter().filter(|v| v.pass).count();
@@ -200,7 +280,11 @@ fn write_json(
             "  \"kernel_pass\": {},\n",
             "  \"kernel_worst_bf16_ulp\": {:.3},\n",
             "  \"kernel_bf16_budget\": {:.0},\n",
-            "  \"kernel_wall_s\": {:.3}\n",
+            "  \"kernel_wall_s\": {:.3},\n",
+            "  \"serve_cases\": {},\n",
+            "  \"serve_pass\": {},\n",
+            "  \"serve_worst_scaled_ulp\": {:.3},\n",
+            "  \"serve_wall_s\": {:.3}\n",
             "}}\n"
         ),
         args.mode.label(),
@@ -218,6 +302,10 @@ fn write_json(
         worst_bf16_ulp,
         BF16_ULP_BUDGET,
         kernel_secs,
+        serve_cases,
+        serve_pass,
+        serve_worst_scaled,
+        serve_secs,
     );
     std::fs::write(path, body)
 }
@@ -254,6 +342,11 @@ fn main() -> ExitCode {
     let kernel_secs = t2.elapsed().as_secs_f64();
     print_kernels(&kernel_verdicts);
 
+    let t3 = Instant::now();
+    let (serve_ok, serve_pass, serve_cases, serve_worst_scaled) =
+        run_serve_section(args.seed, args.fault_seed);
+    let serve_secs = t3.elapsed().as_secs_f64();
+
     let trace_ok = match &args.trace {
         None => true,
         Some(prefix) => run_trace_scenarios(prefix, args.fault_seed),
@@ -265,7 +358,8 @@ fn main() -> ExitCode {
     let faults_ok = reports.iter().all(|r| r.pass);
     let kernels_ok = kernel_verdicts.iter().all(|v| v.pass);
     println!(
-        "matrix: {}/{} pass in {:.2}s; faults: {}/{} pass in {:.2}s; kernels: {}/{} pass in {:.2}s",
+        "matrix: {}/{} pass in {:.2}s; faults: {}/{} pass in {:.2}s; kernels: {}/{} pass in \
+         {:.2}s; serve: {}/{} pass in {:.2}s",
         verdicts.iter().filter(|v| v.pass).count(),
         verdicts.len(),
         matrix_secs,
@@ -274,7 +368,10 @@ fn main() -> ExitCode {
         fault_secs,
         kernel_verdicts.iter().filter(|v| v.pass).count(),
         kernel_verdicts.len(),
-        kernel_secs
+        kernel_secs,
+        serve_pass,
+        serve_cases,
+        serve_secs
     );
 
     if let Some(path) = &args.json {
@@ -284,7 +381,8 @@ fn main() -> ExitCode {
             &verdicts,
             &reports,
             &kernel_verdicts,
-            [matrix_secs, fault_secs, kernel_secs],
+            (serve_pass, serve_cases, serve_worst_scaled),
+            [matrix_secs, fault_secs, kernel_secs, serve_secs],
         ) {
             eprintln!("failed to write {path}: {e}");
             return ExitCode::FAILURE;
@@ -292,7 +390,7 @@ fn main() -> ExitCode {
         println!("wrote {path}");
     }
 
-    if matrix_ok && faults_ok && kernels_ok && trace_ok && race_ok {
+    if matrix_ok && faults_ok && kernels_ok && serve_ok && trace_ok && race_ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -267,6 +267,7 @@ fn critical_path(trace: &MergedTrace, analysis: &mut Analysis) {
         analysis.anomalies.push(AnomalyRecord {
             kind: "critical_path".into(),
             rank: Some(slowest),
+            request_id: None,
             ratio: share,
             detail: format!(
                 "step bounded by `{name}` ({:.0}% of rank {slowest}'s {wall_us:.0} µs window)",
@@ -295,6 +296,7 @@ fn wall_straggler(cfg: &AnalyzerConfig, analysis: &mut Analysis) {
         analysis.anomalies.push(AnomalyRecord {
             kind: "straggler".into(),
             rank: Some(slowest),
+            request_id: None,
             ratio: worst / median,
             detail: format!("rank {slowest} busy window {worst:.0} µs vs median {median:.0} µs"),
             step: None,
@@ -354,6 +356,7 @@ fn latency_straggler(trace: &MergedTrace, cfg: &AnalyzerConfig, analysis: &mut A
         analysis.anomalies.push(AnomalyRecord {
             kind: "straggler".into(),
             rank: Some(rank),
+            request_id: None,
             ratio: slowest / median.max(1.0),
             detail: format!(
                 "rank {rank}'s data lands a median {slowest:.0} µs after sending \
@@ -383,6 +386,7 @@ fn expert_imbalance(expert_load: &[u64], cfg: &AnalyzerConfig, analysis: &mut An
         analysis.anomalies.push(AnomalyRecord {
             kind: "expert_imbalance".into(),
             rank: None,
+            request_id: None,
             ratio,
             detail: format!(
                 "expert {hot} holds {load} of {total} tokens ({ratio:.1}x the mean load)"

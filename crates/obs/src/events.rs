@@ -69,6 +69,9 @@ pub struct SpanRecord {
     pub dur_s: f64,
     /// Training step active when the span closed, if any.
     pub step: Option<u64>,
+    /// Serving request the span worked on behalf of, if any — lets a
+    /// serve-path trace be filtered down to one victim request.
+    pub request_id: Option<u64>,
     /// Free-form tags.
     pub tags: Vec<(String, TagValue)>,
 }
@@ -160,6 +163,10 @@ pub struct AnomalyRecord {
     pub kind: String,
     /// The rank the anomaly is attributed to, when rank-specific.
     pub rank: Option<usize>,
+    /// The serving request the anomaly victimized, when the alert
+    /// comes from the serve path (`serve.straggler`,
+    /// `serve.deadline_miss`) — names the victim request directly.
+    pub request_id: Option<u64>,
     /// Severity as a ratio against the healthy baseline (slowest rank
     /// vs. median, hottest expert vs. mean load).
     pub ratio: f64,
@@ -210,6 +217,9 @@ impl Event {
                     ("dur_s".to_string(), Value::from(s.dur_s)),
                     ("step".to_string(), opt_step(s.step)),
                 ];
+                if let Some(id) = s.request_id {
+                    pairs.push(("request_id".to_string(), Value::from(id)));
+                }
                 if !s.tags.is_empty() {
                     pairs.push((
                         "tags".to_string(),
@@ -304,6 +314,10 @@ impl Event {
                 ("type", Value::from("anomaly")),
                 ("kind", Value::from(a.kind.clone())),
                 ("rank", a.rank.map(Value::from).unwrap_or(Value::Null)),
+                (
+                    "request_id",
+                    a.request_id.map(Value::from).unwrap_or(Value::Null),
+                ),
                 ("ratio", Value::from(a.ratio)),
                 ("detail", Value::from(a.detail.clone())),
                 ("step", opt_step(a.step)),
@@ -323,6 +337,7 @@ mod tests {
             start_s: 0.5,
             dur_s: 0.25,
             step: Some(3),
+            request_id: None,
             tags: vec![("algo".into(), TagValue::from("2DH"))],
         });
         let json = span.to_value().to_json();
@@ -354,6 +369,7 @@ mod tests {
         let a = Event::Anomaly(AnomalyRecord {
             kind: "straggler".into(),
             rank: Some(2),
+            request_id: None,
             ratio: 3.5,
             detail: "rank 2 wall 3.5x median".into(),
             step: Some(4),
@@ -361,6 +377,32 @@ mod tests {
         let json = a.to_value().to_json();
         assert!(json.contains(r#""type":"anomaly""#), "{json}");
         assert!(json.contains(r#""rank":2"#), "{json}");
+        assert!(json.contains(r#""request_id":null"#), "{json}");
         assert!(json.contains(r#""step":4"#), "{json}");
+    }
+
+    #[test]
+    fn serve_records_carry_the_victim_request_id() {
+        let span = Event::Span(SpanRecord {
+            name: "serve.request".into(),
+            start_s: 0.0,
+            dur_s: 0.001,
+            step: None,
+            request_id: Some(42),
+            tags: Vec::new(),
+        });
+        let json = span.to_value().to_json();
+        assert!(json.contains(r#""request_id":42"#), "{json}");
+
+        let a = Event::Anomaly(AnomalyRecord {
+            kind: "serve.straggler".into(),
+            rank: None,
+            request_id: Some(7),
+            ratio: 2.5,
+            detail: "request 7 latency 2.5x p50".into(),
+            step: None,
+        });
+        let json = a.to_value().to_json();
+        assert!(json.contains(r#""request_id":7"#), "{json}");
     }
 }

@@ -158,6 +158,7 @@ impl Telemetry {
                     telemetry: inner.clone(),
                     name: name.to_string(),
                     start: Instant::now(),
+                    request_id: None,
                     tags: Vec::new(),
                 }),
             },
@@ -395,6 +396,7 @@ struct SpanState {
     telemetry: Arc<Inner>,
     name: String,
     start: Instant,
+    request_id: Option<u64>,
     tags: Vec<(String, TagValue)>,
 }
 
@@ -409,6 +411,15 @@ impl Span {
     pub fn tag(mut self, key: &str, value: impl Into<TagValue>) -> Self {
         if let Some(state) = &mut self.inner {
             state.tags.push((key.to_string(), value.into()));
+        }
+        self
+    }
+
+    /// Attributes the span to a serving request, so a serve-path trace
+    /// can be filtered down to one victim request by id.
+    pub fn request(mut self, id: u64) -> Self {
+        if let Some(state) = &mut self.inner {
+            state.request_id = Some(id);
         }
         self
     }
@@ -430,6 +441,7 @@ impl Drop for Span {
             start_s,
             dur_s,
             step: state.telemetry.current_step(),
+            request_id: state.request_id,
             tags: state.tags,
         }));
     }
@@ -517,6 +529,7 @@ mod tests {
         tel.anomaly(AnomalyRecord {
             kind: "straggler".into(),
             rank: Some(1),
+            request_id: None,
             ratio: 2.0,
             detail: "slow".into(),
             step: None,
@@ -525,6 +538,42 @@ mod tests {
         assert_eq!(anomalies.len(), 1);
         assert_eq!(anomalies[0].step, Some(11));
         assert_eq!(anomalies[0].rank, Some(1));
+    }
+
+    #[test]
+    fn request_ids_survive_the_jsonl_export() {
+        let tel = Telemetry::enabled();
+        {
+            let _s = tel.span("serve.request").request(42).tag("tokens", 3u64);
+        }
+        tel.anomaly(AnomalyRecord {
+            kind: "serve.deadline_miss".into(),
+            rank: None,
+            request_id: Some(42),
+            ratio: 1.8,
+            detail: "request 42 finished 1.8x past its deadline".into(),
+            step: None,
+        });
+        let mut out = Vec::new();
+        tel.export_jsonl(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let span_line = text
+            .lines()
+            .find(|l| l.contains(r#""type":"span""#))
+            .expect("span exported");
+        assert!(span_line.contains(r#""request_id":42"#), "{span_line}");
+        let anomaly_line = text
+            .lines()
+            .find(|l| l.contains(r#""type":"anomaly""#))
+            .expect("anomaly exported");
+        assert!(
+            anomaly_line.contains(r#""request_id":42"#),
+            "{anomaly_line}"
+        );
+        assert!(
+            anomaly_line.contains(r#""kind":"serve.deadline_miss""#),
+            "{anomaly_line}"
+        );
     }
 
     #[test]

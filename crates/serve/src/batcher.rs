@@ -1,0 +1,296 @@
+//! The continuous token-level batcher.
+//!
+//! Requests admitted into the running set contribute **one token row
+//! per micro-batch step** (the serving analogue of iteration-level
+//! scheduling: the batch is re-formed every step, so a finishing
+//! sequence frees its slot immediately instead of holding the batch
+//! until the longest member drains). Admission is earliest-deadline-
+//! first over `(deadline, arrival, id)` and **work-conserving**: a
+//! request waits only while every slot is occupied, which is what
+//! makes the no-starvation property provable — a deadline miss
+//! implies the batcher was saturated for the victim's entire wait.
+//!
+//! Launch is **fill-or-timeout**: a step fires as soon as the running
+//! set fills every slot, or when the oldest admitted request has
+//! waited `admit_timeout_us` (so a lone request is never parked
+//! waiting for company that may not come).
+//!
+//! Everything here is pure bookkeeping on virtual time — no tensors,
+//! no threads — so the proptests can hammer invariants cheaply.
+
+use crate::request::RequestId;
+
+/// Batcher knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatcherConfig {
+    /// Token rows per micro-batch step; since each running sequence
+    /// contributes exactly one row per step, this also caps the
+    /// running set.
+    pub max_batch_tokens: usize,
+    /// Concurrent sequences admitted at once (further capped by
+    /// `max_batch_tokens`).
+    pub max_inflight: usize,
+    /// Fill-or-timeout: fire a partial step once the oldest admitted
+    /// request has waited this long (µs of virtual time).
+    pub admit_timeout_us: u64,
+}
+
+impl BatcherConfig {
+    /// Effective slot count: sequences running concurrently.
+    pub fn slots(&self) -> usize {
+        self.max_inflight.min(self.max_batch_tokens).max(1)
+    }
+
+    /// The one-request-at-a-time baseline the benchmark compares
+    /// against: a single slot and immediate launch.
+    pub fn serial() -> Self {
+        BatcherConfig {
+            max_batch_tokens: 1,
+            max_inflight: 1,
+            admit_timeout_us: 0,
+        }
+    }
+}
+
+/// A request waiting for a slot.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    id: RequestId,
+    total_tokens: usize,
+    arrival_us: u64,
+    deadline_us: u64,
+}
+
+impl Pending {
+    /// EDF key; ties break toward earlier arrival, then smaller id.
+    fn key(&self) -> (u64, u64, RequestId) {
+        (self.deadline_us, self.arrival_us, self.id)
+    }
+}
+
+/// A request occupying a slot.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    id: RequestId,
+    total_tokens: usize,
+    /// Next token row to serve; strictly monotone, so token order
+    /// within a request is preserved by construction.
+    cursor: usize,
+    admitted_us: u64,
+}
+
+/// One step's worth of work: for each entry, serve token row
+/// `token_idx` of request `id`. Entries are in admission order, which
+/// is itself deterministic (EDF over a sorted pending list).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepPlan {
+    /// `(request, token row)` pairs, one per occupied slot.
+    pub entries: Vec<(RequestId, usize)>,
+}
+
+impl StepPlan {
+    /// Token rows in this step.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// The continuous batcher's full state.
+pub struct ContinuousBatcher {
+    cfg: BatcherConfig,
+    pending: Vec<Pending>,
+    inflight: Vec<InFlight>,
+}
+
+impl ContinuousBatcher {
+    /// Creates an empty batcher.
+    pub fn new(cfg: BatcherConfig) -> Self {
+        ContinuousBatcher {
+            cfg,
+            pending: Vec::new(),
+            inflight: Vec::new(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &BatcherConfig {
+        &self.cfg
+    }
+
+    /// Hands a request to the batcher; it waits in EDF order until a
+    /// slot frees. `total_tokens` of zero completes immediately and is
+    /// never scheduled (the engine filters those before offering).
+    pub fn offer(&mut self, id: RequestId, total_tokens: usize, arrival_us: u64, deadline_us: u64) {
+        self.pending.push(Pending {
+            id,
+            total_tokens,
+            arrival_us,
+            deadline_us,
+        });
+        self.pending.sort_by_key(Pending::key);
+    }
+
+    /// Admits pending requests into free slots (EDF order) and
+    /// returns `(id, admitted_us)` for each. Work-conserving: after
+    /// this call, either no request is pending or every slot is
+    /// occupied.
+    pub fn admit(&mut self, now_us: u64) -> Vec<(RequestId, u64)> {
+        let slots = self.cfg.slots();
+        let mut admitted = Vec::new();
+        while self.inflight.len() < slots && !self.pending.is_empty() {
+            let p = self.pending.remove(0);
+            self.inflight.push(InFlight {
+                id: p.id,
+                total_tokens: p.total_tokens,
+                cursor: 0,
+                admitted_us: now_us,
+            });
+            admitted.push((p.id, now_us));
+        }
+        admitted
+    }
+
+    /// Whether a step should fire at `now_us`, given that the next
+    /// chance to admit more work is `next_arrival_us` (None = no
+    /// future arrival is known). Fill-or-timeout: fire when full,
+    /// when the oldest admitted request has exhausted its patience,
+    /// or when nothing could join before that patience runs out.
+    pub fn should_launch(&self, now_us: u64, next_arrival_us: Option<u64>) -> bool {
+        if self.inflight.is_empty() {
+            return false;
+        }
+        if self.inflight.len() >= self.cfg.slots() {
+            return true;
+        }
+        let fire_at = self.launch_deadline_us();
+        if now_us >= fire_at {
+            return true;
+        }
+        match next_arrival_us {
+            Some(t) => t >= fire_at,
+            None => true,
+        }
+    }
+
+    /// The virtual time at which a partial batch stops waiting: the
+    /// oldest admission plus the admit timeout.
+    pub fn launch_deadline_us(&self) -> u64 {
+        self.inflight
+            .iter()
+            .map(|f| f.admitted_us.saturating_add(self.cfg.admit_timeout_us))
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Forms the next step — one token per running sequence, in
+    /// admission order — and advances every cursor. Sequences that
+    /// serve their last token retire and their ids are returned, so
+    /// the caller can finalize them and the freed slots refill at the
+    /// next [`Self::admit`].
+    pub fn plan_step(&mut self) -> (StepPlan, Vec<RequestId>) {
+        let entries: Vec<(RequestId, usize)> =
+            self.inflight.iter().map(|f| (f.id, f.cursor)).collect();
+        let mut finished = Vec::new();
+        for f in &mut self.inflight {
+            f.cursor += 1;
+        }
+        self.inflight.retain(|f| {
+            if f.cursor >= f.total_tokens {
+                finished.push(f.id);
+                false
+            } else {
+                true
+            }
+        });
+        (StepPlan { entries }, finished)
+    }
+
+    /// Requests waiting for a slot.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Requests currently occupying slots.
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Whether the batcher holds no work at all.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_empty() && self.inflight.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batcher(slots: usize, timeout: u64) -> ContinuousBatcher {
+        ContinuousBatcher::new(BatcherConfig {
+            max_batch_tokens: slots,
+            max_inflight: slots,
+            admit_timeout_us: timeout,
+        })
+    }
+
+    #[test]
+    fn admission_is_edf_with_arrival_and_id_tiebreaks() {
+        let mut b = batcher(2, 100);
+        b.offer(1, 4, 0, 900);
+        b.offer(2, 4, 0, 500);
+        b.offer(3, 4, 5, 500);
+        let admitted: Vec<u64> = b.admit(10).iter().map(|(id, _)| *id).collect();
+        assert_eq!(admitted, vec![2, 3]);
+        assert_eq!(b.pending_len(), 1);
+    }
+
+    #[test]
+    fn steps_serve_one_token_per_sequence_and_retire_finishers() {
+        let mut b = batcher(4, 100);
+        b.offer(1, 1, 0, 100);
+        b.offer(2, 3, 0, 100);
+        b.admit(0);
+        let (plan, finished) = b.plan_step();
+        assert_eq!(plan.entries, vec![(1, 0), (2, 0)]);
+        assert_eq!(finished, vec![1]);
+        // Slot freed by request 1 refills before the next step.
+        b.offer(3, 2, 10, 90);
+        b.admit(10);
+        let (plan, finished) = b.plan_step();
+        assert_eq!(plan.entries, vec![(2, 1), (3, 0)]);
+        assert!(finished.is_empty());
+    }
+
+    #[test]
+    fn fill_or_timeout_launch_policy() {
+        let mut b = batcher(2, 100);
+        b.offer(1, 4, 0, 1_000);
+        b.admit(0);
+        // Half-full, patience not yet exhausted, a fill candidate
+        // arrives in time: wait.
+        assert!(!b.should_launch(10, Some(50)));
+        // The candidate lands after patience runs out: fire now.
+        assert!(b.should_launch(10, Some(150)));
+        // No future arrival at all: fire.
+        assert!(b.should_launch(10, None));
+        // Patience exhausted: fire.
+        assert!(b.should_launch(100, Some(120)));
+        // Full batch always fires.
+        b.offer(2, 4, 0, 1_000);
+        b.admit(0);
+        assert!(b.should_launch(0, Some(1)));
+    }
+
+    #[test]
+    fn work_conservation_after_admit() {
+        let mut b = batcher(2, 0);
+        for id in 0..5 {
+            b.offer(id, 2, 0, 100);
+        }
+        b.admit(0);
+        assert_eq!(b.inflight_len(), 2);
+        assert_eq!(b.pending_len(), 3);
+        // Invariant: pending non-empty ⇒ slots full.
+        assert!(b.pending_len() == 0 || b.inflight_len() == b.config().slots());
+    }
+}

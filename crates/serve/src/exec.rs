@@ -1,0 +1,417 @@
+//! Micro-batch execution: one serving step through the overlapped
+//! dispatch → expert FFN → combine path, plus the sequential
+//! per-request reference executor the differential oracle compares
+//! against.
+//!
+//! # The serving oracle contract
+//!
+//! Every operation on the serve path is **per-token-row**: router
+//! logits, softmax, top-k selection, gate normalization, encode
+//! (slot moves), the expert FFN (row-wise GEMMs), and decode (a
+//! fixed-order k-sum per token). The only place a micro-batch could
+//! couple one request's result to its batch-mates is capacity
+//! clamping — so serving always routes **dropless**
+//! ([`tutel_gate::CapacityPolicy::AutoMin`], see
+//! [`crate::model::ModelDims::route_config`]). Under that policy, a
+//! token's output is a function of its own row and the model alone,
+//! and therefore:
+//!
+//! * P1 execution is **bitwise identical** to running the token's
+//!   request by itself through [`reference_rows`], for any batch
+//!   composition, pipeline degree, world size, or thread count;
+//! * P2 re-associates one addition chain (the hidden-shard partial
+//!   sum), so it is instead bounded by ≤ 4 scaled ULP.
+//!
+//! Capacity is only a **buffer shape**: each rank resolves its
+//! dropless minimum, ranks agree on the global maximum (one
+//! all-gather) padded up to a multiple of the pipeline degree, and
+//! the padded slots stay zero — no token ever decodes from them.
+
+use tutel::overlap::run_overlapped;
+use tutel_comm::runtime::{run_threaded, run_threaded_reliable, Communicator, ReliableConfig};
+use tutel_comm::AllToAllAlgo;
+use tutel_experts::{ExpertsBlock, ShardedExpertParams};
+use tutel_gate::{route, Router};
+use tutel_kernels::{fast_decode, fast_encode};
+use tutel_rt::with_parallelism_limit;
+use tutel_simgpu::Topology;
+use tutel_tensor::{Tensor, TensorError};
+
+use crate::model::ServeModel;
+use crate::request::ServeError;
+
+/// Expert-parallel strategy for the serving step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Each rank applies its experts' full parameters in one block.
+    P1,
+    /// Parameters sharded along the hidden dimension; per-shard
+    /// partial outputs are summed (re-associates one addition chain).
+    P2,
+}
+
+impl Strategy {
+    /// Short label for grids and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::P1 => "P1",
+            Strategy::P2 => "P2",
+        }
+    }
+}
+
+/// Knobs of the distributed serving step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// P1 or P2 expert parallelism.
+    pub strategy: Strategy,
+    /// All-to-All algorithm on the wire.
+    pub algo: AllToAllAlgo,
+    /// Pipeline degree: capacity is split into this many overlapped
+    /// chunks.
+    pub degree: usize,
+    /// Simulated ranks; must equal the model's world.
+    pub world: usize,
+    /// Per-rank compute parallelism limit.
+    pub threads: usize,
+}
+
+impl ExecConfig {
+    /// Grid label, e.g. `P1/lin d2 w2`.
+    pub fn label(&self) -> String {
+        let algo = match self.algo {
+            AllToAllAlgo::Linear => "lin",
+            AllToAllAlgo::TwoDh => "2dh",
+        };
+        format!(
+            "{}/{} d{} w{}",
+            self.strategy.label(),
+            algo,
+            self.degree,
+            self.world
+        )
+    }
+}
+
+/// The topology for each simulated world size: single node for one
+/// rank, a 2-node hierarchy otherwise so 2DH exercises both phases.
+pub fn topology_for(world: usize) -> Topology {
+    match world {
+        1 => Topology::single_node(1),
+        2 => Topology::new(2, 1),
+        w => Topology::new(2, w / 2),
+    }
+}
+
+/// What one rank's program returns: its flat output rows, the
+/// reconciled capacity, and its wire payload volume.
+type RankResult = Result<(Vec<f32>, usize, u64), ServeError>;
+
+/// What one executed step produced.
+pub struct StepOutput {
+    /// Per-token outputs `(B, model_dim)`, row `i` for batch row `i`.
+    pub outputs: Tensor,
+    /// Shared expert capacity the step ran with (after degree
+    /// padding).
+    pub capacity: usize,
+    /// Total `f32` elements all ranks pushed onto the wire as
+    /// collective payload during the step.
+    pub a2a_elems: u64,
+}
+
+/// Executes one micro-batch step over the threaded runtime.
+///
+/// Batch rows are dealt round-robin across ranks (row `i` to rank
+/// `i mod world`; the batch is zero-padded up to a multiple of the
+/// world size, and padded rows are dropped from the output). Each
+/// rank gates and routes its own rows with the replicated router,
+/// dropless; capacity is reconciled globally so every rank's
+/// All-to-All wires agree.
+///
+/// # Errors
+///
+/// [`ServeError::Config`] for an empty batch or a config/model
+/// mismatch; [`ServeError::Tensor`]/[`ServeError::Comm`] propagated
+/// from execution.
+pub fn execute_step(
+    model: &ServeModel,
+    cfg: &ExecConfig,
+    batch: &Tensor,
+) -> Result<StepOutput, ServeError> {
+    execute_step_with(model, cfg, batch, None)
+}
+
+/// [`execute_step`] with the comm reliability layer armed: sends are
+/// logged for retransmission and `cfg_rel.plan` (if any) injects
+/// seeded drop/duplicate/delay faults, which the retry protocol must
+/// absorb without changing a single output bit.
+///
+/// # Errors
+///
+/// As [`execute_step`]; additionally [`ServeError::Comm`] with
+/// [`tutel_comm::CommError::Timeout`] when the fault plan exhausts
+/// the retry budget.
+pub fn execute_step_reliable(
+    model: &ServeModel,
+    cfg: &ExecConfig,
+    batch: &Tensor,
+    cfg_rel: ReliableConfig,
+) -> Result<StepOutput, ServeError> {
+    execute_step_with(model, cfg, batch, Some(cfg_rel))
+}
+
+fn execute_step_with(
+    model: &ServeModel,
+    cfg: &ExecConfig,
+    batch: &Tensor,
+    cfg_rel: Option<ReliableConfig>,
+) -> Result<StepOutput, ServeError> {
+    let dims = model.dims;
+    if cfg.world != dims.world {
+        return Err(ServeError::Config(format!(
+            "exec world {} != model world {}",
+            cfg.world, dims.world
+        )));
+    }
+    if cfg.degree == 0 {
+        return Err(ServeError::Config("pipeline degree must be nonzero".into()));
+    }
+    let b = batch.dims().first().copied().unwrap_or(0);
+    if b == 0 {
+        return Err(ServeError::Config("empty micro-batch".into()));
+    }
+    if batch.dims() != [b, dims.model_dim] {
+        return Err(ServeError::Config(format!(
+            "batch dims {:?} != (B, {})",
+            batch.dims(),
+            dims.model_dim
+        )));
+    }
+
+    // Zero-pad to a multiple of world so every rank serves the same
+    // row count. A zero row routes deterministically (uniform gate)
+    // and its output is discarded below; under dropless routing it
+    // cannot perturb any real row (see module docs).
+    let world = cfg.world;
+    let bp = b.div_ceil(world) * world;
+    let per_rank = bp / world;
+    let mut padded = batch.as_slice().to_vec();
+    padded.resize(bp * dims.model_dim, 0.0);
+    let padded = Tensor::from_vec(padded, &[bp, dims.model_dim])?;
+
+    let topo = topology_for(world);
+    if topo.world_size() != world {
+        return Err(ServeError::Config(format!(
+            "topology world {} != {}",
+            topo.world_size(),
+            world
+        )));
+    }
+
+    let cfg = *cfg;
+    let model_ref = model;
+    let padded_ref = &padded;
+    let program = move |comm: Communicator| {
+        with_parallelism_limit(cfg.threads, || {
+            run_rank(model_ref, &cfg, padded_ref, per_rank, comm)
+        })
+    };
+    let rank_results: Vec<RankResult> = match cfg_rel {
+        None => run_threaded(topo, program),
+        Some(rel) => run_threaded_reliable(topo, rel, program),
+    };
+
+    let mut outs = Vec::with_capacity(world);
+    let mut capacity = 0usize;
+    let mut a2a_elems = 0u64;
+    for res in rank_results {
+        let (out, cap, sent) = res?;
+        capacity = capacity.max(cap);
+        a2a_elems += sent;
+        outs.push(out);
+    }
+
+    // Stitch rank outputs back round-robin and drop the padding rows.
+    let m = dims.model_dim;
+    let mut stitched = vec![0.0f32; b * m];
+    for (i, row) in stitched.chunks_mut(m).enumerate() {
+        let rank = i % world;
+        let local = i / world;
+        let src = outs
+            .get(rank)
+            .and_then(|o| o.get(local * m..(local + 1) * m))
+            .ok_or_else(|| ServeError::Config("rank output shorter than its rows".into()))?;
+        row.copy_from_slice(src);
+    }
+    Ok(StepOutput {
+        outputs: Tensor::from_vec(stitched, &[b, m])?,
+        capacity,
+        a2a_elems,
+    })
+}
+
+/// One rank's program: gate + route its rows, reconcile capacity,
+/// drive the overlapped exchange, decode. Returns the rank's flat
+/// output rows, the reconciled capacity, and its wire payload volume.
+fn run_rank(
+    model: &ServeModel,
+    cfg: &ExecConfig,
+    padded: &Tensor,
+    per_rank: usize,
+    mut comm: Communicator,
+) -> RankResult {
+    let dims = model.dims;
+    let world = cfg.world;
+    let rank = comm.rank();
+    let m = dims.model_dim;
+
+    // This rank's rows: global rows rank, rank+world, rank+2·world, …
+    let mut rows = Vec::with_capacity(per_rank * m);
+    let src = padded.as_slice();
+    for local in 0..per_rank {
+        let g = local * world + rank;
+        rows.extend_from_slice(&src[g * m..(g + 1) * m]);
+    }
+    let x = Tensor::from_vec(rows, &[per_rank, m])?;
+
+    // Gate + dropless route, per-row and identical to the reference
+    // by construction.
+    let probs = model.router.logits(&x)?.softmax_last();
+    let mut routing = route(&probs, &dims.route_config())?;
+
+    // Reconcile capacity: ranks must agree on the wire shape. The
+    // shared value is the max of the per-rank dropless minima, padded
+    // to a multiple of the pipeline degree. Raising capacity after
+    // routing is safe: dropless slot assignment never clamped, so
+    // every assigned slot stays valid and new slots stay empty.
+    let local_cap = routing.capacity;
+    let global_cap = if world > 1 {
+        let gathered = comm.all_gather(&[local_cap as f32])?;
+        gathered
+            .iter()
+            .fold(local_cap, |acc, &c| acc.max(c as usize))
+    } else {
+        local_cap
+    };
+    let capacity = global_cap.div_ceil(cfg.degree) * cfg.degree;
+    routing.capacity = capacity;
+    let cc = capacity / cfg.degree;
+
+    let enc = fast_encode(&x, &routing)?;
+    let enc_chunks = enc.split_axis(1, cfg.degree)?;
+    let enc_wire: Vec<Vec<f32>> = enc_chunks.iter().map(|c| c.as_slice().to_vec()).collect();
+
+    // This rank's expert slice, built once: the full local block
+    // under P1, or its hidden-dimension shards under P2.
+    let local = local_block(model, rank)?;
+    let blocks: Vec<ExpertsBlock> = match cfg.strategy {
+        Strategy::P1 => vec![local],
+        Strategy::P2 => {
+            let params = ShardedExpertParams::from_block(&local, dims.shards)?;
+            (0..params.shards())
+                .map(|r| params.shard_block(r))
+                .collect()
+        }
+    };
+
+    // The overlap engine wants an infallible chunk-compute closure;
+    // shape errors (impossible once dims validated, but typed anyway)
+    // are parked here and surfaced after the exchange drains, with a
+    // zero chunk keeping the collective protocol in lock-step.
+    let wire_len = world * dims.local_experts * cc * m;
+    let mut parked: Option<TensorError> = None;
+    let run = run_overlapped(
+        &mut comm,
+        cfg.algo,
+        &enc_wire,
+        |_, received| match compute_chunk(model, &blocks, received, world, cc) {
+            Ok(wire) => wire,
+            Err(e) => {
+                parked.get_or_insert(e);
+                vec![0.0; wire_len]
+            }
+        },
+    )?;
+    if let Some(e) = parked {
+        return Err(ServeError::Tensor(e));
+    }
+
+    let mut out_chunks = Vec::with_capacity(cfg.degree);
+    for wire in run.combined {
+        out_chunks.push(Tensor::from_vec(
+            wire,
+            &[dims.local_experts * world, cc, m],
+        )?);
+    }
+    let combined = Tensor::concat_axis(&out_chunks, 1)?;
+    let output = fast_decode(&combined, &routing, per_rank)?;
+    Ok((
+        output.as_slice().to_vec(),
+        capacity,
+        comm.sent_payload_elems(),
+    ))
+}
+
+/// Expert-side compute for one pipeline chunk: rebuild the
+/// `(ΔE, W·cc, M)` batch from the origin-major wire, apply the
+/// executing rank's expert blocks (one full block under P1, one per
+/// hidden shard under P2, partials summed in shard order), and lay
+/// the result back out rank-major for the return exchange.
+fn compute_chunk(
+    model: &ServeModel,
+    blocks: &[ExpertsBlock],
+    received: Vec<f32>,
+    world: usize,
+    cc: usize,
+) -> Result<Vec<f32>, TensorError> {
+    let dims = model.dims;
+    let m = dims.model_dim;
+    let flex = Tensor::from_vec(received, &[world, dims.local_experts, cc, m])?
+        .permute(&[1, 0, 2, 3])?
+        .reshape(&[dims.local_experts, world * cc, m])?;
+    let mut acc: Option<Tensor> = None;
+    for block in blocks {
+        let y = block.infer(&flex)?;
+        acc = Some(match acc {
+            None => y,
+            Some(mut a) => {
+                a.axpy(1.0, &y)?;
+                a
+            }
+        });
+    }
+    let out = match acc {
+        Some(t) => t,
+        None => Tensor::zeros(flex.dims()),
+    };
+    out.reshape(&[dims.local_experts, world, cc, m])?
+        .permute(&[1, 0, 2, 3])
+        .map(|t| t.as_slice().to_vec())
+}
+
+/// The executing rank's slice of the global expert bank.
+fn local_block(model: &ServeModel, rank: usize) -> Result<ExpertsBlock, TensorError> {
+    let (w1, b1, w2, b2) = model.experts.weights();
+    let slice = |t: &Tensor| -> Result<Tensor, TensorError> {
+        Ok(t.split_axis(0, model.dims.world)?[rank].clone())
+    };
+    ExpertsBlock::from_weights(slice(w1)?, slice(b1)?, slice(w2)?, slice(b2)?)
+}
+
+/// The sequential per-request reference: the same gate → dropless
+/// route → encode → global-expert FFN → decode chain with no
+/// distribution at all. The differential oracle runs each request
+/// through this alone and demands the batched engine reproduce it
+/// per the module-level contract.
+///
+/// # Errors
+///
+/// [`ServeError::Tensor`] if `rows` does not match the model width.
+pub fn reference_rows(model: &ServeModel, rows: &Tensor) -> Result<Tensor, ServeError> {
+    let n = rows.dims().first().copied().unwrap_or(0);
+    let probs = model.router.logits(rows)?.softmax_last();
+    let routing = route(&probs, &model.dims.route_config())?;
+    let enc = fast_encode(rows, &routing)?;
+    let y = model.experts.infer(&enc)?;
+    Ok(fast_decode(&y, &routing, n)?)
+}

@@ -1,0 +1,156 @@
+//! The served model: a replicated router plus the global expert bank,
+//! materialized deterministically from a seed.
+
+use tutel_experts::ExpertsBlock;
+use tutel_gate::{CapacityPolicy, LinearRouter, RouteConfig};
+use tutel_tensor::Rng;
+
+use crate::request::ServeError;
+
+/// Static dimensions of the served MoE layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelDims {
+    /// Token feature width.
+    pub model_dim: usize,
+    /// Expert hidden width (split across `shards` under P2).
+    pub hidden_dim: usize,
+    /// Experts owned by each rank.
+    pub local_experts: usize,
+    /// Simulated world size; global experts = `local_experts · world`.
+    pub world: usize,
+    /// Experts per token.
+    pub top_k: usize,
+    /// Hidden-dimension shards under P2 execution.
+    pub shards: usize,
+}
+
+impl ModelDims {
+    /// A small default sized like the conformance fixture: fast to
+    /// execute yet exercising multi-expert routing and sharding.
+    pub fn small(world: usize) -> Self {
+        ModelDims {
+            model_dim: 8,
+            hidden_dim: 16,
+            local_experts: 2,
+            world,
+            top_k: 2,
+            shards: 2,
+        }
+    }
+
+    /// Global expert count.
+    pub fn experts(&self) -> usize {
+        self.local_experts * self.world
+    }
+
+    /// The routing configuration serving always uses: **dropless**
+    /// ([`CapacityPolicy::AutoMin`]). Capacity clamping is the one
+    /// place a micro-batch could couple one request's output to its
+    /// batch-mates (a neighbour's token stealing the last slot), so
+    /// the serving path forbids it — which is exactly what makes the
+    /// per-request differential oracle a bitwise contract.
+    pub fn route_config(&self) -> RouteConfig {
+        RouteConfig {
+            k: self.top_k,
+            capacity: CapacityPolicy::AutoMin,
+            bpr: false,
+            normalize_gates: true,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.model_dim == 0 || self.hidden_dim == 0 {
+            return Err(ServeError::Config(
+                "model/hidden dim must be nonzero".into(),
+            ));
+        }
+        if self.local_experts == 0 || self.world == 0 {
+            return Err(ServeError::Config(
+                "experts and world must be nonzero".into(),
+            ));
+        }
+        if self.top_k == 0 || self.top_k > self.experts() {
+            return Err(ServeError::Config(format!(
+                "top_k {} out of range for {} experts",
+                self.top_k,
+                self.experts()
+            )));
+        }
+        if self.shards == 0 || !self.hidden_dim.is_multiple_of(self.shards) {
+            return Err(ServeError::Config(format!(
+                "shards {} must divide hidden dim {}",
+                self.shards, self.hidden_dim
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Parameters of the served layer. The router is replicated on every
+/// rank; the expert bank is global and sliced per rank at execution
+/// time (P1 applies a rank's full slice, P2 shards it again along the
+/// hidden dimension).
+pub struct ServeModel {
+    /// Layer dimensions.
+    pub dims: ModelDims,
+    /// Replicated gate.
+    pub router: LinearRouter,
+    /// Global expert parameters `(E, ·)`.
+    pub experts: ExpertsBlock,
+}
+
+impl ServeModel {
+    /// Materializes a model from a seed: same seed, same bits,
+    /// everywhere.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] if `dims` is inconsistent.
+    pub fn materialize(dims: ModelDims, seed: u64) -> Result<Self, ServeError> {
+        dims.validate()?;
+        let mut rng = Rng::seed(seed);
+        let router = LinearRouter::new(dims.model_dim, dims.experts(), &mut rng);
+        let experts = ExpertsBlock::new(dims.experts(), dims.model_dim, dims.hidden_dim, &mut rng);
+        Ok(ServeModel {
+            dims,
+            router,
+            experts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tutel_gate::Router;
+
+    #[test]
+    fn materialization_is_deterministic() {
+        let dims = ModelDims::small(2);
+        let a = ServeModel::materialize(dims, 7).unwrap();
+        let b = ServeModel::materialize(dims, 7).unwrap();
+        assert_eq!(a.router.weights().as_slice(), b.router.weights().as_slice());
+        let (aw, ..) = a.experts.weights();
+        let (bw, ..) = b.experts.weights();
+        assert_eq!(aw.as_slice(), bw.as_slice());
+        assert_eq!(a.router.num_experts(), 4);
+    }
+
+    #[test]
+    fn bad_dims_are_typed_errors() {
+        let mut dims = ModelDims::small(1);
+        dims.top_k = 99;
+        assert!(matches!(
+            ServeModel::materialize(dims, 1),
+            Err(ServeError::Config(_))
+        ));
+        let mut dims = ModelDims::small(1);
+        dims.shards = 3;
+        assert!(dims.validate().is_err());
+    }
+}

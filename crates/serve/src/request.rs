@@ -1,0 +1,152 @@
+//! Request and outcome types plus the crate's typed error.
+//!
+//! All timestamps in this crate are **virtual time** in microseconds:
+//! the engine advances a deterministic clock from the arrival trace
+//! and a [`crate::engine::ServiceModel`], so every admission,
+//! deadline, and latency decision replays bit-identically from a
+//! seed. Wall-clock only ever feeds observability metrics that no
+//! output or assertion depends on.
+
+use std::fmt;
+
+use tutel_comm::CommError;
+use tutel_tensor::{Tensor, TensorError};
+
+/// Identifies one request for the lifetime of an engine run.
+pub type RequestId = u64;
+
+/// One inference request: a short sequence of token feature rows to
+/// push through the MoE layer, with an arrival time and a latency
+/// deadline (both virtual, absolute).
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Unique id; ties in every ordering break toward the smaller id.
+    pub id: RequestId,
+    /// Token features `(n, model_dim)`; one row is served per
+    /// micro-batch step, in row order.
+    pub tokens: Tensor,
+    /// Absolute virtual arrival time (µs).
+    pub arrival_us: u64,
+    /// Absolute virtual deadline (µs); finishing later counts as an
+    /// SLO miss (the request is still served — serving never sheds
+    /// admitted work).
+    pub deadline_us: u64,
+}
+
+impl Request {
+    /// Number of token rows in this request.
+    pub fn num_tokens(&self) -> usize {
+        self.tokens.dims().first().copied().unwrap_or(0)
+    }
+}
+
+/// What the engine produced for one request.
+#[derive(Debug, Clone)]
+pub struct RequestOutcome {
+    /// The request's id.
+    pub id: RequestId,
+    /// Layer output `(n, model_dim)`, row `i` for token `i`.
+    pub output: Tensor,
+    /// Copied from the request.
+    pub arrival_us: u64,
+    /// Copied from the request.
+    pub deadline_us: u64,
+    /// Virtual time the request was admitted into the running batch.
+    pub admitted_us: u64,
+    /// Virtual completion time of the step serving the first token.
+    pub first_token_us: u64,
+    /// Virtual completion time of the step serving the last token.
+    pub finish_us: u64,
+    /// Micro-batch steps this request participated in.
+    pub steps: u64,
+}
+
+impl RequestOutcome {
+    /// End-to-end latency (arrival → last token), µs.
+    pub fn latency_us(&self) -> u64 {
+        self.finish_us.saturating_sub(self.arrival_us)
+    }
+
+    /// Whether the request finished after its deadline.
+    pub fn missed_deadline(&self) -> bool {
+        self.finish_us > self.deadline_us
+    }
+}
+
+/// Typed error surface of the serving engine.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A tensor operation failed (shape mismatch etc.).
+    Tensor(TensorError),
+    /// A collective failed on the wire.
+    Comm(CommError),
+    /// The engine was configured inconsistently (e.g. zero batch
+    /// capacity, token width not matching the model).
+    Config(String),
+    /// The bounded ingress queue was full; the request was rejected
+    /// at admission, before consuming any serving capacity.
+    QueueFull {
+        /// The rejected request.
+        id: RequestId,
+        /// The queue's bound at rejection time.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Tensor(e) => write!(f, "tensor error: {e}"),
+            ServeError::Comm(e) => write!(f, "comm error: {e}"),
+            ServeError::Config(msg) => write!(f, "config error: {msg}"),
+            ServeError::QueueFull { id, capacity } => {
+                write!(
+                    f,
+                    "request {id} rejected: ingress queue full (capacity {capacity})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<TensorError> for ServeError {
+    fn from(e: TensorError) -> Self {
+        ServeError::Tensor(e)
+    }
+}
+
+impl From<CommError> for ServeError {
+    fn from(e: CommError) -> Self {
+        ServeError::Comm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_and_miss_accounting() {
+        let outcome = RequestOutcome {
+            id: 3,
+            output: Tensor::zeros(&[2, 4]),
+            arrival_us: 100,
+            deadline_us: 500,
+            admitted_us: 150,
+            first_token_us: 300,
+            finish_us: 600,
+            steps: 2,
+        };
+        assert_eq!(outcome.latency_us(), 500);
+        assert!(outcome.missed_deadline());
+    }
+
+    #[test]
+    fn errors_render_their_cause() {
+        let e = ServeError::QueueFull { id: 9, capacity: 4 };
+        assert!(e.to_string().contains("request 9"));
+        assert!(e.to_string().contains("capacity 4"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Property tests for the continuous batcher's scheduling invariants:
+//! occupancy bounds, per-request token order, seed-determinism of
+//! admission, and the no-starvation contract (a request waits only
+//! while every slot is busy, and is always served to completion).
+//!
+//! The batcher is pure bookkeeping on virtual time, so these drive it
+//! directly with a simulated engine loop — no tensors, no threads.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use tutel_serve::batcher::{BatcherConfig, ContinuousBatcher};
+
+/// One synthetic request: `(tokens, arrival_us, deadline_slack_us)`.
+type Workload = Vec<(usize, u64, u64)>;
+
+/// A full simulated run: drives offer/admit/plan_step on a virtual
+/// clock exactly like the engine does, recording everything the
+/// properties need.
+struct RunLog {
+    /// `(step index, request id, token idx)` for every served row.
+    served: Vec<(usize, u64, usize)>,
+    /// Per-step occupancy and inflight count at plan time.
+    steps: Vec<(usize, usize)>,
+    /// For each launch, whether any request was pending and how many
+    /// slots were occupied — the work-conservation witness.
+    launches: Vec<(usize, usize)>,
+    /// Completion step per request id.
+    completed: HashMap<u64, usize>,
+}
+
+fn simulate(cfg: BatcherConfig, workload: &Workload, step_cost_us: u64) -> RunLog {
+    let mut b = ContinuousBatcher::new(cfg);
+    let mut arrivals: Vec<(u64, u64, u64, usize)> = workload
+        .iter()
+        .enumerate()
+        .map(|(i, &(tokens, arrival, slack))| (arrival, i as u64, arrival + slack, tokens))
+        .collect();
+    arrivals.sort_by_key(|&(arrival, id, ..)| (arrival, id));
+    let mut next = 0usize;
+    let mut clock = 0u64;
+    let mut log = RunLog {
+        served: Vec::new(),
+        steps: Vec::new(),
+        launches: Vec::new(),
+        completed: HashMap::new(),
+    };
+    let mut step_idx = 0usize;
+    loop {
+        // Offer everything that has arrived.
+        while next < arrivals.len() && arrivals[next].0 <= clock {
+            let (arrival, id, deadline, tokens) = arrivals[next];
+            b.offer(id, tokens, arrival, deadline);
+            next += 1;
+        }
+        b.admit(clock);
+        if b.inflight_len() == 0 {
+            match arrivals.get(next) {
+                None => break,
+                Some(&(arrival, ..)) => {
+                    clock = clock.max(arrival);
+                    continue;
+                }
+            }
+        }
+        let next_arrival = arrivals.get(next).map(|&(a, ..)| a);
+        if !b.should_launch(clock, next_arrival) {
+            let fire = b.launch_deadline_us();
+            let jump = next_arrival.map_or(fire, |a| a.min(fire));
+            clock = clock.max(jump);
+            continue;
+        }
+        log.launches.push((b.pending_len(), b.inflight_len()));
+        let (plan, finished) = b.plan_step();
+        log.steps.push((plan.occupancy(), plan.entries.len()));
+        for &(id, tok) in &plan.entries {
+            log.served.push((step_idx, id, tok));
+        }
+        clock += step_cost_us + plan.occupancy() as u64;
+        for id in finished {
+            log.completed.insert(id, step_idx);
+        }
+        step_idx += 1;
+        if step_idx > 100_000 {
+            panic!("batcher failed to drain the workload");
+        }
+    }
+    log
+}
+
+fn workload_strategy() -> impl Strategy<Value = (Workload, usize, u64)> {
+    (
+        proptest::collection::vec((1usize..6, 0u64..2_000, 100u64..5_000), 1..40),
+        1usize..6,
+        0u64..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn occupancy_never_exceeds_capacity((workload, slots, timeout) in workload_strategy()) {
+        let cfg = BatcherConfig {
+            max_batch_tokens: slots,
+            max_inflight: slots + 2, // capped by max_batch_tokens
+            admit_timeout_us: timeout,
+        };
+        let log = simulate(cfg, &workload, 50);
+        for &(occ, inflight) in &log.steps {
+            prop_assert!(occ <= cfg.max_batch_tokens, "occupancy {occ} > cap {}", cfg.max_batch_tokens);
+            prop_assert!(inflight <= cfg.slots());
+        }
+    }
+
+    #[test]
+    fn token_order_within_a_request_is_preserved((workload, slots, timeout) in workload_strategy()) {
+        let cfg = BatcherConfig {
+            max_batch_tokens: slots,
+            max_inflight: slots,
+            admit_timeout_us: timeout,
+        };
+        let log = simulate(cfg, &workload, 50);
+        let mut cursor: HashMap<u64, usize> = HashMap::new();
+        let mut last_step: HashMap<u64, usize> = HashMap::new();
+        for &(step, id, tok) in &log.served {
+            let want = cursor.entry(id).or_insert(0);
+            prop_assert_eq!(tok, *want, "request {} served token {} expecting {}", id, tok, *want);
+            if let Some(&prev) = last_step.get(&id) {
+                prop_assert!(step > prev, "request {} served twice in one step", id);
+            }
+            last_step.insert(id, step);
+            *want += 1;
+        }
+        // Every request finishes with every token served exactly once.
+        for (i, &(tokens, ..)) in workload.iter().enumerate() {
+            let id = i as u64;
+            prop_assert_eq!(cursor.get(&id).copied().unwrap_or(0), tokens);
+            prop_assert!(log.completed.contains_key(&id), "request {} never completed", id);
+        }
+    }
+
+    #[test]
+    fn admission_and_planning_are_deterministic((workload, slots, timeout) in workload_strategy()) {
+        let cfg = BatcherConfig {
+            max_batch_tokens: slots,
+            max_inflight: slots,
+            admit_timeout_us: timeout,
+        };
+        let a = simulate(cfg, &workload, 50);
+        let b = simulate(cfg, &workload, 50);
+        prop_assert_eq!(a.served, b.served);
+        prop_assert_eq!(a.steps, b.steps);
+    }
+
+    #[test]
+    fn waiting_implies_saturation((workload, slots, timeout) in workload_strategy()) {
+        // The no-starvation contract: admission is work-conserving,
+        // so at every launch, a non-empty pending set implies every
+        // slot is occupied. A request can therefore only be delayed
+        // past its deadline budget while the batcher is saturated —
+        // EDF admission then serves the tightest deadline first.
+        let cfg = BatcherConfig {
+            max_batch_tokens: slots,
+            max_inflight: slots,
+            admit_timeout_us: timeout,
+        };
+        let log = simulate(cfg, &workload, 50);
+        for &(pending, inflight) in &log.launches {
+            prop_assert!(
+                pending == 0 || inflight == cfg.slots(),
+                "request starved with a free slot: pending {pending}, inflight {inflight}, slots {}",
+                cfg.slots()
+            );
+        }
+    }
+}
