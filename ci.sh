@@ -91,6 +91,32 @@ if [ "$D1" != "$D4" ]; then
     exit 1
 fi
 
+echo "==> dropless imbalance sweep + grouped determinism at TUTEL_SIMD={0,1} x TUTEL_THREADS={1,4}"
+# The grouped (dropless) path computes exactly the routed rows, so its
+# outputs are bitwise-invariant to both the kernel table and the pool
+# width: the repro digest line is compared across all four cells. The
+# timed sweep runs once and enforces the no-cliff acceptance by exit
+# code (grouped flat across the skew ladder while padded cliffs >=
+# 1.5x, grouped beating padded from Zipf(1.0) up), rewriting the
+# grouped_gemm section of BENCH_compute.json; the other three cells
+# run digest-only.
+TUTEL_SIMD=0 TUTEL_THREADS=1 cargo run --release -q -p tutel-bench --bin repro_dropless -- \
+    BENCH_compute.json | tee "$TRACE_DIR/dropless_s0t1.txt" | grep "dropless digest"
+TUTEL_SIMD=0 TUTEL_THREADS=4 cargo run --release -q -p tutel-bench --bin repro_dropless -- \
+    --digest-only > "$TRACE_DIR/dropless_s0t4.txt"
+TUTEL_SIMD=1 TUTEL_THREADS=1 cargo run --release -q -p tutel-bench --bin repro_dropless -- \
+    --digest-only > "$TRACE_DIR/dropless_s1t1.txt"
+TUTEL_SIMD=1 TUTEL_THREADS=4 cargo run --release -q -p tutel-bench --bin repro_dropless -- \
+    --digest-only > "$TRACE_DIR/dropless_s1t4.txt"
+DREF=$(grep "dropless digest" "$TRACE_DIR/dropless_s0t1.txt")
+for cell in s0t4 s1t1 s1t4; do
+    DGOT=$(grep "dropless digest" "$TRACE_DIR/dropless_$cell.txt")
+    if [ "$DREF" != "$DGOT" ]; then
+        echo "dropless digest diverged at $cell: '$DREF' vs '$DGOT'" >&2
+        exit 1
+    fi
+done
+
 echo "==> tutel-check: workspace lint (baseline ratchet)"
 cargo run --release -q -p tutel-check -- --baseline check-baseline.json
 

@@ -1,0 +1,76 @@
+//! Token-imbalance sweep: dropless grouped GEMM vs the padded
+//! capacity twin over a uniform → Zipf → single-hot skew ladder,
+//! printed as a table and merged into the `grouped_gemm` section of
+//! `BENCH_compute.json` (pass an argument to choose a different path).
+//!
+//! The per-rank compute worker count comes from `TUTEL_THREADS`
+//! (default 1). The grouped outputs are bitwise-invariant to both the
+//! worker count and `TUTEL_SIMD`, so the deterministic digest printed
+//! at the end must be identical across the whole CI sweep; with
+//! `--digest-only` the timing loops (and the JSON write) are skipped
+//! and only the digest is produced.
+//!
+//! Exits non-zero unless the acceptance criteria hold: grouped stays
+//! flat across the ladder (≤ 1.10× its uniform time at max skew),
+//! padded cliffs (≥ 1.5×), and grouped beats padded at every skew
+//! level from Zipf(1.0) up — with grouped and padded rows bitwise
+//! equal at every rung.
+
+use std::process::ExitCode;
+
+use tutel_bench::experiments::dropless;
+
+fn main() -> ExitCode {
+    let threads = std::env::var("TUTEL_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(1);
+    let mut digest_only = false;
+    let mut path = "BENCH_compute.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--digest-only" {
+            digest_only = true;
+        } else {
+            path = arg;
+        }
+    }
+
+    let points = match dropless::sweep(threads, !digest_only) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("dropless sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("dropless digest: {:016x}", dropless::digest(&points));
+    if digest_only {
+        return if points.iter().all(|p| p.bitwise) {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("FAIL: grouped vs padded rows diverged in digest-only run");
+            ExitCode::FAILURE
+        };
+    }
+
+    dropless::sweep_table(&points).print();
+    if let Err(e) = dropless::merge_section(&path, dropless::grouped_gemm_section(&points, threads))
+    {
+        eprintln!("failed to update {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("merged grouped_gemm section into {path} (threads={threads})");
+
+    let failures = dropless::failures(&points);
+    if failures.is_empty() {
+        println!(
+            "dropless acceptance: grouped flat, padded cliffs, grouped wins from Zipf(1.0) — pass"
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("FAIL {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -5,6 +5,7 @@
 pub mod ablations;
 pub mod accuracy;
 pub mod breakdown;
+pub mod dropless;
 pub mod kernels;
 pub mod layer_scaling;
 pub mod micro;

@@ -142,6 +142,7 @@ fn exec_config(threads: usize) -> ExecConfig {
         degree: 2,
         world: 2,
         threads,
+        dropless: true,
     }
 }
 

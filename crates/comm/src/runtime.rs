@@ -838,6 +838,148 @@ impl Communicator {
         Ok(out)
     }
 
+    /// Flexible (ragged) linear All-to-All: sends `sends[d]` to rank
+    /// `d` verbatim and returns the received buffers in source order,
+    /// with no equal-chunk requirement — peers' payload lengths ride
+    /// the message itself, so no count pre-exchange is needed. Empty
+    /// buffers are legal (an expert that received no tokens). Runs
+    /// under the reliability layer and fault injection exactly like
+    /// [`Communicator::all_to_all`].
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::Indivisible`] if `sends.len()` is not the world
+    /// size, plus any transport error.
+    pub fn all_to_all_v(&mut self, sends: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, CommError> {
+        let _span = self.tracer.span(TRACK_COMM, "all_to_all_v");
+        let n = self.world_size();
+        if sends.len() != n {
+            self.poisoned.set(true);
+            return Err(CommError::Indivisible {
+                len: sends.len(),
+                chunks: n,
+            });
+        }
+        let tag = self.fresh_tag();
+        for (peer, buf) in sends.iter().enumerate() {
+            if peer != self.rank {
+                self.send(peer, tag, buf.clone())?;
+            }
+        }
+        let me = self.rank;
+        let mut out = vec![Vec::new(); n];
+        out[me] = sends[me].clone();
+        for src in (0..n).filter(|&s| s != me) {
+            let buf = self.recv(src, tag)?;
+            out[src] = buf;
+        }
+        self.collective_epilogue(&[tag])?;
+        Ok(out)
+    }
+
+    /// Flexible (ragged) 2DH All-to-All: the hierarchical phases of
+    /// [`Communicator::all_to_all_2dh`] generalized to per-destination
+    /// buffer lengths. Because the intermediate hop must re-bucket a
+    /// concatenation of variable-length messages, each wire payload
+    /// carries an in-band header of per-segment lengths encoded as
+    /// f32 — exact below 2^24 elements per segment, far above any
+    /// routed bin this simulator produces.
+    ///
+    /// Bitwise-identical result to [`Communicator::all_to_all_v`]: both
+    /// deliver every source buffer verbatim, only the route differs.
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::Indivisible`] if `sends.len()` is not the world
+    /// size, plus any transport error.
+    pub fn all_to_all_v_2dh(&mut self, sends: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, CommError> {
+        let _span = self.tracer.span(TRACK_COMM, "all_to_all_v_2dh");
+        let n = self.world_size();
+        if sends.len() != n {
+            self.poisoned.set(true);
+            return Err(CommError::Indivisible {
+                len: sends.len(),
+                chunks: n,
+            });
+        }
+        let m = self.topology.gpus_per_node();
+        let nnodes = self.topology.nnodes();
+        let node = self.topology.node_of(self.rank);
+        let local = self.topology.local_rank(self.rank);
+
+        // Phase 1+2: bucket by destination *local rank* and exchange
+        // intra-node. Segment order inside a bucket is destination
+        // node order; the header block holds the nnodes lengths.
+        let pack = |segs: Vec<&[f32]>| -> Vec<f32> {
+            let mut buf =
+                Vec::with_capacity(segs.len() + segs.iter().map(|s| s.len()).sum::<usize>());
+            buf.extend(segs.iter().map(|s| s.len() as f32));
+            for s in &segs {
+                buf.extend_from_slice(s);
+            }
+            buf
+        };
+        let unpack = |buf: &[f32], nseg: usize| -> Vec<Vec<f32>> {
+            let mut segs = Vec::with_capacity(nseg);
+            let mut at = nseg;
+            for i in 0..nseg {
+                let len = buf[i] as usize;
+                segs.push(buf[at..at + len].to_vec());
+                at += len;
+            }
+            segs
+        };
+        let tag = self.fresh_tag();
+        for dst_local in 0..m {
+            let payload = pack(
+                (0..nnodes)
+                    .map(|dst_node| sends[dst_node * m + dst_local].as_slice())
+                    .collect(),
+            );
+            if dst_local != local {
+                self.send(node * m + dst_local, tag, payload)?;
+            }
+        }
+        // phase2[src_local][dst_node] = message from (node, src_local)
+        // bound for (dst_node, local).
+        let mut phase2: Vec<Vec<Vec<f32>>> = vec![Vec::new(); m];
+        phase2[local] = (0..nnodes)
+            .map(|dst_node| sends[dst_node * m + local].clone())
+            .collect();
+        for src_local in (0..m).filter(|&s| s != local) {
+            let payload = self.recv(node * m + src_local, tag)?;
+            phase2[src_local] = unpack(&payload, nnodes);
+        }
+
+        // Phase 3+4: re-bucket by destination node and exchange
+        // inter-node among same-local-rank peers. Segment order is
+        // source local-rank order.
+        let tag_inter = self.fresh_tag();
+        for dst_node in (0..nnodes).filter(|&d| d != node) {
+            let payload = pack(
+                phase2
+                    .iter()
+                    .map(|bucket| bucket[dst_node].as_slice())
+                    .collect(),
+            );
+            self.send(dst_node * m + local, tag_inter, payload)?;
+        }
+        let mut out = vec![Vec::new(); n];
+        for (src_local, bucket) in phase2.iter().enumerate() {
+            out[node * m + src_local] = bucket[node].clone();
+        }
+        for src_node in 0..nnodes {
+            if src_node != node {
+                let payload = self.recv(src_node * m + local, tag_inter)?;
+                for (src_local, seg) in unpack(&payload, m).into_iter().enumerate() {
+                    out[src_node * m + src_local] = seg;
+                }
+            }
+        }
+        self.collective_epilogue(&[tag, tag_inter])?;
+        Ok(out)
+    }
+
     /// 2DH All-to-All (Algorithm 3): each rank runs the four phases of
     /// Figure 15 locally over its `(W, chunk)` buffer, exchanging only
     /// intra-node blocks in phase 2 and inter-node blocks in phase 4.
@@ -1636,6 +1778,56 @@ mod tests {
         assert_eq!(got, expect);
     }
 
+    /// Ragged per-destination buffers: rank `r` sends `r*n + d` copies
+    /// of a labeled value to rank `d`, so every (src, dst) length is
+    /// distinct and several are zero.
+    fn ragged_sends(n: usize, rank: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|d| vec![(rank * 100 + d) as f32; (rank * n + d) % 7])
+            .collect()
+    }
+
+    #[test]
+    fn threaded_all_to_all_v_delivers_ragged_buffers() {
+        let n = 6;
+        let topo = Topology::new(2, 3);
+        let got = run_threaded(topo, |mut comm| {
+            comm.all_to_all_v(&ragged_sends(n, comm.rank())).unwrap()
+        });
+        for (rank, recvd) in got.into_iter().enumerate() {
+            for (src, buf) in recvd.into_iter().enumerate() {
+                assert_eq!(buf, ragged_sends(n, src)[rank], "src {src} → dst {rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_all_to_all_v_2dh_matches_linear_v() {
+        let n = 8;
+        let topo = Topology::new(2, 4);
+        let got = run_threaded(topo, |mut comm| {
+            let sends = ragged_sends(n, comm.rank());
+            let lin = comm.all_to_all_v(&sends).unwrap();
+            let hier = comm.all_to_all_v_2dh(&sends).unwrap();
+            assert_eq!(lin, hier, "2DH v-route diverged from linear v");
+            lin
+        });
+        for (rank, recvd) in got.into_iter().enumerate() {
+            for (src, buf) in recvd.into_iter().enumerate() {
+                assert_eq!(buf, ragged_sends(n, src)[rank]);
+            }
+        }
+    }
+
+    #[test]
+    fn all_to_all_v_rejects_wrong_send_count() {
+        let topo = Topology::single_node(2);
+        let got = run_threaded(topo, |mut comm| {
+            comm.all_to_all_v(&[vec![1.0]]).is_err() && comm.all_to_all_v_2dh(&[]).is_err()
+        });
+        assert!(got.into_iter().all(|b| b));
+    }
+
     #[test]
     fn threaded_all_gather() {
         let topo = Topology::new(2, 2);
@@ -1862,6 +2054,44 @@ mod tests {
         );
         // The ack phase mirrors counters as gauges of the same name.
         assert!(telemetry.gauge_value("comm.retry.injected_drops").is_some());
+    }
+
+    #[test]
+    fn injected_faults_recover_ragged_v_collectives() {
+        // The dropless serve path rides these: drops/dups/delays on
+        // variable-length (including empty) payloads must recover to
+        // the bitwise fault-free result.
+        let topo = Topology::new(2, 2);
+        let program = |mut comm: Communicator| {
+            let sends = ragged_sends(4, comm.rank());
+            let a = comm.all_to_all_v(&sends).unwrap();
+            let b = comm.all_to_all_v_2dh(&sends).unwrap();
+            (a, b)
+        };
+        let plain = run_threaded(topo, program);
+        let telemetry = Telemetry::enabled();
+        let cfg = ReliableConfig {
+            policy: fast_policy(6),
+            plan: Some(
+                FaultPlan::new(0xD0D0)
+                    .with_drops(20)
+                    .with_duplicates(20)
+                    .with_delays(20, 2),
+            ),
+            telemetry: telemetry.clone(),
+        };
+        let reliable = run_threaded_reliable(topo, cfg, program);
+        assert_eq!(plain, reliable, "faulted ragged run diverged");
+        let injected = telemetry
+            .counter_value("comm.retry.injected_drops")
+            .unwrap_or(0)
+            + telemetry
+                .counter_value("comm.retry.injected_dups")
+                .unwrap_or(0)
+            + telemetry
+                .counter_value("comm.retry.injected_delays")
+                .unwrap_or(0);
+        assert!(injected > 0, "plan injected nothing — test is vacuous");
     }
 
     #[test]

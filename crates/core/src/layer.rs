@@ -10,11 +10,12 @@
 
 use tutel_experts::ExpertsBlock;
 use tutel_gate::{
-    aux_loss, aux_loss_grad, observe_routing, route, CosineRouter, HashRouter, LinearRouter,
-    Router, Routing,
+    aux_loss, aux_loss_grad, observe_routing, route, CapacityPolicy, CosineRouter, HashRouter,
+    LinearRouter, RaggedRouting, Router, Routing,
 };
 use tutel_kernels::{
     fast_decode_backward, fast_decode_observed, fast_encode_backward, fast_encode_observed,
+    ragged_decode_backward, ragged_decode_observed, ragged_encode_backward, ragged_encode_observed,
 };
 use tutel_obs::Telemetry;
 use tutel_tensor::{scratch, Rng, Tensor, TensorError};
@@ -71,7 +72,12 @@ struct SavedForward {
     x: Tensor,
     probs: Tensor,
     routing: Routing,
+    /// Padded `(E, C, M)` expert outputs, or packed `(R, M)` rows when
+    /// `ragged` is set.
     expert_out: Tensor,
+    /// Present iff the forward took the dropless grouped path; backward
+    /// must then retrace it through the ragged kernels.
+    ragged: Option<RaggedRouting>,
 }
 
 /// The Tutel MoE layer.
@@ -242,11 +248,24 @@ impl MoeLayer {
             (probs, routing)
         };
         observe_routing(&routing, &self.obs);
-        let dispatched = fast_encode_observed(x, &routing, &self.obs)?;
-        let expert_out = self.experts.infer(&dispatched)?;
-        scratch::recycle(dispatched);
-        let output = fast_decode_observed(&expert_out, &routing, x.dims()[0], &self.obs)?;
-        scratch::recycle(expert_out);
+        let output = if matches!(cfg.route_config().capacity, CapacityPolicy::AutoMin) {
+            // Dropless: packed ragged bins + grouped GEMM, no padding.
+            let ragged = RaggedRouting::from_routing(&routing);
+            let packed = ragged_encode_observed(x, &routing, &ragged, &self.obs)?;
+            let expert_out = self.experts.infer_grouped(&packed, &ragged.offsets)?;
+            scratch::recycle(packed);
+            let output =
+                ragged_decode_observed(&expert_out, &routing, &ragged, x.dims()[0], &self.obs)?;
+            scratch::recycle(expert_out);
+            output
+        } else {
+            let dispatched = fast_encode_observed(x, &routing, &self.obs)?;
+            let expert_out = self.experts.infer(&dispatched)?;
+            scratch::recycle(dispatched);
+            let output = fast_decode_observed(&expert_out, &routing, x.dims()[0], &self.obs)?;
+            scratch::recycle(expert_out);
+            output
+        };
         let aux = aux_loss(&probs, &routing)?;
         self.obs.set_gauge("gate.aux_loss", aux as f64);
         Ok(MoeOutput {
@@ -270,10 +289,25 @@ impl MoeLayer {
             (probs, routing)
         };
         observe_routing(&routing, &self.obs);
-        let dispatched = fast_encode_observed(x, &routing, &self.obs)?;
-        let expert_out = self.experts.forward(&dispatched)?;
-        scratch::recycle(dispatched);
-        let output = fast_decode_observed(&expert_out, &routing, x.dims()[0], &self.obs)?;
+        let ragged = if matches!(self.cfg.route_config().capacity, CapacityPolicy::AutoMin) {
+            Some(RaggedRouting::from_routing(&routing))
+        } else {
+            None
+        };
+        let (expert_out, output) = if let Some(rag) = &ragged {
+            let packed = ragged_encode_observed(x, &routing, rag, &self.obs)?;
+            let expert_out = self.experts.forward_grouped(&packed, &rag.offsets)?;
+            scratch::recycle(packed);
+            let output =
+                ragged_decode_observed(&expert_out, &routing, rag, x.dims()[0], &self.obs)?;
+            (expert_out, output)
+        } else {
+            let dispatched = fast_encode_observed(x, &routing, &self.obs)?;
+            let expert_out = self.experts.forward(&dispatched)?;
+            scratch::recycle(dispatched);
+            let output = fast_decode_observed(&expert_out, &routing, x.dims()[0], &self.obs)?;
+            (expert_out, output)
+        };
         let aux = aux_loss(&probs, &routing)?;
         self.obs.set_gauge("gate.aux_loss", aux as f64);
         let out = MoeOutput {
@@ -290,6 +324,7 @@ impl MoeLayer {
             probs,
             routing,
             expert_out,
+            ragged,
         };
         Ok((out, saved))
     }
@@ -310,23 +345,34 @@ impl MoeLayer {
             probs,
             routing,
             expert_out,
+            ragged,
         } = self
             .saved
             .take()
             .ok_or_else(|| TensorError::InvalidArgument("backward without forward".into()))?;
         let tokens = x.dims()[0];
 
-        // Through decode: gradients for expert outputs and gate values.
-        let (d_expert_out, d_gates) = fast_decode_backward(d_out, &expert_out, &routing)?;
-        scratch::recycle(expert_out);
-
-        // Through the experts.
-        let d_dispatched = self.experts.backward(&d_expert_out)?;
-        scratch::recycle(d_expert_out);
-
-        // Through encode back to the layer input.
-        let mut d_x = fast_encode_backward(&d_dispatched, &routing, tokens)?;
-        scratch::recycle(d_dispatched);
+        // Decode → experts → encode, retracing whichever path the
+        // forward took. Gate-value gradients come out in the same
+        // token/selection order either way.
+        let (mut d_x, d_gates) = if let Some(rag) = &ragged {
+            let (d_packed_out, d_gates) =
+                ragged_decode_backward(d_out, &expert_out, &routing, rag)?;
+            scratch::recycle(expert_out);
+            let d_packed_in = self.experts.backward_grouped(&d_packed_out)?;
+            scratch::recycle(d_packed_out);
+            let d_x = ragged_encode_backward(&d_packed_in, &routing, rag, tokens)?;
+            scratch::recycle(d_packed_in);
+            (d_x, d_gates)
+        } else {
+            let (d_expert_out, d_gates) = fast_decode_backward(d_out, &expert_out, &routing)?;
+            scratch::recycle(expert_out);
+            let d_dispatched = self.experts.backward(&d_expert_out)?;
+            scratch::recycle(d_expert_out);
+            let d_x = fast_encode_backward(&d_dispatched, &routing, tokens)?;
+            scratch::recycle(d_dispatched);
+            (d_x, d_gates)
+        };
 
         // Gate-value gradients → probability gradients. For k > 1 the
         // selected gates were normalized (g_i = v_i / Σv); chain
@@ -544,6 +590,28 @@ mod tests {
             assert_eq!(solo.dropped, 0);
         }
         assert_eq!(batched.dropped, 0);
+    }
+
+    #[test]
+    fn dropless_grouped_path_matches_padded_rows_bitwise() {
+        // The dropless path runs ragged encode → grouped GEMM →
+        // ragged decode; the padded path at a capacity large enough to
+        // drop nothing computes the same rows through the (E, C, M)
+        // twin. Per-row accumulation order is identical, so the outputs
+        // must agree bit for bit — training forward, dropless
+        // inference, and padded inference alike.
+        let cfg = MoeConfig::new(8, 16, 4)
+            .with_top_k(2)
+            .with_capacity_factor(0.0);
+        let (mut l, mut rng) = layer(&cfg, 21);
+        let x = rng.normal_tensor(&[32, 8], 0.0, 1.0);
+        let grouped = l.forward(&x).unwrap();
+        let infer = l.infer_dropless(&x).unwrap();
+        let padded = l.infer_with(&x, cfg.experts as f64).unwrap();
+        assert_eq!(padded.dropped, 0, "padded twin must not drop");
+        assert_eq!(grouped.output, infer.output);
+        assert_eq!(grouped.output, padded.output);
+        assert_eq!(grouped.expert_load, padded.expert_load);
     }
 
     #[test]

@@ -278,6 +278,7 @@ impl PipelineTimeModel {
             measured_s: None,
             cause: None,
             precision: Some(self.precision.label().to_string()),
+            dropless: dims.capacity_factor == 0.0,
             step: None,
         });
         (best, best_t)
@@ -572,6 +573,7 @@ impl OnlineStrategySearch {
                 measured_s: None,
                 cause: None,
                 precision: None,
+                dropless: f == 0.0,
                 step: None,
             });
         }
@@ -824,6 +826,7 @@ impl MeasuredStrategySearch {
                 measured_s,
                 cause: self.pending_cause.take(),
                 precision: Some(self.model.precision.label().to_string()),
+                dropless: dims.capacity_factor == 0.0,
                 step: None,
             });
         }

@@ -2,8 +2,8 @@
 
 use tutel_obs::Telemetry;
 use tutel_tensor::{
-    gelu_backward_with_tanh, gelu_slice_with_tanh, gemm_nt, gemm_tn, quantize_in_place, scratch,
-    Precision, Rng, Tensor, TensorError,
+    gelu_backward_with_tanh, gelu_slice_with_tanh, gemm_nt, gemm_tn, grouped_gemm, grouped_gemm_nt,
+    grouped_gemm_tn, quantize_in_place, scratch, Precision, Rng, Tensor, TensorError,
 };
 
 /// A batch of `ΔE` expert FFNs: for each local expert `e`,
@@ -47,6 +47,9 @@ pub struct ExpertsBlock {
     /// pre-activation `h_pre`, the GELU output `h`, and the `tanh`
     /// intermediate — so backward never re-evaluates `tanh`.
     saved: Option<(Tensor, Tensor, Tensor, Tensor)>,
+    /// Saved activations from the last *grouped* forward: the same
+    /// four tensors in packed `(R, ·)` layout plus the bin offsets.
+    saved_grouped: Option<(Tensor, Tensor, Tensor, Tensor, Vec<usize>)>,
     /// Weight *storage* format. Under [`Precision::Bf16`] the weights
     /// are kept rounded to the bf16-representable set at every rest
     /// point (construction, checkpoint restore, after each optimizer
@@ -77,6 +80,7 @@ impl ExpertsBlock {
             dw2: Tensor::zeros(&[local_experts, hidden_dim, model_dim]),
             db2: Tensor::zeros(&[local_experts, model_dim]),
             saved: None,
+            saved_grouped: None,
             storage: Precision::F32,
             obs: Telemetry::disabled(),
         }
@@ -161,6 +165,7 @@ impl ExpertsBlock {
             w2,
             b2,
             saved: None,
+            saved_grouped: None,
             storage: Precision::F32,
             obs: Telemetry::disabled(),
         })
@@ -220,6 +225,7 @@ impl ExpertsBlock {
         self.b2 = b2;
         self.round_weights_to_storage();
         self.saved = None;
+        self.saved_grouped = None;
         Ok(())
     }
 
@@ -295,6 +301,198 @@ impl ExpertsBlock {
         scratch::recycle(h_pre);
         scratch::recycle(h);
         Ok(y)
+    }
+
+    /// Grouped (dropless) forward over packed ragged bins: `x (R, M)`
+    /// where expert `e` owns rows `offsets[e]..offsets[e+1]`. One
+    /// grouped-GEMM launch per layer instead of a padded `bmm`; no
+    /// zero rows are computed. Produces `(R, M)` and caches packed
+    /// activations for [`ExpertsBlock::backward_grouped`].
+    ///
+    /// Arithmetic accumulates in f32 regardless of the weight storage
+    /// format, exactly like the padded path — bf16 storage composes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if `x` or `offsets` is inconsistent.
+    pub fn forward_grouped(
+        &mut self,
+        x: &Tensor,
+        offsets: &[usize],
+    ) -> Result<Tensor, TensorError> {
+        let span = self.grouped_span("ffn", x, offsets);
+        self.check_grouped(x, offsets)?;
+        let total = *offsets.last().unwrap_or(&0);
+        let (m, v) = (self.model_dim, self.hidden_dim);
+        tutel_rt::request_prewarm(total * v, 1);
+        let mut h_pre = scratch::zeroed(&[total, v]);
+        grouped_gemm(
+            x.as_slice(),
+            self.w1.as_slice(),
+            h_pre.as_mut_slice(),
+            offsets,
+            m,
+            v,
+        );
+        add_bias_grouped(&mut h_pre, &self.b1, offsets);
+        let mut h = scratch::zeroed(h_pre.dims());
+        let mut tanh = scratch::zeroed(h_pre.dims());
+        gelu_slice_with_tanh(h_pre.as_slice(), h.as_mut_slice(), tanh.as_mut_slice());
+        let mut y = scratch::zeroed(&[total, m]);
+        grouped_gemm(
+            h.as_slice(),
+            self.w2.as_slice(),
+            y.as_mut_slice(),
+            offsets,
+            v,
+            m,
+        );
+        add_bias_grouped(&mut y, &self.b2, offsets);
+        self.saved_grouped = Some((scratch::copy_of(x), h_pre, h, tanh, offsets.to_vec()));
+        drop(span);
+        Ok(y)
+    }
+
+    /// Grouped forward without caching (inference).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if `x` or `offsets` is inconsistent.
+    // check:hot
+    pub fn infer_grouped(&self, x: &Tensor, offsets: &[usize]) -> Result<Tensor, TensorError> {
+        let span = self.grouped_span("ffn", x, offsets);
+        self.check_grouped(x, offsets)?;
+        let total = *offsets.last().unwrap_or(&0);
+        let (m, v) = (self.model_dim, self.hidden_dim);
+        let mut h_pre = scratch::zeroed(&[total, v]);
+        grouped_gemm(
+            x.as_slice(),
+            self.w1.as_slice(),
+            h_pre.as_mut_slice(),
+            offsets,
+            m,
+            v,
+        );
+        add_bias_grouped(&mut h_pre, &self.b1, offsets);
+        let h = h_pre.gelu();
+        let mut y = scratch::zeroed(&[total, m]);
+        grouped_gemm(
+            h.as_slice(),
+            self.w2.as_slice(),
+            y.as_mut_slice(),
+            offsets,
+            v,
+            m,
+        );
+        add_bias_grouped(&mut y, &self.b2, offsets);
+        scratch::recycle(h_pre);
+        scratch::recycle(h);
+        drop(span);
+        Ok(y)
+    }
+
+    /// Backward of [`ExpertsBlock::forward_grouped`]: consumes the
+    /// cached packed activations, accumulates parameter gradients
+    /// (grouped TN launches straight into the gradient slabs), returns
+    /// `d_x (R, M)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if no grouped forward is cached or
+    /// shapes mismatch.
+    // check:hot
+    pub fn backward_grouped(&mut self, d_y: &Tensor) -> Result<Tensor, TensorError> {
+        let (x, h_pre, h, tanh, offsets) = self.saved_grouped.take().ok_or_else(|| {
+            TensorError::InvalidArgument("grouped backward without grouped forward".into())
+        })?;
+        let _span = self.grouped_span("ffn.backward", d_y, &offsets);
+        self.check_grouped(d_y, &offsets)?;
+        let total = *offsets.last().unwrap_or(&0);
+        let (m, v) = (self.model_dim, self.hidden_dim);
+        // dW2 += hᵀ · dY and db2 += Σ rows dY, bin by bin.
+        grouped_gemm_tn(
+            h.as_slice(),
+            d_y.as_slice(),
+            self.dw2.as_mut_slice(),
+            &offsets,
+            v,
+            m,
+        );
+        for e in 0..self.local_experts {
+            let rows = offsets[e + 1] - offsets[e];
+            accumulate_bias(
+                &mut self.db2,
+                e,
+                &d_y.as_slice()[offsets[e] * m..offsets[e + 1] * m],
+                rows,
+                m,
+            );
+        }
+        // dh = dY · W2ᵀ, then through GELU in place over the whole
+        // packed buffer (elementwise — bins don't interact).
+        let arena = tutel_rt::arena();
+        let mut dh = arena.take_zeroed(total * v);
+        grouped_gemm_nt(d_y.as_slice(), self.w2.as_slice(), &mut dh, &offsets, m, v);
+        gelu_backward_with_tanh(h_pre.as_slice(), tanh.as_slice(), &mut dh);
+        // dW1 += xᵀ · dh_pre; db1 += Σ rows dh_pre; dx = dh_pre · W1ᵀ.
+        grouped_gemm_tn(x.as_slice(), &dh, self.dw1.as_mut_slice(), &offsets, m, v);
+        for e in 0..self.local_experts {
+            let rows = offsets[e + 1] - offsets[e];
+            accumulate_bias(
+                &mut self.db1,
+                e,
+                &dh[offsets[e] * v..offsets[e + 1] * v],
+                rows,
+                v,
+            );
+        }
+        let mut dx = scratch::zeroed(x.dims());
+        grouped_gemm_nt(&dh, self.w1.as_slice(), dx.as_mut_slice(), &offsets, v, m);
+        arena.put(dh);
+        scratch::recycle(x);
+        scratch::recycle(h_pre);
+        scratch::recycle(h);
+        scratch::recycle(tanh);
+        Ok(dx)
+    }
+
+    /// Span + FLOP counter for a grouped pass: FLOPs are exact routed
+    /// rows (`4·R·M·V`), not `4·ΔE·C·M·V` — the telemetry shows the
+    /// padding waste the grouped path avoids.
+    fn grouped_span(&self, name: &str, x: &Tensor, offsets: &[usize]) -> tutel_obs::Span {
+        if !self.obs.is_enabled() || x.rank() != 2 {
+            return self.obs.span(name);
+        }
+        let rows = *offsets.last().unwrap_or(&0);
+        let flops = 4 * rows * self.model_dim * self.hidden_dim;
+        self.obs.add_counter("experts.flops", flops as u64);
+        self.obs
+            .span(name)
+            .tag("local_experts", self.local_experts)
+            .tag("rows", rows)
+            .tag("grouped", 1usize)
+            .tag("flops", flops)
+    }
+
+    fn check_grouped(&self, x: &Tensor, offsets: &[usize]) -> Result<(), TensorError> {
+        if offsets.len() != self.local_experts + 1
+            || offsets[0] != 0
+            || offsets.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(TensorError::InvalidArgument(format!(
+                "grouped offsets must be a monotone prefix sum with {} bins",
+                self.local_experts
+            )));
+        }
+        let total = *offsets.last().unwrap_or(&0);
+        if x.rank() != 2 || x.dims()[0] != total || x.dims()[1] != self.model_dim {
+            return Err(TensorError::ShapeMismatch {
+                left: x.dims().to_vec(),
+                right: vec![total, self.model_dim],
+                op: "experts_forward_grouped",
+            });
+        }
+        Ok(())
     }
 
     /// Backward pass: consumes the cached activations, accumulates
@@ -424,6 +622,24 @@ impl ExpertsBlock {
     }
 }
 
+/// Adds `bias (ΔE, cols)` to packed rows: expert `e`'s bias row lands
+/// on rows `offsets[e]..offsets[e+1]` of `t (R, cols)`. Same scalar
+/// add order per row as [`add_bias`], so grouped rows stay bitwise
+/// equal to their padded twins.
+fn add_bias_grouped(t: &mut Tensor, bias: &Tensor, offsets: &[usize]) {
+    let de = bias.dims()[0];
+    let cols = bias.dims()[1];
+    for e in 0..de {
+        let b = &bias.as_slice()[e * cols..(e + 1) * cols];
+        for r in offsets[e]..offsets[e + 1] {
+            let off = r * cols;
+            for (o, bv) in t.as_mut_slice()[off..off + cols].iter_mut().zip(b) {
+                *o += bv;
+            }
+        }
+    }
+}
+
 fn add_bias(t: &mut Tensor, bias: &Tensor, rows: usize) {
     let de = bias.dims()[0];
     let cols = bias.dims()[1];
@@ -527,6 +743,158 @@ mod tests {
             final_loss < 0.6 * initial,
             "loss {initial} → {final_loss} did not descend"
         );
+    }
+
+    /// Packs a padded `(ΔE, C, M)` input into `(R, M)` with the given
+    /// per-expert row counts (rows beyond a bin's count are unused).
+    fn pack(x: &Tensor, counts: &[usize]) -> (Tensor, Vec<usize>) {
+        let (c, m) = (x.dims()[1], x.dims()[2]);
+        let mut offsets = vec![0usize];
+        for &cnt in counts {
+            offsets.push(offsets.last().unwrap() + cnt);
+        }
+        let total = *offsets.last().unwrap();
+        let mut packed = vec![0.0f32; total * m];
+        for (e, &cnt) in counts.iter().enumerate() {
+            packed[offsets[e] * m..offsets[e + 1] * m]
+                .copy_from_slice(&x.as_slice()[e * c * m..e * c * m + cnt * m]);
+        }
+        (Tensor::from_vec(packed, &[total, m]).unwrap(), offsets)
+    }
+
+    #[test]
+    fn grouped_forward_rows_bitwise_equal_padded_rows() {
+        let mut rng = Rng::seed(11);
+        let mut ex = ExpertsBlock::new(3, 4, 8, &mut rng);
+        let x = rng.normal_tensor(&[3, 7, 4], 0.0, 1.0);
+        // Ragged bins: 2, 7, 0 of the 7 capacity rows.
+        let counts = [2usize, 7, 0];
+        let (packed, offsets) = pack(&x, &counts);
+        let grouped = ex.forward_grouped(&packed, &offsets).unwrap();
+        let padded = ex.forward(&x).unwrap();
+        let m = 4;
+        for (e, &cnt) in counts.iter().enumerate() {
+            assert_eq!(
+                &grouped.as_slice()[offsets[e] * m..offsets[e + 1] * m],
+                &padded.as_slice()[e * 7 * m..e * 7 * m + cnt * m],
+                "expert {e}"
+            );
+        }
+        let inferred = ex.infer_grouped(&packed, &offsets).unwrap();
+        assert_eq!(inferred.as_slice(), grouped.as_slice());
+    }
+
+    #[test]
+    fn grouped_backward_matches_padded_backward_on_uniform_bins() {
+        // With every bin exactly at capacity the two paths see the
+        // same rows with the same reduction shapes — gradients must
+        // agree bitwise.
+        let mut rng = Rng::seed(12);
+        let mut pad = ExpertsBlock::new(2, 4, 8, &mut rng);
+        let mut grp = pad.clone();
+        let x = rng.normal_tensor(&[2, 5, 4], 0.0, 1.0);
+        let dy = rng.normal_tensor(&[2, 5, 4], 0.0, 1.0);
+        let counts = [5usize, 5];
+        let (px, offsets) = pack(&x, &counts);
+        let (pdy, _) = pack(&dy, &counts);
+
+        pad.forward(&x).unwrap();
+        let dx_pad = pad.backward(&dy).unwrap();
+        grp.forward_grouped(&px, &offsets).unwrap();
+        let dx_grp = grp.backward_grouped(&pdy).unwrap();
+
+        let (dx_packed, _) = pack(&dx_pad, &counts);
+        assert_eq!(dx_grp.as_slice(), dx_packed.as_slice());
+        assert_eq!(pad.dw1.as_slice(), grp.dw1.as_slice());
+        assert_eq!(pad.db1.as_slice(), grp.db1.as_slice());
+        assert_eq!(pad.dw2.as_slice(), grp.dw2.as_slice());
+        assert_eq!(pad.db2.as_slice(), grp.db2.as_slice());
+    }
+
+    #[test]
+    fn grouped_input_grad_matches_finite_difference() {
+        let mut rng = Rng::seed(13);
+        let mut ex = ExpertsBlock::new(2, 3, 4, &mut rng);
+        let offsets = [0usize, 2, 5];
+        let x = rng.normal_tensor(&[5, 3], 0.0, 1.0);
+        let up = rng.normal_tensor(&[5, 3], 0.0, 1.0);
+        ex.forward_grouped(&x, &offsets).unwrap();
+        let dx = ex.backward_grouped(&up).unwrap();
+        let eps = 1e-2;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let lp = ex
+                .infer_grouped(&xp, &offsets)
+                .unwrap()
+                .mul(&up)
+                .unwrap()
+                .sum();
+            let lm = ex
+                .infer_grouped(&xm, &offsets)
+                .unwrap()
+                .mul(&up)
+                .unwrap()
+                .sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - dx.as_slice()[i]).abs() < 3e-2,
+                "i={i} fd={fd} got={}",
+                dx.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn grouped_weight_gradients_descend_a_loss() {
+        let mut rng = Rng::seed(14);
+        let mut ex = ExpertsBlock::new(2, 4, 8, &mut rng);
+        let offsets = [0usize, 4, 10];
+        let x = rng.normal_tensor(&[10, 4], 0.0, 1.0);
+        let target = rng.normal_tensor(&[10, 4], 0.0, 1.0);
+        let mut initial = None;
+        for _ in 0..50 {
+            let y = ex.forward_grouped(&x, &offsets).unwrap();
+            let diff = y.sub(&target).unwrap();
+            initial.get_or_insert(0.5 * diff.sq_norm());
+            ex.backward_grouped(&diff).unwrap();
+            ex.step(0.01);
+        }
+        let y = ex.infer_grouped(&x, &offsets).unwrap();
+        let final_loss = 0.5 * y.sub(&target).unwrap().sq_norm();
+        let initial = initial.unwrap();
+        assert!(
+            final_loss < 0.6 * initial,
+            "grouped loss {initial} → {final_loss} did not descend"
+        );
+    }
+
+    #[test]
+    fn grouped_bf16_storage_composes() {
+        let mut rng = Rng::seed(15);
+        let f32_block = ExpertsBlock::new(2, 8, 16, &mut rng);
+        let bf16_block = f32_block.clone().with_storage_precision(Precision::Bf16);
+        let offsets = [0usize, 3, 9];
+        let x = rng.normal_tensor(&[9, 8], 0.0, 1.0);
+        let yf = f32_block.infer_grouped(&x, &offsets).unwrap();
+        let yb = bf16_block.infer_grouped(&x, &offsets).unwrap();
+        for (a, b) in yf.as_slice().iter().zip(yb.as_slice()) {
+            let scale = a.abs().max(1.0);
+            assert!((a - b).abs() / scale < 0.05, "f32 {a} vs bf16 {b}");
+        }
+    }
+
+    #[test]
+    fn grouped_rejects_bad_offsets() {
+        let mut rng = Rng::seed(16);
+        let mut ex = ExpertsBlock::new(2, 3, 4, &mut rng);
+        let x = rng.normal_tensor(&[5, 3], 0.0, 1.0);
+        assert!(ex.forward_grouped(&x, &[0, 5]).is_err()); // wrong bin count
+        assert!(ex.forward_grouped(&x, &[0, 3, 2]).is_err()); // not monotone
+        assert!(ex.forward_grouped(&x, &[0, 2, 4]).is_err()); // total ≠ rows
+        assert!(ex.backward_grouped(&x).is_err()); // no cached forward
     }
 
     #[test]

@@ -197,6 +197,7 @@ impl InlineParallelismRouter {
                 measured_s: None,
                 cause: None,
                 precision: Some(dims.weight_precision.label().to_string()),
+                dropless: dims.capacity_factor == 0.0,
                 step: None,
             });
         }

@@ -27,4 +27,4 @@ pub use capacity::{expert_capacity, needed_capacity_factor, CapacityPolicy};
 pub use controller::CapacityController;
 pub use obs::observe_routing;
 pub use router::{CosineRouter, HashRouter, LinearRouter, Router};
-pub use routing::{route, RouteConfig, Routing};
+pub use routing::{route, RaggedRouting, RouteConfig, Routing};

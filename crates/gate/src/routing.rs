@@ -111,6 +111,81 @@ impl Routing {
     }
 }
 
+/// CSR-style ragged view of a [`Routing`]: per-expert bins packed
+/// back-to-back with **no capacity dimension** — the dropless dispatch
+/// layout.
+///
+/// `offsets` is the prefix sum of the clamped per-expert counts
+/// (`len == experts + 1`, `offsets[experts] == total routed
+/// assignments`); expert `e`'s bin is packed rows
+/// `offsets[e]..offsets[e + 1]`. The slot-major permutation arrays
+/// name the owner of every packed row: `slot_token[s]` is the source
+/// token and `slot_select[s]` which of its top-k selections landed
+/// there. Within a bin, rows keep the padded layout's capacity-slot
+/// order (`packed slot = offsets[e] + location`), so a row holds
+/// *identical bytes* in both layouts and grouped compute is bitwise
+/// comparable to the padded twin row by row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaggedRouting {
+    /// Number of global experts (`offsets.len() - 1`).
+    pub experts: usize,
+    /// Per-expert bin boundaries: monotone prefix sum of the clamped
+    /// counts.
+    pub offsets: Vec<usize>,
+    /// Source token per packed slot.
+    pub slot_token: Vec<u32>,
+    /// Top-k selection index per packed slot.
+    pub slot_select: Vec<u32>,
+}
+
+impl RaggedRouting {
+    /// Builds the ragged view of `routing`. Dropped assignments (only
+    /// possible under a clamping policy — the dropless path never has
+    /// any) simply own no packed slot.
+    pub fn from_routing(routing: &Routing) -> Self {
+        let experts = routing.experts;
+        let mut offsets = Vec::with_capacity(experts + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &c in &routing.counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        let mut slot_token = vec![0u32; acc];
+        let mut slot_select = vec![0u32; acc];
+        for (t, (experts_of, locs)) in routing
+            .expert_of
+            .iter()
+            .zip(&routing.location_of)
+            .enumerate()
+        {
+            for (i, (&e, loc)) in experts_of.iter().zip(locs).enumerate() {
+                if let Some(l) = loc {
+                    let s = offsets[e] + l;
+                    slot_token[s] = t as u32;
+                    slot_select[s] = i as u32;
+                }
+            }
+        }
+        RaggedRouting {
+            experts,
+            offsets,
+            slot_token,
+            slot_select,
+        }
+    }
+
+    /// Total packed rows (routed assignments after clamping).
+    pub fn total(&self) -> usize {
+        self.offsets.last().copied().unwrap_or(0)
+    }
+
+    /// Rows in expert `e`'s bin.
+    pub fn bin_len(&self, e: usize) -> usize {
+        self.offsets[e + 1] - self.offsets[e]
+    }
+}
+
 /// Routes tokens given gating probabilities `probs` of shape `(T, E)`.
 ///
 /// Implements GShard-compatible top-k routing: per-token top-k expert
@@ -333,6 +408,89 @@ mod tests {
         let r = route(&probs, &RouteConfig::top1()).unwrap();
         assert!((r.needed_factor - 4.0).abs() < 1e-9);
         assert!((r.survival_rate() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ragged_view_packs_bins_in_capacity_slot_order() {
+        let probs = probs_preferring_expert0(8, 4);
+        let cfg = RouteConfig::top1().with_capacity_factor(0.0);
+        let r = route(&probs, &cfg).unwrap();
+        let ragged = RaggedRouting::from_routing(&r);
+        assert_eq!(ragged.offsets, vec![0, 8, 8, 8, 8]);
+        assert_eq!(ragged.total(), 8);
+        assert_eq!(ragged.bin_len(0), 8);
+        // Token order == capacity-slot order under top-1 without BPR.
+        assert_eq!(ragged.slot_token, (0..8u32).collect::<Vec<_>>());
+        assert!(ragged.slot_select.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn ragged_view_skips_dropped_assignments() {
+        let probs = probs_preferring_expert0(8, 4);
+        let r = route(&probs, &RouteConfig::top1()).unwrap();
+        let ragged = RaggedRouting::from_routing(&r);
+        assert_eq!(ragged.total(), r.counts.iter().sum::<usize>());
+        assert_eq!(ragged.total(), 8 - r.dropped());
+        assert_eq!(ragged.offsets.len(), r.experts + 1);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The ragged offsets are a monotone prefix sum ending at
+            /// the total routed-token count, and every packed slot is
+            /// owned by exactly one surviving (token, selection) pair
+            /// whose padded location maps back to the same slot.
+            #[test]
+            fn offsets_are_a_monotone_prefix_sum(
+                tokens in 1usize..40,
+                experts in 1usize..12,
+                k in 1usize..4,
+                factor in (0usize..3).prop_map(|i| [0.0, 1.0, 2.0][i]),
+                seed in 0u64..1024,
+            ) {
+                let k = k.min(experts);
+                let mut rng = Rng::seed(seed);
+                let probs = rng.uniform_tensor(&[tokens, experts], 0.0, 1.0).softmax_last();
+                let cfg = RouteConfig {
+                    k,
+                    ..RouteConfig::top1().with_capacity_factor(factor)
+                };
+                let r = route(&probs, &cfg).unwrap();
+                let ragged = RaggedRouting::from_routing(&r);
+
+                prop_assert_eq!(ragged.offsets.len(), experts + 1);
+                prop_assert_eq!(ragged.offsets[0], 0);
+                for e in 0..experts {
+                    prop_assert!(ragged.offsets[e] <= ragged.offsets[e + 1]);
+                    prop_assert_eq!(ragged.bin_len(e), r.counts[e]);
+                }
+                let routed: usize = r.counts.iter().sum();
+                prop_assert_eq!(ragged.total(), routed);
+                prop_assert_eq!(ragged.total(), tokens * k - r.dropped());
+
+                // The permutation is a bijection onto surviving
+                // assignments, consistent with the padded layout.
+                let mut seen = vec![false; ragged.total()];
+                for (t, locs) in r.location_of.iter().enumerate() {
+                    for (i, loc) in locs.iter().enumerate() {
+                        if let Some(l) = loc {
+                            let e = r.expert_of[t][i];
+                            let s = ragged.offsets[e] + l;
+                            prop_assert!(!seen[s]);
+                            seen[s] = true;
+                            prop_assert_eq!(ragged.slot_token[s] as usize, t);
+                            prop_assert_eq!(ragged.slot_select[s] as usize, i);
+                        }
+                    }
+                }
+                prop_assert!(seen.iter().all(|&s| s));
+            }
+        }
     }
 
     #[test]

@@ -58,9 +58,17 @@
 //! bitwise for P1 at [`reference::REF_THREADS`], ≤ 4 scaled ULP for
 //! P2 — for every batch composition the scheduler composes, including
 //! under a seeded `FaultPlan` replay on the step's All-to-All.
+//!
+//! [`grouped`] diff-tests the dropless ragged path specifically: the
+//! grouped-GEMM serving step against both the per-row reference and
+//! its padded capacity twin across {P1, P2} × {lin, 2DH} × degree ×
+//! world (bitwise for P1 at `REF_THREADS`, ≤ 4 scaled ULP for P2, and
+//! always bitwise against the twin), plus a seeded fault replay on
+//! the ragged v-All-to-Alls.
 
 pub mod dist;
 pub mod faults;
+pub mod grouped;
 pub mod kernels;
 pub mod matrix;
 pub mod race;

@@ -19,6 +19,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use tutel_harness::faults::{run_fault_suite, FaultReport};
+use tutel_harness::grouped::{run_grouped_fault, run_grouped_suite, GroupedVerdict};
 use tutel_harness::kernels::{run_kernel_matrix, KernelVerdict, BF16_ULP_BUDGET};
 use tutel_harness::matrix::{configs, run_matrix, Mode, Verdict};
 use tutel_harness::race::run_race_surface;
@@ -240,17 +241,96 @@ fn run_serve_section(seed: u64, fault_seed: u64) -> (bool, usize, usize, f64) {
     (all_ok, pass, results.len(), worst_scaled)
 }
 
+/// Prints the dropless grouped grid (vs reference and vs the padded
+/// capacity twin) and the ragged fault replay; returns overall pass
+/// plus summary counts for the JSON record.
+fn run_grouped_section(seed: u64, fault_seed: u64) -> (bool, usize, usize, f64) {
+    let results = run_grouped_suite(seed);
+    println!("dropless grouped grid ({} cases):", results.len());
+    println!(
+        "  {:<14} {:>6} {:>12} {:>6} {:>16}  verdict",
+        "case", "ulp", "scaled-ulp", "twin", "wire (vs padded)"
+    );
+    let mut pass = 0usize;
+    let mut worst_scaled = 0.0f64;
+    let mut all_ok = true;
+    for res in &results {
+        match res {
+            Ok(v) => {
+                let GroupedVerdict {
+                    case_,
+                    worst_ulp,
+                    worst_scaled_ulp,
+                    twin_bitwise,
+                    wire_grouped,
+                    wire_padded,
+                    budget,
+                    pass: ok,
+                } = v;
+                println!(
+                    "  {:<14} {:>6} {:>12.2} {:>6} {:>7}/{:<8} {}",
+                    case_.label(),
+                    worst_ulp,
+                    worst_scaled_ulp,
+                    if *twin_bitwise { "bit" } else { "DIFF" },
+                    wire_grouped,
+                    wire_padded,
+                    if *ok {
+                        if *budget == 0 {
+                            "pass (bitwise)"
+                        } else {
+                            "pass"
+                        }
+                    } else {
+                        "FAIL"
+                    }
+                );
+                worst_scaled = worst_scaled.max(*worst_scaled_ulp);
+                if *ok {
+                    pass += 1;
+                } else {
+                    all_ok = false;
+                }
+            }
+            Err(e) => {
+                println!("  ERROR: {e}");
+                all_ok = false;
+            }
+        }
+    }
+    match run_grouped_fault(fault_seed) {
+        Ok(v) => {
+            println!(
+                "ragged a2a fault replay: {} injected, {} retransmits, outputs {} — {}",
+                v.injected,
+                v.retransmits,
+                if v.identical { "bitwise" } else { "DIVERGED" },
+                if v.pass { "pass" } else { "FAIL" }
+            );
+            all_ok &= v.pass;
+        }
+        Err(e) => {
+            eprintln!("ragged a2a fault replay FAILED: {e}");
+            all_ok = false;
+        }
+    }
+    (all_ok, pass, results.len(), worst_scaled)
+}
+
 fn write_json(
     path: &str,
     args: &Args,
     verdicts: &[Verdict],
     reports: &[FaultReport],
     kernels: &[KernelVerdict],
-    serve: (usize, usize, f64),
-    wall: [f64; 4],
+    // Serving grid and dropless grouped grid summaries, each
+    // (pass, cases, worst scaled ULP).
+    sections: [(usize, usize, f64); 2],
+    wall: [f64; 5],
 ) -> std::io::Result<()> {
-    let [matrix_secs, fault_secs, kernel_secs, serve_secs] = wall;
-    let (serve_pass, serve_cases, serve_worst_scaled) = serve;
+    let [matrix_secs, fault_secs, kernel_secs, serve_secs, grouped_secs] = wall;
+    let [(serve_pass, serve_cases, serve_worst_scaled), (grouped_pass, grouped_cases, grouped_worst_scaled)] =
+        sections;
     let matrix_pass = verdicts.iter().filter(|v| v.pass).count();
     let fault_pass = reports.iter().filter(|r| r.pass).count();
     let kernel_pass = kernels.iter().filter(|v| v.pass).count();
@@ -284,7 +364,11 @@ fn write_json(
             "  \"serve_cases\": {},\n",
             "  \"serve_pass\": {},\n",
             "  \"serve_worst_scaled_ulp\": {:.3},\n",
-            "  \"serve_wall_s\": {:.3}\n",
+            "  \"serve_wall_s\": {:.3},\n",
+            "  \"grouped_cases\": {},\n",
+            "  \"grouped_pass\": {},\n",
+            "  \"grouped_worst_scaled_ulp\": {:.3},\n",
+            "  \"grouped_wall_s\": {:.3}\n",
             "}}\n"
         ),
         args.mode.label(),
@@ -306,6 +390,10 @@ fn write_json(
         serve_pass,
         serve_worst_scaled,
         serve_secs,
+        grouped_cases,
+        grouped_pass,
+        grouped_worst_scaled,
+        grouped_secs,
     );
     std::fs::write(path, body)
 }
@@ -347,6 +435,11 @@ fn main() -> ExitCode {
         run_serve_section(args.seed, args.fault_seed);
     let serve_secs = t3.elapsed().as_secs_f64();
 
+    let t4 = Instant::now();
+    let (grouped_ok, grouped_pass, grouped_cases, grouped_worst_scaled) =
+        run_grouped_section(args.seed, args.fault_seed);
+    let grouped_secs = t4.elapsed().as_secs_f64();
+
     let trace_ok = match &args.trace {
         None => true,
         Some(prefix) => run_trace_scenarios(prefix, args.fault_seed),
@@ -359,7 +452,7 @@ fn main() -> ExitCode {
     let kernels_ok = kernel_verdicts.iter().all(|v| v.pass);
     println!(
         "matrix: {}/{} pass in {:.2}s; faults: {}/{} pass in {:.2}s; kernels: {}/{} pass in \
-         {:.2}s; serve: {}/{} pass in {:.2}s",
+         {:.2}s; serve: {}/{} pass in {:.2}s; grouped: {}/{} pass in {:.2}s",
         verdicts.iter().filter(|v| v.pass).count(),
         verdicts.len(),
         matrix_secs,
@@ -371,7 +464,10 @@ fn main() -> ExitCode {
         kernel_secs,
         serve_pass,
         serve_cases,
-        serve_secs
+        serve_secs,
+        grouped_pass,
+        grouped_cases,
+        grouped_secs
     );
 
     if let Some(path) = &args.json {
@@ -381,8 +477,17 @@ fn main() -> ExitCode {
             &verdicts,
             &reports,
             &kernel_verdicts,
-            (serve_pass, serve_cases, serve_worst_scaled),
-            [matrix_secs, fault_secs, kernel_secs, serve_secs],
+            [
+                (serve_pass, serve_cases, serve_worst_scaled),
+                (grouped_pass, grouped_cases, grouped_worst_scaled),
+            ],
+            [
+                matrix_secs,
+                fault_secs,
+                kernel_secs,
+                serve_secs,
+                grouped_secs,
+            ],
         ) {
             eprintln!("failed to write {path}: {e}");
             return ExitCode::FAILURE;
@@ -390,7 +495,7 @@ fn main() -> ExitCode {
         println!("wrote {path}");
     }
 
-    if matrix_ok && faults_ok && kernels_ok && serve_ok && trace_ok && race_ok {
+    if matrix_ok && faults_ok && kernels_ok && serve_ok && grouped_ok && trace_ok && race_ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -83,6 +83,7 @@ impl ServeCase {
             degree: self.degree,
             world: self.world,
             threads: REF_THREADS,
+            dropless: false,
         }
     }
 }

@@ -5,10 +5,11 @@
 //! touched. With a disabled [`Telemetry`] handle the wrappers reduce
 //! to the plain kernels plus one branch.
 
-use tutel_gate::Routing;
+use tutel_gate::{RaggedRouting, Routing};
 use tutel_obs::Telemetry;
 use tutel_tensor::{Tensor, TensorError};
 
+use crate::ragged::{ragged_decode, ragged_encode};
 use crate::sparse::{fast_decode, fast_encode};
 
 /// [`fast_encode`] inside an `encode` span; counts the dispatched
@@ -60,6 +61,63 @@ pub fn fast_decode_observed(
         .tag("experts", routing.experts)
         .tag("capacity", routing.capacity);
     let out = fast_decode(y, routing, tokens)?;
+    tel.add_counter("kernels.decode.elements", out.len() as u64);
+    tel.add_counter("kernels.decode.calls", 1);
+    drop(span);
+    Ok(out)
+}
+
+/// [`ragged_encode`] inside an `encode` span; same stage key as the
+/// padded wrapper so per-step stage timings compare across paths, but
+/// tagged `packed_rows` instead of `capacity` — the ragged layout has
+/// no capacity dimension.
+///
+/// # Errors
+///
+/// Returns whatever [`ragged_encode`] returns.
+pub fn ragged_encode_observed(
+    x: &Tensor,
+    routing: &Routing,
+    ragged: &RaggedRouting,
+    tel: &Telemetry,
+) -> Result<Tensor, TensorError> {
+    if !tel.is_enabled() {
+        return ragged_encode(x, routing, ragged);
+    }
+    let span = tel
+        .span("encode")
+        .tag("tokens", routing.num_tokens())
+        .tag("experts", routing.experts)
+        .tag("packed_rows", ragged.total());
+    let out = ragged_encode(x, routing, ragged)?;
+    tel.add_counter("kernels.encode.elements", out.len() as u64);
+    tel.add_counter("kernels.encode.calls", 1);
+    drop(span);
+    Ok(out)
+}
+
+/// [`ragged_decode`] inside a `decode` span; counts the combined
+/// output elements (`T·M`) like the padded wrapper.
+///
+/// # Errors
+///
+/// Returns whatever [`ragged_decode`] returns.
+pub fn ragged_decode_observed(
+    y: &Tensor,
+    routing: &Routing,
+    ragged: &RaggedRouting,
+    tokens: usize,
+    tel: &Telemetry,
+) -> Result<Tensor, TensorError> {
+    if !tel.is_enabled() {
+        return ragged_decode(y, routing, ragged, tokens);
+    }
+    let span = tel
+        .span("decode")
+        .tag("tokens", tokens)
+        .tag("experts", routing.experts)
+        .tag("packed_rows", ragged.total());
+    let out = ragged_decode(y, routing, ragged, tokens)?;
     tel.add_counter("kernels.decode.elements", out.len() as u64);
     tel.add_counter("kernels.decode.calls", 1);
     drop(span);

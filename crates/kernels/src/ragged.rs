@@ -1,0 +1,453 @@
+//! Dropless dispatch: scatter/gather straight into packed ragged
+//! expert bins (MegaBlocks-style), no capacity dimension anywhere.
+//!
+//! Where [`crate::sparse`] moves rows through the padded `(E, ΔC, M)`
+//! buffer, these kernels use a [`RaggedRouting`]'s CSR `offsets` to
+//! place each routed assignment at packed row `offsets[e] + location`
+//! of an `(R, M)` buffer, `R` = total routed assignments. Zero padding
+//! rows exist, so compute and All-to-All bytes scale with what was
+//! actually routed — the padded path's skew cliff disappears.
+//!
+//! The ownership-parallel structure is identical to the padded
+//! kernels: slot-major passes walk the packed rows (each row has
+//! exactly one owner, recorded in the ragged permutation arrays) and
+//! token-major passes walk token rows in selection order. Row blocks
+//! are fixed at [`ROW_CHUNK`] rows and all lane arithmetic routes
+//! through the kernel dispatch table, so results are bit-identical
+//! for every `TUTEL_THREADS` and `TUTEL_SIMD` setting — and, because
+//! a packed row holds the same bytes as its padded twin row, bitwise
+//! comparable to the padded kernels row by row.
+
+use tutel_gate::{RaggedRouting, Routing};
+use tutel_tensor::{dispatch, scratch, Tensor, TensorError};
+
+/// Output rows per parallel chunk (fixed: part of the determinism
+/// contract, never derived from pool size).
+const ROW_CHUNK: usize = 64;
+
+/// Ragged encode: scatters `x (T, M)` into the packed dispatch buffer
+/// `(R, M)` — expert `e`'s bin is rows `offsets[e]..offsets[e+1]`,
+/// with zero padding rows. Dispatch is unweighted (GShard semantics),
+/// exactly like [`crate::fast_encode`].
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] if `x` is not rank-2 or the routing pair
+/// is inconsistent.
+// check:hot
+pub fn ragged_encode(
+    x: &Tensor,
+    routing: &Routing,
+    ragged: &RaggedRouting,
+) -> Result<Tensor, TensorError> {
+    let m = check_tokens(x, routing, "ragged_encode")?;
+    check_pair(routing, ragged, "ragged_encode")?;
+    let mut out = scratch::zeroed(&[ragged.total(), m]);
+    let xs = x.as_slice();
+    // Slot-major: every packed row has exactly one owner (the ragged
+    // view drops unowned capacity slots at construction), so this is
+    // one memcpy per row with a single writer.
+    tutel_rt::parallel_chunks(out.as_mut_slice(), ROW_CHUNK * m, |blk, chunk| {
+        let slot0 = blk * ROW_CHUNK;
+        for (s, orow) in chunk.chunks_mut(m).enumerate() {
+            let t = ragged.slot_token[slot0 + s] as usize;
+            orow.copy_from_slice(&xs[t * m..(t + 1) * m]);
+        }
+    });
+    Ok(out)
+}
+
+/// Backward of [`ragged_encode`]: gathers `d_packed (R, M)` back into
+/// `d_x (T, M)`.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] on shape mismatch.
+// check:hot
+pub fn ragged_encode_backward(
+    d_packed: &Tensor,
+    routing: &Routing,
+    ragged: &RaggedRouting,
+    tokens: usize,
+) -> Result<Tensor, TensorError> {
+    let m = check_packed(d_packed, ragged, "ragged_encode_backward")?;
+    check_pair(routing, ragged, "ragged_encode_backward")?;
+    let mut dx = scratch::zeroed(&[tokens, m]);
+    let dd = d_packed.as_slice();
+    // Token-major, selection order — the same accumulation order as
+    // the padded twin, lanewise through the kernel table.
+    tutel_rt::parallel_chunks(dx.as_mut_slice(), ROW_CHUNK * m, |blk, chunk| {
+        let add_assign = dispatch::table().add_assign;
+        let t0 = blk * ROW_CHUNK;
+        for (ti, orow) in chunk.chunks_mut(m).enumerate() {
+            let t = t0 + ti;
+            for (&e, loc) in routing.expert_of[t].iter().zip(&routing.location_of[t]) {
+                if let Some(l) = *loc {
+                    let s = ragged.offsets[e] + l;
+                    add_assign(&dd[s * m..(s + 1) * m], orow);
+                }
+            }
+        }
+    });
+    Ok(dx)
+}
+
+/// Ragged decode: combines packed expert outputs `y (R, M)` into the
+/// layer output `(T, M)`, weighting each gathered row by its gate
+/// value — [`crate::fast_decode`] without the capacity dimension.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] on shape mismatch.
+// check:hot
+pub fn ragged_decode(
+    y: &Tensor,
+    routing: &Routing,
+    ragged: &RaggedRouting,
+    tokens: usize,
+) -> Result<Tensor, TensorError> {
+    let m = check_packed(y, ragged, "ragged_decode")?;
+    check_pair(routing, ragged, "ragged_decode")?;
+    let mut out = scratch::zeroed(&[tokens, m]);
+    let ys = y.as_slice();
+    // Token-major: gate-weighted sum over the token's ≤ k packed rows
+    // in selection order via the kernel table's axpy.
+    tutel_rt::parallel_chunks(out.as_mut_slice(), ROW_CHUNK * m, |blk, chunk| {
+        let axpy = dispatch::table().axpy;
+        let t0 = blk * ROW_CHUNK;
+        for (ti, orow) in chunk.chunks_mut(m).enumerate() {
+            let t = t0 + ti;
+            for ((&e, loc), &g) in routing.expert_of[t]
+                .iter()
+                .zip(&routing.location_of[t])
+                .zip(&routing.gate_of[t])
+            {
+                if let Some(l) = *loc {
+                    let s = ragged.offsets[e] + l;
+                    axpy(g, &ys[s * m..(s + 1) * m], orow);
+                }
+            }
+        }
+    });
+    Ok(out)
+}
+
+/// Backward of [`ragged_decode`]: returns `(d_y (R, M), d_gates)`,
+/// mirroring [`crate::fast_decode_backward`]'s two ownership-parallel
+/// passes (slot-major for `d_y`, token-major for the gate gradients).
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] on shape mismatch.
+// check:hot
+pub fn ragged_decode_backward(
+    d_out: &Tensor,
+    y: &Tensor,
+    routing: &Routing,
+    ragged: &RaggedRouting,
+) -> Result<(Tensor, Vec<Vec<f32>>), TensorError> {
+    let m = check_tokens(d_out, routing, "ragged_decode_backward")?;
+    let m2 = check_packed(y, ragged, "ragged_decode_backward")?;
+    if m != m2 {
+        return Err(TensorError::shape_mismatch(
+            "ragged_decode_backward",
+            d_out.dims(),
+            y.dims(),
+        ));
+    }
+    check_pair(routing, ragged, "ragged_decode_backward")?;
+    let ds = d_out.as_slice();
+    let ys = y.as_slice();
+
+    // Pass 1, slot-major: dy[row] = g · d_out[owner token].
+    let mut dy = scratch::zeroed(&[ragged.total(), m]);
+    tutel_rt::parallel_chunks(dy.as_mut_slice(), ROW_CHUNK * m, |blk, chunk| {
+        let axpy = dispatch::table().axpy;
+        let slot0 = blk * ROW_CHUNK;
+        for (s, orow) in chunk.chunks_mut(m).enumerate() {
+            let t = ragged.slot_token[slot0 + s] as usize;
+            let i = ragged.slot_select[slot0 + s] as usize;
+            let g = routing.gate_of[t][i];
+            axpy(g, &ds[t * m..(t + 1) * m], orow);
+        }
+    });
+
+    // Pass 2, token-major: dgates[t][i] = ⟨y_row, d_out_t⟩ through the
+    // kernel table's reduction-tree dot.
+    let mut dgates: Vec<Vec<f32>> = routing.gate_of.iter().map(|g| vec![0.0; g.len()]).collect();
+    tutel_rt::parallel_chunks(&mut dgates, ROW_CHUNK, |blk, chunk| {
+        let dot = dispatch::table().dot;
+        let t0 = blk * ROW_CHUNK;
+        for (ti, grow) in chunk.iter_mut().enumerate() {
+            let t = t0 + ti;
+            let drow = &ds[t * m..(t + 1) * m];
+            for (i, (&e, loc)) in routing.expert_of[t]
+                .iter()
+                .zip(&routing.location_of[t])
+                .enumerate()
+            {
+                if let Some(l) = *loc {
+                    let s = ragged.offsets[e] + l;
+                    grow[i] = dot(&ys[s * m..(s + 1) * m], drow);
+                }
+            }
+        }
+    });
+    Ok((dy, dgates))
+}
+
+fn check_tokens(x: &Tensor, routing: &Routing, op: &'static str) -> Result<usize, TensorError> {
+    if x.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: x.rank(),
+            op,
+        });
+    }
+    if x.dims()[0] != routing.num_tokens() {
+        return Err(TensorError::ShapeMismatch {
+            left: x.dims().to_vec(),
+            right: vec![routing.num_tokens(), x.dims()[1]],
+            op,
+        });
+    }
+    Ok(x.dims()[1])
+}
+
+fn check_packed(
+    y: &Tensor,
+    ragged: &RaggedRouting,
+    op: &'static str,
+) -> Result<usize, TensorError> {
+    if y.rank() != 2 || y.dims()[0] != ragged.total() {
+        return Err(TensorError::shape_mismatch(
+            op,
+            y.dims(),
+            &[ragged.total(), 0],
+        ));
+    }
+    Ok(y.dims()[1])
+}
+
+fn check_pair(
+    routing: &Routing,
+    ragged: &RaggedRouting,
+    op: &'static str,
+) -> Result<(), TensorError> {
+    if ragged.experts != routing.experts
+        || ragged.offsets.len() != routing.experts + 1
+        || ragged.total() != routing.counts.iter().sum::<usize>()
+    {
+        return Err(TensorError::InvalidArgument(format!(
+            "{op}: ragged view does not match routing \
+             ({} experts vs {}, {} packed rows vs {} routed)",
+            ragged.experts,
+            routing.experts,
+            ragged.total(),
+            routing.counts.iter().sum::<usize>()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fast_decode, fast_decode_backward, fast_encode, fast_encode_backward};
+    use tutel_gate::{route, RouteConfig};
+    use tutel_tensor::Rng;
+
+    fn dropless_routing(
+        tokens: usize,
+        experts: usize,
+        k: usize,
+        seed: u64,
+    ) -> (Routing, RaggedRouting, Tensor) {
+        let mut rng = Rng::seed(seed);
+        let probs = rng
+            .uniform_tensor(&[tokens, experts], 0.0, 1.0)
+            .softmax_last();
+        let cfg = RouteConfig {
+            k,
+            ..RouteConfig::top1().with_capacity_factor(0.0)
+        };
+        let routing = route(&probs, &cfg).unwrap();
+        let ragged = RaggedRouting::from_routing(&routing);
+        let x = rng.normal_tensor(&[tokens, 6], 0.0, 1.0);
+        (routing, ragged, x)
+    }
+
+    #[test]
+    fn packed_rows_hold_the_same_bytes_as_their_padded_twins() {
+        let (routing, ragged, x) = dropless_routing(12, 4, 2, 3);
+        let packed = ragged_encode(&x, &routing, &ragged).unwrap();
+        let padded = fast_encode(&x, &routing).unwrap();
+        let m = 6;
+        for e in 0..routing.experts {
+            for l in 0..routing.counts[e] {
+                let s = ragged.offsets[e] + l;
+                let pr = &packed.as_slice()[s * m..(s + 1) * m];
+                let dr = &padded.as_slice()
+                    [(e * routing.capacity + l) * m..(e * routing.capacity + l + 1) * m];
+                assert_eq!(pr, dr, "expert {e} slot {l}");
+            }
+        }
+        assert_eq!(packed.dims(), &[ragged.total(), m]);
+    }
+
+    #[test]
+    fn ragged_decode_is_bitwise_equal_to_padded_decode() {
+        let (routing, ragged, x) = dropless_routing(17, 5, 2, 5);
+        let packed = ragged_encode(&x, &routing, &ragged).unwrap();
+        let padded = fast_encode(&x, &routing).unwrap();
+        let a = ragged_decode(&packed, &routing, &ragged, 17).unwrap();
+        let b = fast_decode(&padded, &routing, 17).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn ragged_backwards_are_bitwise_equal_to_padded_backwards() {
+        let (routing, ragged, x) = dropless_routing(13, 4, 2, 7);
+        let mut rng = Rng::seed(8);
+        let packed = ragged_encode(&x, &routing, &ragged).unwrap();
+        let padded = fast_encode(&x, &routing).unwrap();
+        let d_out = rng.normal_tensor(&[13, 6], 0.0, 1.0);
+
+        let (dy_r, dg_r) = ragged_decode_backward(&d_out, &packed, &routing, &ragged).unwrap();
+        let (dy_p, dg_p) = fast_decode_backward(&d_out, &padded, &routing).unwrap();
+        assert_eq!(dg_r, dg_p);
+        let m = 6;
+        for e in 0..routing.experts {
+            for l in 0..routing.counts[e] {
+                let s = ragged.offsets[e] + l;
+                assert_eq!(
+                    &dy_r.as_slice()[s * m..(s + 1) * m],
+                    &dy_p.as_slice()
+                        [(e * routing.capacity + l) * m..(e * routing.capacity + l + 1) * m],
+                );
+            }
+        }
+
+        let dx_r = ragged_encode_backward(&dy_r, &routing, &ragged, 13).unwrap();
+        let dx_p = fast_encode_backward(&dy_p, &routing, 13).unwrap();
+        assert_eq!(dx_r.as_slice(), dx_p.as_slice());
+    }
+
+    #[test]
+    fn ragged_kernels_bit_identical_across_limits_and_simd_modes() {
+        let (routing, ragged, x) = dropless_routing(130, 8, 2, 17);
+        let run = || {
+            let d = ragged_encode(&x, &routing, &ragged).unwrap();
+            let out = ragged_decode(&d, &routing, &ragged, 130).unwrap();
+            let (dy, dgates) = ragged_decode_backward(&out, &d, &routing, &ragged).unwrap();
+            let dx = ragged_encode_backward(&dy, &routing, &ragged, 130).unwrap();
+            (d, out, dy, dgates, dx)
+        };
+        let reference = tutel_rt::with_parallelism_limit(1, run);
+        for limit in [2, 4, 8] {
+            assert_eq!(
+                tutel_rt::with_parallelism_limit(limit, run),
+                reference,
+                "limit {limit}"
+            );
+        }
+        if dispatch::simd_available() {
+            let scalar = dispatch::with_simd_mode(Some(false), run);
+            let simd = dispatch::with_simd_mode(Some(true), run);
+            assert_eq!(scalar, simd);
+        }
+    }
+
+    #[test]
+    fn clamped_routings_still_produce_a_consistent_ragged_view() {
+        // Ragged is the dropless layout, but the view itself works for
+        // clamped routings too (dropped assignments own no row).
+        let mut rng = Rng::seed(4);
+        let probs = rng.uniform_tensor(&[20, 4], 0.0, 1.0).softmax_last();
+        let routing = route(&probs, &RouteConfig::top2()).unwrap();
+        let ragged = RaggedRouting::from_routing(&routing);
+        let x = rng.normal_tensor(&[20, 6], 0.0, 1.0);
+        let packed = ragged_encode(&x, &routing, &ragged).unwrap();
+        let padded = fast_encode(&x, &routing).unwrap();
+        let a = ragged_decode(&packed, &routing, &ragged, 20).unwrap();
+        let b = fast_decode(&padded, &routing, 20).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn shape_validation() {
+        let (routing, ragged, x) = dropless_routing(4, 2, 1, 8);
+        assert!(ragged_encode(&x.reshape(&[24]).unwrap(), &routing, &ragged).is_err());
+        let bad = Tensor::zeros(&[ragged.total() + 1, 6]);
+        assert!(ragged_decode(&bad, &routing, &ragged, 4).is_err());
+        assert!(ragged_encode_backward(&bad, &routing, &ragged, 4).is_err());
+        let mut mismatched = ragged.clone();
+        mismatched.offsets.pop();
+        mismatched.experts -= 1;
+        assert!(ragged_encode(&x, &routing, &mismatched).is_err());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Dropless encode∘decode round-trips bitwise: with k = 1
+            /// and a unit gate, every token's output row is exactly
+            /// its input row (`1.0 · x` is an identity in IEEE 754).
+            #[test]
+            fn encode_decode_round_trips_bitwise(
+                tokens in 1usize..60,
+                experts in 1usize..10,
+                m in 1usize..24,
+                seed in 0u64..1024,
+            ) {
+                let mut rng = Rng::seed(seed);
+                let probs = rng
+                    .uniform_tensor(&[tokens, experts], 0.0, 1.0)
+                    .softmax_last();
+                let cfg = RouteConfig::top1().with_capacity_factor(0.0);
+                let mut routing = route(&probs, &cfg).unwrap();
+                for g in &mut routing.gate_of {
+                    g.fill(1.0);
+                }
+                let ragged = RaggedRouting::from_routing(&routing);
+                let x = rng.normal_tensor(&[tokens, m], 0.0, 1.0);
+                let packed = ragged_encode(&x, &routing, &ragged).unwrap();
+                prop_assert_eq!(packed.dims(), &[tokens, m]);
+                let back = ragged_decode(&packed, &routing, &ragged, tokens).unwrap();
+                prop_assert_eq!(back.as_slice(), x.as_slice());
+            }
+
+            /// On arbitrary dropless top-k routings the ragged kernels
+            /// agree bitwise with the padded twins, row for row.
+            #[test]
+            fn ragged_matches_padded_bitwise(
+                tokens in 1usize..40,
+                experts in 1usize..8,
+                k in 1usize..3,
+                seed in 0u64..1024,
+            ) {
+                let k = k.min(experts);
+                let mut rng = Rng::seed(seed);
+                let probs = rng
+                    .uniform_tensor(&[tokens, experts], 0.0, 1.0)
+                    .softmax_last();
+                let cfg = RouteConfig {
+                    k,
+                    ..RouteConfig::top1().with_capacity_factor(0.0)
+                };
+                let routing = route(&probs, &cfg).unwrap();
+                let ragged = RaggedRouting::from_routing(&routing);
+                let x = rng.normal_tensor(&[tokens, 5], 0.0, 1.0);
+                let packed = ragged_encode(&x, &routing, &ragged).unwrap();
+                let padded = fast_encode(&x, &routing).unwrap();
+                let a = ragged_decode(&packed, &routing, &ragged, tokens).unwrap();
+                let b = fast_decode(&padded, &routing, tokens).unwrap();
+                prop_assert_eq!(a.as_slice(), b.as_slice());
+            }
+        }
+    }
+}

@@ -35,8 +35,17 @@ const ROW_CHUNK: usize = 64;
 /// `(token, selection)` pair that owns it, if any. The router grants
 /// each slot at most once (per-expert location counter), which is what
 /// makes single-writer slot-major passes possible.
-fn slot_owners(routing: &Routing) -> Vec<Option<(u32, u32)>> {
-    let mut owners = vec![None; routing.experts * routing.capacity];
+///
+/// Arena-backed: the map is rebuilt every iteration on the hot path,
+/// so it checks its buffer out of [`scratch`] (callers recycle it)
+/// instead of growing a fresh `Vec`. Owners are encoded as two f32
+/// lanes per slot — `token + 1` (`0.0` ⇒ unowned) and the selection
+/// index — exact because token counts sit far below 2²⁴.
+// check:hot
+fn slot_owners(routing: &Routing) -> Tensor {
+    let slots = routing.experts * routing.capacity;
+    let mut owners = scratch::zeroed(&[slots, 2]);
+    let os = owners.as_mut_slice();
     for (t, (experts, locs)) in routing
         .expert_of
         .iter()
@@ -45,11 +54,24 @@ fn slot_owners(routing: &Routing) -> Vec<Option<(u32, u32)>> {
     {
         for (i, (&e, loc)) in experts.iter().zip(locs).enumerate() {
             if let Some(l) = *loc {
-                owners[e * routing.capacity + l] = Some((t as u32, i as u32));
+                let s = e * routing.capacity + l;
+                os[s * 2] = (t + 1) as f32;
+                os[s * 2 + 1] = i as f32;
             }
         }
     }
     owners
+}
+
+/// Decodes one slot of the arena-backed [`slot_owners`] map.
+#[inline]
+fn owner_of(os: &[f32], slot: usize) -> Option<(u32, u32)> {
+    let t = os[slot * 2];
+    if t == 0.0 {
+        None
+    } else {
+        Some((t as u32 - 1, os[slot * 2 + 1] as u32))
+    }
 }
 
 /// Sparse encode (`moe.fast_encode`): scatters the MoE layer input
@@ -84,7 +106,9 @@ fn slot_owners(routing: &Routing) -> Vec<Option<(u32, u32)>> {
 // check:hot
 pub fn fast_encode(x: &Tensor, routing: &Routing) -> Result<Tensor, TensorError> {
     let m = check_tokens(x, routing)?;
+    // check:hot call site — the owner map comes from the arena.
     let owners = slot_owners(routing);
+    let os = owners.as_slice();
     let mut out = scratch::zeroed(&[routing.experts, routing.capacity, m]);
     let xs = x.as_slice();
     // Slot-major: each slot row is either a copy of its owner token's
@@ -93,11 +117,12 @@ pub fn fast_encode(x: &Tensor, routing: &Routing) -> Result<Tensor, TensorError>
     tutel_rt::parallel_chunks(out.as_mut_slice(), ROW_CHUNK * m, |blk, chunk| {
         let slot0 = blk * ROW_CHUNK;
         for (s, orow) in chunk.chunks_mut(m).enumerate() {
-            if let Some((t, _)) = owners[slot0 + s] {
+            if let Some((t, _)) = owner_of(os, slot0 + s) {
                 orow.copy_from_slice(&xs[t as usize * m..(t as usize + 1) * m]);
             }
         }
     });
+    scratch::recycle(owners);
     Ok(out)
 }
 
@@ -203,7 +228,9 @@ pub fn fast_decode_backward(
         ));
     }
     let cap = routing.capacity;
+    // check:hot call site — the owner map comes from the arena.
     let owners = slot_owners(routing);
+    let os = owners.as_slice();
     let ds = d_out.as_slice();
     let ys = y.as_slice();
 
@@ -213,13 +240,14 @@ pub fn fast_decode_backward(
         let axpy = dispatch::table().axpy;
         let slot0 = blk * ROW_CHUNK;
         for (s, orow) in chunk.chunks_mut(m).enumerate() {
-            if let Some((t, i)) = owners[slot0 + s] {
+            if let Some((t, i)) = owner_of(os, slot0 + s) {
                 let g = routing.gate_of[t as usize][i as usize];
                 let drow = &ds[t as usize * m..(t as usize + 1) * m];
                 axpy(g, drow, orow);
             }
         }
     });
+    scratch::recycle(owners);
 
     // Pass 2, token-major: dgates[t][i] = ⟨y_slot, d_out_t⟩ through
     // the kernel table's 8-lane reduction-tree dot (same summation

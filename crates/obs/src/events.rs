@@ -149,6 +149,11 @@ pub struct DecisionRecord {
     /// reduced-precision weights halve parameter-collective bytes, so
     /// the audit trail must say which price book was in effect.
     pub precision: Option<String>,
+    /// Whether the decided configuration runs the dropless compute
+    /// path (ragged bins + grouped GEMM, no capacity padding) — the
+    /// cost books differ, so the audit trail records which one priced
+    /// the candidates.
+    pub dropless: bool,
     /// Training step active when recorded, if any.
     pub step: Option<u64>,
 }
@@ -308,6 +313,7 @@ impl Event {
                         .map(|p| Value::from(p.clone()))
                         .unwrap_or(Value::Null),
                 ),
+                ("dropless", Value::Bool(d.dropless)),
                 ("step", opt_step(d.step)),
             ]),
             Event::Anomaly(a) => Value::obj([
@@ -354,6 +360,7 @@ mod tests {
             measured_s: Some(0.0021),
             cause: Some("straggler: rank 1".into()),
             precision: Some("bf16".into()),
+            dropless: true,
             step: None,
         });
         let json = dec.to_value().to_json();
@@ -362,6 +369,7 @@ mod tests {
         assert!(json.contains(r#""measured_s":0.0021"#), "{json}");
         assert!(json.contains(r#""cause":"straggler: rank 1""#), "{json}");
         assert!(json.contains(r#""precision":"bf16""#), "{json}");
+        assert!(json.contains(r#""dropless":true"#), "{json}");
     }
 
     #[test]

@@ -588,6 +588,7 @@ mod tests {
             measured_s: None,
             cause: None,
             precision: None,
+            dropless: false,
             step: None,
         };
         tel.decision(rec("linear×d2"));

@@ -458,6 +458,7 @@ impl<'a> Engine<'a> {
             measured_s: Some(makespan as f64 * 1e-6),
             cause: None,
             precision: None,
+            dropless: self.cfg.exec.dropless,
             step: None,
         });
 
@@ -501,6 +502,7 @@ mod tests {
                 degree: 1,
                 world,
                 threads: 1,
+                dropless: true,
             },
         }
     }

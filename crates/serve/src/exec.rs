@@ -31,8 +31,8 @@ use tutel::overlap::run_overlapped;
 use tutel_comm::runtime::{run_threaded, run_threaded_reliable, Communicator, ReliableConfig};
 use tutel_comm::AllToAllAlgo;
 use tutel_experts::{ExpertsBlock, ShardedExpertParams};
-use tutel_gate::{route, Router};
-use tutel_kernels::{fast_decode, fast_encode};
+use tutel_gate::{route, RaggedRouting, Router};
+use tutel_kernels::{fast_decode, fast_encode, ragged_decode, ragged_encode};
 use tutel_rt::with_parallelism_limit;
 use tutel_simgpu::Topology;
 use tutel_tensor::{Tensor, TensorError};
@@ -74,6 +74,11 @@ pub struct ExecConfig {
     pub world: usize,
     /// Per-rank compute parallelism limit.
     pub threads: usize,
+    /// Route the expert exchange through packed ragged bins and
+    /// grouped GEMM — exact routed counts on the wire, no capacity
+    /// padding anywhere. `false` keeps the padded capacity twin, which
+    /// the harness diff-tests the grouped path against.
+    pub dropless: bool,
 }
 
 impl ExecConfig {
@@ -84,11 +89,12 @@ impl ExecConfig {
             AllToAllAlgo::TwoDh => "2dh",
         };
         format!(
-            "{}/{} d{} w{}",
+            "{}/{} d{} w{}{}",
             self.strategy.label(),
             algo,
             self.degree,
-            self.world
+            self.world,
+            if self.dropless { " dl" } else { "" }
         )
     }
 }
@@ -213,7 +219,11 @@ fn execute_step_with(
     let padded_ref = &padded;
     let program = move |comm: Communicator| {
         with_parallelism_limit(cfg.threads, || {
-            run_rank(model_ref, &cfg, padded_ref, per_rank, comm)
+            if cfg.dropless {
+                run_rank_grouped(model_ref, &cfg, padded_ref, per_rank, comm)
+            } else {
+                run_rank(model_ref, &cfg, padded_ref, per_rank, comm)
+            }
         })
     };
     let rank_results: Vec<RankResult> = match cfg_rel {
@@ -352,6 +362,186 @@ fn run_rank(
     ))
 }
 
+/// One rank's **dropless** program: route, pack ragged bins, exchange
+/// the exact routed rows over flexible (v-) All-to-Alls, grouped-GEMM
+/// the received bins, exchange back, decode. Capacity never
+/// materializes — the wire carries an `offsets`-shaped count header
+/// plus the rows themselves, not `E·C` padded slabs, so payloads
+/// shrink to the routed token counts and a hot expert costs only its
+/// own rows.
+///
+/// The pipeline degree splits every expert bin into `degree`
+/// deterministic sub-ranges and runs one blocking v-exchange per
+/// sub-range: overlap changes *when* rows move, never what they hold,
+/// and each output row's GEMM accumulation order is independent of
+/// its bin-mates, so the padded twin's bitwise contract carries over
+/// unchanged. The returned "capacity" is the rank's largest routed
+/// bin — the shape the padded twin would have inflated every expert
+/// to.
+fn run_rank_grouped(
+    model: &ServeModel,
+    cfg: &ExecConfig,
+    padded: &Tensor,
+    per_rank: usize,
+    mut comm: Communicator,
+) -> RankResult {
+    let dims = model.dims;
+    let world = cfg.world;
+    let rank = comm.rank();
+    let m = dims.model_dim;
+    let le = dims.local_experts;
+
+    // This rank's rows: global rows rank, rank+world, rank+2·world, …
+    let mut rows = Vec::with_capacity(per_rank * m);
+    let src = padded.as_slice();
+    for local in 0..per_rank {
+        let g = local * world + rank;
+        rows.extend_from_slice(&src[g * m..(g + 1) * m]);
+    }
+    let x = Tensor::from_vec(rows, &[per_rank, m])?;
+
+    // Gate + dropless route; no capacity reconciliation — ranks don't
+    // need to agree on any buffer shape, only on the v-payloads they
+    // exchange, and those carry their own counts.
+    let probs = model.router.logits(&x)?.softmax_last();
+    let routing = route(&probs, &dims.route_config())?;
+    let ragged = RaggedRouting::from_routing(&routing);
+    let enc = ragged_encode(&x, &routing, &ragged)?;
+    let es = enc.as_slice();
+
+    let local = local_block(model, rank)?;
+    let blocks: Vec<ExpertsBlock> = match cfg.strategy {
+        Strategy::P1 => vec![local],
+        Strategy::P2 => {
+            let params = ShardedExpertParams::from_block(&local, dims.shards)?;
+            (0..params.shards())
+                .map(|r| params.shard_block(r))
+                .collect()
+        }
+    };
+
+    // Chunk c of bin e: the deterministic sub-range
+    // [len·c/D, len·(c+1)/D) of the bin's packed rows.
+    let bin_chunk = |e: usize, c: usize| -> (usize, usize) {
+        let s = ragged.offsets[e];
+        let len = ragged.offsets[e + 1] - s;
+        (s + len * c / cfg.degree, s + len * (c + 1) / cfg.degree)
+    };
+
+    let mut y_packed = vec![0.0f32; ragged.total() * m];
+    for c in 0..cfg.degree {
+        // Outbound: rank d receives a header of its `le` bin-chunk
+        // row counts (f32-exact below 2^24) followed by the rows,
+        // expert-major.
+        let sends: Vec<Vec<f32>> = (0..world)
+            .map(|d| {
+                let mut buf = Vec::new();
+                for e in d * le..(d + 1) * le {
+                    let (s, t) = bin_chunk(e, c);
+                    buf.push((t - s) as f32);
+                }
+                for e in d * le..(d + 1) * le {
+                    let (s, t) = bin_chunk(e, c);
+                    buf.extend_from_slice(&es[s * m..t * m]);
+                }
+                buf
+            })
+            .collect();
+        let recvd = match cfg.algo {
+            AllToAllAlgo::Linear => comm.all_to_all_v(&sends)?,
+            AllToAllAlgo::TwoDh => comm.all_to_all_v_2dh(&sends)?,
+        };
+
+        // Regroup the (src, expert) segments into per-expert bins in
+        // source order and grouped-GEMM them with this rank's blocks.
+        let mut seg_len = vec![vec![0usize; le]; world];
+        for (s_rank, buf) in recvd.iter().enumerate() {
+            for e in 0..le {
+                seg_len[s_rank][e] = buf[e] as usize;
+            }
+        }
+        let mut offsets = vec![0usize; le + 1];
+        for e in 0..le {
+            offsets[e + 1] = offsets[e] + (0..world).map(|s| seg_len[s][e]).sum::<usize>();
+        }
+        let total = offsets[le];
+
+        let back: Vec<Vec<f32>> = if total == 0 {
+            // Nothing routed here this chunk (possible under heavy
+            // skew): keep the collective in lock-step with empties.
+            vec![Vec::new(); world]
+        } else {
+            let mut gx = vec![0.0f32; total * m];
+            // place[s][e]: packed row where src s's expert-e segment
+            // landed — the return trip reads it back out.
+            let mut place = vec![vec![0usize; le]; world];
+            let mut at = 0usize;
+            for e in 0..le {
+                for (s_rank, buf) in recvd.iter().enumerate() {
+                    let skip: usize = seg_len[s_rank][..e].iter().sum();
+                    let n = seg_len[s_rank][e];
+                    let from = le + skip * m;
+                    gx[at * m..(at + n) * m].copy_from_slice(&buf[from..from + n * m]);
+                    place[s_rank][e] = at;
+                    at += n;
+                }
+            }
+            let gx_t = Tensor::from_vec(gx, &[total, m])?;
+            let mut acc: Option<Tensor> = None;
+            for block in &blocks {
+                let y = block.infer_grouped(&gx_t, &offsets)?;
+                acc = Some(match acc {
+                    None => y,
+                    Some(mut a) => {
+                        a.axpy(1.0, &y)?;
+                        a
+                    }
+                });
+            }
+            let y_t =
+                acc.ok_or_else(|| ServeError::Config("strategy produced no expert blocks".into()))?;
+            let ys = y_t.as_slice();
+            (0..world)
+                .map(|s_rank| {
+                    let mut buf = Vec::new();
+                    for e in 0..le {
+                        let at = place[s_rank][e];
+                        let n = seg_len[s_rank][e];
+                        buf.extend_from_slice(&ys[at * m..(at + n) * m]);
+                    }
+                    buf
+                })
+                .collect()
+        };
+
+        let returned = match cfg.algo {
+            AllToAllAlgo::Linear => comm.all_to_all_v(&back)?,
+            AllToAllAlgo::TwoDh => comm.all_to_all_v_2dh(&back)?,
+        };
+        for (d, buf) in returned.iter().enumerate() {
+            let mut at = 0usize;
+            for e in d * le..(d + 1) * le {
+                let (s, t) = bin_chunk(e, c);
+                let n = (t - s) * m;
+                y_packed[s * m..t * m].copy_from_slice(&buf[at..at + n]);
+                at += n;
+            }
+        }
+    }
+
+    let y_t = Tensor::from_vec(y_packed, &[ragged.total(), m])?;
+    let output = ragged_decode(&y_t, &routing, &ragged, per_rank)?;
+    let eff_cap = (0..routing.experts)
+        .map(|e| ragged.bin_len(e))
+        .max()
+        .unwrap_or(0);
+    Ok((
+        output.as_slice().to_vec(),
+        eff_cap,
+        comm.sent_payload_elems(),
+    ))
+}
+
 /// Expert-side compute for one pipeline chunk: rebuild the
 /// `(ΔE, W·cc, M)` batch from the origin-major wire, apply the
 /// executing rank's expert blocks (one full block under P1, one per
@@ -414,4 +604,81 @@ pub fn reference_rows(model: &ServeModel, rows: &Tensor) -> Result<Tensor, Serve
     let enc = fast_encode(rows, &routing)?;
     let y = model.experts.infer(&enc)?;
     Ok(fast_decode(&y, &routing, n)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelDims;
+    use tutel_tensor::Rng;
+
+    fn batch(dims: &ModelDims, b: usize, seed: u64) -> Tensor {
+        Rng::seed(seed).normal_tensor(&[b, dims.model_dim], 0.0, 1.0)
+    }
+
+    #[test]
+    fn grouped_step_matches_padded_twin_and_reference_bitwise() {
+        // P1 at one thread: the dropless grouped step, the padded
+        // capacity twin, and the solo reference must agree bit for
+        // bit — only the wire layout differs.
+        let dims = ModelDims::small(2);
+        let model = ServeModel::materialize(dims, 7).unwrap();
+        let x = batch(&dims, 9, 11);
+        let expect = reference_rows(&model, &x).unwrap();
+        for algo in [AllToAllAlgo::Linear, AllToAllAlgo::TwoDh] {
+            for degree in [1, 2] {
+                let mut cfg = ExecConfig {
+                    strategy: Strategy::P1,
+                    algo,
+                    degree,
+                    world: 2,
+                    threads: 1,
+                    dropless: true,
+                };
+                let grouped = execute_step(&model, &cfg, &x).unwrap();
+                cfg.dropless = false;
+                let padded = execute_step(&model, &cfg, &x).unwrap();
+                assert_eq!(
+                    grouped.outputs.as_slice(),
+                    expect.as_slice(),
+                    "grouped vs reference ({})",
+                    cfg.label()
+                );
+                assert_eq!(
+                    grouped.outputs.as_slice(),
+                    padded.outputs.as_slice(),
+                    "grouped vs padded twin ({})",
+                    cfg.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_step_moves_fewer_wire_elements_than_padded() {
+        // The point of the exercise: exact routed counts on the wire.
+        // Header overhead is a few f32 per (peer, chunk); the padded
+        // twin ships E·C·M slabs regardless of routing.
+        let dims = ModelDims::small(4);
+        let model = ServeModel::materialize(dims, 3).unwrap();
+        let x = batch(&dims, 32, 5);
+        let mut cfg = ExecConfig {
+            strategy: Strategy::P1,
+            algo: AllToAllAlgo::Linear,
+            degree: 1,
+            world: 4,
+            threads: 1,
+            dropless: true,
+        };
+        let grouped = execute_step(&model, &cfg, &x).unwrap();
+        cfg.dropless = false;
+        let padded = execute_step(&model, &cfg, &x).unwrap();
+        assert_eq!(grouped.outputs.as_slice(), padded.outputs.as_slice());
+        assert!(
+            grouped.a2a_elems < padded.a2a_elems,
+            "grouped wire {} !< padded wire {}",
+            grouped.a2a_elems,
+            padded.a2a_elems
+        );
+    }
 }

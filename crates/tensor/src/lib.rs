@@ -32,7 +32,10 @@ mod tensor;
 pub use dispatch::{set_simd_override, simd_available, simd_mode, SimdMode};
 pub use error::TensorError;
 pub use init::Rng;
-pub use linalg::{gemm_bnn, gemm_nn, gemm_nn_sparse, gemm_nt, gemm_tn};
+pub use linalg::{
+    gemm_bnn, gemm_nn, gemm_nn_sparse, gemm_nt, gemm_tn, grouped_gemm, grouped_gemm_nt,
+    grouped_gemm_tn,
+};
 pub use ops::{gelu_backward_in_place, gelu_backward_with_tanh, gelu_slice, gelu_slice_with_tanh};
 pub use precision::{quantize, quantize_in_place, Precision};
 pub use shape::Shape;

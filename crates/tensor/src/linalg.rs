@@ -327,6 +327,153 @@ pub fn gemm_nn_sparse(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize,
     }
 }
 
+/// Grouped `out += a · b` over ragged expert bins — the dropless
+/// compute primitive. `a` is a packed `(R, k)` buffer whose rows are
+/// partitioned into `G = offsets.len() - 1` variable-length groups by
+/// the CSR-style `offsets` prefix sum (`R = offsets[G]`); `b` holds one
+/// `(k, n)` weight matrix per group; `out` is packed `(R, n)`.
+///
+/// One launch covers every bin: row blocks are laid out *within* each
+/// group (block `i` of group `g` starts at group-relative row
+/// `i · ROW_BLOCK`), so the blocking grid — and therefore each row's
+/// accumulation order — is a function of `offsets` alone, never the
+/// worker count. Because the packed microkernel gives every output row
+/// an independent accumulator lane, a row's bits also never depend on
+/// which rows share its micro-tile: grouped results are bit-identical
+/// to running the padded per-expert GEMM on the same rows.
+pub fn grouped_gemm(a: &[f32], b: &[f32], out: &mut [f32], offsets: &[usize], k: usize, n: usize) {
+    let groups = offsets.len().saturating_sub(1);
+    let total = offsets.last().copied().unwrap_or(0);
+    debug_assert_eq!(a.len(), total * k);
+    debug_assert_eq!(b.len(), groups * k * n);
+    debug_assert_eq!(out.len(), total * n);
+    if groups == 0 || total == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let (ranges, meta) = grouped_ranges(offsets, n);
+    tutel_rt::parallel_ranges(out, &ranges, |idx, chunk| {
+        let (g, r0) = meta[idx];
+        let a_g = &a[offsets[g] * k..offsets[g + 1] * k];
+        let b_g = &b[g * k * n..(g + 1) * k * n];
+        block_packed(a_g, b_g, chunk, r0, chunk.len() / n, k, n, Layout::Nn { k });
+    });
+}
+
+/// Grouped `out += a · bᵀ` over ragged bins: `a` packed `(R, k)`,
+/// `b` one `(n, k)` matrix per group (row-major over `k`), `out`
+/// packed `(R, n)`. The backward-input primitive (`dH = dY · W2ᵀ`),
+/// an 8-lane strip-mined dot per element exactly like [`gemm_nt`].
+pub fn grouped_gemm_nt(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    offsets: &[usize],
+    k: usize,
+    n: usize,
+) {
+    let groups = offsets.len().saturating_sub(1);
+    let total = offsets.last().copied().unwrap_or(0);
+    debug_assert_eq!(a.len(), total * k);
+    debug_assert_eq!(b.len(), groups * n * k);
+    debug_assert_eq!(out.len(), total * n);
+    if groups == 0 || total == 0 || n == 0 {
+        return;
+    }
+    let (ranges, meta) = grouped_ranges(offsets, n);
+    tutel_rt::parallel_ranges(out, &ranges, |idx, chunk| {
+        let dot = dispatch::table().dot;
+        let (g, r0) = meta[idx];
+        let b_g = &b[g * n * k..(g + 1) * n * k];
+        for (i, orow) in chunk.chunks_mut(n).enumerate() {
+            let row = offsets[g] + r0 + i;
+            let arow = &a[row * k..(row + 1) * k];
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o += dot(arow, &b_g[j * k..(j + 1) * k]);
+            }
+        }
+    });
+}
+
+/// Grouped `out_g += a_gᵀ · b_g` over ragged bins: `a` packed
+/// `(R, ma)`, `b` packed `(R, n)`, `out` dense `(G, ma, n)`. The
+/// weight-gradient primitive (`dW = Xᵀ dY`): each group's row count is
+/// its reduction length, so bins reduce independently and empty bins
+/// leave their `out` slab untouched.
+pub fn grouped_gemm_tn(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    offsets: &[usize],
+    ma: usize,
+    n: usize,
+) {
+    let groups = offsets.len().saturating_sub(1);
+    let total = offsets.last().copied().unwrap_or(0);
+    debug_assert_eq!(a.len(), total * ma);
+    debug_assert_eq!(b.len(), total * n);
+    debug_assert_eq!(out.len(), groups * ma * n);
+    if groups == 0 || total == 0 || ma == 0 || n == 0 {
+        return;
+    }
+    // Output blocks tile the dense (G, ma, n) buffer; the ragged axis
+    // is the per-group reduction length k_g = rows_g.
+    let blocks_per = ma.div_ceil(ROW_BLOCK);
+    let mut ranges = Vec::new();
+    let mut meta = Vec::new();
+    for g in 0..groups {
+        if offsets[g + 1] == offsets[g] {
+            continue;
+        }
+        for blk in 0..blocks_per {
+            let r0 = blk * ROW_BLOCK;
+            let r1 = (r0 + ROW_BLOCK).min(ma);
+            ranges.push((g * ma * n + r0 * n, g * ma * n + r1 * n));
+            meta.push((g, r0));
+        }
+    }
+    tutel_rt::parallel_ranges(out, &ranges, |idx, chunk| {
+        let (g, r0) = meta[idx];
+        let k_g = offsets[g + 1] - offsets[g];
+        let a_g = &a[offsets[g] * ma..offsets[g + 1] * ma];
+        let b_g = &b[offsets[g] * n..offsets[g + 1] * n];
+        block_packed(
+            a_g,
+            b_g,
+            chunk,
+            r0,
+            chunk.len() / n,
+            k_g,
+            n,
+            Layout::Tn { m: ma },
+        );
+    });
+}
+
+/// Element ranges plus `(group, group-relative row0)` per row block —
+/// the two halves of a grouped schedule.
+type GroupedSchedule = (Vec<(usize, usize)>, Vec<(usize, usize)>);
+
+/// Row-block schedule for a packed `(R, cols)` output partitioned by
+/// `offsets`: element ranges plus `(group, group-relative row0)` per
+/// block. Derived from the offsets alone so the grid is identical for
+/// every pool size.
+fn grouped_ranges(offsets: &[usize], cols: usize) -> GroupedSchedule {
+    let groups = offsets.len() - 1;
+    let mut ranges = Vec::new();
+    let mut meta = Vec::new();
+    for g in 0..groups {
+        let rows_g = offsets[g + 1] - offsets[g];
+        let mut r = 0;
+        while r < rows_g {
+            let rows = ROW_BLOCK.min(rows_g - r);
+            ranges.push(((offsets[g] + r) * cols, (offsets[g] + r + rows) * cols));
+            meta.push((g, r));
+            r += ROW_BLOCK;
+        }
+    }
+    (ranges, meta)
+}
+
 /// How the A operand is laid out relative to the `m × k` iteration
 /// space of one packed block.
 #[derive(Clone, Copy)]
@@ -623,12 +770,142 @@ mod tests {
         assert_eq!(out, [12.0, 13.0, 14.0, 15.0]);
     }
 
+    /// Per-expert reference for the grouped kernels: slice each bin
+    /// out and run the plain slice GEMMs group by group.
+    fn grouped_ref_nn(a: &[f32], b: &[f32], offsets: &[usize], k: usize, n: usize) -> Vec<f32> {
+        let total = *offsets.last().unwrap();
+        let mut out = vec![0.0f32; total * n];
+        for g in 0..offsets.len() - 1 {
+            let rows = offsets[g + 1] - offsets[g];
+            gemm_nn(
+                &a[offsets[g] * k..offsets[g + 1] * k],
+                &b[g * k * n..(g + 1) * k * n],
+                &mut out[offsets[g] * n..offsets[g + 1] * n],
+                rows,
+                k,
+                n,
+            );
+        }
+        out
+    }
+
+    #[test]
+    fn grouped_gemm_matches_per_group_loop() {
+        let mut rng = crate::Rng::seed(11);
+        let offsets = [0usize, 3, 3, 40, 41, 74];
+        let (k, n) = (19usize, 13usize);
+        let groups = offsets.len() - 1;
+        let total = *offsets.last().unwrap();
+        let a = rng.normal_tensor(&[total, k], 0.0, 1.0);
+        let b = rng.normal_tensor(&[groups, k, n], 0.0, 1.0);
+        let mut out = vec![0.0f32; total * n];
+        grouped_gemm(a.as_slice(), b.as_slice(), &mut out, &offsets, k, n);
+        let want = grouped_ref_nn(a.as_slice(), b.as_slice(), &offsets, k, n);
+        assert_eq!(out, want, "grouped must be bitwise vs the per-group loop");
+    }
+
+    #[test]
+    fn grouped_gemm_nt_matches_per_group_loop() {
+        let mut rng = crate::Rng::seed(12);
+        let offsets = [0usize, 5, 37, 37, 50];
+        let (k, n) = (9usize, 21usize);
+        let groups = offsets.len() - 1;
+        let total = *offsets.last().unwrap();
+        let a = rng.normal_tensor(&[total, k], 0.0, 1.0);
+        let b = rng.normal_tensor(&[groups, n, k], 0.0, 1.0);
+        let mut out = vec![0.0f32; total * n];
+        grouped_gemm_nt(a.as_slice(), b.as_slice(), &mut out, &offsets, k, n);
+        for g in 0..groups {
+            let rows = offsets[g + 1] - offsets[g];
+            let mut want = vec![0.0f32; rows * n];
+            gemm_nt(
+                &a.as_slice()[offsets[g] * k..offsets[g + 1] * k],
+                &b.as_slice()[g * n * k..(g + 1) * n * k],
+                &mut want,
+                rows,
+                k,
+                n,
+            );
+            assert_eq!(&out[offsets[g] * n..offsets[g + 1] * n], &want[..], "g{g}");
+        }
+    }
+
+    #[test]
+    fn grouped_gemm_tn_matches_per_group_loop() {
+        let mut rng = crate::Rng::seed(13);
+        let offsets = [0usize, 0, 17, 20, 53];
+        let (ma, n) = (12usize, 7usize);
+        let groups = offsets.len() - 1;
+        let total = *offsets.last().unwrap();
+        let a = rng.normal_tensor(&[total, ma], 0.0, 1.0);
+        let b = rng.normal_tensor(&[total, n], 0.0, 1.0);
+        let mut out = vec![0.0f32; groups * ma * n];
+        grouped_gemm_tn(a.as_slice(), b.as_slice(), &mut out, &offsets, ma, n);
+        for g in 0..groups {
+            let rows = offsets[g + 1] - offsets[g];
+            let mut want = vec![0.0f32; ma * n];
+            gemm_tn(
+                &a.as_slice()[offsets[g] * ma..offsets[g + 1] * ma],
+                &b.as_slice()[offsets[g] * n..offsets[g + 1] * n],
+                &mut want,
+                ma,
+                rows,
+                n,
+            );
+            assert_eq!(&out[g * ma * n..(g + 1) * ma * n], &want[..], "g{g}");
+        }
+    }
+
+    #[test]
+    fn grouped_gemm_rows_bitwise_equal_padded_bmm_rows() {
+        // The dropless contract: a routed row's bits must not depend
+        // on whether its bin was padded to a capacity or packed
+        // ragged. Compare each grouped row against the same row of a
+        // zero-padded bmm.
+        let mut rng = crate::Rng::seed(14);
+        let offsets = [0usize, 2, 35, 36, 36, 70];
+        let (k, n) = (33usize, 17usize);
+        let groups = offsets.len() - 1;
+        let total = *offsets.last().unwrap();
+        let cap = (0..groups)
+            .map(|g| offsets[g + 1] - offsets[g])
+            .max()
+            .unwrap();
+        let a = rng.normal_tensor(&[total, k], 0.0, 1.0);
+        let b = rng.normal_tensor(&[groups, k, n], 0.0, 1.0);
+        let mut out = vec![0.0f32; total * n];
+        grouped_gemm(a.as_slice(), b.as_slice(), &mut out, &offsets, k, n);
+
+        let mut padded = vec![0.0f32; groups * cap * k];
+        for g in 0..groups {
+            let rows = offsets[g + 1] - offsets[g];
+            padded[g * cap * k..g * cap * k + rows * k]
+                .copy_from_slice(&a.as_slice()[offsets[g] * k..offsets[g + 1] * k]);
+        }
+        let pa = Tensor::from_vec(padded, &[groups, cap, k]).unwrap();
+        let py = pa.bmm(&b).unwrap();
+        for g in 0..groups {
+            let rows = offsets[g + 1] - offsets[g];
+            assert_eq!(
+                &out[offsets[g] * n..offsets[g + 1] * n],
+                &py.as_slice()[g * cap * n..g * cap * n + rows * n],
+                "g{g}"
+            );
+        }
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
 
         fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
             (1usize..48, 1usize..300, 1usize..48)
+        }
+
+        /// Ragged bin sizes spanning empty, sub-tile, and
+        /// multi-row-block groups.
+        fn bins() -> impl Strategy<Value = Vec<usize>> {
+            prop::collection::vec(0usize..70, 1..6)
         }
 
         /// Shapes guaranteed to leave a nonzero remainder on every
@@ -721,6 +998,49 @@ mod tests {
                     prop_assert_eq!(bits(scalar.2.as_slice()), bits(simd.2.as_slice()), "tn");
                     prop_assert_eq!(bits(scalar.3.as_slice()), bits(simd.3.as_slice()), "bmm");
                     prop_assert_eq!(bits(&scalar.4), bits(&simd.4), "gemm_nn_sparse");
+                }
+            }
+
+            /// Grouped GEMM equals the per-expert loop bit for bit on
+            /// arbitrary ragged shapes, in both SIMD modes, at any
+            /// worker count.
+            #[test]
+            fn grouped_gemm_bitwise_vs_per_group_loop(
+                sizes in bins(),
+                k in 1usize..40,
+                n in 1usize..24,
+                seed in 0u64..1024,
+            ) {
+                let mut offsets = vec![0usize];
+                for s in &sizes {
+                    offsets.push(offsets.last().unwrap() + s);
+                }
+                let groups = sizes.len();
+                let total = *offsets.last().unwrap();
+                let mut rng = crate::Rng::seed(seed);
+                let a = rng.normal_tensor(&[total.max(1), k], 0.0, 1.0);
+                let b = rng.normal_tensor(&[groups, k, n], 0.0, 1.0);
+                let a = &a.as_slice()[..total * k];
+                let modes: &[Option<bool>] = if crate::dispatch::simd_available() {
+                    &[Some(false), Some(true)]
+                } else {
+                    &[Some(false)]
+                };
+                for &mode in modes {
+                    crate::dispatch::with_simd_mode(mode, || {
+                        let want = grouped_ref_nn(a, b.as_slice(), &offsets, k, n);
+                        let mut got = vec![0.0f32; total * n];
+                        grouped_gemm(a, b.as_slice(), &mut got, &offsets, k, n);
+                        assert_eq!(got, want, "mode {mode:?}");
+                        for limit in [1usize, 4] {
+                            let par = tutel_rt::with_parallelism_limit(limit, || {
+                                let mut out = vec![0.0f32; total * n];
+                                grouped_gemm(a, b.as_slice(), &mut out, &offsets, k, n);
+                                out
+                            });
+                            assert_eq!(par, want, "mode {mode:?} limit {limit}");
+                        }
+                    });
                 }
             }
 
